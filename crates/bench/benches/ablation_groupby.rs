@@ -1,0 +1,27 @@
+//! Ablation D (criterion): SortGroupBy vs HashGroupBy kernels (the
+//! paper's Example 2 choice point), under few and many keys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rheem_core::kernels::{hash_group, sort_group};
+use rheem_core::rec;
+use rheem_core::udf::KeyUdf;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_groupby");
+    group.sample_size(10);
+    let n = 100_000i64;
+    for &keys in &[16i64, 50_000] {
+        let data: Vec<_> = (0..n).map(|i| rec![i % keys, i]).collect();
+        let key = KeyUdf::field(0);
+        group.bench_with_input(BenchmarkId::new("hash", keys), &data, |b, d| {
+            b.iter(|| hash_group(d, &key).len())
+        });
+        group.bench_with_input(BenchmarkId::new("sort", keys), &data, |b, d| {
+            b.iter(|| sort_group(d, &key).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

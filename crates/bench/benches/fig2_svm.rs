@@ -1,0 +1,37 @@
+//! Figure 2 (criterion): SVM training on the single-process vs. the
+//! Spark-like engine at both ends of the size spectrum.
+//!
+//! Sleeps are disabled here so criterion measures pure engine mechanics
+//! (threading and shuffles vs. straight-line execution); the `fig2_svm_table`
+//! binary runs the slept, paper-shaped sweep.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rheem_core::RheemContext;
+use rheem_datagen::libsvm::{generate, LibsvmConfig};
+use rheem_ml::SvmTrainer;
+use rheem_platforms::{JavaPlatform, OverheadConfig, SparkLikePlatform};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_svm");
+    group.sample_size(10);
+    let java = RheemContext::new().with_platform(Arc::new(JavaPlatform::new()));
+    let spark = RheemContext::new().with_platform(Arc::new(
+        SparkLikePlatform::new(4).with_overheads(OverheadConfig::none()),
+    ));
+    for &n in &[500usize, 20_000] {
+        let data = generate(&LibsvmConfig::new(n, 8));
+        let trainer = SvmTrainer::new(8).with_iterations(10);
+        group.bench_with_input(BenchmarkId::new("java", n), &data, |b, d| {
+            b.iter(|| trainer.train(&java, d.clone()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sparklike", n), &data, |b, d| {
+            b.iter(|| trainer.train(&spark, d.clone()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 3 right (criterion): BigDansing+IEJoin vs. the cross-product
+//! baseline on the inequality rule. (The time-budget wall is demonstrated
+//! by the `fig3_table` binary; criterion tracks the crossover region.)
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rheem_cleaning::{detect, DenialConstraint, DetectionStrategy};
+use rheem_core::RheemContext;
+use rheem_datagen::tax::{columns, generate, TaxConfig};
+use rheem_platforms::{OverheadConfig, SparkLikePlatform};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_baselines");
+    group.sample_size(10);
+    let ctx = RheemContext::new().with_platform(Arc::new(
+        SparkLikePlatform::new(4).with_overheads(OverheadConfig::none()),
+    ));
+    let rule = DenialConstraint::inequality(
+        "salary-rate",
+        columns::ID,
+        columns::SALARY,
+        columns::TAX_RATE,
+    );
+    for &n in &[1_000usize, 4_000] {
+        let (data, _) = generate(
+            &TaxConfig::new(n).with_error_rates(0.0, (10.0 / n as f64).min(0.05)),
+        );
+        group.bench_with_input(BenchmarkId::new("iejoin", n), &data, |b, d| {
+            b.iter(|| detect(&ctx, d.clone(), &rule, DetectionStrategy::IeJoin).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("cross_product", n), &data, |b, d| {
+            b.iter(|| detect(&ctx, d.clone(), &rule, DetectionStrategy::CrossProduct).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

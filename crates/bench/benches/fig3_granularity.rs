@@ -1,0 +1,37 @@
+//! Figure 3 left (criterion): monolithic detect UDF vs. the BigDansing
+//! operator pipeline on the Spark-like engine.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rheem_cleaning::{detect, DenialConstraint, DetectionStrategy};
+use rheem_core::RheemContext;
+use rheem_datagen::tax::{columns, generate, TaxConfig};
+use rheem_platforms::{OverheadConfig, SparkLikePlatform};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_granularity");
+    group.sample_size(10);
+    let ctx = RheemContext::new().with_platform(Arc::new(
+        SparkLikePlatform::new(4).with_overheads(OverheadConfig::none()),
+    ));
+    let rule = DenialConstraint::functional_dependency(
+        "zip-state",
+        columns::ID,
+        columns::ZIP,
+        columns::STATE,
+    );
+    for &n in &[2_000usize, 8_000] {
+        let (data, _) = generate(&TaxConfig::new(n));
+        group.bench_with_input(BenchmarkId::new("single_udf", n), &data, |b, d| {
+            b.iter(|| detect(&ctx, d.clone(), &rule, DetectionStrategy::SingleUdf).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pipeline", n), &data, |b, d| {
+            b.iter(|| detect(&ctx, d.clone(), &rule, DetectionStrategy::OperatorPipeline).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Prints the Figure 2 series: SVM (100 iterations) on the Spark-like
+//! engine vs. the plain single-process engine, across dataset sizes.
+//!
+//! Usage: `cargo run -p rheem-bench --bin fig2_svm_table --release [--quick]`
+
+use rheem_bench::fig2::{render, render_iteration_sweep, run, run_iteration_sweep, Fig2Config};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        Fig2Config {
+            sizes: vec![100, 1_000, 10_000],
+            iterations: 30,
+            ..Fig2Config::default()
+        }
+    } else {
+        Fig2Config::default()
+    };
+    eprintln!(
+        "running Figure 2 sweep: sizes {:?}, {} iterations, {} workers ...",
+        config.sizes, config.iterations, config.workers
+    );
+    let rows = run(&config);
+    print!("{}", render(&rows));
+
+    let iter_counts: Vec<u64> = if quick { vec![10, 50] } else { vec![10, 50, 100, 200] };
+    eprintln!("running iteration sweep on 1000 rows ...");
+    let series = run_iteration_sweep(1_000, &iter_counts);
+    print!("\n{}", render_iteration_sweep(1_000, &series));
+}

@@ -1,0 +1,31 @@
+//! Prints both Figure 3 series: detection granularity (left) and
+//! BigDansing+IEJoin vs. the cross-product baseline with a time budget
+//! (right).
+//!
+//! Usage: `cargo run -p rheem-bench --bin fig3_table --release [--quick]`
+
+use std::time::Duration;
+
+use rheem_bench::fig3::{render, run_left, run_right};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let workers = rheem_platforms::num_workers();
+    let (left_sizes, right_sizes, budget): (Vec<usize>, Vec<usize>, Duration) = if quick {
+        (
+            vec![1_000, 4_000],
+            vec![500, 2_000, 8_000],
+            Duration::from_millis(1_000),
+        )
+    } else {
+        (
+            vec![1_000, 5_000, 20_000, 50_000],
+            vec![1_000, 4_000, 16_000, 64_000, 256_000],
+            Duration::from_secs(5),
+        )
+    };
+    eprintln!("running Figure 3 sweeps ({workers} workers) ...");
+    let left = run_left(&left_sizes, workers);
+    let right = run_right(&right_sizes, workers, budget);
+    print!("{}", render(&left, &right, budget));
+}

@@ -1,0 +1,24 @@
+//! # rheem-bench
+//!
+//! The benchmark harness regenerating every evaluation artifact of the
+//! paper (see DESIGN.md §5 for the experiment index):
+//!
+//! * [`fig2`] — SVM on the Spark-like engine vs. the single-process engine
+//!   across dataset sizes (paper Figure 2);
+//! * [`fig3`] — violation detection: single-UDF vs. operator pipeline
+//!   (Figure 3 left) and IEJoin vs. cross-product baseline with a time
+//!   budget (Figure 3 right);
+//! * [`ablations`] — platform selection, movement-cost awareness, IEJoin
+//!   scaling, grouping algorithm choice, and storage (hot buffer +
+//!   transformation plans).
+//!
+//! Row-printer binaries (`fig2_svm_table`, `fig3_table`,
+//! `ablation_table`) emit the same series the paper plots; the Criterion
+//! benches under `benches/` wrap scaled-down variants for regression
+//! tracking.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod fig2;
+pub mod fig3;

@@ -1,0 +1,280 @@
+//! [`RheemContext`]: the user-facing entry point tying the three layers
+//! together.
+//!
+//! A context owns the platform registry, the multi-platform optimizer, the
+//! executor configuration, and the (optional) storage service. Typical use:
+//!
+//! ```ignore
+//! let ctx = RheemContext::new()
+//!     .with_platform(Arc::new(JavaPlatform::new()))
+//!     .with_platform(Arc::new(SparkLikePlatform::new(8)));
+//! let result = ctx.execute(plan)?;           // optimize + run
+//! println!("{}", result.stats.total_wall.as_millis());
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::error::Result;
+use crate::executor::{Executor, ExecutorConfig, JobResult, ProgressListener};
+use crate::logical::LogicalPlan;
+use crate::optimizer::MultiPlatformOptimizer;
+use crate::plan::{ExecutionPlan, PhysicalPlan};
+use crate::platform::{
+    ExecutionContext, FailureInjector, Platform, PlatformRegistry, StorageService,
+};
+
+/// The top-level RHEEM handle.
+#[derive(Clone, Default)]
+pub struct RheemContext {
+    platforms: PlatformRegistry,
+    optimizer: MultiPlatformOptimizer,
+    executor_config: ExecutorConfig,
+    storage: Option<Arc<dyn StorageService>>,
+    failure_injector: Option<Arc<FailureInjector>>,
+    listener: Option<Arc<dyn ProgressListener>>,
+}
+
+impl RheemContext {
+    /// An empty context; register at least one platform before executing.
+    pub fn new() -> Self {
+        RheemContext::default()
+    }
+
+    /// Register a processing platform.
+    pub fn with_platform(mut self, platform: Arc<dyn Platform>) -> Self {
+        self.platforms.register(platform);
+        self
+    }
+
+    /// Attach a storage service (enables `StorageSource`/`StorageSink`).
+    pub fn with_storage(mut self, storage: Arc<dyn StorageService>) -> Self {
+        self.storage = Some(storage);
+        self
+    }
+
+    /// Replace the optimizer (cost models, mappings, config).
+    pub fn with_optimizer(mut self, optimizer: MultiPlatformOptimizer) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Pin all operators to one platform.
+    pub fn force_platform(mut self, platform: impl Into<String>) -> Self {
+        self.optimizer = self.optimizer.force_platform(platform);
+        self
+    }
+
+    /// Set a wall-clock budget for executed jobs.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.executor_config.timeout = Some(timeout);
+        self
+    }
+
+    /// Set the retry budget per task atom.
+    pub fn with_max_retries(mut self, retries: usize) -> Self {
+        self.executor_config.max_retries = retries;
+        self
+    }
+
+    /// Install a failure injector (tests / chaos experiments).
+    pub fn with_failure_injector(mut self, injector: Arc<FailureInjector>) -> Self {
+        self.failure_injector = Some(injector);
+        self
+    }
+
+    /// Observe job progress (per-atom start/retry/complete callbacks).
+    pub fn with_progress_listener(mut self, listener: Arc<dyn ProgressListener>) -> Self {
+        self.listener = Some(listener);
+        self
+    }
+
+    /// The registered platforms.
+    pub fn platforms(&self) -> &PlatformRegistry {
+        &self.platforms
+    }
+
+    /// The optimizer in use.
+    pub fn optimizer(&self) -> &MultiPlatformOptimizer {
+        &self.optimizer
+    }
+
+    /// Mutable access to the optimizer (to hint cardinalities, adjust
+    /// mappings, or tweak movement prices).
+    pub fn optimizer_mut(&mut self) -> &mut MultiPlatformOptimizer {
+        &mut self.optimizer
+    }
+
+    /// The ambient execution context handed to platforms.
+    pub fn execution_context(&self) -> ExecutionContext {
+        ExecutionContext {
+            storage: self.storage.clone(),
+            failure_injector: self.failure_injector.clone(),
+        }
+    }
+
+    /// Optimize a physical plan without running it.
+    pub fn optimize(&self, plan: PhysicalPlan) -> Result<ExecutionPlan> {
+        self.optimizer.optimize(plan, &self.platforms)
+    }
+
+    /// Optimize a logical plan without running it.
+    pub fn optimize_logical(&self, plan: &LogicalPlan) -> Result<ExecutionPlan> {
+        self.optimizer.optimize_logical(plan, &self.platforms)
+    }
+
+    /// Run an already-optimized execution plan.
+    pub fn execute_plan(&self, plan: &ExecutionPlan) -> Result<JobResult> {
+        let mut executor = Executor::new(self.platforms.clone())
+            .with_movement(self.optimizer.movement.clone())
+            .with_config(self.executor_config.clone());
+        if let Some(listener) = &self.listener {
+            executor = executor.with_listener(listener.clone());
+        }
+        executor.execute(plan, &self.execution_context())
+    }
+
+    /// Optimize and run a physical plan.
+    pub fn execute(&self, plan: PhysicalPlan) -> Result<JobResult> {
+        let exec = self.optimize(plan)?;
+        self.execute_plan(&exec)
+    }
+
+    /// Lower, optimize, and run a logical plan.
+    pub fn execute_logical(&self, plan: &LogicalPlan) -> Result<JobResult> {
+        let exec = self.optimize_logical(plan)?;
+        self.execute_plan(&exec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Record;
+    use crate::plan::PlanBuilder;
+    use crate::platform::{AtomInputs, AtomResult, ProcessingProfile};
+    use crate::rec;
+
+    /// A minimal interpreter-backed platform for core-only tests.
+    struct MockPlatform(&'static str);
+    impl Platform for MockPlatform {
+        fn name(&self) -> &str {
+            self.0
+        }
+        fn profile(&self) -> ProcessingProfile {
+            ProcessingProfile::SingleProcess
+        }
+        fn supports(&self, _op: &crate::PhysicalOp) -> bool {
+            true
+        }
+        fn cost_model(&self) -> Arc<dyn crate::cost::PlatformCostModel> {
+            Arc::new(crate::cost::LinearCostModel::single_threaded(1e-4))
+        }
+        fn execute_atom(
+            &self,
+            plan: &crate::PhysicalPlan,
+            atom: &crate::TaskAtom,
+            inputs: &AtomInputs,
+            ctx: &ExecutionContext,
+        ) -> Result<AtomResult> {
+            let run = crate::interpreter::run_fragment(plan, &atom.nodes, inputs, ctx, None)?;
+            Ok(AtomResult {
+                outputs: atom
+                    .outputs
+                    .iter()
+                    .filter_map(|n| run.outputs.get(n).map(|d| (*n, d.clone())))
+                    .collect(),
+                records_processed: run.records_processed,
+                simulated_overhead_ms: 0.0,
+                simulated_elapsed_ms: 0.0,
+            })
+        }
+    }
+
+    fn tiny_plan() -> crate::PhysicalPlan {
+        let mut b = PlanBuilder::new();
+        let src = b.collection("s", vec![rec![1i64], rec![2i64]]);
+        b.collect(src);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn context_without_platforms_cannot_optimize() {
+        let ctx = RheemContext::new();
+        assert!(ctx.optimize(tiny_plan()).is_err());
+    }
+
+    #[test]
+    fn reregistering_a_platform_name_replaces_it() {
+        let ctx = RheemContext::new()
+            .with_platform(Arc::new(MockPlatform("m")))
+            .with_platform(Arc::new(MockPlatform("m")));
+        assert_eq!(ctx.platforms().all().len(), 1);
+        assert_eq!(ctx.platforms().names(), vec!["m"]);
+    }
+
+    #[test]
+    fn end_to_end_on_a_mock_platform() {
+        let ctx = RheemContext::new().with_platform(Arc::new(MockPlatform("m")));
+        let result = ctx.execute(tiny_plan()).unwrap();
+        assert_eq!(result.single().unwrap().len(), 2);
+        assert_eq!(result.stats.platforms_used(), vec!["m"]);
+        // Stats explain renders without panicking and mentions the platform.
+        assert!(result.stats.explain().contains('m'));
+    }
+
+    #[test]
+    fn forced_platform_must_exist() {
+        let ctx = RheemContext::new()
+            .with_platform(Arc::new(MockPlatform("m")))
+            .force_platform("nope");
+        assert!(matches!(
+            ctx.execute(tiny_plan()),
+            Err(crate::RheemError::UnknownPlatform(_))
+        ));
+    }
+
+    #[test]
+    fn execution_context_carries_storage_and_injector() {
+        use crate::platform::{FailureInjector, MemoryStorageService};
+        let ctx = RheemContext::new()
+            .with_storage(Arc::new(MemoryStorageService::new()))
+            .with_failure_injector(Arc::new(FailureInjector::none()));
+        let ec = ctx.execution_context();
+        assert!(ec.storage.is_some());
+        assert!(ec.failure_injector.is_some());
+    }
+
+    #[test]
+    fn single_on_multi_sink_job_is_an_error() {
+        let ctx = RheemContext::new().with_platform(Arc::new(MockPlatform("m")));
+        let mut b = PlanBuilder::new();
+        let src = b.collection("s", vec![rec![1i64]]);
+        b.collect(src);
+        b.collect(src);
+        let result = ctx.execute(b.build().unwrap()).unwrap();
+        assert_eq!(result.outputs.len(), 2);
+        assert!(result.single().is_err());
+    }
+
+    #[test]
+    fn max_retries_zero_fails_on_first_injected_failure() {
+        use crate::platform::FailureInjector;
+        let ctx = RheemContext::new()
+            .with_platform(Arc::new(MockPlatform("m")))
+            .with_failure_injector(Arc::new(FailureInjector::fail_next("m", 1)))
+            .with_max_retries(0);
+        assert!(ctx.execute(tiny_plan()).is_err());
+    }
+
+    #[test]
+    fn records_are_preserved_through_mock_execution() {
+        let ctx = RheemContext::new().with_platform(Arc::new(MockPlatform("m")));
+        let mut b = PlanBuilder::new();
+        let src = b.collection("s", vec![rec![1i64, "a"], rec![2i64, "b"]]);
+        let sink = b.collect(src);
+        let result = ctx.execute(b.build().unwrap()).unwrap();
+        let out: &Record = &result.outputs[&sink].records()[1];
+        assert_eq!(out.str(1).unwrap(), "b");
+    }
+}

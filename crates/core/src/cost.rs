@@ -1,0 +1,429 @@
+//! Cost estimation: cardinalities, platform cost models, movement costs.
+//!
+//! The paper requires that "rules and cost models [be] plugins and not
+//! hard-coded as in traditional database optimizers" (§4.2, second aspect)
+//! and that the optimizer "consider inter-platform cost models to
+//! effectively take into account the cost of moving data and computation
+//! across underlying processing platforms" (third aspect). Accordingly:
+//!
+//! * every platform ships its own [`PlatformCostModel`] implementation,
+//!   registered together with the platform;
+//! * cross-platform transfer prices live in a [`MovementCostModel`] that the
+//!   optimizer consults for every candidate platform switch;
+//! * the [`CardinalityEstimator`] feeds both with dataset-size estimates.
+//!
+//! All costs are in *abstract milliseconds*: platform models are calibrated
+//! relative to each other, which is all plan comparison needs.
+
+use std::collections::HashMap;
+
+use crate::physical::PhysicalOp;
+use crate::plan::PhysicalPlan;
+
+/// Estimates output cardinality for every node of a plan.
+#[derive(Clone, Debug)]
+pub struct CardinalityEstimator {
+    /// Known cardinalities of storage-layer datasets, by dataset id.
+    pub source_hints: HashMap<String, f64>,
+    /// Fallback cardinality for unknown storage sources.
+    pub default_source_card: f64,
+}
+
+impl Default for CardinalityEstimator {
+    fn default() -> Self {
+        CardinalityEstimator {
+            source_hints: HashMap::new(),
+            default_source_card: 1_000.0,
+        }
+    }
+}
+
+impl CardinalityEstimator {
+    /// Register the known cardinality of a storage dataset.
+    pub fn hint(&mut self, dataset_id: impl Into<String>, card: f64) {
+        self.source_hints.insert(dataset_id.into(), card);
+    }
+
+    /// Estimated output cardinality per node, indexed by node id.
+    pub fn estimate(&self, plan: &PhysicalPlan) -> Vec<f64> {
+        self.estimate_with_loop_input(plan, 0.0)
+    }
+
+    /// Like [`CardinalityEstimator::estimate`], binding `LoopInput` nodes to
+    /// `loop_card` (used when recursing into loop bodies).
+    pub fn estimate_with_loop_input(&self, plan: &PhysicalPlan, loop_card: f64) -> Vec<f64> {
+        let mut cards = vec![0.0f64; plan.len()];
+        for node in plan.nodes() {
+            let ins: Vec<f64> = node.inputs.iter().map(|i| cards[i.0]).collect();
+            cards[node.id.0] = self.op_output_card(&node.op, &ins, loop_card);
+        }
+        cards
+    }
+
+    fn op_output_card(&self, op: &PhysicalOp, ins: &[f64], loop_card: f64) -> f64 {
+        let in0 = ins.first().copied().unwrap_or(0.0);
+        match op {
+            PhysicalOp::CollectionSource { data, .. } => data.len() as f64,
+            PhysicalOp::StorageSource { dataset_id } => self
+                .source_hints
+                .get(dataset_id)
+                .copied()
+                .unwrap_or(self.default_source_card),
+            PhysicalOp::LoopInput => loop_card,
+            PhysicalOp::Map(_) | PhysicalOp::ZipWithId | PhysicalOp::Project { .. } => in0,
+            PhysicalOp::FlatMap(u) => in0 * u.fanout,
+            PhysicalOp::Filter(u) => in0 * u.selectivity,
+            PhysicalOp::Sample { fraction, .. } => in0 * fraction,
+            PhysicalOp::Limit { n } => in0.min(*n as f64),
+            PhysicalOp::Sort { .. } => in0,
+            PhysicalOp::Distinct => in0 * 0.8,
+            PhysicalOp::SortGroupBy { key, group } | PhysicalOp::HashGroupBy { key, group } => {
+                distinct_keys(key.distinct_keys, in0) * group.per_group_output
+            }
+            PhysicalOp::ReduceByKey { key, .. } => distinct_keys(key.distinct_keys, in0),
+            PhysicalOp::GlobalReduce { .. } => 1.0,
+            PhysicalOp::HashJoin {
+                left_key,
+                right_key,
+            }
+            | PhysicalOp::SortMergeJoin {
+                left_key,
+                right_key,
+            } => {
+                let (l, r) = (ins[0], ins[1]);
+                let dl = distinct_keys(left_key.distinct_keys, l);
+                let dr = distinct_keys(right_key.distinct_keys, r);
+                if dl.max(dr) > 0.0 {
+                    l * r / dl.max(dr)
+                } else {
+                    0.0
+                }
+            }
+            PhysicalOp::NestedLoopJoin { selectivity, .. } => ins[0] * ins[1] * selectivity,
+            PhysicalOp::CrossProduct => ins[0] * ins[1],
+            PhysicalOp::Union => ins[0] + ins[1],
+            PhysicalOp::Loop { body, .. } => {
+                let body_cards = self.estimate_with_loop_input(body, in0);
+                let terminals = body.terminals();
+                terminals
+                    .first()
+                    .map(|t| body_cards[t.0])
+                    .unwrap_or(in0)
+            }
+            PhysicalOp::Custom(c) => c.output_cardinality(ins),
+            PhysicalOp::CollectSink | PhysicalOp::StorageSink { .. } => in0,
+            PhysicalOp::CountSink => 1.0,
+        }
+    }
+}
+
+fn distinct_keys(hint: Option<f64>, card: f64) -> f64 {
+    hint.unwrap_or_else(|| card.sqrt().max(1.0)).min(card.max(1.0))
+}
+
+/// Platform-independent work estimate for an operator, in abstract
+/// record-touch units. Platform cost models typically scale this by their
+/// per-record price and parallelism.
+pub fn op_work_units(op: &PhysicalOp, ins: &[f64], out: f64) -> f64 {
+    let in0 = ins.first().copied().unwrap_or(0.0);
+    let nlogn = |n: f64| n * (n.max(2.0)).log2();
+    match op {
+        PhysicalOp::CollectionSource { .. }
+        | PhysicalOp::StorageSource { .. }
+        | PhysicalOp::LoopInput => out,
+        PhysicalOp::Map(_)
+        | PhysicalOp::FlatMap(_)
+        | PhysicalOp::Filter(_)
+        | PhysicalOp::Project { .. }
+        | PhysicalOp::Sample { .. }
+        | PhysicalOp::Limit { .. }
+        | PhysicalOp::ZipWithId => in0 + out,
+        PhysicalOp::SortGroupBy { .. } => nlogn(in0) + out,
+        PhysicalOp::HashGroupBy { .. } | PhysicalOp::ReduceByKey { .. } => in0 + out,
+        PhysicalOp::GlobalReduce { .. } => in0,
+        PhysicalOp::Sort { .. } => nlogn(in0),
+        PhysicalOp::Distinct => in0 + out,
+        PhysicalOp::HashJoin { .. } => ins.iter().sum::<f64>() + out,
+        PhysicalOp::SortMergeJoin { .. } => nlogn(ins[0]) + nlogn(ins[1]) + out,
+        PhysicalOp::NestedLoopJoin { .. } | PhysicalOp::CrossProduct => ins[0] * ins[1] + out,
+        PhysicalOp::Union => out,
+        // Loop work is handled by the optimizer (it recurses into the body);
+        // this is only the per-iteration plumbing.
+        PhysicalOp::Loop { .. } => in0,
+        PhysicalOp::Custom(c) => c.cost_factor() * (ins.iter().sum::<f64>() + out),
+        PhysicalOp::CollectSink | PhysicalOp::CountSink | PhysicalOp::StorageSink { .. } => in0,
+    }
+}
+
+/// A platform's pluggable cost model (abstract milliseconds).
+pub trait PlatformCostModel: Send + Sync {
+    /// Cost of executing `op` on this platform.
+    fn op_cost(&self, op: &PhysicalOp, input_cards: &[f64], output_card: f64) -> f64;
+
+    /// Fixed overhead charged once per task atom scheduled on this platform
+    /// (job submission, container spin-up, connection setup, ...).
+    fn atom_startup_cost(&self) -> f64;
+}
+
+/// A simple linear cost model: `startup + work_units · per_unit / speedup`.
+///
+/// Good enough for the built-in platforms; applications may implement
+/// [`PlatformCostModel`] directly for anything richer.
+#[derive(Clone, Debug)]
+pub struct LinearCostModel {
+    /// Price per work unit in abstract ms.
+    pub per_unit: f64,
+    /// Effective parallel speedup (1.0 for single-threaded platforms).
+    pub speedup: f64,
+    /// Fixed per-atom overhead in abstract ms.
+    pub startup: f64,
+    /// Extra per-unit price for operators that force a shuffle/barrier.
+    pub shuffle_surcharge: f64,
+}
+
+impl LinearCostModel {
+    /// A model for a zero-overhead, single-threaded engine.
+    pub fn single_threaded(per_unit: f64) -> Self {
+        LinearCostModel {
+            per_unit,
+            speedup: 1.0,
+            startup: 0.0,
+            shuffle_surcharge: 0.0,
+        }
+    }
+}
+
+/// Whether an operator requires repartitioning on a partitioned platform.
+pub fn requires_shuffle(op: &PhysicalOp) -> bool {
+    matches!(
+        op,
+        PhysicalOp::SortGroupBy { .. }
+            | PhysicalOp::HashGroupBy { .. }
+            | PhysicalOp::ReduceByKey { .. }
+            | PhysicalOp::GlobalReduce { .. }
+            | PhysicalOp::Sort { .. }
+            | PhysicalOp::Distinct
+            | PhysicalOp::HashJoin { .. }
+            | PhysicalOp::SortMergeJoin { .. }
+            | PhysicalOp::NestedLoopJoin { .. }
+            | PhysicalOp::CrossProduct
+    )
+}
+
+impl PlatformCostModel for LinearCostModel {
+    fn op_cost(&self, op: &PhysicalOp, input_cards: &[f64], output_card: f64) -> f64 {
+        let work = op_work_units(op, input_cards, output_card);
+        let mut per_unit = self.per_unit;
+        if requires_shuffle(op) {
+            per_unit += self.shuffle_surcharge;
+        }
+        work * per_unit / self.speedup.max(1.0)
+    }
+
+    fn atom_startup_cost(&self) -> f64 {
+        self.startup
+    }
+}
+
+/// Inter-platform data movement prices (the paper's §4.2 third aspect and
+/// §8 challenge 2's "inter-platform cost model").
+#[derive(Clone, Debug)]
+pub struct MovementCostModel {
+    /// Fixed cost of any platform switch (channel setup).
+    pub fixed: f64,
+    /// Fallback per-record transfer price.
+    pub default_per_record: f64,
+    per_record: HashMap<(String, String), f64>,
+}
+
+impl Default for MovementCostModel {
+    fn default() -> Self {
+        MovementCostModel {
+            fixed: 1.0,
+            default_per_record: 0.001,
+            per_record: HashMap::new(),
+        }
+    }
+}
+
+impl MovementCostModel {
+    /// A model with the given fixed and default per-record prices.
+    pub fn new(fixed: f64, default_per_record: f64) -> Self {
+        MovementCostModel {
+            fixed,
+            default_per_record,
+            per_record: HashMap::new(),
+        }
+    }
+
+    /// A model in which moving data is free (for tests and ablations).
+    pub fn free() -> Self {
+        MovementCostModel::new(0.0, 0.0)
+    }
+
+    /// Set the per-record price of moving data `from -> to`.
+    pub fn set_per_record(&mut self, from: &str, to: &str, price: f64) {
+        self.per_record
+            .insert((from.to_string(), to.to_string()), price);
+    }
+
+    /// Cost of moving `records` data quanta `from -> to`; zero if same
+    /// platform.
+    pub fn cost(&self, from: &str, to: &str, records: f64) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        let per = self
+            .per_record
+            .get(&(from.to_string(), to.to_string()))
+            .copied()
+            .unwrap_or(self.default_per_record);
+        self.fixed + per * records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanBuilder;
+    use crate::rec;
+    use crate::udf::{FilterUdf, FlatMapUdf, GroupMapUdf, KeyUdf, LoopCondUdf, MapUdf};
+
+    fn records(n: usize) -> Vec<crate::data::Record> {
+        (0..n as i64).map(|i| rec![i]).collect()
+    }
+
+    #[test]
+    fn source_map_filter_cards() {
+        let mut b = PlanBuilder::new();
+        let src = b.collection("s", records(100));
+        let m = b.map(src, MapUdf::new("id", |r| r.clone()));
+        let f = b.filter(m, FilterUdf::new("half", |_| true).with_selectivity(0.1));
+        b.collect(f);
+        let plan = b.build().unwrap();
+        let cards = CardinalityEstimator::default().estimate(&plan);
+        assert_eq!(cards[0], 100.0);
+        assert_eq!(cards[1], 100.0);
+        assert!((cards[2] - 10.0).abs() < 1e-9);
+        assert!((cards[3] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flatmap_fanout_and_groupby_distinct_hints() {
+        let mut b = PlanBuilder::new();
+        let src = b.collection("s", records(100));
+        let fm = b.flat_map(src, FlatMapUdf::new("x3", |r| vec![r.clone(); 3]).with_fanout(3.0));
+        let g = b.group_by(
+            fm,
+            KeyUdf::field(0).with_distinct_keys(10.0),
+            GroupMapUdf::identity().with_per_group_output(2.0),
+        );
+        b.collect(g);
+        let plan = b.build().unwrap();
+        let cards = CardinalityEstimator::default().estimate(&plan);
+        assert_eq!(cards[1], 300.0);
+        assert_eq!(cards[2], 20.0); // 10 keys × 2 outputs per group
+    }
+
+    #[test]
+    fn storage_source_uses_hints() {
+        let mut b = PlanBuilder::new();
+        let src = b.storage_source("big");
+        b.count(src);
+        let plan = b.build().unwrap();
+        let mut est = CardinalityEstimator::default();
+        assert_eq!(est.estimate(&plan)[0], 1000.0); // default
+        est.hint("big", 5e6);
+        assert_eq!(est.estimate(&plan)[0], 5e6);
+        assert_eq!(est.estimate(&plan)[1], 1.0); // CountSink
+    }
+
+    #[test]
+    fn loop_card_flows_through_body() {
+        let mut body = PlanBuilder::new();
+        let li = body.loop_input();
+        body.filter(li, FilterUdf::new("keep", |_| true).with_selectivity(1.0));
+        let body = body.build_fragment().unwrap();
+
+        let mut b = PlanBuilder::new();
+        let src = b.collection("s", records(50));
+        let l = b.repeat(src, body, LoopCondUdf::fixed_iterations(4), 4);
+        b.collect(l);
+        let plan = b.build().unwrap();
+        let cards = CardinalityEstimator::default().estimate(&plan);
+        assert_eq!(cards[1], 50.0);
+    }
+
+    #[test]
+    fn cross_product_and_join_cards() {
+        let mut b = PlanBuilder::new();
+        let l = b.collection("l", records(100));
+        let r = b.collection("r", records(400));
+        let cp = b.cross_product(l, r);
+        let j = b.hash_join(l, r, KeyUdf::field(0), KeyUdf::field(0));
+        b.collect(cp);
+        b.collect(j);
+        let plan = b.build().unwrap();
+        let cards = CardinalityEstimator::default().estimate(&plan);
+        assert_eq!(cards[cp.0], 40_000.0);
+        // 100*400 / max(sqrt(100), sqrt(400)) = 40000/20 = 2000
+        assert!((cards[j.0] - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn work_units_reflect_algorithmic_profiles() {
+        let sort = PhysicalOp::Sort {
+            key: KeyUdf::field(0),
+            descending: false,
+        };
+        let n = 1024.0;
+        assert!((op_work_units(&sort, &[n], n) - n * 10.0).abs() < 1e-6);
+        let cross = PhysicalOp::CrossProduct;
+        assert_eq!(op_work_units(&cross, &[100.0, 100.0], 10_000.0), 20_000.0);
+    }
+
+    #[test]
+    fn linear_cost_model_scales_with_parallelism() {
+        let single = LinearCostModel::single_threaded(1.0);
+        let parallel = LinearCostModel {
+            per_unit: 1.0,
+            speedup: 8.0,
+            startup: 100.0,
+            shuffle_surcharge: 0.0,
+        };
+        let op = PhysicalOp::Map(MapUdf::new("id", |r| r.clone()));
+        let c1 = single.op_cost(&op, &[1000.0], 1000.0);
+        let c2 = parallel.op_cost(&op, &[1000.0], 1000.0);
+        assert!((c1 / c2 - 8.0).abs() < 1e-9);
+        assert_eq!(single.atom_startup_cost(), 0.0);
+        assert_eq!(parallel.atom_startup_cost(), 100.0);
+    }
+
+    #[test]
+    fn shuffle_surcharge_applies_to_wide_ops() {
+        let m = LinearCostModel {
+            per_unit: 1.0,
+            speedup: 1.0,
+            startup: 0.0,
+            shuffle_surcharge: 1.0,
+        };
+        let narrow = PhysicalOp::Map(MapUdf::new("id", |r| r.clone()));
+        let wide = PhysicalOp::ReduceByKey {
+            key: KeyUdf::field(0),
+            reduce: crate::udf::ReduceUdf::new("sum", |a, _| a),
+        };
+        assert!(requires_shuffle(&wide));
+        assert!(!requires_shuffle(&narrow));
+        assert!(m.op_cost(&wide, &[100.0], 10.0) > m.op_cost(&narrow, &[100.0], 100.0));
+    }
+
+    #[test]
+    fn movement_cost_zero_within_platform() {
+        let mut m = MovementCostModel::new(5.0, 0.01);
+        m.set_per_record("java", "spark", 0.1);
+        assert_eq!(m.cost("java", "java", 1e6), 0.0);
+        assert_eq!(m.cost("java", "spark", 100.0), 5.0 + 10.0);
+        assert_eq!(m.cost("spark", "java", 100.0), 5.0 + 1.0); // default price
+        assert_eq!(MovementCostModel::free().cost("a", "b", 1e9), 0.0);
+    }
+}

@@ -1,0 +1,591 @@
+//! The data model: values, records (*data quanta*), and datasets.
+//!
+//! The paper defines a *data quantum* as "the smallest unit of data elements
+//! from the input datasets", e.g. a tuple or a matrix row (§3.1). We model a
+//! data quantum as a [`Record`] — a small vector of dynamically typed
+//! [`Value`]s. Logical operators conceptually process one data quantum at a
+//! time; execution operators process batches of them ([`Dataset`]), exactly
+//! as the paper prescribes for the platform layer.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::error::{Result, RheemError};
+
+/// A dynamically typed scalar value — one field of a data quantum.
+///
+/// The ordering is total: values are ranked first by variant
+/// (`Null < Bool < Int < Float < Str`) and then by payload. Floats use IEEE
+/// `total_cmp`, so `NaN` values are ordered and hashable, which keeps
+/// grouping and sorting well defined on arbitrary data.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// Absence of a value (e.g. a missing attribute in dirty data).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit IEEE float.
+    Float(f64),
+    /// An immutable, cheaply clonable string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// A small integer tag used for cross-variant ordering and hashing.
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+
+    /// Build a string value from anything string-like.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Returns the integer payload, or a type error.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(RheemError::Type {
+                expected: "Int".into(),
+                found: format!("{other:?}"),
+            }),
+        }
+    }
+
+    /// Returns the float payload; integers are widened for convenience.
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Value::Float(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(RheemError::Type {
+                expected: "Float".into(),
+                found: format!("{other:?}"),
+            }),
+        }
+    }
+
+    /// Returns the string payload, or a type error.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(RheemError::Type {
+                expected: "Str".into(),
+                found: format!("{other:?}"),
+            }),
+        }
+    }
+
+    /// Returns the boolean payload, or a type error.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(RheemError::Type {
+                expected: "Bool".into(),
+                found: format!("{other:?}"),
+            }),
+        }
+    }
+
+    /// True iff this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            // `total_cmp` distinguishes -0.0 from 0.0 and the NaN payloads,
+            // so hashing the raw bits is consistent with `Eq`.
+            Value::Float(x) => x.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+/// A *data quantum*: one tuple flowing through the system.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Record {
+    fields: Vec<Value>,
+}
+
+impl Record {
+    /// Create a record from its fields.
+    pub fn new(fields: Vec<Value>) -> Self {
+        Record { fields }
+    }
+
+    /// An empty record (width 0).
+    pub fn empty() -> Self {
+        Record { fields: Vec::new() }
+    }
+
+    /// Number of fields.
+    pub fn width(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Borrow a field, or an out-of-bounds error.
+    pub fn get(&self, index: usize) -> Result<&Value> {
+        self.fields.get(index).ok_or(RheemError::FieldOutOfBounds {
+            index,
+            width: self.fields.len(),
+        })
+    }
+
+    /// Field as `i64` (convenience for UDFs).
+    pub fn int(&self, index: usize) -> Result<i64> {
+        self.get(index)?.as_int()
+    }
+
+    /// Field as `f64`; integer fields are widened.
+    pub fn float(&self, index: usize) -> Result<f64> {
+        self.get(index)?.as_float()
+    }
+
+    /// Field as `&str`.
+    pub fn str(&self, index: usize) -> Result<&str> {
+        self.get(index)?.as_str()
+    }
+
+    /// Field as `bool`.
+    pub fn bool(&self, index: usize) -> Result<bool> {
+        self.get(index)?.as_bool()
+    }
+
+    /// All fields as a slice.
+    pub fn fields(&self) -> &[Value] {
+        &self.fields
+    }
+
+    /// Consume the record, yielding its fields.
+    pub fn into_fields(self) -> Vec<Value> {
+        self.fields
+    }
+
+    /// Append a field in place.
+    pub fn push(&mut self, v: impl Into<Value>) {
+        self.fields.push(v.into());
+    }
+
+    /// A new record keeping only the given field indices, in order.
+    ///
+    /// This is the kernel of the `Project` physical operator and of the
+    /// cleaning application's `Scope` logical operator.
+    pub fn project(&self, indices: &[usize]) -> Result<Record> {
+        let mut fields = Vec::with_capacity(indices.len());
+        for &i in indices {
+            fields.push(self.get(i)?.clone());
+        }
+        Ok(Record { fields })
+    }
+
+    /// A new record that is the concatenation `self ++ other` (join output).
+    pub fn concat(&self, other: &Record) -> Record {
+        let mut fields = Vec::with_capacity(self.fields.len() + other.fields.len());
+        fields.extend_from_slice(&self.fields);
+        fields.extend_from_slice(&other.fields);
+        Record { fields }
+    }
+}
+
+impl From<Vec<Value>> for Record {
+    fn from(fields: Vec<Value>) -> Self {
+        Record { fields }
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Build a [`Record`] from a list of field expressions.
+///
+/// ```
+/// use rheem_core::rec;
+/// let r = rec![1i64, "alice", 3.5];
+/// assert_eq!(r.width(), 3);
+/// ```
+#[macro_export]
+macro_rules! rec {
+    ($($field:expr),* $(,)?) => {
+        $crate::data::Record::new(vec![$($crate::data::Value::from($field)),*])
+    };
+}
+
+/// An immutable batch of records with cheap (`Arc`) cloning.
+///
+/// Datasets are what flows across task-atom boundaries; inside a platform,
+/// execution operators work on `&[Record]` slices or owned vectors.
+#[derive(Clone, Debug, Default)]
+pub struct Dataset {
+    records: Arc<Vec<Record>>,
+}
+
+impl Dataset {
+    /// Wrap a vector of records.
+    pub fn new(records: Vec<Record>) -> Self {
+        Dataset {
+            records: Arc::new(records),
+        }
+    }
+
+    /// The empty dataset.
+    pub fn empty() -> Self {
+        Dataset::default()
+    }
+
+    /// Number of records (the dataset's cardinality).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True iff the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Borrow the records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Obtain an owned vector, avoiding a copy when uniquely referenced.
+    pub fn into_records(self) -> Vec<Record> {
+        Arc::try_unwrap(self.records).unwrap_or_else(|arc| arc.as_ref().clone())
+    }
+
+    /// Iterate over the records.
+    pub fn iter(&self) -> std::slice::Iter<'_, Record> {
+        self.records.iter()
+    }
+}
+
+impl From<Vec<Record>> for Dataset {
+    fn from(records: Vec<Record>) -> Self {
+        Dataset::new(records)
+    }
+}
+
+impl FromIterator<Record> for Dataset {
+    fn from_iter<I: IntoIterator<Item = Record>>(iter: I) -> Self {
+        Dataset::new(iter.into_iter().collect())
+    }
+}
+
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.records() == other.records()
+    }
+}
+impl Eq for Dataset {}
+
+/// A named attribute in a [`Schema`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Field {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute type tag.
+    pub dtype: DataType,
+}
+
+/// Type tags for schema declarations; execution remains dynamically typed,
+/// schemas serve documentation, storage layout, and optimizer hints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataType {
+    /// Boolean attribute.
+    Bool,
+    /// 64-bit integer attribute.
+    Int,
+    /// 64-bit float attribute.
+    Float,
+    /// String attribute.
+    Str,
+}
+
+/// An ordered list of named, typed attributes describing a dataset.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from `(name, type)` pairs.
+    pub fn new(fields: Vec<(impl Into<String>, DataType)>) -> Self {
+        Schema {
+            fields: fields
+                .into_iter()
+                .map(|(name, dtype)| Field {
+                    name: name.into(),
+                    dtype,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of attributes.
+    pub fn width(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// The attributes.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Resolve an attribute name to its index.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Check a record's fields against this schema (`Null` matches any type).
+    pub fn check(&self, record: &Record) -> Result<()> {
+        if record.width() != self.width() {
+            return Err(RheemError::Type {
+                expected: format!("record of width {}", self.width()),
+                found: format!("record of width {}", record.width()),
+            });
+        }
+        for (i, field) in self.fields.iter().enumerate() {
+            let v = record.get(i)?;
+            let ok = matches!(
+                (field.dtype, v),
+                (_, Value::Null)
+                    | (DataType::Bool, Value::Bool(_))
+                    | (DataType::Int, Value::Int(_))
+                    | (DataType::Float, Value::Float(_))
+                    | (DataType::Str, Value::Str(_))
+            );
+            if !ok {
+                return Err(RheemError::Type {
+                    expected: format!("{:?} for attribute `{}`", field.dtype, field.name),
+                    found: format!("{v:?}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn value_ordering_is_total_across_variants() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-1),
+            Value::Int(7),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(0.0),
+            Value::Float(f64::NAN),
+            Value::str("a"),
+            Value::str("b"),
+        ];
+        for w in vals.windows(2) {
+            assert!(w[0] < w[1], "{:?} should sort before {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn nan_is_equal_to_itself_and_hash_consistent() {
+        let a = Value::Float(f64::NAN);
+        let b = Value::Float(f64::NAN);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn negative_zero_differs_from_positive_zero_consistently() {
+        let neg = Value::Float(-0.0);
+        let pos = Value::Float(0.0);
+        assert_ne!(neg, pos);
+        assert!(neg < pos);
+    }
+
+    #[test]
+    fn int_float_cross_variant_comparison_uses_rank() {
+        // Documented behaviour: Int(5) and Float(5.0) are distinct values.
+        assert_ne!(Value::Int(5), Value::Float(5.0));
+        assert!(Value::Int(5) < Value::Float(5.0));
+    }
+
+    #[test]
+    fn value_accessors_report_type_errors() {
+        assert!(Value::str("x").as_int().is_err());
+        assert!(Value::Int(3).as_str().is_err());
+        assert_eq!(Value::Int(3).as_float().unwrap(), 3.0);
+        assert!(Value::Bool(true).as_bool().unwrap());
+    }
+
+    #[test]
+    fn record_macro_and_accessors() {
+        let r = rec![42i64, "alice", 2.5, true];
+        assert_eq!(r.width(), 4);
+        assert_eq!(r.int(0).unwrap(), 42);
+        assert_eq!(r.str(1).unwrap(), "alice");
+        assert_eq!(r.float(2).unwrap(), 2.5);
+        assert!(r.bool(3).unwrap());
+        assert!(matches!(
+            r.get(9),
+            Err(RheemError::FieldOutOfBounds { index: 9, width: 4 })
+        ));
+    }
+
+    #[test]
+    fn record_project_and_concat() {
+        let r = rec![1i64, "a", 2i64];
+        let p = r.project(&[2, 0]).unwrap();
+        assert_eq!(p, rec![2i64, 1i64]);
+        assert!(r.project(&[5]).is_err());
+        let c = r.concat(&rec!["b"]);
+        assert_eq!(c.width(), 4);
+        assert_eq!(c.str(3).unwrap(), "b");
+    }
+
+    #[test]
+    fn dataset_shared_and_owned_access() {
+        let d = Dataset::new(vec![rec![1i64], rec![2i64]]);
+        let d2 = d.clone();
+        assert_eq!(d, d2);
+        assert_eq!(d.len(), 2);
+        // `into_records` on a shared dataset must copy, leaving the clone intact.
+        let owned = d.into_records();
+        assert_eq!(owned.len(), 2);
+        assert_eq!(d2.len(), 2);
+        // Uniquely owned datasets unwrap without copying (observable only via
+        // behaviour: it still yields the records).
+        let unique = Dataset::new(vec![rec![3i64]]);
+        assert_eq!(unique.into_records(), vec![rec![3i64]]);
+    }
+
+    #[test]
+    fn schema_check_accepts_matching_and_null() {
+        let s = Schema::new(vec![("id", DataType::Int), ("name", DataType::Str)]);
+        assert_eq!(s.index_of("name"), Some(1));
+        assert!(s.check(&rec![1i64, "x"]).is_ok());
+        let with_null = Record::new(vec![Value::Null, Value::str("x")]);
+        assert!(s.check(&with_null).is_ok());
+    }
+
+    #[test]
+    fn schema_check_rejects_wrong_width_and_type() {
+        let s = Schema::new(vec![("id", DataType::Int)]);
+        assert!(s.check(&rec![1i64, 2i64]).is_err());
+        assert!(s.check(&rec!["oops"]).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(rec![1i64, "a"].to_string(), "(1, a)");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+}

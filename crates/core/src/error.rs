@@ -1,0 +1,136 @@
+//! Error types for the RHEEM core.
+//!
+//! All fallible public APIs in this workspace return [`RheemError`] (or a
+//! crate-local error that converts into it). The variants mirror the stages
+//! of the paper's pipeline: plan construction, optimization, and execution.
+
+use std::fmt;
+
+use crate::plan::NodeId;
+
+/// The unified error type of the RHEEM core.
+#[derive(Debug)]
+pub enum RheemError {
+    /// A plan failed structural validation (bad arity, cycle, dangling edge).
+    InvalidPlan(String),
+    /// A record did not have the shape an operator expected.
+    Type {
+        /// What the operator expected, e.g. `"Int at field 2"`.
+        expected: String,
+        /// What was actually found.
+        found: String,
+    },
+    /// A field index was out of bounds for a record.
+    FieldOutOfBounds {
+        /// The requested field index.
+        index: usize,
+        /// The record's width.
+        width: usize,
+    },
+    /// The optimizer could not produce an execution plan.
+    Optimizer(String),
+    /// No registered platform can execute the given operator.
+    NoPlatformFor {
+        /// Display name of the unsupported operator.
+        op: String,
+        /// Node carrying the operator.
+        node: NodeId,
+    },
+    /// A platform was referenced by name but is not registered.
+    UnknownPlatform(String),
+    /// A task atom failed on its platform (possibly after retries).
+    Execution {
+        /// Platform that ran the atom.
+        platform: String,
+        /// Human-readable cause.
+        message: String,
+    },
+    /// The storage layer reported a failure.
+    Storage(String),
+    /// A dataset id was not found in any registered store.
+    DatasetNotFound(String),
+    /// A requested operation exceeded its configured budget (e.g. timeout).
+    BudgetExceeded(String),
+    /// A declarative query failed to parse or plan.
+    Query(String),
+    /// Wrapper for I/O failures (local files, simulated HDFS spill, ...).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for RheemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RheemError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            RheemError::Type { expected, found } => {
+                write!(f, "type error: expected {expected}, found {found}")
+            }
+            RheemError::FieldOutOfBounds { index, width } => {
+                write!(f, "field index {index} out of bounds for record of width {width}")
+            }
+            RheemError::Optimizer(msg) => write!(f, "optimizer error: {msg}"),
+            RheemError::NoPlatformFor { op, node } => {
+                write!(f, "no registered platform supports operator {op} (node {node})")
+            }
+            RheemError::UnknownPlatform(name) => write!(f, "unknown platform: {name}"),
+            RheemError::Execution { platform, message } => {
+                write!(f, "execution failed on platform {platform}: {message}")
+            }
+            RheemError::Storage(msg) => write!(f, "storage error: {msg}"),
+            RheemError::DatasetNotFound(id) => write!(f, "dataset not found: {id}"),
+            RheemError::BudgetExceeded(msg) => write!(f, "budget exceeded: {msg}"),
+            RheemError::Query(msg) => write!(f, "query error: {msg}"),
+            RheemError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RheemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RheemError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RheemError {
+    fn from(e: std::io::Error) -> Self {
+        RheemError::Io(e)
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, RheemError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RheemError::Type {
+            expected: "Int at field 2".into(),
+            found: "Str(\"x\")".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("expected Int at field 2"));
+        assert!(s.contains("Str"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: RheemError = io.into();
+        assert!(matches!(e, RheemError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn field_out_of_bounds_message() {
+        let e = RheemError::FieldOutOfBounds { index: 5, width: 3 };
+        assert_eq!(
+            e.to_string(),
+            "field index 5 out of bounds for record of width 3"
+        );
+    }
+}

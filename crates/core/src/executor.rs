@@ -1,0 +1,306 @@
+//! The executor (§4.2): schedules task atoms on their platforms, monitors
+//! progress, copes with failures, and aggregates results.
+//!
+//! Duties, verbatim from the paper: "(i) scheduling the resulting execution
+//! plan on the selected data processing frameworks, (ii) monitoring the
+//! progress of plan execution, (iii) coping with failures, and
+//! (iv) aggregating and returning results to users."
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use crate::cost::MovementCostModel;
+use crate::data::Dataset;
+use crate::error::{Result, RheemError};
+use crate::plan::{ExecutionPlan, NodeId};
+use crate::platform::{AtomInputs, ExecutionContext, PlatformRegistry};
+
+/// Executor tuning.
+#[derive(Clone, Debug)]
+pub struct ExecutorConfig {
+    /// How many times a failed atom is retried before the job fails.
+    pub max_retries: usize,
+    /// Wall-clock budget for the whole job (the paper's baselines were
+    /// "stopped after 22 hours"; benchmarks use this to reproduce that).
+    pub timeout: Option<Duration>,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            max_retries: 2,
+            timeout: None,
+        }
+    }
+}
+
+/// Per-atom monitoring record.
+#[derive(Clone, Debug)]
+pub struct AtomStats {
+    /// Atom id within the execution plan.
+    pub atom_id: usize,
+    /// Platform that executed it.
+    pub platform: String,
+    /// Attempts used (1 = no retry).
+    pub attempts: usize,
+    /// Wall-clock execution time of the successful attempt.
+    pub wall: Duration,
+    /// Records entering the atom across its boundary.
+    pub records_in: u64,
+    /// Records produced by operators inside the atom.
+    pub records_out: u64,
+    /// Deterministic simulated overhead reported by the platform.
+    pub simulated_overhead_ms: f64,
+    /// Simulated elapsed time reported by the platform (critical path).
+    pub simulated_elapsed_ms: f64,
+    /// Simulated cost of moving the atom's inputs across platforms.
+    pub movement_cost_ms: f64,
+}
+
+/// Job-level monitoring summary.
+#[derive(Clone, Debug, Default)]
+pub struct ExecutionStats {
+    /// One record per executed atom, in schedule order.
+    pub atoms: Vec<AtomStats>,
+    /// Total wall-clock time of the job.
+    pub total_wall: Duration,
+    /// Total simulated movement cost.
+    pub total_movement_ms: f64,
+    /// Total retries across all atoms.
+    pub retries: usize,
+}
+
+impl ExecutionStats {
+    /// Distinct platforms that participated in the job.
+    pub fn platforms_used(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.atoms.iter().map(|a| a.platform.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Total simulated overhead charged by platforms.
+    pub fn total_simulated_overhead_ms(&self) -> f64 {
+        self.atoms.iter().map(|a| a.simulated_overhead_ms).sum()
+    }
+
+    /// Total simulated elapsed time of the job: the platforms' critical
+    /// paths plus inter-platform movement. This is the figure-of-merit the
+    /// benchmark harness reports (deterministic and host-independent).
+    pub fn total_simulated_ms(&self) -> f64 {
+        self.atoms.iter().map(|a| a.simulated_elapsed_ms).sum::<f64>() + self.total_movement_ms
+    }
+
+    /// A human-readable monitoring report (one line per atom).
+    pub fn explain(&self) -> String {
+        let mut s = String::from(
+            "atom  platform     attempts  in→out records     simulated_ms  movement_ms
+",
+        );
+        for a in &self.atoms {
+            s.push_str(&format!(
+                "{:<4}  {:<11}  {:<8}  {:>7} → {:<7}  {:>12.2}  {:>11.2}
+",
+                a.atom_id,
+                a.platform,
+                a.attempts,
+                a.records_in,
+                a.records_out,
+                a.simulated_elapsed_ms,
+                a.movement_cost_ms,
+            ));
+        }
+        s.push_str(&format!(
+            "total: {:.2} simulated ms ({:.2} movement), {:.2} ms wall, {} retries
+",
+            self.total_simulated_ms(),
+            self.total_movement_ms,
+            self.total_wall.as_secs_f64() * 1e3,
+            self.retries,
+        ));
+        s
+    }
+}
+
+/// Observer of job progress (§4.2 duty ii: "monitoring the progress of
+/// plan execution"). All methods have empty defaults; implement only what
+/// you need. Callbacks run synchronously on the executor's thread.
+pub trait ProgressListener: Send + Sync {
+    /// An atom is about to run (after its inputs were gathered).
+    fn on_atom_start(&self, _atom_id: usize, _platform: &str) {}
+    /// An attempt failed and will be retried.
+    fn on_atom_retry(&self, _atom_id: usize, _attempt: usize, _error: &RheemError) {}
+    /// An atom completed; its monitoring record is final.
+    fn on_atom_complete(&self, _stats: &AtomStats) {}
+    /// The whole job completed successfully.
+    fn on_job_complete(&self, _stats: &ExecutionStats) {}
+}
+
+/// The result the executor aggregates for the user (§4.2 duty iv).
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Output dataset per sink node.
+    pub outputs: HashMap<NodeId, Dataset>,
+    /// Monitoring data (§4.2 duty ii).
+    pub stats: ExecutionStats,
+}
+
+impl JobResult {
+    /// The single output of a single-sink job.
+    pub fn single(&self) -> Result<&Dataset> {
+        if self.outputs.len() == 1 {
+            Ok(self.outputs.values().next().expect("len checked"))
+        } else {
+            Err(RheemError::Execution {
+                platform: "executor".into(),
+                message: format!("expected exactly one sink, found {}", self.outputs.len()),
+            })
+        }
+    }
+}
+
+/// Schedules execution plans across registered platforms.
+#[derive(Clone)]
+pub struct Executor {
+    platforms: PlatformRegistry,
+    movement: MovementCostModel,
+    config: ExecutorConfig,
+    listener: Option<std::sync::Arc<dyn ProgressListener>>,
+}
+
+impl Executor {
+    /// Build an executor over the given platforms.
+    pub fn new(platforms: PlatformRegistry) -> Self {
+        Executor {
+            platforms,
+            movement: MovementCostModel::default(),
+            config: ExecutorConfig::default(),
+            listener: None,
+        }
+    }
+
+    /// Attach a progress listener.
+    pub fn with_listener(mut self, listener: std::sync::Arc<dyn ProgressListener>) -> Self {
+        self.listener = Some(listener);
+        self
+    }
+
+    /// Replace the movement cost model used for monitoring.
+    pub fn with_movement(mut self, movement: MovementCostModel) -> Self {
+        self.movement = movement;
+        self
+    }
+
+    /// Replace the executor configuration.
+    pub fn with_config(mut self, config: ExecutorConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Run an execution plan to completion.
+    pub fn execute(&self, plan: &ExecutionPlan, ctx: &ExecutionContext) -> Result<JobResult> {
+        let started = Instant::now();
+        let mut node_outputs: HashMap<NodeId, Dataset> = HashMap::new();
+        let mut stats = ExecutionStats::default();
+
+        for atom in &plan.atoms {
+            self.check_timeout(started)?;
+            let platform = self.platforms.get(&atom.platform)?;
+
+            // Gather boundary inputs and account for data movement.
+            let mut inputs: AtomInputs = HashMap::new();
+            let mut records_in = 0u64;
+            let mut movement_cost_ms = 0.0;
+            for edge in &atom.inputs {
+                let data = node_outputs.get(&edge.producer).ok_or_else(|| {
+                    RheemError::InvalidPlan(format!(
+                        "atom {} needs output of node {} before it was produced",
+                        atom.id, edge.producer
+                    ))
+                })?;
+                records_in += data.len() as u64;
+                let from = &plan.assignments[edge.producer.0];
+                movement_cost_ms += self.movement.cost(from, &atom.platform, data.len() as f64);
+                inputs.insert((edge.consumer, edge.slot), data.clone());
+            }
+
+            if let Some(l) = &self.listener {
+                l.on_atom_start(atom.id, &atom.platform);
+            }
+
+            // Execute with bounded retries (§4.2 duty iii).
+            let atom_started = Instant::now();
+            let mut attempts = 0usize;
+            let result = loop {
+                attempts += 1;
+                self.check_timeout(started)?;
+                let injected = ctx
+                    .failure_injector
+                    .as_ref()
+                    .is_some_and(|inj| inj.should_fail(&atom.platform));
+                let outcome = if injected {
+                    Err(RheemError::Execution {
+                        platform: atom.platform.clone(),
+                        message: format!("injected failure on atom {}", atom.id),
+                    })
+                } else {
+                    platform.execute_atom(&plan.physical, atom, &inputs, ctx)
+                };
+                match outcome {
+                    Ok(r) => break r,
+                    Err(e) if attempts <= self.config.max_retries => {
+                        stats.retries += 1;
+                        if let Some(l) = &self.listener {
+                            l.on_atom_retry(atom.id, attempts, &e);
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+
+            let wall = atom_started.elapsed();
+            stats.atoms.push(AtomStats {
+                atom_id: atom.id,
+                platform: atom.platform.clone(),
+                attempts,
+                wall,
+                records_in,
+                records_out: result.records_processed,
+                simulated_overhead_ms: result.simulated_overhead_ms,
+                simulated_elapsed_ms: result.simulated_elapsed_ms,
+                movement_cost_ms,
+            });
+            stats.total_movement_ms += movement_cost_ms;
+            if let Some(l) = &self.listener {
+                l.on_atom_complete(stats.atoms.last().expect("just pushed"));
+            }
+
+            for (node, data) in result.outputs {
+                node_outputs.insert(node, data);
+            }
+        }
+
+        stats.total_wall = started.elapsed();
+        if let Some(l) = &self.listener {
+            l.on_job_complete(&stats);
+        }
+        let outputs = plan
+            .physical
+            .sinks()
+            .into_iter()
+            .filter_map(|s| node_outputs.get(&s).map(|d| (s, d.clone())))
+            .collect();
+        Ok(JobResult { outputs, stats })
+    }
+
+    fn check_timeout(&self, started: Instant) -> Result<()> {
+        if let Some(budget) = self.config.timeout {
+            if started.elapsed() > budget {
+                return Err(RheemError::BudgetExceeded(format!(
+                    "job exceeded its {budget:?} budget"
+                )));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,354 @@
+//! A reference single-threaded plan-fragment interpreter.
+//!
+//! This is the core of the "plain Java program" execution style from the
+//! paper's Figure 2 experiment: no partitioning, no scheduling, no fixed
+//! overheads — just straight-line evaluation of operators over full batches.
+//! The `JavaPlatform` delegates to it wholesale; partitioned platforms reuse
+//! it for loop bodies and non-partitionable custom operators.
+
+use std::collections::HashMap;
+
+use crate::data::Dataset;
+use crate::error::{Result, RheemError};
+use crate::kernels;
+use crate::physical::PhysicalOp;
+use crate::plan::{NodeId, PhysicalPlan};
+use crate::platform::{AtomInputs, ExecutionContext};
+use crate::rec;
+
+/// The result of interpreting a plan fragment.
+#[derive(Clone, Debug, Default)]
+pub struct FragmentRun {
+    /// Output dataset of every executed node.
+    pub outputs: HashMap<NodeId, Dataset>,
+    /// Total records produced across all executed operators.
+    pub records_processed: u64,
+}
+
+/// Interpret the given `nodes` of `plan` in order.
+///
+/// Each node's inputs are resolved first from previously executed nodes in
+/// this fragment, then from `boundary` (datasets crossing the atom
+/// boundary). `loop_state`, when present, binds any [`PhysicalOp::LoopInput`]
+/// node.
+pub fn run_fragment(
+    plan: &PhysicalPlan,
+    nodes: &[NodeId],
+    boundary: &AtomInputs,
+    ctx: &ExecutionContext,
+    loop_state: Option<&Dataset>,
+) -> Result<FragmentRun> {
+    let mut run = FragmentRun::default();
+    for &id in nodes {
+        let node = plan.node(id);
+        let mut inputs: Vec<Dataset> = Vec::with_capacity(node.inputs.len());
+        for (slot, producer) in node.inputs.iter().enumerate() {
+            let ds = if let Some(d) = run.outputs.get(producer) {
+                d.clone()
+            } else if let Some(d) = boundary.get(&(id, slot)) {
+                d.clone()
+            } else {
+                return Err(RheemError::InvalidPlan(format!(
+                    "node {id} input slot {slot} (producer {producer}) is not available"
+                )));
+            };
+            inputs.push(ds);
+        }
+        let out = execute_op(&node.op, &inputs, ctx, loop_state)?;
+        run.records_processed += out.len() as u64;
+        run.outputs.insert(id, out);
+    }
+    Ok(run)
+}
+
+/// Execute a single physical operator on gathered inputs.
+pub fn execute_op(
+    op: &PhysicalOp,
+    inputs: &[Dataset],
+    ctx: &ExecutionContext,
+    loop_state: Option<&Dataset>,
+) -> Result<Dataset> {
+    let in0 = || inputs[0].records();
+    let out = match op {
+        PhysicalOp::CollectionSource { data, .. } => data.clone(),
+        PhysicalOp::StorageSource { dataset_id } => ctx.storage()?.read(dataset_id)?,
+        PhysicalOp::LoopInput => loop_state
+            .cloned()
+            .ok_or_else(|| RheemError::InvalidPlan("LoopInput outside a loop body".into()))?,
+        PhysicalOp::Map(u) => Dataset::new(kernels::map(in0(), u)),
+        PhysicalOp::FlatMap(u) => Dataset::new(kernels::flat_map(in0(), u)),
+        PhysicalOp::Filter(u) => Dataset::new(kernels::filter(in0(), u)),
+        PhysicalOp::Project { indices } => Dataset::new(kernels::project(in0(), indices)?),
+        PhysicalOp::SortGroupBy { key, group } => {
+            let groups = kernels::sort_group(in0(), key);
+            Dataset::new(kernels::apply_group_map(&groups, group))
+        }
+        PhysicalOp::HashGroupBy { key, group } => {
+            let groups = kernels::hash_group(in0(), key);
+            Dataset::new(kernels::apply_group_map(&groups, group))
+        }
+        PhysicalOp::ReduceByKey { key, reduce } => {
+            Dataset::new(kernels::reduce_by_key(in0(), key, reduce))
+        }
+        PhysicalOp::GlobalReduce { reduce } => Dataset::new(kernels::global_reduce(in0(), reduce)),
+        PhysicalOp::Sort { key, descending } => {
+            Dataset::new(kernels::sort(in0(), key, *descending))
+        }
+        PhysicalOp::Distinct => Dataset::new(kernels::distinct(in0())),
+        PhysicalOp::Sample { fraction, seed } => {
+            Dataset::new(kernels::sample(in0(), *fraction, *seed, 0))
+        }
+        PhysicalOp::Limit { n } => Dataset::new(kernels::limit(in0(), *n)),
+        PhysicalOp::ZipWithId => Dataset::new(kernels::zip_with_id(in0(), 0)),
+        PhysicalOp::HashJoin {
+            left_key,
+            right_key,
+        } => Dataset::new(kernels::hash_join(
+            inputs[0].records(),
+            inputs[1].records(),
+            left_key,
+            right_key,
+        )),
+        PhysicalOp::SortMergeJoin {
+            left_key,
+            right_key,
+        } => Dataset::new(kernels::sort_merge_join(
+            inputs[0].records(),
+            inputs[1].records(),
+            left_key,
+            right_key,
+        )),
+        PhysicalOp::NestedLoopJoin { predicate, .. } => Dataset::new(kernels::nested_loop_join(
+            inputs[0].records(),
+            inputs[1].records(),
+            predicate,
+        )),
+        PhysicalOp::CrossProduct => Dataset::new(kernels::cross_product(
+            inputs[0].records(),
+            inputs[1].records(),
+        )),
+        PhysicalOp::Union => Dataset::new(kernels::union(
+            inputs[0].records(),
+            inputs[1].records(),
+        )),
+        PhysicalOp::Loop {
+            body,
+            condition,
+            max_iterations,
+            ..
+        } => run_loop(body, condition, *max_iterations, inputs[0].clone(), ctx)?,
+        PhysicalOp::Custom(c) => c.execute(inputs)?,
+        PhysicalOp::CollectSink => inputs[0].clone(),
+        PhysicalOp::CountSink => Dataset::new(vec![rec![inputs[0].len() as i64]]),
+        PhysicalOp::StorageSink { dataset_id } => {
+            ctx.storage()?.write(dataset_id, &inputs[0])?;
+            inputs[0].clone()
+        }
+    };
+    Ok(out)
+}
+
+/// Drive a [`PhysicalOp::Loop`]: evaluate the condition before each
+/// iteration, run the body on the current state, and use the body's terminal
+/// output as the next state.
+pub fn run_loop(
+    body: &PhysicalPlan,
+    condition: &crate::udf::LoopCondUdf,
+    max_iterations: u64,
+    initial: Dataset,
+    ctx: &ExecutionContext,
+) -> Result<Dataset> {
+    let terminal = *body
+        .terminals()
+        .first()
+        .ok_or_else(|| RheemError::InvalidPlan("loop body has no terminal".into()))?;
+    let all_nodes: Vec<NodeId> = body.nodes().iter().map(|n| n.id).collect();
+    let mut state = initial;
+    let mut iteration = 0u64;
+    while iteration < max_iterations && (condition.f)(iteration, state.records()) {
+        let run = run_fragment(body, &all_nodes, &HashMap::new(), ctx, Some(&state))?;
+        state = run
+            .outputs
+            .get(&terminal)
+            .cloned()
+            .ok_or_else(|| RheemError::InvalidPlan("loop body terminal missing".into()))?;
+        iteration += 1;
+    }
+    Ok(state)
+}
+
+/// Helper for `CountSink`-style outputs.
+pub fn count_record(n: usize) -> Dataset {
+    Dataset::new(vec![rec![n as i64]])
+}
+
+/// Helper: extract the single integer a `CountSink` produced.
+pub fn read_count(d: &Dataset) -> Result<i64> {
+    match d.records() {
+        [r] => r.int(0),
+        other => Err(RheemError::Type {
+            expected: "a single count record".into(),
+            found: format!("{} records", other.len()),
+        }),
+    }
+}
+
+/// Convenience for tests and docs: execute a whole plan on the reference
+/// interpreter and return the outputs of its sink nodes.
+pub fn run_plan(plan: &PhysicalPlan, ctx: &ExecutionContext) -> Result<HashMap<NodeId, Dataset>> {
+    plan.validate()?;
+    let all: Vec<NodeId> = plan.nodes().iter().map(|n| n.id).collect();
+    let run = run_fragment(plan, &all, &HashMap::new(), ctx, None)?;
+    Ok(plan
+        .sinks()
+        .into_iter()
+        .filter_map(|s| run.outputs.get(&s).map(|d| (s, d.clone())))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Value;
+    use crate::plan::PlanBuilder;
+    use crate::udf::{FilterUdf, GroupMapUdf, KeyUdf, LoopCondUdf, MapUdf, ReduceUdf};
+    use crate::platform::{MemoryStorageService, StorageService};
+    use std::sync::Arc;
+
+    fn nums(n: i64) -> Vec<crate::data::Record> {
+        (0..n).map(|i| rec![i]).collect()
+    }
+
+    #[test]
+    fn straight_line_pipeline() {
+        let mut b = PlanBuilder::new();
+        let src = b.collection("s", nums(10));
+        let f = b.filter(src, FilterUdf::new("even", |r| r.int(0).unwrap() % 2 == 0));
+        let m = b.map(f, MapUdf::new("sq", |r| rec![r.int(0).unwrap().pow(2)]));
+        let sink = b.collect(m);
+        let plan = b.build().unwrap();
+        let out = run_plan(&plan, &ExecutionContext::new()).unwrap();
+        let result = &out[&sink];
+        assert_eq!(
+            result.records(),
+            &[rec![0i64], rec![4i64], rec![16i64], rec![36i64], rec![64i64]]
+        );
+    }
+
+    #[test]
+    fn group_by_and_reduce_agree() {
+        let data = vec![
+            rec!["a", 1i64],
+            rec!["b", 2i64],
+            rec!["a", 3i64],
+            rec!["b", 4i64],
+        ];
+        let mut b = PlanBuilder::new();
+        let src = b.collection("s", data.clone());
+        let g = b.group_by(
+            src,
+            KeyUdf::field(0),
+            GroupMapUdf::new("sum", |k, members| {
+                let total: i64 = members.iter().map(|r| r.int(1).unwrap()).sum();
+                vec![crate::data::Record::new(vec![k.clone(), Value::Int(total)])]
+            }),
+        );
+        let gs = b.collect(g);
+        let src2 = b.collection("s2", data);
+        let red = b.reduce_by_key(
+            src2,
+            KeyUdf::field(0),
+            ReduceUdf::new("sum", |a, x| {
+                rec![a.str(0).unwrap(), a.int(1).unwrap() + x.int(1).unwrap()]
+            }),
+        );
+        let rs = b.collect(red);
+        let plan = b.build().unwrap();
+        let out = run_plan(&plan, &ExecutionContext::new()).unwrap();
+        assert_eq!(out[&gs], out[&rs]);
+        assert_eq!(out[&gs].records(), &[rec!["a", 4i64], rec!["b", 6i64]]);
+    }
+
+    #[test]
+    fn loop_accumulates_state() {
+        // State: single record [x]; body: x <- x * 2; 5 iterations.
+        let mut body = PlanBuilder::new();
+        let li = body.loop_input();
+        body.map(li, MapUdf::new("x2", |r| rec![r.int(0).unwrap() * 2]));
+        let body = body.build_fragment().unwrap();
+
+        let mut b = PlanBuilder::new();
+        let src = b.collection("s", vec![rec![1i64]]);
+        let l = b.repeat(src, body, LoopCondUdf::fixed_iterations(5), 100);
+        let sink = b.collect(l);
+        let plan = b.build().unwrap();
+        let out = run_plan(&plan, &ExecutionContext::new()).unwrap();
+        assert_eq!(out[&sink].records(), &[rec![32i64]]);
+    }
+
+    #[test]
+    fn loop_respects_max_iterations_cap() {
+        let mut body = PlanBuilder::new();
+        let li = body.loop_input();
+        body.map(li, MapUdf::new("inc", |r| rec![r.int(0).unwrap() + 1]));
+        let body = body.build_fragment().unwrap();
+
+        let mut b = PlanBuilder::new();
+        let src = b.collection("s", vec![rec![0i64]]);
+        // Condition always true, but cap at 3.
+        let l = b.repeat(src, body, LoopCondUdf::new("forever", |_, _| true), 3);
+        let sink = b.collect(l);
+        let plan = b.build().unwrap();
+        let out = run_plan(&plan, &ExecutionContext::new()).unwrap();
+        assert_eq!(out[&sink].records(), &[rec![3i64]]);
+    }
+
+    #[test]
+    fn storage_source_and_sink_round_trip() {
+        let storage = Arc::new(MemoryStorageService::new());
+        storage
+            .write("in", &Dataset::new(nums(4)))
+            .unwrap();
+        let ctx = ExecutionContext::new().with_storage(storage.clone());
+
+        let mut b = PlanBuilder::new();
+        let src = b.storage_source("in");
+        let m = b.map(src, MapUdf::new("inc", |r| rec![r.int(0).unwrap() + 1]));
+        b.write_storage(m, "out");
+        let plan = b.build().unwrap();
+        run_plan(&plan, &ctx).unwrap();
+        let out = storage.read("out").unwrap();
+        assert_eq!(out.records(), &[rec![1i64], rec![2i64], rec![3i64], rec![4i64]]);
+    }
+
+    #[test]
+    fn count_sink_counts() {
+        let mut b = PlanBuilder::new();
+        let src = b.collection("s", nums(7));
+        let sink = b.count(src);
+        let plan = b.build().unwrap();
+        let out = run_plan(&plan, &ExecutionContext::new()).unwrap();
+        assert_eq!(read_count(&out[&sink]).unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let mut b = PlanBuilder::new();
+        let src = b.collection("s", nums(2));
+        let m = b.map(src, MapUdf::new("id", |r| r.clone()));
+        b.collect(m);
+        let plan = b.build().unwrap();
+        // Run only the map node, without providing its boundary input.
+        let err = run_fragment(&plan, &[m], &HashMap::new(), &ExecutionContext::new(), None);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn loop_input_outside_loop_errors() {
+        let mut b = PlanBuilder::new();
+        let li = b.loop_input();
+        b.collect(li);
+        let plan = b.build().unwrap();
+        assert!(run_plan(&plan, &ExecutionContext::new()).is_err());
+    }
+}

@@ -1,0 +1,415 @@
+//! Shared record-batch algorithms ("execution kernels").
+//!
+//! Execution operators are platform-*dependent* (§3.1), but the underlying
+//! per-batch algorithms are not: a hash join hashes the same way whether the
+//! batch is a whole dataset (single-process platform) or one partition of a
+//! shuffle (parallel platform). Platforms compose these kernels with their
+//! own orchestration — partitioning, threading, disk materialization,
+//! simulated overheads — which is where their cost profiles diverge.
+
+use std::collections::HashMap;
+
+use crate::data::{Record, Value};
+use crate::error::Result;
+use crate::udf::{FilterUdf, FlatMapUdf, GroupMapUdf, KeyUdf, MapUdf, PairPredicateFn, ReduceUdf};
+
+/// Apply a map UDF to every record.
+pub fn map(records: &[Record], udf: &MapUdf) -> Vec<Record> {
+    records.iter().map(|r| (udf.f)(r)).collect()
+}
+
+/// Apply a flat-map UDF to every record.
+pub fn flat_map(records: &[Record], udf: &FlatMapUdf) -> Vec<Record> {
+    let mut out = Vec::with_capacity(records.len());
+    for r in records {
+        out.extend((udf.f)(r));
+    }
+    out
+}
+
+/// Keep records satisfying the predicate.
+pub fn filter(records: &[Record], udf: &FilterUdf) -> Vec<Record> {
+    records.iter().filter(|r| (udf.f)(r)).cloned().collect()
+}
+
+/// Project every record onto the given field indices.
+pub fn project(records: &[Record], indices: &[usize]) -> Result<Vec<Record>> {
+    records.iter().map(|r| r.project(indices)).collect()
+}
+
+/// Group records by key using a hash table. Group order is normalized by
+/// sorting on the key so results are deterministic across platforms.
+pub fn hash_group(records: &[Record], key: &KeyUdf) -> Vec<(Value, Vec<Record>)> {
+    let mut groups: HashMap<Value, Vec<Record>> = HashMap::new();
+    for r in records {
+        groups.entry((key.f)(r)).or_default().push(r.clone());
+    }
+    let mut out: Vec<(Value, Vec<Record>)> = groups.into_iter().collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Group records by key by sorting; same output contract as [`hash_group`]
+/// but with an `O(n log n)` comparison-based profile.
+pub fn sort_group(records: &[Record], key: &KeyUdf) -> Vec<(Value, Vec<Record>)> {
+    let mut keyed: Vec<(Value, Record)> =
+        records.iter().map(|r| ((key.f)(r), r.clone())).collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out: Vec<(Value, Vec<Record>)> = Vec::new();
+    for (k, r) in keyed {
+        match out.last_mut() {
+            Some((lk, group)) if *lk == k => group.push(r),
+            _ => out.push((k, vec![r])),
+        }
+    }
+    out
+}
+
+/// Apply a per-group UDF to grouped records.
+pub fn apply_group_map(groups: &[(Value, Vec<Record>)], udf: &GroupMapUdf) -> Vec<Record> {
+    let mut out = Vec::new();
+    for (k, members) in groups {
+        out.extend((udf.f)(k, members));
+    }
+    out
+}
+
+/// Keyed incremental reduction; one output record per key, ordered by key.
+pub fn reduce_by_key(records: &[Record], key: &KeyUdf, reduce: &ReduceUdf) -> Vec<Record> {
+    let mut acc: HashMap<Value, Record> = HashMap::new();
+    for r in records {
+        let k = (key.f)(r);
+        match acc.remove(&k) {
+            Some(a) => {
+                acc.insert(k, (reduce.f)(a, r));
+            }
+            None => {
+                acc.insert(k, r.clone());
+            }
+        }
+    }
+    let mut keyed: Vec<(Value, Record)> = acc.into_iter().collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    keyed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Reduce all records into at most one.
+pub fn global_reduce(records: &[Record], reduce: &ReduceUdf) -> Vec<Record> {
+    let mut it = records.iter();
+    match it.next() {
+        None => Vec::new(),
+        Some(first) => {
+            let mut acc = first.clone();
+            for r in it {
+                acc = (reduce.f)(acc, r);
+            }
+            vec![acc]
+        }
+    }
+}
+
+/// Hash equi-join; output records are `left ++ right`.
+pub fn hash_join(
+    left: &[Record],
+    right: &[Record],
+    left_key: &KeyUdf,
+    right_key: &KeyUdf,
+) -> Vec<Record> {
+    // Always build on the right and probe with the left so the output order
+    // is deterministic (left-major) regardless of input sizes.
+    let mut table: HashMap<Value, Vec<&Record>> = HashMap::new();
+    for r in right {
+        table.entry((right_key.f)(r)).or_default().push(r);
+    }
+    let mut out = Vec::new();
+    for l in left {
+        if let Some(matches) = table.get(&(left_key.f)(l)) {
+            for r in matches {
+                out.push(l.concat(r));
+            }
+        }
+    }
+    out
+}
+
+/// Sort-merge equi-join; output records are `left ++ right`.
+pub fn sort_merge_join(
+    left: &[Record],
+    right: &[Record],
+    left_key: &KeyUdf,
+    right_key: &KeyUdf,
+) -> Vec<Record> {
+    let mut l: Vec<(Value, &Record)> = left.iter().map(|r| ((left_key.f)(r), r)).collect();
+    let mut r: Vec<(Value, &Record)> = right.iter().map(|r| ((right_key.f)(r), r)).collect();
+    l.sort_by(|a, b| a.0.cmp(&b.0));
+    r.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < l.len() && j < r.len() {
+        match l[i].0.cmp(&r[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Emit the full match rectangle for this key.
+                let key = l[i].0.clone();
+                let i_end = l[i..].iter().take_while(|(k, _)| *k == key).count() + i;
+                let j_end = r[j..].iter().take_while(|(k, _)| *k == key).count() + j;
+                for (_, lrec) in &l[i..i_end] {
+                    for (_, rrec) in &r[j..j_end] {
+                        out.push(lrec.concat(rrec));
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    out
+}
+
+/// Nested-loop theta join with an arbitrary pair predicate.
+pub fn nested_loop_join(
+    left: &[Record],
+    right: &[Record],
+    predicate: &PairPredicateFn,
+) -> Vec<Record> {
+    let mut out = Vec::new();
+    for l in left {
+        for r in right {
+            if predicate(l, r) {
+                out.push(l.concat(r));
+            }
+        }
+    }
+    out
+}
+
+/// Full cross product.
+pub fn cross_product(left: &[Record], right: &[Record]) -> Vec<Record> {
+    let mut out = Vec::with_capacity(left.len() * right.len());
+    for l in left {
+        for r in right {
+            out.push(l.concat(r));
+        }
+    }
+    out
+}
+
+/// Stable sort by key.
+pub fn sort(records: &[Record], key: &KeyUdf, descending: bool) -> Vec<Record> {
+    let mut keyed: Vec<(Value, Record)> =
+        records.iter().map(|r| ((key.f)(r), r.clone())).collect();
+    if descending {
+        keyed.sort_by(|a, b| b.0.cmp(&a.0));
+    } else {
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+    keyed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Duplicate elimination preserving first occurrence order.
+pub fn distinct(records: &[Record]) -> Vec<Record> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for r in records {
+        if seen.insert(r.clone()) {
+            out.push(r.clone());
+        }
+    }
+    out
+}
+
+/// Deterministic Bernoulli sample: record `i` (counting from `offset`) is
+/// kept iff `splitmix64(seed, offset + i) < fraction`.
+///
+/// Indexing by global position (instead of a sequential RNG stream) makes
+/// the decision for each record independent of partitioning, so partitioned
+/// platforms produce exactly the same sample as single-process ones. Kept
+/// dependency-free so the core crate needs no RNG crate.
+pub fn sample(records: &[Record], fraction: f64, seed: u64, offset: u64) -> Vec<Record> {
+    if fraction >= 1.0 {
+        return records.to_vec();
+    }
+    if fraction <= 0.0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, r) in records.iter().enumerate() {
+        let mut z = seed
+            .wrapping_add((offset + i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        if u < fraction {
+            out.push(r.clone());
+        }
+    }
+    out
+}
+
+/// First `n` records.
+pub fn limit(records: &[Record], n: usize) -> Vec<Record> {
+    records.iter().take(n).cloned().collect()
+}
+
+/// Append a unique `Int` id to each record, starting at `offset`.
+///
+/// Partitioned platforms pass disjoint offsets per partition so ids stay
+/// globally unique.
+pub fn zip_with_id(records: &[Record], offset: i64) -> Vec<Record> {
+    records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mut out = r.clone();
+            out.push(Value::Int(offset + i as i64));
+            out
+        })
+        .collect()
+}
+
+/// Bag union (concatenation).
+pub fn union(left: &[Record], right: &[Record]) -> Vec<Record> {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    out.extend_from_slice(left);
+    out.extend_from_slice(right);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rec;
+    use std::sync::Arc;
+
+    fn nums(v: &[i64]) -> Vec<Record> {
+        v.iter().map(|&i| rec![i]).collect()
+    }
+
+    #[test]
+    fn map_filter_flatmap() {
+        let data = nums(&[1, 2, 3]);
+        let doubled = map(&data, &MapUdf::new("x2", |r| rec![r.int(0).unwrap() * 2]));
+        assert_eq!(doubled, nums(&[2, 4, 6]));
+        let odd = filter(&data, &FilterUdf::new("odd", |r| r.int(0).unwrap() % 2 == 1));
+        assert_eq!(odd, nums(&[1, 3]));
+        let dup = flat_map(
+            &data,
+            &FlatMapUdf::new("dup", |r| vec![r.clone(), r.clone()]),
+        );
+        assert_eq!(dup.len(), 6);
+    }
+
+    #[test]
+    fn hash_and_sort_group_agree() {
+        let data = vec![rec![1i64, "a"], rec![2i64, "b"], rec![1i64, "c"]];
+        let key = KeyUdf::field(0);
+        let h = hash_group(&data, &key);
+        let s = sort_group(&data, &key);
+        assert_eq!(h, s);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].1.len(), 2);
+    }
+
+    #[test]
+    fn reduce_by_key_sums_per_key() {
+        let data = vec![rec![1i64, 10i64], rec![2i64, 5i64], rec![1i64, 7i64]];
+        let out = reduce_by_key(
+            &data,
+            &KeyUdf::field(0),
+            &ReduceUdf::new("sum", |a, b| {
+                rec![a.int(0).unwrap(), a.int(1).unwrap() + b.int(1).unwrap()]
+            }),
+        );
+        assert_eq!(out, vec![rec![1i64, 17i64], rec![2i64, 5i64]]);
+    }
+
+    #[test]
+    fn global_reduce_handles_empty_and_nonempty() {
+        let sum = ReduceUdf::new("sum", |a, b| rec![a.int(0).unwrap() + b.int(0).unwrap()]);
+        assert!(global_reduce(&[], &sum).is_empty());
+        assert_eq!(global_reduce(&nums(&[1, 2, 3]), &sum), nums(&[6]));
+    }
+
+    #[test]
+    fn joins_agree_on_equality_semantics() {
+        let left = vec![rec![1i64, "l1"], rec![2i64, "l2"], rec![2i64, "l2b"]];
+        let right = vec![rec![2i64, "r2"], rec![3i64, "r3"], rec![2i64, "r2b"]];
+        let lk = KeyUdf::field(0);
+        let rk = KeyUdf::field(0);
+        let mut h = hash_join(&left, &right, &lk, &rk);
+        let mut s = sort_merge_join(&left, &right, &lk, &rk);
+        h.sort();
+        s.sort();
+        assert_eq!(h, s);
+        assert_eq!(h.len(), 4); // 2 left × 2 right matches on key 2
+        assert_eq!(h[0].width(), 4);
+    }
+
+    #[test]
+    fn nested_loop_join_matches_predicate() {
+        let left = nums(&[1, 5]);
+        let right = nums(&[3, 4]);
+        let pred: PairPredicateFn =
+            Arc::new(|l, r| l.int(0).unwrap() < r.int(0).unwrap());
+        let out = nested_loop_join(&left, &right, &pred);
+        assert_eq!(out.len(), 2); // (1,3), (1,4)
+    }
+
+    #[test]
+    fn cross_product_size() {
+        let out = cross_product(&nums(&[1, 2]), &nums(&[3, 4, 5]));
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn sort_directions() {
+        let data = nums(&[3, 1, 2]);
+        assert_eq!(sort(&data, &KeyUdf::field(0), false), nums(&[1, 2, 3]));
+        assert_eq!(sort(&data, &KeyUdf::field(0), true), nums(&[3, 2, 1]));
+    }
+
+    #[test]
+    fn distinct_preserves_first_occurrence() {
+        let data = nums(&[2, 1, 2, 3, 1]);
+        assert_eq!(distinct(&data), nums(&[2, 1, 3]));
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_bounded() {
+        let data = nums(&(0..1000).collect::<Vec<_>>());
+        let a = sample(&data, 0.3, 42, 0);
+        let b = sample(&data, 0.3, 42, 0);
+        assert_eq!(a, b);
+        // Loose statistical bound: expect ~300 ± 100.
+        assert!(a.len() > 200 && a.len() < 400, "got {}", a.len());
+        assert!(sample(&data, 0.0, 1, 0).is_empty());
+        assert_eq!(sample(&data, 1.0, 1, 0).len(), 1000);
+    }
+
+    #[test]
+    fn sample_is_partition_invariant() {
+        let data = nums(&(0..100).collect::<Vec<_>>());
+        let whole = sample(&data, 0.5, 7, 0);
+        let mut parts = sample(&data[..40], 0.5, 7, 0);
+        parts.extend(sample(&data[40..], 0.5, 7, 40));
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn limit_and_zip_with_id() {
+        let data = nums(&[5, 6, 7]);
+        assert_eq!(limit(&data, 2), nums(&[5, 6]));
+        assert_eq!(limit(&data, 99), data);
+        let z = zip_with_id(&data, 100);
+        assert_eq!(z[0], rec![5i64, 100i64]);
+        assert_eq!(z[2], rec![7i64, 102i64]);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        assert_eq!(union(&nums(&[1]), &nums(&[2, 3])), nums(&[1, 2, 3]));
+    }
+}

@@ -1,0 +1,55 @@
+//! # rheem-core
+//!
+//! A Rust implementation of the RHEEM vision from *"Road to Freedom in Big
+//! Data Analytics"* (EDBT 2016): a three-layer data processing abstraction
+//! that frees applications from being tied to a single data processing
+//! platform.
+//!
+//! The three layers (paper Figure 1):
+//!
+//! 1. **Application layer** — [`logical`] operators: application-specific
+//!    UDF templates over *data quanta* ([`data::Record`]).
+//! 2. **Core layer** — [`physical`] operators and [`plan::PhysicalPlan`]s;
+//!    the [`optimizer`] translates logical plans via declarative
+//!    [`mapping`]s, rewrites them, assigns a platform to every operator
+//!    using pluggable [`cost`] models (including inter-platform movement
+//!    costs), and splits the result into task atoms.
+//! 3. **Platform layer** — [`platform::Platform`] implementations (see the
+//!    `rheem-platforms` crate) run task atoms with their own execution
+//!    operators; the [`executor`] schedules atoms, monitors progress,
+//!    retries failures, and aggregates results.
+//!
+//! Start with [`context::RheemContext`] and [`plan::PlanBuilder`].
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod cost;
+pub mod data;
+pub mod error;
+pub mod executor;
+pub mod interpreter;
+pub mod kernels;
+pub mod logical;
+pub mod mapping;
+pub mod optimizer;
+pub mod physical;
+pub mod plan;
+pub mod platform;
+pub mod query;
+pub mod streaming;
+pub mod triples;
+pub mod udf;
+
+pub use context::RheemContext;
+pub use data::{DataType, Dataset, Field, Record, Schema, Value};
+pub use error::{Result, RheemError};
+pub use executor::{AtomStats, ExecutionStats, Executor, ExecutorConfig, JobResult, ProgressListener};
+pub use logical::{LogicalOperator, LogicalPayload, LogicalPlan, LogicalPlanBuilder};
+pub use optimizer::MultiPlatformOptimizer;
+pub use physical::{CustomPhysicalOp, OpKind, PhysicalOp};
+pub use plan::{ExecutionPlan, NodeId, PhysicalPlan, PlanBuilder, TaskAtom};
+pub use platform::{
+    AtomInputs, AtomResult, ExecutionContext, FailureInjector, Platform, PlatformRegistry,
+    ProcessingProfile, StorageService,
+};

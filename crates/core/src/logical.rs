@@ -1,0 +1,419 @@
+//! The logical operator layer (application layer).
+//!
+//! "A logical operator is an abstract UDF that acts as an
+//! application-specific unit of data processing ... a template where users
+//! provide the logic of their tasks" (§3.1). Applications (the ML, cleaning,
+//! and graph crates) define their own operator types implementing
+//! [`LogicalOperator`]; the trait's only obligation is to expose a
+//! [`LogicalPayload`] — the UDFs plus enough structure for the application
+//! optimizer to translate the operator into physical operators via the
+//! declarative [`crate::mapping::MappingRegistry`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::data::{Dataset, Record};
+use crate::error::{Result, RheemError};
+use crate::physical::CustomPhysicalOp;
+use crate::udf::{
+    FilterUdf, FlatMapUdf, GroupMapUdf, KeyUdf, LoopCondUdf, MapUdf, PairPredicateFn, ReduceUdf,
+};
+
+/// The algorithmic-needs description a logical operator exposes.
+///
+/// Crucially this expresses *what* must happen to the data quanta, never
+/// *how* or *where*: the mapping registry picks the algorithm
+/// (e.g. hash vs sort grouping) and the multi-platform optimizer picks the
+/// platform.
+#[derive(Clone)]
+pub enum LogicalPayload {
+    /// In-memory data source.
+    Source {
+        /// Display name.
+        name: String,
+        /// The data.
+        data: Dataset,
+    },
+    /// Storage-layer data source.
+    StorageSource {
+        /// Dataset id in the storage layer.
+        dataset_id: String,
+    },
+    /// Loop-state placeholder inside loop bodies.
+    LoopInput,
+    /// One-to-one transformation.
+    Map(MapUdf),
+    /// One-to-many transformation.
+    FlatMap(FlatMapUdf),
+    /// Selection.
+    Filter(FilterUdf),
+    /// Field projection.
+    Project {
+        /// Indices to keep.
+        indices: Vec<usize>,
+    },
+    /// Keyed grouping with a per-group transformation.
+    Group {
+        /// Grouping key.
+        key: KeyUdf,
+        /// Per-group transformation.
+        group: GroupMapUdf,
+    },
+    /// Keyed incremental reduction.
+    Reduce {
+        /// Grouping key.
+        key: KeyUdf,
+        /// Associative combiner.
+        reduce: ReduceUdf,
+    },
+    /// Global reduction.
+    GlobalReduce {
+        /// Associative combiner.
+        reduce: ReduceUdf,
+    },
+    /// Equality join.
+    Join {
+        /// Left key.
+        left_key: KeyUdf,
+        /// Right key.
+        right_key: KeyUdf,
+    },
+    /// Theta join.
+    ThetaJoin {
+        /// Display name.
+        name: String,
+        /// Join predicate.
+        predicate: PairPredicateFn,
+        /// Fraction of the cross product kept.
+        selectivity: f64,
+    },
+    /// Cross product.
+    CrossProduct,
+    /// Bag union.
+    Union,
+    /// Sorting.
+    Sort {
+        /// Sort key.
+        key: KeyUdf,
+        /// Direction.
+        descending: bool,
+    },
+    /// Duplicate elimination.
+    Distinct,
+    /// Prefix of `n` quanta.
+    Limit {
+        /// Number of quanta to keep.
+        n: usize,
+    },
+    /// Iteration over a logical sub-plan.
+    Loop {
+        /// The loop body (must contain exactly one `LoopInput` node).
+        body: LogicalPlan,
+        /// Continuation test.
+        condition: LoopCondUdf,
+        /// Iteration cap.
+        max_iterations: u64,
+    },
+    /// Application-defined physical operator used directly.
+    Custom(Arc<dyn CustomPhysicalOp>),
+    /// Materializing sink.
+    Collect,
+    /// Counting sink.
+    Count,
+    /// Storage-writing sink.
+    StorageSink {
+        /// Dataset id in the storage layer.
+        dataset_id: String,
+    },
+}
+
+impl LogicalPayload {
+    /// Number of inputs this payload consumes.
+    pub fn arity(&self) -> usize {
+        match self {
+            LogicalPayload::Source { .. }
+            | LogicalPayload::StorageSource { .. }
+            | LogicalPayload::LoopInput => 0,
+            LogicalPayload::Join { .. }
+            | LogicalPayload::ThetaJoin { .. }
+            | LogicalPayload::CrossProduct
+            | LogicalPayload::Union => 2,
+            LogicalPayload::Custom(op) => op.arity(),
+            _ => 1,
+        }
+    }
+
+    /// The kind key used for mapping-registry lookups (e.g. `"kind:Group"`).
+    pub fn kind_key(&self) -> &'static str {
+        match self {
+            LogicalPayload::Source { .. } | LogicalPayload::StorageSource { .. } => "kind:Source",
+            LogicalPayload::LoopInput => "kind:LoopInput",
+            LogicalPayload::Map(_) => "kind:Map",
+            LogicalPayload::FlatMap(_) => "kind:FlatMap",
+            LogicalPayload::Filter(_) => "kind:Filter",
+            LogicalPayload::Project { .. } => "kind:Project",
+            LogicalPayload::Group { .. } => "kind:Group",
+            LogicalPayload::Reduce { .. } => "kind:Reduce",
+            LogicalPayload::GlobalReduce { .. } => "kind:GlobalReduce",
+            LogicalPayload::Join { .. } => "kind:Join",
+            LogicalPayload::ThetaJoin { .. } => "kind:ThetaJoin",
+            LogicalPayload::CrossProduct => "kind:CrossProduct",
+            LogicalPayload::Union => "kind:Union",
+            LogicalPayload::Sort { .. } => "kind:Sort",
+            LogicalPayload::Distinct => "kind:Distinct",
+            LogicalPayload::Limit { .. } => "kind:Limit",
+            LogicalPayload::Loop { .. } => "kind:Loop",
+            LogicalPayload::Custom(_) => "kind:Custom",
+            LogicalPayload::Collect | LogicalPayload::Count | LogicalPayload::StorageSink { .. } => {
+                "kind:Sink"
+            }
+        }
+    }
+}
+
+impl fmt::Debug for LogicalPayload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind_key())
+    }
+}
+
+/// An application-specific logical operator.
+///
+/// This is the Rust rendition of the paper's abstract `LogicalOperator` with
+/// its `applyOp` method: instead of a dynamically invoked method, operators
+/// surrender their UDF payload once, and RHEEM embeds it into physical plans.
+pub trait LogicalOperator: Send + Sync {
+    /// The operator's name; mapping-registry entries key on this.
+    fn name(&self) -> &str;
+
+    /// The operator's algorithmic needs.
+    fn payload(&self) -> LogicalPayload;
+}
+
+/// A plain named logical operator, for applications without custom types.
+pub struct SimpleLogicalOperator {
+    name: String,
+    payload: LogicalPayload,
+}
+
+impl SimpleLogicalOperator {
+    /// Wrap a payload under a name.
+    pub fn new(name: impl Into<String>, payload: LogicalPayload) -> Self {
+        SimpleLogicalOperator {
+            name: name.into(),
+            payload,
+        }
+    }
+}
+
+impl LogicalOperator for SimpleLogicalOperator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn payload(&self) -> LogicalPayload {
+        self.payload.clone()
+    }
+}
+
+/// Identifier of a node inside a logical plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LogicalNodeId(pub usize);
+
+/// One logical operator instance with its producers.
+#[derive(Clone)]
+pub struct LogicalNode {
+    /// This node's id.
+    pub id: LogicalNodeId,
+    /// The operator.
+    pub op: Arc<dyn LogicalOperator>,
+    /// Producer nodes, one per input slot.
+    pub inputs: Vec<LogicalNodeId>,
+}
+
+/// A DAG of logical operators.
+#[derive(Clone, Default)]
+pub struct LogicalPlan {
+    nodes: Vec<LogicalNode>,
+}
+
+impl LogicalPlan {
+    /// All nodes in topological (construction) order.
+    pub fn nodes(&self) -> &[LogicalNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the plan has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node by id.
+    pub fn node(&self, id: LogicalNodeId) -> &LogicalNode {
+        &self.nodes[id.0]
+    }
+
+    /// Structural validation (arity + edge direction).
+    pub fn validate(&self) -> Result<()> {
+        if self.nodes.is_empty() {
+            return Err(RheemError::InvalidPlan("logical plan has no nodes".into()));
+        }
+        for n in &self.nodes {
+            let arity = n.op.payload().arity();
+            if n.inputs.len() != arity {
+                return Err(RheemError::InvalidPlan(format!(
+                    "logical node {} ({}) has {} inputs but arity {}",
+                    n.id.0,
+                    n.op.name(),
+                    n.inputs.len(),
+                    arity
+                )));
+            }
+            for &i in &n.inputs {
+                if i.0 >= n.id.0 {
+                    return Err(RheemError::InvalidPlan(format!(
+                        "logical node {} consumes non-earlier node {}",
+                        n.id.0, i.0
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Textual rendering for debugging.
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        for n in &self.nodes {
+            let inputs: Vec<String> = n.inputs.iter().map(|i| format!("l{}", i.0)).collect();
+            s.push_str(&format!(
+                "l{}: {} [{}] <- [{}]\n",
+                n.id.0,
+                n.op.name(),
+                n.op.payload().kind_key(),
+                inputs.join(", ")
+            ));
+        }
+        s
+    }
+}
+
+impl fmt::Debug for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LogicalPlan({} nodes)", self.nodes.len())
+    }
+}
+
+/// Fluent builder for [`LogicalPlan`]s.
+#[derive(Default)]
+pub struct LogicalPlanBuilder {
+    nodes: Vec<LogicalNode>,
+}
+
+impl LogicalPlanBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        LogicalPlanBuilder::default()
+    }
+
+    /// Append an application-defined operator.
+    pub fn add(&mut self, op: Arc<dyn LogicalOperator>, inputs: Vec<LogicalNodeId>) -> LogicalNodeId {
+        let id = LogicalNodeId(self.nodes.len());
+        self.nodes.push(LogicalNode { id, op, inputs });
+        id
+    }
+
+    /// Append a [`SimpleLogicalOperator`].
+    pub fn add_simple(
+        &mut self,
+        name: impl Into<String>,
+        payload: LogicalPayload,
+        inputs: Vec<LogicalNodeId>,
+    ) -> LogicalNodeId {
+        self.add(Arc::new(SimpleLogicalOperator::new(name, payload)), inputs)
+    }
+
+    /// In-memory source.
+    pub fn source(&mut self, name: impl Into<String>, records: Vec<Record>) -> LogicalNodeId {
+        let name = name.into();
+        self.add_simple(
+            name.clone(),
+            LogicalPayload::Source {
+                name,
+                data: Dataset::new(records),
+            },
+            vec![],
+        )
+    }
+
+    /// Materializing sink.
+    pub fn collect(&mut self, input: LogicalNodeId) -> LogicalNodeId {
+        self.add_simple("collect", LogicalPayload::Collect, vec![input])
+    }
+
+    /// Finish and validate.
+    pub fn build(self) -> Result<LogicalPlan> {
+        let plan = LogicalPlan { nodes: self.nodes };
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rec;
+
+    struct Initialize;
+    impl LogicalOperator for Initialize {
+        fn name(&self) -> &str {
+            "Initialize"
+        }
+        fn payload(&self) -> LogicalPayload {
+            LogicalPayload::Map(MapUdf::new("init", |r| r.clone()))
+        }
+    }
+
+    #[test]
+    fn custom_operator_types_plug_in() {
+        let mut b = LogicalPlanBuilder::new();
+        let src = b.source("pts", vec![rec![1.0f64]]);
+        let init = b.add(Arc::new(Initialize), vec![src]);
+        b.collect(init);
+        let plan = b.build().unwrap();
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.node(LogicalNodeId(1)).op.name(), "Initialize");
+        assert_eq!(plan.node(LogicalNodeId(1)).op.payload().kind_key(), "kind:Map");
+    }
+
+    #[test]
+    fn payload_arity() {
+        assert_eq!(LogicalPayload::CrossProduct.arity(), 2);
+        assert_eq!(LogicalPayload::Distinct.arity(), 1);
+        assert_eq!(LogicalPayload::LoopInput.arity(), 0);
+        assert_eq!(LogicalPayload::Collect.arity(), 1);
+    }
+
+    #[test]
+    fn validation_catches_bad_arity() {
+        let mut b = LogicalPlanBuilder::new();
+        let src = b.source("s", vec![rec![1i64]]);
+        // Union needs two inputs; give it one.
+        b.add_simple("u", LogicalPayload::Union, vec![src]);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn explain_lists_kinds() {
+        let mut b = LogicalPlanBuilder::new();
+        let src = b.source("s", vec![rec![1i64]]);
+        b.collect(src);
+        let text = b.build().unwrap().explain();
+        assert!(text.contains("kind:Source"));
+        assert!(text.contains("kind:Sink"));
+    }
+}

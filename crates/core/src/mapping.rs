@@ -1,0 +1,319 @@
+//! Declarative operator mappings.
+//!
+//! "Defining mappings between execution and physical operators is the
+//! developers' responsibility whenever a new platform is plugged to the
+//! core ... Developers will provide only a declarative specification of such
+//! mappings" (§3.1, *Flexible operator mappings*). We realize this with a
+//! [`MappingRegistry`] backed by the RDF-flavoured
+//! [`crate::triples::TripleStore`]:
+//!
+//! * `(<logical-name> mapsTo <physical-variant>)` — admissible translations;
+//! * `(<logical-name> prefers <physical-variant>)` — a context hint that
+//!   overrides the default choice (the paper's "hints to the optimizer for
+//!   choosing the right physical operator at run time");
+//! * `(kind:<K> mapsTo/prefers <physical-variant>)` — fallbacks per payload
+//!   kind, so applications only assert facts for the operators they care
+//!   about.
+//!
+//! Physical variants are identified by name (e.g. `"HashGroupBy"`); the
+//! application optimizer interprets the chosen name when instantiating the
+//! physical operator with the logical operator's UDF payload.
+
+use crate::triples::{Term, TripleStore};
+
+/// Physical-variant names understood by the application optimizer.
+pub mod variants {
+    /// Hash-based grouping.
+    pub const HASH_GROUP_BY: &str = "HashGroupBy";
+    /// Sort-based grouping.
+    pub const SORT_GROUP_BY: &str = "SortGroupBy";
+    /// Hash-based equi-join.
+    pub const HASH_JOIN: &str = "HashJoin";
+    /// Sort-merge equi-join.
+    pub const SORT_MERGE_JOIN: &str = "SortMergeJoin";
+}
+
+/// The predicate names used in the triple store.
+mod predicates {
+    pub const MAPS_TO: &str = "mapsTo";
+    pub const PREFERS: &str = "prefers";
+}
+
+/// Registry of logical-to-physical operator mappings.
+#[derive(Clone, Debug)]
+pub struct MappingRegistry {
+    store: TripleStore,
+}
+
+impl Default for MappingRegistry {
+    fn default() -> Self {
+        MappingRegistry::with_defaults()
+    }
+}
+
+impl MappingRegistry {
+    /// An empty registry with no mappings at all.
+    pub fn empty() -> Self {
+        MappingRegistry {
+            store: TripleStore::new(),
+        }
+    }
+
+    /// A registry pre-loaded with the kind-level defaults RHEEM ships.
+    pub fn with_defaults() -> Self {
+        let mut r = MappingRegistry::empty();
+        // Grouping has two admissible algorithms; hash is the default.
+        r.register_kind("kind:Group", variants::HASH_GROUP_BY);
+        r.register_kind("kind:Group", variants::SORT_GROUP_BY);
+        r.prefer_kind("kind:Group", variants::HASH_GROUP_BY);
+        // Equi-joins likewise.
+        r.register_kind("kind:Join", variants::HASH_JOIN);
+        r.register_kind("kind:Join", variants::SORT_MERGE_JOIN);
+        r.prefer_kind("kind:Join", variants::HASH_JOIN);
+        r
+    }
+
+    /// Declare that logical operator `logical` may translate to `variant`.
+    pub fn register(&mut self, logical: &str, variant: &str) {
+        self.store
+            .assert_parts(logical, predicates::MAPS_TO, variant);
+    }
+
+    /// Declare a kind-level admissible translation (e.g. for `"kind:Group"`).
+    pub fn register_kind(&mut self, kind_key: &str, variant: &str) {
+        self.store
+            .assert_parts(kind_key, predicates::MAPS_TO, variant);
+    }
+
+    /// Hint that `logical` should preferably translate to `variant`.
+    pub fn prefer(&mut self, logical: &str, variant: &str) {
+        // A new preference replaces any previous one for the same subject.
+        let old: Vec<_> = self
+            .store
+            .query(
+                &Term::is(logical),
+                &Term::is(predicates::PREFERS),
+                &Term::Any,
+            )
+            .into_iter()
+            .cloned()
+            .collect();
+        for t in old {
+            self.store.retract(&t);
+        }
+        self.store
+            .assert_parts(logical, predicates::PREFERS, variant);
+    }
+
+    /// Kind-level preference.
+    pub fn prefer_kind(&mut self, kind_key: &str, variant: &str) {
+        self.prefer(kind_key, variant);
+    }
+
+    /// All admissible variants for a logical operator, most specific first.
+    pub fn alternatives(&self, logical_name: &str, kind_key: &str) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .store
+            .objects(logical_name, predicates::MAPS_TO)
+            .into_iter()
+            .map(String::from)
+            .collect();
+        if out.is_empty() {
+            out = self
+                .store
+                .objects(kind_key, predicates::MAPS_TO)
+                .into_iter()
+                .map(String::from)
+                .collect();
+        }
+        out
+    }
+
+    /// Resolve the variant to instantiate for a logical operator.
+    ///
+    /// Resolution order: operator-specific preference, operator-specific
+    /// unique mapping, kind-level preference, first kind-level mapping.
+    /// Returns `None` when the registry has no opinion (the optimizer then
+    /// falls back to its built-in default for the payload).
+    pub fn choose(&self, logical_name: &str, kind_key: &str) -> Option<String> {
+        if let Some(v) = self.store.object(logical_name, predicates::PREFERS) {
+            return Some(v.to_string());
+        }
+        let specific = self.store.objects(logical_name, predicates::MAPS_TO);
+        if specific.len() == 1 {
+            return Some(specific[0].to_string());
+        }
+        if let Some(v) = self.store.object(kind_key, predicates::PREFERS) {
+            return Some(v.to_string());
+        }
+        self.store
+            .objects(kind_key, predicates::MAPS_TO)
+            .first()
+            .map(|s| s.to_string())
+    }
+
+    /// Direct access to the backing triple store (read-only).
+    pub fn triples(&self) -> &TripleStore {
+        &self.store
+    }
+
+    /// Load declarative mapping facts from a textual specification — the
+    /// paper's challenge 1 ("Developers will specify mappings between
+    /// operators ... The optimizer will use this ... representation as a
+    /// first-class citizen"). One fact per line:
+    ///
+    /// ```text
+    /// # BigDansing's Block operator groups by sorting.
+    /// Block       mapsTo   SortGroupBy
+    /// kind:Join   prefers  SortMergeJoin
+    /// ```
+    ///
+    /// Returns the number of facts loaded.
+    pub fn load_spec(&mut self, text: &str) -> crate::error::Result<usize> {
+        let mut loaded = 0usize;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            let [subject, predicate, object] = parts.as_slice() else {
+                return Err(crate::error::RheemError::InvalidPlan(format!(
+                    "mapping spec line {}: expected `subject predicate object`, got `{raw}`",
+                    lineno + 1
+                )));
+            };
+            match *predicate {
+                "mapsTo" => self.register(subject, object),
+                "prefers" => self.prefer(subject, object),
+                other => {
+                    return Err(crate::error::RheemError::InvalidPlan(format!(
+                        "mapping spec line {}: unknown predicate `{other}`",
+                        lineno + 1
+                    )))
+                }
+            }
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+
+    /// Render every fact in the registry as a loadable specification.
+    pub fn dump_spec(&self) -> String {
+        let mut out = String::new();
+        for t in self.store.iter() {
+            out.push_str(&format!("{} {} {}\n", t.subject, t.predicate, t.object));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_choose_hash_variants() {
+        let r = MappingRegistry::with_defaults();
+        assert_eq!(
+            r.choose("Process", "kind:Group").as_deref(),
+            Some(variants::HASH_GROUP_BY)
+        );
+        assert_eq!(
+            r.choose("anything", "kind:Join").as_deref(),
+            Some(variants::HASH_JOIN)
+        );
+    }
+
+    #[test]
+    fn operator_specific_preference_overrides_kind_default() {
+        let mut r = MappingRegistry::with_defaults();
+        r.prefer("Process", variants::SORT_GROUP_BY);
+        assert_eq!(
+            r.choose("Process", "kind:Group").as_deref(),
+            Some(variants::SORT_GROUP_BY)
+        );
+        // Other operators still get the default.
+        assert_eq!(
+            r.choose("Other", "kind:Group").as_deref(),
+            Some(variants::HASH_GROUP_BY)
+        );
+    }
+
+    #[test]
+    fn re_preferring_replaces_the_old_hint() {
+        let mut r = MappingRegistry::with_defaults();
+        r.prefer("Process", variants::SORT_GROUP_BY);
+        r.prefer("Process", variants::HASH_GROUP_BY);
+        assert_eq!(
+            r.choose("Process", "kind:Group").as_deref(),
+            Some(variants::HASH_GROUP_BY)
+        );
+    }
+
+    #[test]
+    fn unique_specific_mapping_wins_without_preference() {
+        let mut r = MappingRegistry::with_defaults();
+        r.register("Block", variants::SORT_GROUP_BY);
+        assert_eq!(
+            r.choose("Block", "kind:Group").as_deref(),
+            Some(variants::SORT_GROUP_BY)
+        );
+    }
+
+    #[test]
+    fn ambiguous_specific_mappings_fall_back_to_kind() {
+        let mut r = MappingRegistry::with_defaults();
+        r.register("Block", variants::SORT_GROUP_BY);
+        r.register("Block", variants::HASH_GROUP_BY);
+        assert_eq!(
+            r.choose("Block", "kind:Group").as_deref(),
+            Some(variants::HASH_GROUP_BY) // kind preference
+        );
+    }
+
+    #[test]
+    fn empty_registry_has_no_opinion() {
+        let r = MappingRegistry::empty();
+        assert_eq!(r.choose("x", "kind:Group"), None);
+        assert!(r.alternatives("x", "kind:Group").is_empty());
+    }
+
+    #[test]
+    fn spec_round_trip() {
+        let mut r = MappingRegistry::empty();
+        let spec = "\
+# grouping\n\
+Block mapsTo SortGroupBy\n\
+kind:Join prefers SortMergeJoin   # joins sort-merge by default\n\
+\n";
+        assert_eq!(r.load_spec(spec).unwrap(), 2);
+        assert_eq!(
+            r.choose("Block", "kind:Group").as_deref(),
+            Some(variants::SORT_GROUP_BY)
+        );
+        assert_eq!(
+            r.choose("x", "kind:Join").as_deref(),
+            Some(variants::SORT_MERGE_JOIN)
+        );
+        // Dump reloads into an equivalent registry.
+        let mut r2 = MappingRegistry::empty();
+        r2.load_spec(&r.dump_spec()).unwrap();
+        assert_eq!(r.triples().len(), r2.triples().len());
+    }
+
+    #[test]
+    fn spec_rejects_malformed_lines() {
+        let mut r = MappingRegistry::empty();
+        assert!(r.load_spec("just two").is_err());
+        assert!(r.load_spec("a unknownPredicate b").is_err());
+    }
+
+    #[test]
+    fn alternatives_prefer_specific_over_kind() {
+        let mut r = MappingRegistry::with_defaults();
+        assert_eq!(r.alternatives("x", "kind:Group").len(), 2);
+        r.register("x", variants::SORT_GROUP_BY);
+        assert_eq!(r.alternatives("x", "kind:Group"), vec![variants::SORT_GROUP_BY]);
+    }
+}

@@ -1,0 +1,202 @@
+//! The application optimizer (§4.1): translates logical plans into physical
+//! plans, guided by the declarative mapping registry, and applies the
+//! application-level rewrites.
+//!
+//! Each logical operator's [`crate::logical::LogicalPayload`] is wrapped in
+//! the physical operator chosen by [`MappingRegistry::choose`] — the
+//! "wrapper operator" of §3.2. Applications insert "enhancer operators"
+//! (like the K-means `GroupBy` example) directly in their logical plans;
+//! the sound algebraic rewrites live in
+//! [`crate::optimizer::rewrites::apply_rewrites`].
+
+use crate::error::{Result, RheemError};
+use crate::logical::{LogicalPayload, LogicalPlan};
+use crate::mapping::{variants, MappingRegistry};
+use crate::physical::PhysicalOp;
+use crate::plan::{NodeId, PhysicalPlan, PlanBuilder};
+
+/// Translate a logical plan into a physical plan.
+pub fn lower(plan: &LogicalPlan, registry: &MappingRegistry) -> Result<PhysicalPlan> {
+    plan.validate()?;
+    let mut b = PlanBuilder::new();
+    let mut physical_ids: Vec<NodeId> = Vec::with_capacity(plan.len());
+    for node in plan.nodes() {
+        let inputs: Vec<NodeId> = node.inputs.iter().map(|i| physical_ids[i.0]).collect();
+        let op = lower_payload(node.op.name(), node.op.payload(), registry)?;
+        physical_ids.push(b.add(op, inputs));
+    }
+    // `build_fragment` skips the sink requirement: loop bodies are also
+    // lowered through this path.
+    b.build_fragment()
+}
+
+fn lower_payload(
+    name: &str,
+    payload: LogicalPayload,
+    registry: &MappingRegistry,
+) -> Result<PhysicalOp> {
+    let kind = payload.kind_key();
+    let choice = registry.choose(name, kind);
+    let op = match payload {
+        LogicalPayload::Source { name, data } => PhysicalOp::CollectionSource { data, name },
+        LogicalPayload::StorageSource { dataset_id } => PhysicalOp::StorageSource { dataset_id },
+        LogicalPayload::LoopInput => PhysicalOp::LoopInput,
+        LogicalPayload::Map(u) => PhysicalOp::Map(u),
+        LogicalPayload::FlatMap(u) => PhysicalOp::FlatMap(u),
+        LogicalPayload::Filter(u) => PhysicalOp::Filter(u),
+        LogicalPayload::Project { indices } => PhysicalOp::Project { indices },
+        LogicalPayload::Group { key, group } => match choice.as_deref() {
+            Some(variants::SORT_GROUP_BY) => PhysicalOp::SortGroupBy { key, group },
+            Some(variants::HASH_GROUP_BY) | None => PhysicalOp::HashGroupBy { key, group },
+            Some(other) => {
+                return Err(RheemError::Optimizer(format!(
+                    "mapping for {name} names unknown grouping variant {other}"
+                )))
+            }
+        },
+        LogicalPayload::Reduce { key, reduce } => PhysicalOp::ReduceByKey { key, reduce },
+        LogicalPayload::GlobalReduce { reduce } => PhysicalOp::GlobalReduce { reduce },
+        LogicalPayload::Join {
+            left_key,
+            right_key,
+        } => match choice.as_deref() {
+            Some(variants::SORT_MERGE_JOIN) => PhysicalOp::SortMergeJoin {
+                left_key,
+                right_key,
+            },
+            Some(variants::HASH_JOIN) | None => PhysicalOp::HashJoin {
+                left_key,
+                right_key,
+            },
+            Some(other) => {
+                return Err(RheemError::Optimizer(format!(
+                    "mapping for {name} names unknown join variant {other}"
+                )))
+            }
+        },
+        LogicalPayload::ThetaJoin {
+            name,
+            predicate,
+            selectivity,
+        } => PhysicalOp::NestedLoopJoin {
+            predicate,
+            name,
+            selectivity,
+        },
+        LogicalPayload::CrossProduct => PhysicalOp::CrossProduct,
+        LogicalPayload::Union => PhysicalOp::Union,
+        LogicalPayload::Sort { key, descending } => PhysicalOp::Sort { key, descending },
+        LogicalPayload::Distinct => PhysicalOp::Distinct,
+        LogicalPayload::Limit { n } => PhysicalOp::Limit { n },
+        LogicalPayload::Loop {
+            body,
+            condition,
+            max_iterations,
+        } => {
+            let body = lower(&body, registry)?;
+            PhysicalOp::Loop {
+                body: std::sync::Arc::new(body),
+                condition,
+                max_iterations,
+                expected_iterations: max_iterations as f64,
+            }
+        }
+        LogicalPayload::Custom(op) => PhysicalOp::Custom(op),
+        LogicalPayload::Collect => PhysicalOp::CollectSink,
+        LogicalPayload::Count => PhysicalOp::CountSink,
+        LogicalPayload::StorageSink { dataset_id } => PhysicalOp::StorageSink { dataset_id },
+    };
+    Ok(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::LogicalPlanBuilder;
+    use crate::rec;
+    use crate::udf::{GroupMapUdf, KeyUdf};
+
+    fn group_plan() -> LogicalPlan {
+        let mut b = LogicalPlanBuilder::new();
+        let src = b.source("s", vec![rec![1i64], rec![1i64], rec![2i64]]);
+        let g = b.add_simple(
+            "Process",
+            LogicalPayload::Group {
+                key: KeyUdf::field(0),
+                group: GroupMapUdf::identity(),
+            },
+            vec![src],
+        );
+        b.collect(g);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn default_mapping_picks_hash_group_by() {
+        let physical = lower(&group_plan(), &MappingRegistry::with_defaults()).unwrap();
+        assert!(matches!(
+            physical.nodes()[1].op,
+            PhysicalOp::HashGroupBy { .. }
+        ));
+    }
+
+    #[test]
+    fn preference_hint_switches_to_sort_group_by() {
+        let mut registry = MappingRegistry::with_defaults();
+        registry.prefer("Process", variants::SORT_GROUP_BY);
+        let physical = lower(&group_plan(), &registry).unwrap();
+        assert!(matches!(
+            physical.nodes()[1].op,
+            PhysicalOp::SortGroupBy { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_variant_in_mapping_is_an_error() {
+        let mut registry = MappingRegistry::with_defaults();
+        registry.prefer("Process", "QuantumGroupBy");
+        assert!(matches!(
+            lower(&group_plan(), &registry),
+            Err(RheemError::Optimizer(_))
+        ));
+    }
+
+    #[test]
+    fn logical_loop_lowers_recursively() {
+        let mut body = LogicalPlanBuilder::new();
+        let li = body.add_simple("state", LogicalPayload::LoopInput, vec![]);
+        body.add_simple(
+            "step",
+            LogicalPayload::Map(crate::udf::MapUdf::new("inc", |r| {
+                rec![r.int(0).unwrap() + 1]
+            })),
+            vec![li],
+        );
+        let body = body.build().unwrap();
+
+        let mut b = LogicalPlanBuilder::new();
+        let src = b.source("s", vec![rec![0i64]]);
+        let l = b.add_simple(
+            "train",
+            LogicalPayload::Loop {
+                body,
+                condition: crate::udf::LoopCondUdf::fixed_iterations(2),
+                max_iterations: 2,
+            },
+            vec![src],
+        );
+        b.collect(l);
+        let logical = b.build().unwrap();
+        let physical = lower(&logical, &MappingRegistry::with_defaults()).unwrap();
+        physical.validate().unwrap();
+        assert!(matches!(physical.nodes()[1].op, PhysicalOp::Loop { .. }));
+
+        // And it runs end to end on the reference interpreter.
+        let out = crate::interpreter::run_plan(
+            &physical,
+            &crate::platform::ExecutionContext::new(),
+        )
+        .unwrap();
+        assert_eq!(out.values().next().unwrap().records(), &[rec![2i64]]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Multi-layer optimization (§4).
+//!
+//! * [`application`] — logical → physical translation via declarative
+//!   mappings (§4.1);
+//! * [`rewrites`] — sound UDF-algebra rewrites (§4.1/§4.2 "traditional
+//!   physical optimizations");
+//! * [`enumerate`] — platform assignment by DP with pluggable cost models
+//!   and inter-platform movement costs, plus task-atom splitting (§4.2).
+//!
+//! [`MultiPlatformOptimizer`] wires them together: it is the component in
+//! the middle of the paper's Figure 1.
+
+pub mod application;
+pub mod enumerate;
+pub mod rewrites;
+
+use std::sync::Arc;
+
+use crate::cost::{CardinalityEstimator, MovementCostModel};
+use crate::error::Result;
+use crate::logical::LogicalPlan;
+use crate::mapping::MappingRegistry;
+use crate::plan::{ExecutionPlan, PhysicalPlan};
+use crate::platform::PlatformRegistry;
+
+pub use enumerate::EnumerationConfig;
+
+/// The multi-platform task optimizer (core layer, §4.2).
+#[derive(Clone, Default)]
+pub struct MultiPlatformOptimizer {
+    /// Cardinality estimation used for costing.
+    pub estimator: CardinalityEstimator,
+    /// Inter-platform data movement prices.
+    pub movement: MovementCostModel,
+    /// Logical-to-physical mappings for the application layer.
+    pub mappings: MappingRegistry,
+    /// Enumeration knobs.
+    pub config: OptimizerConfig,
+}
+
+/// Configuration of the whole optimization pipeline.
+#[derive(Clone, Debug)]
+pub struct OptimizerConfig {
+    /// Apply the algebraic rewrite rules before enumeration.
+    pub apply_rewrites: bool,
+    /// Platform enumeration knobs.
+    pub enumeration: EnumerationConfig,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            apply_rewrites: true,
+            enumeration: EnumerationConfig::default(),
+        }
+    }
+}
+
+impl MultiPlatformOptimizer {
+    /// An optimizer with default cost models, mappings, and configuration.
+    pub fn new() -> Self {
+        MultiPlatformOptimizer::default()
+    }
+
+    /// Pin every operator to one platform (disables platform selection).
+    pub fn force_platform(mut self, platform: impl Into<String>) -> Self {
+        self.config.enumeration.forced_platform = Some(platform.into());
+        self
+    }
+
+    /// Ignore data movement costs during enumeration (ablation B).
+    pub fn ignore_movement_costs(mut self) -> Self {
+        self.config.enumeration.consider_movement_costs = false;
+        self
+    }
+
+    /// Disable algebraic rewrites.
+    pub fn without_rewrites(mut self) -> Self {
+        self.config.apply_rewrites = false;
+        self
+    }
+
+    /// Optimize a physical plan into an execution plan.
+    pub fn optimize(
+        &self,
+        plan: PhysicalPlan,
+        platforms: &PlatformRegistry,
+    ) -> Result<ExecutionPlan> {
+        plan.validate()?;
+        let plan = if self.config.apply_rewrites {
+            rewrites::apply_rewrites(plan)?
+        } else {
+            plan
+        };
+        enumerate::enumerate(
+            Arc::new(plan),
+            platforms,
+            &self.estimator,
+            &self.movement,
+            &self.config.enumeration,
+        )
+    }
+
+    /// Lower a logical plan and optimize it in one step.
+    pub fn optimize_logical(
+        &self,
+        plan: &LogicalPlan,
+        platforms: &PlatformRegistry,
+    ) -> Result<ExecutionPlan> {
+        let physical = application::lower(plan, &self.mappings)?;
+        self.optimize(physical, platforms)
+    }
+}

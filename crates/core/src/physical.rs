@@ -1,0 +1,413 @@
+//! The physical operator algebra (core layer).
+//!
+//! A physical operator is "a platform-independent implementation of a
+//! logical operator ... representing an algorithmic decision for executing
+//! an analytic task" (§3.1). The pool below covers relational, ML, and
+//! graph workloads; notably it contains *algorithmic alternatives* for the
+//! same semantics (e.g. [`PhysicalOp::SortGroupBy`] vs
+//! [`PhysicalOp::HashGroupBy`], three join algorithms) among which the
+//! optimizer chooses — exactly the paper's Example 2.
+//!
+//! Extensibility (§5.2): applications plug new algorithms in via
+//! [`CustomPhysicalOp`] without touching this enum — the data cleaning
+//! crate's `IEJoin` is implemented that way, mirroring how the paper's
+//! authors "extended the set of physical RHEEM operators with a new join
+//! operator".
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::data::Dataset;
+use crate::error::Result;
+use crate::plan::PhysicalPlan;
+use crate::udf::{
+    FilterUdf, FlatMapUdf, GroupMapUdf, KeyUdf, LoopCondUdf, MapUdf, PairPredicateFn, ReduceUdf,
+};
+
+/// An application-defined physical operator (extension point).
+///
+/// The default execution path is single-batch; platforms that partition data
+/// call [`CustomPhysicalOp::execute`] once per co-partitioned input set when
+/// [`CustomPhysicalOp::partitionable`] returns `true`, and fall back to a
+/// single gathered call otherwise.
+pub trait CustomPhysicalOp: Send + Sync {
+    /// Display name (also used in operator mappings).
+    fn name(&self) -> &str;
+
+    /// Number of input datasets the operator consumes.
+    fn arity(&self) -> usize;
+
+    /// Execute on fully gathered inputs.
+    fn execute(&self, inputs: &[Dataset]) -> Result<Dataset>;
+
+    /// Estimated output cardinality given input cardinalities.
+    fn output_cardinality(&self, input_cards: &[f64]) -> f64 {
+        input_cards.iter().sum()
+    }
+
+    /// Per-record work multiplier used by platform cost models.
+    fn cost_factor(&self) -> f64 {
+        1.0
+    }
+
+    /// Whether the operator may be applied independently per partition.
+    ///
+    /// `false` (the default) forces platforms to gather inputs first, which
+    /// is the safe choice for joins and other cross-partition operators.
+    fn partitionable(&self) -> bool {
+        false
+    }
+}
+
+/// A platform-independent physical operator, carrying its UDFs and hints.
+#[derive(Clone)]
+pub enum PhysicalOp {
+    // ---------------------------------------------------------------- sources
+    /// An in-memory collection source (arity 0).
+    CollectionSource {
+        /// The data.
+        data: Dataset,
+        /// Display name.
+        name: String,
+    },
+    /// A source reading a named dataset from the storage layer (arity 0).
+    StorageSource {
+        /// Dataset id resolved through the execution context's storage service.
+        dataset_id: String,
+    },
+    /// Placeholder source inside a [`PhysicalOp::Loop`] body, bound to the
+    /// loop state at each iteration (arity 0).
+    LoopInput,
+
+    // ------------------------------------------------------------- unary ops
+    /// Apply a function to each data quantum.
+    Map(MapUdf),
+    /// Apply a 1-to-many function to each data quantum.
+    FlatMap(FlatMapUdf),
+    /// Keep quanta satisfying a predicate.
+    Filter(FilterUdf),
+    /// Keep only the given fields of each quantum.
+    Project {
+        /// Field indices to keep, in output order.
+        indices: Vec<usize>,
+    },
+    /// Group by key via sorting, then apply a per-group function.
+    SortGroupBy {
+        /// Grouping key.
+        key: KeyUdf,
+        /// Per-group transformation.
+        group: GroupMapUdf,
+    },
+    /// Group by key via hashing, then apply a per-group function.
+    HashGroupBy {
+        /// Grouping key.
+        key: KeyUdf,
+        /// Per-group transformation.
+        group: GroupMapUdf,
+    },
+    /// Keyed incremental reduction (one output quantum per key).
+    ReduceByKey {
+        /// Grouping key.
+        key: KeyUdf,
+        /// Associative combiner.
+        reduce: ReduceUdf,
+    },
+    /// Reduce the whole input to (at most) one quantum.
+    GlobalReduce {
+        /// Associative combiner.
+        reduce: ReduceUdf,
+    },
+    /// Sort by key.
+    Sort {
+        /// Sort key.
+        key: KeyUdf,
+        /// Sort direction.
+        descending: bool,
+    },
+    /// Remove duplicate quanta.
+    Distinct,
+    /// Bernoulli sample.
+    Sample {
+        /// Probability of keeping each quantum.
+        fraction: f64,
+        /// RNG seed (kept explicit for reproducibility).
+        seed: u64,
+    },
+    /// Keep the first `n` quanta.
+    Limit {
+        /// Number of quanta to keep.
+        n: usize,
+    },
+    /// Append a unique `Int` id field to each quantum.
+    ZipWithId,
+
+    // ------------------------------------------------------------ binary ops
+    /// Equality join via hashing; output is `left ++ right`.
+    HashJoin {
+        /// Key of the left input.
+        left_key: KeyUdf,
+        /// Key of the right input.
+        right_key: KeyUdf,
+    },
+    /// Equality join via sort-merge; output is `left ++ right`.
+    SortMergeJoin {
+        /// Key of the left input.
+        left_key: KeyUdf,
+        /// Key of the right input.
+        right_key: KeyUdf,
+    },
+    /// Theta join evaluating an arbitrary pair predicate.
+    NestedLoopJoin {
+        /// The join predicate.
+        predicate: PairPredicateFn,
+        /// Display name.
+        name: String,
+        /// Fraction of the cross product kept (cardinality hint).
+        selectivity: f64,
+    },
+    /// Full cross product; output is `left ++ right`.
+    CrossProduct,
+    /// Bag union of two inputs.
+    Union,
+
+    // --------------------------------------------------------------- control
+    /// Iterate a sub-plan until a condition fails (ML-style loops, §3.1 Ex.1).
+    ///
+    /// The body must contain exactly one [`PhysicalOp::LoopInput`] node and
+    /// exactly one sink-less terminal node whose output becomes the next
+    /// loop state.
+    Loop {
+        /// The loop body.
+        body: Arc<PhysicalPlan>,
+        /// Continuation test evaluated *before* each iteration.
+        condition: LoopCondUdf,
+        /// Hard iteration cap (safety net).
+        max_iterations: u64,
+        /// Expected iteration count for the cost model.
+        expected_iterations: f64,
+    },
+
+    /// An application-defined operator (extensibility, §5.2).
+    Custom(Arc<dyn CustomPhysicalOp>),
+
+    // ----------------------------------------------------------------- sinks
+    /// Materialize the input as a job result.
+    CollectSink,
+    /// Produce a single quantum holding the input cardinality.
+    CountSink,
+    /// Write the input to the storage layer under the given id.
+    StorageSink {
+        /// Dataset id for the storage service.
+        dataset_id: String,
+    },
+}
+
+impl PhysicalOp {
+    /// Number of input datasets the operator consumes.
+    pub fn arity(&self) -> usize {
+        match self {
+            PhysicalOp::CollectionSource { .. }
+            | PhysicalOp::StorageSource { .. }
+            | PhysicalOp::LoopInput => 0,
+            PhysicalOp::HashJoin { .. }
+            | PhysicalOp::SortMergeJoin { .. }
+            | PhysicalOp::NestedLoopJoin { .. }
+            | PhysicalOp::CrossProduct
+            | PhysicalOp::Union => 2,
+            PhysicalOp::Custom(op) => op.arity(),
+            _ => 1,
+        }
+    }
+
+    /// True for arity-0 operators.
+    pub fn is_source(&self) -> bool {
+        self.arity() == 0
+    }
+
+    /// True for operators that terminate a plan and surface results.
+    pub fn is_sink(&self) -> bool {
+        matches!(
+            self,
+            PhysicalOp::CollectSink | PhysicalOp::CountSink | PhysicalOp::StorageSink { .. }
+        )
+    }
+
+    /// A short display name, e.g. `Filter(is_adult)`.
+    pub fn name(&self) -> String {
+        match self {
+            PhysicalOp::CollectionSource { name, data } => {
+                format!("CollectionSource({name}, {} quanta)", data.len())
+            }
+            PhysicalOp::StorageSource { dataset_id } => format!("StorageSource({dataset_id})"),
+            PhysicalOp::LoopInput => "LoopInput".into(),
+            PhysicalOp::Map(u) => format!("Map({})", u.name),
+            PhysicalOp::FlatMap(u) => format!("FlatMap({})", u.name),
+            PhysicalOp::Filter(u) => format!("Filter({})", u.name),
+            PhysicalOp::Project { indices } => format!("Project({indices:?})"),
+            PhysicalOp::SortGroupBy { key, group } => {
+                format!("SortGroupBy(key={}, group={})", key.name, group.name)
+            }
+            PhysicalOp::HashGroupBy { key, group } => {
+                format!("HashGroupBy(key={}, group={})", key.name, group.name)
+            }
+            PhysicalOp::ReduceByKey { key, reduce } => {
+                format!("ReduceByKey(key={}, reduce={})", key.name, reduce.name)
+            }
+            PhysicalOp::GlobalReduce { reduce } => format!("GlobalReduce({})", reduce.name),
+            PhysicalOp::Sort { key, descending } => {
+                format!("Sort(key={}, desc={descending})", key.name)
+            }
+            PhysicalOp::Distinct => "Distinct".into(),
+            PhysicalOp::Sample { fraction, .. } => format!("Sample({fraction})"),
+            PhysicalOp::Limit { n } => format!("Limit({n})"),
+            PhysicalOp::ZipWithId => "ZipWithId".into(),
+            PhysicalOp::HashJoin { left_key, right_key } => {
+                format!("HashJoin({} = {})", left_key.name, right_key.name)
+            }
+            PhysicalOp::SortMergeJoin { left_key, right_key } => {
+                format!("SortMergeJoin({} = {})", left_key.name, right_key.name)
+            }
+            PhysicalOp::NestedLoopJoin { name, .. } => format!("NestedLoopJoin({name})"),
+            PhysicalOp::CrossProduct => "CrossProduct".into(),
+            PhysicalOp::Union => "Union".into(),
+            PhysicalOp::Loop {
+                condition,
+                max_iterations,
+                ..
+            } => format!("Loop(cond={}, max={max_iterations})", condition.name),
+            PhysicalOp::Custom(op) => format!("Custom({})", op.name()),
+            PhysicalOp::CollectSink => "CollectSink".into(),
+            PhysicalOp::CountSink => "CountSink".into(),
+            PhysicalOp::StorageSink { dataset_id } => format!("StorageSink({dataset_id})"),
+        }
+    }
+
+    /// A coarse operator-kind tag used by mappings and cost models.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            PhysicalOp::CollectionSource { .. }
+            | PhysicalOp::StorageSource { .. }
+            | PhysicalOp::LoopInput => OpKind::Source,
+            PhysicalOp::Map(_) | PhysicalOp::Project { .. } | PhysicalOp::ZipWithId => OpKind::Map,
+            PhysicalOp::FlatMap(_) => OpKind::FlatMap,
+            PhysicalOp::Filter(_) | PhysicalOp::Sample { .. } | PhysicalOp::Limit { .. } => {
+                OpKind::Filter
+            }
+            PhysicalOp::SortGroupBy { .. } | PhysicalOp::HashGroupBy { .. } => OpKind::GroupBy,
+            PhysicalOp::ReduceByKey { .. } | PhysicalOp::GlobalReduce { .. } => OpKind::Reduce,
+            PhysicalOp::Sort { .. } => OpKind::Sort,
+            PhysicalOp::Distinct => OpKind::Distinct,
+            PhysicalOp::HashJoin { .. } | PhysicalOp::SortMergeJoin { .. } => OpKind::EquiJoin,
+            PhysicalOp::NestedLoopJoin { .. } | PhysicalOp::CrossProduct => OpKind::ThetaJoin,
+            PhysicalOp::Union => OpKind::Union,
+            PhysicalOp::Loop { .. } => OpKind::Loop,
+            PhysicalOp::Custom(_) => OpKind::Custom,
+            PhysicalOp::CollectSink | PhysicalOp::CountSink | PhysicalOp::StorageSink { .. } => {
+                OpKind::Sink
+            }
+        }
+    }
+}
+
+impl fmt::Debug for PhysicalOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Coarse classification of physical operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Arity-0 data producers.
+    Source,
+    /// One-to-one record transforms.
+    Map,
+    /// One-to-many record transforms.
+    FlatMap,
+    /// Cardinality-reducing record selections.
+    Filter,
+    /// Full grouping (materializes groups).
+    GroupBy,
+    /// Incremental keyed/global reduction.
+    Reduce,
+    /// Sorting.
+    Sort,
+    /// Duplicate elimination.
+    Distinct,
+    /// Equality joins.
+    EquiJoin,
+    /// Theta joins / cross products.
+    ThetaJoin,
+    /// Bag union.
+    Union,
+    /// Iteration.
+    Loop,
+    /// Application-defined operators.
+    Custom,
+    /// Result-producing terminals.
+    Sink,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Record;
+    use crate::rec;
+
+    struct Doubler;
+    impl CustomPhysicalOp for Doubler {
+        fn name(&self) -> &str {
+            "Doubler"
+        }
+        fn arity(&self) -> usize {
+            1
+        }
+        fn execute(&self, inputs: &[Dataset]) -> Result<Dataset> {
+            Ok(inputs[0]
+                .iter()
+                .map(|r| rec![r.int(0).unwrap() * 2])
+                .collect())
+        }
+    }
+
+    #[test]
+    fn arity_and_kind_classification() {
+        assert_eq!(PhysicalOp::CrossProduct.arity(), 2);
+        assert_eq!(PhysicalOp::Distinct.arity(), 1);
+        assert_eq!(PhysicalOp::LoopInput.arity(), 0);
+        assert!(PhysicalOp::LoopInput.is_source());
+        assert!(PhysicalOp::CollectSink.is_sink());
+        assert_eq!(PhysicalOp::CrossProduct.kind(), OpKind::ThetaJoin);
+        assert_eq!(
+            PhysicalOp::Map(MapUdf::new("id", |r: &Record| r.clone())).kind(),
+            OpKind::Map
+        );
+    }
+
+    #[test]
+    fn custom_op_defaults_and_execution() {
+        let op = PhysicalOp::Custom(Arc::new(Doubler));
+        assert_eq!(op.arity(), 1);
+        assert_eq!(op.kind(), OpKind::Custom);
+        assert_eq!(op.name(), "Custom(Doubler)");
+        if let PhysicalOp::Custom(c) = &op {
+            let out = c.execute(&[Dataset::new(vec![rec![3i64]])]).unwrap();
+            assert_eq!(out.records(), &[rec![6i64]]);
+            assert_eq!(c.output_cardinality(&[10.0]), 10.0);
+            assert!(!c.partitionable());
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        let op = PhysicalOp::Filter(FilterUdf::new("is_adult", |_| true));
+        assert_eq!(op.name(), "Filter(is_adult)");
+        let op = PhysicalOp::HashGroupBy {
+            key: KeyUdf::field(0),
+            group: GroupMapUdf::identity(),
+        };
+        assert!(op.name().contains("field#0"));
+    }
+}

@@ -1,0 +1,649 @@
+//! Physical plans: DAGs of physical operators, and the execution plans the
+//! multi-platform optimizer derives from them.
+//!
+//! A [`PhysicalPlan`] is what an application (layer 1) hands to the core
+//! (layer 2). The optimizer annotates every node with a platform and splits
+//! the plan into [`TaskAtom`]s — "sub-tasks ... the units of execution ...
+//! to be executed on a single data processing platform" (§3.1) — producing
+//! an [`ExecutionPlan`].
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::data::Dataset;
+use crate::error::{Result, RheemError};
+use crate::physical::{CustomPhysicalOp, PhysicalOp};
+use crate::udf::{
+    FilterUdf, FlatMapUdf, GroupMapUdf, KeyUdf, LoopCondUdf, MapUdf, PairPredicateFn, ReduceUdf,
+};
+
+/// Identifier of a node inside one plan. Node ids are assigned in
+/// construction order, which the builder guarantees to be a topological
+/// order (every input id is smaller than the node's own id).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One operator instance in a plan.
+#[derive(Clone, Debug)]
+pub struct PhysicalNode {
+    /// This node's id.
+    pub id: NodeId,
+    /// The operator.
+    pub op: PhysicalOp,
+    /// Producer nodes, one per input slot.
+    pub inputs: Vec<NodeId>,
+}
+
+/// A directed acyclic graph of physical operators.
+#[derive(Clone, Debug, Default)]
+pub struct PhysicalPlan {
+    nodes: Vec<PhysicalNode>,
+}
+
+impl PhysicalPlan {
+    /// Assemble a plan from pre-built nodes (rewrite framework only).
+    pub(crate) fn from_nodes(nodes: Vec<PhysicalNode>) -> Self {
+        PhysicalPlan { nodes }
+    }
+
+    /// All nodes in topological (construction) order.
+    pub fn nodes(&self) -> &[PhysicalNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the plan has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node by id.
+    pub fn node(&self, id: NodeId) -> &PhysicalNode {
+        &self.nodes[id.0]
+    }
+
+    /// Ids of all sink nodes.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.op.is_sink())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Ids of nodes that no other node consumes.
+    pub fn terminals(&self) -> Vec<NodeId> {
+        let mut consumed = vec![false; self.nodes.len()];
+        for n in &self.nodes {
+            for &i in &n.inputs {
+                consumed[i.0] = true;
+            }
+        }
+        self.nodes
+            .iter()
+            .filter(|n| !consumed[n.id.0])
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Consumers of each node, indexed by node id.
+    pub fn consumers(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        for n in &self.nodes {
+            for &i in &n.inputs {
+                out[i.0].push(n.id);
+            }
+        }
+        out
+    }
+
+    /// Structural validation: arity, edge direction, loop-body shape.
+    pub fn validate(&self) -> Result<()> {
+        if self.nodes.is_empty() {
+            return Err(RheemError::InvalidPlan("plan has no nodes".into()));
+        }
+        for n in &self.nodes {
+            if n.inputs.len() != n.op.arity() {
+                return Err(RheemError::InvalidPlan(format!(
+                    "node {} ({}) has {} inputs but arity {}",
+                    n.id,
+                    n.op.name(),
+                    n.inputs.len(),
+                    n.op.arity()
+                )));
+            }
+            for &i in &n.inputs {
+                if i.0 >= n.id.0 {
+                    return Err(RheemError::InvalidPlan(format!(
+                        "node {} consumes non-earlier node {} (cycle or dangling edge)",
+                        n.id, i
+                    )));
+                }
+            }
+            if let PhysicalOp::Loop { body, .. } = &n.op {
+                validate_loop_body(body)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Multi-line, indentation-free textual rendering for debugging.
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        for n in &self.nodes {
+            let inputs: Vec<String> = n.inputs.iter().map(|i| i.to_string()).collect();
+            s.push_str(&format!(
+                "{}: {} <- [{}]\n",
+                n.id,
+                n.op.name(),
+                inputs.join(", ")
+            ));
+        }
+        s
+    }
+}
+
+fn validate_loop_body(body: &PhysicalPlan) -> Result<()> {
+    body.validate()?;
+    let loop_inputs = body
+        .nodes()
+        .iter()
+        .filter(|n| matches!(n.op, PhysicalOp::LoopInput))
+        .count();
+    if loop_inputs != 1 {
+        return Err(RheemError::InvalidPlan(format!(
+            "loop body must contain exactly one LoopInput, found {loop_inputs}"
+        )));
+    }
+    let terminals = body.terminals();
+    if terminals.len() != 1 {
+        return Err(RheemError::InvalidPlan(format!(
+            "loop body must have exactly one terminal node, found {}",
+            terminals.len()
+        )));
+    }
+    if body.node(terminals[0]).op.is_sink() {
+        return Err(RheemError::InvalidPlan(
+            "loop body terminal must not be a sink; its output is the loop state".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Fluent builder for [`PhysicalPlan`]s.
+///
+/// Handles returned by builder methods are plain [`NodeId`]s, so arbitrary
+/// DAGs (shared sub-plans, multi-sink jobs) can be expressed:
+///
+/// ```
+/// use rheem_core::plan::PlanBuilder;
+/// use rheem_core::udf::{FilterUdf, KeyUdf};
+/// use rheem_core::rec;
+///
+/// let mut b = PlanBuilder::new();
+/// let src = b.collection("nums", vec![rec![1i64], rec![2i64], rec![3i64]]);
+/// let odd = b.filter(src, FilterUdf::new("odd", |r| r.int(0).unwrap() % 2 == 1));
+/// b.collect(odd);
+/// let plan = b.build().unwrap();
+/// assert_eq!(plan.len(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct PlanBuilder {
+    nodes: Vec<PhysicalNode>,
+}
+
+impl PlanBuilder {
+    /// A fresh, empty builder.
+    pub fn new() -> Self {
+        PlanBuilder::default()
+    }
+
+    /// Append an arbitrary operator node; inputs must already exist.
+    pub fn add(&mut self, op: PhysicalOp, inputs: Vec<NodeId>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        debug_assert!(inputs.iter().all(|i| i.0 < id.0), "inputs must pre-exist");
+        self.nodes.push(PhysicalNode { id, op, inputs });
+        id
+    }
+
+    /// In-memory collection source.
+    pub fn collection(&mut self, name: impl Into<String>, records: Vec<crate::data::Record>) -> NodeId {
+        self.add(
+            PhysicalOp::CollectionSource {
+                data: Dataset::new(records),
+                name: name.into(),
+            },
+            vec![],
+        )
+    }
+
+    /// Source over an already-wrapped [`Dataset`].
+    pub fn dataset(&mut self, name: impl Into<String>, data: Dataset) -> NodeId {
+        self.add(
+            PhysicalOp::CollectionSource {
+                data,
+                name: name.into(),
+            },
+            vec![],
+        )
+    }
+
+    /// Source reading from the storage layer.
+    pub fn storage_source(&mut self, dataset_id: impl Into<String>) -> NodeId {
+        self.add(
+            PhysicalOp::StorageSource {
+                dataset_id: dataset_id.into(),
+            },
+            vec![],
+        )
+    }
+
+    /// The loop-state placeholder (only valid inside loop bodies).
+    pub fn loop_input(&mut self) -> NodeId {
+        self.add(PhysicalOp::LoopInput, vec![])
+    }
+
+    /// Per-quantum map.
+    pub fn map(&mut self, input: NodeId, udf: MapUdf) -> NodeId {
+        self.add(PhysicalOp::Map(udf), vec![input])
+    }
+
+    /// Per-quantum flat map.
+    pub fn flat_map(&mut self, input: NodeId, udf: FlatMapUdf) -> NodeId {
+        self.add(PhysicalOp::FlatMap(udf), vec![input])
+    }
+
+    /// Per-quantum filter.
+    pub fn filter(&mut self, input: NodeId, udf: FilterUdf) -> NodeId {
+        self.add(PhysicalOp::Filter(udf), vec![input])
+    }
+
+    /// Projection onto the given field indices.
+    pub fn project(&mut self, input: NodeId, indices: Vec<usize>) -> NodeId {
+        self.add(PhysicalOp::Project { indices }, vec![input])
+    }
+
+    /// Hash-based group-by (the optimizer may later swap the algorithm).
+    pub fn group_by(&mut self, input: NodeId, key: KeyUdf, group: GroupMapUdf) -> NodeId {
+        self.add(PhysicalOp::HashGroupBy { key, group }, vec![input])
+    }
+
+    /// Explicit sort-based group-by.
+    pub fn sort_group_by(&mut self, input: NodeId, key: KeyUdf, group: GroupMapUdf) -> NodeId {
+        self.add(PhysicalOp::SortGroupBy { key, group }, vec![input])
+    }
+
+    /// Keyed reduction.
+    pub fn reduce_by_key(&mut self, input: NodeId, key: KeyUdf, reduce: ReduceUdf) -> NodeId {
+        self.add(PhysicalOp::ReduceByKey { key, reduce }, vec![input])
+    }
+
+    /// Global reduction to a single quantum.
+    pub fn global_reduce(&mut self, input: NodeId, reduce: ReduceUdf) -> NodeId {
+        self.add(PhysicalOp::GlobalReduce { reduce }, vec![input])
+    }
+
+    /// Sort ascending (or descending) by key.
+    pub fn sort(&mut self, input: NodeId, key: KeyUdf, descending: bool) -> NodeId {
+        self.add(PhysicalOp::Sort { key, descending }, vec![input])
+    }
+
+    /// Duplicate elimination.
+    pub fn distinct(&mut self, input: NodeId) -> NodeId {
+        self.add(PhysicalOp::Distinct, vec![input])
+    }
+
+    /// Bernoulli sampling.
+    pub fn sample(&mut self, input: NodeId, fraction: f64, seed: u64) -> NodeId {
+        self.add(PhysicalOp::Sample { fraction, seed }, vec![input])
+    }
+
+    /// Prefix of `n` quanta.
+    pub fn limit(&mut self, input: NodeId, n: usize) -> NodeId {
+        self.add(PhysicalOp::Limit { n }, vec![input])
+    }
+
+    /// Append a unique id field.
+    pub fn zip_with_id(&mut self, input: NodeId) -> NodeId {
+        self.add(PhysicalOp::ZipWithId, vec![input])
+    }
+
+    /// Hash equi-join.
+    pub fn hash_join(
+        &mut self,
+        left: NodeId,
+        right: NodeId,
+        left_key: KeyUdf,
+        right_key: KeyUdf,
+    ) -> NodeId {
+        self.add(PhysicalOp::HashJoin { left_key, right_key }, vec![left, right])
+    }
+
+    /// Sort-merge equi-join.
+    pub fn sort_merge_join(
+        &mut self,
+        left: NodeId,
+        right: NodeId,
+        left_key: KeyUdf,
+        right_key: KeyUdf,
+    ) -> NodeId {
+        self.add(
+            PhysicalOp::SortMergeJoin { left_key, right_key },
+            vec![left, right],
+        )
+    }
+
+    /// Theta join with an arbitrary pair predicate.
+    pub fn theta_join(
+        &mut self,
+        left: NodeId,
+        right: NodeId,
+        name: impl Into<String>,
+        selectivity: f64,
+        predicate: PairPredicateFn,
+    ) -> NodeId {
+        self.add(
+            PhysicalOp::NestedLoopJoin {
+                predicate,
+                name: name.into(),
+                selectivity,
+            },
+            vec![left, right],
+        )
+    }
+
+    /// Cross product.
+    pub fn cross_product(&mut self, left: NodeId, right: NodeId) -> NodeId {
+        self.add(PhysicalOp::CrossProduct, vec![left, right])
+    }
+
+    /// Bag union.
+    pub fn union(&mut self, left: NodeId, right: NodeId) -> NodeId {
+        self.add(PhysicalOp::Union, vec![left, right])
+    }
+
+    /// Iterate `body` starting from `input` while `condition` holds.
+    pub fn repeat(
+        &mut self,
+        input: NodeId,
+        body: PhysicalPlan,
+        condition: LoopCondUdf,
+        max_iterations: u64,
+    ) -> NodeId {
+        let expected_iterations = max_iterations as f64;
+        self.add(
+            PhysicalOp::Loop {
+                body: Arc::new(body),
+                condition,
+                max_iterations,
+                expected_iterations,
+            },
+            vec![input],
+        )
+    }
+
+    /// An application-defined operator.
+    pub fn custom(&mut self, op: Arc<dyn CustomPhysicalOp>, inputs: Vec<NodeId>) -> NodeId {
+        self.add(PhysicalOp::Custom(op), inputs)
+    }
+
+    /// Materializing sink.
+    pub fn collect(&mut self, input: NodeId) -> NodeId {
+        self.add(PhysicalOp::CollectSink, vec![input])
+    }
+
+    /// Counting sink.
+    pub fn count(&mut self, input: NodeId) -> NodeId {
+        self.add(PhysicalOp::CountSink, vec![input])
+    }
+
+    /// Storage-writing sink.
+    pub fn write_storage(&mut self, input: NodeId, dataset_id: impl Into<String>) -> NodeId {
+        self.add(
+            PhysicalOp::StorageSink {
+                dataset_id: dataset_id.into(),
+            },
+            vec![input],
+        )
+    }
+
+    /// Finish and validate the plan.
+    pub fn build(self) -> Result<PhysicalPlan> {
+        let plan = PhysicalPlan { nodes: self.nodes };
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Finish without requiring sinks (used for loop bodies).
+    pub fn build_fragment(self) -> Result<PhysicalPlan> {
+        let plan = PhysicalPlan { nodes: self.nodes };
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution plans
+// ---------------------------------------------------------------------------
+
+/// A dataset flowing from one atom to another.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AtomInput {
+    /// The consuming node inside this atom.
+    pub consumer: NodeId,
+    /// Which input slot of the consumer.
+    pub slot: usize,
+    /// The producing node (inside another atom).
+    pub producer: NodeId,
+}
+
+/// A maximal same-platform fragment of the plan — the paper's *task atom*.
+#[derive(Clone, Debug)]
+pub struct TaskAtom {
+    /// Atom index within the execution plan.
+    pub id: usize,
+    /// Name of the platform that runs this atom.
+    pub platform: String,
+    /// The plan nodes in this atom, in topological order.
+    pub nodes: Vec<NodeId>,
+    /// Cross-atom input edges.
+    pub inputs: Vec<AtomInput>,
+    /// Nodes whose outputs must be surfaced (consumed by other atoms or
+    /// being sinks).
+    pub outputs: Vec<NodeId>,
+}
+
+/// The optimizer's final product: a platform-annotated, atom-partitioned plan.
+#[derive(Clone, Debug)]
+pub struct ExecutionPlan {
+    /// The underlying physical plan.
+    pub physical: Arc<PhysicalPlan>,
+    /// Platform assigned to each node (indexed by node id).
+    pub assignments: Vec<String>,
+    /// Task atoms in a valid scheduling order.
+    pub atoms: Vec<TaskAtom>,
+    /// Estimated total cost (platform costs + movement costs), in abstract
+    /// milliseconds; what the optimizer minimized.
+    pub estimated_cost: f64,
+}
+
+impl ExecutionPlan {
+    /// Which atom owns each node.
+    pub fn atom_of(&self) -> HashMap<NodeId, usize> {
+        let mut m = HashMap::new();
+        for atom in &self.atoms {
+            for &n in &atom.nodes {
+                m.insert(n, atom.id);
+            }
+        }
+        m
+    }
+
+    /// Number of platform switches (atom boundary edges).
+    pub fn platform_switches(&self) -> usize {
+        self.atoms.iter().map(|a| a.inputs.len()).sum()
+    }
+
+    /// Human-readable rendering: node, platform, atom.
+    pub fn explain(&self) -> String {
+        let atom_of = self.atom_of();
+        let mut s = String::new();
+        for n in self.physical.nodes() {
+            let inputs: Vec<String> = n.inputs.iter().map(|i| i.to_string()).collect();
+            s.push_str(&format!(
+                "{}: {} <- [{}]  @{} (atom {})\n",
+                n.id,
+                n.op.name(),
+                inputs.join(", "),
+                self.assignments[n.id.0],
+                atom_of.get(&n.id).copied().unwrap_or(usize::MAX),
+            ));
+        }
+        s.push_str(&format!(
+            "atoms: {}, switches: {}, estimated cost: {:.3} ms\n",
+            self.atoms.len(),
+            self.platform_switches(),
+            self.estimated_cost
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rec;
+    use crate::udf::{FilterUdf, LoopCondUdf, MapUdf};
+
+    fn simple_plan() -> PhysicalPlan {
+        let mut b = PlanBuilder::new();
+        let src = b.collection("src", vec![rec![1i64], rec![2i64]]);
+        let m = b.map(src, MapUdf::new("inc", |r| rec![r.int(0).unwrap() + 1]));
+        b.collect(m);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_topologically_ordered_nodes() {
+        let plan = simple_plan();
+        assert_eq!(plan.len(), 3);
+        for n in plan.nodes() {
+            for &i in &n.inputs {
+                assert!(i.0 < n.id.0);
+            }
+        }
+        assert_eq!(plan.sinks(), vec![NodeId(2)]);
+        assert_eq!(plan.terminals(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn validate_rejects_bad_arity() {
+        let plan = PhysicalPlan {
+            nodes: vec![PhysicalNode {
+                id: NodeId(0),
+                op: PhysicalOp::Distinct,
+                inputs: vec![],
+            }],
+        };
+        assert!(matches!(plan.validate(), Err(RheemError::InvalidPlan(_))));
+    }
+
+    #[test]
+    fn validate_rejects_forward_edges() {
+        let plan = PhysicalPlan {
+            nodes: vec![
+                PhysicalNode {
+                    id: NodeId(0),
+                    op: PhysicalOp::Distinct,
+                    inputs: vec![NodeId(1)],
+                },
+                PhysicalNode {
+                    id: NodeId(1),
+                    op: PhysicalOp::CollectionSource {
+                        data: Dataset::empty(),
+                        name: "x".into(),
+                    },
+                    inputs: vec![],
+                },
+            ],
+        };
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn empty_plan_is_invalid() {
+        assert!(PhysicalPlan::default().validate().is_err());
+    }
+
+    #[test]
+    fn loop_body_shape_is_checked() {
+        // Valid body: LoopInput -> Map.
+        let mut b = PlanBuilder::new();
+        let li = b.loop_input();
+        b.map(li, MapUdf::new("id", |r| r.clone()));
+        let body = b.build_fragment().unwrap();
+
+        let mut outer = PlanBuilder::new();
+        let src = outer.collection("s", vec![rec![0i64]]);
+        let l = outer.repeat(src, body, LoopCondUdf::fixed_iterations(2), 2);
+        outer.collect(l);
+        assert!(outer.build().is_ok());
+
+        // Invalid body: no LoopInput.
+        let mut b = PlanBuilder::new();
+        b.collection("s", vec![rec![0i64]]);
+        let bad_body = PhysicalPlan {
+            nodes: b.nodes,
+        };
+        let mut outer = PlanBuilder::new();
+        let src = outer.collection("s", vec![rec![0i64]]);
+        let l = outer.repeat(src, bad_body, LoopCondUdf::fixed_iterations(2), 2);
+        outer.collect(l);
+        assert!(outer.build().is_err());
+
+        // Invalid body: terminal is a sink.
+        let mut b = PlanBuilder::new();
+        let li = b.loop_input();
+        b.collect(li);
+        let sink_body = PhysicalPlan { nodes: b.nodes };
+        let mut outer = PlanBuilder::new();
+        let src = outer.collection("s", vec![rec![0i64]]);
+        let l = outer.repeat(src, sink_body, LoopCondUdf::fixed_iterations(2), 2);
+        outer.collect(l);
+        assert!(outer.build().is_err());
+    }
+
+    #[test]
+    fn consumers_and_shared_subplans() {
+        let mut b = PlanBuilder::new();
+        let src = b.collection("s", vec![rec![1i64]]);
+        let f1 = b.filter(src, FilterUdf::new("a", |_| true));
+        let f2 = b.filter(src, FilterUdf::new("b", |_| true));
+        let u = b.union(f1, f2);
+        b.collect(u);
+        let plan = b.build().unwrap();
+        let consumers = plan.consumers();
+        assert_eq!(consumers[src.0].len(), 2);
+        assert_eq!(consumers[u.0].len(), 1);
+    }
+
+    #[test]
+    fn explain_mentions_every_node() {
+        let plan = simple_plan();
+        let text = plan.explain();
+        assert!(text.contains("CollectionSource"));
+        assert!(text.contains("Map(inc)"));
+        assert!(text.contains("CollectSink"));
+    }
+}

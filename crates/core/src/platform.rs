@@ -1,0 +1,283 @@
+//! The platform layer contract.
+//!
+//! "At this layer, execution operators define how a task is executed on the
+//! underlying processing platform" (§3.1). A [`Platform`] is an engine that
+//! can run task atoms; its execution operators are the engine's internal
+//! implementations of the physical operators it [`Platform::supports`].
+//! Platforms also surrender a [`PlatformCostModel`] so the multi-platform
+//! optimizer can price plans, and declare a [`ProcessingProfile`] — the
+//! paper's "data processing profile" (§8 challenge 2).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::cost::PlatformCostModel;
+use crate::data::Dataset;
+use crate::error::{Result, RheemError};
+use crate::physical::PhysicalOp;
+use crate::plan::{NodeId, PhysicalPlan, TaskAtom};
+
+/// The type of data processing a platform supports (§8 challenge 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProcessingProfile {
+    /// Single-process, in-memory execution (the paper's "plain Java").
+    SingleProcess,
+    /// Parallel, partitioned, in-memory batch execution (Spark-like).
+    ParallelBatch,
+    /// Batch execution with disk-materialized phase boundaries (Hadoop-like).
+    DiskBatch,
+    /// Declarative relational execution over managed tables (DBMS-like).
+    Relational,
+}
+
+/// Boundary inputs of an atom: dataset per `(consumer node, input slot)`.
+pub type AtomInputs = HashMap<(NodeId, usize), Dataset>;
+
+/// What a platform returns after executing an atom.
+#[derive(Clone, Debug, Default)]
+pub struct AtomResult {
+    /// Output datasets for the atom's boundary-output nodes.
+    pub outputs: HashMap<NodeId, Dataset>,
+    /// Total records produced by operators inside the atom.
+    pub records_processed: u64,
+    /// Deterministic simulated overhead the platform charged (job startup,
+    /// stage scheduling, disk phases). Used by tests and reported in stats;
+    /// real wall-clock is measured by the executor separately.
+    pub simulated_overhead_ms: f64,
+    /// Simulated elapsed time of the atom in milliseconds: charged
+    /// overheads plus the *critical path* of the work — for partitioned
+    /// platforms, the per-stage maximum across partitions, as if every
+    /// partition had its own core. This is what makes the paper's
+    /// parallel-vs-single-process comparisons reproducible on any host,
+    /// including single-core CI machines (see DESIGN.md).
+    pub simulated_elapsed_ms: f64,
+}
+
+/// A data processing platform (execution engine).
+pub trait Platform: Send + Sync {
+    /// Unique platform name (used in plans, mappings, and movement costs).
+    fn name(&self) -> &str;
+
+    /// The platform's processing profile.
+    fn profile(&self) -> ProcessingProfile;
+
+    /// Whether this platform has an execution operator for `op`.
+    fn supports(&self, op: &PhysicalOp) -> bool;
+
+    /// The platform's cost model plugin.
+    fn cost_model(&self) -> Arc<dyn PlatformCostModel>;
+
+    /// Execute one task atom: run `atom.nodes` (a topologically ordered
+    /// fragment of `plan`) given boundary `inputs`, returning datasets for
+    /// the atom's output nodes.
+    fn execute_atom(
+        &self,
+        plan: &PhysicalPlan,
+        atom: &TaskAtom,
+        inputs: &AtomInputs,
+        ctx: &ExecutionContext,
+    ) -> Result<AtomResult>;
+}
+
+/// Registry of available platforms, in registration order.
+#[derive(Clone, Default)]
+pub struct PlatformRegistry {
+    platforms: Vec<Arc<dyn Platform>>,
+}
+
+impl PlatformRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        PlatformRegistry::default()
+    }
+
+    /// Register a platform. Re-registering a name replaces the old entry.
+    pub fn register(&mut self, platform: Arc<dyn Platform>) {
+        self.platforms.retain(|p| p.name() != platform.name());
+        self.platforms.push(platform);
+    }
+
+    /// Look up a platform by name.
+    pub fn get(&self, name: &str) -> Result<Arc<dyn Platform>> {
+        self.platforms
+            .iter()
+            .find(|p| p.name() == name)
+            .cloned()
+            .ok_or_else(|| RheemError::UnknownPlatform(name.to_string()))
+    }
+
+    /// All registered platforms, in registration order.
+    pub fn all(&self) -> &[Arc<dyn Platform>] {
+        &self.platforms
+    }
+
+    /// Names of all registered platforms.
+    pub fn names(&self) -> Vec<&str> {
+        self.platforms.iter().map(|p| p.name()).collect()
+    }
+
+    /// True iff no platform is registered.
+    pub fn is_empty(&self) -> bool {
+        self.platforms.is_empty()
+    }
+}
+
+/// Abstraction over the storage layer, implemented by `rheem-storage`.
+///
+/// Kept as a trait in the core so the processing side depends only on the
+/// *abstraction* — the same inversion the paper applies between processing
+/// platforms and storage platforms (§6).
+pub trait StorageService: Send + Sync {
+    /// Read a dataset by id.
+    fn read(&self, dataset_id: &str) -> Result<Dataset>;
+
+    /// Write (or overwrite) a dataset by id.
+    fn write(&self, dataset_id: &str, data: &Dataset) -> Result<()>;
+
+    /// Cardinality of a stored dataset, if known without reading it.
+    fn cardinality(&self, dataset_id: &str) -> Option<u64>;
+}
+
+/// An in-memory [`StorageService`] for tests and storage-less deployments.
+#[derive(Default)]
+pub struct MemoryStorageService {
+    datasets: Mutex<HashMap<String, Dataset>>,
+}
+
+impl MemoryStorageService {
+    /// An empty in-memory storage service.
+    pub fn new() -> Self {
+        MemoryStorageService::default()
+    }
+}
+
+impl StorageService for MemoryStorageService {
+    fn read(&self, dataset_id: &str) -> Result<Dataset> {
+        self.datasets
+            .lock()
+            .get(dataset_id)
+            .cloned()
+            .ok_or_else(|| RheemError::DatasetNotFound(dataset_id.to_string()))
+    }
+
+    fn write(&self, dataset_id: &str, data: &Dataset) -> Result<()> {
+        self.datasets
+            .lock()
+            .insert(dataset_id.to_string(), data.clone());
+        Ok(())
+    }
+
+    fn cardinality(&self, dataset_id: &str) -> Option<u64> {
+        self.datasets
+            .lock()
+            .get(dataset_id)
+            .map(|d| d.len() as u64)
+    }
+}
+
+/// Deterministic failure injection for exercising the executor's fault
+/// tolerance (§4.2: the executor must "cope with failures").
+#[derive(Debug, Default)]
+pub struct FailureInjector {
+    /// Remaining failures per platform name.
+    remaining: Mutex<HashMap<String, usize>>,
+}
+
+impl FailureInjector {
+    /// No injected failures.
+    pub fn none() -> Self {
+        FailureInjector::default()
+    }
+
+    /// Fail the next `count` atom executions on `platform`.
+    pub fn fail_next(platform: impl Into<String>, count: usize) -> Self {
+        let inj = FailureInjector::default();
+        inj.remaining.lock().insert(platform.into(), count);
+        inj
+    }
+
+    /// Add failures for a platform to an existing injector.
+    pub fn add(&self, platform: impl Into<String>, count: usize) {
+        *self.remaining.lock().entry(platform.into()).or_insert(0) += count;
+    }
+
+    /// Consume one failure for `platform` if any is pending.
+    pub fn should_fail(&self, platform: &str) -> bool {
+        let mut map = self.remaining.lock();
+        match map.get_mut(platform) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Ambient services available to platforms while executing atoms.
+#[derive(Clone, Default)]
+pub struct ExecutionContext {
+    /// The storage layer, if deployed.
+    pub storage: Option<Arc<dyn StorageService>>,
+    /// Failure injection used by the executor (None in production).
+    pub failure_injector: Option<Arc<FailureInjector>>,
+}
+
+impl ExecutionContext {
+    /// A context with no storage layer and no failure injection.
+    pub fn new() -> Self {
+        ExecutionContext::default()
+    }
+
+    /// Attach a storage service.
+    pub fn with_storage(mut self, storage: Arc<dyn StorageService>) -> Self {
+        self.storage = Some(storage);
+        self
+    }
+
+    /// Resolve the storage service or error.
+    pub fn storage(&self) -> Result<&Arc<dyn StorageService>> {
+        self.storage
+            .as_ref()
+            .ok_or_else(|| RheemError::Storage("no storage service configured".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rec;
+
+    #[test]
+    fn memory_storage_round_trip() {
+        let s = MemoryStorageService::new();
+        assert!(s.read("x").is_err());
+        assert_eq!(s.cardinality("x"), None);
+        let d = Dataset::new(vec![rec![1i64], rec![2i64]]);
+        s.write("x", &d).unwrap();
+        assert_eq!(s.read("x").unwrap(), d);
+        assert_eq!(s.cardinality("x"), Some(2));
+    }
+
+    #[test]
+    fn failure_injector_counts_down() {
+        let inj = FailureInjector::fail_next("spark", 2);
+        assert!(inj.should_fail("spark"));
+        assert!(inj.should_fail("spark"));
+        assert!(!inj.should_fail("spark"));
+        assert!(!inj.should_fail("java"));
+        inj.add("java", 1);
+        assert!(inj.should_fail("java"));
+        assert!(!inj.should_fail("java"));
+    }
+
+    #[test]
+    fn context_storage_resolution() {
+        let ctx = ExecutionContext::new();
+        assert!(ctx.storage().is_err());
+        let ctx = ctx.with_storage(Arc::new(MemoryStorageService::new()));
+        assert!(ctx.storage().is_ok());
+    }
+}

@@ -1,0 +1,459 @@
+//! Recursive-descent parser for the declarative query language.
+
+use crate::error::{Result, RheemError};
+
+use super::ast::*;
+use super::lexer::{lex, Token};
+
+/// Parse a query string into the AST.
+pub fn parse(input: &str) -> Result<Query> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.error(format!(
+            "unexpected trailing input at token {:?}",
+            p.tokens[p.pos]
+        )));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, msg: String) -> RheemError {
+        RheemError::Query(format!("parse error: {msg}"))
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Is the next token the given keyword (case-insensitive)?
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Consume the given keyword if present.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<()> {
+        if self.peek() == Some(&t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {t:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// True if the identifier is a reserved keyword that terminates clauses.
+    fn is_reserved(s: &str) -> bool {
+        const KW: [&str; 15] = [
+            "select", "from", "join", "on", "where", "group", "by", "having", "order", "limit",
+            "as", "and", "or", "not", "asc",
+        ];
+        KW.contains(&s.to_ascii_lowercase().as_str()) || s.eq_ignore_ascii_case("desc")
+    }
+
+    // ---------------------------------------------------------------- query
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_keyword("SELECT")?;
+        let select = self.select_items()?;
+        self.expect_keyword("FROM")?;
+        let from = self.ident()?;
+
+        let join = if self.eat_keyword("JOIN") {
+            let table = self.ident()?;
+            self.expect_keyword("ON")?;
+            let left = self.column_ref()?;
+            self.expect(Token::Eq)?;
+            let right = self.column_ref()?;
+            Some(JoinClause { table, left, right })
+        } else {
+            None
+        };
+
+        let filter = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.column_ref()?);
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let order_by = if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            let column = self.ident()?;
+            let descending = if self.eat_keyword("DESC") {
+                true
+            } else {
+                self.eat_keyword("ASC");
+                false
+            };
+            Some(OrderBy { column, descending })
+        } else {
+            None
+        };
+
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => return Err(self.error(format!("expected LIMIT count, found {other:?}"))),
+            }
+        } else {
+            None
+        };
+
+        Ok(Query {
+            select,
+            from,
+            join,
+            filter,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_items(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        let expr = if self.peek() == Some(&Token::Star) {
+            self.pos += 1;
+            SelectExpr::Star
+        } else if let Some(agg) = self.try_agg()? {
+            agg
+        } else {
+            SelectExpr::Expr(self.expr()?)
+        };
+        let alias = if self.eat_keyword("AS") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn try_agg(&mut self) -> Result<Option<SelectExpr>> {
+        let func = match self.peek() {
+            Some(Token::Ident(s)) => match s.to_ascii_lowercase().as_str() {
+                "count" => AggFunc::Count,
+                "sum" => AggFunc::Sum,
+                "min" => AggFunc::Min,
+                "max" => AggFunc::Max,
+                "avg" => AggFunc::Avg,
+                _ => return Ok(None),
+            },
+            _ => return Ok(None),
+        };
+        // Only an aggregate when followed by `(`.
+        if self.tokens.get(self.pos + 1) != Some(&Token::LParen) {
+            return Ok(None);
+        }
+        self.pos += 2; // func + LParen
+        let arg = if self.peek() == Some(&Token::Star) {
+            self.pos += 1;
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.expect(Token::RParen)?;
+        if arg.is_none() && func != AggFunc::Count {
+            return Err(self.error(format!("{}(*) is only valid for COUNT", func.name())));
+        }
+        Ok(Some(SelectExpr::Agg(func, arg)))
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef> {
+        let first = self.ident()?;
+        if Self::is_reserved(&first) {
+            return Err(self.error(format!("expected column, found keyword `{first}`")));
+        }
+        if self.peek() == Some(&Token::Dot) {
+            self.pos += 1;
+            let column = self.ident()?;
+            Ok(ColumnRef {
+                table: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColumnRef {
+                table: None,
+                column: first,
+            })
+        }
+    }
+
+    // ----------------------------------------------------------- expressions
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Neq) => CmpOp::Neq,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Lte) => CmpOp::Lte,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Gte) => CmpOp::Gte,
+            _ => return Ok(left),
+        };
+        self.pos += 1;
+        let right = self.add_expr()?;
+        Ok(Expr::Cmp(Box::new(left), op, Box::new(right)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => ArithOp::Add,
+                Some(Token::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.mul_expr()?;
+            left = Expr::Arith(Box::new(left), op, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => ArithOp::Mul,
+                Some(Token::Slash) => ArithOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary_expr()?;
+            left = Expr::Arith(Box::new(left), op, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.peek() == Some(&Token::Minus) {
+            self.pos += 1;
+            Ok(Expr::Neg(Box::new(self.unary_expr()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Int(i)))
+            }
+            Some(Token::Float(x)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Float(x)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("true") => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("false") => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("null") => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Null))
+            }
+            Some(Token::Ident(_)) => Ok(Expr::Column(self.column_ref()?)),
+            other => Err(self.error(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_query() {
+        let q = parse("SELECT * FROM t").unwrap();
+        assert_eq!(q.from, "t");
+        assert_eq!(q.select.len(), 1);
+        assert!(matches!(q.select[0].expr, SelectExpr::Star));
+        assert!(q.join.is_none() && q.filter.is_none() && q.group_by.is_empty());
+    }
+
+    #[test]
+    fn parses_full_query() {
+        let q = parse(
+            "SELECT region, COUNT(*) AS n, SUM(amount * 2) AS total \
+             FROM orders JOIN customers ON orders.cid = customers.id \
+             WHERE amount > 100 AND NOT (region = 'EU' OR region = 'US') \
+             GROUP BY region HAVING n > 3 ORDER BY total DESC LIMIT 5",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 3);
+        assert_eq!(q.select[1].alias.as_deref(), Some("n"));
+        assert!(q.has_aggregates());
+        let join = q.join.unwrap();
+        assert_eq!(join.table, "customers");
+        assert_eq!(join.left.table.as_deref(), Some("orders"));
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.having.is_some());
+        let ob = q.order_by.unwrap();
+        assert!(ob.descending);
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // a + b * c < d AND e  parses as  ((a + (b*c)) < d) AND e
+        let q = parse("SELECT * FROM t WHERE a + b * c < d AND e = 1").unwrap();
+        match q.filter.unwrap() {
+            Expr::And(left, _) => match *left {
+                Expr::Cmp(lhs, CmpOp::Lt, _) => match *lhs {
+                    Expr::Arith(_, ArithOp::Add, rhs) => {
+                        assert!(matches!(*rhs, Expr::Arith(_, ArithOp::Mul, _)))
+                    }
+                    other => panic!("expected Add, got {other:?}"),
+                },
+                other => panic!("expected Cmp, got {other:?}"),
+            },
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse("select a from t where a >= 1 order by a asc").is_ok());
+    }
+
+    #[test]
+    fn count_star_only() {
+        assert!(parse("SELECT COUNT(*) FROM t").is_ok());
+        assert!(parse("SELECT SUM(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse("FROM t").is_err());
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("SELECT * FROM t LIMIT x").is_err());
+        assert!(parse("SELECT * FROM t extra junk").is_err());
+        assert!(parse("SELECT * FROM t JOIN u ON a != b").is_err());
+    }
+
+    #[test]
+    fn aggregate_names_can_still_be_columns() {
+        // `count` not followed by `(` is an ordinary identifier.
+        let q = parse("SELECT count FROM t").unwrap();
+        assert!(matches!(
+            &q.select[0].expr,
+            SelectExpr::Expr(Expr::Column(c)) if c.column == "count"
+        ));
+    }
+}

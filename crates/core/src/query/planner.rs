@@ -1,0 +1,792 @@
+//! Query planning: name resolution, expression compilation, and lowering
+//! to a [`LogicalPlan`].
+//!
+//! The planner needs *schemas*, which execution does not: a
+//! [`QueryCatalog`] registers each queryable dataset with its
+//! [`Schema`], and resolution turns qualified column names into field
+//! indices before any UDF is built. Expressions compile to closures over
+//! records (three-valued-ish semantics: any operation on `Null`, a type
+//! mismatch, or an out-of-range access yields `Null`, and `Null` is not
+//! truthy).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::data::{DataType, Dataset, Record, Schema, Value};
+use crate::error::{Result, RheemError};
+use crate::logical::{LogicalPayload, LogicalPlan, LogicalPlanBuilder};
+use crate::plan::NodeId;
+use crate::udf::{FilterUdf, GroupMapUdf, KeyUdf, MapUdf};
+use crate::{JobResult, RheemContext};
+
+use super::ast::*;
+use super::parser::parse;
+
+/// Where a registered table's data comes from.
+#[derive(Clone)]
+pub enum TableSource {
+    /// An in-memory collection.
+    Collection(Dataset),
+    /// A dataset in the storage layer.
+    Storage(String),
+}
+
+/// A registered, queryable table.
+#[derive(Clone)]
+pub struct TableDef {
+    /// Column names and types.
+    pub schema: Schema,
+    /// Data location.
+    pub source: TableSource,
+}
+
+/// The set of tables a query may reference.
+#[derive(Clone, Default)]
+pub struct QueryCatalog {
+    tables: HashMap<String, TableDef>,
+}
+
+/// A planned query, ready to execute.
+pub struct PlannedQuery {
+    /// The logical plan (lower + optimize + run it through a context).
+    pub logical: LogicalPlan,
+    /// Output column names and (best-effort) types.
+    pub schema: Schema,
+    /// The sink's node id in the lowered physical plan (lowering is 1:1).
+    pub sink: NodeId,
+}
+
+impl std::fmt::Debug for PlannedQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PlannedQuery({} logical nodes, {} output columns)",
+            self.logical.len(),
+            self.schema.width()
+        )
+    }
+}
+
+/// Query output: rows plus their schema and the job's statistics.
+pub struct QueryResult {
+    /// Result rows.
+    pub rows: Dataset,
+    /// Output schema.
+    pub schema: Schema,
+    /// Execution statistics.
+    pub job: JobResult,
+}
+
+impl QueryCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        QueryCatalog::default()
+    }
+
+    /// Register an in-memory table.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        records: Vec<Record>,
+    ) -> &mut Self {
+        self.tables.insert(
+            name.into(),
+            TableDef {
+                schema,
+                source: TableSource::Collection(Dataset::new(records)),
+            },
+        );
+        self
+    }
+
+    /// Register a table backed by the storage layer.
+    pub fn register_storage(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        dataset_id: impl Into<String>,
+    ) -> &mut Self {
+        self.tables.insert(
+            name.into(),
+            TableDef {
+                schema,
+                source: TableSource::Storage(dataset_id.into()),
+            },
+        );
+        self
+    }
+
+    fn table(&self, name: &str) -> Result<&TableDef> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| RheemError::Query(format!("unknown table `{name}`")))
+    }
+
+    /// Parse and plan a query.
+    pub fn plan(&self, sql: &str) -> Result<PlannedQuery> {
+        let query = parse(sql)?;
+        plan_query(self, &query)
+    }
+
+    /// Parse, plan, optimize, and execute a query on a context.
+    pub fn execute(&self, ctx: &RheemContext, sql: &str) -> Result<QueryResult> {
+        let planned = self.plan(sql)?;
+        let job = ctx.execute_logical(&planned.logical)?;
+        let rows = job
+            .outputs
+            .get(&planned.sink)
+            .cloned()
+            .ok_or_else(|| RheemError::Query("query produced no output".into()))?;
+        Ok(QueryResult {
+            rows,
+            schema: planned.schema,
+            job,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Name resolution
+// ---------------------------------------------------------------------------
+
+/// The row namespace a clause is resolved against.
+struct RowBinding {
+    /// `(qualifier, column name, type)` per field.
+    fields: Vec<(Option<String>, String, DataType)>,
+}
+
+impl RowBinding {
+    fn from_table(name: &str, schema: &Schema) -> Self {
+        RowBinding {
+            fields: schema
+                .fields()
+                .iter()
+                .map(|f| (Some(name.to_string()), f.name.clone(), f.dtype))
+                .collect(),
+        }
+    }
+
+    fn joined(left: &RowBinding, right: &RowBinding) -> Self {
+        let mut fields = left.fields.clone();
+        fields.extend(right.fields.clone());
+        RowBinding { fields }
+    }
+
+    fn from_output(schema: &Schema) -> Self {
+        RowBinding {
+            fields: schema
+                .fields()
+                .iter()
+                .map(|f| (None, f.name.clone(), f.dtype))
+                .collect(),
+        }
+    }
+
+    fn resolve(&self, col: &ColumnRef) -> Result<usize> {
+        let matches: Vec<usize> = self
+            .fields
+            .iter()
+            .enumerate()
+            .filter(|(_, (q, name, _))| {
+                name == &col.column
+                    && col
+                        .table
+                        .as_ref()
+                        .map(|want| q.as_deref() == Some(want.as_str()))
+                        .unwrap_or(true)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.as_slice() {
+            [i] => Ok(*i),
+            [] => Err(RheemError::Query(format!(
+                "unknown column `{}`",
+                render_col(col)
+            ))),
+            _ => Err(RheemError::Query(format!(
+                "ambiguous column `{}` (qualify it with a table name)",
+                render_col(col)
+            ))),
+        }
+    }
+
+    fn dtype(&self, index: usize) -> DataType {
+        self.fields[index].2
+    }
+}
+
+fn render_col(col: &ColumnRef) -> String {
+    match &col.table {
+        Some(t) => format!("{t}.{}", col.column),
+        None => col.column.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression compilation
+// ---------------------------------------------------------------------------
+
+/// A compiled scalar expression.
+type Compiled = Arc<dyn Fn(&Record) -> Value + Send + Sync>;
+
+fn compile(expr: &Expr, binding: &RowBinding) -> Result<Compiled> {
+    Ok(match expr {
+        Expr::Column(c) => {
+            let idx = binding.resolve(c)?;
+            Arc::new(move |r: &Record| r.get(idx).cloned().unwrap_or(Value::Null))
+        }
+        Expr::Literal(lit) => {
+            let v = match lit {
+                Literal::Int(i) => Value::Int(*i),
+                Literal::Float(x) => Value::Float(*x),
+                Literal::Str(s) => Value::str(s),
+                Literal::Bool(b) => Value::Bool(*b),
+                Literal::Null => Value::Null,
+            };
+            Arc::new(move |_| v.clone())
+        }
+        Expr::Cmp(l, op, r) => {
+            let (l, r) = (compile(l, binding)?, compile(r, binding)?);
+            let op = *op;
+            Arc::new(move |rec: &Record| eval_cmp(&l(rec), op, &r(rec)))
+        }
+        Expr::Arith(l, op, r) => {
+            let (l, r) = (compile(l, binding)?, compile(r, binding)?);
+            let op = *op;
+            Arc::new(move |rec: &Record| eval_arith(&l(rec), op, &r(rec)))
+        }
+        Expr::And(l, r) => {
+            let (l, r) = (compile(l, binding)?, compile(r, binding)?);
+            Arc::new(move |rec: &Record| Value::Bool(truthy(&l(rec)) && truthy(&r(rec))))
+        }
+        Expr::Or(l, r) => {
+            let (l, r) = (compile(l, binding)?, compile(r, binding)?);
+            Arc::new(move |rec: &Record| Value::Bool(truthy(&l(rec)) || truthy(&r(rec))))
+        }
+        Expr::Not(e) => {
+            let e = compile(e, binding)?;
+            Arc::new(move |rec: &Record| Value::Bool(!truthy(&e(rec))))
+        }
+        Expr::Neg(e) => {
+            let e = compile(e, binding)?;
+            Arc::new(move |rec: &Record| match e(rec) {
+                Value::Int(i) => Value::Int(i.wrapping_neg()),
+                Value::Float(x) => Value::Float(-x),
+                _ => Value::Null,
+            })
+        }
+    })
+}
+
+/// Truthiness: only `Bool(true)` is true.
+fn truthy(v: &Value) -> bool {
+    matches!(v, Value::Bool(true))
+}
+
+/// Numeric-aware comparison: `Int` and `Float` compare numerically; other
+/// same-variant pairs compare by value; `Null` or mixed variants → `Null`
+/// (→ not truthy).
+fn eval_cmp(a: &Value, op: CmpOp, b: &Value) -> Value {
+    use std::cmp::Ordering;
+    let ord = match (a, b) {
+        (Value::Null, _) | (_, Value::Null) => return Value::Null,
+        (Value::Int(x), Value::Int(y)) => x.cmp(y),
+        (Value::Float(_) | Value::Int(_), Value::Float(_) | Value::Int(_)) => {
+            let (x, y) = (
+                a.as_float().expect("numeric"),
+                b.as_float().expect("numeric"),
+            );
+            x.total_cmp(&y)
+        }
+        (Value::Str(x), Value::Str(y)) => x.as_ref().cmp(y.as_ref()),
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        _ => return Value::Null,
+    };
+    let out = match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Neq => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Lte => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Gte => ord != Ordering::Less,
+    };
+    Value::Bool(out)
+}
+
+/// Numeric arithmetic; `Int ∘ Int` stays `Int` except division, which is
+/// always `Float` (with `/0 → Null`).
+fn eval_arith(a: &Value, op: ArithOp, b: &Value) -> Value {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) if op != ArithOp::Div => Value::Int(match op {
+            ArithOp::Add => x.wrapping_add(*y),
+            ArithOp::Sub => x.wrapping_sub(*y),
+            ArithOp::Mul => x.wrapping_mul(*y),
+            ArithOp::Div => unreachable!(),
+        }),
+        (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_)) => {
+            let (x, y) = (
+                a.as_float().expect("numeric"),
+                b.as_float().expect("numeric"),
+            );
+            match op {
+                ArithOp::Add => Value::Float(x + y),
+                ArithOp::Sub => Value::Float(x - y),
+                ArithOp::Mul => Value::Float(x * y),
+                ArithOp::Div => {
+                    if y == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Float(x / y)
+                    }
+                }
+            }
+        }
+        _ => Value::Null,
+    }
+}
+
+/// Best-effort output type of an expression (advisory only).
+fn infer_type(expr: &Expr, binding: &RowBinding) -> DataType {
+    match expr {
+        Expr::Column(c) => binding
+            .resolve(c)
+            .map(|i| binding.dtype(i))
+            .unwrap_or(DataType::Str),
+        Expr::Literal(Literal::Int(_)) => DataType::Int,
+        Expr::Literal(Literal::Float(_)) => DataType::Float,
+        Expr::Literal(Literal::Str(_)) => DataType::Str,
+        Expr::Literal(Literal::Bool(_)) => DataType::Bool,
+        Expr::Literal(Literal::Null) => DataType::Str,
+        Expr::Cmp(..) | Expr::And(..) | Expr::Or(..) | Expr::Not(_) => DataType::Bool,
+        Expr::Arith(l, op, r) => {
+            if *op != ArithOp::Div
+                && infer_type(l, binding) == DataType::Int
+                && infer_type(r, binding) == DataType::Int
+            {
+                DataType::Int
+            } else {
+                DataType::Float
+            }
+        }
+        Expr::Neg(e) => infer_type(e, binding),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregates
+// ---------------------------------------------------------------------------
+
+fn eval_agg(func: AggFunc, arg: Option<&Compiled>, members: &[Record]) -> Value {
+    match func {
+        AggFunc::Count => {
+            let n = match arg {
+                None => members.len(),
+                Some(e) => members.iter().filter(|r| !e(r).is_null()).count(),
+            };
+            Value::Int(n as i64)
+        }
+        AggFunc::Sum => {
+            let e = arg.expect("SUM has an argument");
+            let mut int_sum = 0i64;
+            let mut float_sum = 0.0f64;
+            let mut any_float = false;
+            let mut any = false;
+            for r in members {
+                match e(r) {
+                    Value::Int(i) => {
+                        any = true;
+                        int_sum = int_sum.wrapping_add(i);
+                        float_sum += i as f64;
+                    }
+                    Value::Float(x) => {
+                        any = true;
+                        any_float = true;
+                        float_sum += x;
+                    }
+                    _ => {}
+                }
+            }
+            if !any {
+                Value::Null
+            } else if any_float {
+                Value::Float(float_sum)
+            } else {
+                Value::Int(int_sum)
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let e = arg.expect("MIN/MAX has an argument");
+            let mut best: Option<Value> = None;
+            for r in members {
+                let v = e(r);
+                if v.is_null() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let keep_new = match eval_cmp(&v, CmpOp::Lt, &b) {
+                            Value::Bool(lt) => {
+                                if func == AggFunc::Min {
+                                    lt
+                                } else {
+                                    !lt
+                                }
+                            }
+                            _ => false,
+                        };
+                        if keep_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            best.unwrap_or(Value::Null)
+        }
+        AggFunc::Avg => {
+            let e = arg.expect("AVG has an argument");
+            let (mut sum, mut n) = (0.0f64, 0usize);
+            for r in members {
+                match e(r) {
+                    Value::Int(i) => {
+                        sum += i as f64;
+                        n += 1;
+                    }
+                    Value::Float(x) => {
+                        sum += x;
+                        n += 1;
+                    }
+                    _ => {}
+                }
+            }
+            if n == 0 {
+                Value::Null
+            } else {
+                Value::Float(sum / n as f64)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Planning
+// ---------------------------------------------------------------------------
+
+/// Injective scalar encoding of a composite grouping key.
+fn composite_key(r: &Record, indices: &[usize]) -> Value {
+    let mut s = String::new();
+    for &i in indices {
+        match r.get(i) {
+            Ok(Value::Null) => s.push('N'),
+            Ok(Value::Bool(b)) => s.push_str(if *b { "B1" } else { "B0" }),
+            Ok(Value::Int(v)) => {
+                s.push('I');
+                s.push_str(&v.to_string());
+            }
+            Ok(Value::Float(x)) => {
+                s.push('F');
+                s.push_str(&format!("{:016x}", x.to_bits()));
+            }
+            Ok(Value::Str(v)) => {
+                s.push('S');
+                s.push_str(&v.len().to_string());
+                s.push(':');
+                s.push_str(v);
+            }
+            Err(_) => s.push('?'),
+        }
+        s.push('\u{1f}');
+    }
+    Value::str(s)
+}
+
+fn plan_query(catalog: &QueryCatalog, query: &Query) -> Result<PlannedQuery> {
+    let from_def = catalog.table(&query.from)?;
+    let mut b = LogicalPlanBuilder::new();
+
+    let source_payload = |def: &TableDef, name: &str| match &def.source {
+        TableSource::Collection(data) => LogicalPayload::Source {
+            name: name.to_string(),
+            data: data.clone(),
+        },
+        TableSource::Storage(id) => LogicalPayload::StorageSource {
+            dataset_id: id.clone(),
+        },
+    };
+
+    let from_node = b.add_simple(
+        format!("scan-{}", query.from),
+        source_payload(from_def, &query.from),
+        vec![],
+    );
+    let from_binding = RowBinding::from_table(&query.from, &from_def.schema);
+
+    // JOIN: resolve each key against the side it belongs to (accepting
+    // either order in the ON clause).
+    let (mut node, binding) = match &query.join {
+        None => (from_node, from_binding),
+        Some(join) => {
+            let right_def = catalog.table(&join.table)?;
+            let right_node = b.add_simple(
+                format!("scan-{}", join.table),
+                source_payload(right_def, &join.table),
+                vec![],
+            );
+            let right_binding = RowBinding::from_table(&join.table, &right_def.schema);
+            let (lk, rk) = match (
+                from_binding.resolve(&join.left),
+                right_binding.resolve(&join.right),
+            ) {
+                (Ok(l), Ok(r)) => (l, r),
+                _ => {
+                    // Try the reversed orientation.
+                    let l = from_binding.resolve(&join.right).map_err(|_| {
+                        RheemError::Query(format!(
+                            "join keys `{}` / `{}` do not match the joined tables",
+                            render_col(&join.left),
+                            render_col(&join.right)
+                        ))
+                    })?;
+                    let r = right_binding.resolve(&join.left)?;
+                    (l, r)
+                }
+            };
+            let joined = b.add_simple(
+                "join",
+                LogicalPayload::Join {
+                    left_key: KeyUdf::field(lk),
+                    right_key: KeyUdf::field(rk),
+                },
+                vec![from_node, right_node],
+            );
+            (joined, RowBinding::joined(&from_binding, &right_binding))
+        }
+    };
+
+    // WHERE.
+    if let Some(filter) = &query.filter {
+        let pred = compile(filter, &binding)?;
+        node = b.add_simple(
+            "where",
+            LogicalPayload::Filter(FilterUdf::new("where", move |r: &Record| truthy(&pred(r)))),
+            vec![node],
+        );
+    }
+
+    // SELECT (+ GROUP BY): produce the output rows and schema.
+    let grouped = !query.group_by.is_empty() || query.has_aggregates();
+    let (out_node, out_schema) = if grouped {
+        plan_grouped_select(query, &binding, &mut b, node)?
+    } else {
+        plan_plain_select(query, &binding, &mut b, node)?
+    };
+    node = out_node;
+
+    // HAVING (over output columns).
+    let out_binding = RowBinding::from_output(&out_schema);
+    if let Some(having) = &query.having {
+        if !grouped {
+            return Err(RheemError::Query(
+                "HAVING requires GROUP BY or aggregates".into(),
+            ));
+        }
+        let pred = compile(having, &out_binding)?;
+        node = b.add_simple(
+            "having",
+            LogicalPayload::Filter(FilterUdf::new("having", move |r: &Record| truthy(&pred(r)))),
+            vec![node],
+        );
+    }
+
+    // ORDER BY (an output column or alias).
+    if let Some(order) = &query.order_by {
+        let idx = out_binding.resolve(&ColumnRef {
+            table: None,
+            column: order.column.clone(),
+        })?;
+        node = b.add_simple(
+            "order-by",
+            LogicalPayload::Sort {
+                key: KeyUdf::field(idx),
+                descending: order.descending,
+            },
+            vec![node],
+        );
+    }
+
+    // LIMIT.
+    if let Some(n) = query.limit {
+        node = b.add_simple("limit", LogicalPayload::Limit { n }, vec![node]);
+    }
+
+    let sink = b.add_simple("collect", LogicalPayload::Collect, vec![node]);
+    let logical = b.build()?;
+    Ok(PlannedQuery {
+        logical,
+        schema: out_schema,
+        sink: NodeId(sink.0),
+    })
+}
+
+/// Output column name for an item (alias > column name > function name),
+/// deduplicated with `_2`, `_3`, ... suffixes.
+fn output_names(query: &Query, binding: &RowBinding) -> Vec<(String, DataType)> {
+    let mut names: Vec<(String, DataType)> = Vec::new();
+    let push = |name: String, dtype: DataType, names: &mut Vec<(String, DataType)>| {
+        let mut candidate = name.clone();
+        let mut k = 2;
+        while names.iter().any(|(n, _)| *n == candidate) {
+            candidate = format!("{name}_{k}");
+            k += 1;
+        }
+        names.push((candidate, dtype));
+    };
+    for item in &query.select {
+        match &item.expr {
+            SelectExpr::Star => {
+                for (_, name, dtype) in &binding.fields {
+                    push(name.clone(), *dtype, &mut names);
+                }
+            }
+            SelectExpr::Expr(e) => {
+                let name = item.alias.clone().unwrap_or_else(|| match e {
+                    Expr::Column(c) => c.column.clone(),
+                    _ => "expr".to_string(),
+                });
+                push(name, infer_type(e, binding), &mut names);
+            }
+            SelectExpr::Agg(f, arg) => {
+                let name = item.alias.clone().unwrap_or_else(|| f.name().to_string());
+                let dtype = match f {
+                    AggFunc::Count => DataType::Int,
+                    AggFunc::Avg => DataType::Float,
+                    _ => arg
+                        .as_ref()
+                        .map(|e| infer_type(e, binding))
+                        .unwrap_or(DataType::Float),
+                };
+                push(name, dtype, &mut names);
+            }
+        }
+    }
+    names
+}
+
+fn plan_plain_select(
+    query: &Query,
+    binding: &RowBinding,
+    b: &mut LogicalPlanBuilder,
+    input: crate::logical::LogicalNodeId,
+) -> Result<(crate::logical::LogicalNodeId, Schema)> {
+    let names = output_names(query, binding);
+    let schema = Schema::new(names.clone().into_iter().collect::<Vec<_>>());
+
+    // `SELECT *` alone needs no projection at all.
+    if query.select.len() == 1 && matches!(query.select[0].expr, SelectExpr::Star) {
+        return Ok((input, schema));
+    }
+
+    let mut cells: Vec<Compiled> = Vec::new();
+    let mut star_spans: Vec<(usize, usize)> = Vec::new(); // (cell position, width)
+    for item in &query.select {
+        match &item.expr {
+            SelectExpr::Star => {
+                star_spans.push((cells.len(), binding.fields.len()));
+                for i in 0..binding.fields.len() {
+                    cells.push(Arc::new(move |r: &Record| {
+                        r.get(i).cloned().unwrap_or(Value::Null)
+                    }));
+                }
+            }
+            SelectExpr::Expr(e) => cells.push(compile(e, binding)?),
+            SelectExpr::Agg(f, _) => {
+                return Err(RheemError::Query(format!(
+                    "aggregate {}() without GROUP BY must not be mixed with plain columns \
+                     unless they are grouped",
+                    f.name()
+                )))
+            }
+        }
+    }
+    let projected = b.add_simple(
+        "select",
+        LogicalPayload::Map(MapUdf::new("select", move |r: &Record| {
+            Record::new(cells.iter().map(|c| c(r)).collect())
+        })),
+        vec![input],
+    );
+    Ok((projected, schema))
+}
+
+fn plan_grouped_select(
+    query: &Query,
+    binding: &RowBinding,
+    b: &mut LogicalPlanBuilder,
+    input: crate::logical::LogicalNodeId,
+) -> Result<(crate::logical::LogicalNodeId, Schema)> {
+    // Resolve group columns.
+    let group_indices: Vec<usize> = query
+        .group_by
+        .iter()
+        .map(|c| binding.resolve(c))
+        .collect::<Result<_>>()?;
+
+    // Validate and compile select items.
+    enum Cell {
+        GroupCol(usize),
+        Agg(AggFunc, Option<Compiled>),
+    }
+    let mut cells: Vec<Cell> = Vec::new();
+    for item in &query.select {
+        match &item.expr {
+            SelectExpr::Star => {
+                return Err(RheemError::Query(
+                    "SELECT * is not allowed with GROUP BY / aggregates".into(),
+                ))
+            }
+            SelectExpr::Expr(Expr::Column(c)) => {
+                let idx = binding.resolve(c)?;
+                if !group_indices.contains(&idx) {
+                    return Err(RheemError::Query(format!(
+                        "column `{}` must appear in GROUP BY or inside an aggregate",
+                        render_col(c)
+                    )));
+                }
+                cells.push(Cell::GroupCol(idx));
+            }
+            SelectExpr::Expr(_) => {
+                return Err(RheemError::Query(
+                    "grouped SELECT items must be plain group columns or aggregates".into(),
+                ))
+            }
+            SelectExpr::Agg(f, arg) => {
+                let compiled = arg.as_ref().map(|e| compile(e, binding)).transpose()?;
+                cells.push(Cell::Agg(*f, compiled));
+            }
+        }
+    }
+
+    let names = output_names(query, binding);
+    let schema = Schema::new(names.into_iter().collect::<Vec<_>>());
+
+    let key_indices = group_indices.clone();
+    let key = KeyUdf::new("group-key", move |r: &Record| {
+        composite_key(r, &key_indices)
+    });
+    let group = GroupMapUdf::new("aggregate", move |_key: &Value, members: &[Record]| {
+        let first = &members[0];
+        let fields: Vec<Value> = cells
+            .iter()
+            .map(|cell| match cell {
+                Cell::GroupCol(i) => first.get(*i).cloned().unwrap_or(Value::Null),
+                Cell::Agg(f, arg) => eval_agg(*f, arg.as_ref(), members),
+            })
+            .collect();
+        vec![Record::new(fields)]
+    });
+    let node = b.add_simple("group-by", LogicalPayload::Group { key, group }, vec![input]);
+    Ok((node, schema))
+}

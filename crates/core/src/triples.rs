@@ -1,0 +1,202 @@
+//! A tiny in-memory triple store for declarative system metadata.
+//!
+//! The paper's first research challenge (§8.1) envisions operator mappings
+//! and rule/cost models specified "in RDF triples" that the optimizer uses
+//! "as a first-class citizen". We implement the spirit of that idea without
+//! an RDF dependency: a `(subject, predicate, object)` store with pattern
+//! queries. The [`crate::mapping::MappingRegistry`] and the optimizer's hint
+//! mechanism are both backed by this store, so developers extend the system
+//! by *asserting facts*, not by editing optimizer code.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A `(subject, predicate, object)` fact.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Triple {
+    /// The entity the fact is about (e.g. a logical operator name).
+    pub subject: String,
+    /// The relation (e.g. `"mapsTo"`, `"prefersPlatform"`).
+    pub predicate: String,
+    /// The value (e.g. a physical operator name).
+    pub object: String,
+}
+
+impl Triple {
+    /// Construct a triple from string-likes.
+    pub fn new(
+        subject: impl Into<String>,
+        predicate: impl Into<String>,
+        object: impl Into<String>,
+    ) -> Self {
+        Triple {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object: object.into(),
+        }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} {} {})", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A pattern component: match anything or an exact string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Term {
+    /// Wildcard.
+    Any,
+    /// Exact match.
+    Is(String),
+}
+
+impl Term {
+    /// Convenience constructor for [`Term::Is`].
+    pub fn is(s: impl Into<String>) -> Self {
+        Term::Is(s.into())
+    }
+
+    fn matches(&self, s: &str) -> bool {
+        match self {
+            Term::Any => true,
+            Term::Is(t) => t == s,
+        }
+    }
+}
+
+/// An ordered, duplicate-free set of triples with pattern queries.
+#[derive(Clone, Debug, Default)]
+pub struct TripleStore {
+    triples: BTreeSet<Triple>,
+}
+
+impl TripleStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        TripleStore::default()
+    }
+
+    /// Assert a fact. Returns `true` if it was new.
+    pub fn assert(&mut self, t: Triple) -> bool {
+        self.triples.insert(t)
+    }
+
+    /// Assert a fact from its components.
+    pub fn assert_parts(
+        &mut self,
+        s: impl Into<String>,
+        p: impl Into<String>,
+        o: impl Into<String>,
+    ) -> bool {
+        self.assert(Triple::new(s, p, o))
+    }
+
+    /// Retract a fact. Returns `true` if it was present.
+    pub fn retract(&mut self, t: &Triple) -> bool {
+        self.triples.remove(t)
+    }
+
+    /// All facts matching the pattern, in lexicographic order.
+    pub fn query(&self, s: &Term, p: &Term, o: &Term) -> Vec<&Triple> {
+        self.triples
+            .iter()
+            .filter(|t| s.matches(&t.subject) && p.matches(&t.predicate) && o.matches(&t.object))
+            .collect()
+    }
+
+    /// Objects of all `(subject, predicate, ?)` facts, in order.
+    pub fn objects(&self, subject: &str, predicate: &str) -> Vec<&str> {
+        self.query(&Term::is(subject), &Term::is(predicate), &Term::Any)
+            .into_iter()
+            .map(|t| t.object.as_str())
+            .collect()
+    }
+
+    /// The single object of `(subject, predicate, ?)`, if exactly one exists.
+    pub fn object(&self, subject: &str, predicate: &str) -> Option<&str> {
+        let mut objs = self.objects(subject, predicate);
+        if objs.len() == 1 {
+            objs.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of stored facts.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True iff no facts are stored.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Iterate over all facts.
+    pub fn iter(&self) -> impl Iterator<Item = &Triple> {
+        self.triples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TripleStore {
+        let mut s = TripleStore::new();
+        s.assert_parts("Process", "mapsTo", "HashGroupBy");
+        s.assert_parts("Process", "mapsTo", "SortGroupBy");
+        s.assert_parts("Process", "prefers", "HashGroupBy");
+        s.assert_parts("Initialize", "mapsTo", "Map");
+        s
+    }
+
+    #[test]
+    fn assert_is_idempotent() {
+        let mut s = store();
+        assert!(!s.assert_parts("Process", "mapsTo", "HashGroupBy"));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn pattern_queries() {
+        let s = store();
+        assert_eq!(s.query(&Term::is("Process"), &Term::is("mapsTo"), &Term::Any).len(), 2);
+        assert_eq!(s.query(&Term::Any, &Term::is("mapsTo"), &Term::Any).len(), 3);
+        assert_eq!(s.query(&Term::Any, &Term::Any, &Term::Any).len(), 4);
+        assert!(s
+            .query(&Term::is("Nope"), &Term::Any, &Term::Any)
+            .is_empty());
+    }
+
+    #[test]
+    fn objects_are_ordered_and_object_requires_uniqueness() {
+        let s = store();
+        assert_eq!(
+            s.objects("Process", "mapsTo"),
+            vec!["HashGroupBy", "SortGroupBy"]
+        );
+        assert_eq!(s.object("Process", "prefers"), Some("HashGroupBy"));
+        assert_eq!(s.object("Process", "mapsTo"), None); // ambiguous
+        assert_eq!(s.object("Missing", "mapsTo"), None);
+    }
+
+    #[test]
+    fn retract_removes_facts() {
+        let mut s = store();
+        let t = Triple::new("Initialize", "mapsTo", "Map");
+        assert!(s.retract(&t));
+        assert!(!s.retract(&t));
+        assert!(s.objects("Initialize", "mapsTo").is_empty());
+    }
+
+    #[test]
+    fn display_formats_triple() {
+        assert_eq!(
+            Triple::new("a", "b", "c").to_string(),
+            "(a b c)"
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! UDF (user-defined function) types.
+//!
+//! The paper's entire processing abstraction "is fully based on user-defined
+//! functions" (§1): every operator at every layer carries user logic. We
+//! model UDFs as reference-counted closures so that physical plans are
+//! cheaply clonable data structures the optimizer can rewrite, split, and
+//! ship to platforms.
+//!
+//! Each UDF is wrapped in a small named struct: the name shows up in plan
+//! explanations and execution statistics, and optional hints (selectivity,
+//! fan-out) feed the cardinality estimator (§4.2).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::data::{Record, Value};
+
+/// `Record -> Record` transformation.
+pub type MapFn = Arc<dyn Fn(&Record) -> Record + Send + Sync>;
+/// `Record -> [Record]` transformation (also used for per-quantum filters
+/// with side information).
+pub type FlatMapFn = Arc<dyn Fn(&Record) -> Vec<Record> + Send + Sync>;
+/// Predicate over a single data quantum.
+pub type FilterFn = Arc<dyn Fn(&Record) -> bool + Send + Sync>;
+/// Key extractor used by grouping, reduction, joins, and sorting.
+pub type KeyFn = Arc<dyn Fn(&Record) -> Value + Send + Sync>;
+/// Commutative-associative combiner for (keyed or global) reduction.
+pub type ReduceFn = Arc<dyn Fn(Record, &Record) -> Record + Send + Sync>;
+/// Per-group transformation: `(key, members) -> [Record]`.
+pub type GroupMapFn = Arc<dyn Fn(&Value, &[Record]) -> Vec<Record> + Send + Sync>;
+/// Binary predicate over a pair of quanta (theta joins, violation detection).
+pub type PairPredicateFn = Arc<dyn Fn(&Record, &Record) -> bool + Send + Sync>;
+/// Loop continuation test: `(iteration, loop state) -> keep going?`.
+pub type LoopCondFn = Arc<dyn Fn(u64, &[Record]) -> bool + Send + Sync>;
+
+/// A named unary `map` UDF.
+#[derive(Clone)]
+pub struct MapUdf {
+    /// Display name used in plan explanations and stats.
+    pub name: String,
+    /// The function itself.
+    pub f: MapFn,
+}
+
+impl MapUdf {
+    /// Wrap a closure with a display name.
+    pub fn new(name: impl Into<String>, f: impl Fn(&Record) -> Record + Send + Sync + 'static) -> Self {
+        MapUdf {
+            name: name.into(),
+            f: Arc::new(f),
+        }
+    }
+}
+
+/// A named `flat_map` UDF with an optional average fan-out hint.
+#[derive(Clone)]
+pub struct FlatMapUdf {
+    /// Display name.
+    pub name: String,
+    /// The function itself.
+    pub f: FlatMapFn,
+    /// Expected number of output quanta per input quantum (default 1.0).
+    pub fanout: f64,
+}
+
+impl FlatMapUdf {
+    /// Wrap a closure with a display name and default fan-out 1.0.
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&Record) -> Vec<Record> + Send + Sync + 'static,
+    ) -> Self {
+        FlatMapUdf {
+            name: name.into(),
+            f: Arc::new(f),
+            fanout: 1.0,
+        }
+    }
+
+    /// Attach a fan-out hint for the cardinality estimator.
+    pub fn with_fanout(mut self, fanout: f64) -> Self {
+        self.fanout = fanout;
+        self
+    }
+}
+
+/// A named filter UDF with an optional selectivity hint.
+#[derive(Clone)]
+pub struct FilterUdf {
+    /// Display name.
+    pub name: String,
+    /// The predicate.
+    pub f: FilterFn,
+    /// Expected fraction of quanta kept (default 0.5).
+    pub selectivity: f64,
+}
+
+impl FilterUdf {
+    /// Wrap a predicate with a display name and default selectivity 0.5.
+    pub fn new(name: impl Into<String>, f: impl Fn(&Record) -> bool + Send + Sync + 'static) -> Self {
+        FilterUdf {
+            name: name.into(),
+            f: Arc::new(f),
+            selectivity: 0.5,
+        }
+    }
+
+    /// Attach a selectivity hint in `[0, 1]`.
+    pub fn with_selectivity(mut self, selectivity: f64) -> Self {
+        self.selectivity = selectivity.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// A named key-extraction UDF.
+#[derive(Clone)]
+pub struct KeyUdf {
+    /// Display name.
+    pub name: String,
+    /// The key extractor.
+    pub f: KeyFn,
+    /// Expected number of distinct keys, if known (cardinality hint).
+    pub distinct_keys: Option<f64>,
+}
+
+impl KeyUdf {
+    /// Wrap a key extractor with a display name.
+    pub fn new(name: impl Into<String>, f: impl Fn(&Record) -> Value + Send + Sync + 'static) -> Self {
+        KeyUdf {
+            name: name.into(),
+            f: Arc::new(f),
+            distinct_keys: None,
+        }
+    }
+
+    /// Key extractor that simply reads field `index`.
+    pub fn field(index: usize) -> Self {
+        KeyUdf {
+            name: format!("field#{index}"),
+            f: Arc::new(move |r: &Record| r.get(index).cloned().unwrap_or(Value::Null)),
+            distinct_keys: None,
+        }
+    }
+
+    /// Attach a distinct-key-count hint.
+    pub fn with_distinct_keys(mut self, n: f64) -> Self {
+        self.distinct_keys = Some(n);
+        self
+    }
+}
+
+/// A named keyed/global reduction UDF.
+#[derive(Clone)]
+pub struct ReduceUdf {
+    /// Display name.
+    pub name: String,
+    /// The combiner; must be associative for partitioned execution.
+    pub f: ReduceFn,
+}
+
+impl ReduceUdf {
+    /// Wrap a combiner with a display name.
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(Record, &Record) -> Record + Send + Sync + 'static,
+    ) -> Self {
+        ReduceUdf {
+            name: name.into(),
+            f: Arc::new(f),
+        }
+    }
+}
+
+/// A named per-group transformation UDF.
+#[derive(Clone)]
+pub struct GroupMapUdf {
+    /// Display name.
+    pub name: String,
+    /// The per-group function.
+    pub f: GroupMapFn,
+    /// Expected output quanta per group (default 1.0).
+    pub per_group_output: f64,
+}
+
+impl GroupMapUdf {
+    /// Wrap a per-group closure with a display name.
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&Value, &[Record]) -> Vec<Record> + Send + Sync + 'static,
+    ) -> Self {
+        GroupMapUdf {
+            name: name.into(),
+            f: Arc::new(f),
+            per_group_output: 1.0,
+        }
+    }
+
+    /// The identity group map: re-emits every member, prefixed with nothing.
+    pub fn identity() -> Self {
+        GroupMapUdf::new("identity", |_k, members: &[Record]| members.to_vec())
+    }
+
+    /// Attach an output-size hint (records emitted per group).
+    pub fn with_per_group_output(mut self, n: f64) -> Self {
+        self.per_group_output = n;
+        self
+    }
+}
+
+/// A named loop-continuation UDF.
+#[derive(Clone)]
+pub struct LoopCondUdf {
+    /// Display name.
+    pub name: String,
+    /// Returns `true` while the loop should continue.
+    pub f: LoopCondFn,
+}
+
+impl LoopCondUdf {
+    /// Wrap a continuation test with a display name.
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(u64, &[Record]) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        LoopCondUdf {
+            name: name.into(),
+            f: Arc::new(f),
+        }
+    }
+
+    /// Continue for exactly `n` iterations.
+    pub fn fixed_iterations(n: u64) -> Self {
+        LoopCondUdf::new(format!("iters<{n}"), move |i, _| i < n)
+    }
+}
+
+macro_rules! impl_debug_by_name {
+    ($($t:ty),*) => {
+        $(impl fmt::Debug for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($t), "({})"), self.name)
+            }
+        })*
+    };
+}
+
+impl_debug_by_name!(MapUdf, FlatMapUdf, FilterUdf, KeyUdf, ReduceUdf, GroupMapUdf, LoopCondUdf);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rec;
+
+    #[test]
+    fn map_udf_applies() {
+        let udf = MapUdf::new("inc", |r: &Record| rec![r.int(0).unwrap() + 1]);
+        assert_eq!((udf.f)(&rec![1i64]), rec![2i64]);
+        assert_eq!(format!("{udf:?}"), "MapUdf(inc)");
+    }
+
+    #[test]
+    fn filter_selectivity_is_clamped() {
+        let udf = FilterUdf::new("always", |_| true).with_selectivity(3.0);
+        assert_eq!(udf.selectivity, 1.0);
+        let udf = udf.with_selectivity(-1.0);
+        assert_eq!(udf.selectivity, 0.0);
+    }
+
+    #[test]
+    fn key_field_extracts_and_handles_missing() {
+        let k = KeyUdf::field(1);
+        assert_eq!((k.f)(&rec![1i64, "x"]), Value::str("x"));
+        assert_eq!((k.f)(&rec![1i64]), Value::Null);
+    }
+
+    #[test]
+    fn fixed_iterations_condition() {
+        let c = LoopCondUdf::fixed_iterations(3);
+        assert!((c.f)(0, &[]));
+        assert!((c.f)(2, &[]));
+        assert!(!(c.f)(3, &[]));
+    }
+
+    #[test]
+    fn group_map_identity_reemits_members() {
+        let g = GroupMapUdf::identity();
+        let members = vec![rec![1i64], rec![2i64]];
+        assert_eq!((g.f)(&Value::Int(0), &members), members);
+    }
+}

@@ -1,0 +1,15 @@
+//! # rheem-datagen
+//!
+//! Synthetic workload generators for the RHEEM reproduction. Every
+//! evaluation input the paper uses but we cannot ship is substituted here
+//! (see DESIGN.md): LIBSVM classification data (Figure 2), dirty tax
+//! records (Figure 3 / BigDansing), random graphs, and the relational +
+//! sensor tables of the §1 Oil & Gas scenario. All generators are
+//! deterministic in their seeds.
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod libsvm;
+pub mod relational;
+pub mod tax;

@@ -1,0 +1,240 @@
+//! LIBSVM-format dataset generation and parsing.
+//!
+//! The paper's Figure 2 runs SVM "on different datasets from LIBSVM with
+//! only one hundred iterations". We cannot ship those datasets, but the
+//! experiment only needs a *size sweep* of binary classification data, so
+//! [`generate`] produces linearly separable (plus label noise) datasets of
+//! any size, and [`to_text`]/[`parse`] speak the actual LIBSVM text format
+//! (`label idx:value idx:value ...`, 1-based indices) for interoperability
+//! with the real files.
+//!
+//! Record layout: `[label(Float ∈ {-1.0, +1.0}), x_1(Float), ..., x_d(Float)]`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rheem_core::data::{Record, Value};
+use rheem_core::error::{Result, RheemError};
+
+/// Configuration of the synthetic LIBSVM generator.
+#[derive(Clone, Debug)]
+pub struct LibsvmConfig {
+    /// Number of examples.
+    pub rows: usize,
+    /// Number of features.
+    pub dims: usize,
+    /// Fraction of labels flipped (noise; 0.0 = separable).
+    pub label_noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LibsvmConfig {
+    /// A small default: 1000 × 20, 5% noise.
+    pub fn new(rows: usize, dims: usize) -> Self {
+        LibsvmConfig {
+            rows,
+            dims,
+            label_noise: 0.05,
+            seed: 42,
+        }
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the label noise.
+    pub fn with_noise(mut self, label_noise: f64) -> Self {
+        self.label_noise = label_noise;
+        self
+    }
+}
+
+/// Generate a synthetic binary-classification dataset.
+///
+/// Points are drawn uniformly from `[-1, 1]^d`; the true concept is the
+/// sign of `w*·x` for a hidden unit vector `w*`, with `label_noise`
+/// flipping. Deterministic in the seed.
+pub fn generate(config: &LibsvmConfig) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Hidden separating direction.
+    let mut w: Vec<f64> = (0..config.dims).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+    for x in &mut w {
+        *x /= norm;
+    }
+
+    let mut out = Vec::with_capacity(config.rows);
+    for _ in 0..config.rows {
+        let x: Vec<f64> = (0..config.dims).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let margin: f64 = w.iter().zip(&x).map(|(a, b)| a * b).sum();
+        let mut label = if margin >= 0.0 { 1.0 } else { -1.0 };
+        if rng.gen_bool(config.label_noise.clamp(0.0, 1.0)) {
+            label = -label;
+        }
+        let mut fields = Vec::with_capacity(config.dims + 1);
+        fields.push(Value::Float(label));
+        fields.extend(x.into_iter().map(Value::Float));
+        out.push(Record::new(fields));
+    }
+    out
+}
+
+/// Render records in LIBSVM text format (dense; zero features skipped).
+pub fn to_text(records: &[Record]) -> Result<String> {
+    let mut out = String::new();
+    for r in records {
+        let label = r.float(0)?;
+        out.push_str(&format_number(label));
+        for i in 1..r.width() {
+            let v = r.float(i)?;
+            if v != 0.0 {
+                out.push_str(&format!(" {}:{}", i, format_number(v)));
+            }
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn format_number(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Parse LIBSVM text into records of width `dims + 1` (absent features 0.0).
+pub fn parse(text: &str, dims: usize) -> Result<Vec<Record>> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let label: f64 = tokens
+            .next()
+            .expect("non-empty line has a first token")
+            .parse()
+            .map_err(|_| bad(lineno, "label"))?;
+        let mut features = vec![0.0f64; dims];
+        for tok in tokens {
+            let (idx, val) = tok.split_once(':').ok_or_else(|| bad(lineno, "pair"))?;
+            let idx: usize = idx.parse().map_err(|_| bad(lineno, "index"))?;
+            let val: f64 = val.parse().map_err(|_| bad(lineno, "value"))?;
+            if idx == 0 || idx > dims {
+                return Err(bad(lineno, "index range"));
+            }
+            features[idx - 1] = val;
+        }
+        let mut fields = Vec::with_capacity(dims + 1);
+        fields.push(Value::Float(label));
+        fields.extend(features.into_iter().map(Value::Float));
+        out.push(Record::new(fields));
+    }
+    Ok(out)
+}
+
+fn bad(lineno: usize, what: &str) -> RheemError {
+    RheemError::Storage(format!("bad LIBSVM {what} on line {}", lineno + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_shaped() {
+        let cfg = LibsvmConfig::new(100, 5);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a[0].width(), 6);
+        for r in &a {
+            let label = r.float(0).unwrap();
+            assert!(label == 1.0 || label == -1.0);
+        }
+        // Both classes present.
+        assert!(a.iter().any(|r| r.float(0).unwrap() > 0.0));
+        assert!(a.iter().any(|r| r.float(0).unwrap() < 0.0));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&LibsvmConfig::new(50, 4).with_seed(1));
+        let b = generate(&LibsvmConfig::new(50, 4).with_seed(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let records = generate(&LibsvmConfig::new(20, 3));
+        let text = to_text(&records).unwrap();
+        let back = parse(&text, 3).unwrap();
+        assert_eq!(records.len(), back.len());
+        for (r, b) in records.iter().zip(&back) {
+            for i in 0..r.width() {
+                let (x, y) = (r.float(i).unwrap(), b.float(i).unwrap());
+                assert!((x - y).abs() < 1e-12, "field {i}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_handles_sparse_lines_and_comments() {
+        let text = "# comment\n+1 2:0.5\n-1 1:1.5 3:-2\n\n";
+        let recs = parse(text, 3).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].float(0).unwrap(), 1.0);
+        assert_eq!(recs[0].float(1).unwrap(), 0.0);
+        assert_eq!(recs[0].float(2).unwrap(), 0.5);
+        assert_eq!(recs[1].float(3).unwrap(), -2.0);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse("x 1:1\n", 2).is_err());
+        assert!(parse("1 0:1\n", 2).is_err()); // 1-based indices
+        assert!(parse("1 5:1\n", 2).is_err()); // out of range
+        assert!(parse("1 nope\n", 2).is_err());
+    }
+
+    #[test]
+    fn separable_data_is_mostly_consistent_with_some_linear_model() {
+        // With zero noise, the generating hyperplane classifies everything
+        // correctly — verify via a weak proxy: a perceptron converges fast.
+        let recs = generate(&LibsvmConfig::new(200, 4).with_noise(0.0));
+        let mut w = [0.0f64; 4];
+        for _ in 0..50 {
+            for r in &recs {
+                let y = r.float(0).unwrap();
+                let x: Vec<f64> = (1..5).map(|i| r.float(i).unwrap()).collect();
+                let pred: f64 = w.iter().zip(&x).map(|(a, b)| a * b).sum();
+                if y * pred <= 0.0 {
+                    for (wi, xi) in w.iter_mut().zip(&x) {
+                        *wi += y * xi;
+                    }
+                }
+            }
+        }
+        let errors = recs
+            .iter()
+            .filter(|r| {
+                let y = r.float(0).unwrap();
+                let pred: f64 = w
+                    .iter()
+                    .enumerate()
+                    .map(|(i, wi)| wi * r.float(i + 1).unwrap())
+                    .sum();
+                y * pred <= 0.0
+            })
+            .count();
+        assert!(errors < 20, "perceptron should nearly separate: {errors} errors");
+    }
+}

@@ -1,0 +1,266 @@
+//! Single-source shortest paths (Bellman–Ford style relaxation) as a RHEEM
+//! loop plan — the classic iterative graph workload after PageRank.
+//!
+//! Layouts: weighted edges `[src(Int), dst(Int), weight(Float)]`;
+//! distances (the loop state) `[node(Int), dist(Float)]` (unreachable nodes
+//! carry `f64::INFINITY`).
+
+use rheem_core::data::{Dataset, Record};
+use rheem_core::error::{Result, RheemError};
+use rheem_core::plan::{NodeId, PhysicalPlan, PlanBuilder};
+use rheem_core::rec;
+use rheem_core::udf::{KeyUdf, LoopCondUdf, MapUdf, ReduceUdf};
+use rheem_core::{JobResult, RheemContext};
+
+use crate::pagerank::nodes_of;
+
+/// Shortest-path configuration.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    /// Source node.
+    pub source: i64,
+    /// Relaxation rounds (≥ longest shortest path's hop count for
+    /// exactness; `nodes - 1` is always sufficient).
+    pub iterations: u64,
+}
+
+impl ShortestPaths {
+    /// Paths from `source`, with a default of 30 relaxation rounds.
+    pub fn from(source: i64) -> Self {
+        ShortestPaths {
+            source,
+            iterations: 30,
+        }
+    }
+
+    /// Override the round count.
+    pub fn with_iterations(mut self, iterations: u64) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Build the plan; returns `(plan, sink)`. Edges must carry
+    /// non-negative weights in field 2 (validated here).
+    pub fn build_plan(&self, edges: Vec<Record>) -> Result<(PhysicalPlan, NodeId)> {
+        for e in &edges {
+            let w = e.float(2)?;
+            if w < 0.0 {
+                return Err(RheemError::InvalidPlan(format!(
+                    "negative edge weight {w} (relaxation count only covers non-negative graphs)"
+                )));
+            }
+        }
+        let nodes = nodes_of(&edges);
+        if !nodes.contains(&self.source) {
+            return Err(RheemError::InvalidPlan(format!(
+                "source node {} does not appear in the edge list",
+                self.source
+            )));
+        }
+
+        // Loop body: dist' = min(dist, min over in-edges (dist[src] + w)).
+        let mut body = PlanBuilder::new();
+        let dist = body.loop_input();
+        let edge_src = body.collection("edges", edges);
+        // edge.src = dist.node → candidate distance for dst.
+        let joined = body.hash_join(edge_src, dist, KeyUdf::field(0), KeyUdf::field(0));
+        // [src, dst, w, node, d] -> [dst, d + w].
+        let candidates = body.map(
+            joined,
+            MapUdf::new("relax", |r: &Record| {
+                rec![
+                    r.int(1).expect("dst"),
+                    r.float(4).expect("dist") + r.float(2).expect("weight")
+                ]
+            }),
+        );
+        let all = body.union(candidates, dist);
+        body.reduce_by_key(
+            all,
+            KeyUdf::field(0),
+            ReduceUdf::new("min-dist", |a: Record, b: &Record| {
+                if b.float(1).expect("dist") < a.float(1).expect("dist") {
+                    b.clone()
+                } else {
+                    a
+                }
+            }),
+        );
+        let body = body.build_fragment()?;
+
+        let mut b = PlanBuilder::new();
+        let source = self.source;
+        let init = b.collection(
+            "initial-distances",
+            nodes
+                .iter()
+                .map(|&v| rec![v, if v == source { 0.0 } else { f64::INFINITY }])
+                .collect(),
+        );
+        let looped = b.repeat(
+            init,
+            body,
+            LoopCondUdf::fixed_iterations(self.iterations),
+            self.iterations,
+        );
+        let sink = b.collect(looped);
+        Ok((b.build()?, sink))
+    }
+
+    /// Run; returns `(node, distance)` sorted by node (`f64::INFINITY` for
+    /// unreachable nodes).
+    pub fn run(
+        &self,
+        ctx: &RheemContext,
+        edges: Vec<Record>,
+    ) -> Result<(Vec<(i64, f64)>, JobResult)> {
+        let (plan, sink) = self.build_plan(edges)?;
+        let result = ctx.execute(plan)?;
+        let distances = decode_distances(&result.outputs[&sink])?;
+        Ok((distances, result))
+    }
+}
+
+/// Decode `[node, dist]` records sorted by node.
+pub fn decode_distances(d: &Dataset) -> Result<Vec<(i64, f64)>> {
+    let mut out: Vec<(i64, f64)> = d
+        .iter()
+        .map(|r| Ok((r.int(0)?, r.float(1)?)))
+        .collect::<Result<_>>()?;
+    out.sort_by_key(|(n, _)| *n);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rheem_platforms::JavaPlatform;
+    use std::sync::Arc;
+
+    fn ctx() -> RheemContext {
+        RheemContext::new().with_platform(Arc::new(JavaPlatform::new()))
+    }
+
+    #[test]
+    fn weighted_diamond() {
+        //      1 --1.0--> 3
+        //     /2.0          \0.5
+        //    0               4
+        //     \1.0          /
+        //      2 --5.0--> (4 directly)
+        let edges = vec![
+            rec![0i64, 1i64, 2.0],
+            rec![0i64, 2i64, 1.0],
+            rec![1i64, 3i64, 1.0],
+            rec![3i64, 4i64, 0.5],
+            rec![2i64, 4i64, 5.0],
+        ];
+        let (dist, _) = ShortestPaths::from(0).run(&ctx(), edges).unwrap();
+        let d: std::collections::HashMap<i64, f64> = dist.into_iter().collect();
+        assert_eq!(d[&0], 0.0);
+        assert_eq!(d[&1], 2.0);
+        assert_eq!(d[&2], 1.0);
+        assert_eq!(d[&3], 3.0);
+        assert_eq!(d[&4], 3.5); // via 0→1→3→4, not 0→2→4 (6.0)
+    }
+
+    #[test]
+    fn unreachable_nodes_stay_infinite() {
+        let edges = vec![rec![0i64, 1i64, 1.0], rec![2i64, 3i64, 1.0]];
+        let (dist, _) = ShortestPaths::from(0).run(&ctx(), edges).unwrap();
+        let d: std::collections::HashMap<i64, f64> = dist.into_iter().collect();
+        assert_eq!(d[&1], 1.0);
+        assert!(d[&2].is_infinite());
+        assert!(d[&3].is_infinite());
+    }
+
+    #[test]
+    fn hop_limited_iterations_truncate_relaxation() {
+        // A 5-hop path: with only 2 rounds, nodes beyond hop 2 stay infinite.
+        let edges: Vec<Record> = (0..5i64).map(|v| rec![v, v + 1, 1.0]).collect();
+        let (dist, _) = ShortestPaths::from(0)
+            .with_iterations(2)
+            .run(&ctx(), edges)
+            .unwrap();
+        let d: std::collections::HashMap<i64, f64> = dist.into_iter().collect();
+        assert_eq!(d[&2], 2.0);
+        assert!(d[&4].is_infinite());
+    }
+
+    #[test]
+    fn rejects_negative_weights_and_unknown_source() {
+        let edges = vec![rec![0i64, 1i64, -1.0]];
+        assert!(ShortestPaths::from(0).build_plan(edges).is_err());
+        let edges = vec![rec![0i64, 1i64, 1.0]];
+        assert!(ShortestPaths::from(9).build_plan(edges).is_err());
+    }
+
+    #[test]
+    fn agrees_with_dijkstra_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 40i64;
+        let mut edges = Vec::new();
+        for _ in 0..200 {
+            let (s, d) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            if s != d {
+                edges.push(rec![s, d, (rng.gen_range(1..100) as f64) / 10.0]);
+            }
+        }
+        // Make sure the source exists.
+        edges.push(rec![0i64, 1i64, 1.0]);
+
+        // Reference: Dijkstra on an adjacency list.
+        let mut adj: std::collections::HashMap<i64, Vec<(i64, f64)>> = Default::default();
+        for e in &edges {
+            adj.entry(e.int(0).unwrap())
+                .or_default()
+                .push((e.int(1).unwrap(), e.float(2).unwrap()));
+        }
+        let mut expected: std::collections::HashMap<i64, f64> = Default::default();
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push((std::cmp::Reverse(ordered_float(0.0)), 0i64));
+        while let Some((std::cmp::Reverse(d), v)) = heap.pop() {
+            let d = d.0;
+            if expected.contains_key(&v) {
+                continue;
+            }
+            expected.insert(v, d);
+            for &(u, w) in adj.get(&v).into_iter().flatten() {
+                if !expected.contains_key(&u) {
+                    heap.push((std::cmp::Reverse(ordered_float(d + w)), u));
+                }
+            }
+        }
+
+        let (dist, _) = ShortestPaths::from(0)
+            .with_iterations(50)
+            .run(&ctx(), edges)
+            .unwrap();
+        for (node, d) in dist {
+            match expected.get(&node) {
+                Some(&e) => assert!((d - e).abs() < 1e-9, "node {node}: {d} vs {e}"),
+                None => assert!(d.is_infinite(), "node {node} should be unreachable"),
+            }
+        }
+    }
+
+    /// Total-orderable float wrapper for the reference Dijkstra.
+    #[derive(PartialEq)]
+    struct OrderedF64(f64);
+    impl Eq for OrderedF64 {}
+    impl PartialOrd for OrderedF64 {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for OrderedF64 {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0)
+        }
+    }
+    fn ordered_float(x: f64) -> OrderedF64 {
+        OrderedF64(x)
+    }
+}

@@ -1,0 +1,199 @@
+//! Model evaluation as RHEEM plans: scoring, train/test splits, and
+//! cross-validation.
+//!
+//! Training produces a [`LinearModel`]; *using* it is also data processing,
+//! so scoring runs through the same plan machinery (and therefore on
+//! whichever platform the optimizer picks — large scoring jobs go to the
+//! partitioned engine automatically).
+
+use rheem_core::data::{Record, Value};
+use rheem_core::error::{Result, RheemError};
+use rheem_core::plan::{NodeId, PhysicalPlan, PlanBuilder};
+use rheem_core::rec;
+use rheem_core::udf::MapUdf;
+use rheem_core::{JobResult, RheemContext};
+
+use crate::model::LinearModel;
+
+/// Deterministically split LIBSVM-layout records into train/test by a
+/// position-hash (stable under reordering-free regeneration).
+pub fn train_test_split(
+    data: Vec<Record>,
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<Record>, Vec<Record>) {
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for (i, r) in data.into_iter().enumerate() {
+        let mut z = seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        if u < test_fraction.clamp(0.0, 1.0) {
+            test.push(r);
+        } else {
+            train.push(r);
+        }
+    }
+    (train, test)
+}
+
+/// Build a scoring plan: each record `[label, x...]` becomes
+/// `[label, predicted_label, score]`.
+pub fn build_scoring_plan(model: &LinearModel, data: Vec<Record>) -> Result<(PhysicalPlan, NodeId)> {
+    let model = model.clone();
+    let mut b = PlanBuilder::new();
+    let src = b.collection("score-input", data);
+    let scored = b.map(
+        src,
+        MapUdf::new("score", move |r: &Record| {
+            match model.score_record(r) {
+                Ok(s) => {
+                    let pred = if s >= 0.0 { 1.0 } else { -1.0 };
+                    rec![r.float(0).unwrap_or(f64::NAN), pred, s]
+                }
+                Err(_) => Record::new(vec![Value::Null, Value::Null, Value::Null]),
+            }
+        }),
+    );
+    let sink = b.collect(scored);
+    Ok((b.build()?, sink))
+}
+
+/// Score a dataset; returns `(accuracy, job result)`.
+pub fn evaluate(
+    ctx: &RheemContext,
+    model: &LinearModel,
+    data: Vec<Record>,
+) -> Result<(f64, JobResult)> {
+    if data.is_empty() {
+        return Err(RheemError::InvalidPlan("cannot evaluate on no data".into()));
+    }
+    let n = data.len();
+    let (plan, sink) = build_scoring_plan(model, data)?;
+    let result = ctx.execute(plan)?;
+    let correct = result.outputs[&sink]
+        .iter()
+        .filter(|r| {
+            matches!(
+                (r.float(0), r.float(1)),
+                (Ok(label), Ok(pred)) if (label >= 0.0) == (pred >= 0.0)
+            )
+        })
+        .count();
+    Ok((correct as f64 / n as f64, result))
+}
+
+/// K-fold cross-validation of any trainer closure; returns per-fold test
+/// accuracy. `train` receives the fold's training records and returns a
+/// model.
+pub fn cross_validate<F>(
+    ctx: &RheemContext,
+    data: &[Record],
+    folds: usize,
+    mut train: F,
+) -> Result<Vec<f64>>
+where
+    F: FnMut(&RheemContext, Vec<Record>) -> Result<LinearModel>,
+{
+    if folds < 2 || data.len() < folds {
+        return Err(RheemError::InvalidPlan(format!(
+            "need at least 2 folds and {folds} records, got {}",
+            data.len()
+        )));
+    }
+    let mut accuracies = Vec::with_capacity(folds);
+    for fold in 0..folds {
+        let mut train_set = Vec::new();
+        let mut test_set = Vec::new();
+        for (i, r) in data.iter().enumerate() {
+            if i % folds == fold {
+                test_set.push(r.clone());
+            } else {
+                train_set.push(r.clone());
+            }
+        }
+        let model = train(ctx, train_set)?;
+        let (acc, _) = evaluate(ctx, &model, test_set)?;
+        accuracies.push(acc);
+    }
+    Ok(accuracies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svm::SvmTrainer;
+    use rheem_datagen::libsvm::{generate, LibsvmConfig};
+    use rheem_platforms::JavaPlatform;
+    use std::sync::Arc;
+
+    fn ctx() -> RheemContext {
+        RheemContext::new().with_platform(Arc::new(JavaPlatform::new()))
+    }
+
+    #[test]
+    fn split_is_deterministic_and_covering() {
+        let data = generate(&LibsvmConfig::new(1000, 3));
+        let (tr1, te1) = train_test_split(data.clone(), 0.3, 7);
+        let (tr2, te2) = train_test_split(data.clone(), 0.3, 7);
+        assert_eq!(tr1, tr2);
+        assert_eq!(te1, te2);
+        assert_eq!(tr1.len() + te1.len(), 1000);
+        assert!(te1.len() > 200 && te1.len() < 400, "got {}", te1.len());
+        // A different seed splits differently.
+        let (tr3, _) = train_test_split(data, 0.3, 8);
+        assert_ne!(tr1, tr3);
+    }
+
+    #[test]
+    fn held_out_accuracy_is_high_on_separable_data() {
+        let data = generate(&LibsvmConfig::new(600, 5).with_noise(0.0));
+        let (train, test) = train_test_split(data, 0.25, 3);
+        let (model, _) = SvmTrainer::new(5)
+            .with_iterations(60)
+            .train(&ctx(), train)
+            .unwrap();
+        let (acc, _) = evaluate(&ctx(), &model, test).unwrap();
+        assert!(acc > 0.9, "held-out accuracy {acc}");
+    }
+
+    #[test]
+    fn scoring_plan_reports_labels_predictions_scores() {
+        let model = LinearModel {
+            weights: vec![1.0],
+            bias: 0.0,
+        };
+        let data = vec![rec![1.0f64, 2.0f64], rec![-1.0f64, -3.0f64]];
+        let (plan, sink) = build_scoring_plan(&model, data).unwrap();
+        let result = ctx().execute(plan).unwrap();
+        let rows = result.outputs[&sink].records();
+        assert_eq!(rows[0].float(1).unwrap(), 1.0);
+        assert_eq!(rows[0].float(2).unwrap(), 2.0);
+        assert_eq!(rows[1].float(1).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn cross_validation_runs_all_folds() {
+        let data = generate(&LibsvmConfig::new(300, 4).with_noise(0.0));
+        let accs = cross_validate(&ctx(), &data, 3, |ctx, train| {
+            Ok(SvmTrainer::new(4)
+                .with_iterations(40)
+                .train(ctx, train)?
+                .0)
+        })
+        .unwrap();
+        assert_eq!(accs.len(), 3);
+        for acc in accs {
+            assert!(acc > 0.85, "fold accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn evaluate_rejects_empty_data() {
+        let model = LinearModel::zeros(2);
+        assert!(evaluate(&ctx(), &model, vec![]).is_err());
+        assert!(cross_validate(&ctx(), &[], 3, |_, _| Ok(LinearModel::zeros(1))).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Logistic regression on the gradient-descent template.
+
+use std::sync::Arc;
+
+use rheem_core::data::Record;
+use rheem_core::error::Result;
+use rheem_core::{JobResult, RheemContext};
+
+use crate::gd::{train, ExampleGradient, GdConfig};
+use crate::model::LinearModel;
+
+/// Log-loss gradient for labels in `{-1, +1}`: `σ(-y·s)·(-y·x)`.
+fn logistic_gradient() -> ExampleGradient {
+    Arc::new(|x: &[f64], y: f64, model: &LinearModel| {
+        let s = model.score(x);
+        let sigma = 1.0 / (1.0 + (y * s).exp()); // σ(-y·s)
+        let scale = -y * sigma;
+        (x.iter().map(|xi| scale * xi).collect(), scale)
+    })
+}
+
+/// Logistic-regression trainer.
+#[derive(Clone, Debug)]
+pub struct LogRegTrainer {
+    /// Gradient-descent hyper-parameters.
+    pub config: GdConfig,
+}
+
+impl LogRegTrainer {
+    /// A trainer for `dims`-dimensional data.
+    pub fn new(dims: usize) -> Self {
+        LogRegTrainer {
+            config: GdConfig::new(dims).with_learning_rate(1.0),
+        }
+    }
+
+    /// Override the iteration count.
+    pub fn with_iterations(mut self, iterations: u64) -> Self {
+        self.config = self.config.with_iterations(iterations);
+        self
+    }
+
+    /// Train on the given context.
+    pub fn train(&self, ctx: &RheemContext, data: Vec<Record>) -> Result<(LinearModel, JobResult)> {
+        train(ctx, data, &self.config, "logreg", logistic_gradient())
+    }
+}
+
+/// Predicted probability of the positive class.
+pub fn predict_proba(model: &LinearModel, x: &[f64]) -> f64 {
+    1.0 / (1.0 + (-model.score(x)).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rheem_datagen::libsvm::{generate, LibsvmConfig};
+    use rheem_platforms::JavaPlatform;
+
+    fn ctx() -> RheemContext {
+        RheemContext::new().with_platform(Arc::new(JavaPlatform::new()))
+    }
+
+    #[test]
+    fn logreg_learns_separable_data() {
+        let data = generate(&LibsvmConfig::new(300, 5).with_noise(0.0));
+        let (model, _) = LogRegTrainer::new(5)
+            .with_iterations(80)
+            .train(&ctx(), data.clone())
+            .unwrap();
+        let acc = model.accuracy(&data).unwrap();
+        assert!(acc > 0.93, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_in_direction() {
+        let data = generate(&LibsvmConfig::new(300, 4).with_noise(0.0));
+        let (model, _) = LogRegTrainer::new(4)
+            .with_iterations(60)
+            .train(&ctx(), data.clone())
+            .unwrap();
+        // Positive examples should, on average, get higher probability.
+        let (mut pos, mut neg, mut n_pos, mut n_neg) = (0.0, 0.0, 0, 0);
+        for r in &data {
+            let x: Vec<f64> = (1..r.width()).map(|i| r.float(i).unwrap()).collect();
+            let p = predict_proba(&model, &x);
+            if r.float(0).unwrap() > 0.0 {
+                pos += p;
+                n_pos += 1;
+            } else {
+                neg += p;
+                n_neg += 1;
+            }
+        }
+        assert!(pos / n_pos as f64 > 0.6);
+        assert!((neg / n_neg as f64) < 0.4);
+    }
+}

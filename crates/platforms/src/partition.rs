@@ -1,0 +1,250 @@
+//! Partitioning utilities for the parallel platforms.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crossbeam::thread;
+use rheem_core::data::Record;
+use rheem_core::error::{Result, RheemError};
+use rheem_core::udf::KeyUdf;
+
+/// A dataset split into partitions.
+pub type Partitions = Vec<Vec<Record>>;
+
+/// Split into `parts` contiguous, order-preserving chunks (narrow input
+/// partitioning: concatenating the chunks reproduces the input order).
+pub fn chunk(records: &[Record], parts: usize) -> Partitions {
+    let parts = parts.max(1);
+    let n = records.len();
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(records[start..start + len].to_vec());
+        start += len;
+    }
+    out
+}
+
+fn hash_of<T: Hash>(t: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
+}
+
+/// Shuffle records into `parts` partitions by key hash (co-partitioning:
+/// equal keys always land in the same partition index).
+pub fn hash_partition(records: &[Record], key: &KeyUdf, parts: usize) -> Partitions {
+    let parts = parts.max(1);
+    let mut out = vec![Vec::new(); parts];
+    for r in records {
+        let k = (key.f)(r);
+        out[(hash_of(&k) % parts as u64) as usize].push(r.clone());
+    }
+    out
+}
+
+/// Shuffle records by whole-record hash (used by `Distinct`).
+pub fn hash_partition_records(records: &[Record], parts: usize) -> Partitions {
+    let parts = parts.max(1);
+    let mut out = vec![Vec::new(); parts];
+    for r in records {
+        out[(hash_of(r) % parts as u64) as usize].push(r.clone());
+    }
+    out
+}
+
+/// Concatenate partitions back into one batch.
+pub fn gather(parts: Partitions) -> Vec<Record> {
+    let total = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Prefix-sum offsets of each partition (for globally unique ids and
+/// position-indexed sampling).
+pub fn offsets(parts: &Partitions) -> Vec<usize> {
+    let mut out = Vec::with_capacity(parts.len());
+    let mut acc = 0usize;
+    for p in parts {
+        out.push(acc);
+        acc += p.len();
+    }
+    out
+}
+
+/// Execute `f` over every partition, timing each task individually, and
+/// return the transformed partitions together with the **simulated parallel
+/// elapsed time**: the maximum per-partition duration, as if every
+/// partition had its own core.
+///
+/// Tasks run sequentially on purpose: measuring per-task time under real
+/// thread oversubscription (e.g. a single-core CI host) would inflate every
+/// task by time-sharing and erase the parallelism signal. Sequential
+/// execution gives exact per-task costs on any machine; the platform then
+/// *simulates* the cluster by charging only the critical path. See
+/// DESIGN.md's substitution table.
+pub fn run_partitions_timed<F>(parts: Partitions, f: F) -> Result<(Partitions, f64)>
+where
+    F: Fn(usize, Vec<Record>) -> Result<Vec<Record>> + Send + Sync,
+{
+    let mut out = Vec::with_capacity(parts.len());
+    let mut max_ms = 0.0f64;
+    for (i, part) in parts.into_iter().enumerate() {
+        let t = std::time::Instant::now();
+        out.push(f(i, part)?);
+        max_ms = max_ms.max(t.elapsed().as_secs_f64() * 1e3);
+    }
+    Ok((out, max_ms))
+}
+
+/// Run `f` over every partition on its own worker thread ("task slots").
+///
+/// `f` receives `(partition index, partition)` and returns the transformed
+/// partition. The first error wins; all threads are joined either way.
+pub fn par_map_partitions<F>(parts: Partitions, f: F) -> Result<Partitions>
+where
+    F: Fn(usize, Vec<Record>) -> Result<Vec<Record>> + Send + Sync,
+{
+    let n = parts.len();
+    let mut results: Vec<Result<Vec<Record>>> = Vec::with_capacity(n);
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (i, part) in parts.into_iter().enumerate() {
+            let f = &f;
+            handles.push(scope.spawn(move |_| f(i, part)));
+        }
+        for h in handles {
+            results.push(h.join().unwrap_or_else(|_| {
+                Err(RheemError::Execution {
+                    platform: "worker".into(),
+                    message: "worker thread panicked".into(),
+                })
+            }));
+        }
+    })
+    .map_err(|_| RheemError::Execution {
+        platform: "worker".into(),
+        message: "thread scope panicked".into(),
+    })?;
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rheem_core::rec;
+
+    fn nums(n: i64) -> Vec<Record> {
+        (0..n).map(|i| rec![i]).collect()
+    }
+
+    #[test]
+    fn chunk_preserves_order_and_covers_all() {
+        let data = nums(10);
+        let parts = chunk(&data, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].len(), 4); // 10 = 4 + 3 + 3
+        assert_eq!(gather(parts), data);
+    }
+
+    #[test]
+    fn chunk_handles_fewer_records_than_parts() {
+        let data = nums(2);
+        let parts = chunk(&data, 8);
+        assert_eq!(parts.len(), 8);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 2);
+        assert_eq!(gather(parts), data);
+    }
+
+    #[test]
+    fn chunk_zero_parts_clamps_to_one() {
+        let data = nums(3);
+        assert_eq!(chunk(&data, 0).len(), 1);
+    }
+
+    #[test]
+    fn hash_partition_copartitions_equal_keys() {
+        let data: Vec<Record> = (0..100).map(|i| rec![i % 7, i]).collect();
+        let parts = hash_partition(&data, &KeyUdf::field(0), 4);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 100);
+        // Every key appears in exactly one partition.
+        for k in 0..7i64 {
+            let holders = parts
+                .iter()
+                .filter(|p| p.iter().any(|r| r.int(0).unwrap() == k))
+                .count();
+            assert_eq!(holders, 1, "key {k} split across partitions");
+        }
+    }
+
+    #[test]
+    fn offsets_are_prefix_sums() {
+        let parts = vec![nums(3), nums(0), nums(5)];
+        assert_eq!(offsets(&parts), vec![0, 3, 3]);
+    }
+
+    #[test]
+    fn par_map_partitions_applies_in_parallel() {
+        let parts = chunk(&nums(100), 8);
+        let out = par_map_partitions(parts, |_, p| {
+            Ok(p.iter().map(|r| rec![r.int(0).unwrap() * 2]).collect())
+        })
+        .unwrap();
+        let all = gather(out);
+        assert_eq!(all.len(), 100);
+        assert_eq!(all[99], rec![198i64]);
+    }
+
+    #[test]
+    fn run_partitions_timed_reports_critical_path() {
+        let parts = vec![nums(1), nums(2)];
+        let (out, max_ms) = run_partitions_timed(parts, |i, p| {
+            if i == 1 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Ok(p)
+        })
+        .unwrap();
+        assert_eq!(out.iter().map(Vec::len).sum::<usize>(), 3);
+        // Critical path is the slow task, not the sum.
+        assert!((18.0..45.0).contains(&max_ms), "max {max_ms}");
+    }
+
+    #[test]
+    fn run_partitions_timed_propagates_errors() {
+        let parts = chunk(&nums(10), 4);
+        assert!(run_partitions_timed(parts, |i, p| {
+            if i == 2 {
+                Err(RheemError::Execution {
+                    platform: "test".into(),
+                    message: "boom".into(),
+                })
+            } else {
+                Ok(p)
+            }
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn par_map_partitions_propagates_errors() {
+        let parts = chunk(&nums(10), 4);
+        let out = par_map_partitions(parts, |i, p| {
+            if i == 2 {
+                Err(RheemError::Execution {
+                    platform: "test".into(),
+                    message: "boom".into(),
+                })
+            } else {
+                Ok(p)
+            }
+        });
+        assert!(out.is_err());
+    }
+}

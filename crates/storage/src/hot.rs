@@ -1,0 +1,233 @@
+//! Hot-data buffers (§6, *Embracing hot data*).
+//!
+//! "We envision processing platforms or storage applications with
+//! specialized buffers for embracing frequently accessed data in their
+//! native format." A [`HotDataBuffer`] is an LRU cache keyed by
+//! `(dataset id, native format)` with a record-count capacity; the storage
+//! layer consults it before touching the backing store, so repeated access
+//! to hot datasets skips (simulated) I/O entirely.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use rheem_core::data::Dataset;
+
+/// Cache key: which dataset, in which platform-native format.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct HotKey {
+    /// Dataset id.
+    pub dataset_id: String,
+    /// Native format tag (usually the consuming platform's name).
+    pub format: String,
+}
+
+impl HotKey {
+    /// Build a key.
+    pub fn new(dataset_id: impl Into<String>, format: impl Into<String>) -> Self {
+        HotKey {
+            dataset_id: dataset_id.into(),
+            format: format.into(),
+        }
+    }
+}
+
+/// Cache hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HotStats {
+    /// Lookups that found a cached dataset.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+struct Entry {
+    data: Dataset,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: HashMap<HotKey, Entry>,
+    clock: u64,
+    resident_records: usize,
+    stats: HotStats,
+}
+
+/// An LRU cache of datasets in platform-native formats.
+pub struct HotDataBuffer {
+    capacity_records: usize,
+    inner: Mutex<Inner>,
+}
+
+impl HotDataBuffer {
+    /// A buffer that holds at most `capacity_records` records in total.
+    pub fn new(capacity_records: usize) -> Self {
+        HotDataBuffer {
+            capacity_records,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                clock: 0,
+                resident_records: 0,
+                stats: HotStats::default(),
+            }),
+        }
+    }
+
+    /// Look up a dataset, refreshing its recency on a hit.
+    pub fn get(&self, key: &HotKey) -> Option<Dataset> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.entries.get_mut(key) {
+            Some(e) => {
+                e.last_used = clock;
+                let data = e.data.clone();
+                inner.stats.hits += 1;
+                Some(data)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a dataset, evicting least-recently-used entries as needed.
+    ///
+    /// Datasets larger than the whole buffer are not cached at all.
+    pub fn put(&self, key: HotKey, data: Dataset) {
+        let len = data.len();
+        if len > self.capacity_records {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(old) = inner.entries.remove(&key) {
+            inner.resident_records -= old.data.len();
+        }
+        while inner.resident_records + len > self.capacity_records {
+            let victim = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    let e = inner.entries.remove(&k).expect("victim exists");
+                    inner.resident_records -= e.data.len();
+                    inner.stats.evictions += 1;
+                }
+                None => break,
+            }
+        }
+        inner.resident_records += len;
+        inner.entries.insert(
+            key,
+            Entry {
+                data,
+                last_used: clock,
+            },
+        );
+    }
+
+    /// Drop a dataset from the buffer in every format (called on writes so
+    /// readers never see stale data).
+    pub fn invalidate_dataset(&self, dataset_id: &str) {
+        let mut inner = self.inner.lock();
+        let victims: Vec<HotKey> = inner
+            .entries
+            .keys()
+            .filter(|k| k.dataset_id == dataset_id)
+            .cloned()
+            .collect();
+        for k in victims {
+            let e = inner.entries.remove(&k).expect("victim exists");
+            inner.resident_records -= e.data.len();
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> HotStats {
+        self.inner.lock().stats
+    }
+
+    /// Records currently cached.
+    pub fn resident_records(&self) -> usize {
+        self.inner.lock().resident_records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rheem_core::rec;
+
+    fn ds(n: i64) -> Dataset {
+        Dataset::new((0..n).map(|i| rec![i]).collect())
+    }
+
+    #[test]
+    fn hit_after_put() {
+        let buf = HotDataBuffer::new(100);
+        let key = HotKey::new("a", "java");
+        assert!(buf.get(&key).is_none());
+        buf.put(key.clone(), ds(10));
+        assert_eq!(buf.get(&key).unwrap().len(), 10);
+        let s = buf.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn formats_are_distinct_entries() {
+        let buf = HotDataBuffer::new(100);
+        buf.put(HotKey::new("a", "java"), ds(5));
+        assert!(buf.get(&HotKey::new("a", "spark")).is_none());
+        assert!(buf.get(&HotKey::new("a", "java")).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_prefers_cold_entries() {
+        let buf = HotDataBuffer::new(20);
+        buf.put(HotKey::new("a", "f"), ds(10));
+        buf.put(HotKey::new("b", "f"), ds(10));
+        // Touch `a` so `b` is the LRU victim.
+        buf.get(&HotKey::new("a", "f"));
+        buf.put(HotKey::new("c", "f"), ds(10));
+        assert!(buf.get(&HotKey::new("a", "f")).is_some());
+        assert!(buf.get(&HotKey::new("b", "f")).is_none());
+        assert!(buf.get(&HotKey::new("c", "f")).is_some());
+        assert_eq!(buf.stats().evictions, 1);
+        assert_eq!(buf.resident_records(), 20);
+    }
+
+    #[test]
+    fn oversized_datasets_are_not_cached() {
+        let buf = HotDataBuffer::new(5);
+        buf.put(HotKey::new("big", "f"), ds(100));
+        assert!(buf.get(&HotKey::new("big", "f")).is_none());
+        assert_eq!(buf.resident_records(), 0);
+    }
+
+    #[test]
+    fn invalidation_clears_all_formats() {
+        let buf = HotDataBuffer::new(100);
+        buf.put(HotKey::new("a", "java"), ds(5));
+        buf.put(HotKey::new("a", "spark"), ds(5));
+        buf.put(HotKey::new("b", "java"), ds(5));
+        buf.invalidate_dataset("a");
+        assert!(buf.get(&HotKey::new("a", "java")).is_none());
+        assert!(buf.get(&HotKey::new("a", "spark")).is_none());
+        assert!(buf.get(&HotKey::new("b", "java")).is_some());
+        assert_eq!(buf.resident_records(), 5);
+    }
+
+    #[test]
+    fn replacing_an_entry_updates_residency() {
+        let buf = HotDataBuffer::new(100);
+        buf.put(HotKey::new("a", "f"), ds(10));
+        buf.put(HotKey::new("a", "f"), ds(3));
+        assert_eq!(buf.resident_records(), 3);
+    }
+}

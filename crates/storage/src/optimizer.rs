@@ -1,0 +1,245 @@
+//! The unified storage optimizer (§6).
+//!
+//! "WWHow! is a first effort for a unified data storage optimizer" deciding
+//! *where* and *how* to store data. Given a declarative [`AccessPattern`]
+//! for a dataset, [`decide`] prices every available [`StoreKind`] with a
+//! simple analytical model and returns the cheapest placement together with
+//! the [`TransformationPlan`] that prepares the layout (e.g. clustering by
+//! the lookup column before loading into the relational store).
+
+use rheem_core::error::{Result, RheemError};
+
+use crate::store::StoreKind;
+use crate::transform::{TransformStep, TransformationPlan};
+
+/// Expected workload against one dataset (per "period"; only ratios matter).
+#[derive(Clone, Debug)]
+pub struct AccessPattern {
+    /// Dataset cardinality (records).
+    pub dataset_card: f64,
+    /// Expected full scans.
+    pub full_scans: f64,
+    /// Expected point lookups.
+    pub point_lookups: f64,
+    /// Column the point lookups key on, if any.
+    pub lookup_column: Option<usize>,
+    /// Expected append batches.
+    pub appends: f64,
+}
+
+impl AccessPattern {
+    /// A scan-only analytical pattern.
+    pub fn scan_heavy(dataset_card: f64, full_scans: f64) -> Self {
+        AccessPattern {
+            dataset_card,
+            full_scans,
+            point_lookups: 0.0,
+            lookup_column: None,
+            appends: 0.0,
+        }
+    }
+
+    /// A lookup-dominated operational pattern.
+    pub fn lookup_heavy(dataset_card: f64, point_lookups: f64, column: usize) -> Self {
+        AccessPattern {
+            dataset_card,
+            full_scans: 0.0,
+            point_lookups,
+            lookup_column: Some(column),
+            appends: 0.0,
+        }
+    }
+}
+
+/// The optimizer's verdict for one dataset.
+#[derive(Clone, Debug)]
+pub struct StorageDecision {
+    /// Which kind of store to place the dataset on.
+    pub kind: StoreKind,
+    /// Column to build a secondary index on, if any.
+    pub index_column: Option<usize>,
+    /// Estimated total access cost (abstract ms) under the pattern.
+    pub estimated_cost: f64,
+    /// Layout preparation applied at load time.
+    pub plan: TransformationPlan,
+}
+
+/// Per-store analytical prices (abstract ms). Exposed so deployments can
+/// recalibrate; [`CostTable::default`] matches the simulated stores.
+#[derive(Clone, Debug)]
+pub struct CostTable {
+    /// (per-record scan price, point-lookup price, per-record append price)
+    /// for each store kind, plus a residency penalty for memory.
+    pub mem_scan: f64,
+    /// Point lookup on memory (hash scan unless tiny).
+    pub mem_lookup: f64,
+    /// Memory residency price per record (opportunity cost of RAM).
+    pub mem_residency: f64,
+    /// Local FS scan per record.
+    pub fs_scan: f64,
+    /// Local FS point lookup (always a scan).
+    pub fs_lookup_per_record: f64,
+    /// Sim-HDFS scan per record (cheap at scale: parallel blocks).
+    pub hdfs_scan: f64,
+    /// Sim-HDFS lookup per record (terrible: full scan, replication misses).
+    pub hdfs_lookup_per_record: f64,
+    /// Sim-HDFS fixed per-access block overhead.
+    pub hdfs_fixed: f64,
+    /// Relational scan per record.
+    pub rel_scan: f64,
+    /// Relational indexed point lookup (logarithmic, priced flat).
+    pub rel_indexed_lookup: f64,
+    /// Relational per-record append price (index maintenance).
+    pub rel_append: f64,
+}
+
+impl Default for CostTable {
+    fn default() -> Self {
+        CostTable {
+            mem_scan: 0.00005,
+            mem_lookup: 0.001,
+            mem_residency: 0.002,
+            fs_scan: 0.0004,
+            fs_lookup_per_record: 0.0004,
+            hdfs_scan: 0.0001,
+            hdfs_lookup_per_record: 0.0005,
+            hdfs_fixed: 2.0,
+            rel_scan: 0.0003,
+            rel_indexed_lookup: 0.01,
+            rel_append: 0.0006,
+        }
+    }
+}
+
+fn cost_for(kind: StoreKind, p: &AccessPattern, t: &CostTable) -> f64 {
+    let n = p.dataset_card.max(1.0);
+    match kind {
+        StoreKind::Memory => {
+            p.full_scans * n * t.mem_scan
+                + p.point_lookups * t.mem_lookup
+                + p.appends * 1.0
+                + n * t.mem_residency
+        }
+        StoreKind::LocalFs => {
+            p.full_scans * n * t.fs_scan
+                + p.point_lookups * n * t.fs_lookup_per_record
+                + p.appends * n * t.fs_scan
+        }
+        StoreKind::SimHdfs => {
+            p.full_scans * (n * t.hdfs_scan + t.hdfs_fixed)
+                + p.point_lookups * (n * t.hdfs_lookup_per_record + t.hdfs_fixed)
+                + p.appends * (n * t.hdfs_scan * 3.0 + t.hdfs_fixed)
+        }
+        StoreKind::Relational => {
+            let lookup = if p.lookup_column.is_some() {
+                t.rel_indexed_lookup
+            } else {
+                n * t.rel_scan
+            };
+            p.full_scans * n * t.rel_scan
+                + p.point_lookups * lookup
+                + p.appends * n * t.rel_append
+        }
+    }
+}
+
+/// Choose the cheapest placement among `available` store kinds.
+pub fn decide(pattern: &AccessPattern, available: &[StoreKind]) -> Result<StorageDecision> {
+    decide_with(pattern, available, &CostTable::default())
+}
+
+/// [`decide`] with an explicit cost table.
+pub fn decide_with(
+    pattern: &AccessPattern,
+    available: &[StoreKind],
+    table: &CostTable,
+) -> Result<StorageDecision> {
+    let mut best: Option<(StoreKind, f64)> = None;
+    for &kind in available {
+        let cost = cost_for(kind, pattern, table);
+        if best.is_none_or(|(_, c)| cost < c) {
+            best = Some((kind, cost));
+        }
+    }
+    let (kind, estimated_cost) =
+        best.ok_or_else(|| RheemError::Storage("no stores available to decide among".into()))?;
+
+    let index_column = match kind {
+        StoreKind::Relational => pattern.lookup_column,
+        _ => None,
+    };
+    // "How" to store: cluster by the lookup column when one exists, so even
+    // scan-based stores benefit from locality.
+    let plan = match pattern.lookup_column {
+        Some(column) => TransformationPlan::named("clustered").then(TransformStep::SortBy {
+            column,
+            descending: false,
+        }),
+        None => TransformationPlan::identity(),
+    };
+    Ok(StorageDecision {
+        kind,
+        index_column,
+        estimated_cost,
+        plan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [StoreKind; 4] = [
+        StoreKind::Memory,
+        StoreKind::LocalFs,
+        StoreKind::SimHdfs,
+        StoreKind::Relational,
+    ];
+
+    #[test]
+    fn huge_scan_heavy_data_goes_to_hdfs() {
+        let d = decide(&AccessPattern::scan_heavy(1e8, 10.0), &ALL).unwrap();
+        assert_eq!(d.kind, StoreKind::SimHdfs);
+        assert!(d.index_column.is_none());
+    }
+
+    #[test]
+    fn small_hot_data_stays_in_memory() {
+        let d = decide(&AccessPattern::scan_heavy(1_000.0, 100.0), &ALL).unwrap();
+        assert_eq!(d.kind, StoreKind::Memory);
+    }
+
+    #[test]
+    fn lookup_heavy_data_goes_relational_with_index() {
+        let d = decide(&AccessPattern::lookup_heavy(1e7, 10_000.0, 2), &ALL).unwrap();
+        assert_eq!(d.kind, StoreKind::Relational);
+        assert_eq!(d.index_column, Some(2));
+        // The "how": clustered layout on the lookup column.
+        assert!(d.plan.explain().contains("SortBy(col2"));
+    }
+
+    #[test]
+    fn restricted_availability_is_respected() {
+        let d = decide(
+            &AccessPattern::lookup_heavy(1e7, 10_000.0, 0),
+            &[StoreKind::LocalFs, StoreKind::SimHdfs],
+        )
+        .unwrap();
+        assert!(matches!(d.kind, StoreKind::LocalFs | StoreKind::SimHdfs));
+    }
+
+    #[test]
+    fn no_stores_is_an_error() {
+        assert!(decide(&AccessPattern::scan_heavy(10.0, 1.0), &[]).is_err());
+    }
+
+    #[test]
+    fn costs_are_monotone_in_workload() {
+        let light = AccessPattern::scan_heavy(1e6, 1.0);
+        let heavy = AccessPattern::scan_heavy(1e6, 100.0);
+        let t = CostTable::default();
+        for kind in ALL {
+            assert!(cost_for(kind, &heavy, &t) > cost_for(kind, &light, &t));
+        }
+    }
+}

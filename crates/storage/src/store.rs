@@ -1,0 +1,715 @@
+//! Storage platforms (the x-store level of §6).
+//!
+//! Four stores with deliberately different cost profiles, mirroring the
+//! heterogeneous storage engines the paper federates (HDFS, local files,
+//! relational databases, in-memory caches):
+//!
+//! * [`MemStore`] — zero-latency in-memory storage;
+//! * [`LocalFsStore`] — real files in the native codec;
+//! * [`SimHdfsStore`] — a simulated distributed FS: datasets are chunked
+//!   into fixed-size blocks, replicated, and charged a per-block latency
+//!   (the substitution for a real HDFS cluster, see DESIGN.md);
+//! * [`RelationalStore`] — schema-aware tables with optional B-tree
+//!   secondary indexes and point/range lookups.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use rheem_core::data::{Dataset, Record, Schema, Value};
+use rheem_core::error::{Result, RheemError};
+
+use crate::codec;
+
+/// Classification of storage platforms (used by the storage optimizer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StoreKind {
+    /// In-memory.
+    Memory,
+    /// Local file system.
+    LocalFs,
+    /// Simulated distributed file system.
+    SimHdfs,
+    /// Relational tables.
+    Relational,
+}
+
+/// Accounting data returned by storage operations.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StorageReport {
+    /// Records moved.
+    pub records: u64,
+    /// Bytes moved (serialized size; 0 for purely in-memory moves).
+    pub bytes: u64,
+    /// Simulated latency charged for the operation, in milliseconds.
+    pub simulated_ms: f64,
+}
+
+/// A storage platform: the execution level of the storage abstraction.
+pub trait Store: Send + Sync {
+    /// Unique store name.
+    fn name(&self) -> &str;
+
+    /// The store's kind.
+    fn kind(&self) -> StoreKind;
+
+    /// Write (or replace) a dataset.
+    fn write(&self, id: &str, data: &Dataset) -> Result<StorageReport>;
+
+    /// Read a dataset.
+    fn read(&self, id: &str) -> Result<(Dataset, StorageReport)>;
+
+    /// Delete a dataset; returns whether it existed.
+    fn delete(&self, id: &str) -> Result<bool>;
+
+    /// Ids of all stored datasets, sorted.
+    fn list(&self) -> Vec<String>;
+
+    /// Cardinality without a full read, if the store tracks it.
+    fn cardinality(&self, id: &str) -> Option<u64>;
+
+    /// Downcasting support (lets the storage layer reach store-specific
+    /// capabilities such as relational index creation).
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+// ---------------------------------------------------------------------------
+// MemStore
+// ---------------------------------------------------------------------------
+
+/// Zero-latency in-memory store.
+#[derive(Default)]
+pub struct MemStore {
+    name: String,
+    data: Mutex<HashMap<String, Dataset>>,
+}
+
+impl MemStore {
+    /// A store named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        MemStore {
+            name: name.into(),
+            data: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl Store for MemStore {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn kind(&self) -> StoreKind {
+        StoreKind::Memory
+    }
+    fn write(&self, id: &str, data: &Dataset) -> Result<StorageReport> {
+        self.data.lock().insert(id.to_string(), data.clone());
+        Ok(StorageReport {
+            records: data.len() as u64,
+            bytes: 0,
+            simulated_ms: 0.0,
+        })
+    }
+    fn read(&self, id: &str) -> Result<(Dataset, StorageReport)> {
+        let data = self
+            .data
+            .lock()
+            .get(id)
+            .cloned()
+            .ok_or_else(|| RheemError::DatasetNotFound(id.to_string()))?;
+        let report = StorageReport {
+            records: data.len() as u64,
+            bytes: 0,
+            simulated_ms: 0.0,
+        };
+        Ok((data, report))
+    }
+    fn delete(&self, id: &str) -> Result<bool> {
+        Ok(self.data.lock().remove(id).is_some())
+    }
+    fn list(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.data.lock().keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+    fn cardinality(&self, id: &str) -> Option<u64> {
+        self.data.lock().get(id).map(|d| d.len() as u64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LocalFsStore
+// ---------------------------------------------------------------------------
+
+/// File-per-dataset store using the native codec.
+pub struct LocalFsStore {
+    name: String,
+    root: PathBuf,
+}
+
+impl LocalFsStore {
+    /// A store rooted at `root` (created on demand).
+    pub fn new(name: impl Into<String>, root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(LocalFsStore {
+            name: name.into(),
+            root,
+        })
+    }
+
+    fn path_of(&self, id: &str) -> PathBuf {
+        // Dataset ids may contain separators; flatten them for the FS.
+        let safe: String = id
+            .chars()
+            .map(|c| if c.is_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+            .collect();
+        self.root.join(format!("{safe}.rrec"))
+    }
+}
+
+impl Store for LocalFsStore {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn kind(&self) -> StoreKind {
+        StoreKind::LocalFs
+    }
+    fn write(&self, id: &str, data: &Dataset) -> Result<StorageReport> {
+        let text = codec::encode_batch(data.records());
+        let path = self.path_of(id);
+        std::fs::write(&path, &text)?;
+        Ok(StorageReport {
+            records: data.len() as u64,
+            bytes: text.len() as u64,
+            simulated_ms: 0.0,
+        })
+    }
+    fn read(&self, id: &str) -> Result<(Dataset, StorageReport)> {
+        let path = self.path_of(id);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|_| RheemError::DatasetNotFound(id.to_string()))?;
+        let records = codec::decode_batch(&text)?;
+        let report = StorageReport {
+            records: records.len() as u64,
+            bytes: text.len() as u64,
+            simulated_ms: 0.0,
+        };
+        Ok((Dataset::new(records), report))
+    }
+    fn delete(&self, id: &str) -> Result<bool> {
+        let path = self.path_of(id);
+        if path.exists() {
+            std::fs::remove_file(path)?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+    fn list(&self) -> Vec<String> {
+        let mut ids = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(&self.root) {
+            for e in entries.flatten() {
+                if let Some(stem) = e.path().file_stem().and_then(|s| s.to_str()) {
+                    ids.push(stem.to_string());
+                }
+            }
+        }
+        ids.sort();
+        ids
+    }
+    fn cardinality(&self, _id: &str) -> Option<u64> {
+        None // would require a read; the catalog caches this instead
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimHdfsStore
+// ---------------------------------------------------------------------------
+
+/// Configuration of the simulated HDFS.
+#[derive(Clone, Copy, Debug)]
+pub struct SimHdfsConfig {
+    /// Records per block.
+    pub block_records: usize,
+    /// Replication factor (each block is written this many times).
+    pub replication: u32,
+    /// Simulated latency per block access.
+    pub block_latency: Duration,
+    /// Whether to actually sleep for the simulated latency.
+    pub sleep: bool,
+}
+
+impl Default for SimHdfsConfig {
+    fn default() -> Self {
+        SimHdfsConfig {
+            block_records: 10_000,
+            replication: 3,
+            block_latency: Duration::from_micros(500),
+            sleep: false,
+        }
+    }
+}
+
+#[derive(Default)]
+struct HdfsFile {
+    blocks: Vec<Bytes>,
+    records: u64,
+}
+
+/// A simulated block-based distributed file system.
+///
+/// Stands in for a real HDFS cluster: datasets are split into fixed-size
+/// blocks, each serialized with the native codec, replicated, and charged a
+/// per-block access latency — so scan cost grows stepwise with data size
+/// and write cost additionally with the replication factor, the two
+/// properties the data-movement experiments depend on.
+pub struct SimHdfsStore {
+    name: String,
+    config: SimHdfsConfig,
+    files: Mutex<HashMap<String, HdfsFile>>,
+}
+
+impl SimHdfsStore {
+    /// A simulated HDFS with the given configuration.
+    pub fn new(name: impl Into<String>, config: SimHdfsConfig) -> Self {
+        SimHdfsStore {
+            name: name.into(),
+            config,
+            files: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn charge(&self, blocks: u64) -> f64 {
+        let ms = blocks as f64 * self.config.block_latency.as_secs_f64() * 1e3;
+        if self.config.sleep && ms > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(ms / 1e3));
+        }
+        ms
+    }
+
+    /// Number of blocks a stored dataset occupies (before replication).
+    pub fn block_count(&self, id: &str) -> Option<usize> {
+        self.files.lock().get(id).map(|f| f.blocks.len())
+    }
+}
+
+impl Store for SimHdfsStore {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn kind(&self) -> StoreKind {
+        StoreKind::SimHdfs
+    }
+    fn write(&self, id: &str, data: &Dataset) -> Result<StorageReport> {
+        let mut blocks = Vec::new();
+        let mut bytes = 0u64;
+        for chunk in data.records().chunks(self.config.block_records.max(1)) {
+            let text = codec::encode_batch(chunk);
+            bytes += text.len() as u64;
+            blocks.push(Bytes::from(text));
+        }
+        let n_blocks = blocks.len() as u64;
+        self.files.lock().insert(
+            id.to_string(),
+            HdfsFile {
+                blocks,
+                records: data.len() as u64,
+            },
+        );
+        // Writes pay for every replica.
+        let simulated_ms = self.charge(n_blocks * u64::from(self.config.replication));
+        Ok(StorageReport {
+            records: data.len() as u64,
+            bytes: bytes * u64::from(self.config.replication),
+            simulated_ms,
+        })
+    }
+    fn read(&self, id: &str) -> Result<(Dataset, StorageReport)> {
+        let (blocks, records_hint) = {
+            let files = self.files.lock();
+            let f = files
+                .get(id)
+                .ok_or_else(|| RheemError::DatasetNotFound(id.to_string()))?;
+            (f.blocks.clone(), f.records)
+        };
+        let mut records = Vec::with_capacity(records_hint as usize);
+        let mut bytes = 0u64;
+        for b in &blocks {
+            bytes += b.len() as u64;
+            let text = std::str::from_utf8(b)
+                .map_err(|e| RheemError::Storage(format!("corrupt block: {e}")))?;
+            records.extend(codec::decode_batch(text)?);
+        }
+        let simulated_ms = self.charge(blocks.len() as u64);
+        Ok((
+            Dataset::new(records),
+            StorageReport {
+                records: records_hint,
+                bytes,
+                simulated_ms,
+            },
+        ))
+    }
+    fn delete(&self, id: &str) -> Result<bool> {
+        Ok(self.files.lock().remove(id).is_some())
+    }
+    fn list(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.files.lock().keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+    fn cardinality(&self, id: &str) -> Option<u64> {
+        self.files.lock().get(id).map(|f| f.records)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RelationalStore
+// ---------------------------------------------------------------------------
+
+struct Table {
+    schema: Option<Schema>,
+    rows: Vec<Record>,
+    /// Secondary indexes: column index → (value → row positions).
+    indexes: HashMap<usize, BTreeMap<Value, Vec<usize>>>,
+}
+
+/// A schema-aware tabular store with secondary B-tree indexes.
+#[derive(Default)]
+pub struct RelationalStore {
+    name: String,
+    tables: Mutex<HashMap<String, Table>>,
+}
+
+impl RelationalStore {
+    /// A store named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        RelationalStore {
+            name: name.into(),
+            tables: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Attach a schema to a table; subsequent writes are validated.
+    pub fn set_schema(&self, id: &str, schema: Schema) -> Result<()> {
+        let mut tables = self.tables.lock();
+        let table = tables.entry(id.to_string()).or_insert_with(|| Table {
+            schema: None,
+            rows: Vec::new(),
+            indexes: HashMap::new(),
+        });
+        for row in &table.rows {
+            schema.check(row)?;
+        }
+        table.schema = Some(schema);
+        Ok(())
+    }
+
+    /// Build (or rebuild) a secondary index on `column`.
+    pub fn create_index(&self, id: &str, column: usize) -> Result<()> {
+        let mut tables = self.tables.lock();
+        let table = tables
+            .get_mut(id)
+            .ok_or_else(|| RheemError::DatasetNotFound(id.to_string()))?;
+        let mut index: BTreeMap<Value, Vec<usize>> = BTreeMap::new();
+        for (pos, row) in table.rows.iter().enumerate() {
+            index.entry(row.get(column)?.clone()).or_default().push(pos);
+        }
+        table.indexes.insert(column, index);
+        Ok(())
+    }
+
+    /// Whether an index exists on `column`.
+    pub fn has_index(&self, id: &str, column: usize) -> bool {
+        self.tables
+            .lock()
+            .get(id)
+            .is_some_and(|t| t.indexes.contains_key(&column))
+    }
+
+    /// Point lookup via index (falls back to a scan without one).
+    pub fn lookup_eq(&self, id: &str, column: usize, value: &Value) -> Result<Vec<Record>> {
+        let tables = self.tables.lock();
+        let table = tables
+            .get(id)
+            .ok_or_else(|| RheemError::DatasetNotFound(id.to_string()))?;
+        if let Some(index) = table.indexes.get(&column) {
+            Ok(index
+                .get(value)
+                .map(|positions| positions.iter().map(|&p| table.rows[p].clone()).collect())
+                .unwrap_or_default())
+        } else {
+            table
+                .rows
+                .iter()
+                .filter_map(|r| match r.get(column) {
+                    Ok(v) if v == value => Some(Ok(r.clone())),
+                    Ok(_) => None,
+                    Err(e) => Some(Err(e)),
+                })
+                .collect()
+        }
+    }
+
+    /// Range lookup `lo <= value < hi` via index (scan fallback).
+    pub fn lookup_range(
+        &self,
+        id: &str,
+        column: usize,
+        lo: &Value,
+        hi: &Value,
+    ) -> Result<Vec<Record>> {
+        let tables = self.tables.lock();
+        let table = tables
+            .get(id)
+            .ok_or_else(|| RheemError::DatasetNotFound(id.to_string()))?;
+        if let Some(index) = table.indexes.get(&column) {
+            let mut out = Vec::new();
+            for (_, positions) in index.range(lo.clone()..hi.clone()) {
+                out.extend(positions.iter().map(|&p| table.rows[p].clone()));
+            }
+            Ok(out)
+        } else {
+            table
+                .rows
+                .iter()
+                .filter_map(|r| match r.get(column) {
+                    Ok(v) if v >= lo && v < hi => Some(Ok(r.clone())),
+                    Ok(_) => None,
+                    Err(e) => Some(Err(e)),
+                })
+                .collect()
+        }
+    }
+
+    /// Append rows (validated against the schema, indexes maintained).
+    pub fn insert(&self, id: &str, rows: &[Record]) -> Result<()> {
+        let mut tables = self.tables.lock();
+        let table = tables
+            .get_mut(id)
+            .ok_or_else(|| RheemError::DatasetNotFound(id.to_string()))?;
+        if let Some(schema) = &table.schema {
+            for row in rows {
+                schema.check(row)?;
+            }
+        }
+        for row in rows {
+            let pos = table.rows.len();
+            table.rows.push(row.clone());
+            for (col, index) in table.indexes.iter_mut() {
+                let v = table.rows[pos].get(*col)?.clone();
+                index.entry(v).or_default().push(pos);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Store for RelationalStore {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn kind(&self) -> StoreKind {
+        StoreKind::Relational
+    }
+    fn write(&self, id: &str, data: &Dataset) -> Result<StorageReport> {
+        let mut tables = self.tables.lock();
+        let schema = tables.get(id).and_then(|t| t.schema.clone());
+        if let Some(schema) = &schema {
+            for row in data.iter() {
+                schema.check(row)?;
+            }
+        }
+        let existing_indexes: Vec<usize> = tables
+            .get(id)
+            .map(|t| t.indexes.keys().copied().collect())
+            .unwrap_or_default();
+        tables.insert(
+            id.to_string(),
+            Table {
+                schema,
+                rows: data.records().to_vec(),
+                indexes: HashMap::new(),
+            },
+        );
+        drop(tables);
+        for col in existing_indexes {
+            self.create_index(id, col)?;
+        }
+        Ok(StorageReport {
+            records: data.len() as u64,
+            bytes: 0,
+            simulated_ms: 0.0,
+        })
+    }
+    fn read(&self, id: &str) -> Result<(Dataset, StorageReport)> {
+        let tables = self.tables.lock();
+        let table = tables
+            .get(id)
+            .ok_or_else(|| RheemError::DatasetNotFound(id.to_string()))?;
+        let data = Dataset::new(table.rows.clone());
+        let report = StorageReport {
+            records: data.len() as u64,
+            bytes: 0,
+            simulated_ms: 0.0,
+        };
+        Ok((data, report))
+    }
+    fn delete(&self, id: &str) -> Result<bool> {
+        Ok(self.tables.lock().remove(id).is_some())
+    }
+    fn list(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.tables.lock().keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+    fn cardinality(&self, id: &str) -> Option<u64> {
+        self.tables.lock().get(id).map(|t| t.rows.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rheem_core::data::DataType;
+    use rheem_core::rec;
+
+    fn sample() -> Dataset {
+        Dataset::new(vec![
+            rec![1i64, "a", 10.0],
+            rec![2i64, "b", 20.0],
+            rec![3i64, "a", 30.0],
+        ])
+    }
+
+    fn round_trip(store: &dyn Store) {
+        let data = sample();
+        let w = store.write("t", &data).unwrap();
+        assert_eq!(w.records, 3);
+        let (back, r) = store.read("t").unwrap();
+        assert_eq!(back, data);
+        assert_eq!(r.records, 3);
+        assert_eq!(store.list(), vec!["t".to_string()]);
+        assert!(store.delete("t").unwrap());
+        assert!(!store.delete("t").unwrap());
+        assert!(store.read("t").is_err());
+    }
+
+    #[test]
+    fn mem_store_round_trip() {
+        round_trip(&MemStore::new("mem"));
+    }
+
+    #[test]
+    fn local_fs_store_round_trip() {
+        let dir = std::env::temp_dir().join(format!("rheem_fs_test_{}", std::process::id()));
+        let store = LocalFsStore::new("fs", &dir).unwrap();
+        round_trip(&store);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn sim_hdfs_round_trip_and_blocks() {
+        let store = SimHdfsStore::new(
+            "hdfs",
+            SimHdfsConfig {
+                block_records: 2,
+                replication: 3,
+                block_latency: Duration::from_millis(1),
+                sleep: false,
+            },
+        );
+        round_trip(&store);
+        let data = sample();
+        let w = store.write("t", &data).unwrap();
+        assert_eq!(store.block_count("t"), Some(2)); // 3 records / 2 per block
+        // Write pays replication × blocks of latency.
+        assert!((w.simulated_ms - 6.0).abs() < 1e-9);
+        let (_, r) = store.read("t").unwrap();
+        assert!((r.simulated_ms - 2.0).abs() < 1e-9);
+        assert_eq!(store.cardinality("t"), Some(3));
+    }
+
+    #[test]
+    fn relational_store_round_trip() {
+        round_trip(&RelationalStore::new("db"));
+    }
+
+    #[test]
+    fn relational_schema_validation() {
+        let store = RelationalStore::new("db");
+        store.write("t", &sample()).unwrap();
+        let schema = Schema::new(vec![
+            ("id", DataType::Int),
+            ("tag", DataType::Str),
+            ("score", DataType::Float),
+        ]);
+        store.set_schema("t", schema).unwrap();
+        // Conforming insert works; nonconforming fails.
+        store.insert("t", &[rec![4i64, "c", 40.0]]).unwrap();
+        assert!(store.insert("t", &[rec!["bad"]]).is_err());
+        // A bad write is also rejected.
+        assert!(store.write("t", &Dataset::new(vec![rec!["bad"]])).is_err());
+    }
+
+    #[test]
+    fn relational_index_lookup_matches_scan() {
+        let store = RelationalStore::new("db");
+        store.write("t", &sample()).unwrap();
+        let scan = store.lookup_eq("t", 1, &Value::str("a")).unwrap();
+        store.create_index("t", 1).unwrap();
+        assert!(store.has_index("t", 1));
+        let indexed = store.lookup_eq("t", 1, &Value::str("a")).unwrap();
+        assert_eq!(scan, indexed);
+        assert_eq!(indexed.len(), 2);
+        assert!(store
+            .lookup_eq("t", 1, &Value::str("zzz"))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn relational_range_lookup() {
+        let store = RelationalStore::new("db");
+        store.write("t", &sample()).unwrap();
+        store.create_index("t", 0).unwrap();
+        let out = store
+            .lookup_range("t", 0, &Value::Int(2), &Value::Int(4))
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        // Scan fallback gives the same answer.
+        let store2 = RelationalStore::new("db2");
+        store2.write("t", &sample()).unwrap();
+        let out2 = store2
+            .lookup_range("t", 0, &Value::Int(2), &Value::Int(4))
+            .unwrap();
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn relational_indexes_survive_rewrite_and_inserts() {
+        let store = RelationalStore::new("db");
+        store.write("t", &sample()).unwrap();
+        store.create_index("t", 0).unwrap();
+        store.write("t", &sample()).unwrap(); // rewrite rebuilds index
+        assert!(store.has_index("t", 0));
+        store.insert("t", &[rec![9i64, "z", 1.0]]).unwrap();
+        let hit = store.lookup_eq("t", 0, &Value::Int(9)).unwrap();
+        assert_eq!(hit.len(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: build a small analytic task once, let RHEEM pick the
+//! platform, and inspect the execution plan and statistics.
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use std::sync::Arc;
+
+use rheem::prelude::*;
+use rheem::rec;
+
+fn main() -> Result<(), RheemError> {
+    // 1. Register the available processing platforms. Applications never
+    //    reference them again — that's the platform independence the paper
+    //    argues for.
+    let ctx = RheemContext::new()
+        .with_platform(Arc::new(JavaPlatform::new()))
+        .with_platform(Arc::new(SparkLikePlatform::new(4)))
+        .with_platform(Arc::new(RelationalPlatform::new()));
+
+    // 2. Express the task against the abstraction: word count over a tiny
+    //    document collection.
+    let docs = vec![
+        rec!["the road to freedom"],
+        rec!["freedom in big data analytics"],
+        rec!["the data road"],
+    ];
+    let mut b = PlanBuilder::new();
+    let src = b.collection("docs", docs);
+    let words = b.flat_map(
+        src,
+        FlatMapUdf::new("tokenize", |r| {
+            r.str(0)
+                .unwrap_or("")
+                .split_whitespace()
+                .map(|w| rec![w, 1i64])
+                .collect()
+        })
+        .with_fanout(4.0),
+    );
+    let counts = b.reduce_by_key(
+        words,
+        KeyUdf::field(0),
+        ReduceUdf::new("sum", |a, x| {
+            rec![a.str(0).unwrap(), a.int(1).unwrap() + x.int(1).unwrap()]
+        }),
+    );
+    let top = b.sort(counts, KeyUdf::field(1), true);
+    let sink = b.collect(top);
+    let plan = b.build()?;
+
+    // 3. Optimize: the multi-platform optimizer assigns every operator to
+    //    a platform and splits the plan into task atoms.
+    let exec = ctx.optimize(plan)?;
+    println!("execution plan:\n{}", exec.explain());
+
+    // 4. Run and inspect.
+    let result = ctx.execute_plan(&exec)?;
+    println!("word counts:");
+    for r in result.outputs[&sink].iter() {
+        println!("  {:>2}  {}", r.int(1)?, r.str(0)?);
+    }
+    println!("\nexecution report:\n{}", result.stats.explain());
+    Ok(())
+}

@@ -1,0 +1,276 @@
+//! The platform-independence contract, end to end: any plan produces the
+//! same bag of records on every registered platform (§2 "Processing
+//! Platform Independence"). Includes a property-based test that builds
+//! random operator pipelines and cross-checks all engines against the
+//! reference interpreter.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rheem::prelude::*;
+use rheem::rec;
+use rheem_core::interpreter;
+use rheem_core::plan::PhysicalPlan;
+
+fn all_platform_contexts() -> Vec<(&'static str, RheemContext)> {
+    vec![
+        (
+            "java",
+            RheemContext::new().with_platform(Arc::new(JavaPlatform::new())),
+        ),
+        (
+            "sparklike",
+            RheemContext::new().with_platform(Arc::new(
+                SparkLikePlatform::new(4).with_overheads(OverheadConfig::none()),
+            )),
+        ),
+        (
+            "mapreduce",
+            RheemContext::new().with_platform(Arc::new(
+                MapReduceLikePlatform::new(4)
+                    .with_overheads(OverheadConfig::none())
+                    .with_spill_dir(std::env::temp_dir().join(format!(
+                        "rheem_integration_{}",
+                        std::process::id()
+                    ))),
+            )),
+        ),
+        (
+            "relational",
+            RheemContext::new().with_platform(Arc::new(
+                RelationalPlatform::new().with_overheads(OverheadConfig::none()),
+            )),
+        ),
+    ]
+}
+
+fn sorted(mut v: Vec<Record>) -> Vec<Record> {
+    v.sort();
+    v
+}
+
+/// Normalize a job's outputs into a sorted multiset of sorted bags.
+/// The optimizer's rewrite pass renumbers nodes, so sinks are matched by
+/// content (bag semantics), not by id.
+fn bags(outputs: impl IntoIterator<Item = Dataset>) -> Vec<Vec<Record>> {
+    let mut out: Vec<Vec<Record>> = outputs
+        .into_iter()
+        .map(|d| sorted(d.records().to_vec()))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Execute on every platform and compare against the reference interpreter.
+fn assert_platform_independent(plan: &PhysicalPlan) {
+    let reference =
+        interpreter::run_plan(plan, &rheem_core::ExecutionContext::new()).expect("reference runs");
+    let reference_bags = bags(reference.into_values());
+    for (name, ctx) in all_platform_contexts() {
+        // Skip engines that cannot run the plan at all (e.g. relational
+        // with loops) — the optimizer would never route it there.
+        let supported = {
+            let platform = ctx.platforms().all()[0].clone();
+            plan.nodes().iter().all(|n| platform.supports(&n.op))
+        };
+        if !supported {
+            continue;
+        }
+        let result = ctx.execute(plan.clone()).expect("plan executes");
+        assert_eq!(
+            bags(result.outputs.into_values()),
+            reference_bags,
+            "platform {name} disagrees with the reference"
+        );
+    }
+}
+
+#[test]
+fn relational_style_query_is_platform_independent() {
+    let mut b = PlanBuilder::new();
+    let orders = b.collection(
+        "orders",
+        rheem_datagen::relational::orders(500, 60, 1),
+    );
+    let customers = b.collection(
+        "customers",
+        rheem_datagen::relational::customers(60, 5, 2),
+    );
+    let big = b.filter(
+        orders,
+        FilterUdf::new("big", |r| r.float(2).unwrap() > 1000.0),
+    );
+    let joined = b.hash_join(big, customers, KeyUdf::field(1), KeyUdf::field(0));
+    // Normalize each joined row to [region, cents] first: a stable
+    // accumulator shape, and integer money so the aggregate is exact
+    // regardless of per-partition summation order.
+    let rows = b.map(
+        joined,
+        MapUdf::new("project-region-cents", |r| {
+            Record::new(vec![
+                r.get(5).unwrap().clone(),
+                ((r.float(2).unwrap() * 100.0).round() as i64).into(),
+            ])
+        }),
+    );
+    let by_region = b.reduce_by_key(
+        rows,
+        KeyUdf::field(0),
+        ReduceUdf::new("sum", |a, x| {
+            Record::new(vec![
+                a.get(0).unwrap().clone(),
+                (a.int(1).unwrap() + x.int(1).unwrap()).into(),
+            ])
+        }),
+    );
+    b.collect(by_region);
+    let plan = b.build().unwrap();
+    assert_platform_independent(&plan);
+}
+
+#[test]
+fn iterative_plan_is_platform_independent() {
+    // Relational is skipped automatically (no loop support).
+    let mut body = PlanBuilder::new();
+    let li = body.loop_input();
+    let doubled = body.map(li, MapUdf::new("x2", |r| rec![r.int(0).unwrap() * 2]));
+    body.filter(doubled, FilterUdf::new("cap", |r| r.int(0).unwrap() < 1_000_000));
+    let body = body.build_fragment().unwrap();
+
+    let mut b = PlanBuilder::new();
+    let src = b.collection("s", (1..50i64).map(|i| rec![i]).collect());
+    let l = b.repeat(src, body, LoopCondUdf::fixed_iterations(6), 6);
+    b.collect(l);
+    assert_platform_independent(&b.build().unwrap());
+}
+
+#[test]
+fn cleaning_pipeline_is_platform_independent() {
+    use rheem_cleaning::{build_detection_plan, DenialConstraint, DetectionStrategy};
+    use rheem_datagen::tax::{columns, generate, TaxConfig};
+    let (data, _) = generate(&TaxConfig::new(800).with_seed(3));
+    let rule = DenialConstraint::functional_dependency(
+        "fd",
+        columns::ID,
+        columns::ZIP,
+        columns::STATE,
+    );
+    for strategy in [
+        DetectionStrategy::OperatorPipeline,
+        DetectionStrategy::SingleUdf,
+    ] {
+        let (plan, _) = build_detection_plan(data.clone(), &rule, strategy).unwrap();
+        assert_platform_independent(&plan);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property-based pipeline fuzzing
+// ---------------------------------------------------------------------------
+
+/// A randomly chosen unary operator step.
+#[derive(Clone, Debug)]
+enum Step {
+    MapAddConst(i64),
+    FilterMod(i64),
+    SortAsc,
+    Distinct,
+    GroupCount,
+    ReduceSum,
+    LimitTo(usize),
+    UnionSelf,
+}
+
+fn apply_step(b: &mut PlanBuilder, input: rheem_core::NodeId, step: &Step) -> rheem_core::NodeId {
+    match step {
+        Step::MapAddConst(c) => {
+            let c = *c;
+            b.map(
+                input,
+                MapUdf::new("add", move |r| {
+                    rec![r.int(0).unwrap().wrapping_add(c), r.int(1).unwrap_or(0)]
+                }),
+            )
+        }
+        Step::FilterMod(m) => {
+            let m = (*m).max(1);
+            b.filter(
+                input,
+                FilterUdf::new("mod", move |r| r.int(0).unwrap().rem_euclid(m) != 0),
+            )
+        }
+        Step::SortAsc => b.sort(input, KeyUdf::field(0), false),
+        Step::Distinct => b.distinct(input),
+        Step::GroupCount => b.group_by(
+            input,
+            KeyUdf::new("mod7", |r| (r.int(0).unwrap().rem_euclid(7)).into()),
+            GroupMapUdf::new("count", |k, members| {
+                vec![Record::new(vec![
+                    k.clone(),
+                    (members.len() as i64).into(),
+                ])]
+            }),
+        ),
+        // Note: the combiner must be commutative and associative for the
+        // result to be platform-independent (partitioned engines reduce in
+        // a different order) — hence `min` for the representative, not
+        // "first seen".
+        Step::ReduceSum => b.reduce_by_key(
+            input,
+            KeyUdf::new("mod5", |r| (r.int(0).unwrap().rem_euclid(5)).into()),
+            ReduceUdf::new("sum", |a, x| {
+                rec![
+                    a.int(0).unwrap().min(x.int(0).unwrap()),
+                    a.int(1).unwrap_or(0).wrapping_add(x.int(1).unwrap_or(0))
+                ]
+            }),
+        ),
+        Step::LimitTo(n) => {
+            // Order across platforms is a bag, so sort before limiting to
+            // keep the prefix deterministic.
+            let s = b.sort(input, KeyUdf::field(0), false);
+            b.limit(s, *n)
+        }
+        Step::UnionSelf => b.union(input, input),
+    }
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (-100i64..100).prop_map(Step::MapAddConst),
+        (1i64..9).prop_map(Step::FilterMod),
+        Just(Step::SortAsc),
+        Just(Step::Distinct),
+        Just(Step::GroupCount),
+        Just(Step::ReduceSum),
+        (1usize..50).prop_map(Step::LimitTo),
+        Just(Step::UnionSelf),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, ..ProptestConfig::default()
+    })]
+
+    /// Arbitrary pipelines of supported operators agree across every
+    /// platform (bag semantics).
+    #[test]
+    fn prop_random_pipelines_are_platform_independent(
+        seed in 0u64..1000,
+        len in 0usize..120,
+        steps in proptest::collection::vec(step_strategy(), 0..5),
+    ) {
+        let data: Vec<Record> = (0..len as i64)
+            .map(|i| rec![(i.wrapping_mul(seed as i64 + 3)).rem_euclid(97), 1i64])
+            .collect();
+        let mut b = PlanBuilder::new();
+        let mut node = b.collection("fuzz", data);
+        for step in &steps {
+            node = apply_step(&mut b, node, step);
+        }
+        b.collect(node);
+        let plan = b.build().unwrap();
+        assert_platform_independent(&plan);
+    }
+}

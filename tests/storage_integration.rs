@@ -1,0 +1,187 @@
+//! Processing ↔ storage integration (paper §6): plans read and write
+//! through the storage abstraction, the WWHow!-style optimizer places
+//! datasets, Cartilage plans shape layouts, and hot buffers absorb
+//! repeated access — all through the same `StorageSource`/`StorageSink`
+//! operators regardless of which store holds the data.
+
+use std::sync::Arc;
+
+use rheem::prelude::*;
+use rheem::rec;
+use rheem_core::platform::StorageService;
+use rheem_storage::{
+    AccessPattern, LocalFsStore, MemStore, RelationalStore, SimHdfsConfig, SimHdfsStore,
+    StorageRequest, TransformStep, TransformationPlan,
+};
+
+fn layer() -> Arc<StorageLayer> {
+    Arc::new(
+        StorageLayer::new(Arc::new(MemStore::new("mem")))
+            .with_store(Arc::new(SimHdfsStore::new("hdfs", SimHdfsConfig::default())))
+            .with_store(Arc::new(RelationalStore::new("db")))
+            .with_hot_buffer(100_000),
+    )
+}
+
+fn ctx_with(storage: Arc<StorageLayer>) -> RheemContext {
+    RheemContext::new()
+        .with_platform(Arc::new(JavaPlatform::new()))
+        .with_platform(Arc::new(
+            SparkLikePlatform::new(4).with_overheads(OverheadConfig::none()),
+        ))
+        .with_storage(storage)
+}
+
+#[test]
+fn plans_read_and_write_across_stores() {
+    let storage = layer();
+    let ctx = ctx_with(storage.clone());
+
+    // Seed input on the simulated HDFS.
+    let input: Vec<Record> = (0..500i64).map(|i| rec![i, i * 3]).collect();
+    storage
+        .submit(StorageRequest::Ingest {
+            dataset_id: "input".into(),
+            data: Dataset::new(input),
+            pattern: Some(AccessPattern::scan_heavy(1e8, 10.0)), // → hdfs
+        })
+        .unwrap();
+    assert_eq!(storage.placement("input"), "hdfs");
+
+    // Process it and write the result back; the derived dataset lands on
+    // the default store (mem) unless placed explicitly.
+    let mut b = PlanBuilder::new();
+    let src = b.storage_source("input");
+    let f = b.filter(src, FilterUdf::new("even", |r| r.int(0).unwrap() % 2 == 0));
+    b.write_storage(f, "derived");
+    ctx.execute(b.build().unwrap()).unwrap();
+
+    let derived = StorageService::read(storage.as_ref(), "derived").unwrap();
+    assert_eq!(derived.len(), 250);
+    // The result is readable by another plan.
+    let mut b = PlanBuilder::new();
+    let src = b.storage_source("derived");
+    let sink = b.count(src);
+    let result = ctx.execute(b.build().unwrap()).unwrap();
+    assert_eq!(
+        rheem_core::interpreter::read_count(&result.outputs[&sink]).unwrap(),
+        250
+    );
+}
+
+#[test]
+fn migration_is_transparent_to_plans() {
+    let storage = layer();
+    let ctx = ctx_with(storage.clone());
+    let data: Vec<Record> = (0..100i64).map(|i| rec![i]).collect();
+    StorageService::write(storage.as_ref(), "d", &Dataset::new(data)).unwrap();
+
+    let run_count = || {
+        let mut b = PlanBuilder::new();
+        let src = b.storage_source("d");
+        let sink = b.count(src);
+        let result = ctx.execute(b.build().unwrap()).unwrap();
+        rheem_core::interpreter::read_count(&result.outputs[&sink]).unwrap()
+    };
+    assert_eq!(run_count(), 100);
+    storage
+        .submit(StorageRequest::Migrate {
+            dataset_id: "d".into(),
+            to_store: "db".into(),
+        })
+        .unwrap();
+    assert_eq!(storage.placement("d"), "db");
+    assert_eq!(run_count(), 100, "same plan, new store, same answer");
+}
+
+#[test]
+fn cartilage_transformation_feeds_processing() {
+    let storage = layer();
+    let ctx = ctx_with(storage.clone());
+
+    // Raw CSV lines arrive; a transformation plan parses + filters + sorts
+    // them on ingestion, so plans see a clean layout.
+    let raw: Vec<Record> = vec![
+        rec!["5,charlie"],
+        rec!["1,alice"],
+        rec!["oops"],
+        rec!["3,bob"],
+    ];
+    StorageService::write(storage.as_ref(), "raw", &Dataset::new(raw)).unwrap();
+    storage
+        .submit(StorageRequest::Transform {
+            source_id: "raw".into(),
+            target_id: "people".into(),
+            plan: TransformationPlan::named("ingest")
+                .then(TransformStep::ParseCsv)
+                .then(TransformStep::FilterRows(FilterUdf::new("valid", |r| {
+                    r.width() == 2 && r.int(0).is_ok()
+                })))
+                .then(TransformStep::SortBy {
+                    column: 0,
+                    descending: false,
+                }),
+        })
+        .unwrap();
+
+    let mut b = PlanBuilder::new();
+    let src = b.storage_source("people");
+    let sink = b.collect(src);
+    let result = ctx.execute(b.build().unwrap()).unwrap();
+    let people = &result.outputs[&sink];
+    assert_eq!(people.len(), 3);
+    assert_eq!(people.records()[0].str(1).unwrap(), "alice");
+    assert_eq!(people.records()[2].str(1).unwrap(), "charlie");
+}
+
+#[test]
+fn repeated_plan_runs_hit_the_hot_buffer() {
+    let storage = layer();
+    let ctx = ctx_with(storage.clone());
+    let data: Vec<Record> = (0..2_000i64).map(|i| rec![i]).collect();
+    StorageService::write(storage.as_ref(), "hot", &Dataset::new(data)).unwrap();
+
+    for _ in 0..5 {
+        let mut b = PlanBuilder::new();
+        let src = b.storage_source("hot");
+        b.count(src);
+        ctx.execute(b.build().unwrap()).unwrap();
+    }
+    let stats = storage.hot_stats().unwrap();
+    assert!(stats.hits >= 4, "expected buffer hits, got {stats:?}");
+}
+
+#[test]
+fn local_fs_store_backs_real_plans() {
+    let dir = std::env::temp_dir().join(format!("rheem_fs_int_{}", std::process::id()));
+    let storage = Arc::new(StorageLayer::new(Arc::new(
+        LocalFsStore::new("fs", &dir).unwrap(),
+    )));
+    let ctx = ctx_with(storage.clone());
+    let data: Vec<Record> = (0..50i64).map(|i| rec![i, format!("row-{i}")]).collect();
+    StorageService::write(storage.as_ref(), "disk", &Dataset::new(data)).unwrap();
+
+    let mut b = PlanBuilder::new();
+    let src = b.storage_source("disk");
+    let m = b.map(src, MapUdf::new("tag", |r| {
+        rec![r.int(0).unwrap(), format!("{}!", r.str(1).unwrap())]
+    }));
+    let sink = b.collect(m);
+    let result = ctx.execute(b.build().unwrap()).unwrap();
+    assert_eq!(result.outputs[&sink].records()[7].str(1).unwrap(), "row-7!");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn missing_dataset_surfaces_as_clean_error() {
+    let storage = layer();
+    let ctx = ctx_with(storage);
+    let mut b = PlanBuilder::new();
+    let src = b.storage_source("nope");
+    b.collect(src);
+    let err = ctx.execute(b.build().unwrap()).unwrap_err();
+    assert!(
+        matches!(err, RheemError::DatasetNotFound(_) | RheemError::Execution { .. }),
+        "{err}"
+    );
+}
