@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass before merging.
+#
+# Runs formatting, lints (warnings are errors), a release build, and the
+# full test suite. Any failure fails the gate.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "OK: all tier-1 checks passed"

@@ -21,7 +21,11 @@ fn data(n: usize) -> Vec<(i64, f64, f64)> {
     (0..n)
         .map(|i| {
             let a = (i as f64 * 17.0) % 1000.0;
-            let b = if i % (n / 10).max(1) == 0 { 0.0 } else { a / 10.0 + 1.0 };
+            let b = if i % (n / 10).max(1) == 0 {
+                0.0
+            } else {
+                a / 10.0 + 1.0
+            };
             (i as i64, a, b)
         })
         .collect()

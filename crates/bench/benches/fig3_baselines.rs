@@ -23,9 +23,8 @@ fn bench(c: &mut Criterion) {
         columns::TAX_RATE,
     );
     for &n in &[1_000usize, 4_000] {
-        let (data, _) = generate(
-            &TaxConfig::new(n).with_error_rates(0.0, (10.0 / n as f64).min(0.05)),
-        );
+        let (data, _) =
+            generate(&TaxConfig::new(n).with_error_rates(0.0, (10.0 / n as f64).min(0.05)));
         group.bench_with_input(BenchmarkId::new("iejoin", n), &data, |b, d| {
             b.iter(|| detect(&ctx, d.clone(), &rule, DetectionStrategy::IeJoin).unwrap())
         });

@@ -133,8 +133,11 @@ pub struct MovementCostRow {
 /// Build a context whose storage holds the sensor readings.
 pub fn movement_context(n: usize) -> RheemContext {
     let storage = Arc::new(
-        StorageLayer::new(Arc::new(SimHdfsStore::new("hdfs", SimHdfsConfig::default())))
-            .with_store(Arc::new(MemStore::new("mem"))),
+        StorageLayer::new(Arc::new(SimHdfsStore::new(
+            "hdfs",
+            SimHdfsConfig::default(),
+        )))
+        .with_store(Arc::new(MemStore::new("mem"))),
     );
     let readings = rheem_datagen::relational::sensor_readings(n, 16, 0.05, 11);
     StorageService::write(storage.as_ref(), "readings", &Dataset::new(readings))
@@ -164,10 +167,7 @@ pub fn run_movement_cost(n: usize) -> MovementCostRow {
     MovementCostRow {
         aware: (aware_exec.estimated_cost, aware_run.stats.total_movement_ms),
         oblivious: (obl_exec.estimated_cost, obl_run.stats.total_movement_ms),
-        switches: (
-            aware_exec.platform_switches(),
-            obl_exec.platform_switches(),
-        ),
+        switches: (aware_exec.platform_switches(), obl_exec.platform_switches()),
     }
 }
 
@@ -248,9 +248,7 @@ pub fn run_storage(n: usize, reads: usize) -> StorageRow {
             },
         ))
     };
-    let data = Dataset::new(
-        rheem_datagen::relational::sensor_readings(n, 8, 0.02, 5),
-    );
+    let data = Dataset::new(rheem_datagen::relational::sensor_readings(n, 8, 0.02, 5));
 
     // Hot buffer on/off.
     let timed_reads = |layer: &StorageLayer| {

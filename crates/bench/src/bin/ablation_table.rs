@@ -7,7 +7,13 @@ use rheem_bench::ablations;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (a_sizes, b_n, c_sizes, d_n, e_n) = if quick {
-        (vec![1_000, 100_000], 20_000, vec![1_000, 3_000], 50_000, 5_000)
+        (
+            vec![1_000, 100_000],
+            20_000,
+            vec![1_000, 3_000],
+            50_000,
+            5_000,
+        )
     } else {
         (
             vec![1_000, 100_000, 1_000_000],
@@ -26,7 +32,12 @@ fn main() {
             .iter()
             .map(|(label, ms)| format!("{label}={ms:.1}"))
             .collect();
-        println!("{:<10}  {:<10}  {}", row.rows, row.chosen, timings.join("  "));
+        println!(
+            "{:<10}  {:<10}  {}",
+            row.rows,
+            row.chosen,
+            timings.join("  ")
+        );
     }
 
     println!("\nAblation B — movement-cost awareness (mixed HDFS→UDF→aggregate pipeline, n={b_n})");

@@ -23,7 +23,11 @@ fn main() {
     let rows = run(&config);
     print!("{}", render(&rows));
 
-    let iter_counts: Vec<u64> = if quick { vec![10, 50] } else { vec![10, 50, 100, 200] };
+    let iter_counts: Vec<u64> = if quick {
+        vec![10, 50]
+    } else {
+        vec![10, 50, 100, 200]
+    };
     eprintln!("running iteration sweep on 1000 rows ...");
     let series = run_iteration_sweep(1_000, &iter_counts);
     print!("\n{}", render_iteration_sweep(1_000, &series));

@@ -168,7 +168,11 @@ pub fn render(rows: &[Fig2Row]) -> String {
             r.java_ms,
             r.spark_ms,
             r.spark_speedup(),
-            if r.spark_speedup() > 1.0 { "spark-like" } else { "java" },
+            if r.spark_speedup() > 1.0 {
+                "spark-like"
+            } else {
+                "java"
+            },
         ));
     }
     s

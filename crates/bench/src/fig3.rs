@@ -39,12 +39,9 @@ pub fn inequality_rule() -> DenialConstraint {
 
 /// A Spark-like context with mild overheads for the detection runs.
 pub fn detection_context(workers: usize) -> RheemContext {
-    RheemContext::new().with_platform(Arc::new(
-        SparkLikePlatform::new(workers).with_overheads(OverheadConfig::accounted_only(
-            Duration::from_millis(5),
-            Duration::from_millis(1),
-        )),
-    ))
+    RheemContext::new().with_platform(Arc::new(SparkLikePlatform::new(workers).with_overheads(
+        OverheadConfig::accounted_only(Duration::from_millis(5), Duration::from_millis(1)),
+    )))
 }
 
 /// One row of the left subfigure.
@@ -123,15 +120,14 @@ pub fn run_right(sizes: &[usize], workers: usize, budget: Duration) -> Vec<Fig3R
                 .with_seed(n as u64)
                 .with_error_rates(0.0, ineq_rate),
         );
-        let (violations, rj) = detect(&ctx, data.clone(), &rule, DetectionStrategy::IeJoin)
-            .expect("iejoin detection");
+        let (violations, rj) =
+            detect(&ctx, data.clone(), &rule, DetectionStrategy::IeJoin).expect("iejoin detection");
         let iejoin_ms = rj.stats.total_simulated_ms();
 
         // Run the baseline only while the projection fits the budget
         // (mirroring the authors stopping their baselines at 22 h).
         let projected = last_completed.map(|(m, ms)| ms * (n as f64 / m as f64).powi(2));
-        let cross_ms = if !baseline_dead
-            && projected.is_none_or(|p| p < budget.as_secs_f64() * 1e3)
+        let cross_ms = if !baseline_dead && projected.is_none_or(|p| p < budget.as_secs_f64() * 1e3)
         {
             let (vc, rc) = detect(&ctx, data, &rule, DetectionStrategy::CrossProduct)
                 .expect("cross-product detection");

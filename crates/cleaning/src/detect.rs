@@ -177,10 +177,9 @@ fn build_detection_branch(
                 }
             }
         }
-        DetectionStrategy::SingleUdf => b.custom(
-            Arc::new(MonolithicDetect { rule: rule.clone() }),
-            vec![src],
-        ),
+        DetectionStrategy::SingleUdf => {
+            b.custom(Arc::new(MonolithicDetect { rule: rule.clone() }), vec![src])
+        }
         DetectionStrategy::CrossProduct => {
             let scope = rule.scope_columns();
             let rebased = rule.rebased();
@@ -248,7 +247,9 @@ pub fn detect_all(
     strategy: DetectionStrategy,
 ) -> Result<(std::collections::HashMap<String, Vec<Violation>>, JobResult)> {
     if rules.is_empty() {
-        return Err(RheemError::InvalidPlan("detect_all needs at least one rule".into()));
+        return Err(RheemError::InvalidPlan(
+            "detect_all needs at least one rule".into(),
+        ));
     }
     let mut b = PlanBuilder::new();
     let src = b.collection("multi-rule-input", data);
@@ -322,9 +323,7 @@ mod tests {
         .unwrap();
         // Ordered pairs: (0,2), (2,0), (1,2), (2,1).
         assert_eq!(violations.len(), 4);
-        assert!(violations
-            .iter()
-            .all(|v| v.t1 == 2 || v.t2 == 2));
+        assert!(violations.iter().all(|v| v.t1 == 2 || v.t2 == 2));
     }
 
     #[test]
@@ -337,7 +336,10 @@ mod tests {
             DetectionStrategy::OperatorPipeline,
         )
         .unwrap();
-        for strategy in [DetectionStrategy::SingleUdf, DetectionStrategy::CrossProduct] {
+        for strategy in [
+            DetectionStrategy::SingleUdf,
+            DetectionStrategy::CrossProduct,
+        ] {
             let n = count_violations(&ctx(), data.clone(), &fd(), strategy).unwrap();
             assert_eq!(n, baseline, "strategy {strategy:?} disagrees");
         }
@@ -390,27 +392,19 @@ mod tests {
     #[test]
     fn detection_agrees_with_generator_ground_truth() {
         use rheem_datagen::tax::{self, columns, TaxConfig};
-        let (data, injected) =
-            tax::generate(&TaxConfig::new(400).with_error_rates(0.05, 0.0));
+        let (data, injected) = tax::generate(&TaxConfig::new(400).with_error_rates(0.05, 0.0));
         let rule = DenialConstraint::functional_dependency(
             "zip-state",
             columns::ID,
             columns::ZIP,
             columns::STATE,
         );
-        let (violations, _) = detect(
-            &ctx(),
-            data,
-            &rule,
-            DetectionStrategy::OperatorPipeline,
-        )
-        .unwrap();
+        let (violations, _) =
+            detect(&ctx(), data, &rule, DetectionStrategy::OperatorPipeline).unwrap();
         // Every injected dirty record participates in at least one violation
         // (its zip has clean siblings with overwhelming probability).
-        let dirty_involved: std::collections::HashSet<i64> = violations
-            .iter()
-            .flat_map(|v| [v.t1, v.t2])
-            .collect();
+        let dirty_involved: std::collections::HashSet<i64> =
+            violations.iter().flat_map(|v| [v.t1, v.t2]).collect();
         assert!(
             dirty_involved.len() >= injected.fd_dirty_records,
             "violations cover {} records, injected {}",
@@ -470,10 +464,10 @@ mod multi_rule_tests {
         let ctx = ctx();
         let mut b = PlanBuilder::new();
         let src = b.collection("i", dirty());
-        let v1 = build_detection_branch(&mut b, src, &fd, DetectionStrategy::OperatorPipeline)
-            .unwrap();
-        let v2 = build_detection_branch(&mut b, src, &fd2, DetectionStrategy::OperatorPipeline)
-            .unwrap();
+        let v1 =
+            build_detection_branch(&mut b, src, &fd, DetectionStrategy::OperatorPipeline).unwrap();
+        let v2 =
+            build_detection_branch(&mut b, src, &fd2, DetectionStrategy::OperatorPipeline).unwrap();
         b.collect(v1);
         b.collect(v2);
         let exec = ctx.optimize(b.build().unwrap()).unwrap();

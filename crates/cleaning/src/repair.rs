@@ -193,13 +193,8 @@ mod tests {
 
     #[test]
     fn gen_fixes_proposes_both_directions() {
-        let (violations, _) = detect(
-            &ctx(),
-            data(),
-            &fd(),
-            DetectionStrategy::OperatorPipeline,
-        )
-        .unwrap();
+        let (violations, _) =
+            detect(&ctx(), data(), &fd(), DetectionStrategy::OperatorPipeline).unwrap();
         let fixes = gen_fixes(&data(), &fd(), &violations).unwrap();
         // 4 ordered violations × 2 fixes each.
         assert_eq!(fixes.len(), 8);
@@ -217,13 +212,8 @@ mod tests {
         // Majority in zip 10 is CA: record 2 gets repaired.
         assert_eq!(repaired[2].str(2).unwrap(), "CA");
         assert_eq!(repaired[3].str(2).unwrap(), "NY"); // untouched
-        let n = count_violations(
-            &ctx(),
-            repaired,
-            &fd(),
-            DetectionStrategy::OperatorPipeline,
-        )
-        .unwrap();
+        let n =
+            count_violations(&ctx(), repaired, &fd(), DetectionStrategy::OperatorPipeline).unwrap();
         assert_eq!(n, 0);
     }
 
@@ -246,13 +236,8 @@ mod tests {
         .unwrap();
         assert!(before > 0);
         let repaired = repair_fd(&data, &rule).unwrap();
-        let after = count_violations(
-            &ctx(),
-            repaired,
-            &rule,
-            DetectionStrategy::OperatorPipeline,
-        )
-        .unwrap();
+        let after =
+            count_violations(&ctx(), repaired, &rule, DetectionStrategy::OperatorPipeline).unwrap();
         assert_eq!(after, 0, "repair left violations ({before} before)");
     }
 
@@ -274,13 +259,8 @@ mod tests {
         assert_eq!(violations.len(), 2); // (0,1), (0,2)
         let fixes = gen_fixes(&records, &rule, &violations).unwrap();
         let repaired = apply_fixes(&records, &rule, &fixes).unwrap();
-        let after = count_violations(
-            &ctx(),
-            repaired,
-            &rule,
-            DetectionStrategy::OperatorPipeline,
-        )
-        .unwrap();
+        let after =
+            count_violations(&ctx(), repaired, &rule, DetectionStrategy::OperatorPipeline).unwrap();
         assert!(after < violations.len());
     }
 

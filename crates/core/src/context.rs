@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::error::Result;
-use crate::executor::{Executor, ExecutorConfig, JobResult, ProgressListener};
+use crate::executor::{Executor, ExecutorConfig, JobResult, ProgressListener, ScheduleMode};
 use crate::logical::LogicalPlan;
 use crate::optimizer::MultiPlatformOptimizer;
 use crate::plan::{ExecutionPlan, PhysicalPlan};
@@ -74,6 +74,19 @@ impl RheemContext {
     /// Set the retry budget per task atom.
     pub fn with_max_retries(mut self, retries: usize) -> Self {
         self.executor_config.max_retries = retries;
+        self
+    }
+
+    /// Cap how many task atoms may run concurrently within a scheduling
+    /// wave (defaults to the host's available parallelism).
+    pub fn with_max_parallel_atoms(mut self, atoms: usize) -> Self {
+        self.executor_config.max_parallel_atoms = atoms;
+        self
+    }
+
+    /// Choose wave-parallel (default) or sequential atom scheduling.
+    pub fn with_schedule_mode(mut self, mode: ScheduleMode) -> Self {
+        self.executor_config.mode = mode;
         self
     }
 

@@ -17,6 +17,7 @@
 
 use std::collections::HashMap;
 
+use crate::error::{Result, RheemError};
 use crate::physical::PhysicalOp;
 use crate::plan::PhysicalPlan;
 
@@ -45,24 +46,45 @@ impl CardinalityEstimator {
     }
 
     /// Estimated output cardinality per node, indexed by node id.
-    pub fn estimate(&self, plan: &PhysicalPlan) -> Vec<f64> {
+    ///
+    /// Fails with [`RheemError::InvalidPlan`] if a binary operator has
+    /// fewer than two wired inputs (a malformed plan must surface as an
+    /// error, never as an index panic inside the optimizer).
+    pub fn estimate(&self, plan: &PhysicalPlan) -> Result<Vec<f64>> {
         self.estimate_with_loop_input(plan, 0.0)
     }
 
     /// Like [`CardinalityEstimator::estimate`], binding `LoopInput` nodes to
     /// `loop_card` (used when recursing into loop bodies).
-    pub fn estimate_with_loop_input(&self, plan: &PhysicalPlan, loop_card: f64) -> Vec<f64> {
+    pub fn estimate_with_loop_input(
+        &self,
+        plan: &PhysicalPlan,
+        loop_card: f64,
+    ) -> Result<Vec<f64>> {
         let mut cards = vec![0.0f64; plan.len()];
         for node in plan.nodes() {
-            let ins: Vec<f64> = node.inputs.iter().map(|i| cards[i.0]).collect();
-            cards[node.id.0] = self.op_output_card(&node.op, &ins, loop_card);
+            let ins: Vec<f64> = node
+                .inputs
+                .iter()
+                .map(|i| {
+                    cards.get(i.0).copied().ok_or_else(|| {
+                        RheemError::InvalidPlan(format!(
+                            "node {} consumes node {} outside the plan ({} nodes)",
+                            node.id,
+                            i,
+                            plan.len()
+                        ))
+                    })
+                })
+                .collect::<Result<_>>()?;
+            cards[node.id.0] = self.op_output_card(&node.op, &ins, loop_card)?;
         }
-        cards
+        Ok(cards)
     }
 
-    fn op_output_card(&self, op: &PhysicalOp, ins: &[f64], loop_card: f64) -> f64 {
+    fn op_output_card(&self, op: &PhysicalOp, ins: &[f64], loop_card: f64) -> Result<f64> {
         let in0 = ins.first().copied().unwrap_or(0.0);
-        match op {
+        Ok(match op {
             PhysicalOp::CollectionSource { data, .. } => data.len() as f64,
             PhysicalOp::StorageSource { dataset_id } => self
                 .source_hints
@@ -90,7 +112,7 @@ impl CardinalityEstimator {
                 left_key,
                 right_key,
             } => {
-                let (l, r) = (ins[0], ins[1]);
+                let (l, r) = binary_inputs(op, ins)?;
                 let dl = distinct_keys(left_key.distinct_keys, l);
                 let dr = distinct_keys(right_key.distinct_keys, r);
                 if dl.max(dr) > 0.0 {
@@ -99,33 +121,59 @@ impl CardinalityEstimator {
                     0.0
                 }
             }
-            PhysicalOp::NestedLoopJoin { selectivity, .. } => ins[0] * ins[1] * selectivity,
-            PhysicalOp::CrossProduct => ins[0] * ins[1],
-            PhysicalOp::Union => ins[0] + ins[1],
+            PhysicalOp::NestedLoopJoin { selectivity, .. } => {
+                let (l, r) = binary_inputs(op, ins)?;
+                l * r * selectivity
+            }
+            PhysicalOp::CrossProduct => {
+                let (l, r) = binary_inputs(op, ins)?;
+                l * r
+            }
+            PhysicalOp::Union => {
+                let (l, r) = binary_inputs(op, ins)?;
+                l + r
+            }
             PhysicalOp::Loop { body, .. } => {
-                let body_cards = self.estimate_with_loop_input(body, in0);
+                let body_cards = self.estimate_with_loop_input(body, in0)?;
                 let terminals = body.terminals();
-                terminals
-                    .first()
-                    .map(|t| body_cards[t.0])
-                    .unwrap_or(in0)
+                terminals.first().map(|t| body_cards[t.0]).unwrap_or(in0)
             }
             PhysicalOp::Custom(c) => c.output_cardinality(ins),
             PhysicalOp::CollectSink | PhysicalOp::StorageSink { .. } => in0,
             PhysicalOp::CountSink => 1.0,
-        }
+        })
+    }
+}
+
+/// Both input cardinalities of a binary operator, or `InvalidPlan` if the
+/// node is mis-wired (fewer than two inputs).
+fn binary_inputs(op: &PhysicalOp, ins: &[f64]) -> Result<(f64, f64)> {
+    match ins {
+        [l, r, ..] => Ok((*l, *r)),
+        _ => Err(RheemError::InvalidPlan(format!(
+            "binary operator {} has {} wired input(s), needs 2",
+            op.name(),
+            ins.len()
+        ))),
     }
 }
 
 fn distinct_keys(hint: Option<f64>, card: f64) -> f64 {
-    hint.unwrap_or_else(|| card.sqrt().max(1.0)).min(card.max(1.0))
+    hint.unwrap_or_else(|| card.sqrt().max(1.0))
+        .min(card.max(1.0))
 }
 
 /// Platform-independent work estimate for an operator, in abstract
 /// record-touch units. Platform cost models typically scale this by their
 /// per-record price and parallelism.
+///
+/// Total over any `ins`: missing inputs count as cardinality 0 so that
+/// infallible [`PlatformCostModel::op_cost`] implementations can call this
+/// on partially wired nodes without panicking (plan validity itself is
+/// checked by [`CardinalityEstimator::estimate`]).
 pub fn op_work_units(op: &PhysicalOp, ins: &[f64], out: f64) -> f64 {
     let in0 = ins.first().copied().unwrap_or(0.0);
+    let in1 = ins.get(1).copied().unwrap_or(0.0);
     let nlogn = |n: f64| n * (n.max(2.0)).log2();
     match op {
         PhysicalOp::CollectionSource { .. }
@@ -144,8 +192,8 @@ pub fn op_work_units(op: &PhysicalOp, ins: &[f64], out: f64) -> f64 {
         PhysicalOp::Sort { .. } => nlogn(in0),
         PhysicalOp::Distinct => in0 + out,
         PhysicalOp::HashJoin { .. } => ins.iter().sum::<f64>() + out,
-        PhysicalOp::SortMergeJoin { .. } => nlogn(ins[0]) + nlogn(ins[1]) + out,
-        PhysicalOp::NestedLoopJoin { .. } | PhysicalOp::CrossProduct => ins[0] * ins[1] + out,
+        PhysicalOp::SortMergeJoin { .. } => nlogn(in0) + nlogn(in1) + out,
+        PhysicalOp::NestedLoopJoin { .. } | PhysicalOp::CrossProduct => in0 * in1 + out,
         PhysicalOp::Union => out,
         // Loop work is handled by the optimizer (it recurses into the body);
         // this is only the per-iteration plumbing.
@@ -301,7 +349,7 @@ mod tests {
         let f = b.filter(m, FilterUdf::new("half", |_| true).with_selectivity(0.1));
         b.collect(f);
         let plan = b.build().unwrap();
-        let cards = CardinalityEstimator::default().estimate(&plan);
+        let cards = CardinalityEstimator::default().estimate(&plan).unwrap();
         assert_eq!(cards[0], 100.0);
         assert_eq!(cards[1], 100.0);
         assert!((cards[2] - 10.0).abs() < 1e-9);
@@ -312,7 +360,10 @@ mod tests {
     fn flatmap_fanout_and_groupby_distinct_hints() {
         let mut b = PlanBuilder::new();
         let src = b.collection("s", records(100));
-        let fm = b.flat_map(src, FlatMapUdf::new("x3", |r| vec![r.clone(); 3]).with_fanout(3.0));
+        let fm = b.flat_map(
+            src,
+            FlatMapUdf::new("x3", |r| vec![r.clone(); 3]).with_fanout(3.0),
+        );
         let g = b.group_by(
             fm,
             KeyUdf::field(0).with_distinct_keys(10.0),
@@ -320,7 +371,7 @@ mod tests {
         );
         b.collect(g);
         let plan = b.build().unwrap();
-        let cards = CardinalityEstimator::default().estimate(&plan);
+        let cards = CardinalityEstimator::default().estimate(&plan).unwrap();
         assert_eq!(cards[1], 300.0);
         assert_eq!(cards[2], 20.0); // 10 keys × 2 outputs per group
     }
@@ -332,10 +383,10 @@ mod tests {
         b.count(src);
         let plan = b.build().unwrap();
         let mut est = CardinalityEstimator::default();
-        assert_eq!(est.estimate(&plan)[0], 1000.0); // default
+        assert_eq!(est.estimate(&plan).unwrap()[0], 1000.0); // default
         est.hint("big", 5e6);
-        assert_eq!(est.estimate(&plan)[0], 5e6);
-        assert_eq!(est.estimate(&plan)[1], 1.0); // CountSink
+        assert_eq!(est.estimate(&plan).unwrap()[0], 5e6);
+        assert_eq!(est.estimate(&plan).unwrap()[1], 1.0); // CountSink
     }
 
     #[test]
@@ -350,7 +401,7 @@ mod tests {
         let l = b.repeat(src, body, LoopCondUdf::fixed_iterations(4), 4);
         b.collect(l);
         let plan = b.build().unwrap();
-        let cards = CardinalityEstimator::default().estimate(&plan);
+        let cards = CardinalityEstimator::default().estimate(&plan).unwrap();
         assert_eq!(cards[1], 50.0);
     }
 
@@ -364,10 +415,64 @@ mod tests {
         b.collect(cp);
         b.collect(j);
         let plan = b.build().unwrap();
-        let cards = CardinalityEstimator::default().estimate(&plan);
+        let cards = CardinalityEstimator::default().estimate(&plan).unwrap();
         assert_eq!(cards[cp.0], 40_000.0);
         // 100*400 / max(sqrt(100), sqrt(400)) = 40000/20 = 2000
         assert!((cards[j.0] - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn malformed_binary_ops_are_invalid_plan_not_panics() {
+        use crate::plan::{NodeId, PhysicalNode, PhysicalPlan};
+        // A Union wired with a single input: invalid, but it must surface
+        // as an error rather than an `ins[1]` index panic.
+        let plan = PhysicalPlan::from_nodes(vec![
+            PhysicalNode {
+                id: NodeId(0),
+                op: PhysicalOp::CollectionSource {
+                    data: crate::data::Dataset::new(records(5)),
+                    name: "s".into(),
+                },
+                inputs: vec![],
+            },
+            PhysicalNode {
+                id: NodeId(1),
+                op: PhysicalOp::Union,
+                inputs: vec![NodeId(0)],
+            },
+        ]);
+        let est = CardinalityEstimator::default();
+        assert!(matches!(
+            est.estimate(&plan),
+            Err(RheemError::InvalidPlan(_))
+        ));
+        // And the work-unit estimate stays total (missing input => 0 work).
+        assert_eq!(op_work_units(&PhysicalOp::CrossProduct, &[100.0], 0.0), 0.0);
+        assert_eq!(
+            op_work_units(
+                &PhysicalOp::SortMergeJoin {
+                    left_key: KeyUdf::field(0),
+                    right_key: KeyUdf::field(0),
+                },
+                &[],
+                0.0
+            ),
+            0.0
+        );
+    }
+
+    #[test]
+    fn dangling_input_edges_are_invalid_plan_not_panics() {
+        use crate::plan::{NodeId, PhysicalNode, PhysicalPlan};
+        let plan = PhysicalPlan::from_nodes(vec![PhysicalNode {
+            id: NodeId(0),
+            op: PhysicalOp::Distinct,
+            inputs: vec![NodeId(42)],
+        }]);
+        assert!(matches!(
+            CardinalityEstimator::default().estimate(&plan),
+            Err(RheemError::InvalidPlan(_))
+        ));
     }
 
     #[test]

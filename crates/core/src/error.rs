@@ -65,11 +65,17 @@ impl fmt::Display for RheemError {
                 write!(f, "type error: expected {expected}, found {found}")
             }
             RheemError::FieldOutOfBounds { index, width } => {
-                write!(f, "field index {index} out of bounds for record of width {width}")
+                write!(
+                    f,
+                    "field index {index} out of bounds for record of width {width}"
+                )
             }
             RheemError::Optimizer(msg) => write!(f, "optimizer error: {msg}"),
             RheemError::NoPlatformFor { op, node } => {
-                write!(f, "no registered platform supports operator {op} (node {node})")
+                write!(
+                    f,
+                    "no registered platform supports operator {op} (node {node})"
+                )
             }
             RheemError::UnknownPlatform(name) => write!(f, "unknown platform: {name}"),
             RheemError::Execution { platform, message } => {

@@ -5,15 +5,50 @@
 //! plan on the selected data processing frameworks, (ii) monitoring the
 //! progress of plan execution, (iii) coping with failures, and
 //! (iv) aggregating and returning results to users."
+//!
+//! # Wave scheduling
+//!
+//! Atoms whose inputs are all available are independent and can run
+//! concurrently — the paper's motivation for splitting a plan into task
+//! atoms in the first place. The executor derives the atom dependency DAG
+//! from the plan's boundary edges ([`ExecutionPlan::atom_dependencies`])
+//! and partitions it into *waves*: wave 0 holds every atom with no
+//! cross-atom inputs, wave *k+1* every atom whose last dependency sits in
+//! wave *k*. Each wave runs on a pool of scoped worker threads (capped by
+//! [`ExecutorConfig::max_parallel_atoms`]); the next wave starts once the
+//! whole wave finished.
+//!
+//! Intermediate datasets are reference counted: once every boundary
+//! consumer of a node's output has run, the dataset is dropped (sink
+//! outputs are kept — they are the job's results).
+//!
+//! Scheduling is deterministic where it can be: per-atom monitoring
+//! records are appended in ascending atom id within each wave regardless
+//! of completion order, and when several atoms of a wave fail, the error
+//! of the lowest-id atom is reported.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
 
 use crate::cost::MovementCostModel;
 use crate::data::Dataset;
 use crate::error::{Result, RheemError};
-use crate::plan::{ExecutionPlan, NodeId};
+use crate::plan::{ExecutionPlan, NodeId, TaskAtom};
 use crate::platform::{AtomInputs, ExecutionContext, PlatformRegistry};
+
+/// How the executor orders atom execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScheduleMode {
+    /// Dependency-aware waves of concurrently running atoms (the default).
+    #[default]
+    Parallel,
+    /// One atom at a time, in the optimizer's schedule order. Kept as the
+    /// ablation baseline (`ablation_scheduling` bench) and for debugging.
+    Sequential,
+}
 
 /// Executor tuning.
 #[derive(Clone, Debug)]
@@ -22,7 +57,15 @@ pub struct ExecutorConfig {
     pub max_retries: usize,
     /// Wall-clock budget for the whole job (the paper's baselines were
     /// "stopped after 22 hours"; benchmarks use this to reproduce that).
+    /// Enforced as a deadline checked before every attempt of every atom,
+    /// so a retry storm cannot outlive the budget.
     pub timeout: Option<Duration>,
+    /// Upper bound on atoms running concurrently within a wave. Defaults
+    /// to the host's available parallelism; values ≤ 1 run each wave
+    /// inline on the caller's thread.
+    pub max_parallel_atoms: usize,
+    /// Wave-parallel or sequential scheduling.
+    pub mode: ScheduleMode,
 }
 
 impl Default for ExecutorConfig {
@@ -30,6 +73,10 @@ impl Default for ExecutorConfig {
         ExecutorConfig {
             max_retries: 2,
             timeout: None,
+            max_parallel_atoms: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            mode: ScheduleMode::default(),
         }
     }
 }
@@ -41,6 +88,9 @@ pub struct AtomStats {
     pub atom_id: usize,
     /// Platform that executed it.
     pub platform: String,
+    /// Scheduling wave the atom ran in (in sequential mode, its position
+    /// in the schedule).
+    pub wave: usize,
     /// Attempts used (1 = no retry).
     pub attempts: usize,
     /// Wall-clock execution time of the successful attempt.
@@ -60,8 +110,13 @@ pub struct AtomStats {
 /// Job-level monitoring summary.
 #[derive(Clone, Debug, Default)]
 pub struct ExecutionStats {
-    /// One record per executed atom, in schedule order.
+    /// One record per executed atom: ascending atom id within each wave,
+    /// waves in execution order (in sequential mode, schedule order).
     pub atoms: Vec<AtomStats>,
+    /// Number of scheduling waves the job ran in. Strictly less than the
+    /// atom count whenever the plan had independent atoms to overlap (in
+    /// sequential mode this always equals the atom count).
+    pub waves: usize,
     /// Total wall-clock time of the job.
     pub total_wall: Duration,
     /// Total simulated movement cost.
@@ -88,20 +143,23 @@ impl ExecutionStats {
     /// paths plus inter-platform movement. This is the figure-of-merit the
     /// benchmark harness reports (deterministic and host-independent).
     pub fn total_simulated_ms(&self) -> f64 {
-        self.atoms.iter().map(|a| a.simulated_elapsed_ms).sum::<f64>() + self.total_movement_ms
+        self.atoms
+            .iter()
+            .map(|a| a.simulated_elapsed_ms)
+            .sum::<f64>()
+            + self.total_movement_ms
     }
 
     /// A human-readable monitoring report (one line per atom).
     pub fn explain(&self) -> String {
         let mut s = String::from(
-            "atom  platform     attempts  in→out records     simulated_ms  movement_ms
-",
+            "atom  wave  platform     attempts  in→out records     simulated_ms  movement_ms\n",
         );
         for a in &self.atoms {
             s.push_str(&format!(
-                "{:<4}  {:<11}  {:<8}  {:>7} → {:<7}  {:>12.2}  {:>11.2}
-",
+                "{:<4}  {:<4}  {:<11}  {:<8}  {:>7} → {:<7}  {:>12.2}  {:>11.2}\n",
                 a.atom_id,
+                a.wave,
                 a.platform,
                 a.attempts,
                 a.records_in,
@@ -111,12 +169,12 @@ impl ExecutionStats {
             ));
         }
         s.push_str(&format!(
-            "total: {:.2} simulated ms ({:.2} movement), {:.2} ms wall, {} retries
-",
+            "total: {:.2} simulated ms ({:.2} movement), {:.2} ms wall, {} retries, {} waves\n",
             self.total_simulated_ms(),
             self.total_movement_ms,
             self.total_wall.as_secs_f64() * 1e3,
             self.retries,
+            self.waves,
         ));
         s
     }
@@ -124,7 +182,22 @@ impl ExecutionStats {
 
 /// Observer of job progress (§4.2 duty ii: "monitoring the progress of
 /// plan execution"). All methods have empty defaults; implement only what
-/// you need. Callbacks run synchronously on the executor's thread.
+/// you need.
+///
+/// # Threading and ordering guarantee
+///
+/// Callbacks run synchronously on whichever thread executes the atom —
+/// under wave scheduling that is a worker thread, and callbacks for
+/// *different* atoms of the same wave may interleave arbitrarily, so
+/// implementations must be thread-safe (the trait requires `Send + Sync`).
+/// Per atom, the order is always:
+///
+/// 1. `on_atom_start` (exactly once, after its inputs were gathered),
+/// 2. `on_atom_retry` (once per failed attempt, in attempt order),
+/// 3. `on_atom_complete` (exactly once, if the atom succeeded).
+///
+/// `on_job_complete` runs last, exactly once, on the caller's thread,
+/// strictly after every per-atom callback has returned.
 pub trait ProgressListener: Send + Sync {
     /// An atom is about to run (after its inputs were gathered).
     fn on_atom_start(&self, _atom_id: usize, _platform: &str) {}
@@ -157,6 +230,12 @@ impl JobResult {
             })
         }
     }
+}
+
+/// One atom's completed run, before it is committed to the job state.
+struct AtomRun {
+    stats: AtomStats,
+    outputs: HashMap<NodeId, Dataset>,
 }
 
 /// Schedules execution plans across registered platforms.
@@ -200,83 +279,40 @@ impl Executor {
     /// Run an execution plan to completion.
     pub fn execute(&self, plan: &ExecutionPlan, ctx: &ExecutionContext) -> Result<JobResult> {
         let started = Instant::now();
-        let mut node_outputs: HashMap<NodeId, Dataset> = HashMap::new();
+        let deadline = self.config.timeout.and_then(|t| started.checked_add(t));
+        // Validates all cross-atom wiring (producer bounds, assignment
+        // bounds, ownership) up front: scheduling never indexes blindly.
+        let deps = plan.atom_dependencies()?;
+        let sinks: HashSet<NodeId> = plan.physical.sinks().into_iter().collect();
+        let mut remaining = plan.boundary_consumer_counts();
+        let node_outputs: Mutex<HashMap<NodeId, Dataset>> = Mutex::new(HashMap::new());
         let mut stats = ExecutionStats::default();
 
-        for atom in &plan.atoms {
-            self.check_timeout(started)?;
-            let platform = self.platforms.get(&atom.platform)?;
-
-            // Gather boundary inputs and account for data movement.
-            let mut inputs: AtomInputs = HashMap::new();
-            let mut records_in = 0u64;
-            let mut movement_cost_ms = 0.0;
-            for edge in &atom.inputs {
-                let data = node_outputs.get(&edge.producer).ok_or_else(|| {
-                    RheemError::InvalidPlan(format!(
-                        "atom {} needs output of node {} before it was produced",
-                        atom.id, edge.producer
-                    ))
-                })?;
-                records_in += data.len() as u64;
-                let from = &plan.assignments[edge.producer.0];
-                movement_cost_ms += self.movement.cost(from, &atom.platform, data.len() as f64);
-                inputs.insert((edge.consumer, edge.slot), data.clone());
-            }
-
-            if let Some(l) = &self.listener {
-                l.on_atom_start(atom.id, &atom.platform);
-            }
-
-            // Execute with bounded retries (§4.2 duty iii).
-            let atom_started = Instant::now();
-            let mut attempts = 0usize;
-            let result = loop {
-                attempts += 1;
-                self.check_timeout(started)?;
-                let injected = ctx
-                    .failure_injector
-                    .as_ref()
-                    .is_some_and(|inj| inj.should_fail(&atom.platform));
-                let outcome = if injected {
-                    Err(RheemError::Execution {
-                        platform: atom.platform.clone(),
-                        message: format!("injected failure on atom {}", atom.id),
-                    })
-                } else {
-                    platform.execute_atom(&plan.physical, atom, &inputs, ctx)
-                };
-                match outcome {
-                    Ok(r) => break r,
-                    Err(e) if attempts <= self.config.max_retries => {
-                        stats.retries += 1;
-                        if let Some(l) = &self.listener {
-                            l.on_atom_retry(atom.id, attempts, &e);
-                        }
-                    }
-                    Err(e) => return Err(e),
+        match self.config.mode {
+            ScheduleMode::Sequential => {
+                for (pos, atom) in plan.atoms.iter().enumerate() {
+                    let run = self.run_atom(plan, atom, pos, deadline, &node_outputs, ctx)?;
+                    stats.waves += 1;
+                    self.commit_atom(atom, run, &mut stats, &node_outputs, &mut remaining, &sinks);
                 }
-            };
-
-            let wall = atom_started.elapsed();
-            stats.atoms.push(AtomStats {
-                atom_id: atom.id,
-                platform: atom.platform.clone(),
-                attempts,
-                wall,
-                records_in,
-                records_out: result.records_processed,
-                simulated_overhead_ms: result.simulated_overhead_ms,
-                simulated_elapsed_ms: result.simulated_elapsed_ms,
-                movement_cost_ms,
-            });
-            stats.total_movement_ms += movement_cost_ms;
-            if let Some(l) = &self.listener {
-                l.on_atom_complete(stats.atoms.last().expect("just pushed"));
             }
-
-            for (node, data) in result.outputs {
-                node_outputs.insert(node, data);
+            ScheduleMode::Parallel => {
+                let waves = compute_waves(&deps)?;
+                stats.waves = waves.len();
+                for (wave_idx, wave) in waves.iter().enumerate() {
+                    let runs = self.run_wave(plan, wave, wave_idx, deadline, &node_outputs, ctx)?;
+                    for (atom_idx, run) in runs {
+                        let atom = &plan.atoms[atom_idx];
+                        self.commit_atom(
+                            atom,
+                            run,
+                            &mut stats,
+                            &node_outputs,
+                            &mut remaining,
+                            &sinks,
+                        );
+                    }
+                }
             }
         }
 
@@ -284,23 +320,325 @@ impl Executor {
         if let Some(l) = &self.listener {
             l.on_job_complete(&stats);
         }
+        let store = node_outputs.lock();
         let outputs = plan
             .physical
             .sinks()
             .into_iter()
-            .filter_map(|s| node_outputs.get(&s).map(|d| (s, d.clone())))
+            .filter_map(|s| store.get(&s).map(|d| (s, d.clone())))
             .collect();
         Ok(JobResult { outputs, stats })
     }
 
-    fn check_timeout(&self, started: Instant) -> Result<()> {
-        if let Some(budget) = self.config.timeout {
-            if started.elapsed() > budget {
-                return Err(RheemError::BudgetExceeded(format!(
-                    "job exceeded its {budget:?} budget"
-                )));
+    /// Run one wave of independent atoms, possibly concurrently.
+    ///
+    /// Returns `(atom index, run)` pairs in ascending atom id. On failure
+    /// the error of the lowest-id failing atom is returned; workers stop
+    /// picking up new atoms as soon as any atom fails, but in-flight atoms
+    /// run to completion before this returns.
+    fn run_wave(
+        &self,
+        plan: &ExecutionPlan,
+        wave: &[usize],
+        wave_idx: usize,
+        deadline: Option<Instant>,
+        node_outputs: &Mutex<HashMap<NodeId, Dataset>>,
+        ctx: &ExecutionContext,
+    ) -> Result<Vec<(usize, AtomRun)>> {
+        let n = wave.len();
+        let workers = self.config.max_parallel_atoms.max(1).min(n);
+        let mut slots: Vec<Option<Result<AtomRun>>> = (0..n).map(|_| None).collect();
+
+        if workers <= 1 {
+            // Inline: no threads, exact sequential callback order.
+            for (i, &atom_idx) in wave.iter().enumerate() {
+                let run = self.run_atom(
+                    plan,
+                    &plan.atoms[atom_idx],
+                    wave_idx,
+                    deadline,
+                    node_outputs,
+                    ctx,
+                );
+                let failed = run.is_err();
+                slots[i] = Some(run);
+                if failed {
+                    break;
+                }
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let abort = AtomicBool::new(false);
+            let cells: Vec<Mutex<Option<Result<AtomRun>>>> =
+                (0..n).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        if abort.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return;
+                        }
+                        let run = self.run_atom(
+                            plan,
+                            &plan.atoms[wave[i]],
+                            wave_idx,
+                            deadline,
+                            node_outputs,
+                            ctx,
+                        );
+                        if run.is_err() {
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                        *cells[i].lock() = Some(run);
+                    });
+                }
+            });
+            slots = cells.into_iter().map(|c| c.into_inner()).collect();
+        }
+
+        let mut runs = Vec::with_capacity(n);
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(Ok(run)) => runs.push((wave[i], run)),
+                Some(Err(e)) => return Err(e),
+                // Never started because a lower-id atom aborted the wave.
+                None => {}
             }
         }
-        Ok(())
+        Ok(runs)
+    }
+
+    /// Gather one atom's inputs, run it with bounded retries under the job
+    /// deadline, and report progress.
+    fn run_atom(
+        &self,
+        plan: &ExecutionPlan,
+        atom: &TaskAtom,
+        wave: usize,
+        deadline: Option<Instant>,
+        node_outputs: &Mutex<HashMap<NodeId, Dataset>>,
+        ctx: &ExecutionContext,
+    ) -> Result<AtomRun> {
+        check_deadline(deadline)?;
+        let platform = self.platforms.get(&atom.platform)?;
+
+        // Gather boundary inputs and account for data movement.
+        let mut inputs: AtomInputs = HashMap::new();
+        let mut records_in = 0u64;
+        let mut movement_cost_ms = 0.0;
+        {
+            let store = node_outputs.lock();
+            for edge in &atom.inputs {
+                let data = store.get(&edge.producer).ok_or_else(|| {
+                    RheemError::InvalidPlan(format!(
+                        "atom {} needs output of node {} before it was produced",
+                        atom.id, edge.producer
+                    ))
+                })?;
+                records_in += data.len() as u64;
+                let from = plan.assignments.get(edge.producer.0).ok_or_else(|| {
+                    RheemError::InvalidPlan(format!(
+                        "node {} has no platform assignment",
+                        edge.producer
+                    ))
+                })?;
+                movement_cost_ms += self.movement.cost(from, &atom.platform, data.len() as f64);
+                inputs.insert((edge.consumer, edge.slot), data.clone());
+            }
+        }
+
+        if let Some(l) = &self.listener {
+            l.on_atom_start(atom.id, &atom.platform);
+        }
+
+        // Execute with bounded retries (§4.2 duty iii). The job deadline
+        // is re-checked before every attempt so exhausting retries cannot
+        // blow through the timeout budget.
+        let atom_started = Instant::now();
+        let mut attempts = 0usize;
+        let result = loop {
+            check_deadline(deadline)?;
+            attempts += 1;
+            let injected = ctx
+                .failure_injector
+                .as_ref()
+                .is_some_and(|inj| inj.should_fail(&atom.platform));
+            let outcome = if injected {
+                Err(RheemError::Execution {
+                    platform: atom.platform.clone(),
+                    message: format!("injected failure on atom {}", atom.id),
+                })
+            } else {
+                platform.execute_atom(&plan.physical, atom, &inputs, ctx)
+            };
+            match outcome {
+                Ok(r) => break r,
+                Err(e) if attempts <= self.config.max_retries => {
+                    if let Some(l) = &self.listener {
+                        l.on_atom_retry(atom.id, attempts, &e);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        };
+
+        let stats = AtomStats {
+            atom_id: atom.id,
+            platform: atom.platform.clone(),
+            wave,
+            attempts,
+            wall: atom_started.elapsed(),
+            records_in,
+            records_out: result.records_processed,
+            simulated_overhead_ms: result.simulated_overhead_ms,
+            simulated_elapsed_ms: result.simulated_elapsed_ms,
+            movement_cost_ms,
+        };
+        if let Some(l) = &self.listener {
+            l.on_atom_complete(&stats);
+        }
+        Ok(AtomRun {
+            stats,
+            outputs: result.outputs,
+        })
+    }
+
+    /// Fold one finished atom into the job state: record its stats,
+    /// publish its outputs, and release inputs it was the last consumer of.
+    fn commit_atom(
+        &self,
+        atom: &TaskAtom,
+        run: AtomRun,
+        stats: &mut ExecutionStats,
+        node_outputs: &Mutex<HashMap<NodeId, Dataset>>,
+        remaining: &mut HashMap<NodeId, usize>,
+        sinks: &HashSet<NodeId>,
+    ) {
+        stats.retries += run.stats.attempts.saturating_sub(1);
+        stats.total_movement_ms += run.stats.movement_cost_ms;
+        stats.atoms.push(run.stats);
+
+        let mut store = node_outputs.lock();
+        for (node, data) in run.outputs {
+            store.insert(node, data);
+        }
+        // Reference-counted intermediate lifetime: a dataset dies with its
+        // last boundary consumer unless it is a sink output.
+        for edge in &atom.inputs {
+            if let Some(n) = remaining.get_mut(&edge.producer) {
+                *n = n.saturating_sub(1);
+                if *n == 0 && !sinks.contains(&edge.producer) {
+                    store.remove(&edge.producer);
+                }
+            }
+        }
+    }
+}
+
+/// Partition the atom DAG into scheduling waves (Kahn's algorithm), each
+/// wave sorted by ascending atom id. Fails on a dependency cycle.
+fn compute_waves(deps: &[Vec<usize>]) -> Result<Vec<Vec<usize>>> {
+    let n = deps.len();
+    let mut indegree: Vec<usize> = deps.iter().map(|d| d.len()).collect();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ds) in deps.iter().enumerate() {
+        for &d in ds {
+            dependents[d].push(i);
+        }
+    }
+    let mut current: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut waves = Vec::new();
+    let mut scheduled = 0usize;
+    while !current.is_empty() {
+        current.sort_unstable();
+        scheduled += current.len();
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dependents[i] {
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        waves.push(std::mem::take(&mut current));
+        current = next;
+    }
+    if scheduled != n {
+        return Err(RheemError::InvalidPlan(format!(
+            "atom dependency cycle: only {scheduled} of {n} atoms schedulable"
+        )));
+    }
+    Ok(waves)
+}
+
+fn check_deadline(deadline: Option<Instant>) -> Result<()> {
+    if let Some(d) = deadline {
+        if Instant::now() >= d {
+            return Err(RheemError::BudgetExceeded(
+                "job exceeded its wall-clock budget".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waves_linearize_chains_and_overlap_fanouts() {
+        // 0 -> 1 -> 2 chain: three waves.
+        let deps = vec![vec![], vec![0], vec![1]];
+        assert_eq!(
+            compute_waves(&deps).unwrap(),
+            vec![vec![0], vec![1], vec![2]]
+        );
+        // Diamond: 0; {1, 2}; 3.
+        let deps = vec![vec![], vec![0], vec![0], vec![1, 2]];
+        assert_eq!(
+            compute_waves(&deps).unwrap(),
+            vec![vec![0], vec![1, 2], vec![3]]
+        );
+        // Fully independent: one wave.
+        let deps = vec![vec![], vec![], vec![]];
+        assert_eq!(compute_waves(&deps).unwrap(), vec![vec![0, 1, 2]]);
+        // Empty plan: no waves.
+        assert!(compute_waves(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn waves_reject_cycles() {
+        let deps = vec![vec![1], vec![0]];
+        assert!(matches!(
+            compute_waves(&deps),
+            Err(RheemError::InvalidPlan(_))
+        ));
+        // Partial cycle behind a valid prefix.
+        let deps = vec![vec![], vec![0, 2], vec![1]];
+        assert!(compute_waves(&deps).is_err());
+    }
+
+    #[test]
+    fn deadline_is_a_hard_gate() {
+        assert!(check_deadline(None).is_ok());
+        let past = Instant::now();
+        assert!(matches!(
+            check_deadline(Some(past)),
+            Err(RheemError::BudgetExceeded(_))
+        ));
+        let far = Instant::now().checked_add(Duration::from_secs(3600));
+        assert!(check_deadline(far).is_ok());
+    }
+
+    #[test]
+    fn default_config_uses_available_parallelism() {
+        let cfg = ExecutorConfig::default();
+        assert!(cfg.max_parallel_atoms >= 1);
+        assert_eq!(cfg.mode, ScheduleMode::Parallel);
     }
 }

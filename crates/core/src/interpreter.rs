@@ -127,10 +127,7 @@ pub fn execute_op(
             inputs[0].records(),
             inputs[1].records(),
         )),
-        PhysicalOp::Union => Dataset::new(kernels::union(
-            inputs[0].records(),
-            inputs[1].records(),
-        )),
+        PhysicalOp::Union => Dataset::new(kernels::union(inputs[0].records(), inputs[1].records())),
         PhysicalOp::Loop {
             body,
             condition,
@@ -211,8 +208,8 @@ mod tests {
     use super::*;
     use crate::data::Value;
     use crate::plan::PlanBuilder;
-    use crate::udf::{FilterUdf, GroupMapUdf, KeyUdf, LoopCondUdf, MapUdf, ReduceUdf};
     use crate::platform::{MemoryStorageService, StorageService};
+    use crate::udf::{FilterUdf, GroupMapUdf, KeyUdf, LoopCondUdf, MapUdf, ReduceUdf};
     use std::sync::Arc;
 
     fn nums(n: i64) -> Vec<crate::data::Record> {
@@ -231,7 +228,13 @@ mod tests {
         let result = &out[&sink];
         assert_eq!(
             result.records(),
-            &[rec![0i64], rec![4i64], rec![16i64], rec![36i64], rec![64i64]]
+            &[
+                rec![0i64],
+                rec![4i64],
+                rec![16i64],
+                rec![36i64],
+                rec![64i64]
+            ]
         );
     }
 
@@ -306,9 +309,7 @@ mod tests {
     #[test]
     fn storage_source_and_sink_round_trip() {
         let storage = Arc::new(MemoryStorageService::new());
-        storage
-            .write("in", &Dataset::new(nums(4)))
-            .unwrap();
+        storage.write("in", &Dataset::new(nums(4))).unwrap();
         let ctx = ExecutionContext::new().with_storage(storage.clone());
 
         let mut b = PlanBuilder::new();
@@ -318,7 +319,10 @@ mod tests {
         let plan = b.build().unwrap();
         run_plan(&plan, &ctx).unwrap();
         let out = storage.read("out").unwrap();
-        assert_eq!(out.records(), &[rec![1i64], rec![2i64], rec![3i64], rec![4i64]]);
+        assert_eq!(
+            out.records(),
+            &[rec![1i64], rec![2i64], rec![3i64], rec![4i64]]
+        );
     }
 
     #[test]

@@ -52,8 +52,7 @@ pub fn hash_group(records: &[Record], key: &KeyUdf) -> Vec<(Value, Vec<Record>)>
 /// Group records by key by sorting; same output contract as [`hash_group`]
 /// but with an `O(n log n)` comparison-based profile.
 pub fn sort_group(records: &[Record], key: &KeyUdf) -> Vec<(Value, Vec<Record>)> {
-    let mut keyed: Vec<(Value, Record)> =
-        records.iter().map(|r| ((key.f)(r), r.clone())).collect();
+    let mut keyed: Vec<(Value, Record)> = records.iter().map(|r| ((key.f)(r), r.clone())).collect();
     keyed.sort_by(|a, b| a.0.cmp(&b.0));
     let mut out: Vec<(Value, Vec<Record>)> = Vec::new();
     for (k, r) in keyed {
@@ -198,8 +197,7 @@ pub fn cross_product(left: &[Record], right: &[Record]) -> Vec<Record> {
 
 /// Stable sort by key.
 pub fn sort(records: &[Record], key: &KeyUdf, descending: bool) -> Vec<Record> {
-    let mut keyed: Vec<(Value, Record)> =
-        records.iter().map(|r| ((key.f)(r), r.clone())).collect();
+    let mut keyed: Vec<(Value, Record)> = records.iter().map(|r| ((key.f)(r), r.clone())).collect();
     if descending {
         keyed.sort_by(|a, b| b.0.cmp(&a.0));
     } else {
@@ -236,8 +234,7 @@ pub fn sample(records: &[Record], fraction: f64, seed: u64, offset: u64) -> Vec<
     }
     let mut out = Vec::new();
     for (i, r) in records.iter().enumerate() {
-        let mut z = seed
-            .wrapping_add((offset + i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut z = seed.wrapping_add((offset + i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
@@ -293,7 +290,10 @@ mod tests {
         let data = nums(&[1, 2, 3]);
         let doubled = map(&data, &MapUdf::new("x2", |r| rec![r.int(0).unwrap() * 2]));
         assert_eq!(doubled, nums(&[2, 4, 6]));
-        let odd = filter(&data, &FilterUdf::new("odd", |r| r.int(0).unwrap() % 2 == 1));
+        let odd = filter(
+            &data,
+            &FilterUdf::new("odd", |r| r.int(0).unwrap() % 2 == 1),
+        );
         assert_eq!(odd, nums(&[1, 3]));
         let dup = flat_map(
             &data,
@@ -352,8 +352,7 @@ mod tests {
     fn nested_loop_join_matches_predicate() {
         let left = nums(&[1, 5]);
         let right = nums(&[3, 4]);
-        let pred: PairPredicateFn =
-            Arc::new(|l, r| l.int(0).unwrap() < r.int(0).unwrap());
+        let pred: PairPredicateFn = Arc::new(|l, r| l.int(0).unwrap() < r.int(0).unwrap());
         let out = nested_loop_join(&left, &right, &pred);
         assert_eq!(out.len(), 2); // (1,3), (1,4)
     }

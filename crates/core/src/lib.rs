@@ -44,7 +44,9 @@ pub mod udf;
 pub use context::RheemContext;
 pub use data::{DataType, Dataset, Field, Record, Schema, Value};
 pub use error::{Result, RheemError};
-pub use executor::{AtomStats, ExecutionStats, Executor, ExecutorConfig, JobResult, ProgressListener};
+pub use executor::{
+    AtomStats, ExecutionStats, Executor, ExecutorConfig, JobResult, ProgressListener, ScheduleMode,
+};
 pub use logical::{LogicalOperator, LogicalPayload, LogicalPlan, LogicalPlanBuilder};
 pub use optimizer::MultiPlatformOptimizer;
 pub use physical::{CustomPhysicalOp, OpKind, PhysicalOp};

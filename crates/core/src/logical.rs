@@ -164,9 +164,9 @@ impl LogicalPayload {
             LogicalPayload::Limit { .. } => "kind:Limit",
             LogicalPayload::Loop { .. } => "kind:Loop",
             LogicalPayload::Custom(_) => "kind:Custom",
-            LogicalPayload::Collect | LogicalPayload::Count | LogicalPayload::StorageSink { .. } => {
-                "kind:Sink"
-            }
+            LogicalPayload::Collect
+            | LogicalPayload::Count
+            | LogicalPayload::StorageSink { .. } => "kind:Sink",
         }
     }
 }
@@ -321,7 +321,11 @@ impl LogicalPlanBuilder {
     }
 
     /// Append an application-defined operator.
-    pub fn add(&mut self, op: Arc<dyn LogicalOperator>, inputs: Vec<LogicalNodeId>) -> LogicalNodeId {
+    pub fn add(
+        &mut self,
+        op: Arc<dyn LogicalOperator>,
+        inputs: Vec<LogicalNodeId>,
+    ) -> LogicalNodeId {
         let id = LogicalNodeId(self.nodes.len());
         self.nodes.push(LogicalNode { id, op, inputs });
         id
@@ -387,7 +391,10 @@ mod tests {
         let plan = b.build().unwrap();
         assert_eq!(plan.len(), 3);
         assert_eq!(plan.node(LogicalNodeId(1)).op.name(), "Initialize");
-        assert_eq!(plan.node(LogicalNodeId(1)).op.payload().kind_key(), "kind:Map");
+        assert_eq!(
+            plan.node(LogicalNodeId(1)).op.payload().kind_key(),
+            "kind:Map"
+        );
     }
 
     #[test]

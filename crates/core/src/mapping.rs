@@ -314,6 +314,9 @@ kind:Join prefers SortMergeJoin   # joins sort-merge by default\n\
         let mut r = MappingRegistry::with_defaults();
         assert_eq!(r.alternatives("x", "kind:Group").len(), 2);
         r.register("x", variants::SORT_GROUP_BY);
-        assert_eq!(r.alternatives("x", "kind:Group"), vec![variants::SORT_GROUP_BY]);
+        assert_eq!(
+            r.alternatives("x", "kind:Group"),
+            vec![variants::SORT_GROUP_BY]
+        );
     }
 }

@@ -192,11 +192,9 @@ mod tests {
         assert!(matches!(physical.nodes()[1].op, PhysicalOp::Loop { .. }));
 
         // And it runs end to end on the reference interpreter.
-        let out = crate::interpreter::run_plan(
-            &physical,
-            &crate::platform::ExecutionContext::new(),
-        )
-        .unwrap();
+        let out =
+            crate::interpreter::run_plan(&physical, &crate::platform::ExecutionContext::new())
+                .unwrap();
         assert_eq!(out.values().next().unwrap().records(), &[rec![2i64]]);
     }
 }

@@ -70,7 +70,7 @@ pub fn enumerate(
         &free_movement
     };
 
-    let cards = estimator.estimate(&plan);
+    let cards = estimator.estimate(&plan)?;
     let n_nodes = plan.len();
     let n_plats = platforms.len();
     const INF: f64 = f64::INFINITY;
@@ -187,17 +187,11 @@ fn node_cost(
             ..
         } => {
             let loop_card = ins.first().copied().unwrap_or(0.0);
-            let body_cards = estimator.estimate_with_loop_input(body, loop_card);
+            let body_cards = estimator.estimate_with_loop_input(body, loop_card)?;
             let mut body_cost = 0.0;
             for bn in body.nodes() {
                 let bins: Vec<f64> = bn.inputs.iter().map(|i| body_cards[i.0]).collect();
-                body_cost += node_cost(
-                    &bn.op,
-                    &bins,
-                    body_cards[bn.id.0],
-                    platform,
-                    estimator,
-                )?;
+                body_cost += node_cost(&bn.op, &bins, body_cards[bn.id.0], platform, estimator)?;
             }
             // Each iteration re-dispatches the body: platforms with high
             // scheduling overhead pay it per iteration. This is precisely

@@ -59,16 +59,14 @@ fn shared_scans(plan: PhysicalPlan) -> Result<PhysicalPlan> {
     let mut collection_seen: Vec<(*const (), NodeId)> = Vec::new();
     for n in plan.nodes() {
         match &n.op {
-            PhysicalOp::StorageSource { dataset_id } => {
-                match storage_seen.get(dataset_id) {
-                    Some(&rep) => {
-                        canon.insert(n.id, rep);
-                    }
-                    None => {
-                        storage_seen.insert(dataset_id.clone(), n.id);
-                    }
+            PhysicalOp::StorageSource { dataset_id } => match storage_seen.get(dataset_id) {
+                Some(&rep) => {
+                    canon.insert(n.id, rep);
                 }
-            }
+                None => {
+                    storage_seen.insert(dataset_id.clone(), n.id);
+                }
+            },
             PhysicalOp::CollectionSource { data, .. } => {
                 let ptr = data.records().as_ptr() as *const ();
                 match collection_seen.iter().find(|(p, _)| *p == ptr) {
@@ -474,7 +472,12 @@ mod tests {
             .iter()
             .filter(|n| matches!(n.op, PhysicalOp::StorageSource { .. }))
             .count();
-        assert_eq!(scans, 2, "events scan shared, users scan kept:\n{}", rewritten.explain());
+        assert_eq!(
+            scans,
+            2,
+            "events scan shared, users scan kept:\n{}",
+            rewritten.explain()
+        );
         // The union now reads the same node twice.
         let union = rewritten
             .nodes()
@@ -517,9 +520,10 @@ mod tests {
         let cp = b.cross_product(l, r);
         let f1 = b.filter(cp, FilterUdf::new("p1", |row| row.int(0).unwrap() > 0));
         let f2 = b.filter(f1, FilterUdf::new("p2", |row| row.int(1).unwrap() > 0));
-        let m1 = b.map(f2, MapUdf::new("a", |row| {
-            rec![row.int(0).unwrap() + row.int(1).unwrap()]
-        }));
+        let m1 = b.map(
+            f2,
+            MapUdf::new("a", |row| rec![row.int(0).unwrap() + row.int(1).unwrap()]),
+        );
         let m2 = b.map(m1, MapUdf::new("b", |row| rec![row.int(0).unwrap() * 10]));
         b.collect(m2);
         let plan = b.build().unwrap();

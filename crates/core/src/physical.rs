@@ -261,10 +261,16 @@ impl PhysicalOp {
             PhysicalOp::Sample { fraction, .. } => format!("Sample({fraction})"),
             PhysicalOp::Limit { n } => format!("Limit({n})"),
             PhysicalOp::ZipWithId => "ZipWithId".into(),
-            PhysicalOp::HashJoin { left_key, right_key } => {
+            PhysicalOp::HashJoin {
+                left_key,
+                right_key,
+            } => {
                 format!("HashJoin({} = {})", left_key.name, right_key.name)
             }
-            PhysicalOp::SortMergeJoin { left_key, right_key } => {
+            PhysicalOp::SortMergeJoin {
+                left_key,
+                right_key,
+            } => {
                 format!("SortMergeJoin({} = {})", left_key.name, right_key.name)
             }
             PhysicalOp::NestedLoopJoin { name, .. } => format!("NestedLoopJoin({name})"),

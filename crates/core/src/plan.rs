@@ -218,7 +218,11 @@ impl PlanBuilder {
     }
 
     /// In-memory collection source.
-    pub fn collection(&mut self, name: impl Into<String>, records: Vec<crate::data::Record>) -> NodeId {
+    pub fn collection(
+        &mut self,
+        name: impl Into<String>,
+        records: Vec<crate::data::Record>,
+    ) -> NodeId {
         self.add(
             PhysicalOp::CollectionSource {
                 data: Dataset::new(records),
@@ -327,7 +331,13 @@ impl PlanBuilder {
         left_key: KeyUdf,
         right_key: KeyUdf,
     ) -> NodeId {
-        self.add(PhysicalOp::HashJoin { left_key, right_key }, vec![left, right])
+        self.add(
+            PhysicalOp::HashJoin {
+                left_key,
+                right_key,
+            },
+            vec![left, right],
+        )
     }
 
     /// Sort-merge equi-join.
@@ -339,7 +349,10 @@ impl PlanBuilder {
         right_key: KeyUdf,
     ) -> NodeId {
         self.add(
-            PhysicalOp::SortMergeJoin { left_key, right_key },
+            PhysicalOp::SortMergeJoin {
+                left_key,
+                right_key,
+            },
             vec![left, right],
         )
     }
@@ -495,6 +508,76 @@ impl ExecutionPlan {
         self.atoms.iter().map(|a| a.inputs.len()).sum()
     }
 
+    /// The atom dependency DAG: for each atom (by index), the sorted,
+    /// deduplicated indices of the atoms whose outputs it consumes.
+    ///
+    /// Validates the plan's cross-atom wiring while it walks it, so the
+    /// executor can schedule without any panicking index. Fails with
+    /// [`RheemError::InvalidPlan`] if atom ids are not dense (`atoms[i].id
+    /// != i`), a boundary edge names a producer node outside the physical
+    /// plan or the platform assignments, a producer node is not owned by
+    /// any atom, or an atom consumes its own output across a boundary edge
+    /// (a self-cycle).
+    pub fn atom_dependencies(&self) -> Result<Vec<Vec<usize>>> {
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if atom.id != i {
+                return Err(RheemError::InvalidPlan(format!(
+                    "atom at position {i} has id {}; atom ids must be dense",
+                    atom.id
+                )));
+            }
+        }
+        let atom_of = self.atom_of();
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); self.atoms.len()];
+        for atom in &self.atoms {
+            for input in &atom.inputs {
+                let p = input.producer;
+                if p.0 >= self.physical.len() || p.0 >= self.assignments.len() {
+                    return Err(RheemError::InvalidPlan(format!(
+                        "atom {} consumes node {} outside the plan ({} nodes, {} assignments)",
+                        atom.id,
+                        p,
+                        self.physical.len(),
+                        self.assignments.len()
+                    )));
+                }
+                let producer_atom = *atom_of.get(&p).ok_or_else(|| {
+                    RheemError::InvalidPlan(format!(
+                        "atom {} consumes node {} that no atom produces",
+                        atom.id, p
+                    ))
+                })?;
+                if producer_atom == atom.id {
+                    return Err(RheemError::InvalidPlan(format!(
+                        "atom {} consumes its own node {} across an atom boundary",
+                        atom.id, p
+                    )));
+                }
+                deps[atom.id].push(producer_atom);
+            }
+        }
+        for d in &mut deps {
+            d.sort_unstable();
+            d.dedup();
+        }
+        Ok(deps)
+    }
+
+    /// How many boundary edges consume each producer node's output.
+    ///
+    /// The executor decrements these as atoms finish and drops an
+    /// intermediate dataset once its last consumer has run (sink outputs
+    /// are kept regardless — they are the job's results).
+    pub fn boundary_consumer_counts(&self) -> HashMap<NodeId, usize> {
+        let mut counts = HashMap::new();
+        for atom in &self.atoms {
+            for input in &atom.inputs {
+                *counts.entry(input.producer).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
     /// Human-readable rendering: node, platform, atom.
     pub fn explain(&self) -> String {
         let atom_of = self.atom_of();
@@ -603,9 +686,7 @@ mod tests {
         // Invalid body: no LoopInput.
         let mut b = PlanBuilder::new();
         b.collection("s", vec![rec![0i64]]);
-        let bad_body = PhysicalPlan {
-            nodes: b.nodes,
-        };
+        let bad_body = PhysicalPlan { nodes: b.nodes };
         let mut outer = PlanBuilder::new();
         let src = outer.collection("s", vec![rec![0i64]]);
         let l = outer.repeat(src, bad_body, LoopCondUdf::fixed_iterations(2), 2);
@@ -645,5 +726,86 @@ mod tests {
         assert!(text.contains("CollectionSource"));
         assert!(text.contains("Map(inc)"));
         assert!(text.contains("CollectSink"));
+    }
+
+    /// `{src+map}@a -> {collect}@b`, split into two atoms.
+    fn two_atom_exec_plan() -> ExecutionPlan {
+        let physical = Arc::new(simple_plan());
+        ExecutionPlan {
+            physical,
+            assignments: vec!["a".into(), "a".into(), "b".into()],
+            atoms: vec![
+                TaskAtom {
+                    id: 0,
+                    platform: "a".into(),
+                    nodes: vec![NodeId(0), NodeId(1)],
+                    inputs: vec![],
+                    outputs: vec![NodeId(1)],
+                },
+                TaskAtom {
+                    id: 1,
+                    platform: "b".into(),
+                    nodes: vec![NodeId(2)],
+                    inputs: vec![AtomInput {
+                        consumer: NodeId(2),
+                        slot: 0,
+                        producer: NodeId(1),
+                    }],
+                    outputs: vec![NodeId(2)],
+                },
+            ],
+            estimated_cost: 0.0,
+        }
+    }
+
+    #[test]
+    fn atom_dependencies_follow_boundary_edges() {
+        let plan = two_atom_exec_plan();
+        let deps = plan.atom_dependencies().unwrap();
+        assert_eq!(deps, vec![vec![], vec![0]]);
+        let counts = plan.boundary_consumer_counts();
+        assert_eq!(counts.get(&NodeId(1)), Some(&1));
+        assert_eq!(counts.get(&NodeId(0)), None);
+    }
+
+    #[test]
+    fn atom_dependencies_reject_out_of_range_producers() {
+        let mut plan = two_atom_exec_plan();
+        plan.atoms[1].inputs[0].producer = NodeId(99);
+        assert!(matches!(
+            plan.atom_dependencies(),
+            Err(RheemError::InvalidPlan(_))
+        ));
+    }
+
+    #[test]
+    fn atom_dependencies_reject_unowned_and_truncated_assignments() {
+        // Producer node exists but no atom owns it.
+        let mut plan = two_atom_exec_plan();
+        plan.atoms[0].nodes = vec![NodeId(0)];
+        assert!(matches!(
+            plan.atom_dependencies(),
+            Err(RheemError::InvalidPlan(_))
+        ));
+        // Assignments vector shorter than the plan: the old executor would
+        // have panicked indexing `assignments[edge.producer.0]`.
+        let mut plan = two_atom_exec_plan();
+        plan.assignments.truncate(1);
+        assert!(matches!(
+            plan.atom_dependencies(),
+            Err(RheemError::InvalidPlan(_))
+        ));
+    }
+
+    #[test]
+    fn atom_dependencies_reject_non_dense_ids_and_self_edges() {
+        let mut plan = two_atom_exec_plan();
+        plan.atoms[1].id = 7;
+        assert!(plan.atom_dependencies().is_err());
+
+        let mut plan = two_atom_exec_plan();
+        // Make atom 1 own the node it consumes: a boundary self-edge.
+        plan.atoms[1].nodes.push(NodeId(1));
+        assert!(plan.atom_dependencies().is_err());
     }
 }

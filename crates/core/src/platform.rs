@@ -170,10 +170,7 @@ impl StorageService for MemoryStorageService {
     }
 
     fn cardinality(&self, dataset_id: &str) -> Option<u64> {
-        self.datasets
-            .lock()
-            .get(dataset_id)
-            .map(|d| d.len() as u64)
+        self.datasets.lock().get(dataset_id).map(|d| d.len() as u64)
     }
 }
 

@@ -163,7 +163,8 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 }
                 if is_float {
                     tokens.push(Token::Float(
-                        text.parse().map_err(|_| bad(format!("bad float `{text}`")))?,
+                        text.parse()
+                            .map_err(|_| bad(format!("bad float `{text}`")))?,
                     ));
                 } else {
                     tokens.push(Token::Int(

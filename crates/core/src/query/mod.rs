@@ -40,8 +40,8 @@ mod tests {
     use super::*;
     use crate::data::{DataType, Record, Schema, Value};
     use crate::interpreter;
-    use crate::optimizer::application;
     use crate::mapping::MappingRegistry;
+    use crate::optimizer::application;
     use crate::platform::ExecutionContext;
     use crate::rec;
 
@@ -106,9 +106,8 @@ mod tests {
 
     #[test]
     fn filter_and_projection_with_arithmetic() {
-        let (rows, schema) = run(
-            "SELECT id, amount * 2 AS double_amount FROM orders WHERE amount >= 100",
-        );
+        let (rows, schema) =
+            run("SELECT id, amount * 2 AS double_amount FROM orders WHERE amount >= 100");
         assert_eq!(schema.fields()[1].name, "double_amount");
         assert_eq!(rows.len(), 3);
         let first = &rows[0];
@@ -142,9 +141,8 @@ mod tests {
 
     #[test]
     fn having_filters_groups() {
-        let (rows, _) = run(
-            "SELECT cust, COUNT(*) AS n FROM orders GROUP BY cust HAVING n >= 2 ORDER BY cust",
-        );
+        let (rows, _) =
+            run("SELECT cust, COUNT(*) AS n FROM orders GROUP BY cust HAVING n >= 2 ORDER BY cust");
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].int(0).unwrap(), 10);
         assert_eq!(rows[1].int(0).unwrap(), 11);

@@ -787,6 +787,10 @@ fn plan_grouped_select(
             .collect();
         vec![Record::new(fields)]
     });
-    let node = b.add_simple("group-by", LogicalPayload::Group { key, group }, vec![input]);
+    let node = b.add_simple(
+        "group-by",
+        LogicalPayload::Group { key, group },
+        vec![input],
+    );
     Ok((node, schema))
 }

@@ -89,7 +89,10 @@ pub fn micro_batches(records: Vec<Record>, batch_size: usize) -> Vec<Vec<Record>
     for r in records {
         current.push(r);
         if current.len() == batch_size {
-            out.push(std::mem::replace(&mut current, Vec::with_capacity(batch_size)));
+            out.push(std::mem::replace(
+                &mut current,
+                Vec::with_capacity(batch_size),
+            ));
         }
     }
     if !current.is_empty() {

@@ -163,8 +163,15 @@ mod tests {
     #[test]
     fn pattern_queries() {
         let s = store();
-        assert_eq!(s.query(&Term::is("Process"), &Term::is("mapsTo"), &Term::Any).len(), 2);
-        assert_eq!(s.query(&Term::Any, &Term::is("mapsTo"), &Term::Any).len(), 3);
+        assert_eq!(
+            s.query(&Term::is("Process"), &Term::is("mapsTo"), &Term::Any)
+                .len(),
+            2
+        );
+        assert_eq!(
+            s.query(&Term::Any, &Term::is("mapsTo"), &Term::Any).len(),
+            3
+        );
         assert_eq!(s.query(&Term::Any, &Term::Any, &Term::Any).len(), 4);
         assert!(s
             .query(&Term::is("Nope"), &Term::Any, &Term::Any)
@@ -194,9 +201,6 @@ mod tests {
 
     #[test]
     fn display_formats_triple() {
-        assert_eq!(
-            Triple::new("a", "b", "c").to_string(),
-            "(a b c)"
-        );
+        assert_eq!(Triple::new("a", "b", "c").to_string(), "(a b c)");
     }
 }

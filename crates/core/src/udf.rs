@@ -44,7 +44,10 @@ pub struct MapUdf {
 
 impl MapUdf {
     /// Wrap a closure with a display name.
-    pub fn new(name: impl Into<String>, f: impl Fn(&Record) -> Record + Send + Sync + 'static) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&Record) -> Record + Send + Sync + 'static,
+    ) -> Self {
         MapUdf {
             name: name.into(),
             f: Arc::new(f),
@@ -96,7 +99,10 @@ pub struct FilterUdf {
 
 impl FilterUdf {
     /// Wrap a predicate with a display name and default selectivity 0.5.
-    pub fn new(name: impl Into<String>, f: impl Fn(&Record) -> bool + Send + Sync + 'static) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&Record) -> bool + Send + Sync + 'static,
+    ) -> Self {
         FilterUdf {
             name: name.into(),
             f: Arc::new(f),
@@ -124,7 +130,10 @@ pub struct KeyUdf {
 
 impl KeyUdf {
     /// Wrap a key extractor with a display name.
-    pub fn new(name: impl Into<String>, f: impl Fn(&Record) -> Value + Send + Sync + 'static) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&Record) -> Value + Send + Sync + 'static,
+    ) -> Self {
         KeyUdf {
             name: name.into(),
             f: Arc::new(f),
@@ -243,7 +252,15 @@ macro_rules! impl_debug_by_name {
     };
 }
 
-impl_debug_by_name!(MapUdf, FlatMapUdf, FilterUdf, KeyUdf, ReduceUdf, GroupMapUdf, LoopCondUdf);
+impl_debug_by_name!(
+    MapUdf,
+    FlatMapUdf,
+    FilterUdf,
+    KeyUdf,
+    ReduceUdf,
+    GroupMapUdf,
+    LoopCondUdf
+);
 
 #[cfg(test)]
 mod tests {

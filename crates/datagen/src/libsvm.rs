@@ -235,6 +235,9 @@ mod tests {
                 y * pred <= 0.0
             })
             .count();
-        assert!(errors < 20, "perceptron should nearly separate: {errors} errors");
+        assert!(
+            errors < 20,
+            "perceptron should nearly separate: {errors} errors"
+        );
     }
 }

@@ -43,7 +43,7 @@ pub fn sensor_readings(n: usize, sensors: usize, corrupt_rate: f64, seed: u64) -
     (0..n as i64)
         .map(|t| {
             let sensor = rng.gen_range(0..sensors);
-            let pressure = if rng.gen_bool(corrupt_rate.clamp(0.0, 1.0)) {
+            let pressure: f64 = if rng.gen_bool(corrupt_rate.clamp(0.0, 1.0)) {
                 // Glitch: impossible reading.
                 if rng.gen_bool(0.5) {
                     -1.0

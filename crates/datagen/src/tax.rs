@@ -42,15 +42,7 @@ pub mod columns {
 
 const STATES: [&str; 10] = ["AZ", "CA", "IL", "MA", "NM", "NY", "OH", "TX", "UT", "WA"];
 const CITIES: [&str; 10] = [
-    "Phoenix",
-    "Anaheim",
-    "Chicago",
-    "Boston",
-    "Roswell",
-    "Ithaca",
-    "Columbus",
-    "Austin",
-    "Provo",
+    "Phoenix", "Anaheim", "Chicago", "Boston", "Roswell", "Ithaca", "Columbus", "Austin", "Provo",
     "Seattle",
 ];
 

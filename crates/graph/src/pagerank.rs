@@ -82,12 +82,7 @@ impl PageRank {
         let ranks = body.loop_input();
         let edge_src = body.collection("edges+deg", edges_with_deg);
         // Join contributions: edge.src = rank.node.
-        let joined = body.hash_join(
-            edge_src,
-            ranks,
-            KeyUdf::field(0),
-            KeyUdf::field(0),
-        );
+        let joined = body.hash_join(edge_src, ranks, KeyUdf::field(0), KeyUdf::field(0));
         // [src, dst, deg, node, rank] -> [dst, rank/deg].
         let contribs = body.map(
             joined,
@@ -234,6 +229,10 @@ mod tests {
             .run(&ctx(), edges)
             .unwrap();
         // The early nodes (0 or 1) are the classic hubs.
-        assert!(ranks[0].0 <= 2, "top node {} should be an early hub", ranks[0].0);
+        assert!(
+            ranks[0].0 <= 2,
+            "top node {} should be an early hub",
+            ranks[0].0
+        );
     }
 }

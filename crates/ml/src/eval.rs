@@ -41,20 +41,21 @@ pub fn train_test_split(
 
 /// Build a scoring plan: each record `[label, x...]` becomes
 /// `[label, predicted_label, score]`.
-pub fn build_scoring_plan(model: &LinearModel, data: Vec<Record>) -> Result<(PhysicalPlan, NodeId)> {
+pub fn build_scoring_plan(
+    model: &LinearModel,
+    data: Vec<Record>,
+) -> Result<(PhysicalPlan, NodeId)> {
     let model = model.clone();
     let mut b = PlanBuilder::new();
     let src = b.collection("score-input", data);
     let scored = b.map(
         src,
-        MapUdf::new("score", move |r: &Record| {
-            match model.score_record(r) {
-                Ok(s) => {
-                    let pred = if s >= 0.0 { 1.0 } else { -1.0 };
-                    rec![r.float(0).unwrap_or(f64::NAN), pred, s]
-                }
-                Err(_) => Record::new(vec![Value::Null, Value::Null, Value::Null]),
+        MapUdf::new("score", move |r: &Record| match model.score_record(r) {
+            Ok(s) => {
+                let pred = if s >= 0.0 { 1.0 } else { -1.0 };
+                rec![r.float(0).unwrap_or(f64::NAN), pred, s]
             }
+            Err(_) => Record::new(vec![Value::Null, Value::Null, Value::Null]),
         }),
     );
     let sink = b.collect(scored);
@@ -178,10 +179,7 @@ mod tests {
     fn cross_validation_runs_all_folds() {
         let data = generate(&LibsvmConfig::new(300, 4).with_noise(0.0));
         let accs = cross_validate(&ctx(), &data, 3, |ctx, train| {
-            Ok(SvmTrainer::new(4)
-                .with_iterations(40)
-                .train(ctx, train)?
-                .0)
+            Ok(SvmTrainer::new(4).with_iterations(40).train(ctx, train)?.0)
         })
         .unwrap();
         assert_eq!(accs.len(), 3);

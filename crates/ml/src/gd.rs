@@ -31,8 +31,7 @@ use crate::model::LinearModel;
 
 /// Per-example gradient: given the feature slice `x`, the label, and the
 /// current model, return the gradient contribution `(g ∈ R^d, g_bias)`.
-pub type ExampleGradient =
-    Arc<dyn Fn(&[f64], f64, &LinearModel) -> (Vec<f64>, f64) + Send + Sync>;
+pub type ExampleGradient = Arc<dyn Fn(&[f64], f64, &LinearModel) -> (Vec<f64>, f64) + Send + Sync>;
 
 /// Hyper-parameters of the gradient-descent template.
 #[derive(Clone, Debug)]

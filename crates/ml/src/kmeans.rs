@@ -88,9 +88,7 @@ impl LogicalOperator for SetCentroids {
     fn payload(&self) -> LogicalPayload {
         let dims = self.dims;
         LogicalPayload::Group {
-            key: KeyUdf::new("cid", |r: &Record| {
-                r.get(1).expect("cid field").clone()
-            }),
+            key: KeyUdf::new("cid", |r: &Record| r.get(1).expect("cid field").clone()),
             group: GroupMapUdf::new("mean", move |cid: &Value, members: &[Record]| {
                 let n = members.len().max(1) as f64;
                 let mut mean = vec![0.0f64; dims];

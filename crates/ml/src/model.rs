@@ -32,7 +32,12 @@ impl LinearModel {
 
     /// Raw score `w·x + b` for a feature slice.
     pub fn score(&self, x: &[f64]) -> f64 {
-        self.weights.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.bias
+        self.weights
+            .iter()
+            .zip(x)
+            .map(|(w, xi)| w * xi)
+            .sum::<f64>()
+            + self.bias
     }
 
     /// Raw score for a LIBSVM-layout record `[label, x_1, ..., x_d]`.
@@ -58,7 +63,11 @@ impl LinearModel {
         let mut correct = 0usize;
         for r in data {
             let label = r.float(0)?;
-            let pred = if self.score_record(r)? >= 0.0 { 1.0 } else { -1.0 };
+            let pred = if self.score_record(r)? >= 0.0 {
+                1.0
+            } else {
+                -1.0
+            };
             if pred == label {
                 correct += 1;
             }

@@ -83,10 +83,8 @@ mod tests {
 
     #[test]
     fn accounted_only_reports_without_sleeping() {
-        let c = OverheadConfig::accounted_only(
-            Duration::from_millis(100),
-            Duration::from_millis(7),
-        );
+        let c =
+            OverheadConfig::accounted_only(Duration::from_millis(100), Duration::from_millis(7));
         let t = std::time::Instant::now();
         assert_eq!(c.pay_startup(), 100.0);
         assert_eq!(c.pay_stage(), 7.0);

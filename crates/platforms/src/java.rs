@@ -13,9 +13,7 @@ use rheem_core::error::Result;
 use rheem_core::interpreter;
 use rheem_core::physical::PhysicalOp;
 use rheem_core::plan::{PhysicalPlan, TaskAtom};
-use rheem_core::platform::{
-    AtomInputs, AtomResult, ExecutionContext, Platform, ProcessingProfile,
-};
+use rheem_core::platform::{AtomInputs, AtomResult, ExecutionContext, Platform, ProcessingProfile};
 
 use crate::config::OverheadConfig;
 
@@ -131,10 +129,7 @@ mod tests {
     #[test]
     fn keyed_aggregation_on_java() {
         let mut b = PlanBuilder::new();
-        let src = b.collection(
-            "s",
-            (0..60i64).map(|i| rec![i % 3, 1i64]).collect(),
-        );
+        let src = b.collection("s", (0..60i64).map(|i| rec![i % 3, 1i64]).collect());
         let red = b.reduce_by_key(
             src,
             KeyUdf::field(0),

@@ -51,18 +51,18 @@ pub fn full_context() -> RheemContext {
 pub fn test_context() -> RheemContext {
     RheemContext::new()
         .with_platform(Arc::new(JavaPlatform::new()))
-        .with_platform(Arc::new(
-            SparkLikePlatform::new(4).with_overheads(OverheadConfig::accounted_only(
+        .with_platform(Arc::new(SparkLikePlatform::new(4).with_overheads(
+            OverheadConfig::accounted_only(
                 std::time::Duration::from_millis(25),
                 std::time::Duration::from_millis(2),
-            )),
-        ))
-        .with_platform(Arc::new(
-            MapReduceLikePlatform::new(4).with_overheads(OverheadConfig::accounted_only(
+            ),
+        )))
+        .with_platform(Arc::new(MapReduceLikePlatform::new(4).with_overheads(
+            OverheadConfig::accounted_only(
                 std::time::Duration::from_millis(120),
                 std::time::Duration::from_millis(8),
-            )),
-        ))
+            ),
+        )))
         .with_platform(Arc::new(
             RelationalPlatform::new().with_overheads(OverheadConfig::none()),
         ))

@@ -25,9 +25,7 @@ use rheem_core::error::{Result, RheemError};
 use rheem_core::kernels;
 use rheem_core::physical::PhysicalOp;
 use rheem_core::plan::{NodeId, PhysicalPlan, TaskAtom};
-use rheem_core::platform::{
-    AtomInputs, AtomResult, ExecutionContext, Platform, ProcessingProfile,
-};
+use rheem_core::platform::{AtomInputs, AtomResult, ExecutionContext, Platform, ProcessingProfile};
 use rheem_core::rec;
 use rheem_storage::codec;
 
@@ -52,10 +50,7 @@ impl MapReduceLikePlatform {
         let workers = workers.max(1);
         MapReduceLikePlatform {
             workers,
-            overheads: OverheadConfig::slept(
-                Duration::from_millis(120),
-                Duration::from_millis(8),
-            ),
+            overheads: OverheadConfig::slept(Duration::from_millis(120), Duration::from_millis(8)),
             spill_dir: std::env::temp_dir().join("rheem_mr_spills"),
             cost: Arc::new(LinearCostModel {
                 per_unit: 3e-4,
@@ -332,7 +327,9 @@ impl MrRun<'_> {
                 let r = self.phase(std::mem::take(&mut inputs[1]))?;
                 let r = Arc::new(r);
                 let predicate = predicate.clone();
-                self.mappers(l, move |p| Ok(kernels::nested_loop_join(&p, &r, &predicate)))?
+                self.mappers(l, move |p| {
+                    Ok(kernels::nested_loop_join(&p, &r, &predicate))
+                })?
             }
             PhysicalOp::CrossProduct => {
                 let l = self.phase(std::mem::take(&mut inputs[0]))?;
@@ -358,19 +355,17 @@ impl MrRun<'_> {
                 // migration discussed in §2.
                 let mut state = take0(&mut inputs);
                 let body_nodes: Vec<NodeId> = body.nodes().iter().map(|n| n.id).collect();
-                let terminal = *body.terminals().first().ok_or_else(|| {
-                    RheemError::InvalidPlan("loop body has no terminal".into())
-                })?;
+                let terminal = *body
+                    .terminals()
+                    .first()
+                    .ok_or_else(|| RheemError::InvalidPlan("loop body has no terminal".into()))?;
                 let mut iteration = 0u64;
                 while iteration < *max_iterations && (condition.f)(iteration, &state) {
                     state = self.phase(state)?;
                     let outs = self.run_nodes(body, &body_nodes, None, Some(&state))?;
-                    state = outs
-                        .get(&terminal)
-                        .cloned()
-                        .ok_or_else(|| {
-                            RheemError::InvalidPlan("loop body terminal missing".into())
-                        })?;
+                    state = outs.get(&terminal).cloned().ok_or_else(|| {
+                        RheemError::InvalidPlan("loop body terminal missing".into())
+                    })?;
                     iteration += 1;
                 }
                 state
@@ -404,10 +399,9 @@ mod tests {
     fn mr() -> MapReduceLikePlatform {
         MapReduceLikePlatform::new(4)
             .with_overheads(OverheadConfig::none())
-            .with_spill_dir(std::env::temp_dir().join(format!(
-                "rheem_mr_test_{}",
-                std::process::id()
-            )))
+            .with_spill_dir(
+                std::env::temp_dir().join(format!("rheem_mr_test_{}", std::process::id())),
+            )
     }
 
     fn ctx() -> RheemContext {
@@ -421,8 +415,7 @@ mod tests {
 
     fn assert_matches_reference(plan: rheem_core::PhysicalPlan) {
         let reference =
-            rheem_core::interpreter::run_plan(&plan, &rheem_core::ExecutionContext::new())
-                .unwrap();
+            rheem_core::interpreter::run_plan(&plan, &rheem_core::ExecutionContext::new()).unwrap();
         let result = ctx().execute(plan).unwrap();
         assert_eq!(result.outputs.len(), reference.len());
         for (sink, data) in &result.outputs {
@@ -443,7 +436,9 @@ mod tests {
         let mut b = PlanBuilder::new();
         let src = b.collection(
             "s",
-            (0..300i64).map(|i| rec![i % 7, i, format!("v{i}")]).collect(),
+            (0..300i64)
+                .map(|i| rec![i % 7, i, format!("v{i}")])
+                .collect(),
         );
         let g = b.group_by(
             src,
@@ -494,10 +489,9 @@ mod tests {
                 Duration::from_millis(100),
                 Duration::from_millis(10),
             ))
-            .with_spill_dir(std::env::temp_dir().join(format!(
-                "rheem_mr_loop_{}",
-                std::process::id()
-            )));
+            .with_spill_dir(
+                std::env::temp_dir().join(format!("rheem_mr_loop_{}", std::process::id())),
+            );
         let ctx = RheemContext::new().with_platform(Arc::new(platform));
 
         let mut body = PlanBuilder::new();
@@ -525,11 +519,7 @@ mod tests {
             "s",
             vec![rec![1i64, 0.1f64], rec![1i64, 0.2f64], rec![2i64, f64::NAN]],
         );
-        let g = b.group_by(
-            src,
-            KeyUdf::field(0),
-            GroupMapUdf::identity(),
-        );
+        let g = b.group_by(src, KeyUdf::field(0), GroupMapUdf::identity());
         b.collect(g);
         assert_matches_reference(b.build().unwrap());
     }

@@ -22,9 +22,7 @@ use rheem_core::error::{Result, RheemError};
 use rheem_core::interpreter;
 use rheem_core::physical::{OpKind, PhysicalOp};
 use rheem_core::plan::{PhysicalPlan, TaskAtom};
-use rheem_core::platform::{
-    AtomInputs, AtomResult, ExecutionContext, Platform, ProcessingProfile,
-};
+use rheem_core::platform::{AtomInputs, AtomResult, ExecutionContext, Platform, ProcessingProfile};
 
 use crate::config::OverheadConfig;
 
@@ -189,10 +187,7 @@ mod tests {
     #[test]
     fn relational_query_executes() {
         let mut b = PlanBuilder::new();
-        let src = b.collection(
-            "orders",
-            (0..100i64).map(|i| rec![i % 10, i * 2]).collect(),
-        );
+        let src = b.collection("orders", (0..100i64).map(|i| rec![i % 10, i * 2]).collect());
         let red = b.reduce_by_key(
             src,
             KeyUdf::field(0),

@@ -35,9 +35,7 @@ use rheem_core::error::{Result, RheemError};
 use rheem_core::kernels;
 use rheem_core::physical::PhysicalOp;
 use rheem_core::plan::{NodeId, PhysicalPlan, TaskAtom};
-use rheem_core::platform::{
-    AtomInputs, AtomResult, ExecutionContext, Platform, ProcessingProfile,
-};
+use rheem_core::platform::{AtomInputs, AtomResult, ExecutionContext, Platform, ProcessingProfile};
 use rheem_core::rec;
 
 use crate::config::OverheadConfig;
@@ -144,10 +142,12 @@ impl Platform for SparkLikePlatform {
         let mut outputs_parts = run.run_nodes(plan, &atom.nodes, Some(inputs), None)?;
         let mut outputs = HashMap::new();
         for n in &atom.outputs {
-            let parts = outputs_parts.remove(n).ok_or_else(|| RheemError::Execution {
-                platform: "sparklike".into(),
-                message: format!("atom output node {n} was not produced"),
-            })?;
+            let parts = outputs_parts
+                .remove(n)
+                .ok_or_else(|| RheemError::Execution {
+                    platform: "sparklike".into(),
+                    message: format!("atom output node {n} was not produced"),
+                })?;
             outputs.insert(*n, Dataset::new(gather(parts)));
         }
         Ok(AtomResult {
@@ -543,8 +543,7 @@ mod tests {
     /// interpreter — the platform-independence contract.
     fn assert_matches_reference(plan: rheem_core::PhysicalPlan) {
         let reference =
-            rheem_core::interpreter::run_plan(&plan, &rheem_core::ExecutionContext::new())
-                .unwrap();
+            rheem_core::interpreter::run_plan(&plan, &rheem_core::ExecutionContext::new()).unwrap();
         let result = ctx().execute(plan).unwrap();
         assert_eq!(result.outputs.len(), reference.len());
         for (sink, data) in &result.outputs {

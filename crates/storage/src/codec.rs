@@ -306,7 +306,11 @@ mod tests {
     fn csv_round_trip_with_quoting() {
         let records = vec![
             rec![1i64, "alice", 3.5],
-            Record::new(vec![Value::Null, Value::str("a,b"), Value::str("say \"hi\"")]),
+            Record::new(vec![
+                Value::Null,
+                Value::str("a,b"),
+                Value::str("say \"hi\""),
+            ]),
         ];
         let csv = to_csv(&records);
         let back = from_csv(&csv).unwrap();

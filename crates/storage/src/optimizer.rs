@@ -136,9 +136,7 @@ fn cost_for(kind: StoreKind, p: &AccessPattern, t: &CostTable) -> f64 {
             } else {
                 n * t.rel_scan
             };
-            p.full_scans * n * t.rel_scan
-                + p.point_lookups * lookup
-                + p.appends * n * t.rel_append
+            p.full_scans * n * t.rel_scan + p.point_lookups * lookup + p.appends * n * t.rel_append
         }
     }
 }

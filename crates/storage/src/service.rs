@@ -220,7 +220,9 @@ impl StorageLayer {
     pub fn execute(&self, atom: StorageAtom) -> Result<()> {
         match atom.request {
             StorageRequest::Ingest {
-                dataset_id, data, pattern,
+                dataset_id,
+                data,
+                pattern,
             } => {
                 let plan = match &pattern {
                     Some(p) => decide(p, &self.available_kinds())?.plan,
@@ -373,7 +375,10 @@ mod tests {
 
     fn layer_all_stores() -> StorageLayer {
         StorageLayer::new(Arc::new(MemStore::new("mem")))
-            .with_store(Arc::new(SimHdfsStore::new("hdfs", SimHdfsConfig::default())))
+            .with_store(Arc::new(SimHdfsStore::new(
+                "hdfs",
+                SimHdfsConfig::default(),
+            )))
             .with_store(Arc::new(RelationalStore::new("db")))
     }
 

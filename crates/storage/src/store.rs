@@ -167,7 +167,13 @@ impl LocalFsStore {
         // Dataset ids may contain separators; flatten them for the FS.
         let safe: String = id
             .chars()
-            .map(|c| if c.is_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+            .map(|c| {
+                if c.is_alphanumeric() || c == '_' || c == '-' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         self.root.join(format!("{safe}.rrec"))
     }
@@ -638,7 +644,7 @@ mod tests {
         let data = sample();
         let w = store.write("t", &data).unwrap();
         assert_eq!(store.block_count("t"), Some(2)); // 3 records / 2 per block
-        // Write pays replication × blocks of latency.
+                                                     // Write pays replication × blocks of latency.
         assert!((w.simulated_ms - 6.0).abs() < 1e-9);
         let (_, r) = store.read("t").unwrap();
         assert!((r.simulated_ms - 2.0).abs() < 1e-9);

@@ -158,11 +158,7 @@ mod tests {
     #[test]
     fn csv_ingestion_pipeline() {
         // Raw lines -> parse -> drop corrupt -> project -> sort.
-        let raw = Dataset::new(vec![
-            rec!["3,c,30"],
-            rec!["1,a,10"],
-            rec!["2,b,oops"],
-        ]);
+        let raw = Dataset::new(vec![rec!["3,c,30"], rec!["1,a,10"], rec!["2,b,oops"]]);
         let plan = TransformationPlan::named("ingest")
             .then(TransformStep::ParseCsv)
             .then(TransformStep::FilterRows(FilterUdf::new("numeric", |r| {
@@ -198,10 +194,10 @@ mod tests {
     #[test]
     fn derive_step_reshapes_rows() {
         let data = Dataset::new(vec![rec![2i64, 3i64]]);
-        let plan = TransformationPlan::named("p").then(TransformStep::Derive(MapUdf::new(
-            "sum",
-            |r| rec![r.int(0).unwrap() + r.int(1).unwrap()],
-        )));
+        let plan = TransformationPlan::named("p")
+            .then(TransformStep::Derive(MapUdf::new("sum", |r| {
+                rec![r.int(0).unwrap() + r.int(1).unwrap()]
+            })));
         assert_eq!(plan.apply(data).unwrap().records(), &[rec![5i64]]);
     }
 }

@@ -80,20 +80,21 @@ fn main() -> Result<(), RheemError> {
         violations.len()
     );
     let repaired = repair_fd(&data, &fd)?;
-    let remaining = count_violations(
-        &ctx,
-        repaired,
-        &fd,
-        DetectionStrategy::OperatorPipeline,
-    )?;
+    let remaining = count_violations(&ctx, repaired, &fd, DetectionStrategy::OperatorPipeline)?;
     println!("after equivalence-class repair: {remaining} violations remain");
 
     // Unary (single-tuple) rules complete the rule set: domain checks need
     // no pairing at all.
-    println!("
-unary rules:");
+    println!(
+        "
+unary rules:"
+    );
     let (below, above) = range_check("plausible-salary", columns::ID, columns::SALARY, 1.0, 1e7);
-    for rule in [not_null("state-present", columns::ID, columns::STATE), below, above] {
+    for rule in [
+        not_null("state-present", columns::ID, columns::STATE),
+        below,
+        above,
+    ] {
         let (violations, _) = rule.detect(&ctx, data.clone())?;
         println!("  {}: {} violations", rule.name, violations.len());
     }
@@ -106,7 +107,9 @@ unary rules:");
         .optimizer_mut()
         .mappings
         .load_spec("kind:Group prefers SortGroupBy  # cluster blocks on disk-friendly order")?;
-    println!("
-loaded {loaded} mapping fact(s); Block now lowers to SortGroupBy");
+    println!(
+        "
+loaded {loaded} mapping fact(s); Block now lowers to SortGroupBy"
+    );
     Ok(())
 }

@@ -17,7 +17,10 @@ fn main() -> Result<(), RheemError> {
 
     // A scale-free graph: preferential attachment grows hubs.
     let edges = preferential_attachment(2_000, 2, 11);
-    println!("graph: 2000 nodes, {} edges (preferential attachment)\n", edges.len());
+    println!(
+        "graph: 2000 nodes, {} edges (preferential attachment)\n",
+        edges.len()
+    );
 
     // PageRank.
     let (ranks, result) = PageRank::default()

@@ -25,7 +25,11 @@ fn aggregate(b: &mut PlanBuilder, src: rheem_core::NodeId) -> rheem_core::NodeId
     let keyed = b.map(
         src,
         MapUdf::new("keyed", |r| {
-            rec![r.int(1).expect("sensor"), 1i64, r.float(2).expect("pressure")]
+            rec![
+                r.int(1).expect("sensor"),
+                1i64,
+                r.float(2).expect("pressure")
+            ]
         }),
     );
     b.reduce_by_key(
@@ -80,31 +84,30 @@ fn main() -> Result<(), RheemError> {
     // ---- speed layer ------------------------------------------------------
     let mut driver = MicroBatchDriver::new(aggregate);
     let mut speed_platforms: Vec<String> = Vec::new();
-    serving = driver.run(
-        &ctx,
-        micro_batches(live, 100),
-        serving,
-        |state, outcome| {
-            speed_platforms
-                .extend(outcome.stats.platforms_used().iter().map(|s| s.to_string()));
-            absorb(state, &outcome.output)
-        },
-    )?;
+    serving = driver.run(&ctx, micro_batches(live, 100), serving, |state, outcome| {
+        speed_platforms.extend(outcome.stats.platforms_used().iter().map(|s| s.to_string()));
+        absorb(state, &outcome.output)
+    })?;
     speed_platforms.sort();
     speed_platforms.dedup();
-    println!(
-        "speed layer: 20 micro-batches of 100 readings each, all on {speed_platforms:?}"
-    );
+    println!("speed layer: 20 micro-batches of 100 readings each, all on {speed_platforms:?}");
 
     // ---- serving layer ----------------------------------------------------
     println!("\nserving view (per-sensor mean pressure over batch + speed):");
     let mut sensors: Vec<_> = serving.iter().collect();
     sensors.sort_by_key(|(id, _)| **id);
     for (sensor, (count, sum)) in sensors.into_iter().take(5) {
-        println!("  sensor {sensor:>2}: {} readings, mean {:.1}", count, sum / *count as f64);
+        println!(
+            "  sensor {sensor:>2}: {} readings, mean {:.1}",
+            count,
+            sum / *count as f64
+        );
     }
     let total: i64 = serving.values().map(|(c, _)| c).sum();
-    println!("  ... {} sensors, {total} readings total (expected 1002000)", serving.len());
+    println!(
+        "  ... {} sensors, {total} readings total (expected 1002000)",
+        serving.len()
+    );
     assert_eq!(total, 1_002_000);
     Ok(())
 }

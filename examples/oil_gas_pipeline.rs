@@ -31,10 +31,13 @@ use rheem_storage::{MemStore, RelationalStore, SimHdfsConfig, SimHdfsStore};
 fn main() -> Result<(), RheemError> {
     // ---------------------------------------------------------- storage side
     let storage = Arc::new(
-        StorageLayer::new(Arc::new(SimHdfsStore::new("hdfs", SimHdfsConfig::default())))
-            .with_store(Arc::new(RelationalStore::new("db")))
-            .with_store(Arc::new(MemStore::new("mem")))
-            .with_hot_buffer(1_000_000),
+        StorageLayer::new(Arc::new(SimHdfsStore::new(
+            "hdfs",
+            SimHdfsConfig::default(),
+        )))
+        .with_store(Arc::new(RelationalStore::new("db")))
+        .with_store(Arc::new(MemStore::new("mem")))
+        .with_hot_buffer(1_000_000),
     );
 
     // Sensor readings land on the distributed FS (400k readings, 24 wells).
@@ -63,7 +66,9 @@ fn main() -> Result<(), RheemError> {
         .with_platform(Arc::new(MapReduceLikePlatform::new(8)))
         .with_platform(Arc::new(RelationalPlatform::new()))
         .with_storage(storage.clone());
-    ctx.optimizer_mut().estimator.hint("sensor-readings", 400_000.0);
+    ctx.optimizer_mut()
+        .estimator
+        .hint("sensor-readings", 400_000.0);
     ctx.optimizer_mut().estimator.hint("wells", 24.0);
     // This deployment's engines share a fast interconnect: cheap movement
     // makes genuinely mixed plans attractive.
@@ -133,10 +138,7 @@ fn main() -> Result<(), RheemError> {
     );
 
     if let Some(hot) = storage.hot_stats() {
-        println!(
-            "hot-data buffer: {} hits / {} misses",
-            hot.hits, hot.misses
-        );
+        println!("hot-data buffer: {} hits / {} misses", hot.hits, hot.misses);
     }
     Ok(())
 }

@@ -50,7 +50,12 @@ fn main() -> Result<(), RheemError> {
     println!("query:\n  {sql}\n");
 
     let result = catalog.execute(&ctx, sql)?;
-    let header: Vec<&str> = result.schema.fields().iter().map(|f| f.name.as_str()).collect();
+    let header: Vec<&str> = result
+        .schema
+        .fields()
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
     println!("{}", header.join("\t"));
     for row in result.rows.iter() {
         let cells: Vec<String> = row.fields().iter().map(|v| v.to_string()).collect();

@@ -36,16 +36,13 @@ pub use rheem_core::rec;
 pub mod prelude {
     pub use rheem_core::data::{DataType, Dataset, Record, Schema, Value};
     pub use rheem_core::plan::{PhysicalPlan, PlanBuilder};
+    pub use rheem_core::query::QueryCatalog;
     pub use rheem_core::udf::{
         FilterUdf, FlatMapUdf, GroupMapUdf, KeyUdf, LoopCondUdf, MapUdf, ReduceUdf,
     };
-    pub use rheem_core::query::QueryCatalog;
-    pub use rheem_core::{
-        JobResult, MultiPlatformOptimizer, Platform, RheemContext, RheemError,
-    };
+    pub use rheem_core::{JobResult, MultiPlatformOptimizer, Platform, RheemContext, RheemError};
     pub use rheem_platforms::{
-        JavaPlatform, MapReduceLikePlatform, OverheadConfig, RelationalPlatform,
-        SparkLikePlatform,
+        JavaPlatform, MapReduceLikePlatform, OverheadConfig, RelationalPlatform, SparkLikePlatform,
     };
     pub use rheem_storage::{StorageLayer, StorageRequest};
 }

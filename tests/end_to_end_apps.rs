@@ -27,10 +27,7 @@ fn mapreduce() -> RheemContext {
     RheemContext::new().with_platform(Arc::new(
         MapReduceLikePlatform::new(4)
             .with_overheads(OverheadConfig::none())
-            .with_spill_dir(std::env::temp_dir().join(format!(
-                "rheem_e2e_{}",
-                std::process::id()
-            ))),
+            .with_spill_dir(std::env::temp_dir().join(format!("rheem_e2e_{}", std::process::id()))),
     ))
 }
 
@@ -55,12 +52,8 @@ fn svm_model_is_identical_across_all_three_engines() {
 #[test]
 fn cleaning_detection_and_repair_agree_across_engines() {
     let (data, _) = rheem_datagen::tax::generate(&TaxConfig::new(1_500).with_seed(5));
-    let rule = DenialConstraint::functional_dependency(
-        "fd",
-        columns::ID,
-        columns::ZIP,
-        columns::STATE,
-    );
+    let rule =
+        DenialConstraint::functional_dependency("fd", columns::ID, columns::ZIP, columns::STATE);
     let (v_java, _) = detect(
         &java(),
         data.clone(),
@@ -95,14 +88,12 @@ fn cleaning_detection_and_repair_agree_across_engines() {
 #[test]
 fn iejoin_detection_runs_on_all_engines() {
     let (data, _) = rheem_datagen::tax::generate(
-        &TaxConfig::new(2_000).with_seed(9).with_error_rates(0.0, 0.005),
+        &TaxConfig::new(2_000)
+            .with_seed(9)
+            .with_error_rates(0.0, 0.005),
     );
-    let rule = DenialConstraint::inequality(
-        "ineq",
-        columns::ID,
-        columns::SALARY,
-        columns::TAX_RATE,
-    );
+    let rule =
+        DenialConstraint::inequality("ineq", columns::ID, columns::SALARY, columns::TAX_RATE);
     let (v_java, _) = detect(&java(), data.clone(), &rule, DetectionStrategy::IeJoin).unwrap();
     let (v_spark, _) = detect(&spark(), data.clone(), &rule, DetectionStrategy::IeJoin).unwrap();
     let (v_mr, _) = detect(&mapreduce(), data, &rule, DetectionStrategy::IeJoin).unwrap();
@@ -170,7 +161,8 @@ fn optimizer_routes_whole_applications_sensibly() {
         .find(|nd| matches!(nd.op, rheem_core::PhysicalOp::Loop { .. }))
         .unwrap();
     assert_eq!(
-        exec.assignments[loop_node.id.0], "java",
+        exec.assignments[loop_node.id.0],
+        "java",
         "tiny iterative job belongs on the single-process engine:\n{}",
         exec.explain()
     );

@@ -7,7 +7,9 @@ use std::time::Duration;
 
 use rheem::prelude::*;
 use rheem::rec;
-use rheem_core::{FailureInjector, RheemError};
+use rheem_core::optimizer::enumerate::split_into_atoms;
+use rheem_core::plan::NodeId;
+use rheem_core::{ExecutionPlan, FailureInjector, JobResult, RheemError, ScheduleMode};
 use rheem_platforms::test_context;
 
 /// A plan the relational engine *cannot* run end to end (it has a loop),
@@ -29,9 +31,12 @@ fn mixed_plan(n: i64) -> rheem_core::PhysicalPlan {
     // Iterative post-processing (no relational support).
     let mut body = PlanBuilder::new();
     let li = body.loop_input();
-    body.map(li, MapUdf::new("decay", |r| {
-        rec![r.int(0).unwrap(), r.float(1).unwrap() * 0.9]
-    }));
+    body.map(
+        li,
+        MapUdf::new("decay", |r| {
+            rec![r.int(0).unwrap(), r.float(1).unwrap() * 0.9]
+        }),
+    );
     let body = body.build_fragment().unwrap();
     let looped = b.repeat(agg, body, LoopCondUdf::fixed_iterations(5), 5);
     b.collect(looped);
@@ -191,10 +196,14 @@ fn progress_listener_observes_the_job_lifecycle() {
     }
     impl ProgressListener for Recorder {
         fn on_atom_start(&self, atom_id: usize, platform: &str) {
-            self.events.lock().push(format!("start:{atom_id}@{platform}"));
+            self.events
+                .lock()
+                .push(format!("start:{atom_id}@{platform}"));
         }
         fn on_atom_retry(&self, atom_id: usize, attempt: usize, _error: &RheemError) {
-            self.events.lock().push(format!("retry:{atom_id}#{attempt}"));
+            self.events
+                .lock()
+                .push(format!("retry:{atom_id}#{attempt}"));
         }
         fn on_atom_complete(&self, stats: &AtomStats) {
             self.events
@@ -230,4 +239,266 @@ fn progress_listener_observes_the_job_lifecycle() {
         ],
         "unexpected event trace: {events:?}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Wave scheduling
+// ---------------------------------------------------------------------------
+
+/// A shared source fanning out to three branches hand-pinned to three
+/// distinct platforms: four atoms, of which the three branch atoms are
+/// mutually independent.
+fn fanout_exec_plan() -> ExecutionPlan {
+    let mut b = PlanBuilder::new();
+    let src = b.collection("s", (0..100i64).map(|i| rec![i % 10, i]).collect());
+    let doubled = b.map(
+        src,
+        MapUdf::new("x2", |r| rec![r.int(0).unwrap(), r.int(1).unwrap() * 2]),
+    );
+    b.collect(doubled);
+    let even = b.filter(src, FilterUdf::new("even", |r| r.int(1).unwrap() % 2 == 0));
+    b.collect(even);
+    let summed = b.reduce_by_key(
+        src,
+        KeyUdf::field(0).with_distinct_keys(10.0),
+        ReduceUdf::new("sum", |a, x| {
+            rec![a.int(0).unwrap(), a.int(1).unwrap() + x.int(1).unwrap()]
+        }),
+    );
+    b.collect(summed);
+    let physical = b.build().unwrap();
+    let assignments: Vec<String> = [
+        "java",      // source
+        "sparklike", // map branch
+        "sparklike",
+        "mapreduce", // filter branch
+        "mapreduce",
+        "java", // reduce branch (merges with the source atom)
+        "java",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let atoms = split_into_atoms(&physical, &assignments);
+    ExecutionPlan {
+        physical: Arc::new(physical),
+        assignments,
+        atoms,
+        estimated_cost: 0.0,
+    }
+}
+
+fn sorted_outputs(result: &JobResult) -> Vec<(NodeId, Vec<Record>)> {
+    let mut out: Vec<(NodeId, Vec<Record>)> = result
+        .outputs
+        .iter()
+        .map(|(n, d)| (*n, d.records().to_vec()))
+        .collect();
+    out.sort_by_key(|(n, _)| *n);
+    out
+}
+
+#[test]
+fn independent_atoms_share_a_wave_and_match_sequential_output() {
+    let exec = fanout_exec_plan();
+    assert!(exec.atoms.len() >= 3, "{}", exec.explain());
+    let platforms: std::collections::HashSet<&str> =
+        exec.atoms.iter().map(|a| a.platform.as_str()).collect();
+    assert!(
+        platforms.len() >= 3,
+        "want 3 distinct platforms: {platforms:?}"
+    );
+
+    let parallel = test_context()
+        .with_max_parallel_atoms(4)
+        .execute_plan(&exec)
+        .unwrap();
+    let sequential = test_context()
+        .with_schedule_mode(ScheduleMode::Sequential)
+        .execute_plan(&exec)
+        .unwrap();
+
+    // Fewer waves than atoms: the independent branch atoms overlapped.
+    assert!(
+        parallel.stats.waves < exec.atoms.len(),
+        "waves {} !< atoms {}",
+        parallel.stats.waves,
+        exec.atoms.len()
+    );
+    assert_eq!(sequential.stats.waves, exec.atoms.len());
+    // The java atom (source + reduce branch) is wave 0; the two atoms
+    // that consume the source across a boundary run together in wave 1.
+    let wave_of: std::collections::HashMap<usize, usize> = parallel
+        .stats
+        .atoms
+        .iter()
+        .map(|a| (a.atom_id, a.wave))
+        .collect();
+    for atom in &exec.atoms {
+        let expected = if atom.inputs.is_empty() { 0 } else { 1 };
+        assert_eq!(wave_of[&atom.id], expected, "atom {}", atom.id);
+    }
+
+    // Identical sink outputs under both schedules.
+    assert_eq!(sorted_outputs(&parallel), sorted_outputs(&sequential));
+}
+
+#[test]
+fn execution_stats_are_deterministic_under_concurrency() {
+    let exec = fanout_exec_plan();
+    let runs: Vec<_> = (0..5)
+        .map(|_| {
+            test_context()
+                .with_max_parallel_atoms(4)
+                .execute_plan(&exec)
+                .unwrap()
+                .stats
+        })
+        .collect();
+    let reference: Vec<(usize, usize, String)> = runs[0]
+        .atoms
+        .iter()
+        .map(|a| (a.atom_id, a.wave, a.platform.clone()))
+        .collect();
+    for stats in &runs {
+        let got: Vec<(usize, usize, String)> = stats
+            .atoms
+            .iter()
+            .map(|a| (a.atom_id, a.wave, a.platform.clone()))
+            .collect();
+        assert_eq!(got, reference);
+        assert_eq!(stats.waves, runs[0].waves);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.total_movement_ms, runs[0].total_movement_ms);
+        // The report renders the wave column.
+        assert!(stats.explain().contains("wave"));
+    }
+}
+
+#[test]
+fn malformed_execution_plans_error_instead_of_panicking() {
+    // A boundary edge pointing outside the physical plan used to panic in
+    // the executor's input gathering (`assignments[edge.producer.0]`).
+    let mut exec = fanout_exec_plan();
+    let victim = exec
+        .atoms
+        .iter()
+        .position(|a| !a.inputs.is_empty())
+        .expect("fan-out plan has boundary edges");
+    exec.atoms[victim].inputs[0].producer = NodeId(999);
+    let err = test_context().execute_plan(&exec).unwrap_err();
+    assert!(matches!(err, RheemError::InvalidPlan(_)), "{err}");
+
+    // Same for an assignments vector that no longer covers the boundary
+    // producers (node 0 is the only cross-atom producer here).
+    let mut exec = fanout_exec_plan();
+    exec.assignments.clear();
+    let err = test_context().execute_plan(&exec).unwrap_err();
+    assert!(matches!(err, RheemError::InvalidPlan(_)), "{err}");
+
+    // Sequential mode takes the same validation path.
+    let mut exec = fanout_exec_plan();
+    exec.assignments.clear();
+    let err = test_context()
+        .with_schedule_mode(ScheduleMode::Sequential)
+        .execute_plan(&exec)
+        .unwrap_err();
+    assert!(matches!(err, RheemError::InvalidPlan(_)), "{err}");
+}
+
+#[test]
+fn timeout_budget_bounds_retry_storms() {
+    // Endless injected failures with a huge retry budget: the deadline is
+    // checked inside the retry loop, so the job still terminates with
+    // BudgetExceeded instead of burning through a billion retries.
+    let injector = Arc::new(FailureInjector::fail_next("java", usize::MAX));
+    let ctx = RheemContext::new()
+        .with_platform(Arc::new(JavaPlatform::new()))
+        .with_failure_injector(injector)
+        .with_max_retries(usize::MAX - 1)
+        .with_timeout(Duration::from_millis(50));
+    let mut b = PlanBuilder::new();
+    let src = b.collection("s", vec![rec![1i64]]);
+    b.collect(src);
+    let started = std::time::Instant::now();
+    let err = ctx.execute(b.build().unwrap()).unwrap_err();
+    assert!(matches!(err, RheemError::BudgetExceeded(_)), "{err}");
+    assert!(started.elapsed() < Duration::from_secs(10));
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig {
+        cases: 8,
+        ..proptest::prelude::ProptestConfig::default()
+    })]
+
+    /// Parallel wave scheduling must be a pure performance change: for
+    /// random multi-platform plans, the sink outputs are identical to the
+    /// sequential executor's.
+    #[test]
+    fn parallel_and_sequential_schedules_agree(
+        shape in 0u8..3,
+        n in 1i64..200,
+        modulus in 1i64..12,
+    ) {
+        let build = |sh: u8| -> rheem_core::PhysicalPlan {
+            match sh {
+                0 => {
+                    // Shared source fanning out to two sinks.
+                    let mut b = PlanBuilder::new();
+                    let src = b.collection(
+                        "s",
+                        (0..n).map(|i| rec![i % modulus, i]).collect(),
+                    );
+                    let agg = b.reduce_by_key(
+                        src,
+                        KeyUdf::field(0).with_distinct_keys(modulus as f64),
+                        ReduceUdf::new("sum", |a, x| {
+                            rec![a.int(0).unwrap(), a.int(1).unwrap() + x.int(1).unwrap()]
+                        }),
+                    );
+                    b.collect(agg);
+                    let odd = b.filter(
+                        src,
+                        FilterUdf::new("odd", |r| r.int(1).unwrap() % 2 == 1),
+                    );
+                    b.collect(odd);
+                    b.build().unwrap()
+                }
+                1 => mixed_plan(n.max(10)),
+                _ => {
+                    // Two sources joined on a shared key space.
+                    let mut b = PlanBuilder::new();
+                    let l = b.collection(
+                        "l",
+                        (0..n).map(|i| rec![i % modulus, i]).collect(),
+                    );
+                    let r = b.collection(
+                        "r",
+                        (0..n / 2 + 1).map(|i| rec![i % modulus, -i]).collect(),
+                    );
+                    let j = b.hash_join(l, r, KeyUdf::field(0), KeyUdf::field(0));
+                    b.collect(j);
+                    b.build().unwrap()
+                }
+            }
+        };
+
+        let mut ctx = test_context();
+        ctx.optimizer_mut().movement = rheem_core::cost::MovementCostModel::free();
+        let exec = ctx.optimize(build(shape)).unwrap();
+
+        let parallel = test_context()
+            .with_max_parallel_atoms(4)
+            .execute_plan(&exec)
+            .unwrap();
+        let sequential = test_context()
+            .with_schedule_mode(ScheduleMode::Sequential)
+            .execute_plan(&exec)
+            .unwrap();
+
+        proptest::prop_assert_eq!(sorted_outputs(&parallel), sorted_outputs(&sequential));
+        proptest::prop_assert_eq!(parallel.stats.atoms.len(), sequential.stats.atoms.len());
+        proptest::prop_assert!(parallel.stats.waves <= sequential.stats.waves);
+    }
 }

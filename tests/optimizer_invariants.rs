@@ -47,16 +47,17 @@ fn gen_op() -> impl Strategy<Value = GenOp> {
 /// Build a valid plan from the op script; always produces ≥1 sink.
 fn build_plan(ops: &[GenOp]) -> PhysicalPlan {
     let mut b = PlanBuilder::new();
-    let mut stack: Vec<NodeId> = vec![b.collection(
-        "seed",
-        (0..30i64).map(|i| rec![i % 7, 1i64]).collect(),
-    )];
+    let mut stack: Vec<NodeId> =
+        vec![b.collection("seed", (0..30i64).map(|i| rec![i % 7, 1i64]).collect())];
     for op in ops {
         let top = *stack.last().expect("non-empty");
         match op {
             GenOp::Source(k) => {
                 let n = 10 + (*k as i64) * 5;
-                stack.push(b.collection(format!("src{k}"), (0..n).map(|i| rec![i % 5, 1i64]).collect()));
+                stack.push(b.collection(
+                    format!("src{k}"),
+                    (0..n).map(|i| rec![i % 5, 1i64]).collect(),
+                ));
             }
             GenOp::MapInc => {
                 let node = b.map(
@@ -68,10 +69,7 @@ fn build_plan(ops: &[GenOp]) -> PhysicalPlan {
                 stack.push(node);
             }
             GenOp::FilterHalf => {
-                let node = b.filter(
-                    top,
-                    FilterUdf::new("even", |r| r.int(0).unwrap() % 2 == 0),
-                );
+                let node = b.filter(top, FilterUdf::new("even", |r| r.int(0).unwrap() % 2 == 0));
                 stack.push(node);
             }
             GenOp::GroupCount => {

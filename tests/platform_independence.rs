@@ -29,10 +29,10 @@ fn all_platform_contexts() -> Vec<(&'static str, RheemContext)> {
             RheemContext::new().with_platform(Arc::new(
                 MapReduceLikePlatform::new(4)
                     .with_overheads(OverheadConfig::none())
-                    .with_spill_dir(std::env::temp_dir().join(format!(
-                        "rheem_integration_{}",
-                        std::process::id()
-                    ))),
+                    .with_spill_dir(
+                        std::env::temp_dir()
+                            .join(format!("rheem_integration_{}", std::process::id())),
+                    ),
             )),
         ),
         (
@@ -88,14 +88,8 @@ fn assert_platform_independent(plan: &PhysicalPlan) {
 #[test]
 fn relational_style_query_is_platform_independent() {
     let mut b = PlanBuilder::new();
-    let orders = b.collection(
-        "orders",
-        rheem_datagen::relational::orders(500, 60, 1),
-    );
-    let customers = b.collection(
-        "customers",
-        rheem_datagen::relational::customers(60, 5, 2),
-    );
+    let orders = b.collection("orders", rheem_datagen::relational::orders(500, 60, 1));
+    let customers = b.collection("customers", rheem_datagen::relational::customers(60, 5, 2));
     let big = b.filter(
         orders,
         FilterUdf::new("big", |r| r.float(2).unwrap() > 1000.0),
@@ -134,7 +128,10 @@ fn iterative_plan_is_platform_independent() {
     let mut body = PlanBuilder::new();
     let li = body.loop_input();
     let doubled = body.map(li, MapUdf::new("x2", |r| rec![r.int(0).unwrap() * 2]));
-    body.filter(doubled, FilterUdf::new("cap", |r| r.int(0).unwrap() < 1_000_000));
+    body.filter(
+        doubled,
+        FilterUdf::new("cap", |r| r.int(0).unwrap() < 1_000_000),
+    );
     let body = body.build_fragment().unwrap();
 
     let mut b = PlanBuilder::new();
@@ -149,12 +146,8 @@ fn cleaning_pipeline_is_platform_independent() {
     use rheem_cleaning::{build_detection_plan, DenialConstraint, DetectionStrategy};
     use rheem_datagen::tax::{columns, generate, TaxConfig};
     let (data, _) = generate(&TaxConfig::new(800).with_seed(3));
-    let rule = DenialConstraint::functional_dependency(
-        "fd",
-        columns::ID,
-        columns::ZIP,
-        columns::STATE,
-    );
+    let rule =
+        DenialConstraint::functional_dependency("fd", columns::ID, columns::ZIP, columns::STATE);
     for strategy in [
         DetectionStrategy::OperatorPipeline,
         DetectionStrategy::SingleUdf,
@@ -205,10 +198,7 @@ fn apply_step(b: &mut PlanBuilder, input: rheem_core::NodeId, step: &Step) -> rh
             input,
             KeyUdf::new("mod7", |r| (r.int(0).unwrap().rem_euclid(7)).into()),
             GroupMapUdf::new("count", |k, members| {
-                vec![Record::new(vec![
-                    k.clone(),
-                    (members.len() as i64).into(),
-                ])]
+                vec![Record::new(vec![k.clone(), (members.len() as i64).into()])]
             }),
         ),
         // Note: the combiner must be commutative and associative for the

@@ -17,7 +17,10 @@ use rheem_storage::{
 fn layer() -> Arc<StorageLayer> {
     Arc::new(
         StorageLayer::new(Arc::new(MemStore::new("mem")))
-            .with_store(Arc::new(SimHdfsStore::new("hdfs", SimHdfsConfig::default())))
+            .with_store(Arc::new(SimHdfsStore::new(
+                "hdfs",
+                SimHdfsConfig::default(),
+            )))
             .with_store(Arc::new(RelationalStore::new("db")))
             .with_hot_buffer(100_000),
     )
@@ -163,9 +166,12 @@ fn local_fs_store_backs_real_plans() {
 
     let mut b = PlanBuilder::new();
     let src = b.storage_source("disk");
-    let m = b.map(src, MapUdf::new("tag", |r| {
-        rec![r.int(0).unwrap(), format!("{}!", r.str(1).unwrap())]
-    }));
+    let m = b.map(
+        src,
+        MapUdf::new("tag", |r| {
+            rec![r.int(0).unwrap(), format!("{}!", r.str(1).unwrap())]
+        }),
+    );
     let sink = b.collect(m);
     let result = ctx.execute(b.build().unwrap()).unwrap();
     assert_eq!(result.outputs[&sink].records()[7].str(1).unwrap(), "row-7!");
@@ -181,7 +187,10 @@ fn missing_dataset_surfaces_as_clean_error() {
     b.collect(src);
     let err = ctx.execute(b.build().unwrap()).unwrap_err();
     assert!(
-        matches!(err, RheemError::DatasetNotFound(_) | RheemError::Execution { .. }),
+        matches!(
+            err,
+            RheemError::DatasetNotFound(_) | RheemError::Execution { .. }
+        ),
         "{err}"
     );
 }

@@ -1,0 +1,210 @@
+//! Offline stub of the `criterion` API surface this workspace uses.
+//!
+//! Runs each benchmark closure `sample_size` times after one warm-up
+//! iteration and prints a one-line plain-text summary (mean / min / max
+//! wall time per iteration). No statistical analysis, no HTML reports —
+//! enough to keep `cargo bench` targets compiling and producing useful
+//! relative numbers without a registry.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Drives timed iterations of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, running one warm-up iteration then `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        self.durations.clear();
+        self.durations.reserve(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(f());
+            self.durations.push(t.elapsed());
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(None, &id.into(), DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(Some(&self.name), &id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(Some(&self.name), &id.into(), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    samples: usize,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples,
+        durations: Vec::new(),
+    };
+    f(&mut b);
+    let n = b.durations.len().max(1);
+    let total: Duration = b.durations.iter().sum();
+    let mean = total / n as u32;
+    let min = b.durations.iter().min().copied().unwrap_or_default();
+    let max = b.durations.iter().max().copied().unwrap_or_default();
+    let full = match group {
+        Some(g) => format!("{g}/{}", id.id),
+        None => id.id.clone(),
+    };
+    eprintln!(
+        "bench {full:<48} mean {:>12.3?}  min {:>12.3?}  max {:>12.3?}  ({n} samples)",
+        mean, min, max
+    );
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0usize;
+        group.sample_size(3).bench_function("count", |b| {
+            b.iter(|| runs += 1);
+        });
+        group.bench_with_input(BenchmarkId::new("with", 7), &7usize, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        group.finish();
+        // one warm-up + three samples
+        assert_eq!(runs, 4);
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,88 @@
+//! Offline stub of the `crossbeam` API surface this workspace uses:
+//! `crossbeam::thread::scope` with crossbeam-style signatures (the scope
+//! closure and every spawned closure receive the scope handle; the scope
+//! returns `Err` instead of propagating panics), implemented on top of
+//! `std::thread::scope`.
+
+#![warn(missing_docs)]
+
+/// Scoped threads (crossbeam-utils compatible subset).
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Payload of a panicked scope or thread.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle for spawning threads that may borrow from the caller.
+    ///
+    /// `Copy` (crossbeam passes `&Scope`; a by-value copyable handle accepts
+    /// the same call sites since `.spawn(...)` auto-refs either way).
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope handle so
+        /// it can spawn further siblings (crossbeam signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(Scope { inner })),
+            }
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads. Returns `Err` with
+    /// the panic payload if the scope closure or an unjoined spawned thread
+    /// panicked (crossbeam semantics), rather than propagating the panic.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: FnOnce(Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scope_joins_and_borrows() {
+            let data = [1, 2, 3];
+            let sum = super::scope(|s| {
+                let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+            })
+            .unwrap();
+            assert_eq!(sum, 12);
+        }
+
+        #[test]
+        fn spawned_panic_is_captured_by_join() {
+            let res = super::scope(|s| {
+                let h = s.spawn(|_| -> i32 { panic!("boom") });
+                h.join()
+            })
+            .unwrap();
+            assert!(res.is_err());
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Offline stub of the `proptest` API surface this workspace uses.
+//!
+//! Differences from upstream, by design:
+//!
+//! * cases are generated from a deterministic per-test seed (derived from
+//!   the test name and case index), so runs are reproducible without
+//!   `.proptest-regressions` persistence files (which are ignored);
+//! * there is **no shrinking** — a failing case reports its case index and
+//!   panics with the failed assertion;
+//! * only the combinators this workspace calls are provided: range and
+//!   tuple strategies, `Just`, `any`, `prop_map`, `prop_oneof!`,
+//!   `collection::vec`, `proptest!`, `prop_assert!`, `prop_assert_eq!`.
+
+#![warn(missing_docs)]
+
+/// Test-runner configuration and error types.
+pub mod test_runner {
+    /// A failed property case (carries the rendered assertion message).
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    /// Result of one property case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration. Only `cases` is honored by the stub; the
+    /// other fields keep upstream-style struct-update syntax compiling.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+        /// Unused (kept for upstream source compatibility).
+        pub max_shrink_iters: u32,
+        /// Unused (kept for upstream source compatibility).
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+                max_global_rejects: 1024,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Object-safe core (`generate`); combinators are `Sized`-gated.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase this strategy (needed by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
+        }
+    }
+
+    /// A type-erased strategy.
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T> {
+        inner: Arc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy producing one fixed (cloned) value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among equally weighted alternatives
+    /// (`prop_oneof!`'s backing strategy).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from at least one alternative.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    /// Types with a canonical full-domain strategy (see [`any`]).
+    pub trait Arbitrary: Sized {
+        /// Generate one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    use rand::RngCore;
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            use rand::RngCore;
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy over a type's full domain.
+    #[derive(Clone, Debug, Default)]
+    pub struct AnyStrategy<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`'s full domain.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use std::ops::Range;
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    /// Strategy for vectors with lengths drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector strategy: `size` many elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[doc(hidden)]
+pub mod __runtime {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// FNV-1a over the test name: stable per-test seed base.
+    pub fn name_seed(name: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// RNG for one case of one property test.
+    pub fn case_rng(name: &str, case: u32) -> StdRng {
+        StdRng::seed_from_u64(name_seed(name) ^ ((case as u64) << 32 | 0x5EED))
+    }
+}
+
+/// Define property tests: an optional `#![proptest_config(..)]` followed by
+/// `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut rng = $crate::__runtime::case_rng(stringify!($name), case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: $crate::test_runner::TestCaseResult =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name), case, cfg.cases, e.0
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among the listed strategies (equal weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Property-test assertion: fails the current case (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l != *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Property-test inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_vec_generate_in_bounds() {
+        let mut rng = crate::__runtime::case_rng("self_test", 0);
+        let s = (0i64..10, 0.0f64..1.0);
+        for _ in 0..100 {
+            let (a, b) = s.generate(&mut rng);
+            assert!((0..10).contains(&a));
+            assert!((0.0..1.0).contains(&b));
+        }
+        let v = crate::collection::vec(0u8..5, 2..4).generate(&mut rng);
+        assert!(v.len() == 2 || v.len() == 3);
+        assert!(v.iter().all(|&x| x < 5));
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let s = prop_oneof![Just(0u8), Just(1u8), (2u8..4).prop_map(|x| x)];
+        let mut rng = crate::__runtime::case_rng("oneof", 0);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "seen {seen:?}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// The proptest! macro itself round-trips args and assertions.
+        #[test]
+        fn macro_binds_arguments(
+            x in 0u32..100,
+            pair in (0i64..5, 0i64..5),
+            items in crate::collection::vec(any::<bool>(), 0..8),
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!(pair.0 < 5 && pair.1 < 5, "pair out of range: {:?}", pair);
+            prop_assert!(items.len() < 8, "vec len out of range: {}", items.len());
+            prop_assert_ne!(x as i64, 1000i64);
+        }
+    }
+}
