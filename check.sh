@@ -15,7 +15,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo build -p rheem-core --no-default-features"
+cargo build -p rheem-core --no-default-features
+
 echo "==> cargo test --workspace"
 cargo test --workspace -q
+
+echo "==> cargo test --workspace --release"
+cargo test --workspace -q --release
 
 echo "OK: all tier-1 checks passed"

@@ -50,6 +50,7 @@ fn fanout_plan(n: i64, branches: usize) -> ExecutionPlan {
         assignments,
         atoms,
         estimated_cost: 0.0,
+        estimates: vec![],
     }
 }
 

@@ -20,5 +20,6 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod calibration;
 pub mod fig2;
 pub mod fig3;

@@ -18,6 +18,7 @@ use std::time::Duration;
 use crate::error::Result;
 use crate::executor::{Executor, ExecutorConfig, JobResult, ProgressListener, ScheduleMode};
 use crate::logical::LogicalPlan;
+use crate::observe::Observability;
 use crate::optimizer::MultiPlatformOptimizer;
 use crate::plan::{ExecutionPlan, PhysicalPlan};
 use crate::platform::{
@@ -32,7 +33,8 @@ pub struct RheemContext {
     executor_config: ExecutorConfig,
     storage: Option<Arc<dyn StorageService>>,
     failure_injector: Option<Arc<FailureInjector>>,
-    listener: Option<Arc<dyn ProgressListener>>,
+    listeners: Vec<Arc<dyn ProgressListener>>,
+    observability: Option<Arc<Observability>>,
 }
 
 impl RheemContext {
@@ -97,9 +99,28 @@ impl RheemContext {
     }
 
     /// Observe job progress (per-atom start/retry/complete callbacks).
+    /// May be called repeatedly; all listeners receive all callbacks.
     pub fn with_progress_listener(mut self, listener: Arc<dyn ProgressListener>) -> Self {
-        self.listener = Some(listener);
+        self.listeners.push(listener);
         self
+    }
+
+    /// Attach an [`Observability`] hub: its metrics registry and trace
+    /// sinks receive every job this context runs, and — the calibration
+    /// feedback loop — observed per-operator runtimes and cardinalities
+    /// are folded into the optimizer's [`crate::observe::CostCalibration`]
+    /// table after each successful job, correcting cost estimates on the
+    /// next optimization pass.
+    pub fn with_observability(mut self, observe: Arc<Observability>) -> Self {
+        self.optimizer.metrics = Some(observe.metrics().clone());
+        self.optimizer.calibration = observe.calibration().clone();
+        self.observability = Some(observe);
+        self
+    }
+
+    /// The attached observability hub, if any.
+    pub fn observability(&self) -> Option<&Arc<Observability>> {
+        self.observability.as_ref()
     }
 
     /// The registered platforms.
@@ -141,10 +162,22 @@ impl RheemContext {
         let mut executor = Executor::new(self.platforms.clone())
             .with_movement(self.optimizer.movement.clone())
             .with_config(self.executor_config.clone());
-        if let Some(listener) = &self.listener {
+        for listener in &self.listeners {
             executor = executor.with_listener(listener.clone());
         }
-        executor.execute(plan, &self.execution_context())
+        if let Some(observe) = &self.observability {
+            executor = executor.with_listener(observe.clone() as Arc<dyn ProgressListener>);
+        }
+        let result = executor.execute(plan, &self.execution_context())?;
+        if self.observability.is_some() {
+            // Close the feedback loop: fold this job's observed kernel
+            // runtimes and true cardinalities into the calibration table
+            // the optimizer consults on its next pass. Only successful
+            // jobs get here, and only committed attempts carry
+            // observations, so failed attempts cannot pollute the table.
+            self.optimizer.calibration.absorb(plan, &result.stats);
+        }
+        Ok(result)
     }
 
     /// Optimize and run a physical plan.
@@ -200,6 +233,7 @@ mod tests {
                 records_processed: run.records_processed,
                 simulated_overhead_ms: 0.0,
                 simulated_elapsed_ms: 0.0,
+                node_observations: run.observations,
             })
         }
     }

@@ -18,6 +18,7 @@
 use std::collections::HashMap;
 
 use crate::error::{Result, RheemError};
+use crate::observe::CostCalibration;
 use crate::physical::PhysicalOp;
 use crate::plan::PhysicalPlan;
 
@@ -256,6 +257,24 @@ pub fn requires_shuffle(op: &PhysicalOp) -> bool {
             | PhysicalOp::NestedLoopJoin { .. }
             | PhysicalOp::CrossProduct
     )
+}
+
+/// A platform's static operator cost, corrected by the runtime-observed
+/// calibration factor for the `(operator, platform)` pair.
+///
+/// This is where the observe layer's feedback loop touches cost
+/// estimation: the factor is the EMA of observed/estimated ratios kept by
+/// [`CostCalibration`] (1.0 for never-observed pairs, i.e. a no-op until
+/// the first calibrated job ran).
+pub fn calibrated_op_cost(
+    model: &dyn PlatformCostModel,
+    op: &PhysicalOp,
+    input_cards: &[f64],
+    output_card: f64,
+    platform_name: &str,
+    calibration: &CostCalibration,
+) -> f64 {
+    model.op_cost(op, input_cards, output_card) * calibration.cost_factor(&op.name(), platform_name)
 }
 
 impl PlatformCostModel for LinearCostModel {
@@ -520,6 +539,21 @@ mod tests {
         assert!(requires_shuffle(&wide));
         assert!(!requires_shuffle(&narrow));
         assert!(m.op_cost(&wide, &[100.0], 10.0) > m.op_cost(&narrow, &[100.0], 100.0));
+    }
+
+    #[test]
+    fn calibrated_cost_applies_observed_factor() {
+        let m = LinearCostModel::single_threaded(1.0);
+        let op = PhysicalOp::Map(MapUdf::new("id", |r| r.clone()));
+        let cal = CostCalibration::new();
+        let base = calibrated_op_cost(&m, &op, &[100.0], 100.0, "java", &cal);
+        assert_eq!(base, m.op_cost(&op, &[100.0], 100.0));
+        cal.observe(&op.name(), "java", 1.0, 3.0, 1.0, 1.0);
+        let scaled = calibrated_op_cost(&m, &op, &[100.0], 100.0, "java", &cal);
+        assert!((scaled / base - 3.0).abs() < 1e-9);
+        // Other platforms are unaffected.
+        let other = calibrated_op_cost(&m, &op, &[100.0], 100.0, "spark", &cal);
+        assert_eq!(other, base);
     }
 
     #[test]

@@ -105,6 +105,9 @@ pub struct AtomStats {
     pub simulated_elapsed_ms: f64,
     /// Simulated cost of moving the atom's inputs across platforms.
     pub movement_cost_ms: f64,
+    /// Per-operator-kernel observations reported by the platform for the
+    /// successful attempt (empty when the platform does not report them).
+    pub node_observations: Vec<crate::observe::NodeObservation>,
 }
 
 /// Job-level monitoring summary.
@@ -244,7 +247,7 @@ pub struct Executor {
     platforms: PlatformRegistry,
     movement: MovementCostModel,
     config: ExecutorConfig,
-    listener: Option<std::sync::Arc<dyn ProgressListener>>,
+    listeners: Vec<std::sync::Arc<dyn ProgressListener>>,
 }
 
 impl Executor {
@@ -254,13 +257,14 @@ impl Executor {
             platforms,
             movement: MovementCostModel::default(),
             config: ExecutorConfig::default(),
-            listener: None,
+            listeners: Vec::new(),
         }
     }
 
-    /// Attach a progress listener.
+    /// Attach a progress listener. May be called repeatedly; every
+    /// listener receives every callback, in attachment order.
     pub fn with_listener(mut self, listener: std::sync::Arc<dyn ProgressListener>) -> Self {
-        self.listener = Some(listener);
+        self.listeners.push(listener);
         self
     }
 
@@ -317,7 +321,7 @@ impl Executor {
         }
 
         stats.total_wall = started.elapsed();
-        if let Some(l) = &self.listener {
+        for l in &self.listeners {
             l.on_job_complete(&stats);
         }
         let store = node_outputs.lock();
@@ -450,7 +454,7 @@ impl Executor {
             }
         }
 
-        if let Some(l) = &self.listener {
+        for l in &self.listeners {
             l.on_atom_start(atom.id, &atom.platform);
         }
 
@@ -477,7 +481,7 @@ impl Executor {
             match outcome {
                 Ok(r) => break r,
                 Err(e) if attempts <= self.config.max_retries => {
-                    if let Some(l) = &self.listener {
+                    for l in &self.listeners {
                         l.on_atom_retry(atom.id, attempts, &e);
                     }
                 }
@@ -496,8 +500,9 @@ impl Executor {
             simulated_overhead_ms: result.simulated_overhead_ms,
             simulated_elapsed_ms: result.simulated_elapsed_ms,
             movement_cost_ms,
+            node_observations: result.node_observations,
         };
-        if let Some(l) = &self.listener {
+        for l in &self.listeners {
             l.on_atom_complete(&stats);
         }
         Ok(AtomRun {

@@ -23,6 +23,11 @@ pub struct FragmentRun {
     pub outputs: HashMap<NodeId, Dataset>,
     /// Total records produced across all executed operators.
     pub records_processed: u64,
+    /// Per-node kernel observations (timing + true output cardinality),
+    /// for the fragment's top-level nodes only: loop-body iterations fold
+    /// into their `Loop` node's observation, because body node ids belong
+    /// to a different plan and would collide with the outer plan's ids.
+    pub observations: Vec<crate::observe::NodeObservation>,
 }
 
 /// Interpret the given `nodes` of `plan` in order.
@@ -54,7 +59,17 @@ pub fn run_fragment(
             };
             inputs.push(ds);
         }
+        // Two clock reads per operator, outside any kernel hot loop.
+        let kernel_started = std::time::Instant::now();
         let out = execute_op(&node.op, &inputs, ctx, loop_state)?;
+        if loop_state.is_none() {
+            run.observations.push(crate::observe::NodeObservation {
+                node: id,
+                op: node.op.name(),
+                records_out: out.len() as u64,
+                elapsed_ms: kernel_started.elapsed().as_secs_f64() * 1e3,
+            });
+        }
         run.records_processed += out.len() as u64;
         run.outputs.insert(id, out);
     }

@@ -32,6 +32,7 @@ pub mod interpreter;
 pub mod kernels;
 pub mod logical;
 pub mod mapping;
+pub mod observe;
 pub mod optimizer;
 pub mod physical;
 pub mod plan;
@@ -48,9 +49,15 @@ pub use executor::{
     AtomStats, ExecutionStats, Executor, ExecutorConfig, JobResult, ProgressListener, ScheduleMode,
 };
 pub use logical::{LogicalOperator, LogicalPayload, LogicalPlan, LogicalPlanBuilder};
+#[cfg(feature = "observe-json")]
+pub use observe::JsonLinesSink;
+pub use observe::{
+    canonical_tree, CostCalibration, MetricsRegistry, NodeObservation, Observability,
+    RingBufferSink, SpanKind, SpanRecord, TraceSink,
+};
 pub use optimizer::MultiPlatformOptimizer;
 pub use physical::{CustomPhysicalOp, OpKind, PhysicalOp};
-pub use plan::{ExecutionPlan, NodeId, PhysicalPlan, PlanBuilder, TaskAtom};
+pub use plan::{ExecutionPlan, NodeEstimate, NodeId, PhysicalPlan, PlanBuilder, TaskAtom};
 pub use platform::{
     AtomInputs, AtomResult, ExecutionContext, FailureInjector, Platform, PlatformRegistry,
     ProcessingProfile, StorageService,

@@ -1,0 +1,283 @@
+//! Cost-model calibration: fold observed runtimes and cardinalities back
+//! into the optimizer's estimates.
+//!
+//! The optimizer's cost models are static guesses; after a job runs we
+//! know, per operator and platform, how long the kernel actually took and
+//! how many records it actually produced. [`CostCalibration`] keeps an
+//! exponential moving average of the *ratio* observed/estimated per
+//! `(operator, platform)` pair. `cost.rs` multiplies its static estimate
+//! by that factor on the next optimization pass, so a platform whose cost
+//! model flattered it loses work to its honest competitors.
+//!
+//! The EMA decay constant is [`DEFAULT_ALPHA`] = 0.5: the newest job
+//! contributes half of the factor, the entire history the other half. The
+//! first sample seeds the factor directly (no pull toward the prior 1.0),
+//! so a single calibrated run is enough to correct a grossly wrong model —
+//! the property the `ablation_calibration` bench demonstrates.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::executor::ExecutionStats;
+use crate::plan::ExecutionPlan;
+
+/// Default EMA decay constant: weight of the newest observation.
+pub const DEFAULT_ALPHA: f64 = 0.5;
+
+/// Ratios are clamped to this range before entering the EMA so a single
+/// absurd measurement (clock glitch, near-zero estimate) cannot poison the
+/// table beyond recovery.
+pub const RATIO_CLAMP: (f64, f64) = (1e-4, 1e4);
+
+/// Calibration state for one `(operator, platform)` pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CalibrationEntry {
+    /// EMA of observed/estimated cost (multiplies the static cost model).
+    pub cost_factor: f64,
+    /// EMA of observed/estimated output cardinality.
+    pub card_factor: f64,
+    /// Number of successful observations folded in.
+    pub samples: u64,
+}
+
+impl Default for CalibrationEntry {
+    fn default() -> Self {
+        Self {
+            cost_factor: 1.0,
+            card_factor: 1.0,
+            samples: 0,
+        }
+    }
+}
+
+/// EMA table of observed/estimated ratios per `(operator, platform)`.
+///
+/// Interior mutability (a `Mutex` around the map) lets the optimizer hold
+/// the table in an `Arc` and fold observations in from `&self` contexts;
+/// the table is only touched once per job plus once per candidate during
+/// enumeration, never inside kernel hot loops.
+#[derive(Debug)]
+pub struct CostCalibration {
+    alpha: f64,
+    entries: Mutex<HashMap<(String, String), CalibrationEntry>>,
+}
+
+impl Default for CostCalibration {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CostCalibration {
+    /// Create an empty table with [`DEFAULT_ALPHA`].
+    pub fn new() -> Self {
+        Self::with_alpha(DEFAULT_ALPHA)
+    }
+
+    /// Create an empty table with a custom decay constant in `(0, 1]`.
+    pub fn with_alpha(alpha: f64) -> Self {
+        Self {
+            alpha: alpha.clamp(f64::EPSILON, 1.0),
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configured EMA decay constant.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Fold one successful observation into the table.
+    ///
+    /// Non-finite or non-positive estimates/observations are discarded:
+    /// a ratio cannot be formed from them, and failed attempts (which are
+    /// the usual source of garbage) must not pollute the table.
+    pub fn observe(
+        &self,
+        op: &str,
+        platform: &str,
+        estimated_cost_ms: f64,
+        observed_cost_ms: f64,
+        estimated_card: f64,
+        observed_card: f64,
+    ) {
+        let cost_ratio = safe_ratio(observed_cost_ms, estimated_cost_ms);
+        let card_ratio = safe_ratio(observed_card, estimated_card);
+        if cost_ratio.is_none() && card_ratio.is_none() {
+            return;
+        }
+        let mut entries = self.entries.lock();
+        let entry = entries
+            .entry((op.to_string(), platform.to_string()))
+            .or_default();
+        let first = entry.samples == 0;
+        if let Some(r) = cost_ratio {
+            entry.cost_factor = if first {
+                r
+            } else {
+                self.alpha * r + (1.0 - self.alpha) * entry.cost_factor
+            };
+        }
+        if let Some(r) = card_ratio {
+            entry.card_factor = if first {
+                r
+            } else {
+                self.alpha * r + (1.0 - self.alpha) * entry.card_factor
+            };
+        }
+        entry.samples = entry.samples.saturating_add(1);
+    }
+
+    /// Multiplier for the static cost of `op` on `platform` (1.0 when the
+    /// pair was never observed).
+    pub fn cost_factor(&self, op: &str, platform: &str) -> f64 {
+        self.entries
+            .lock()
+            .get(&(op.to_string(), platform.to_string()))
+            .map_or(1.0, |e| e.cost_factor)
+    }
+
+    /// Multiplier for the estimated output cardinality of `op` on
+    /// `platform` (1.0 when never observed).
+    pub fn card_factor(&self, op: &str, platform: &str) -> f64 {
+        self.entries
+            .lock()
+            .get(&(op.to_string(), platform.to_string()))
+            .map_or(1.0, |e| e.card_factor)
+    }
+
+    /// Full entry for a pair, if any observation was folded in.
+    pub fn entry(&self, op: &str, platform: &str) -> Option<CalibrationEntry> {
+        self.entries
+            .lock()
+            .get(&(op.to_string(), platform.to_string()))
+            .copied()
+    }
+
+    /// Number of `(operator, platform)` pairs observed so far.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when no observation has been folded in yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Total samples folded in across all pairs.
+    pub fn total_samples(&self) -> u64 {
+        self.entries.lock().values().map(|e| e.samples).sum()
+    }
+
+    /// Drop all calibration state.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+
+    /// Sorted copy of the table for reporting.
+    pub fn snapshot(&self) -> Vec<((String, String), CalibrationEntry)> {
+        let mut rows: Vec<_> = self
+            .entries
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// Fold every per-kernel observation of a finished job into the table.
+    ///
+    /// Requires the plan to carry optimizer estimates (plans hand-built in
+    /// tests have none — those are skipped). Only observations attached to
+    /// committed atom stats reach this point: a failed attempt's outputs
+    /// are discarded by the executor's retry loop, so failures can never
+    /// pollute the table.
+    pub fn absorb(&self, plan: &ExecutionPlan, stats: &ExecutionStats) {
+        if plan.estimates.len() != plan.physical.len() {
+            return;
+        }
+        for atom in &stats.atoms {
+            for obs in &atom.node_observations {
+                let Some(est) = plan.estimates.get(obs.node.0) else {
+                    continue;
+                };
+                let Some(platform) = plan.assignments.get(obs.node.0) else {
+                    continue;
+                };
+                self.observe(
+                    &obs.op,
+                    platform,
+                    est.cost_ms,
+                    obs.elapsed_ms,
+                    est.card,
+                    obs.records_out as f64,
+                );
+            }
+        }
+    }
+
+    /// Render the table as deterministic `op@platform` rows.
+    pub fn render(&self) -> String {
+        let mut out = String::from("calibration (EMA of observed/estimated):\n");
+        for ((op, platform), e) in self.snapshot() {
+            out.push_str(&format!(
+                "  {op} @{platform}: cost x{:.3}, card x{:.3} ({} samples)\n",
+                e.cost_factor, e.card_factor, e.samples
+            ));
+        }
+        out
+    }
+}
+
+/// `observed / estimated`, clamped, or `None` when either side is unusable.
+fn safe_ratio(observed: f64, estimated: f64) -> Option<f64> {
+    if !observed.is_finite() || !estimated.is_finite() || observed <= 0.0 || estimated <= 0.0 {
+        return None;
+    }
+    Some((observed / estimated).clamp(RATIO_CLAMP.0, RATIO_CLAMP.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_seeds_then_ema_decays() {
+        let cal = CostCalibration::with_alpha(0.5);
+        assert_eq!(cal.cost_factor("Map(f)", "java"), 1.0);
+        cal.observe("Map(f)", "java", 10.0, 40.0, 100.0, 100.0);
+        // First sample seeds directly: 40/10 = 4.
+        assert!((cal.cost_factor("Map(f)", "java") - 4.0).abs() < 1e-9);
+        cal.observe("Map(f)", "java", 10.0, 20.0, 100.0, 100.0);
+        // EMA: 0.5*2 + 0.5*4 = 3.
+        assert!((cal.cost_factor("Map(f)", "java") - 3.0).abs() < 1e-9);
+        assert_eq!(cal.entry("Map(f)", "java").unwrap().samples, 2);
+        assert_eq!(cal.len(), 1);
+    }
+
+    #[test]
+    fn garbage_observations_are_discarded() {
+        let cal = CostCalibration::new();
+        cal.observe("Map(f)", "java", 0.0, 5.0, 0.0, 5.0);
+        cal.observe("Map(f)", "java", f64::NAN, 5.0, -1.0, 5.0);
+        cal.observe("Map(f)", "java", 10.0, f64::INFINITY, 10.0, -3.0);
+        assert!(cal.is_empty());
+        // A usable cost ratio with garbage cardinality still lands, but
+        // leaves the cardinality factor untouched.
+        cal.observe("Map(f)", "java", 10.0, 30.0, f64::NAN, 5.0);
+        let e = cal.entry("Map(f)", "java").unwrap();
+        assert!((e.cost_factor - 3.0).abs() < 1e-9);
+        assert!((e.card_factor - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratios_are_clamped() {
+        let cal = CostCalibration::new();
+        cal.observe("Map(f)", "java", 1e-12, 1e12, 1.0, 1.0);
+        assert!((cal.cost_factor("Map(f)", "java") - RATIO_CLAMP.1).abs() < 1e-9);
+        cal.observe("Filter(g)", "java", 1e12, 1e-12, 1.0, 1.0);
+        assert!((cal.cost_factor("Filter(g)", "java") - RATIO_CLAMP.0).abs() < 1e-12);
+    }
+}

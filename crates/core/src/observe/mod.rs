@@ -1,0 +1,348 @@
+//! Observability: metrics, execution traces, and cost-model calibration.
+//!
+//! Three cooperating pieces (see `DESIGN.md` §8):
+//!
+//! - [`metrics`] — a lock-cheap [`MetricsRegistry`] of counters, gauges,
+//!   and fixed-bound histograms. The executor, optimizer, and the storage
+//!   hot buffer all report into one registry; hot paths only touch atomics.
+//! - [`trace`] — structured spans (job → wave → atom → operator kernel)
+//!   emitted through pluggable [`TraceSink`]s: an in-memory
+//!   [`RingBufferSink`] and (behind the default `observe-json` feature) a
+//!   [`JsonLinesSink`].
+//! - [`calibrate`] — a [`CostCalibration`] table folding observed kernel
+//!   runtimes and true cardinalities back into the optimizer's estimates
+//!   as an EMA per `(operator, platform)` pair.
+//!
+//! [`Observability`] ties them together: it implements the executor's
+//! [`ProgressListener`], so attaching one to a [`crate::RheemContext`]
+//! (via `with_observability`) instruments every job the context runs and
+//! enables the calibration feedback loop.
+
+pub mod calibrate;
+pub mod metrics;
+pub mod trace;
+
+pub use calibrate::{CalibrationEntry, CostCalibration, DEFAULT_ALPHA};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+#[cfg(feature = "observe-json")]
+pub use trace::JsonLinesSink;
+pub use trace::{canonical_tree, RingBufferSink, SpanKind, SpanRecord, TraceSink};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::RheemError;
+use crate::executor::{AtomStats, ExecutionStats, ProgressListener};
+use crate::plan::NodeId;
+
+/// What one operator kernel actually did inside a committed atom.
+///
+/// Platforms attach these to their `AtomResult`; the executor copies them
+/// onto the committed `AtomStats`, from where they feed kernel trace spans
+/// and the calibration table. Failed attempts are discarded wholesale by
+/// the retry loop, so their observations never escape.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeObservation {
+    /// The physical plan node the kernel executed.
+    pub node: NodeId,
+    /// Display name of the operator (e.g. `Map(tokenize)`).
+    pub op: String,
+    /// Records the kernel actually produced.
+    pub records_out: u64,
+    /// Observed kernel runtime in (possibly simulated) milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// Upper bounds (microseconds) for the per-atom runtime histogram.
+const ATOM_US_BOUNDS: [u64; 7] = [
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+];
+
+/// Pre-resolved metric handles so listener callbacks never touch the
+/// registry's name table.
+struct ExecutorMetrics {
+    atoms_completed: Arc<Counter>,
+    atom_retries: Arc<Counter>,
+    atom_failures: Arc<Counter>,
+    records_in: Arc<Counter>,
+    records_out: Arc<Counter>,
+    movement_us: Arc<Counter>,
+    jobs_completed: Arc<Counter>,
+    atom_simulated_us: Arc<Histogram>,
+}
+
+impl ExecutorMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        Self {
+            atoms_completed: registry.counter("executor.atoms_completed"),
+            atom_retries: registry.counter("executor.atom_retries"),
+            atom_failures: registry.counter("executor.atom_failures"),
+            records_in: registry.counter("executor.records_in"),
+            records_out: registry.counter("executor.records_out"),
+            movement_us: registry.counter("executor.movement_us"),
+            jobs_completed: registry.counter("executor.jobs_completed"),
+            atom_simulated_us: registry.histogram("executor.atom_simulated_us", &ATOM_US_BOUNDS),
+        }
+    }
+}
+
+/// Per-job trace bookkeeping: span ids are allocated lazily as atoms
+/// complete, and the job/wave spans themselves are emitted at job end.
+#[derive(Default)]
+struct JobTrace {
+    job_span: Option<u64>,
+    /// wave index → wave span id.
+    waves: BTreeMap<usize, u64>,
+    jobs_done: u64,
+}
+
+/// The observability hub: one metrics registry, any number of trace
+/// sinks, and a calibration table, driven by executor listener callbacks.
+///
+/// Thread-safety: parallel atoms complete on worker threads; span ids and
+/// the wave table are guarded by a mutex taken once per atom, and every
+/// metric update is a single atomic operation. Span *records* are emitted
+/// outside the bookkeeping lock, so sinks may block without stalling
+/// other atoms' bookkeeping.
+pub struct Observability {
+    registry: Arc<MetricsRegistry>,
+    calibration: Arc<CostCalibration>,
+    sinks: Vec<Arc<dyn TraceSink>>,
+    exec: ExecutorMetrics,
+    next_span: AtomicU64,
+    job: Mutex<JobTrace>,
+}
+
+impl Default for Observability {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Observability {
+    /// Create a hub with a fresh registry and calibration table and no
+    /// trace sinks.
+    pub fn new() -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        let exec = ExecutorMetrics::new(&registry);
+        Self {
+            registry,
+            calibration: Arc::new(CostCalibration::new()),
+            sinks: Vec::new(),
+            exec,
+            next_span: AtomicU64::new(0),
+            job: Mutex::new(JobTrace::default()),
+        }
+    }
+
+    /// Attach a trace sink (builder style).
+    pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The calibration table fed by this hub's jobs.
+    pub fn calibration(&self) -> &Arc<CostCalibration> {
+        &self.calibration
+    }
+
+    fn alloc_span(&self) -> u64 {
+        self.next_span.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn emit(&self, span: SpanRecord) {
+        for sink in &self.sinks {
+            sink.record(&span);
+        }
+    }
+}
+
+impl ProgressListener for Observability {
+    fn on_atom_retry(&self, _atom_id: usize, _attempt: usize, _error: &RheemError) {
+        // Each retry callback corresponds to exactly one failed attempt,
+        // so both metrics advance by `attempts - 1` per atom.
+        self.exec.atom_retries.inc();
+        self.exec.atom_failures.inc();
+    }
+
+    fn on_atom_complete(&self, stats: &AtomStats) {
+        self.exec.atoms_completed.inc();
+        self.exec.records_in.add(stats.records_in);
+        self.exec.records_out.add(stats.records_out);
+        // Movement cost is simulated (deterministic), so it is safe to
+        // keep as a counter compared across schedule modes.
+        self.exec
+            .movement_us
+            .add((stats.movement_cost_ms * 1_000.0).max(0.0) as u64);
+        self.exec
+            .atom_simulated_us
+            .record((stats.simulated_elapsed_ms * 1_000.0).max(0.0) as u64);
+
+        if self.sinks.is_empty() {
+            return;
+        }
+        let (wave_id, atom_id) = {
+            let mut job = self.job.lock();
+            if job.job_span.is_none() {
+                job.job_span = Some(self.alloc_span());
+            }
+            // Wave spans are emitted at job end; only the id is needed
+            // now so atom spans can point at their wave.
+            let wave_id = *job
+                .waves
+                .entry(stats.wave)
+                .or_insert_with(|| self.alloc_span());
+            (wave_id, self.alloc_span())
+        };
+        self.emit(SpanRecord {
+            id: atom_id,
+            parent: Some(wave_id),
+            kind: SpanKind::Atom,
+            label: format!("atom-{}", stats.atom_id),
+            platform: stats.platform.clone(),
+            elapsed_ms: stats.simulated_elapsed_ms,
+            records_out: stats.records_out,
+        });
+        for obs in &stats.node_observations {
+            self.emit(SpanRecord {
+                id: self.alloc_span(),
+                parent: Some(atom_id),
+                kind: SpanKind::Kernel,
+                label: format!("n{} {}", obs.node.0, obs.op),
+                platform: stats.platform.clone(),
+                elapsed_ms: obs.elapsed_ms,
+                records_out: obs.records_out,
+            });
+        }
+    }
+
+    fn on_job_complete(&self, stats: &ExecutionStats) {
+        self.exec.jobs_completed.inc();
+        if self.sinks.is_empty() {
+            return;
+        }
+        let (job_id, waves, job_index) = {
+            let mut job = self.job.lock();
+            let id = job.job_span.take().unwrap_or_else(|| self.alloc_span());
+            let waves = std::mem::take(&mut job.waves);
+            let index = job.jobs_done;
+            job.jobs_done += 1;
+            (id, waves, index)
+        };
+        for (wave_index, wave_id) in waves {
+            self.emit(SpanRecord {
+                id: wave_id,
+                parent: Some(job_id),
+                kind: SpanKind::Wave,
+                label: format!("wave-{wave_index}"),
+                platform: String::new(),
+                elapsed_ms: 0.0,
+                records_out: 0,
+            });
+        }
+        self.emit(SpanRecord {
+            id: job_id,
+            parent: None,
+            kind: SpanKind::Job,
+            label: format!("job-{job_index}"),
+            platform: String::new(),
+            elapsed_ms: stats.total_wall.as_secs_f64() * 1e3,
+            records_out: stats.atoms.iter().map(|a| a.records_out).sum(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn atom_stats(atom_id: usize, wave: usize) -> AtomStats {
+        AtomStats {
+            atom_id,
+            platform: "java".into(),
+            wave,
+            attempts: 1,
+            wall: Duration::from_millis(1),
+            records_in: 10,
+            records_out: 20,
+            simulated_overhead_ms: 0.0,
+            simulated_elapsed_ms: 2.5,
+            movement_cost_ms: 1.5,
+            node_observations: vec![NodeObservation {
+                node: NodeId(atom_id),
+                op: "Map(f)".into(),
+                records_out: 20,
+                elapsed_ms: 2.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn listener_updates_metrics_and_emits_span_tree() {
+        let sink = Arc::new(RingBufferSink::new(64));
+        let obs = Observability::new().with_sink(sink.clone());
+        obs.on_atom_start(0, "java");
+        let boom = RheemError::Execution {
+            platform: "java".into(),
+            message: "boom".into(),
+        };
+        obs.on_atom_retry(0, 1, &boom);
+        obs.on_atom_complete(&atom_stats(0, 0));
+        obs.on_atom_complete(&atom_stats(1, 1));
+        let mut stats = ExecutionStats::default();
+        stats.atoms.push(atom_stats(0, 0));
+        stats.atoms.push(atom_stats(1, 1));
+        obs.on_job_complete(&stats);
+
+        let m = obs.metrics();
+        assert_eq!(m.counter_value("executor.atoms_completed"), 2);
+        assert_eq!(m.counter_value("executor.atom_retries"), 1);
+        assert_eq!(m.counter_value("executor.atom_failures"), 1);
+        assert_eq!(m.counter_value("executor.records_in"), 20);
+        assert_eq!(m.counter_value("executor.records_out"), 40);
+        assert_eq!(m.counter_value("executor.movement_us"), 3000);
+        assert_eq!(m.counter_value("executor.jobs_completed"), 1);
+
+        let spans = sink.snapshot();
+        // 2 atoms + 2 kernels + 2 waves + 1 job.
+        assert_eq!(spans.len(), 7);
+        let tree = canonical_tree(&spans);
+        assert!(tree.starts_with("job job-0"));
+        assert!(tree.contains("  atom atom-0 [java]"));
+        assert!(tree.contains("    kernel n0 Map(f) [java]"));
+        assert!(!tree.contains("wave"));
+    }
+
+    #[test]
+    fn job_state_resets_between_jobs() {
+        let sink = Arc::new(RingBufferSink::new(64));
+        let obs = Observability::new().with_sink(sink.clone());
+        for _ in 0..2 {
+            obs.on_atom_complete(&atom_stats(0, 0));
+            let mut stats = ExecutionStats::default();
+            stats.atoms.push(atom_stats(0, 0));
+            obs.on_job_complete(&stats);
+        }
+        let spans = sink.snapshot();
+        let jobs: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Job).collect();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].label, "job-0");
+        assert_eq!(jobs[1].label, "job-1");
+        assert_eq!(obs.metrics().counter_value("executor.jobs_completed"), 2);
+    }
+}

@@ -20,10 +20,11 @@
 
 use std::collections::HashSet;
 
-use crate::cost::{CardinalityEstimator, MovementCostModel};
+use crate::cost::{calibrated_op_cost, CardinalityEstimator, MovementCostModel};
 use crate::error::{Result, RheemError};
+use crate::observe::CostCalibration;
 use crate::physical::PhysicalOp;
-use crate::plan::{AtomInput, ExecutionPlan, NodeId, PhysicalPlan, TaskAtom};
+use crate::plan::{AtomInput, ExecutionPlan, NodeEstimate, NodeId, PhysicalPlan, TaskAtom};
 use crate::platform::PlatformRegistry;
 use std::sync::Arc;
 
@@ -49,12 +50,17 @@ impl Default for EnumerationConfig {
 }
 
 /// Assign platforms to every node and split the plan into task atoms.
+///
+/// `calibration` scales each platform's static operator cost by the EMA of
+/// previously observed/estimated ratios (1.0 when nothing was observed),
+/// closing the feedback loop described in `observe::calibrate`.
 pub fn enumerate(
     plan: Arc<PhysicalPlan>,
     registry: &PlatformRegistry,
     estimator: &CardinalityEstimator,
     movement: &MovementCostModel,
     config: &EnumerationConfig,
+    calibration: &CostCalibration,
 ) -> Result<ExecutionPlan> {
     if registry.is_empty() {
         return Err(RheemError::Optimizer("no platforms registered".into()));
@@ -88,7 +94,14 @@ pub fn enumerate(
                 continue;
             }
             let model = platform.cost_model();
-            let mut cost = node_cost(&node.op, &ins, out, platform.as_ref(), estimator)?;
+            let mut cost = node_cost(
+                &node.op,
+                &ins,
+                out,
+                platform.as_ref(),
+                estimator,
+                calibration,
+            )?;
             // Approximate the per-atom startup: a source node or an incoming
             // platform switch opens a (new) atom on this platform.
             if node.inputs.is_empty() {
@@ -162,22 +175,51 @@ pub fn enumerate(
         })
         .collect();
 
+    // Record the per-node predictions (cost on the assigned platform and
+    // cardinality) so the observability layer can compare them against
+    // reality after the run.
+    let mut estimates = Vec::with_capacity(n_nodes);
+    for node in plan.nodes() {
+        let ins: Vec<f64> = node.inputs.iter().map(|i| cards[i.0]).collect();
+        let assigned = &assignments[node.id.0];
+        let platform = platforms
+            .iter()
+            .find(|p| p.name() == assigned.as_str())
+            .expect("assignment names a considered platform");
+        let cost_ms = node_cost(
+            &node.op,
+            &ins,
+            cards[node.id.0],
+            platform.as_ref(),
+            estimator,
+            calibration,
+        )?;
+        estimates.push(NodeEstimate {
+            cost_ms,
+            card: cards[node.id.0],
+        });
+    }
+
     let atoms = split_into_atoms(&plan, &assignments);
     Ok(ExecutionPlan {
         physical: plan,
         assignments,
         atoms,
         estimated_cost: total_cost,
+        estimates,
     })
 }
 
 /// Cost of one operator on one platform; loops recurse into the body.
+/// Static model costs are scaled by the calibration factor learned for
+/// the `(operator, platform)` pair.
 fn node_cost(
     op: &PhysicalOp,
     ins: &[f64],
     out: f64,
     platform: &dyn crate::platform::Platform,
     estimator: &CardinalityEstimator,
+    calibration: &CostCalibration,
 ) -> Result<f64> {
     let model = platform.cost_model();
     match op {
@@ -191,15 +233,33 @@ fn node_cost(
             let mut body_cost = 0.0;
             for bn in body.nodes() {
                 let bins: Vec<f64> = bn.inputs.iter().map(|i| body_cards[i.0]).collect();
-                body_cost += node_cost(&bn.op, &bins, body_cards[bn.id.0], platform, estimator)?;
+                body_cost += node_cost(
+                    &bn.op,
+                    &bins,
+                    body_cards[bn.id.0],
+                    platform,
+                    estimator,
+                    calibration,
+                )?;
             }
             // Each iteration re-dispatches the body: platforms with high
             // scheduling overhead pay it per iteration. This is precisely
             // the mechanism behind Figure 2's "gap gets bigger with the
             // number of iterations".
-            Ok(*expected_iterations * (body_cost + model.atom_startup_cost() * 0.1))
+            let per_iter = body_cost + model.atom_startup_cost() * 0.1;
+            let raw = *expected_iterations * per_iter;
+            // The Loop node itself is also a calibratable kernel: its
+            // observation covers all iterations.
+            Ok(raw * calibration.cost_factor(&op.name(), platform.name()))
         }
-        _ => Ok(model.op_cost(op, ins, out)),
+        _ => Ok(calibrated_op_cost(
+            model.as_ref(),
+            op,
+            ins,
+            out,
+            platform.name(),
+            calibration,
+        )),
     }
 }
 

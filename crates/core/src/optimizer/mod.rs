@@ -20,6 +20,7 @@ use crate::cost::{CardinalityEstimator, MovementCostModel};
 use crate::error::Result;
 use crate::logical::LogicalPlan;
 use crate::mapping::MappingRegistry;
+use crate::observe::{CostCalibration, MetricsRegistry};
 use crate::plan::{ExecutionPlan, PhysicalPlan};
 use crate::platform::PlatformRegistry;
 
@@ -36,6 +37,13 @@ pub struct MultiPlatformOptimizer {
     pub mappings: MappingRegistry,
     /// Enumeration knobs.
     pub config: OptimizerConfig,
+    /// Runtime feedback: EMA correction factors per (operator, platform),
+    /// consulted on every enumeration pass and fed by
+    /// [`crate::RheemContext`] after each observed job. Shared via `Arc`
+    /// so cloning the optimizer keeps one table.
+    pub calibration: Arc<CostCalibration>,
+    /// Optional metrics registry the optimizer reports into.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 /// Configuration of the whole optimization pipeline.
@@ -92,13 +100,24 @@ impl MultiPlatformOptimizer {
         } else {
             plan
         };
-        enumerate::enumerate(
+        let result = enumerate::enumerate(
             Arc::new(plan),
             platforms,
             &self.estimator,
             &self.movement,
             &self.config.enumeration,
-        )
+            &self.calibration,
+        );
+        if let (Some(metrics), Ok(exec)) = (&self.metrics, &result) {
+            metrics.counter("optimizer.runs").inc();
+            metrics
+                .counter("optimizer.nodes_assigned")
+                .add(exec.assignments.len() as u64);
+            metrics
+                .gauge("optimizer.calibration_pairs")
+                .set(self.calibration.len() as u64);
+        }
+        result
     }
 
     /// Lower a logical plan and optimize it in one step.

@@ -477,6 +477,17 @@ pub struct TaskAtom {
     pub outputs: Vec<NodeId>,
 }
 
+/// The optimizer's per-node prediction, kept on the execution plan so the
+/// observability layer can compare it against what actually happened.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NodeEstimate {
+    /// Estimated cost of the node on its assigned platform, in abstract
+    /// milliseconds (after calibration factors were applied).
+    pub cost_ms: f64,
+    /// Estimated output cardinality.
+    pub card: f64,
+}
+
 /// The optimizer's final product: a platform-annotated, atom-partitioned plan.
 #[derive(Clone, Debug)]
 pub struct ExecutionPlan {
@@ -489,6 +500,10 @@ pub struct ExecutionPlan {
     /// Estimated total cost (platform costs + movement costs), in abstract
     /// milliseconds; what the optimizer minimized.
     pub estimated_cost: f64,
+    /// Per-node estimates (indexed by node id). Optimizer-produced plans
+    /// always fill this; hand-built plans may leave it empty, in which
+    /// case observed-vs-estimated reporting and calibration are skipped.
+    pub estimates: Vec<NodeEstimate>,
 }
 
 impl ExecutionPlan {
@@ -598,6 +613,70 @@ impl ExecutionPlan {
             self.atoms.len(),
             self.platform_switches(),
             self.estimated_cost
+        ));
+        s
+    }
+
+    /// The `--observed` companion of [`ExecutionPlan::explain`]: compares,
+    /// per atom, the optimizer's estimated cost and output cardinality
+    /// against what the job actually measured, with error ratios
+    /// (observed/estimated; `x1.000` means the estimate was exact).
+    ///
+    /// Requires the plan to carry optimizer [`NodeEstimate`]s; hand-built
+    /// plans without them get an explanatory note instead of a table.
+    pub fn explain_observed(&self, stats: &crate::executor::ExecutionStats) -> String {
+        if self.estimates.len() != self.physical.len() {
+            return "no optimizer estimates attached to this plan; \
+                    run it through the optimizer to compare estimated vs observed\n"
+                .to_string();
+        }
+        let by_id: HashMap<usize, &crate::executor::AtomStats> =
+            stats.atoms.iter().map(|a| (a.atom_id, a)).collect();
+        let ratio = |observed: f64, estimated: f64| -> String {
+            if estimated > 0.0 && observed.is_finite() {
+                format!("x{:.3}", observed / estimated)
+            } else {
+                "-".into()
+            }
+        };
+        let mut s = String::from(
+            "atom  platform     est_ms      obs_ms      ms_ratio  est_out    obs_out    card_ratio\n",
+        );
+        let mut total_est = 0.0;
+        let mut total_obs = 0.0;
+        for atom in &self.atoms {
+            let est_ms: f64 = atom.nodes.iter().map(|n| self.estimates[n.0].cost_ms).sum();
+            let est_out: f64 = atom.nodes.iter().map(|n| self.estimates[n.0].card).sum();
+            let (obs_ms, obs_out) = match by_id.get(&atom.id) {
+                Some(a) => (a.simulated_elapsed_ms, a.records_out as f64),
+                None => {
+                    s.push_str(&format!(
+                        "{:<4}  {:<11}  {:>10.3}  (not executed)\n",
+                        atom.id, atom.platform, est_ms
+                    ));
+                    continue;
+                }
+            };
+            total_est += est_ms;
+            total_obs += obs_ms;
+            s.push_str(&format!(
+                "{:<4}  {:<11}  {:>10.3}  {:>10.3}  {:>8}  {:>9.0}  {:>9.0}  {:>10}\n",
+                atom.id,
+                atom.platform,
+                est_ms,
+                obs_ms,
+                ratio(obs_ms, est_ms),
+                est_out,
+                obs_out,
+                ratio(obs_out, est_out),
+            ));
+        }
+        s.push_str(&format!(
+            "total: {:.3} estimated ms vs {:.3} observed ms ({}), {:.3} ms movement observed\n",
+            total_est,
+            total_obs,
+            ratio(total_obs, total_est),
+            stats.total_movement_ms,
         ));
         s
     }
@@ -755,7 +834,15 @@ mod tests {
                 },
             ],
             estimated_cost: 0.0,
+            estimates: vec![],
         }
+    }
+
+    #[test]
+    fn explain_observed_without_estimates_degrades_gracefully() {
+        let plan = two_atom_exec_plan();
+        let text = plan.explain_observed(&crate::executor::ExecutionStats::default());
+        assert!(text.contains("no optimizer estimates"));
     }
 
     #[test]

@@ -142,6 +142,7 @@ mod tests {
                 records_processed: run.records_processed,
                 simulated_overhead_ms: 0.0,
                 simulated_elapsed_ms: 0.0,
+                node_observations: run.observations,
             })
         }
     }

@@ -95,6 +95,7 @@ impl Platform for JavaPlatform {
             records_processed: run.records_processed,
             simulated_overhead_ms: overhead,
             simulated_elapsed_ms: overhead + work_ms,
+            node_observations: run.observations,
         })
     }
 }

@@ -127,6 +127,7 @@ impl Platform for MapReduceLikePlatform {
             overhead_ms: startup,
             elapsed_ms: startup,
             records_processed: 0,
+            observations: Vec::new(),
         };
         let mut results = run.run_nodes(plan, &atom.nodes, Some(inputs), None)?;
         let mut outputs = HashMap::new();
@@ -142,6 +143,7 @@ impl Platform for MapReduceLikePlatform {
             records_processed: run.records_processed,
             simulated_overhead_ms: run.overhead_ms,
             simulated_elapsed_ms: run.elapsed_ms,
+            node_observations: run.observations,
         })
     }
 }
@@ -154,6 +156,9 @@ struct MrRun<'a> {
     /// path of the parallel mapper/reducer tasks.
     elapsed_ms: f64,
     records_processed: u64,
+    /// Per-kernel observations (top-level nodes only; loop bodies are
+    /// charged to their `Loop` node).
+    observations: Vec<rheem_core::observe::NodeObservation>,
 }
 
 impl MrRun<'_> {
@@ -193,8 +198,20 @@ impl MrRun<'_> {
                 };
                 inputs.push(recs);
             }
+            let before_ms = self.elapsed_ms;
             let out = self.exec_op(&node.op, inputs, loop_state)?;
             self.records_processed += out.len() as u64;
+            // Observe only top-level nodes: loop-body node ids belong to the
+            // body fragment and whole-loop time lands on the Loop node.
+            if boundary.is_some() {
+                self.observations
+                    .push(rheem_core::observe::NodeObservation {
+                        node: id,
+                        op: node.op.name(),
+                        records_out: out.len() as u64,
+                        elapsed_ms: self.elapsed_ms - before_ms,
+                    });
+            }
             results.insert(id, out);
         }
         Ok(results)

@@ -163,11 +163,22 @@ impl Platform for RelationalPlatform {
             .iter()
             .filter_map(|n| run.outputs.get(n).map(|d| (*n, d.clone())))
             .collect();
+        // Scale per-kernel observations by the same efficiency factor as
+        // the atom total, so calibration sees the modeled engine's speed.
+        let node_observations = run
+            .observations
+            .into_iter()
+            .map(|mut o| {
+                o.elapsed_ms *= self.efficiency;
+                o
+            })
+            .collect();
         Ok(AtomResult {
             outputs,
             records_processed: run.records_processed,
             simulated_overhead_ms: overhead,
             simulated_elapsed_ms: overhead + work_ms,
+            node_observations,
         })
     }
 }

@@ -138,6 +138,7 @@ impl Platform for SparkLikePlatform {
             overhead_ms: startup,
             elapsed_ms: startup,
             records_processed: 0,
+            observations: Vec::new(),
         };
         let mut outputs_parts = run.run_nodes(plan, &atom.nodes, Some(inputs), None)?;
         let mut outputs = HashMap::new();
@@ -155,6 +156,7 @@ impl Platform for SparkLikePlatform {
             records_processed: run.records_processed,
             simulated_overhead_ms: run.overhead_ms,
             simulated_elapsed_ms: run.elapsed_ms,
+            node_observations: run.observations,
         })
     }
 }
@@ -170,6 +172,9 @@ struct SparkRun<'a> {
     /// Simulated elapsed time: overheads + critical path of every stage.
     elapsed_ms: f64,
     records_processed: u64,
+    /// Per-kernel observations (top-level nodes only; loop bodies are
+    /// charged to their `Loop` node).
+    observations: Vec<rheem_core::observe::NodeObservation>,
 }
 
 impl SparkRun<'_> {
@@ -241,8 +246,21 @@ impl SparkRun<'_> {
                 };
                 inputs.push(parts);
             }
+            let before_ms = self.elapsed_ms;
             let out = self.exec_op(&node.op, inputs, loop_state)?;
-            self.records_processed += out.iter().map(|p| p.len() as u64).sum::<u64>();
+            let out_records = out.iter().map(|p| p.len() as u64).sum::<u64>();
+            self.records_processed += out_records;
+            // Observe only top-level nodes: loop-body node ids belong to the
+            // body fragment and whole-loop time lands on the Loop node.
+            if boundary.is_some() {
+                self.observations
+                    .push(rheem_core::observe::NodeObservation {
+                        node: id,
+                        op: node.op.name(),
+                        records_out: out_records,
+                        elapsed_ms: self.elapsed_ms - before_ms,
+                    });
+            }
             results.insert(id, out);
         }
         Ok(results)

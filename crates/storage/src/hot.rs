@@ -8,9 +8,11 @@
 //! to hot datasets skips (simulated) I/O entirely.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rheem_core::data::Dataset;
+use rheem_core::observe::{Counter, MetricsRegistry};
 
 /// Cache key: which dataset, in which platform-native format.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -54,10 +56,19 @@ struct Inner {
     stats: HotStats,
 }
 
+/// Pre-resolved counter handles mirroring [`HotStats`] into a shared
+/// [`MetricsRegistry`] (no per-lookup name hashing).
+struct HotMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+}
+
 /// An LRU cache of datasets in platform-native formats.
 pub struct HotDataBuffer {
     capacity_records: usize,
     inner: Mutex<Inner>,
+    metrics: Option<HotMetrics>,
 }
 
 impl HotDataBuffer {
@@ -71,7 +82,20 @@ impl HotDataBuffer {
                 resident_records: 0,
                 stats: HotStats::default(),
             }),
+            metrics: None,
         }
+    }
+
+    /// Mirror hit/miss/eviction counts into `registry` as the counters
+    /// `storage.hot.hits`, `storage.hot.misses`, and
+    /// `storage.hot.evictions` (in addition to [`HotDataBuffer::stats`]).
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = Some(HotMetrics {
+            hits: registry.counter("storage.hot.hits"),
+            misses: registry.counter("storage.hot.misses"),
+            evictions: registry.counter("storage.hot.evictions"),
+        });
+        self
     }
 
     /// Look up a dataset, refreshing its recency on a hit.
@@ -84,10 +108,16 @@ impl HotDataBuffer {
                 e.last_used = clock;
                 let data = e.data.clone();
                 inner.stats.hits += 1;
+                if let Some(m) = &self.metrics {
+                    m.hits.inc();
+                }
                 Some(data)
             }
             None => {
                 inner.stats.misses += 1;
+                if let Some(m) = &self.metrics {
+                    m.misses.inc();
+                }
                 None
             }
         }
@@ -118,6 +148,9 @@ impl HotDataBuffer {
                     let e = inner.entries.remove(&k).expect("victim exists");
                     inner.resident_records -= e.data.len();
                     inner.stats.evictions += 1;
+                    if let Some(m) = &self.metrics {
+                        m.evictions.inc();
+                    }
                 }
                 None => break,
             }

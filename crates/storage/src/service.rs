@@ -119,6 +119,18 @@ impl StorageLayer {
         self
     }
 
+    /// Enable a hot-data buffer that also mirrors its hit/miss/eviction
+    /// counts into a shared observability registry (see
+    /// [`HotDataBuffer::with_metrics`]).
+    pub fn with_observed_hot_buffer(
+        mut self,
+        capacity_records: usize,
+        registry: &rheem_core::observe::MetricsRegistry,
+    ) -> Self {
+        self.hot = Some(HotDataBuffer::new(capacity_records).with_metrics(registry));
+        self
+    }
+
     /// Resolve a store by name.
     pub fn store(&self, name: &str) -> Result<&Arc<dyn Store>> {
         self.stores

@@ -285,6 +285,7 @@ fn fanout_exec_plan() -> ExecutionPlan {
         assignments,
         atoms,
         estimated_cost: 0.0,
+        estimates: vec![],
     }
 }
 

@@ -1,0 +1,388 @@
+//! The observability layer, end to end: deterministic trace replay across
+//! schedule modes, metrics under fault injection, calibration hygiene, and
+//! the JSON-lines trace dump.
+//!
+//! The replay contract: executing the same plan under `Sequential` and
+//! `Parallel` scheduling must produce the same *canonical* span tree (wave
+//! spans are scheduling artifacts and are skipped by
+//! [`rheem_core::canonical_tree`]) and identical deterministic counters —
+//! parallelism may interleave callbacks, but never change what happened.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rheem::prelude::*;
+use rheem::rec;
+use rheem_core::optimizer::enumerate::split_into_atoms;
+use rheem_core::{
+    canonical_tree, ExecutionPlan, FailureInjector, Observability, RingBufferSink, ScheduleMode,
+};
+use rheem_platforms::test_context;
+
+/// A shared source fanning out to three hand-pinned branches across three
+/// platforms — the shape where Sequential and Parallel wave structures
+/// differ the most (one wave per atom vs. one wave for all branches).
+fn fanout_exec_plan() -> ExecutionPlan {
+    let mut b = PlanBuilder::new();
+    let src = b.collection("s", (0..200i64).map(|i| rec![i % 10, i]).collect());
+    let doubled = b.map(
+        src,
+        MapUdf::new("x2", |r| rec![r.int(0).unwrap(), r.int(1).unwrap() * 2]),
+    );
+    b.collect(doubled);
+    let even = b.filter(src, FilterUdf::new("even", |r| r.int(1).unwrap() % 2 == 0));
+    b.collect(even);
+    let summed = b.reduce_by_key(
+        src,
+        KeyUdf::field(0).with_distinct_keys(10.0),
+        ReduceUdf::new("sum", |a, x| {
+            rec![a.int(0).unwrap(), a.int(1).unwrap() + x.int(1).unwrap()]
+        }),
+    );
+    b.collect(summed);
+    let physical = b.build().unwrap();
+    let assignments: Vec<String> = [
+        "java",      // source
+        "sparklike", // map branch
+        "sparklike",
+        "mapreduce", // filter branch
+        "mapreduce",
+        "java", // reduce branch (merges with the source atom)
+        "java",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let atoms = split_into_atoms(&physical, &assignments);
+    ExecutionPlan {
+        physical: Arc::new(physical),
+        assignments,
+        atoms,
+        estimated_cost: 0.0,
+        estimates: vec![],
+    }
+}
+
+/// Execute `exec` under `mode` with a fresh observability hub; return the
+/// canonical span tree and the deterministic counter snapshot.
+fn traced_run(exec: &ExecutionPlan, mode: ScheduleMode) -> (String, Vec<(String, u64)>) {
+    let ring = Arc::new(RingBufferSink::new(4096));
+    let observe = Arc::new(Observability::new().with_sink(ring.clone()));
+    let ctx = test_context()
+        .with_schedule_mode(mode)
+        .with_max_parallel_atoms(4)
+        .with_observability(observe.clone());
+    ctx.execute_plan(exec).unwrap();
+    let tree = canonical_tree(&ring.snapshot());
+    // Histograms are timing-derived (bucketed wall measurements) and are
+    // deliberately excluded from the replay contract; counters are not.
+    (tree, observe.metrics().snapshot().counters)
+}
+
+#[test]
+fn sequential_and_parallel_runs_trace_the_same_job() {
+    let exec = fanout_exec_plan();
+    let (seq_tree, seq_counters) = traced_run(&exec, ScheduleMode::Sequential);
+    let (par_tree, par_counters) = traced_run(&exec, ScheduleMode::Parallel);
+    assert_eq!(
+        seq_tree, par_tree,
+        "canonical span trees must not depend on scheduling"
+    );
+    assert_eq!(
+        seq_counters, par_counters,
+        "deterministic counters must not depend on scheduling"
+    );
+    // The tree reflects the plan: one job, three atoms (the java source
+    // merges with the java reduce branch), kernels under them.
+    assert!(seq_tree.contains("job"), "{seq_tree}");
+    assert_eq!(seq_tree.matches("atom atom-").count(), 3, "{seq_tree}");
+    assert_eq!(seq_tree.matches("kernel n").count(), 7, "{seq_tree}");
+    assert!(!seq_tree.contains("wave"), "{seq_tree}");
+    // And the counters carry the real totals.
+    let get = |name: &str| {
+        seq_counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert_eq!(get("executor.atoms_completed"), 3);
+    assert_eq!(get("executor.jobs_completed"), 1);
+    assert_eq!(get("executor.atom_retries"), 0);
+    assert!(get("executor.records_out") > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+#[test]
+fn injected_failures_are_counted_exactly_attempts_minus_one() {
+    let observe = Arc::new(Observability::new());
+    let ctx = RheemContext::new()
+        .with_platform(Arc::new(JavaPlatform::new()))
+        .with_failure_injector(Arc::new(FailureInjector::fail_next("java", 2)))
+        .with_max_retries(3)
+        .with_observability(observe.clone());
+    let mut b = PlanBuilder::new();
+    let src = b.collection("s", (0..10i64).map(|i| rec![i]).collect());
+    b.collect(src);
+    let result = ctx.execute(b.build().unwrap()).unwrap();
+
+    assert_eq!(result.stats.atoms[0].attempts, 3);
+    let m = observe.metrics();
+    assert_eq!(m.counter_value("executor.atom_retries"), 2);
+    assert_eq!(m.counter_value("executor.atom_failures"), 2);
+    assert_eq!(m.counter_value("executor.atoms_completed"), 1);
+}
+
+#[test]
+fn retry_callbacks_fire_in_attempt_order_under_parallelism() {
+    use parking_lot::Mutex;
+    use rheem_core::ProgressListener;
+    use std::collections::HashMap;
+
+    #[derive(Default)]
+    struct RetryOrder {
+        by_atom: Mutex<HashMap<usize, Vec<usize>>>,
+    }
+    impl ProgressListener for RetryOrder {
+        fn on_atom_retry(&self, atom_id: usize, attempt: usize, _error: &RheemError) {
+            self.by_atom
+                .lock()
+                .entry(atom_id)
+                .or_default()
+                .push(attempt);
+        }
+    }
+
+    let order = Arc::new(RetryOrder::default());
+    let observe = Arc::new(Observability::new());
+    let injector = Arc::new(FailureInjector::none());
+    // Four failures spread across the parallel branches' platforms.
+    injector.add("sparklike", 2);
+    injector.add("mapreduce", 2);
+    let ctx = test_context()
+        .with_schedule_mode(ScheduleMode::Parallel)
+        .with_max_parallel_atoms(4)
+        .with_max_retries(3)
+        .with_failure_injector(injector)
+        .with_progress_listener(order.clone())
+        .with_observability(observe.clone());
+    ctx.execute_plan(&fanout_exec_plan()).unwrap();
+
+    let by_atom = order.by_atom.lock();
+    let total_retries: usize = by_atom.values().map(Vec::len).sum();
+    assert_eq!(total_retries, 4, "{by_atom:?}");
+    for (atom, attempts) in by_atom.iter() {
+        let expected: Vec<usize> = (1..=attempts.len()).collect();
+        assert_eq!(
+            attempts, &expected,
+            "atom {atom} retries must arrive in attempt order"
+        );
+    }
+    assert_eq!(observe.metrics().counter_value("executor.atom_retries"), 4);
+}
+
+#[test]
+fn failed_attempts_do_not_pollute_the_calibration_table() {
+    let run = |injector: Arc<FailureInjector>| {
+        let observe = Arc::new(Observability::new());
+        let ctx = RheemContext::new()
+            .with_platform(Arc::new(JavaPlatform::new()))
+            .with_failure_injector(injector)
+            .with_max_retries(2)
+            .with_observability(observe.clone());
+        let mut b = PlanBuilder::new();
+        let src = b.collection("s", (0..100i64).map(|i| rec![i % 5, i]).collect());
+        let red = b.reduce_by_key(
+            src,
+            KeyUdf::field(0).with_distinct_keys(5.0),
+            ReduceUdf::new("sum", |a, x| {
+                rec![a.int(0).unwrap(), a.int(1).unwrap() + x.int(1).unwrap()]
+            }),
+        );
+        b.collect(red);
+        // Optimizer-built plan so estimates exist and calibration engages.
+        let result = ctx.execute(b.build().unwrap()).unwrap();
+        (observe, result.stats.retries)
+    };
+
+    let (clean, clean_retries) = run(Arc::new(FailureInjector::none()));
+    let (faulty, faulty_retries) = run(Arc::new(FailureInjector::fail_next("java", 2)));
+    assert_eq!(clean_retries, 0);
+    assert_eq!(faulty_retries, 2);
+    // Only the committed (successful) attempt feeds calibration: the same
+    // operators were observed the same number of times either way.
+    assert_eq!(
+        faulty.calibration().total_samples(),
+        clean.calibration().total_samples(),
+        "failed attempts must not add calibration samples"
+    );
+    assert!(clean.calibration().total_samples() > 0);
+}
+
+// ---------------------------------------------------------------------------
+// JSON-lines trace dump
+// ---------------------------------------------------------------------------
+
+#[test]
+fn json_lines_sink_dumps_one_span_per_line() {
+    let path = std::env::temp_dir().join(format!("rheem_trace_{}.jsonl", std::process::id()));
+    let sink = Arc::new(rheem_core::JsonLinesSink::to_file(&path).unwrap());
+    let observe = Arc::new(Observability::new().with_sink(sink.clone()));
+    let ctx = test_context().with_observability(observe);
+    ctx.execute_plan(&fanout_exec_plan()).unwrap();
+    sink.flush().unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let lines: Vec<&str> = text.lines().collect();
+    // 1 job + 2 or 3 waves + 3 atoms + 7 kernels.
+    assert!(lines.len() >= 13, "{}", text);
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"kind\":"), "{line}");
+        assert!(line.contains("\"id\":"), "{line}");
+    }
+    assert!(text.contains("\"kind\":\"job\""));
+    assert!(text.contains("\"kind\":\"kernel\""));
+}
+
+// ---------------------------------------------------------------------------
+// Storage hot-buffer metrics share the same registry
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hot_buffer_counters_land_in_the_shared_registry() {
+    use rheem_core::platform::StorageService;
+    use rheem_storage::MemStore;
+
+    let observe = Arc::new(Observability::new());
+    let layer = Arc::new(
+        StorageLayer::new(Arc::new(MemStore::new("mem")))
+            .with_observed_hot_buffer(10_000, observe.metrics()),
+    );
+    layer
+        .write("d", &Dataset::new((0..50i64).map(|i| rec![i]).collect()))
+        .unwrap();
+    for _ in 0..3 {
+        StorageService::read(layer.as_ref(), "d").unwrap();
+    }
+    let m = observe.metrics();
+    assert_eq!(m.counter_value("storage.hot.misses"), 1);
+    assert_eq!(m.counter_value("storage.hot.hits"), 2);
+    // And the rendered registry carries them alongside executor metrics.
+    assert!(m.render().contains("counter storage.hot.hits 2"));
+}
+
+// ---------------------------------------------------------------------------
+// Property-based replay over random multi-platform plans
+// ---------------------------------------------------------------------------
+
+/// Unary pipeline steps (a subset of the platform-independence fuzzer's,
+/// restricted to operators whose output is deterministic as a bag and
+/// whose record counts don't depend on partitioning).
+#[derive(Clone, Debug)]
+enum Step {
+    MapAdd(i64),
+    FilterMod(i64),
+    Distinct,
+    ReduceSum,
+    UnionSelf,
+}
+
+fn apply_step(b: &mut PlanBuilder, input: rheem_core::NodeId, step: &Step) -> rheem_core::NodeId {
+    match step {
+        Step::MapAdd(c) => {
+            let c = *c;
+            b.map(
+                input,
+                MapUdf::new("add", move |r| {
+                    rec![r.int(0).unwrap().wrapping_add(c), r.int(1).unwrap_or(0)]
+                }),
+            )
+        }
+        Step::FilterMod(m) => {
+            let m = (*m).max(1);
+            b.filter(
+                input,
+                FilterUdf::new("mod", move |r| r.int(0).unwrap().rem_euclid(m) != 0),
+            )
+        }
+        Step::Distinct => b.distinct(input),
+        Step::ReduceSum => b.reduce_by_key(
+            input,
+            KeyUdf::new("mod5", |r| (r.int(0).unwrap().rem_euclid(5)).into()),
+            ReduceUdf::new("sum", |a, x| {
+                rec![
+                    a.int(0).unwrap().min(x.int(0).unwrap()),
+                    a.int(1).unwrap_or(0).wrapping_add(x.int(1).unwrap_or(0))
+                ]
+            }),
+        ),
+        Step::UnionSelf => b.union(input, input),
+    }
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (-100i64..100).prop_map(Step::MapAdd),
+        (1i64..9).prop_map(Step::FilterMod),
+        Just(Step::Distinct),
+        Just(Step::ReduceSum),
+        Just(Step::UnionSelf),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, ..ProptestConfig::default()
+    })]
+
+    /// For random multi-platform plans, the optimizer picks the same plan
+    /// in both contexts (fresh calibration each) and the two schedule
+    /// modes replay to the same canonical span tree and counters.
+    #[test]
+    fn prop_replay_is_schedule_independent(
+        seed in 0u64..500,
+        len in 1usize..300,
+        branches in proptest::collection::vec(
+            proptest::collection::vec(step_strategy(), 0..3), 1..4),
+    ) {
+        let mut b = PlanBuilder::new();
+        let data: Vec<Record> = (0..len as i64)
+            .map(|i| rec![(i.wrapping_mul(seed as i64 + 7)).rem_euclid(83), 1i64])
+            .collect();
+        let src = b.collection("fuzz", data);
+        for steps in &branches {
+            let mut node = src;
+            for step in steps {
+                node = apply_step(&mut b, node, step);
+            }
+            b.collect(node);
+        }
+        let physical = b.build().unwrap();
+
+        let run = |mode: ScheduleMode| {
+            let ring = Arc::new(RingBufferSink::new(8192));
+            let observe = Arc::new(Observability::new().with_sink(ring.clone()));
+            let ctx = test_context()
+                .with_schedule_mode(mode)
+                .with_max_parallel_atoms(4)
+                .with_observability(observe.clone());
+            let exec = ctx.optimize(physical.clone()).unwrap();
+            ctx.execute_plan(&exec).unwrap();
+            (
+                exec.assignments.clone(),
+                canonical_tree(&ring.snapshot()),
+                observe.metrics().snapshot().counters,
+            )
+        };
+        let (seq_assign, seq_tree, seq_counters) = run(ScheduleMode::Sequential);
+        let (par_assign, par_tree, par_counters) = run(ScheduleMode::Parallel);
+        prop_assert_eq!(seq_assign, par_assign);
+        prop_assert_eq!(seq_tree, par_tree);
+        prop_assert_eq!(seq_counters, par_counters);
+    }
+}
