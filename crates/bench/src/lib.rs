@@ -10,7 +10,10 @@
 //!   budget (Figure 3 right);
 //! * [`ablations`] — platform selection, movement-cost awareness, IEJoin
 //!   scaling, grouping algorithm choice, and storage (hot buffer +
-//!   transformation plans).
+//!   transformation plans);
+//! * [`calibration`] — feedback-driven cost-model correction;
+//! * [`replanning`] — adaptive mid-job re-optimization at wave
+//!   boundaries.
 //!
 //! Row-printer binaries (`fig2_svm_table`, `fig3_table`,
 //! `ablation_table`) emit the same series the paper plots; the Criterion
@@ -23,3 +26,4 @@ pub mod ablations;
 pub mod calibration;
 pub mod fig2;
 pub mod fig3;
+pub mod replanning;

@@ -1,6 +1,6 @@
 //! # rheem-cleaning
 //!
-//! BigDansing — "a Big Data Cleansing [system] on top of RHEEM" — the
+//! BigDansing — "a Big Data Cleansing \[system\] on top of RHEEM" — the
 //! proof-of-concept application the paper develops in §5. Data quality
 //! rules are two-tuple denial constraints; detection compiles the five
 //! BigDansing logical operators (`Scope`, `Block`, `Iterate`, `Detect`,
@@ -8,7 +8,7 @@
 //! the [`iejoin`] extension operator highlighted by the paper.
 //!
 //! * [`rules`] — denial constraints, violations, fixes;
-//! * [`detect`] — the detection strategies of Figure 3;
+//! * [`mod@detect`] — the detection strategies of Figure 3;
 //! * [`iejoin`] — the IEJoin inequality self-join (PVLDB'15) as a
 //!   [`rheem_core::CustomPhysicalOp`];
 //! * [`repair`] — `GenFix` and equivalence-class repair.

@@ -19,7 +19,7 @@ use crate::error::Result;
 use crate::executor::{Executor, ExecutorConfig, JobResult, ProgressListener, ScheduleMode};
 use crate::logical::LogicalPlan;
 use crate::observe::Observability;
-use crate::optimizer::MultiPlatformOptimizer;
+use crate::optimizer::{MultiPlatformOptimizer, ReplanPolicy};
 use crate::plan::{ExecutionPlan, PhysicalPlan};
 use crate::platform::{
     ExecutionContext, FailureInjector, Platform, PlatformRegistry, StorageService,
@@ -35,6 +35,7 @@ pub struct RheemContext {
     failure_injector: Option<Arc<FailureInjector>>,
     listeners: Vec<Arc<dyn ProgressListener>>,
     observability: Option<Arc<Observability>>,
+    replan_policy: Option<ReplanPolicy>,
 }
 
 impl RheemContext {
@@ -89,6 +90,16 @@ impl RheemContext {
     /// Choose wave-parallel (default) or sequential atom scheduling.
     pub fn with_schedule_mode(mut self, mode: ScheduleMode) -> Self {
         self.executor_config.mode = mode;
+        self
+    }
+
+    /// Enable adaptive mid-job re-optimization: after each committed
+    /// wave the executor compares observed boundary cardinalities with
+    /// the plan's estimates and, past `policy.threshold`, re-enumerates
+    /// the unexecuted suffix (at most `policy.max_replans` times per
+    /// job). Outputs are unaffected; only platform choices may change.
+    pub fn with_replan_policy(mut self, policy: ReplanPolicy) -> Self {
+        self.replan_policy = Some(policy);
         self
     }
 
@@ -168,6 +179,9 @@ impl RheemContext {
         if let Some(observe) = &self.observability {
             executor = executor.with_listener(observe.clone() as Arc<dyn ProgressListener>);
         }
+        if let Some(policy) = self.replan_policy {
+            executor = executor.with_replanner(self.optimizer.replanner(policy));
+        }
         let result = executor.execute(plan, &self.execution_context())?;
         if self.observability.is_some() {
             // Close the feedback loop: fold this job's observed kernel
@@ -175,7 +189,12 @@ impl RheemContext {
             // the optimizer consults on its next pass. Only successful
             // jobs get here, and only committed attempts carry
             // observations, so failed attempts cannot pollute the table.
-            self.optimizer.calibration.absorb(plan, &result.stats);
+            // When the job re-planned mid-flight, the effective plan
+            // carries the assignments the atoms actually ran under.
+            self.optimizer.calibration.absorb(
+                result.effective_plan.as_ref().unwrap_or(plan),
+                &result.stats,
+            );
         }
         Ok(result)
     }

@@ -1,6 +1,6 @@
 //! Cost estimation: cardinalities, platform cost models, movement costs.
 //!
-//! The paper requires that "rules and cost models [be] plugins and not
+//! The paper requires that "rules and cost models \[be\] plugins and not
 //! hard-coded as in traditional database optimizers" (§4.2, second aspect)
 //! and that the optimizer "consider inter-platform cost models to
 //! effectively take into account the cost of moving data and computation
@@ -349,6 +349,28 @@ impl MovementCostModel {
     }
 }
 
+/// Symmetric estimation-error ratio between an estimated and an observed
+/// quantity: `max(observed / estimated, estimated / observed)`.
+///
+/// A perfect estimate yields `1.0`, and the ratio grows the further the
+/// estimate was off, regardless of direction — under- and over-estimation
+/// drift alike, which is what the executor's re-planning trigger needs.
+/// Degenerate cases: both sides (near) zero means the estimate was right
+/// (`1.0`); exactly one side zero means it was arbitrarily wrong
+/// (`f64::INFINITY`).
+pub fn drift_ratio(estimated: f64, observed: f64) -> f64 {
+    const EPS: f64 = 1e-9;
+    let e = estimated.max(0.0);
+    let o = observed.max(0.0);
+    if e < EPS && o < EPS {
+        1.0
+    } else if e < EPS || o < EPS {
+        f64::INFINITY
+    } else {
+        (o / e).max(e / o)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,5 +586,19 @@ mod tests {
         assert_eq!(m.cost("java", "spark", 100.0), 5.0 + 10.0);
         assert_eq!(m.cost("spark", "java", 100.0), 5.0 + 1.0); // default price
         assert_eq!(MovementCostModel::free().cost("a", "b", 1e9), 0.0);
+    }
+
+    #[test]
+    fn drift_ratio_is_symmetric_and_handles_zeroes() {
+        assert_eq!(drift_ratio(100.0, 100.0), 1.0);
+        assert!((drift_ratio(100.0, 500.0) - 5.0).abs() < 1e-9);
+        assert!((drift_ratio(500.0, 100.0) - 5.0).abs() < 1e-9);
+        // Both sides empty: the estimate was right.
+        assert_eq!(drift_ratio(0.0, 0.0), 1.0);
+        // One side empty: arbitrarily wrong.
+        assert_eq!(drift_ratio(0.0, 10.0), f64::INFINITY);
+        assert_eq!(drift_ratio(10.0, 0.0), f64::INFINITY);
+        // Negative estimates are clamped, never NaN.
+        assert_eq!(drift_ratio(-5.0, 0.0), 1.0);
     }
 }

@@ -18,6 +18,11 @@
 //! [`ExecutorConfig::max_parallel_atoms`]); the next wave starts once the
 //! whole wave finished.
 //!
+//! Sequential mode runs exactly the same waves, one atom at a time, so
+//! wave numbering, per-atom wave attribution, and the `waves` stat are
+//! identical across schedule modes — the modes differ only in intra-wave
+//! concurrency.
+//!
 //! Intermediate datasets are reference counted: once every boundary
 //! consumer of a node's output has run, the dataset is dropped (sink
 //! outputs are kept — they are the job's results).
@@ -25,8 +30,23 @@
 //! Scheduling is deterministic where it can be: per-atom monitoring
 //! records are appended in ascending atom id within each wave regardless
 //! of completion order, and when several atoms of a wave fail, the error
-//! of the lowest-id atom is reported.
+//! of the lowest-id atom that failed is reported (see
+//! [`Executor::execute`] internals for the attempt-set caveat).
+//!
+//! # Adaptive re-optimization
+//!
+//! With a [`Replanner`] attached ([`Executor::with_replanner`]), the
+//! executor revisits the optimizer's decisions *mid-job*: after each
+//! committed wave it compares the observed cardinality of every live
+//! boundary dataset against the plan's estimates and, past the policy
+//! threshold, re-enumerates the unexecuted suffix with the true
+//! cardinalities (completed outputs become fixed-size pseudo-sources)
+//! and splices the new atoms in. Committed atoms are never re-run and
+//! re-planning only ever happens between waves, so a partially executed
+//! atom is never re-planned; each re-plan also counts against the job
+//! deadline.
 
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -36,6 +56,7 @@ use parking_lot::Mutex;
 use crate::cost::MovementCostModel;
 use crate::data::Dataset;
 use crate::error::{Result, RheemError};
+use crate::optimizer::replan::{worst_drift, Replanner};
 use crate::plan::{ExecutionPlan, NodeId, TaskAtom};
 use crate::platform::{AtomInputs, ExecutionContext, PlatformRegistry};
 
@@ -45,8 +66,9 @@ pub enum ScheduleMode {
     /// Dependency-aware waves of concurrently running atoms (the default).
     #[default]
     Parallel,
-    /// One atom at a time, in the optimizer's schedule order. Kept as the
-    /// ablation baseline (`ablation_scheduling` bench) and for debugging.
+    /// One atom at a time, in wave order (the same waves parallel mode
+    /// computes, with identical wave numbering). Kept as the ablation
+    /// baseline (`ablation_scheduling` bench) and for debugging.
     Sequential,
 }
 
@@ -88,8 +110,9 @@ pub struct AtomStats {
     pub atom_id: usize,
     /// Platform that executed it.
     pub platform: String,
-    /// Scheduling wave the atom ran in (in sequential mode, its position
-    /// in the schedule).
+    /// Scheduling wave the atom ran in. Wave numbering is identical in
+    /// parallel and sequential modes and global across re-planning
+    /// phases (a re-plan continues the numbering, it never restarts it).
     pub wave: usize,
     /// Attempts used (1 = no retry).
     pub attempts: usize,
@@ -114,11 +137,12 @@ pub struct AtomStats {
 #[derive(Clone, Debug, Default)]
 pub struct ExecutionStats {
     /// One record per executed atom: ascending atom id within each wave,
-    /// waves in execution order (in sequential mode, schedule order).
+    /// waves in execution order — the same order in both schedule modes.
     pub atoms: Vec<AtomStats>,
-    /// Number of scheduling waves the job ran in. Strictly less than the
-    /// atom count whenever the plan had independent atoms to overlap (in
-    /// sequential mode this always equals the atom count).
+    /// Number of scheduling waves the job ran in. Identical in parallel
+    /// and sequential modes (which differ only in intra-wave
+    /// concurrency), and strictly less than the atom count whenever the
+    /// plan had independent atoms to overlap.
     pub waves: usize,
     /// Total wall-clock time of the job.
     pub total_wall: Duration,
@@ -126,6 +150,9 @@ pub struct ExecutionStats {
     pub total_movement_ms: f64,
     /// Total retries across all atoms.
     pub retries: usize,
+    /// Mid-job re-optimizations performed (see
+    /// [`Executor::with_replanner`]); `0` unless a re-planner triggered.
+    pub replans: usize,
 }
 
 impl ExecutionStats {
@@ -172,12 +199,13 @@ impl ExecutionStats {
             ));
         }
         s.push_str(&format!(
-            "total: {:.2} simulated ms ({:.2} movement), {:.2} ms wall, {} retries, {} waves\n",
+            "total: {:.2} simulated ms ({:.2} movement), {:.2} ms wall, {} retries, {} waves, {} replans\n",
             self.total_simulated_ms(),
             self.total_movement_ms,
             self.total_wall.as_secs_f64() * 1e3,
             self.retries,
             self.waves,
+            self.replans,
         ));
         s
     }
@@ -208,8 +236,35 @@ pub trait ProgressListener: Send + Sync {
     fn on_atom_retry(&self, _atom_id: usize, _attempt: usize, _error: &RheemError) {}
     /// An atom completed; its monitoring record is final.
     fn on_atom_complete(&self, _stats: &AtomStats) {}
+    /// The executor re-optimized the unexecuted suffix of the job. Runs
+    /// between waves, on the thread driving the job, strictly after the
+    /// `on_atom_complete` of every atom committed so far.
+    fn on_replan(&self, _event: &ReplanEvent) {}
     /// The whole job completed successfully.
     fn on_job_complete(&self, _stats: &ExecutionStats) {}
+}
+
+/// What one mid-job re-optimization did (see
+/// [`Executor::with_replanner`]).
+#[derive(Clone, Debug)]
+pub struct ReplanEvent {
+    /// 0-based index of this re-plan within the job.
+    pub index: usize,
+    /// The live boundary dataset whose cardinality drifted the furthest
+    /// from its estimate.
+    pub trigger_node: NodeId,
+    /// The optimizer's cardinality estimate for that node.
+    pub estimated_card: f64,
+    /// The cardinality that actually materialized.
+    pub observed_card: u64,
+    /// Symmetric error ratio between the two ([`crate::cost::drift_ratio`]).
+    pub drift: f64,
+    /// Pending atoms discarded by the re-plan.
+    pub replaced_atoms: usize,
+    /// Atoms spliced in to replace them.
+    pub new_atoms: usize,
+    /// Estimated cost of the remaining work under the new plan.
+    pub estimated_cost: f64,
 }
 
 /// The result the executor aggregates for the user (§4.2 duty iv).
@@ -219,6 +274,15 @@ pub struct JobResult {
     pub outputs: HashMap<NodeId, Dataset>,
     /// Monitoring data (§4.2 duty ii).
     pub stats: ExecutionStats,
+    /// When the job re-planned mid-flight, the plan that was *actually*
+    /// executed: the committed atoms in commit order over the original
+    /// physical plan, with the final merged platform assignments and
+    /// estimates. Reporting-only (its atom ids match `stats.atoms` but
+    /// are not dense, so it cannot be fed back into
+    /// [`Executor::execute`]); use it with
+    /// [`ExecutionPlan::explain_observed`] and for calibration. `None`
+    /// when the job ran the input plan unchanged.
+    pub effective_plan: Option<ExecutionPlan>,
 }
 
 impl JobResult {
@@ -248,6 +312,7 @@ pub struct Executor {
     movement: MovementCostModel,
     config: ExecutorConfig,
     listeners: Vec<std::sync::Arc<dyn ProgressListener>>,
+    replanner: Option<Replanner>,
 }
 
 impl Executor {
@@ -258,7 +323,18 @@ impl Executor {
             movement: MovementCostModel::default(),
             config: ExecutorConfig::default(),
             listeners: Vec::new(),
+            replanner: None,
         }
+    }
+
+    /// Enable adaptive mid-job re-optimization: between waves, compare
+    /// observed boundary cardinalities against the plan's estimates and
+    /// re-enumerate the unexecuted suffix when the re-planner's policy
+    /// triggers. Without estimates on the plan (hand-built plans) the
+    /// re-planner never fires.
+    pub fn with_replanner(mut self, replanner: Replanner) -> Self {
+        self.replanner = Some(replanner);
+        self
     }
 
     /// Attach a progress listener. May be called repeatedly; every
@@ -281,49 +357,97 @@ impl Executor {
     }
 
     /// Run an execution plan to completion.
+    ///
+    /// Both schedule modes drive the same wave loop (sequential mode
+    /// merely caps intra-wave concurrency at one), so wave numbering and
+    /// stats are mode-consistent. With a re-planner attached, execution
+    /// proceeds in *phases*: after each committed wave the observed
+    /// cardinalities of live boundary datasets are checked against the
+    /// estimates, and on sufficient drift the unexecuted suffix is
+    /// re-enumerated and spliced in (committed atoms are never re-run;
+    /// wave numbering continues across the splice).
     pub fn execute(&self, plan: &ExecutionPlan, ctx: &ExecutionContext) -> Result<JobResult> {
         let started = Instant::now();
         let deadline = self.config.timeout.and_then(|t| started.checked_add(t));
         // Validates all cross-atom wiring (producer bounds, assignment
         // bounds, ownership) up front: scheduling never indexes blindly.
-        let deps = plan.atom_dependencies()?;
+        plan.atom_dependencies()?;
         let sinks: HashSet<NodeId> = plan.physical.sinks().into_iter().collect();
-        let mut remaining = plan.boundary_consumer_counts();
         let node_outputs: Mutex<HashMap<NodeId, Dataset>> = Mutex::new(HashMap::new());
         let mut stats = ExecutionStats::default();
 
-        match self.config.mode {
-            ScheduleMode::Sequential => {
-                for (pos, atom) in plan.atoms.iter().enumerate() {
-                    let run = self.run_atom(plan, atom, pos, deadline, &node_outputs, ctx)?;
-                    stats.waves += 1;
-                    self.commit_atom(atom, run, &mut stats, &node_outputs, &mut remaining, &sinks);
-                }
+        // The plan currently being executed; a re-plan replaces it with
+        // one carrying only the (re-partitioned) pending atoms.
+        let mut current: Cow<'_, ExecutionPlan> = Cow::Borrowed(plan);
+        let mut remaining = plan.boundary_consumer_counts();
+        // Nodes of committed atoms (their boundary outputs are or were
+        // materialized), and the committed atoms themselves in commit
+        // order — the effective plan if a re-plan happens.
+        let mut materialized: HashSet<NodeId> = HashSet::new();
+        let mut committed: Vec<TaskAtom> = Vec::new();
+        // Fresh-id fountain for re-planned atoms whose node set changed:
+        // ids stay globally unique across splices, but not dense.
+        let mut next_atom_id = plan.atoms.iter().map(|a| a.id + 1).max().unwrap_or(0);
+        let mut wave_idx = 0usize;
+
+        'phases: loop {
+            let deps = current.pending_dependencies(&materialized)?;
+            let mut waves = compute_waves(&deps)?;
+            for wave in &mut waves {
+                // Waves carry atom *positions*; order each by atom id so
+                // commit order and failure reporting stay id-based even
+                // on re-planned suffixes with non-monotone ids.
+                wave.sort_by_key(|&pos| current.atoms[pos].id);
             }
-            ScheduleMode::Parallel => {
-                let waves = compute_waves(&deps)?;
-                stats.waves = waves.len();
-                for (wave_idx, wave) in waves.iter().enumerate() {
-                    let runs = self.run_wave(plan, wave, wave_idx, deadline, &node_outputs, ctx)?;
-                    for (atom_idx, run) in runs {
-                        let atom = &plan.atoms[atom_idx];
-                        self.commit_atom(
-                            atom,
-                            run,
-                            &mut stats,
-                            &node_outputs,
-                            &mut remaining,
-                            &sinks,
-                        );
+            let mut executed: HashSet<usize> = HashSet::new();
+            for wave in &waves {
+                let runs = self.run_wave(
+                    current.as_ref(),
+                    wave,
+                    wave_idx,
+                    deadline,
+                    &node_outputs,
+                    ctx,
+                )?;
+                wave_idx += 1;
+                for (pos, run) in runs {
+                    let atom = &current.atoms[pos];
+                    self.commit_atom(atom, run, &mut stats, &node_outputs, &mut remaining, &sinks);
+                    committed.push(atom.clone());
+                    materialized.extend(atom.nodes.iter().copied());
+                    executed.insert(pos);
+                }
+                if executed.len() < current.atoms.len() {
+                    if let Some(new_plan) = self.maybe_replan(
+                        current.as_ref(),
+                        &executed,
+                        &node_outputs,
+                        &remaining,
+                        deadline,
+                        &mut next_atom_id,
+                        &mut stats,
+                    )? {
+                        remaining = new_plan.boundary_consumer_counts();
+                        current = Cow::Owned(new_plan);
+                        continue 'phases;
                     }
                 }
             }
+            break; // the whole phase ran without re-planning: done
         }
 
+        stats.waves = wave_idx;
         stats.total_wall = started.elapsed();
         for l in &self.listeners {
             l.on_job_complete(&stats);
         }
+        let effective_plan = (stats.replans > 0).then(|| ExecutionPlan {
+            physical: plan.physical.clone(),
+            assignments: current.assignments.clone(),
+            atoms: committed,
+            estimated_cost: plan.estimated_cost,
+            estimates: current.estimates.clone(),
+        });
         let store = node_outputs.lock();
         let outputs = plan
             .physical
@@ -331,15 +455,72 @@ impl Executor {
             .into_iter()
             .filter_map(|s| store.get(&s).map(|d| (s, d.clone())))
             .collect();
-        Ok(JobResult { outputs, stats })
+        Ok(JobResult {
+            outputs,
+            stats,
+            effective_plan,
+        })
+    }
+
+    /// Between waves: check drift on live boundary datasets and, when the
+    /// re-planner's policy triggers, return the re-enumerated suffix plan.
+    #[allow(clippy::too_many_arguments)]
+    fn maybe_replan(
+        &self,
+        current: &ExecutionPlan,
+        executed: &HashSet<usize>,
+        node_outputs: &Mutex<HashMap<NodeId, Dataset>>,
+        remaining: &HashMap<NodeId, usize>,
+        deadline: Option<Instant>,
+        next_atom_id: &mut usize,
+        stats: &mut ExecutionStats,
+    ) -> Result<Option<ExecutionPlan>> {
+        let Some(rp) = &self.replanner else {
+            return Ok(None);
+        };
+        if stats.replans >= rp.policy.max_replans {
+            return Ok(None);
+        }
+        let live = node_outputs.lock().clone();
+        let Some((node, drift)) = worst_drift(current, &live, remaining, rp.policy.threshold)
+        else {
+            return Ok(None);
+        };
+        // A re-plan is part of the job: it must respect the deadline.
+        check_deadline(deadline)?;
+        let new_plan = rp.replan(current, executed, &live, &self.platforms, next_atom_id)?;
+        stats.replans += 1;
+        let event = ReplanEvent {
+            index: stats.replans - 1,
+            trigger_node: node,
+            estimated_card: current.estimates[node.0].card,
+            observed_card: live[&node].len() as u64,
+            drift,
+            replaced_atoms: current.atoms.len() - executed.len(),
+            new_atoms: new_plan.atoms.len(),
+            estimated_cost: new_plan.estimated_cost,
+        };
+        for l in &self.listeners {
+            l.on_replan(&event);
+        }
+        Ok(Some(new_plan))
     }
 
     /// Run one wave of independent atoms, possibly concurrently.
     ///
-    /// Returns `(atom index, run)` pairs in ascending atom id. On failure
-    /// the error of the lowest-id failing atom is returned; workers stop
-    /// picking up new atoms as soon as any atom fails, but in-flight atoms
-    /// run to completion before this returns.
+    /// `wave` holds positions into `plan.atoms`, pre-sorted by atom id.
+    /// Returns `(atom position, run)` pairs in that same id order.
+    ///
+    /// On failure, the error of the lowest-id atom *that failed* is
+    /// returned. Which atoms of the wave were attempted at all can differ
+    /// with concurrency: the inline path (sequential mode, or
+    /// `max_parallel_atoms <= 1`) stops scheduling at the first failure,
+    /// while the threaded path stops handing out new atoms but lets
+    /// atoms already in flight run to completion (their results are
+    /// discarded). Both paths therefore agree on the reported atom
+    /// whenever per-atom failure outcomes are deterministic; stateful
+    /// injectors (e.g. "fail the next N executions") can shift *which*
+    /// atom absorbs a failure between modes.
     fn run_wave(
         &self,
         plan: &ExecutionPlan,
@@ -350,7 +531,10 @@ impl Executor {
         ctx: &ExecutionContext,
     ) -> Result<Vec<(usize, AtomRun)>> {
         let n = wave.len();
-        let workers = self.config.max_parallel_atoms.max(1).min(n);
+        let workers = match self.config.mode {
+            ScheduleMode::Sequential => 1,
+            ScheduleMode::Parallel => self.config.max_parallel_atoms.max(1).min(n),
+        };
         let mut slots: Vec<Option<Result<AtomRun>>> = (0..n).map(|_| None).collect();
 
         if workers <= 1 {

@@ -46,7 +46,8 @@ pub use context::RheemContext;
 pub use data::{DataType, Dataset, Field, Record, Schema, Value};
 pub use error::{Result, RheemError};
 pub use executor::{
-    AtomStats, ExecutionStats, Executor, ExecutorConfig, JobResult, ProgressListener, ScheduleMode,
+    AtomStats, ExecutionStats, Executor, ExecutorConfig, JobResult, ProgressListener, ReplanEvent,
+    ScheduleMode,
 };
 pub use logical::{LogicalOperator, LogicalPayload, LogicalPlan, LogicalPlanBuilder};
 #[cfg(feature = "observe-json")]
@@ -55,7 +56,7 @@ pub use observe::{
     canonical_tree, CostCalibration, MetricsRegistry, NodeObservation, Observability,
     RingBufferSink, SpanKind, SpanRecord, TraceSink,
 };
-pub use optimizer::MultiPlatformOptimizer;
+pub use optimizer::{MultiPlatformOptimizer, ReplanPolicy, Replanner};
 pub use physical::{CustomPhysicalOp, OpKind, PhysicalOp};
 pub use plan::{ExecutionPlan, NodeEstimate, NodeId, PhysicalPlan, PlanBuilder, TaskAtom};
 pub use platform::{

@@ -1,6 +1,6 @@
 //! Observability: metrics, execution traces, and cost-model calibration.
 //!
-//! Three cooperating pieces (see `DESIGN.md` §8):
+//! Three cooperating pieces (see `DESIGN.md` §7):
 //!
 //! - [`metrics`] — a lock-cheap [`MetricsRegistry`] of counters, gauges,
 //!   and fixed-bound histograms. The executor, optimizer, and the storage
@@ -35,7 +35,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::error::RheemError;
-use crate::executor::{AtomStats, ExecutionStats, ProgressListener};
+use crate::executor::{AtomStats, ExecutionStats, ProgressListener, ReplanEvent};
 use crate::plan::NodeId;
 
 /// What one operator kernel actually did inside a committed atom.
@@ -77,6 +77,7 @@ struct ExecutorMetrics {
     records_out: Arc<Counter>,
     movement_us: Arc<Counter>,
     jobs_completed: Arc<Counter>,
+    replans: Arc<Counter>,
     atom_simulated_us: Arc<Histogram>,
 }
 
@@ -90,6 +91,7 @@ impl ExecutorMetrics {
             records_out: registry.counter("executor.records_out"),
             movement_us: registry.counter("executor.movement_us"),
             jobs_completed: registry.counter("executor.jobs_completed"),
+            replans: registry.counter("optimizer.replans"),
             atom_simulated_us: registry.histogram("executor.atom_simulated_us", &ATOM_US_BOUNDS),
         }
     }
@@ -228,6 +230,32 @@ impl ProgressListener for Observability {
                 records_out: obs.records_out,
             });
         }
+    }
+
+    fn on_replan(&self, event: &ReplanEvent) {
+        self.exec.replans.inc();
+        if self.sinks.is_empty() {
+            return;
+        }
+        let (job_id, span_id) = {
+            let mut job = self.job.lock();
+            if job.job_span.is_none() {
+                job.job_span = Some(self.alloc_span());
+            }
+            (job.job_span.expect("just set"), self.alloc_span())
+        };
+        self.emit(SpanRecord {
+            id: span_id,
+            parent: Some(job_id),
+            kind: SpanKind::Replan,
+            label: format!(
+                "replan-{} n{} drift x{:.2}",
+                event.index, event.trigger_node.0, event.drift
+            ),
+            platform: String::new(),
+            elapsed_ms: 0.0,
+            records_out: event.observed_card,
+        });
     }
 
     fn on_job_complete(&self, stats: &ExecutionStats) {

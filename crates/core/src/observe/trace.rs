@@ -19,6 +19,8 @@ pub enum SpanKind {
     Job,
     /// One scheduling wave of the executor.
     Wave,
+    /// One mid-job re-optimization of the unexecuted suffix.
+    Replan,
     /// One task atom (a platform-homogeneous plan fragment).
     Atom,
     /// One operator kernel inside an atom.
@@ -31,6 +33,7 @@ impl SpanKind {
         match self {
             SpanKind::Job => "job",
             SpanKind::Wave => "wave",
+            SpanKind::Replan => "replan",
             SpanKind::Atom => "atom",
             SpanKind::Kernel => "kernel",
         }
@@ -183,25 +186,29 @@ impl TraceSink for JsonLinesSink {
 /// Render a set of spans as a schedule-independent tree.
 ///
 /// Two runs of the same plan — one sequential, one parallel — produce
-/// different wave structure (the sequential executor runs one atom per
-/// wave) and different emission interleavings, but identical *work*. This
-/// renderer therefore:
+/// different wave structure and different emission interleavings, but
+/// identical *work*; a run with adaptive re-planning enabled additionally
+/// emits [`SpanKind::Replan`] spans while still doing the same work when
+/// nothing (or something output-preserving) was re-planned. This renderer
+/// therefore:
 ///
-/// - skips [`SpanKind::Wave`] spans, re-parenting their children to the
-///   wave's parent (the job);
+/// - skips [`SpanKind::Wave`] and [`SpanKind::Replan`] spans, re-parenting
+///   their children to the nearest kept ancestor (the job);
 /// - sorts siblings by their rendered text, erasing emission order;
 /// - excludes timing fields, which legitimately differ between runs.
 ///
-/// The result is a stable string equal across schedule modes, used by the
-/// deterministic-replay tests.
+/// The result is a stable string equal across schedule modes — and across
+/// re-planning on/off whenever the re-plan preserved the executed atoms —
+/// used by the deterministic-replay tests.
 pub fn canonical_tree(spans: &[SpanRecord]) -> String {
-    // Resolve each span's nearest non-wave ancestor.
+    let skipped = |kind: SpanKind| matches!(kind, SpanKind::Wave | SpanKind::Replan);
+    // Resolve each span's nearest kept (non-skipped) ancestor.
     let by_id: BTreeMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
     let effective_parent = |span: &SpanRecord| -> Option<u64> {
         let mut parent = span.parent;
         while let Some(pid) = parent {
             match by_id.get(&pid) {
-                Some(p) if p.kind == SpanKind::Wave => parent = p.parent,
+                Some(p) if skipped(p.kind) => parent = p.parent,
                 Some(_) => return Some(pid),
                 None => return None,
             }
@@ -210,7 +217,7 @@ pub fn canonical_tree(spans: &[SpanRecord]) -> String {
     };
     let mut children: BTreeMap<Option<u64>, Vec<&SpanRecord>> = BTreeMap::new();
     for span in spans {
-        if span.kind == SpanKind::Wave {
+        if skipped(span.kind) {
             continue;
         }
         children

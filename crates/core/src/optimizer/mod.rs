@@ -5,13 +5,17 @@
 //! * [`rewrites`] — sound UDF-algebra rewrites (§4.1/§4.2 "traditional
 //!   physical optimizations");
 //! * [`enumerate`] — platform assignment by DP with pluggable cost models
-//!   and inter-platform movement costs, plus task-atom splitting (§4.2).
+//!   and inter-platform movement costs, plus task-atom splitting (§4.2);
+//! * [`replan`] — adaptive mid-job re-optimization: the executor's hook
+//!   for re-enumerating the unexecuted suffix of a running job when
+//!   observed cardinalities drift from the estimates.
 //!
 //! [`MultiPlatformOptimizer`] wires them together: it is the component in
 //! the middle of the paper's Figure 1.
 
 pub mod application;
 pub mod enumerate;
+pub mod replan;
 pub mod rewrites;
 
 use std::sync::Arc;
@@ -25,6 +29,7 @@ use crate::plan::{ExecutionPlan, PhysicalPlan};
 use crate::platform::PlatformRegistry;
 
 pub use enumerate::EnumerationConfig;
+pub use replan::{ReplanPolicy, Replanner};
 
 /// The multi-platform task optimizer (core layer, §4.2).
 #[derive(Clone, Default)]
@@ -118,6 +123,20 @@ impl MultiPlatformOptimizer {
                 .set(self.calibration.len() as u64);
         }
         result
+    }
+
+    /// A [`Replanner`] sharing this optimizer's models, so mid-job
+    /// re-enumeration prices platforms exactly as the original pass did
+    /// (same estimator, movement prices, enumeration knobs, and — live —
+    /// the same calibration table).
+    pub fn replanner(&self, policy: ReplanPolicy) -> Replanner {
+        Replanner {
+            estimator: self.estimator.clone(),
+            movement: self.movement.clone(),
+            enumeration: self.config.enumeration.clone(),
+            calibration: self.calibration.clone(),
+            policy,
+        }
     }
 
     /// Lower a logical plan and optimize it in one step.

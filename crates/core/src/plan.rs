@@ -7,7 +7,7 @@
 //! to be executed on a single data processing platform" (§3.1) — producing
 //! an [`ExecutionPlan`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -578,6 +578,63 @@ impl ExecutionPlan {
         Ok(deps)
     }
 
+    /// Position-based variant of [`ExecutionPlan::atom_dependencies`] for
+    /// plans whose atom ids are no longer dense — suffix plans spliced in
+    /// by mid-job re-planning keep globally unique (but gappy) ids, so
+    /// dependencies are expressed over atom *positions* instead.
+    ///
+    /// Returns, for each atom position, the sorted, deduplicated positions
+    /// of the atoms whose outputs it consumes. Producer nodes listed in
+    /// `materialized` already have their outputs available (they were
+    /// produced before the re-plan) and contribute no edge; everything
+    /// else gets the same wiring validation as `atom_dependencies`
+    /// (producer bounds, ownership, boundary self-cycles).
+    pub fn pending_dependencies(&self, materialized: &HashSet<NodeId>) -> Result<Vec<Vec<usize>>> {
+        let mut pos_of: HashMap<NodeId, usize> = HashMap::new();
+        for (pos, atom) in self.atoms.iter().enumerate() {
+            for &n in &atom.nodes {
+                pos_of.insert(n, pos);
+            }
+        }
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); self.atoms.len()];
+        for (pos, atom) in self.atoms.iter().enumerate() {
+            for input in &atom.inputs {
+                let p = input.producer;
+                if p.0 >= self.physical.len() || p.0 >= self.assignments.len() {
+                    return Err(RheemError::InvalidPlan(format!(
+                        "atom {} consumes node {} outside the plan ({} nodes, {} assignments)",
+                        atom.id,
+                        p,
+                        self.physical.len(),
+                        self.assignments.len()
+                    )));
+                }
+                if materialized.contains(&p) {
+                    continue;
+                }
+                let producer_pos = *pos_of.get(&p).ok_or_else(|| {
+                    RheemError::InvalidPlan(format!(
+                        "atom {} consumes node {} that no pending atom produces \
+                         and that is not materialized",
+                        atom.id, p
+                    ))
+                })?;
+                if producer_pos == pos {
+                    return Err(RheemError::InvalidPlan(format!(
+                        "atom {} consumes its own node {} across an atom boundary",
+                        atom.id, p
+                    )));
+                }
+                deps[pos].push(producer_pos);
+            }
+        }
+        for d in &mut deps {
+            d.sort_unstable();
+            d.dedup();
+        }
+        Ok(deps)
+    }
+
     /// How many boundary edges consume each producer node's output.
     ///
     /// The executor decrements these as atoms finish and drops an
@@ -853,6 +910,29 @@ mod tests {
         let counts = plan.boundary_consumer_counts();
         assert_eq!(counts.get(&NodeId(1)), Some(&1));
         assert_eq!(counts.get(&NodeId(0)), None);
+    }
+
+    #[test]
+    fn pending_dependencies_tolerate_gappy_ids_and_materialized_producers() {
+        // Same wiring as `two_atom_exec_plan`, but with the suffix shape a
+        // re-plan produces: the first atom already ran (its node outputs
+        // are materialized), the remaining atom keeps a non-dense id.
+        let mut plan = two_atom_exec_plan();
+        plan.atoms.remove(0);
+        plan.atoms[0].id = 7;
+        assert!(plan.atom_dependencies().is_err()); // non-dense ids
+        let materialized: HashSet<NodeId> = [NodeId(0), NodeId(1)].into_iter().collect();
+        let deps = plan.pending_dependencies(&materialized).unwrap();
+        assert_eq!(deps, vec![Vec::<usize>::new()]);
+        // Without the materialized set, the dangling producer is an error.
+        assert!(plan.pending_dependencies(&HashSet::new()).is_err());
+        // On a dense full plan with nothing materialized, positions match
+        // `atom_dependencies` exactly.
+        let full = two_atom_exec_plan();
+        assert_eq!(
+            full.pending_dependencies(&HashSet::new()).unwrap(),
+            full.atom_dependencies().unwrap()
+        );
     }
 
     #[test]

@@ -42,6 +42,8 @@ pub struct HotStats {
     pub misses: u64,
     /// Entries evicted to make room.
     pub evictions: u64,
+    /// Entries dropped by [`HotDataBuffer::invalidate_dataset`].
+    pub invalidations: u64,
 }
 
 struct Entry {
@@ -62,6 +64,7 @@ struct HotMetrics {
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     evictions: Arc<Counter>,
+    invalidations: Arc<Counter>,
 }
 
 /// An LRU cache of datasets in platform-native formats.
@@ -86,14 +89,16 @@ impl HotDataBuffer {
         }
     }
 
-    /// Mirror hit/miss/eviction counts into `registry` as the counters
-    /// `storage.hot.hits`, `storage.hot.misses`, and
-    /// `storage.hot.evictions` (in addition to [`HotDataBuffer::stats`]).
+    /// Mirror hit/miss/eviction/invalidation counts into `registry` as
+    /// the counters `storage.hot.hits`, `storage.hot.misses`,
+    /// `storage.hot.evictions`, and `storage.hot.invalidations` (in
+    /// addition to [`HotDataBuffer::stats`]).
     pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
         self.metrics = Some(HotMetrics {
             hits: registry.counter("storage.hot.hits"),
             misses: registry.counter("storage.hot.misses"),
             evictions: registry.counter("storage.hot.evictions"),
+            invalidations: registry.counter("storage.hot.invalidations"),
         });
         self
     }
@@ -125,10 +130,14 @@ impl HotDataBuffer {
 
     /// Insert a dataset, evicting least-recently-used entries as needed.
     ///
-    /// Datasets larger than the whole buffer are not cached at all.
+    /// Datasets larger than the whole buffer are not cached at all, and
+    /// neither are empty ones: an empty dataset carries no I/O worth
+    /// skipping, but its entry would still occupy a map slot and — worse —
+    /// could serve a stale empty result for a dataset that has since been
+    /// written (the old behavior; see the regression test).
     pub fn put(&self, key: HotKey, data: Dataset) {
         let len = data.len();
-        if len > self.capacity_records {
+        if len == 0 || len > self.capacity_records {
             return;
         }
         let mut inner = self.inner.lock();
@@ -178,6 +187,10 @@ impl HotDataBuffer {
         for k in victims {
             let e = inner.entries.remove(&k).expect("victim exists");
             inner.resident_records -= e.data.len();
+            inner.stats.invalidations += 1;
+            if let Some(m) = &self.metrics {
+                m.invalidations.inc();
+            }
         }
     }
 
@@ -189,6 +202,11 @@ impl HotDataBuffer {
     /// Records currently cached.
     pub fn resident_records(&self) -> usize {
         self.inner.lock().resident_records
+    }
+
+    /// Number of cached entries (dataset × format pairs).
+    pub fn entries(&self) -> usize {
+        self.inner.lock().entries.len()
     }
 }
 
@@ -254,6 +272,39 @@ mod tests {
         assert!(buf.get(&HotKey::new("a", "spark")).is_none());
         assert!(buf.get(&HotKey::new("b", "java")).is_some());
         assert_eq!(buf.resident_records(), 5);
+    }
+
+    #[test]
+    fn empty_datasets_are_not_cached() {
+        // Regression: an empty dataset used to occupy an entry and could
+        // serve a stale empty result after the real dataset was written.
+        let buf = HotDataBuffer::new(100);
+        let key = HotKey::new("a", "java");
+        buf.put(key.clone(), ds(0));
+        assert_eq!(buf.entries(), 0);
+        assert!(buf.get(&key).is_none());
+        // The backing store is consulted, sees the freshly written data,
+        // and caches the non-empty version.
+        buf.put(key.clone(), ds(7));
+        assert_eq!(buf.get(&key).unwrap().len(), 7);
+    }
+
+    #[test]
+    fn invalidations_are_counted_per_entry_and_mirrored() {
+        let registry = MetricsRegistry::new();
+        let buf = HotDataBuffer::new(100).with_metrics(&registry);
+        buf.put(HotKey::new("a", "java"), ds(5));
+        buf.put(HotKey::new("a", "spark"), ds(5));
+        buf.put(HotKey::new("b", "java"), ds(5));
+        buf.invalidate_dataset("a");
+        buf.invalidate_dataset("missing");
+        assert_eq!(buf.stats().invalidations, 2);
+        assert_eq!(
+            registry.counter("storage.hot.invalidations").get(),
+            2,
+            "registry mirror must match HotStats"
+        );
+        assert_eq!(buf.entries(), 1);
     }
 
     #[test]

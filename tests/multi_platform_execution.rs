@@ -326,22 +326,62 @@ fn independent_atoms_share_a_wave_and_match_sequential_output() {
         parallel.stats.waves,
         exec.atoms.len()
     );
-    assert_eq!(sequential.stats.waves, exec.atoms.len());
+    // Wave accounting is mode-consistent: sequential mode walks the same
+    // waves parallel mode computes, one atom at a time.
+    assert_eq!(sequential.stats.waves, parallel.stats.waves);
     // The java atom (source + reduce branch) is wave 0; the two atoms
-    // that consume the source across a boundary run together in wave 1.
-    let wave_of: std::collections::HashMap<usize, usize> = parallel
-        .stats
-        .atoms
-        .iter()
-        .map(|a| (a.atom_id, a.wave))
-        .collect();
-    for atom in &exec.atoms {
-        let expected = if atom.inputs.is_empty() { 0 } else { 1 };
-        assert_eq!(wave_of[&atom.id], expected, "atom {}", atom.id);
+    // that consume the source across a boundary run together in wave 1 —
+    // in both modes.
+    for run in [&parallel, &sequential] {
+        let wave_of: std::collections::HashMap<usize, usize> = run
+            .stats
+            .atoms
+            .iter()
+            .map(|a| (a.atom_id, a.wave))
+            .collect();
+        for atom in &exec.atoms {
+            let expected = if atom.inputs.is_empty() { 0 } else { 1 };
+            assert_eq!(wave_of[&atom.id], expected, "atom {}", atom.id);
+        }
     }
 
     // Identical sink outputs under both schedules.
     assert_eq!(sorted_outputs(&parallel), sorted_outputs(&sequential));
+}
+
+#[test]
+fn multi_failure_waves_report_the_lowest_id_failing_atom_in_both_modes() {
+    // Both branch atoms of wave 1 fail deterministically on every attempt
+    // (persistent injection, no retries), so regardless of scheduling the
+    // executor must surface the *lowest-id* failing atom's error. This
+    // pins the contract documented on `run_wave`.
+    let exec = fanout_exec_plan();
+    let failing: Vec<&rheem_core::TaskAtom> =
+        exec.atoms.iter().filter(|a| a.platform != "java").collect();
+    assert!(failing.len() >= 2, "want a multi-atom failing wave");
+    let lowest = failing.iter().map(|a| a.id).min().unwrap();
+
+    let run = |mode: ScheduleMode| {
+        let injector = Arc::new(FailureInjector::fail_next("sparklike", 1_000_000));
+        injector.add("mapreduce", 1_000_000);
+        test_context()
+            .with_schedule_mode(mode)
+            .with_max_parallel_atoms(4)
+            .with_max_retries(0)
+            .with_failure_injector(injector)
+            .execute_plan(&exec)
+            .unwrap_err()
+    };
+    for mode in [ScheduleMode::Sequential, ScheduleMode::Parallel] {
+        let err = run(mode);
+        match &err {
+            RheemError::Execution { message, .. } => assert!(
+                message.contains(&format!("atom {lowest}")),
+                "{mode:?}: expected failure of atom {lowest}, got: {message}"
+            ),
+            other => panic!("{mode:?}: unexpected error {other}"),
+        }
+    }
 }
 
 #[test]
@@ -500,6 +540,12 @@ proptest::proptest! {
 
         proptest::prop_assert_eq!(sorted_outputs(&parallel), sorted_outputs(&sequential));
         proptest::prop_assert_eq!(parallel.stats.atoms.len(), sequential.stats.atoms.len());
-        proptest::prop_assert!(parallel.stats.waves <= sequential.stats.waves);
+        // Mode-consistent wave accounting: both schedules report the same
+        // wave structure (sequential just runs one atom at a time).
+        proptest::prop_assert_eq!(parallel.stats.waves, sequential.stats.waves);
+        for (p, s) in parallel.stats.atoms.iter().zip(&sequential.stats.atoms) {
+            proptest::prop_assert_eq!(p.atom_id, s.atom_id);
+            proptest::prop_assert_eq!(p.wave, s.wave);
+        }
     }
 }

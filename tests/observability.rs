@@ -63,27 +63,51 @@ fn fanout_exec_plan() -> ExecutionPlan {
     }
 }
 
+/// Total wave count plus sorted `(atom_id, wave)` pairs — the wave
+/// structure a run reported, which the replay contract requires to be
+/// mode-invariant.
+type WaveAccounting = (usize, Vec<(usize, usize)>);
+
+fn wave_accounting(result: &rheem_core::executor::JobResult) -> WaveAccounting {
+    let mut atoms: Vec<(usize, usize)> = result
+        .stats
+        .atoms
+        .iter()
+        .map(|a| (a.atom_id, a.wave))
+        .collect();
+    atoms.sort_unstable();
+    (result.stats.waves, atoms)
+}
+
 /// Execute `exec` under `mode` with a fresh observability hub; return the
-/// canonical span tree and the deterministic counter snapshot.
-fn traced_run(exec: &ExecutionPlan, mode: ScheduleMode) -> (String, Vec<(String, u64)>) {
+/// canonical span tree, the deterministic counter snapshot, and the wave
+/// accounting.
+fn traced_run(
+    exec: &ExecutionPlan,
+    mode: ScheduleMode,
+) -> (String, Vec<(String, u64)>, WaveAccounting) {
     let ring = Arc::new(RingBufferSink::new(4096));
     let observe = Arc::new(Observability::new().with_sink(ring.clone()));
     let ctx = test_context()
         .with_schedule_mode(mode)
         .with_max_parallel_atoms(4)
         .with_observability(observe.clone());
-    ctx.execute_plan(exec).unwrap();
+    let result = ctx.execute_plan(exec).unwrap();
     let tree = canonical_tree(&ring.snapshot());
     // Histograms are timing-derived (bucketed wall measurements) and are
     // deliberately excluded from the replay contract; counters are not.
-    (tree, observe.metrics().snapshot().counters)
+    (
+        tree,
+        observe.metrics().snapshot().counters,
+        wave_accounting(&result),
+    )
 }
 
 #[test]
 fn sequential_and_parallel_runs_trace_the_same_job() {
     let exec = fanout_exec_plan();
-    let (seq_tree, seq_counters) = traced_run(&exec, ScheduleMode::Sequential);
-    let (par_tree, par_counters) = traced_run(&exec, ScheduleMode::Parallel);
+    let (seq_tree, seq_counters, seq_waves) = traced_run(&exec, ScheduleMode::Sequential);
+    let (par_tree, par_counters, par_waves) = traced_run(&exec, ScheduleMode::Parallel);
     assert_eq!(
         seq_tree, par_tree,
         "canonical span trees must not depend on scheduling"
@@ -91,6 +115,10 @@ fn sequential_and_parallel_runs_trace_the_same_job() {
     assert_eq!(
         seq_counters, par_counters,
         "deterministic counters must not depend on scheduling"
+    );
+    assert_eq!(
+        seq_waves, par_waves,
+        "wave accounting must not depend on scheduling"
     );
     // The tree reflects the plan: one job, three atoms (the java source
     // merges with the java reduce branch), kernels under them.
@@ -372,17 +400,19 @@ proptest! {
                 .with_max_parallel_atoms(4)
                 .with_observability(observe.clone());
             let exec = ctx.optimize(physical.clone()).unwrap();
-            ctx.execute_plan(&exec).unwrap();
+            let result = ctx.execute_plan(&exec).unwrap();
             (
                 exec.assignments.clone(),
                 canonical_tree(&ring.snapshot()),
                 observe.metrics().snapshot().counters,
+                wave_accounting(&result),
             )
         };
-        let (seq_assign, seq_tree, seq_counters) = run(ScheduleMode::Sequential);
-        let (par_assign, par_tree, par_counters) = run(ScheduleMode::Parallel);
+        let (seq_assign, seq_tree, seq_counters, seq_waves) = run(ScheduleMode::Sequential);
+        let (par_assign, par_tree, par_counters, par_waves) = run(ScheduleMode::Parallel);
         prop_assert_eq!(seq_assign, par_assign);
         prop_assert_eq!(seq_tree, par_tree);
         prop_assert_eq!(seq_counters, par_counters);
+        prop_assert_eq!(seq_waves, par_waves);
     }
 }

@@ -1,0 +1,408 @@
+//! Adaptive mid-job re-optimization, end to end (§4.2's "monitoring the
+//! progress of plan execution" taken to its conclusion: acting on what the
+//! monitor sees).
+//!
+//! The contract under test: enabling a [`ReplanPolicy`] never changes a
+//! job's *outputs* — it may only change which platforms run the unexecuted
+//! suffix — and every re-plan is observable (the `replans` stat, the
+//! `optimizer.replans` counter, a `replan` trace span) and bounded (by
+//! `max_replans` and by the job deadline).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use rheem::prelude::*;
+use rheem::rec;
+use rheem_core::optimizer::enumerate::split_into_atoms;
+use rheem_core::plan::NodeId;
+use rheem_core::{
+    canonical_tree, ExecutionPlan, JobResult, NodeEstimate, Observability, ReplanEvent,
+    ReplanPolicy, RingBufferSink, ScheduleMode, SpanKind,
+};
+use rheem_platforms::test_context;
+
+/// A two-atom plan whose estimates claim the source yields `declared`
+/// records while it actually yields `actual` — the mis-estimation that
+/// should trip the drift detector at the wave boundary. The source atom is
+/// hand-pinned to `src_platform`, the suffix (map + sink) to
+/// `suffix_platform`.
+fn misestimated_exec_plan(
+    actual: i64,
+    declared: f64,
+    src_platform: &str,
+    suffix_platform: &str,
+) -> ExecutionPlan {
+    let mut b = PlanBuilder::new();
+    let src = b.collection("s", (0..actual).map(|i| rec![i % 7, i]).collect());
+    let mapped = b.map(
+        src,
+        MapUdf::new("x2", |r| rec![r.int(0).unwrap(), r.int(1).unwrap() * 2]),
+    );
+    b.collect(mapped);
+    let physical = b.build().unwrap();
+    let assignments: Vec<String> = vec![
+        src_platform.into(),
+        suffix_platform.into(),
+        suffix_platform.into(),
+    ];
+    let atoms = split_into_atoms(&physical, &assignments);
+    assert_eq!(atoms.len(), 2, "want a boundary between source and suffix");
+    let estimates = (0..physical.len())
+        .map(|_| NodeEstimate {
+            cost_ms: declared * 1e-4,
+            card: declared,
+        })
+        .collect();
+    ExecutionPlan {
+        physical: Arc::new(physical),
+        assignments,
+        atoms,
+        estimated_cost: 0.0,
+        estimates,
+    }
+}
+
+fn sorted_outputs(result: &JobResult) -> Vec<(NodeId, Vec<Record>)> {
+    let mut out: Vec<(NodeId, Vec<Record>)> = result
+        .outputs
+        .iter()
+        .map(|(n, d)| (*n, d.records().to_vec()))
+        .collect();
+    out.sort_by_key(|(n, _)| *n);
+    out
+}
+
+#[derive(Default)]
+struct ReplanRecorder {
+    events: Mutex<Vec<ReplanEvent>>,
+}
+impl rheem_core::ProgressListener for ReplanRecorder {
+    fn on_replan(&self, event: &ReplanEvent) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+#[test]
+fn drift_triggers_a_replan_that_flips_the_suffix_platform() {
+    // Estimates claim 1M records; the source actually yields 100. At 1M
+    // the hand-pinned sparklike suffix looks reasonable; at 100 the
+    // re-enumeration must bring the suffix home to java (no cluster
+    // startup overhead) — without changing the output.
+    let exec = misestimated_exec_plan(100, 1e6, "java", "sparklike");
+    let ctx = || {
+        RheemContext::new()
+            .with_platform(Arc::new(JavaPlatform::new()))
+            .with_platform(Arc::new(SparkLikePlatform::new(4).with_overheads(
+                OverheadConfig::accounted_only(Duration::from_millis(25), Duration::from_millis(2)),
+            )))
+    };
+
+    let baseline = ctx().execute_plan(&exec).unwrap();
+    assert_eq!(baseline.stats.replans, 0);
+    assert!(baseline.effective_plan.is_none());
+    assert_eq!(baseline.stats.platforms_used(), vec!["java", "sparklike"]);
+
+    let recorder = Arc::new(ReplanRecorder::default());
+    let adaptive = ctx()
+        .with_replan_policy(ReplanPolicy::default())
+        .with_progress_listener(recorder.clone())
+        .execute_plan(&exec)
+        .unwrap();
+
+    assert_eq!(sorted_outputs(&adaptive), sorted_outputs(&baseline));
+    assert_eq!(adaptive.stats.replans, 1);
+    assert_eq!(
+        adaptive.stats.platforms_used(),
+        vec!["java"],
+        "the suffix should have flipped off the mis-chosen cluster"
+    );
+
+    // The effective plan records what actually ran.
+    let effective = adaptive.effective_plan.as_ref().expect("replan happened");
+    assert_eq!(effective.assignments, vec!["java"; 3]);
+    assert_eq!(effective.atoms.len(), adaptive.stats.atoms.len());
+    // True cardinality was folded back into the boundary estimate.
+    assert_eq!(effective.estimates[0].card, 100.0);
+
+    // The listener saw the re-plan, with the drifted boundary named.
+    let events = recorder.events.lock();
+    assert_eq!(events.len(), 1);
+    let ev = &events[0];
+    assert_eq!(ev.index, 0);
+    assert_eq!(ev.trigger_node, NodeId(0));
+    assert_eq!(ev.observed_card, 100);
+    assert!(ev.drift > 1_000.0, "drift {}", ev.drift);
+    assert_eq!((ev.replaced_atoms, ev.new_atoms), (1, 1));
+}
+
+#[test]
+fn replans_are_observable_as_counter_and_span() {
+    let exec = misestimated_exec_plan(100, 1e6, "java", "sparklike");
+    let ring = Arc::new(RingBufferSink::new(1024));
+    let observe = Arc::new(Observability::new().with_sink(ring.clone()));
+    let result = test_context()
+        .with_observability(observe.clone())
+        .with_replan_policy(ReplanPolicy::default())
+        .execute_plan(&exec)
+        .unwrap();
+    assert_eq!(result.stats.replans, 1);
+    assert_eq!(observe.metrics().counter_value("optimizer.replans"), 1);
+
+    let spans = ring.snapshot();
+    let replan_spans: Vec<_> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Replan)
+        .collect();
+    assert_eq!(replan_spans.len(), 1);
+    let span = replan_spans[0];
+    assert!(span.label.starts_with("replan-0"), "{}", span.label);
+    assert_eq!(span.records_out, 100);
+    // The replan span hangs off the job root, like the waves it separates.
+    let job = spans.iter().find(|s| s.kind == SpanKind::Job).unwrap();
+    assert_eq!(span.parent, Some(job.id));
+}
+
+#[test]
+fn canonical_trace_is_identical_modulo_replan_spans_when_assignments_survive() {
+    // The suffix is already pinned where re-enumeration lands for 64
+    // records (java), so the re-plan fires (the drift at the sparklike
+    // source boundary is real) but re-picks the same assignments: the
+    // executed atoms are identical and the canonical tree must match the
+    // non-adaptive run's exactly (replan spans are skipped by the
+    // canonicalizer).
+    let exec = misestimated_exec_plan(64, 1e6, "sparklike", "java");
+    let run = |policy: Option<ReplanPolicy>| {
+        let ring = Arc::new(RingBufferSink::new(1024));
+        let observe = Arc::new(Observability::new().with_sink(ring.clone()));
+        let mut ctx = test_context().with_observability(observe);
+        if let Some(p) = policy {
+            ctx = ctx.with_replan_policy(p);
+        }
+        let result = ctx.execute_plan(&exec).unwrap();
+        (result, canonical_tree(&ring.snapshot()))
+    };
+    let (plain, plain_tree) = run(None);
+    let (adaptive, adaptive_tree) = run(Some(ReplanPolicy {
+        threshold: 2.0,
+        max_replans: 2,
+    }));
+    assert_eq!(adaptive.stats.replans, 1);
+    assert_eq!(sorted_outputs(&adaptive), sorted_outputs(&plain));
+    assert_eq!(
+        adaptive_tree, plain_tree,
+        "replan spans must be invisible to the canonical tree"
+    );
+    assert!(!adaptive_tree.contains("replan"));
+}
+
+#[test]
+fn max_replans_zero_disables_replanning_despite_drift() {
+    let exec = misestimated_exec_plan(100, 1e6, "java", "sparklike");
+    let baseline = test_context().execute_plan(&exec).unwrap();
+    let result = test_context()
+        .with_replan_policy(ReplanPolicy {
+            threshold: 2.0,
+            max_replans: 0,
+        })
+        .execute_plan(&exec)
+        .unwrap();
+    assert_eq!(result.stats.replans, 0);
+    assert!(result.effective_plan.is_none());
+    assert_eq!(sorted_outputs(&result), sorted_outputs(&baseline));
+}
+
+#[test]
+fn a_single_drift_replans_once_even_with_budget_to_spare() {
+    // After the re-plan the boundary estimate equals the observed
+    // cardinality, so the drift detector must not fire again.
+    let exec = misestimated_exec_plan(100, 1e6, "java", "sparklike");
+    let result = test_context()
+        .with_replan_policy(ReplanPolicy {
+            threshold: 2.0,
+            max_replans: 5,
+        })
+        .execute_plan(&exec)
+        .unwrap();
+    assert_eq!(result.stats.replans, 1);
+}
+
+/// A java clone that sleeps before every atom — long enough that a small
+/// job deadline has certainly expired by the first wave boundary.
+struct SluggishJava {
+    inner: JavaPlatform,
+    delay: Duration,
+}
+impl Platform for SluggishJava {
+    fn name(&self) -> &str {
+        "java"
+    }
+    fn profile(&self) -> rheem_core::ProcessingProfile {
+        self.inner.profile()
+    }
+    fn supports(&self, op: &rheem_core::PhysicalOp) -> bool {
+        self.inner.supports(op)
+    }
+    fn cost_model(&self) -> Arc<dyn rheem_core::cost::PlatformCostModel> {
+        self.inner.cost_model()
+    }
+    fn execute_atom(
+        &self,
+        plan: &rheem_core::PhysicalPlan,
+        atom: &rheem_core::TaskAtom,
+        inputs: &rheem_core::AtomInputs,
+        ctx: &rheem_core::ExecutionContext,
+    ) -> rheem_core::Result<rheem_core::AtomResult> {
+        std::thread::sleep(self.delay);
+        self.inner.execute_atom(plan, atom, inputs, ctx)
+    }
+}
+
+#[test]
+fn replans_respect_the_job_deadline() {
+    // Wave 0 alone overruns the deadline. The drift detector would fire
+    // at the boundary, but a re-plan is part of the job: the deadline
+    // check must refuse it (and then fail the job) rather than spend
+    // optimizer time a timed-out job no longer has.
+    let exec = misestimated_exec_plan(100, 1e6, "java", "sparklike");
+    let recorder = Arc::new(ReplanRecorder::default());
+    let err = RheemContext::new()
+        .with_platform(Arc::new(SluggishJava {
+            inner: JavaPlatform::new(),
+            delay: Duration::from_millis(50),
+        }))
+        .with_platform(Arc::new(SparkLikePlatform::new(4)))
+        .with_timeout(Duration::from_millis(10))
+        .with_replan_policy(ReplanPolicy::default())
+        .with_progress_listener(recorder.clone())
+        .execute_plan(&exec)
+        .unwrap_err();
+    assert!(matches!(err, RheemError::BudgetExceeded(_)), "{err}");
+    assert!(
+        recorder.events.lock().is_empty(),
+        "no replan may start after the deadline"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Property: a replan policy never changes outputs
+// ---------------------------------------------------------------------------
+
+/// Unary pipeline steps whose output is deterministic as a sorted bag.
+/// `FanoutLie` deliberately mis-declares its fanout hint so the optimizer's
+/// cardinality estimates drift far from reality, making real re-plans
+/// common in the generated corpus.
+#[derive(Clone, Debug)]
+enum Step {
+    MapAdd(i64),
+    FilterMod(i64),
+    Distinct,
+    ReduceSum,
+    FanoutLie,
+}
+
+fn apply_step(b: &mut PlanBuilder, input: rheem_core::NodeId, step: &Step) -> rheem_core::NodeId {
+    match step {
+        Step::MapAdd(c) => {
+            let c = *c;
+            b.map(
+                input,
+                MapUdf::new("add", move |r| {
+                    rec![r.int(0).unwrap().wrapping_add(c), r.int(1).unwrap_or(0)]
+                }),
+            )
+        }
+        Step::FilterMod(m) => {
+            let m = (*m).max(1);
+            b.filter(
+                input,
+                FilterUdf::new("mod", move |r| r.int(0).unwrap().rem_euclid(m) != 0),
+            )
+        }
+        Step::Distinct => b.distinct(input),
+        Step::ReduceSum => b.reduce_by_key(
+            input,
+            KeyUdf::new("mod5", |r| (r.int(0).unwrap().rem_euclid(5)).into()),
+            ReduceUdf::new("sum", |a, x| {
+                rec![
+                    a.int(0).unwrap().min(x.int(0).unwrap()),
+                    a.int(1).unwrap_or(0).wrapping_add(x.int(1).unwrap_or(0))
+                ]
+            }),
+        ),
+        // Claims 64× expansion, actually duplicates each record once.
+        Step::FanoutLie => b.flat_map(
+            input,
+            FlatMapUdf::new("dup", |r| vec![r.clone(), r.clone()]).with_fanout(64.0),
+        ),
+    }
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (-100i64..100).prop_map(Step::MapAdd),
+        (1i64..9).prop_map(Step::FilterMod),
+        Just(Step::Distinct),
+        Just(Step::ReduceSum),
+        Just(Step::FanoutLie),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16, ..ProptestConfig::default()
+    })]
+
+    /// For random (often badly mis-estimated) plans, executing with an
+    /// aggressive replan policy yields exactly the outputs of the plain
+    /// run, in both schedule modes; when nothing was re-planned the
+    /// canonical trace tree also matches.
+    #[test]
+    fn prop_replanning_preserves_outputs(
+        seed in 0u64..500,
+        len in 1usize..300,
+        branches in proptest::collection::vec(
+            proptest::collection::vec(step_strategy(), 0..4), 1..4),
+    ) {
+        let mut b = PlanBuilder::new();
+        let data: Vec<Record> = (0..len as i64)
+            .map(|i| rec![(i.wrapping_mul(seed as i64 + 7)).rem_euclid(83), 1i64])
+            .collect();
+        let src = b.collection("fuzz", data);
+        for steps in &branches {
+            let mut node = src;
+            for step in steps {
+                node = apply_step(&mut b, node, step);
+            }
+            b.collect(node);
+        }
+        let exec = test_context().optimize(b.build().unwrap()).unwrap();
+
+        for mode in [ScheduleMode::Sequential, ScheduleMode::Parallel] {
+            let run = |policy: Option<ReplanPolicy>| {
+                let ring = Arc::new(RingBufferSink::new(8192));
+                let observe = Arc::new(Observability::new().with_sink(ring.clone()));
+                let mut ctx = test_context()
+                    .with_schedule_mode(mode)
+                    .with_max_parallel_atoms(4)
+                    .with_observability(observe);
+                if let Some(p) = policy {
+                    ctx = ctx.with_replan_policy(p);
+                }
+                let result = ctx.execute_plan(&exec).unwrap();
+                (result, canonical_tree(&ring.snapshot()))
+            };
+            let (plain, plain_tree) = run(None);
+            let (adaptive, adaptive_tree) = run(Some(ReplanPolicy {
+                threshold: 1.5,
+                max_replans: 3,
+            }));
+            prop_assert!(adaptive.stats.replans <= 3);
+            prop_assert_eq!(sorted_outputs(&adaptive), sorted_outputs(&plain));
+            if adaptive.stats.replans == 0 {
+                prop_assert_eq!(adaptive_tree, plain_tree);
+            }
+        }
+    }
+}
