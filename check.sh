@@ -27,4 +27,10 @@ cargo test --workspace -q
 echo "==> cargo test --workspace --release"
 cargo test --workspace -q --release
 
+# Seeded fault-injection stress pass: the vendored proptest stub derives
+# each case's RNG from the test name + case index, so elevating the case
+# count explores more injected outages while staying fully reproducible.
+echo "==> fault-injection stress pass (PROPTEST_CASES=64)"
+PROPTEST_CASES=64 cargo test -q --release --test fault_tolerance
+
 echo "OK: all tier-1 checks passed"

@@ -13,7 +13,8 @@
 //!   transformation plans);
 //! * [`calibration`] — feedback-driven cost-model correction;
 //! * [`replanning`] — adaptive mid-job re-optimization at wave
-//!   boundaries.
+//!   boundaries;
+//! * [`failover`] — failover re-planning around a platform outage.
 //!
 //! Row-printer binaries (`fig2_svm_table`, `fig3_table`,
 //! `ablation_table`) emit the same series the paper plots; the Criterion
@@ -24,6 +25,7 @@
 
 pub mod ablations;
 pub mod calibration;
+pub mod failover;
 pub mod fig2;
 pub mod fig3;
 pub mod replanning;

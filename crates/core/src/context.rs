@@ -17,6 +17,7 @@ use std::time::Duration;
 
 use crate::error::Result;
 use crate::executor::{Executor, ExecutorConfig, JobResult, ProgressListener, ScheduleMode};
+use crate::fault::{FaultPolicy, PlatformHealth, Sleeper};
 use crate::logical::LogicalPlan;
 use crate::observe::Observability;
 use crate::optimizer::{MultiPlatformOptimizer, ReplanPolicy};
@@ -36,6 +37,9 @@ pub struct RheemContext {
     listeners: Vec<Arc<dyn ProgressListener>>,
     observability: Option<Arc<Observability>>,
     replan_policy: Option<ReplanPolicy>,
+    fault_policy: Option<FaultPolicy>,
+    platform_health: Option<Arc<PlatformHealth>>,
+    sleeper: Option<Arc<dyn Sleeper>>,
 }
 
 impl RheemContext {
@@ -101,6 +105,33 @@ impl RheemContext {
     pub fn with_replan_policy(mut self, policy: ReplanPolicy) -> Self {
         self.replan_policy = Some(policy);
         self
+    }
+
+    /// Install fault tolerance (see `DESIGN.md` §9): backoff between
+    /// retry attempts, per-platform circuit breakers shared across this
+    /// context's jobs, and — when `policy.failover` is set — failover
+    /// re-planning that re-routes the unexecuted suffix of a job around
+    /// a failed platform instead of failing the job.
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.platform_health = Some(Arc::new(PlatformHealth::new(policy.breaker)));
+        self.fault_policy = Some(policy);
+        self
+    }
+
+    /// Replace how retry backoff delays are slept. Tests install a
+    /// [`crate::fault::VirtualSleeper`] to observe intended delays
+    /// without paying wall-clock for them.
+    pub fn with_sleeper(mut self, sleeper: Arc<dyn Sleeper>) -> Self {
+        self.sleeper = Some(sleeper);
+        self
+    }
+
+    /// The per-platform circuit breakers, when a fault policy is
+    /// installed. Shared across every job this context runs (and across
+    /// clones of the context), so a platform marked down by one job is
+    /// avoided by the next.
+    pub fn platform_health(&self) -> Option<&Arc<PlatformHealth>> {
+        self.platform_health.as_ref()
     }
 
     /// Install a failure injector (tests / chaos experiments).
@@ -181,6 +212,26 @@ impl RheemContext {
         }
         if let Some(policy) = self.replan_policy {
             executor = executor.with_replanner(self.optimizer.replanner(policy));
+        }
+        if let Some(fp) = &self.fault_policy {
+            executor = executor.with_backoff(fp.backoff);
+            if let Some(health) = &self.platform_health {
+                if let Some(observe) = &self.observability {
+                    health.mirror_to(observe.metrics().clone());
+                }
+                executor = executor.with_platform_health(health.clone());
+            }
+            if fp.failover {
+                // Failover shares the drift re-planner's machinery but
+                // not its budget: `max_failovers` is counted separately.
+                let replanner = self
+                    .optimizer
+                    .replanner(self.replan_policy.unwrap_or_default());
+                executor = executor.with_failover(replanner, fp.max_failovers);
+            }
+        }
+        if let Some(sleeper) = &self.sleeper {
+            executor = executor.with_sleeper(sleeper.clone());
         }
         let result = executor.execute(plan, &self.execution_context())?;
         if self.observability.is_some() {

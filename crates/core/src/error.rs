@@ -3,10 +3,35 @@
 //! All fallible public APIs in this workspace return [`RheemError`] (or a
 //! crate-local error that converts into it). The variants mirror the stages
 //! of the paper's pipeline: plan construction, optimization, and execution.
+//!
+//! Every error also carries a *taxonomy* ([`ErrorKind`], via
+//! [`RheemError::classify`]): the executor's fault-tolerance machinery
+//! retries only [`ErrorKind::Transient`] failures, fails fast on
+//! [`ErrorKind::Permanent`] ones, and treats
+//! [`ErrorKind::ResourceExhausted`] as "this resource won't recover by
+//! retrying here" (an open circuit breaker, an expired budget).
 
 use std::fmt;
 
 use crate::plan::NodeId;
+
+/// Coarse failure taxonomy driving the executor's retry policy (§4.2 duty
+/// iii — see `DESIGN.md` §9).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// The operation may succeed if simply retried on the same platform
+    /// (engine hiccup, I/O glitch, injected chaos). The only kind the
+    /// executor spends retry budget on.
+    Transient,
+    /// Retrying cannot help: the plan, data, or configuration is wrong
+    /// (type errors, invalid plans, unknown platforms). The executor fails
+    /// fast after exactly one attempt.
+    Permanent,
+    /// A bounded resource is gone — the job deadline expired or a
+    /// platform's circuit breaker is open. Retrying *here* is pointless;
+    /// an open breaker instead makes the atom a failover candidate.
+    ResourceExhausted,
+}
 
 /// The unified error type of the RHEEM core.
 #[derive(Debug)]
@@ -38,6 +63,16 @@ pub enum RheemError {
     },
     /// A platform was referenced by name but is not registered.
     UnknownPlatform(String),
+    /// A platform is registered but currently unavailable: its circuit
+    /// breaker is open after repeated failures (see
+    /// [`crate::fault::PlatformHealth`]). Atoms hitting this error skip
+    /// their retry budget and become failover candidates.
+    PlatformUnavailable {
+        /// The unhealthy platform.
+        platform: String,
+        /// Why the breaker considers it down.
+        message: String,
+    },
     /// A task atom failed on its platform (possibly after retries).
     Execution {
         /// Platform that ran the atom.
@@ -78,6 +113,9 @@ impl fmt::Display for RheemError {
                 )
             }
             RheemError::UnknownPlatform(name) => write!(f, "unknown platform: {name}"),
+            RheemError::PlatformUnavailable { platform, message } => {
+                write!(f, "platform {platform} unavailable: {message}")
+            }
             RheemError::Execution { platform, message } => {
                 write!(f, "execution failed on platform {platform}: {message}")
             }
@@ -86,6 +124,54 @@ impl fmt::Display for RheemError {
             RheemError::BudgetExceeded(msg) => write!(f, "budget exceeded: {msg}"),
             RheemError::Query(msg) => write!(f, "query error: {msg}"),
             RheemError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl RheemError {
+    /// Where this error sits in the failure taxonomy.
+    ///
+    /// - [`ErrorKind::Transient`]: platform execution failures, storage
+    ///   failures, and I/O errors — the engine may simply have hiccuped.
+    /// - [`ErrorKind::ResourceExhausted`]: expired budgets and open
+    ///   circuit breakers — retrying on the same resource cannot help.
+    /// - [`ErrorKind::Permanent`]: everything else (bad plans, type
+    ///   errors, missing mappings/platforms/datasets, query errors) — a
+    ///   retry would deterministically fail again.
+    pub fn classify(&self) -> ErrorKind {
+        match self {
+            RheemError::Execution { .. } | RheemError::Storage(_) | RheemError::Io(_) => {
+                ErrorKind::Transient
+            }
+            RheemError::BudgetExceeded(_) | RheemError::PlatformUnavailable { .. } => {
+                ErrorKind::ResourceExhausted
+            }
+            RheemError::InvalidPlan(_)
+            | RheemError::Type { .. }
+            | RheemError::FieldOutOfBounds { .. }
+            | RheemError::Optimizer(_)
+            | RheemError::NoPlatformFor { .. }
+            | RheemError::UnknownPlatform(_)
+            | RheemError::DatasetNotFound(_)
+            | RheemError::Query(_) => ErrorKind::Permanent,
+        }
+    }
+
+    /// Whether the executor should spend retry budget on this error
+    /// (true exactly for [`ErrorKind::Transient`]).
+    pub fn is_retryable(&self) -> bool {
+        self.classify() == ErrorKind::Transient
+    }
+
+    /// The platform this error implicates, when it names one. Drives
+    /// failover re-planning: the implicated platform is excluded from the
+    /// re-enumeration of the unexecuted suffix.
+    pub fn platform(&self) -> Option<&str> {
+        match self {
+            RheemError::Execution { platform, .. }
+            | RheemError::PlatformUnavailable { platform, .. } => Some(platform),
+            RheemError::UnknownPlatform(platform) => Some(platform),
+            _ => None,
         }
     }
 }
@@ -129,6 +215,60 @@ mod tests {
         let e: RheemError = io.into();
         assert!(matches!(e, RheemError::Io(_)));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn taxonomy_partitions_the_variants() {
+        let transient = [
+            RheemError::Execution {
+                platform: "java".into(),
+                message: "boom".into(),
+            },
+            RheemError::Storage("disk glitch".into()),
+            RheemError::Io(std::io::Error::other("net")),
+        ];
+        for e in &transient {
+            assert_eq!(e.classify(), ErrorKind::Transient, "{e}");
+            assert!(e.is_retryable(), "{e}");
+        }
+        let permanent = [
+            RheemError::InvalidPlan("bad arity".into()),
+            RheemError::Type {
+                expected: "Int".into(),
+                found: "Str".into(),
+            },
+            RheemError::FieldOutOfBounds { index: 1, width: 0 },
+            RheemError::Optimizer("no".into()),
+            RheemError::UnknownPlatform("flink".into()),
+            RheemError::DatasetNotFound("x".into()),
+            RheemError::Query("parse".into()),
+        ];
+        for e in &permanent {
+            assert_eq!(e.classify(), ErrorKind::Permanent, "{e}");
+            assert!(!e.is_retryable(), "{e}");
+        }
+        let exhausted = [
+            RheemError::BudgetExceeded("deadline".into()),
+            RheemError::PlatformUnavailable {
+                platform: "spark".into(),
+                message: "breaker open".into(),
+            },
+        ];
+        for e in &exhausted {
+            assert_eq!(e.classify(), ErrorKind::ResourceExhausted, "{e}");
+            assert!(!e.is_retryable(), "{e}");
+        }
+    }
+
+    #[test]
+    fn implicated_platform_is_surfaced() {
+        let e = RheemError::PlatformUnavailable {
+            platform: "spark".into(),
+            message: "open".into(),
+        };
+        assert_eq!(e.platform(), Some("spark"));
+        assert!(e.to_string().contains("spark unavailable"));
+        assert_eq!(RheemError::Query("q".into()).platform(), None);
     }
 
     #[test]

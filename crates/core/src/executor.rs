@@ -33,6 +33,27 @@
 //! of the lowest-id atom that failed is reported (see
 //! [`Executor::execute`] internals for the attempt-set caveat).
 //!
+//! # Fault tolerance
+//!
+//! Failures are classified ([`RheemError::classify`]) before any retry
+//! budget is spent: only [`ErrorKind::Transient`](crate::ErrorKind)
+//! errors are retried (up to [`ExecutorConfig::max_retries`] times, with
+//! [`BackoffPolicy`] delays between attempts); permanent errors fail fast
+//! after exactly one attempt. With a [`PlatformHealth`] attached, every
+//! transient failure also feeds the platform's circuit breaker — an open
+//! breaker rejects atoms up front with
+//! [`RheemError::PlatformUnavailable`], skipping their retry budget.
+//!
+//! When an atom gives up (retries exhausted, breaker opened, or breaker
+//! already open) and failover is enabled ([`Executor::with_failover`]),
+//! the executor does not fail the job immediately: it commits every atom
+//! of the wave that *did* succeed, marks the failed platform down, and
+//! re-enumerates the unexecuted suffix with all failed platforms excluded
+//! — the same suffix-splicing machinery as adaptive re-planning, pointed
+//! at outages instead of drift. Committed atoms are never re-run; the job
+//! fails only when the re-enumeration finds no alternative mapping (or
+//! the failover budget / job deadline is spent).
+//!
 //! # Adaptive re-optimization
 //!
 //! With a [`Replanner`] attached ([`Executor::with_replanner`]), the
@@ -49,6 +70,7 @@
 use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -56,9 +78,10 @@ use parking_lot::Mutex;
 use crate::cost::MovementCostModel;
 use crate::data::Dataset;
 use crate::error::{Result, RheemError};
+use crate::fault::{BackoffPolicy, PlatformHealth, Sleeper, ThreadSleeper};
 use crate::optimizer::replan::{worst_drift, Replanner};
 use crate::plan::{ExecutionPlan, NodeId, TaskAtom};
-use crate::platform::{AtomInputs, ExecutionContext, PlatformRegistry};
+use crate::platform::{AtomInputs, ExecutionContext, FailureInjector, PlatformRegistry};
 
 /// How the executor orders atom execution.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -148,11 +171,16 @@ pub struct ExecutionStats {
     pub total_wall: Duration,
     /// Total simulated movement cost.
     pub total_movement_ms: f64,
-    /// Total retries across all atoms.
+    /// Total retries across all atoms. Only transient failures consume
+    /// retries; permanent errors fail fast after one attempt.
     pub retries: usize,
     /// Mid-job re-optimizations performed (see
     /// [`Executor::with_replanner`]); `0` unless a re-planner triggered.
     pub replans: usize,
+    /// Failover re-plans performed (see [`Executor::with_failover`]):
+    /// times the unexecuted suffix was re-routed around a failed
+    /// platform. `0` unless failover triggered.
+    pub failovers: usize,
 }
 
 impl ExecutionStats {
@@ -199,13 +227,14 @@ impl ExecutionStats {
             ));
         }
         s.push_str(&format!(
-            "total: {:.2} simulated ms ({:.2} movement), {:.2} ms wall, {} retries, {} waves, {} replans\n",
+            "total: {:.2} simulated ms ({:.2} movement), {:.2} ms wall, {} retries, {} waves, {} replans, {} failovers\n",
             self.total_simulated_ms(),
             self.total_movement_ms,
             self.total_wall.as_secs_f64() * 1e3,
             self.retries,
             self.waves,
             self.replans,
+            self.failovers,
         ));
         s
     }
@@ -234,12 +263,22 @@ pub trait ProgressListener: Send + Sync {
     fn on_atom_start(&self, _atom_id: usize, _platform: &str) {}
     /// An attempt failed and will be retried.
     fn on_atom_retry(&self, _atom_id: usize, _attempt: usize, _error: &RheemError) {}
+    /// An atom gave up: its error was not retryable, its platform's
+    /// breaker opened, or its retry budget ran out. `suppressed_retries`
+    /// is the retry budget *not* spent because the final error was not
+    /// worth retrying (0 when the budget was exhausted on transient
+    /// failures). Depending on failover, the job may still survive.
+    fn on_atom_failed(&self, _atom_id: usize, _error: &RheemError, _suppressed_retries: usize) {}
     /// An atom completed; its monitoring record is final.
     fn on_atom_complete(&self, _stats: &AtomStats) {}
     /// The executor re-optimized the unexecuted suffix of the job. Runs
     /// between waves, on the thread driving the job, strictly after the
     /// `on_atom_complete` of every atom committed so far.
     fn on_replan(&self, _event: &ReplanEvent) {}
+    /// The executor re-routed the unexecuted suffix around a failed
+    /// platform. Same threading guarantees as
+    /// [`on_replan`](ProgressListener::on_replan).
+    fn on_failover(&self, _event: &FailoverEvent) {}
     /// The whole job completed successfully.
     fn on_job_complete(&self, _stats: &ExecutionStats) {}
 }
@@ -260,6 +299,29 @@ pub struct ReplanEvent {
     /// Symmetric error ratio between the two ([`crate::cost::drift_ratio`]).
     pub drift: f64,
     /// Pending atoms discarded by the re-plan.
+    pub replaced_atoms: usize,
+    /// Atoms spliced in to replace them.
+    pub new_atoms: usize,
+    /// Estimated cost of the remaining work under the new plan.
+    pub estimated_cost: f64,
+}
+
+/// What one failover re-plan did (see [`Executor::with_failover`]).
+#[derive(Clone, Debug)]
+pub struct FailoverEvent {
+    /// 0-based index of this failover within the job.
+    pub index: usize,
+    /// Id of the atom whose failure triggered the failover.
+    pub atom_id: usize,
+    /// The platform that atom failed on.
+    pub failed_platform: String,
+    /// Rendering of the error that exhausted the atom.
+    pub error: String,
+    /// Every platform excluded from the re-enumeration (the failed
+    /// platform plus any other platform with an open breaker, and any
+    /// platform excluded by an earlier failover of this job).
+    pub excluded: Vec<String>,
+    /// Pending atoms discarded by the failover re-plan.
     pub replaced_atoms: usize,
     /// Atoms spliced in to replace them.
     pub new_atoms: usize,
@@ -305,18 +367,47 @@ struct AtomRun {
     outputs: HashMap<NodeId, Dataset>,
 }
 
+/// The lowest-id atom of a wave that gave up, with its final error.
+struct WaveFailure {
+    /// Position into the current plan's `atoms`.
+    pos: usize,
+    error: RheemError,
+}
+
+/// Everything one wave produced: the runs of every atom that succeeded
+/// (committed even when a sibling failed — failover wants maximum
+/// progress) and the first failure by atom id, if any.
+struct WaveOutcome {
+    runs: Vec<(usize, AtomRun)>,
+    failure: Option<WaveFailure>,
+}
+
+/// Failover configuration: the re-planner used to route around failed
+/// platforms and the per-job failover budget.
+#[derive(Clone)]
+struct FailoverConfig {
+    replanner: Replanner,
+    max_failovers: usize,
+}
+
 /// Schedules execution plans across registered platforms.
 #[derive(Clone)]
 pub struct Executor {
     platforms: PlatformRegistry,
     movement: MovementCostModel,
     config: ExecutorConfig,
-    listeners: Vec<std::sync::Arc<dyn ProgressListener>>,
+    listeners: Vec<Arc<dyn ProgressListener>>,
     replanner: Option<Replanner>,
+    backoff: BackoffPolicy,
+    sleeper: Arc<dyn Sleeper>,
+    health: Option<Arc<PlatformHealth>>,
+    failover: Option<FailoverConfig>,
 }
 
 impl Executor {
-    /// Build an executor over the given platforms.
+    /// Build an executor over the given platforms. Retries are immediate
+    /// (no backoff), no circuit breaker is attached, and failover is off
+    /// until the corresponding builders install them.
     pub fn new(platforms: PlatformRegistry) -> Self {
         Executor {
             platforms,
@@ -324,6 +415,10 @@ impl Executor {
             config: ExecutorConfig::default(),
             listeners: Vec::new(),
             replanner: None,
+            backoff: BackoffPolicy::none(),
+            sleeper: Arc::new(ThreadSleeper),
+            health: None,
+            failover: None,
         }
     }
 
@@ -334,6 +429,38 @@ impl Executor {
     /// re-planner never fires.
     pub fn with_replanner(mut self, replanner: Replanner) -> Self {
         self.replanner = Some(replanner);
+        self
+    }
+
+    /// Sleep [`BackoffPolicy`] delays between retry attempts of an atom.
+    pub fn with_backoff(mut self, backoff: BackoffPolicy) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Replace how backoff delays are slept (tests install a
+    /// [`crate::fault::VirtualSleeper`] to observe delays without paying
+    /// wall-clock for them).
+    pub fn with_sleeper(mut self, sleeper: Arc<dyn Sleeper>) -> Self {
+        self.sleeper = sleeper;
+        self
+    }
+
+    /// Attach per-platform circuit breakers. Shared (`Arc`) so breaker
+    /// state persists across the jobs of a context.
+    pub fn with_platform_health(mut self, health: Arc<PlatformHealth>) -> Self {
+        self.health = Some(health);
+        self
+    }
+
+    /// Enable failover re-planning: when an atom gives up, re-enumerate
+    /// the unexecuted suffix through `replanner` with the failed
+    /// platform(s) excluded, at most `max_failovers` times per job.
+    pub fn with_failover(mut self, replanner: Replanner, max_failovers: usize) -> Self {
+        self.failover = Some(FailoverConfig {
+            replanner,
+            max_failovers,
+        });
         self
     }
 
@@ -389,6 +516,10 @@ impl Executor {
         // ids stay globally unique across splices, but not dense.
         let mut next_atom_id = plan.atoms.iter().map(|a| a.id + 1).max().unwrap_or(0);
         let mut wave_idx = 0usize;
+        // Platforms excluded from failover re-enumerations, accumulated
+        // across failovers of this job (a platform that failed once must
+        // not re-enter through a later failover's enumeration).
+        let mut excluded: Vec<String> = Vec::new();
 
         'phases: loop {
             let deps = current.pending_dependencies(&materialized)?;
@@ -401,21 +532,42 @@ impl Executor {
             }
             let mut executed: HashSet<usize> = HashSet::new();
             for wave in &waves {
-                let runs = self.run_wave(
+                let outcome = self.run_wave(
                     current.as_ref(),
                     wave,
                     wave_idx,
                     deadline,
                     &node_outputs,
                     ctx,
-                )?;
+                );
                 wave_idx += 1;
-                for (pos, run) in runs {
+                for (pos, run) in outcome.runs {
                     let atom = &current.atoms[pos];
                     self.commit_atom(atom, run, &mut stats, &node_outputs, &mut remaining, &sinks);
                     committed.push(atom.clone());
                     materialized.extend(atom.nodes.iter().copied());
                     executed.insert(pos);
+                }
+                if let Some(failure) = outcome.failure {
+                    // §4.2 duty iii: before giving up on the job, try to
+                    // re-route the unexecuted suffix around the failure.
+                    match self.try_failover(
+                        current.as_ref(),
+                        &executed,
+                        &failure,
+                        &node_outputs,
+                        deadline,
+                        &mut next_atom_id,
+                        &mut stats,
+                        &mut excluded,
+                    )? {
+                        Some(new_plan) => {
+                            remaining = new_plan.boundary_consumer_counts();
+                            current = Cow::Owned(new_plan);
+                            continue 'phases;
+                        }
+                        None => return Err(failure.error),
+                    }
                 }
                 if executed.len() < current.atoms.len() {
                     if let Some(new_plan) = self.maybe_replan(
@@ -441,7 +593,7 @@ impl Executor {
         for l in &self.listeners {
             l.on_job_complete(&stats);
         }
-        let effective_plan = (stats.replans > 0).then(|| ExecutionPlan {
+        let effective_plan = (stats.replans > 0 || stats.failovers > 0).then(|| ExecutionPlan {
             physical: plan.physical.clone(),
             assignments: current.assignments.clone(),
             atoms: committed,
@@ -506,21 +658,108 @@ impl Executor {
         Ok(Some(new_plan))
     }
 
+    /// After a wave failure: re-enumerate the unexecuted suffix with the
+    /// failed platform(s) excluded and return the spliced plan, or `None`
+    /// when the job must fail with the original error (failover disabled
+    /// or budget spent, error not failover-eligible, or no alternative
+    /// mapping exists). A `BudgetExceeded` deadline error propagates.
+    #[allow(clippy::too_many_arguments)]
+    fn try_failover(
+        &self,
+        current: &ExecutionPlan,
+        executed: &HashSet<usize>,
+        failure: &WaveFailure,
+        node_outputs: &Mutex<HashMap<NodeId, Dataset>>,
+        deadline: Option<Instant>,
+        next_atom_id: &mut usize,
+        stats: &mut ExecutionStats,
+        excluded: &mut Vec<String>,
+    ) -> Result<Option<ExecutionPlan>> {
+        let Some(fo) = &self.failover else {
+            return Ok(None);
+        };
+        if stats.failovers >= fo.max_failovers {
+            return Ok(None);
+        }
+        // Only errors that implicate the platform are worth failing over:
+        // transient execution trouble and open breakers. Permanent errors
+        // (a broken plan fails everywhere) and expired budgets abort.
+        let eligible = matches!(
+            failure.error,
+            RheemError::Execution { .. }
+                | RheemError::Storage(_)
+                | RheemError::Io(_)
+                | RheemError::PlatformUnavailable { .. }
+        );
+        if !eligible {
+            return Ok(None);
+        }
+        // A failover re-plan is part of the job: it must respect the
+        // deadline.
+        check_deadline(deadline)?;
+
+        let failed_atom = &current.atoms[failure.pos];
+        let failed_platform = failed_atom.platform.clone();
+        if let Some(h) = &self.health {
+            // The abandoned platform is marked down so concurrent and
+            // subsequent jobs sharing the breakers avoid it too, and any
+            // *other* open breaker joins the exclusion set.
+            h.force_open(&failed_platform);
+            for p in h.unavailable() {
+                if !excluded.contains(&p) {
+                    excluded.push(p);
+                }
+            }
+        }
+        if !excluded.contains(&failed_platform) {
+            excluded.push(failed_platform.clone());
+        }
+
+        let live = node_outputs.lock().clone();
+        let rp = fo.replanner.excluding(excluded);
+        let new_plan = match rp.replan(current, executed, &live, &self.platforms, next_atom_id) {
+            Ok(p) => p,
+            // No alternative mapping for some pending operator: the job
+            // fails with the original error.
+            Err(_) => return Ok(None),
+        };
+        stats.failovers += 1;
+        let event = FailoverEvent {
+            index: stats.failovers - 1,
+            atom_id: failed_atom.id,
+            failed_platform,
+            error: failure.error.to_string(),
+            excluded: excluded.clone(),
+            replaced_atoms: current.atoms.len() - executed.len(),
+            new_atoms: new_plan.atoms.len(),
+            estimated_cost: new_plan.estimated_cost,
+        };
+        for l in &self.listeners {
+            l.on_failover(&event);
+        }
+        Ok(Some(new_plan))
+    }
+
     /// Run one wave of independent atoms, possibly concurrently.
     ///
     /// `wave` holds positions into `plan.atoms`, pre-sorted by atom id.
-    /// Returns `(atom position, run)` pairs in that same id order.
+    /// The outcome's runs are `(atom position, run)` pairs in that same
+    /// id order, holding every atom of the wave that succeeded — kept
+    /// even when a sibling failed, so failover re-plans around the
+    /// failure from maximum committed progress.
     ///
     /// On failure, the error of the lowest-id atom *that failed* is
-    /// returned. Which atoms of the wave were attempted at all can differ
+    /// reported. Which atoms of the wave were attempted at all can differ
     /// with concurrency: the inline path (sequential mode, or
     /// `max_parallel_atoms <= 1`) stops scheduling at the first failure,
     /// while the threaded path stops handing out new atoms but lets
     /// atoms already in flight run to completion (their results are
-    /// discarded). Both paths therefore agree on the reported atom
-    /// whenever per-atom failure outcomes are deterministic; stateful
-    /// injectors (e.g. "fail the next N executions") can shift *which*
-    /// atom absorbs a failure between modes.
+    /// committed). Both paths therefore agree on the reported atom
+    /// whenever per-atom failure outcomes are deterministic — true for
+    /// the atom-keyed, platform-down, and probabilistic injection modes,
+    /// whose decisions are pure functions of `(atom id, attempt)`; the
+    /// legacy stateful "fail the next N executions" mode can shift
+    /// *which* atom absorbs a failure between modes.
     fn run_wave(
         &self,
         plan: &ExecutionPlan,
@@ -529,7 +768,7 @@ impl Executor {
         deadline: Option<Instant>,
         node_outputs: &Mutex<HashMap<NodeId, Dataset>>,
         ctx: &ExecutionContext,
-    ) -> Result<Vec<(usize, AtomRun)>> {
+    ) -> WaveOutcome {
         let n = wave.len();
         let workers = match self.config.mode {
             ScheduleMode::Sequential => 1,
@@ -588,19 +827,28 @@ impl Executor {
         }
 
         let mut runs = Vec::with_capacity(n);
+        let mut failure = None;
         for (i, slot) in slots.into_iter().enumerate() {
             match slot {
                 Some(Ok(run)) => runs.push((wave[i], run)),
-                Some(Err(e)) => return Err(e),
+                // Slots are in ascending atom id: the first error seen is
+                // the lowest-id failure.
+                Some(Err(e)) if failure.is_none() => {
+                    failure = Some(WaveFailure {
+                        pos: wave[i],
+                        error: e,
+                    });
+                }
+                Some(Err(_)) => {}
                 // Never started because a lower-id atom aborted the wave.
                 None => {}
             }
         }
-        Ok(runs)
+        WaveOutcome { runs, failure }
     }
 
-    /// Gather one atom's inputs, run it with bounded retries under the job
-    /// deadline, and report progress.
+    /// Gather one atom's inputs, run it with classified, bounded retries
+    /// under the job deadline, and report progress.
     fn run_atom(
         &self,
         plan: &ExecutionPlan,
@@ -611,6 +859,17 @@ impl Executor {
         ctx: &ExecutionContext,
     ) -> Result<AtomRun> {
         check_deadline(deadline)?;
+        // An open circuit breaker rejects the atom before any work: no
+        // inputs gathered, no retry budget burned — straight to the
+        // failover decision.
+        if let Some(h) = &self.health {
+            if let Err(e) = h.admit(&atom.platform) {
+                for l in &self.listeners {
+                    l.on_atom_failed(atom.id, &e, self.config.max_retries);
+                }
+                return Err(e);
+            }
+        }
         let platform = self.platforms.get(&atom.platform)?;
 
         // Gather boundary inputs and account for data movement.
@@ -642,9 +901,12 @@ impl Executor {
             l.on_atom_start(atom.id, &atom.platform);
         }
 
-        // Execute with bounded retries (§4.2 duty iii). The job deadline
-        // is re-checked before every attempt so exhausting retries cannot
-        // blow through the timeout budget.
+        // Execute with classified, bounded retries (§4.2 duty iii). The
+        // job deadline is re-checked before every attempt so exhausting
+        // retries cannot blow through the timeout budget. Only transient
+        // errors consume retry budget: permanent errors would
+        // deterministically fail again, so they abort after one attempt
+        // with the unspent budget reported as suppressed retries.
         let atom_started = Instant::now();
         let mut attempts = 0usize;
         let result = loop {
@@ -653,23 +915,50 @@ impl Executor {
             let injected = ctx
                 .failure_injector
                 .as_ref()
-                .is_some_and(|inj| inj.should_fail(&atom.platform));
-            let outcome = if injected {
-                Err(RheemError::Execution {
-                    platform: atom.platform.clone(),
-                    message: format!("injected failure on atom {}", atom.id),
-                })
-            } else {
-                platform.execute_atom(&plan.physical, atom, &inputs, ctx)
+                .and_then(|inj| inj.inject(&atom.platform, atom.id, attempts));
+            let outcome = match injected {
+                Some(kind) => Err(FailureInjector::error_for(kind, &atom.platform, atom.id)),
+                None => platform.execute_atom(&plan.physical, atom, &inputs, ctx),
             };
             match outcome {
-                Ok(r) => break r,
-                Err(e) if attempts <= self.config.max_retries => {
+                Ok(r) => {
+                    if let Some(h) = &self.health {
+                        h.record_success(&atom.platform);
+                    }
+                    break r;
+                }
+                Err(e) => {
+                    // Only errors that implicate the platform feed its
+                    // breaker; a permanent error is the plan's fault.
+                    let opened = e.is_retryable()
+                        && self
+                            .health
+                            .as_ref()
+                            .is_some_and(|h| h.record_failure(&atom.platform));
+                    let budget_left = self
+                        .config
+                        .max_retries
+                        .saturating_sub(attempts.saturating_sub(1));
+                    if !e.is_retryable() || opened || budget_left == 0 {
+                        // Budget actually spent on transient retries
+                        // counts as used; anything left when a
+                        // non-retryable error (or an opening breaker)
+                        // ends the loop early was suppressed.
+                        let suppressed = if e.is_retryable() && !opened {
+                            0
+                        } else {
+                            budget_left
+                        };
+                        for l in &self.listeners {
+                            l.on_atom_failed(atom.id, &e, suppressed);
+                        }
+                        return Err(e);
+                    }
                     for l in &self.listeners {
                         l.on_atom_retry(atom.id, attempts, &e);
                     }
+                    self.sleeper.sleep(self.backoff.delay(atom.id, attempts));
                 }
-                Err(e) => return Err(e),
             }
         };
 

@@ -1,0 +1,560 @@
+//! Fault tolerance: retry backoff, per-platform circuit breakers, and the
+//! policy knobs behind the executor's failover re-planning (§4.2 duty iii,
+//! `DESIGN.md` §9).
+//!
+//! Three cooperating pieces:
+//!
+//! - [`BackoffPolicy`] — deterministic seeded exponential backoff with
+//!   jitter between retry attempts. Delays are a pure function of
+//!   `(seed, atom id, attempt)`, so they are identical across schedule
+//!   modes and replayable run-to-run; a pluggable [`Sleeper`] lets tests
+//!   substitute a virtual clock and stay fast.
+//! - [`PlatformHealth`] — a per-platform circuit breaker. Consecutive
+//!   failures past [`BreakerPolicy::failure_threshold`] *open* the
+//!   breaker; while open, atoms targeting the platform fail immediately
+//!   with [`RheemError::PlatformUnavailable`] (no retry budget burned)
+//!   and become failover candidates. After
+//!   [`BreakerPolicy::cooldown`] the breaker *half-opens*: one probe
+//!   attempt is admitted, and its outcome closes or re-opens the breaker.
+//! - [`FaultPolicy`] — the bundle a [`crate::RheemContext`] installs via
+//!   `with_fault_policy`: backoff, breaker, and the failover re-planning
+//!   budget.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::error::{Result, RheemError};
+use crate::observe::MetricsRegistry;
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer. Used wherever the fault
+/// machinery needs a deterministic pseudo-random value keyed on structural
+/// identifiers (atom id, attempt number) rather than on call order — the
+/// property that keeps injected failures and jittered delays identical
+/// between sequential and parallel schedules.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Map 64 random bits to a uniform `f64` in `[0, 1)`.
+pub(crate) fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// FNV-1a over a string: stable platform-name seed component.
+pub(crate) fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Something that can pause the current thread. The executor sleeps
+/// through retry backoff via this trait so tests can install a virtual
+/// clock ([`VirtualSleeper`]) and observe the *intended* delays without
+/// paying for them in wall time.
+pub trait Sleeper: Send + Sync {
+    /// Pause for (at least) `d`.
+    fn sleep(&self, d: Duration);
+}
+
+/// The production sleeper: `std::thread::sleep`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadSleeper;
+
+impl Sleeper for ThreadSleeper {
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// A recording no-op sleeper: never blocks, remembers every requested
+/// delay. Backoff tests assert on [`VirtualSleeper::naps`] instead of
+/// wall time, keeping the suite fast and replayable.
+#[derive(Debug, Default)]
+pub struct VirtualSleeper {
+    naps: Mutex<Vec<Duration>>,
+}
+
+impl VirtualSleeper {
+    /// A fresh virtual sleeper with no recorded naps.
+    pub fn new() -> Self {
+        VirtualSleeper::default()
+    }
+
+    /// Every delay requested so far, in request order.
+    pub fn naps(&self) -> Vec<Duration> {
+        self.naps.lock().clone()
+    }
+
+    /// Sum of all requested delays (the virtual clock's elapsed time).
+    pub fn total(&self) -> Duration {
+        self.naps.lock().iter().sum()
+    }
+}
+
+impl Sleeper for VirtualSleeper {
+    fn sleep(&self, d: Duration) {
+        self.naps.lock().push(d);
+    }
+}
+
+/// Deterministic seeded exponential backoff with jitter.
+///
+/// The delay before retry attempt `k` (1-based: the wait between the
+/// `k`-th failure and the `k+1`-th attempt) is
+///
+/// ```text
+/// min(max, base · multiplier^(k-1)) · (1 − jitter · u)
+/// ```
+///
+/// where `u ∈ [0, 1)` is drawn deterministically from
+/// `(seed, atom id, k)` — never from a shared mutable RNG — so the
+/// schedule of delays is identical across schedule modes and reruns.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry (attempt 2).
+    pub base: Duration,
+    /// Growth factor per additional failed attempt (≥ 1.0).
+    pub multiplier: f64,
+    /// Upper bound on any single delay (pre-jitter).
+    pub max: Duration,
+    /// Fraction of the delay randomized away, in `[0, 1]`: `0.0` is pure
+    /// exponential backoff, `0.5` scales each delay into `[50%, 100%]`.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base: Duration::from_millis(5),
+            multiplier: 2.0,
+            max: Duration::from_millis(200),
+            jitter: 0.5,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// No backoff at all: every delay is zero. The default for a bare
+    /// [`crate::Executor`] (retries stay immediate unless a fault policy
+    /// is installed).
+    pub fn none() -> Self {
+        BackoffPolicy {
+            base: Duration::ZERO,
+            multiplier: 1.0,
+            max: Duration::ZERO,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Re-seed the jitter stream.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The delay to sleep after the `attempt`-th failed attempt of
+    /// `atom_id` (1-based). Pure: same inputs, same delay.
+    pub fn delay(&self, atom_id: usize, attempt: usize) -> Duration {
+        if self.base.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .multiplier
+            .max(1.0)
+            .powi(attempt.saturating_sub(1).min(63) as i32);
+        let raw = self.base.as_secs_f64() * exp;
+        let capped = raw.min(self.max.as_secs_f64().max(self.base.as_secs_f64()));
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let u = unit_f64(splitmix64(
+            self.seed ^ (atom_id as u64).rotate_left(17) ^ (attempt as u64).rotate_left(41),
+        ));
+        Duration::from_secs_f64(capped * (1.0 - jitter * u))
+    }
+}
+
+/// When a platform's circuit breaker opens and how it recovers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BreakerPolicy {
+    /// Consecutive failures on a platform that open its breaker.
+    pub failure_threshold: usize,
+    /// How long an open breaker rejects atoms before admitting a
+    /// half-open probe. `Duration::ZERO` half-opens immediately (every
+    /// admission is a probe) — handy for deterministic tests.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Circuit-breaker state of one platform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BreakerState {
+    /// Healthy; tracks the current run of consecutive failures.
+    Closed { consecutive_failures: usize },
+    /// Rejecting atoms until the cooldown elapses.
+    Open { since: Instant },
+    /// Cooldown elapsed; a probe is in flight. Success closes the
+    /// breaker, any failure re-opens it.
+    HalfOpen,
+}
+
+/// Per-platform circuit breakers shared across the jobs of a
+/// [`crate::RheemContext`].
+///
+/// Thread-safety: one mutex guards the state table; every transition is a
+/// single short critical section, safe to call from wave worker threads.
+pub struct PlatformHealth {
+    policy: BreakerPolicy,
+    states: Mutex<HashMap<String, BreakerState>>,
+    metrics: Mutex<Option<Arc<MetricsRegistry>>>,
+}
+
+impl PlatformHealth {
+    /// Fresh, all-closed breakers under `policy`.
+    pub fn new(policy: BreakerPolicy) -> Self {
+        PlatformHealth {
+            policy,
+            states: Mutex::new(HashMap::new()),
+            metrics: Mutex::new(None),
+        }
+    }
+
+    /// The policy breakers operate under.
+    pub fn policy(&self) -> BreakerPolicy {
+        self.policy
+    }
+
+    /// Mirror breaker state into `registry` as
+    /// `platform.<name>.breaker_open` gauges (1 open / half-open, 0
+    /// closed). Idempotent; gauges update on every subsequent transition.
+    pub fn mirror_to(&self, registry: Arc<MetricsRegistry>) {
+        *self.metrics.lock() = Some(registry);
+    }
+
+    fn set_gauge(&self, platform: &str, open: bool) {
+        if let Some(m) = self.metrics.lock().clone() {
+            m.gauge(&format!("platform.{platform}.breaker_open"))
+                .set(open as u64);
+        }
+    }
+
+    /// Gate an atom about to run on `platform`.
+    ///
+    /// Closed / half-open breakers admit the attempt (`Ok`). An open
+    /// breaker whose cooldown has elapsed transitions to half-open and
+    /// admits the attempt as the probe; otherwise the attempt is rejected
+    /// with [`RheemError::PlatformUnavailable`].
+    pub fn admit(&self, platform: &str) -> Result<()> {
+        let mut states = self.states.lock();
+        match states.get(platform).copied() {
+            None | Some(BreakerState::Closed { .. }) | Some(BreakerState::HalfOpen) => Ok(()),
+            Some(BreakerState::Open { since }) => {
+                if since.elapsed() >= self.policy.cooldown {
+                    states.insert(platform.to_string(), BreakerState::HalfOpen);
+                    Ok(())
+                } else {
+                    Err(RheemError::PlatformUnavailable {
+                        platform: platform.to_string(),
+                        message: format!(
+                            "circuit breaker open after {} consecutive failures",
+                            self.policy.failure_threshold
+                        ),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Record a successful atom execution: closes the breaker and resets
+    /// the consecutive-failure run.
+    pub fn record_success(&self, platform: &str) {
+        let mut states = self.states.lock();
+        let was_open = matches!(
+            states.get(platform),
+            Some(BreakerState::Open { .. } | BreakerState::HalfOpen)
+        );
+        states.insert(
+            platform.to_string(),
+            BreakerState::Closed {
+                consecutive_failures: 0,
+            },
+        );
+        drop(states);
+        if was_open {
+            self.set_gauge(platform, false);
+        }
+    }
+
+    /// Record a failed atom attempt. Returns `true` when this failure
+    /// opened (or re-opened) the breaker.
+    pub fn record_failure(&self, platform: &str) -> bool {
+        let mut states = self.states.lock();
+        let state = states
+            .entry(platform.to_string())
+            .or_insert(BreakerState::Closed {
+                consecutive_failures: 0,
+            });
+        let opened = match *state {
+            BreakerState::Closed {
+                consecutive_failures,
+            } => {
+                let n = consecutive_failures + 1;
+                if n >= self.policy.failure_threshold {
+                    *state = BreakerState::Open {
+                        since: Instant::now(),
+                    };
+                    true
+                } else {
+                    *state = BreakerState::Closed {
+                        consecutive_failures: n,
+                    };
+                    false
+                }
+            }
+            // The half-open probe failed: straight back to open.
+            BreakerState::HalfOpen => {
+                *state = BreakerState::Open {
+                    since: Instant::now(),
+                };
+                true
+            }
+            BreakerState::Open { .. } => false,
+        };
+        drop(states);
+        if opened {
+            self.set_gauge(platform, true);
+        }
+        opened
+    }
+
+    /// Force a platform's breaker open (failover marks the platform it
+    /// abandoned as down, so subsequent jobs avoid it until the cooldown
+    /// admits a probe).
+    pub fn force_open(&self, platform: &str) {
+        self.states.lock().insert(
+            platform.to_string(),
+            BreakerState::Open {
+                since: Instant::now(),
+            },
+        );
+        self.set_gauge(platform, true);
+    }
+
+    /// Whether `platform`'s breaker is currently open or half-open.
+    pub fn is_open(&self, platform: &str) -> bool {
+        matches!(
+            self.states.lock().get(platform),
+            Some(BreakerState::Open { .. } | BreakerState::HalfOpen)
+        )
+    }
+
+    /// Names of all platforms with open or half-open breakers, sorted —
+    /// the exclusion set failover re-planning hands the enumerator.
+    pub fn unavailable(&self) -> Vec<String> {
+        let states = self.states.lock();
+        let mut out: BTreeMap<&String, ()> = BTreeMap::new();
+        for (name, state) in states.iter() {
+            if matches!(state, BreakerState::Open { .. } | BreakerState::HalfOpen) {
+                out.insert(name, ());
+            }
+        }
+        out.into_keys().cloned().collect()
+    }
+}
+
+/// The fault-tolerance bundle a [`crate::RheemContext`] installs via
+/// `with_fault_policy`: how to back off between retries, when to trip a
+/// platform's breaker, and how often a job may re-plan around a failure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPolicy {
+    /// Backoff between retry attempts of one atom.
+    pub backoff: BackoffPolicy,
+    /// Circuit-breaker thresholds.
+    pub breaker: BreakerPolicy,
+    /// Enable failover re-planning: when an atom exhausts its retries (or
+    /// its platform's breaker is open), re-enumerate the unexecuted
+    /// suffix with the failed platform excluded instead of failing the
+    /// job.
+    pub failover: bool,
+    /// Upper bound on failover re-plans per job.
+    pub max_failovers: usize,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            backoff: BackoffPolicy::default(),
+            breaker: BreakerPolicy::default(),
+            failover: true,
+            max_failovers: 2,
+        }
+    }
+}
+
+impl FaultPolicy {
+    /// A policy for deterministic tests: zero backoff, zero breaker
+    /// cooldown (open breakers immediately admit half-open probes).
+    pub fn instant() -> Self {
+        FaultPolicy {
+            backoff: BackoffPolicy::none(),
+            breaker: BreakerPolicy {
+                failure_threshold: 3,
+                cooldown: Duration::ZERO,
+            },
+            failover: true,
+            max_failovers: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = BackoffPolicy::default();
+        for atom in 0..4usize {
+            for attempt in 1..6usize {
+                let d = p.delay(atom, attempt);
+                assert_eq!(d, p.delay(atom, attempt), "replay must match");
+                let ceiling = p
+                    .max
+                    .as_secs_f64()
+                    .min(p.base.as_secs_f64() * p.multiplier.powi(attempt as i32 - 1));
+                assert!(d.as_secs_f64() <= ceiling + 1e-9);
+                assert!(d.as_secs_f64() >= ceiling * (1.0 - p.jitter) - 1e-9);
+            }
+        }
+        // Different atoms / attempts / seeds draw different jitter.
+        assert_ne!(p.delay(0, 3), p.delay(1, 3));
+        assert_ne!(p.delay(0, 3), p.with_seed(7).delay(0, 3));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_until_the_cap() {
+        let p = BackoffPolicy {
+            jitter: 0.0,
+            ..BackoffPolicy::default()
+        };
+        assert_eq!(p.delay(0, 1), Duration::from_millis(5));
+        assert_eq!(p.delay(0, 2), Duration::from_millis(10));
+        assert_eq!(p.delay(0, 3), Duration::from_millis(20));
+        assert_eq!(p.delay(0, 60), p.max, "capped at max");
+        assert_eq!(BackoffPolicy::none().delay(9, 9), Duration::ZERO);
+    }
+
+    #[test]
+    fn virtual_sleeper_records_instead_of_sleeping() {
+        let s = VirtualSleeper::new();
+        let started = Instant::now();
+        s.sleep(Duration::from_secs(3600));
+        s.sleep(Duration::from_secs(1800));
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert_eq!(s.naps().len(), 2);
+        assert_eq!(s.total(), Duration::from_secs(5400));
+    }
+
+    #[test]
+    fn breaker_opens_at_threshold_and_half_open_probe_recovers() {
+        let h = PlatformHealth::new(BreakerPolicy {
+            failure_threshold: 3,
+            cooldown: Duration::ZERO,
+        });
+        assert!(h.admit("spark").is_ok());
+        assert!(!h.record_failure("spark"));
+        assert!(!h.record_failure("spark"));
+        assert!(h.record_failure("spark"), "third failure opens");
+        assert!(h.is_open("spark"));
+        assert_eq!(h.unavailable(), vec!["spark".to_string()]);
+        // Zero cooldown: the next admission is the half-open probe.
+        assert!(h.admit("spark").is_ok());
+        assert!(h.is_open("spark"), "half-open still counts as unavailable");
+        h.record_success("spark");
+        assert!(!h.is_open("spark"));
+        assert!(h.unavailable().is_empty());
+    }
+
+    #[test]
+    fn open_breaker_rejects_until_cooldown_and_reopens_on_failed_probe() {
+        let h = PlatformHealth::new(BreakerPolicy {
+            failure_threshold: 1,
+            cooldown: Duration::from_secs(3600),
+        });
+        assert!(h.record_failure("spark"));
+        let err = h.admit("spark").unwrap_err();
+        assert!(
+            matches!(err, RheemError::PlatformUnavailable { .. }),
+            "{err}"
+        );
+        assert_eq!(err.platform(), Some("spark"));
+
+        // With zero cooldown the probe is admitted; a probe failure
+        // re-opens immediately.
+        let h = PlatformHealth::new(BreakerPolicy {
+            failure_threshold: 1,
+            cooldown: Duration::ZERO,
+        });
+        assert!(h.record_failure("spark"));
+        assert!(h.admit("spark").is_ok());
+        assert!(h.record_failure("spark"), "failed probe re-opens");
+        assert!(h.is_open("spark"));
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_failure_run() {
+        let h = PlatformHealth::new(BreakerPolicy {
+            failure_threshold: 2,
+            cooldown: Duration::ZERO,
+        });
+        assert!(!h.record_failure("java"));
+        h.record_success("java");
+        assert!(!h.record_failure("java"), "run restarted after success");
+        assert!(h.record_failure("java"));
+    }
+
+    #[test]
+    fn force_open_and_metric_mirror() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let h = PlatformHealth::new(BreakerPolicy::default());
+        h.mirror_to(registry.clone());
+        h.force_open("mapreduce");
+        assert!(h.is_open("mapreduce"));
+        assert_eq!(registry.gauge_value("platform.mapreduce.breaker_open"), 1);
+        h.record_success("mapreduce");
+        assert_eq!(registry.gauge_value("platform.mapreduce.breaker_open"), 0);
+    }
+
+    #[test]
+    fn splitmix_spreads_and_unit_is_in_range() {
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a, b);
+        for x in 0..100u64 {
+            let u = unit_f64(splitmix64(x));
+            assert!((0.0..1.0).contains(&u));
+        }
+        assert_ne!(fnv1a("java"), fnv1a("spark"));
+    }
+}

@@ -28,6 +28,7 @@ pub mod cost;
 pub mod data;
 pub mod error;
 pub mod executor;
+pub mod fault;
 pub mod interpreter;
 pub mod kernels;
 pub mod logical;
@@ -44,10 +45,14 @@ pub mod udf;
 
 pub use context::RheemContext;
 pub use data::{DataType, Dataset, Field, Record, Schema, Value};
-pub use error::{Result, RheemError};
+pub use error::{ErrorKind, Result, RheemError};
 pub use executor::{
-    AtomStats, ExecutionStats, Executor, ExecutorConfig, JobResult, ProgressListener, ReplanEvent,
-    ScheduleMode,
+    AtomStats, ExecutionStats, Executor, ExecutorConfig, FailoverEvent, JobResult,
+    ProgressListener, ReplanEvent, ScheduleMode,
+};
+pub use fault::{
+    BackoffPolicy, BreakerPolicy, FaultPolicy, PlatformHealth, Sleeper, ThreadSleeper,
+    VirtualSleeper,
 };
 pub use logical::{LogicalOperator, LogicalPayload, LogicalPlan, LogicalPlanBuilder};
 #[cfg(feature = "observe-json")]
@@ -60,6 +65,6 @@ pub use optimizer::{MultiPlatformOptimizer, ReplanPolicy, Replanner};
 pub use physical::{CustomPhysicalOp, OpKind, PhysicalOp};
 pub use plan::{ExecutionPlan, NodeEstimate, NodeId, PhysicalPlan, PlanBuilder, TaskAtom};
 pub use platform::{
-    AtomInputs, AtomResult, ExecutionContext, FailureInjector, Platform, PlatformRegistry,
-    ProcessingProfile, StorageService,
+    AtomInputs, AtomResult, ExecutionContext, FailureInjector, InjectedKind, Platform,
+    PlatformRegistry, ProcessingProfile, StorageService,
 };

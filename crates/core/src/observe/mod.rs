@@ -35,7 +35,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::error::RheemError;
-use crate::executor::{AtomStats, ExecutionStats, ProgressListener, ReplanEvent};
+use crate::executor::{AtomStats, ExecutionStats, FailoverEvent, ProgressListener, ReplanEvent};
 use crate::plan::NodeId;
 
 /// What one operator kernel actually did inside a committed atom.
@@ -73,6 +73,9 @@ struct ExecutorMetrics {
     atoms_completed: Arc<Counter>,
     atom_retries: Arc<Counter>,
     atom_failures: Arc<Counter>,
+    retries_transient: Arc<Counter>,
+    retries_suppressed: Arc<Counter>,
+    failovers: Arc<Counter>,
     records_in: Arc<Counter>,
     records_out: Arc<Counter>,
     movement_us: Arc<Counter>,
@@ -87,6 +90,9 @@ impl ExecutorMetrics {
             atoms_completed: registry.counter("executor.atoms_completed"),
             atom_retries: registry.counter("executor.atom_retries"),
             atom_failures: registry.counter("executor.atom_failures"),
+            retries_transient: registry.counter("executor.retries_transient"),
+            retries_suppressed: registry.counter("executor.retries_suppressed"),
+            failovers: registry.counter("executor.failovers"),
             records_in: registry.counter("executor.records_in"),
             records_out: registry.counter("executor.records_out"),
             movement_us: registry.counter("executor.movement_us"),
@@ -176,9 +182,23 @@ impl Observability {
 impl ProgressListener for Observability {
     fn on_atom_retry(&self, _atom_id: usize, _attempt: usize, _error: &RheemError) {
         // Each retry callback corresponds to exactly one failed attempt,
-        // so both metrics advance by `attempts - 1` per atom.
+        // so both metrics advance by `attempts - 1` per atom. The
+        // executor only retries transient errors, so every retry also
+        // counts toward the transient split.
         self.exec.atom_retries.inc();
         self.exec.atom_failures.inc();
+        self.exec.retries_transient.inc();
+    }
+
+    fn on_atom_failed(&self, _atom_id: usize, _error: &RheemError, suppressed_retries: usize) {
+        // The final, un-retried failed attempt (0 attempts happened when
+        // an open breaker rejected the atom up front, but the rejection
+        // itself is the failure).
+        self.exec.atom_failures.inc();
+        // Retry budget the classifier declined to spend: the pre-taxonomy
+        // executor would have burned these on errors that could not
+        // succeed.
+        self.exec.retries_suppressed.add(suppressed_retries as u64);
     }
 
     fn on_atom_complete(&self, stats: &AtomStats) {
@@ -255,6 +275,34 @@ impl ProgressListener for Observability {
             platform: String::new(),
             elapsed_ms: 0.0,
             records_out: event.observed_card,
+        });
+    }
+
+    fn on_failover(&self, event: &FailoverEvent) {
+        self.exec.failovers.inc();
+        if self.sinks.is_empty() {
+            return;
+        }
+        let (job_id, span_id) = {
+            let mut job = self.job.lock();
+            if job.job_span.is_none() {
+                job.job_span = Some(self.alloc_span());
+            }
+            (job.job_span.expect("just set"), self.alloc_span())
+        };
+        self.emit(SpanRecord {
+            id: span_id,
+            parent: Some(job_id),
+            kind: SpanKind::Failover,
+            label: format!(
+                "failover-{} atom-{} excluded [{}]",
+                event.index,
+                event.atom_id,
+                event.excluded.join(", ")
+            ),
+            platform: event.failed_platform.clone(),
+            elapsed_ms: 0.0,
+            records_out: 0,
         });
     }
 

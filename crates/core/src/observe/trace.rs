@@ -21,6 +21,8 @@ pub enum SpanKind {
     Wave,
     /// One mid-job re-optimization of the unexecuted suffix.
     Replan,
+    /// One failover re-plan around a failed platform.
+    Failover,
     /// One task atom (a platform-homogeneous plan fragment).
     Atom,
     /// One operator kernel inside an atom.
@@ -34,6 +36,7 @@ impl SpanKind {
             SpanKind::Job => "job",
             SpanKind::Wave => "wave",
             SpanKind::Replan => "replan",
+            SpanKind::Failover => "failover",
             SpanKind::Atom => "atom",
             SpanKind::Kernel => "kernel",
         }
@@ -189,11 +192,13 @@ impl TraceSink for JsonLinesSink {
 /// different wave structure and different emission interleavings, but
 /// identical *work*; a run with adaptive re-planning enabled additionally
 /// emits [`SpanKind::Replan`] spans while still doing the same work when
-/// nothing (or something output-preserving) was re-planned. This renderer
-/// therefore:
+/// nothing (or something output-preserving) was re-planned, and a run
+/// that survived a platform outage emits [`SpanKind::Failover`] spans.
+/// This renderer therefore:
 ///
-/// - skips [`SpanKind::Wave`] and [`SpanKind::Replan`] spans, re-parenting
-///   their children to the nearest kept ancestor (the job);
+/// - skips [`SpanKind::Wave`], [`SpanKind::Replan`], and
+///   [`SpanKind::Failover`] spans, re-parenting their children to the
+///   nearest kept ancestor (the job);
 /// - sorts siblings by their rendered text, erasing emission order;
 /// - excludes timing fields, which legitimately differ between runs.
 ///
@@ -201,7 +206,8 @@ impl TraceSink for JsonLinesSink {
 /// re-planning on/off whenever the re-plan preserved the executed atoms —
 /// used by the deterministic-replay tests.
 pub fn canonical_tree(spans: &[SpanRecord]) -> String {
-    let skipped = |kind: SpanKind| matches!(kind, SpanKind::Wave | SpanKind::Replan);
+    let skipped =
+        |kind: SpanKind| matches!(kind, SpanKind::Wave | SpanKind::Replan | SpanKind::Failover);
     // Resolve each span's nearest kept (non-skipped) ancestor.
     let by_id: BTreeMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
     let effective_parent = |span: &SpanRecord| -> Option<u64> {

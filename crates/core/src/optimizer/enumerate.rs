@@ -38,6 +38,10 @@ pub struct EnumerationConfig {
     /// When `false`, data movement is priced at zero during enumeration —
     /// the optimizer becomes movement-oblivious (ablation B).
     pub consider_movement_costs: bool,
+    /// Platforms removed from the search entirely. Failover re-planning
+    /// excludes failed platforms this way; an exclusion that leaves some
+    /// operator unmappable surfaces as [`RheemError::NoPlatformFor`].
+    pub excluded_platforms: Vec<String>,
 }
 
 impl Default for EnumerationConfig {
@@ -45,6 +49,7 @@ impl Default for EnumerationConfig {
         EnumerationConfig {
             forced_platform: None,
             consider_movement_costs: true,
+            excluded_platforms: Vec::new(),
         }
     }
 }
@@ -65,10 +70,16 @@ pub fn enumerate(
     if registry.is_empty() {
         return Err(RheemError::Optimizer("no platforms registered".into()));
     }
-    let platforms: Vec<_> = match &config.forced_platform {
+    let mut platforms: Vec<_> = match &config.forced_platform {
         Some(name) => vec![registry.get(name)?],
         None => registry.all().to_vec(),
     };
+    platforms.retain(|p| !config.excluded_platforms.iter().any(|x| x == p.name()));
+    if platforms.is_empty() {
+        return Err(RheemError::Optimizer(
+            "every registered platform is excluded from enumeration".into(),
+        ));
+    }
     let free_movement = MovementCostModel::free();
     let movement = if config.consider_movement_costs {
         movement

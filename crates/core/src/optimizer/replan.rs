@@ -116,6 +116,20 @@ pub fn worst_drift(
 }
 
 impl Replanner {
+    /// A copy of this replanner whose enumeration excludes `platforms`
+    /// (on top of any exclusions already configured). Failover hands the
+    /// executor such a copy so a re-plan cannot route the suffix back
+    /// onto a platform that just failed.
+    pub fn excluding(&self, platforms: &[String]) -> Replanner {
+        let mut out = self.clone();
+        for p in platforms {
+            if !out.enumeration.excluded_platforms.contains(p) {
+                out.enumeration.excluded_platforms.push(p.clone());
+            }
+        }
+        out
+    }
+
     /// Re-enumerate the pending suffix of `plan`.
     ///
     /// `executed` holds the *positions* (indices into `plan.atoms`) of

@@ -683,9 +683,12 @@ impl ExecutionPlan {
     /// plans without them get an explanatory note instead of a table.
     pub fn explain_observed(&self, stats: &crate::executor::ExecutionStats) -> String {
         if self.estimates.len() != self.physical.len() {
-            return "no optimizer estimates attached to this plan; \
-                    run it through the optimizer to compare estimated vs observed\n"
-                .to_string();
+            return format!(
+                "no optimizer estimates attached to this plan; \
+                 run it through the optimizer to compare estimated vs observed\n\
+                 fault: {} retries, {} replans, {} failovers\n",
+                stats.retries, stats.replans, stats.failovers,
+            );
         }
         let by_id: HashMap<usize, &crate::executor::AtomStats> =
             stats.atoms.iter().map(|a| (a.atom_id, a)).collect();
@@ -734,6 +737,10 @@ impl ExecutionPlan {
             total_obs,
             ratio(total_obs, total_est),
             stats.total_movement_ms,
+        ));
+        s.push_str(&format!(
+            "fault: {} retries, {} replans, {} failovers\n",
+            stats.retries, stats.replans, stats.failovers,
         ));
         s
     }

@@ -8,7 +8,7 @@
 //! optimizer can price plans, and declare a [`ProcessingProfile`] — the
 //! paper's "data processing profile" (§8 challenge 2).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -179,12 +179,58 @@ impl StorageService for MemoryStorageService {
     }
 }
 
+/// The kind of error a scripted injection raises (see
+/// [`RheemError::classify`](crate::error::RheemError::classify)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectedKind {
+    /// An engine hiccup: surfaces as [`RheemError::Execution`], which the
+    /// executor may retry.
+    Transient,
+    /// A deterministic defect (a broken kernel): surfaces as
+    /// [`RheemError::InvalidPlan`], which the executor must fail fast on.
+    Permanent,
+}
+
+/// An atom-id-keyed injection rule: fail the first `attempts` attempts of
+/// one specific atom.
+#[derive(Clone, Copy, Debug)]
+struct AtomRule {
+    attempts: usize,
+    kind: InjectedKind,
+}
+
 /// Deterministic failure injection for exercising the executor's fault
 /// tolerance (§4.2: the executor must "cope with failures").
+///
+/// Four scripted modes, checked in order by [`FailureInjector::inject`]:
+///
+/// 1. **Atom-keyed** ([`fail_atom`](FailureInjector::fail_atom)): fail the
+///    first `n` attempts of one specific atom id. Because the decision is
+///    a pure function of `(atom id, attempt)`, it lands on the *same* atom
+///    in sequential and parallel schedules — unlike the legacy stateful
+///    mode, where concurrent waves race for the countdown and a different
+///    atom may absorb the failure per mode.
+/// 2. **Platform down** ([`set_down`](FailureInjector::set_down)): every
+///    attempt on the platform fails, modelling a hard outage that only
+///    failover re-planning can route around.
+/// 3. **Seeded probabilistic**
+///    ([`probabilistic`](FailureInjector::probabilistic)): each
+///    `(platform, atom, attempt)` fails with probability `p`, drawn
+///    deterministically from a seed — chaos that replays identically
+///    across runs and schedule modes.
+/// 4. **Legacy stateful countdown**
+///    ([`fail_next`](FailureInjector::fail_next)): fail the next `n`
+///    attempts on a platform, in arrival order.
 #[derive(Debug, Default)]
 pub struct FailureInjector {
-    /// Remaining failures per platform name.
+    /// Remaining failures per platform name (legacy stateful mode).
     remaining: Mutex<HashMap<String, usize>>,
+    /// Platforms experiencing a hard outage.
+    down: Mutex<HashSet<String>>,
+    /// Atom-id-keyed rules.
+    atoms: Mutex<HashMap<usize, AtomRule>>,
+    /// Per-platform `(probability, seed)` of seeded random failures.
+    chaos: Mutex<HashMap<String, (f64, u64)>>,
 }
 
 impl FailureInjector {
@@ -193,19 +239,65 @@ impl FailureInjector {
         FailureInjector::default()
     }
 
-    /// Fail the next `count` atom executions on `platform`.
+    /// Fail the next `count` atom executions on `platform` (stateful: the
+    /// countdown is consumed in attempt-arrival order, so under a parallel
+    /// schedule *which* atom absorbs a failure can differ from the
+    /// sequential schedule — prefer [`fail_atom`](Self::fail_atom) when
+    /// the target matters).
     pub fn fail_next(platform: impl Into<String>, count: usize) -> Self {
         let inj = FailureInjector::default();
         inj.remaining.lock().insert(platform.into(), count);
         inj
     }
 
-    /// Add failures for a platform to an existing injector.
+    /// A platform that is down from the start (every attempt fails with a
+    /// transient error until [`restore`](Self::restore)).
+    pub fn platform_down(platform: impl Into<String>) -> Self {
+        let inj = FailureInjector::default();
+        inj.set_down(platform);
+        inj
+    }
+
+    /// Add stateful countdown failures for a platform.
     pub fn add(&self, platform: impl Into<String>, count: usize) {
         *self.remaining.lock().entry(platform.into()).or_insert(0) += count;
     }
 
-    /// Consume one failure for `platform` if any is pending.
+    /// Mark `platform` as hard-down: every attempt on it fails.
+    pub fn set_down(&self, platform: impl Into<String>) {
+        self.down.lock().insert(platform.into());
+    }
+
+    /// Bring a downed platform back up.
+    pub fn restore(&self, platform: &str) {
+        self.down.lock().remove(platform);
+    }
+
+    /// Fail the first `attempts` attempts of atom `atom_id` with a
+    /// transient error, regardless of platform and schedule mode.
+    pub fn fail_atom(&self, atom_id: usize, attempts: usize) {
+        self.fail_atom_with(atom_id, attempts, InjectedKind::Transient);
+    }
+
+    /// Like [`fail_atom`](Self::fail_atom) with an explicit error kind.
+    pub fn fail_atom_with(&self, atom_id: usize, attempts: usize, kind: InjectedKind) {
+        self.atoms
+            .lock()
+            .insert(atom_id, AtomRule { attempts, kind });
+    }
+
+    /// Fail each `(atom, attempt)` on `platform` independently with
+    /// probability `p`, drawn deterministically from `seed`. The draw is a
+    /// pure function of `(seed, platform, atom id, attempt)` — identical
+    /// across schedule modes and reruns.
+    pub fn probabilistic(&self, platform: impl Into<String>, p: f64, seed: u64) {
+        self.chaos
+            .lock()
+            .insert(platform.into(), (p.clamp(0.0, 1.0), seed));
+    }
+
+    /// Consume one legacy countdown failure for `platform` if any is
+    /// pending.
     pub fn should_fail(&self, platform: &str) -> bool {
         let mut map = self.remaining.lock();
         match map.get_mut(platform) {
@@ -214,6 +306,51 @@ impl FailureInjector {
                 true
             }
             _ => false,
+        }
+    }
+
+    /// The executor's single entry point: should the `attempt`-th attempt
+    /// (1-based) of atom `atom_id` on `platform` fail, and how?
+    ///
+    /// Checks atom-keyed rules, hard outages, and seeded chaos — all pure
+    /// functions of structural ids — before falling back to the stateful
+    /// countdown.
+    pub fn inject(&self, platform: &str, atom_id: usize, attempt: usize) -> Option<InjectedKind> {
+        if let Some(rule) = self.atoms.lock().get(&atom_id) {
+            if attempt <= rule.attempts {
+                return Some(rule.kind);
+            }
+        }
+        if self.down.lock().contains(platform) {
+            return Some(InjectedKind::Transient);
+        }
+        if let Some(&(p, seed)) = self.chaos.lock().get(platform) {
+            let bits = crate::fault::splitmix64(
+                seed ^ crate::fault::fnv1a(platform)
+                    ^ (atom_id as u64).rotate_left(17)
+                    ^ (attempt as u64).rotate_left(41),
+            );
+            if crate::fault::unit_f64(bits) < p {
+                return Some(InjectedKind::Transient);
+            }
+        }
+        if self.should_fail(platform) {
+            return Some(InjectedKind::Transient);
+        }
+        None
+    }
+
+    /// The error a scripted injection raises, matching what a real engine
+    /// failure of that kind would look like.
+    pub fn error_for(kind: InjectedKind, platform: &str, atom_id: usize) -> RheemError {
+        match kind {
+            InjectedKind::Transient => RheemError::Execution {
+                platform: platform.to_string(),
+                message: format!("injected failure on atom {atom_id}"),
+            },
+            InjectedKind::Permanent => RheemError::InvalidPlan(format!(
+                "injected permanent failure on atom {atom_id} ({platform})"
+            )),
         }
     }
 }
@@ -273,6 +410,74 @@ mod tests {
         inj.add("java", 1);
         assert!(inj.should_fail("java"));
         assert!(!inj.should_fail("java"));
+    }
+
+    #[test]
+    fn atom_keyed_injection_is_schedule_independent() {
+        let inj = FailureInjector::none();
+        inj.fail_atom(3, 2);
+        // Pure function of (atom, attempt): call order is irrelevant.
+        assert_eq!(inj.inject("java", 3, 2), Some(InjectedKind::Transient));
+        assert_eq!(inj.inject("spark", 3, 1), Some(InjectedKind::Transient));
+        assert_eq!(inj.inject("java", 3, 3), None, "rule covers 2 attempts");
+        assert_eq!(inj.inject("java", 4, 1), None, "other atoms untouched");
+        assert_eq!(inj.inject("java", 3, 1), Some(InjectedKind::Transient));
+    }
+
+    #[test]
+    fn permanent_injection_surfaces_as_invalid_plan() {
+        let inj = FailureInjector::none();
+        inj.fail_atom_with(0, usize::MAX, InjectedKind::Permanent);
+        let kind = inj.inject("java", 0, 1).unwrap();
+        assert_eq!(kind, InjectedKind::Permanent);
+        let err = FailureInjector::error_for(kind, "java", 0);
+        assert!(matches!(err, RheemError::InvalidPlan(_)), "{err}");
+        assert!(!err.is_retryable());
+        let err = FailureInjector::error_for(InjectedKind::Transient, "java", 7);
+        assert!(err.is_retryable());
+        assert_eq!(err.platform(), Some("java"));
+        assert!(err.to_string().contains("atom 7"));
+    }
+
+    #[test]
+    fn downed_platform_fails_every_attempt_until_restored() {
+        let inj = FailureInjector::platform_down("spark");
+        for attempt in 1..=5 {
+            assert_eq!(
+                inj.inject("spark", attempt, attempt),
+                Some(InjectedKind::Transient)
+            );
+        }
+        assert_eq!(inj.inject("java", 0, 1), None);
+        inj.restore("spark");
+        assert_eq!(inj.inject("spark", 0, 1), None);
+    }
+
+    #[test]
+    fn probabilistic_injection_is_seeded_and_deterministic() {
+        let inj = FailureInjector::none();
+        inj.probabilistic("spark", 0.5, 42);
+        let draw: Vec<bool> = (0..64)
+            .map(|atom| inj.inject("spark", atom, 1).is_some())
+            .collect();
+        let replay: Vec<bool> = (0..64)
+            .map(|atom| inj.inject("spark", atom, 1).is_some())
+            .collect();
+        assert_eq!(draw, replay, "same seed, same outcomes");
+        let hits = draw.iter().filter(|b| **b).count();
+        assert!((8..=56).contains(&hits), "p=0.5 should hit roughly half");
+        let other = FailureInjector::none();
+        other.probabilistic("spark", 0.5, 43);
+        let reseeded: Vec<bool> = (0..64)
+            .map(|atom| other.inject("spark", atom, 1).is_some())
+            .collect();
+        assert_ne!(draw, reseeded, "different seed, different outcomes");
+        assert_eq!(inj.inject("java", 0, 1), None, "chaos is per-platform");
+        // p = 0 never fires, p = 1 always fires.
+        inj.probabilistic("java", 0.0, 1);
+        assert_eq!(inj.inject("java", 0, 1), None);
+        inj.probabilistic("java", 1.0, 1);
+        assert!(inj.inject("java", 0, 1).is_some());
     }
 
     #[test]

@@ -1,0 +1,584 @@
+//! Fault tolerance end to end (§4.2 duty iii, DESIGN.md §9): classified
+//! retries with seeded backoff, per-platform circuit breakers, and
+//! failover re-planning around injected platform outages.
+//!
+//! The headline contract: as long as at least one registered platform can
+//! run every pending operator (the java platform supports everything), a
+//! job survives any combination of injected outages with outputs
+//! *identical* to a fault-free run — in both schedule modes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rheem::prelude::*;
+use rheem::rec;
+use rheem_core::optimizer::enumerate::split_into_atoms;
+use rheem_core::{
+    BackoffPolicy, BreakerPolicy, ExecutionPlan, FailoverEvent, FailureInjector, FaultPolicy,
+    InjectedKind, JobResult, NodeId, Observability, ProgressListener, RheemError, ScheduleMode,
+    VirtualSleeper,
+};
+use rheem_platforms::test_context;
+
+/// A shared source fanning out to three hand-pinned branches across three
+/// platforms: the java atom (source + reduce branch) is wave 0, the
+/// sparklike map branch and mapreduce filter branch form wave 1.
+fn fanout_exec_plan() -> ExecutionPlan {
+    let mut b = PlanBuilder::new();
+    let src = b.collection("s", (0..200i64).map(|i| rec![i % 10, i]).collect());
+    let doubled = b.map(
+        src,
+        MapUdf::new("x2", |r| rec![r.int(0).unwrap(), r.int(1).unwrap() * 2]),
+    );
+    b.collect(doubled);
+    let even = b.filter(src, FilterUdf::new("even", |r| r.int(1).unwrap() % 2 == 0));
+    b.collect(even);
+    let summed = b.reduce_by_key(
+        src,
+        KeyUdf::field(0).with_distinct_keys(10.0),
+        ReduceUdf::new("sum", |a, x| {
+            rec![a.int(0).unwrap(), a.int(1).unwrap() + x.int(1).unwrap()]
+        }),
+    );
+    b.collect(summed);
+    let physical = b.build().unwrap();
+    let assignments: Vec<String> = [
+        "java",      // source
+        "sparklike", // map branch
+        "sparklike",
+        "mapreduce", // filter branch
+        "mapreduce",
+        "java", // reduce branch (merges with the source atom)
+        "java",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let atoms = split_into_atoms(&physical, &assignments);
+    ExecutionPlan {
+        physical: Arc::new(physical),
+        assignments,
+        atoms,
+        estimated_cost: 0.0,
+        estimates: vec![],
+    }
+}
+
+/// A one-atom plan on the java platform (atom id 0).
+fn tiny_plan() -> rheem_core::PhysicalPlan {
+    let mut b = PlanBuilder::new();
+    let src = b.collection("s", (0..8i64).map(|i| rec![i]).collect());
+    b.collect(src);
+    b.build().unwrap()
+}
+
+/// Outputs in canonical form: keyed by node id, records sorted within each
+/// output. Grouping operators emit bags whose record order depends on the
+/// platform's partitioning (sparklike hash-partitions by key, java keeps
+/// first-appearance order), so a failover that moves a reduce across
+/// platforms legitimately permutes — but never changes — the bag.
+fn sorted_outputs(result: &JobResult) -> Vec<(NodeId, Vec<Record>)> {
+    let mut out: Vec<(NodeId, Vec<Record>)> = result
+        .outputs
+        .iter()
+        .map(|(n, d)| {
+            let mut records = d.records().to_vec();
+            records.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            (*n, records)
+        })
+        .collect();
+    out.sort_by_key(|(n, _)| *n);
+    out
+}
+
+/// Records the failure-related listener callbacks a job emits.
+#[derive(Default)]
+struct FaultRecorder {
+    starts: Mutex<Vec<usize>>,
+    retries: Mutex<Vec<(usize, usize)>>,
+    failed: Mutex<Vec<(usize, String, usize)>>,
+    failovers: Mutex<Vec<FailoverEvent>>,
+}
+
+impl ProgressListener for FaultRecorder {
+    fn on_atom_start(&self, atom_id: usize, _platform: &str) {
+        self.starts.lock().push(atom_id);
+    }
+    fn on_atom_retry(&self, atom_id: usize, attempt: usize, _error: &RheemError) {
+        self.retries.lock().push((atom_id, attempt));
+    }
+    fn on_atom_failed(&self, atom_id: usize, error: &RheemError, suppressed_retries: usize) {
+        self.failed
+            .lock()
+            .push((atom_id, error.to_string(), suppressed_retries));
+    }
+    fn on_failover(&self, event: &FailoverEvent) {
+        self.failovers.lock().push(event.clone());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Failover re-planning
+// ---------------------------------------------------------------------------
+
+#[test]
+fn downed_platform_fails_over_and_preserves_outputs_in_both_modes() {
+    let exec = fanout_exec_plan();
+    let baseline = test_context().execute_plan(&exec).unwrap();
+
+    for mode in [ScheduleMode::Sequential, ScheduleMode::Parallel] {
+        let injector = Arc::new(FailureInjector::platform_down("sparklike"));
+        let recorder = Arc::new(FaultRecorder::default());
+        let observe = Arc::new(Observability::new());
+        let ctx = test_context()
+            .with_schedule_mode(mode)
+            .with_max_parallel_atoms(4)
+            .with_max_retries(1)
+            .with_fault_policy(FaultPolicy::instant())
+            .with_failure_injector(injector)
+            .with_observability(observe.clone())
+            .with_progress_listener(recorder.clone());
+        let result = ctx.execute_plan(&exec).unwrap();
+
+        assert_eq!(result.stats.failovers, 1, "{mode:?}");
+        assert_eq!(
+            sorted_outputs(&result),
+            sorted_outputs(&baseline),
+            "{mode:?}: failover must not change outputs"
+        );
+        // Committed atoms are never re-planned: every reported atom ran
+        // exactly once, and nothing committed on the failed platform.
+        let mut ids: Vec<usize> = result.stats.atoms.iter().map(|a| a.atom_id).collect();
+        ids.sort_unstable();
+        let mut deduped = ids.clone();
+        deduped.dedup();
+        assert_eq!(ids, deduped, "{mode:?}: an atom committed twice");
+        assert!(result.stats.atoms.iter().all(|a| a.platform != "sparklike"));
+        let wave0 = result.stats.atoms.iter().find(|a| a.atom_id == 0).unwrap();
+        assert_eq!((wave0.wave, wave0.platform.as_str()), (0, "java"));
+
+        let effective = result
+            .effective_plan
+            .expect("failover yields an effective plan");
+        assert!(effective.atoms.iter().all(|a| a.platform != "sparklike"));
+
+        let events = recorder.failovers.lock();
+        assert_eq!(events.len(), 1, "{mode:?}");
+        assert_eq!(events[0].failed_platform, "sparklike");
+        assert!(events[0].excluded.contains(&"sparklike".to_string()));
+        assert!(events[0].new_atoms >= 1);
+
+        // The abandoned platform's breaker is forced open and mirrored.
+        assert!(ctx.platform_health().unwrap().is_open("sparklike"));
+        assert_eq!(observe.metrics().counter_value("executor.failovers"), 1);
+        assert_eq!(
+            observe
+                .metrics()
+                .gauge_value("platform.sparklike.breaker_open"),
+            1
+        );
+        assert!(
+            exec.explain_observed(&result.stats).contains("1 failovers"),
+            "explain_observed must surface the failover"
+        );
+    }
+}
+
+#[test]
+fn jobs_fail_cleanly_when_every_alternative_is_down() {
+    // Both non-java platforms are down AND the java platform is down:
+    // no surviving mapping for the pending suffix, so the job must fail
+    // with the original execution error instead of looping.
+    let injector = Arc::new(FailureInjector::platform_down("sparklike"));
+    injector.set_down("mapreduce");
+    injector.set_down("java");
+    injector.set_down("relational");
+    let ctx = test_context()
+        .with_max_retries(1)
+        .with_fault_policy(FaultPolicy::instant())
+        .with_failure_injector(injector);
+    let err = ctx.execute_plan(&fanout_exec_plan()).unwrap_err();
+    assert!(matches!(err, RheemError::Execution { .. }), "{err}");
+}
+
+#[test]
+fn expired_deadlines_are_not_failover_eligible() {
+    let injector = Arc::new(FailureInjector::platform_down("sparklike"));
+    let ctx = test_context()
+        .with_timeout(Duration::ZERO)
+        .with_fault_policy(FaultPolicy::instant())
+        .with_failure_injector(injector);
+    std::thread::sleep(Duration::from_millis(2));
+    let err = ctx.execute_plan(&fanout_exec_plan()).unwrap_err();
+    assert!(matches!(err, RheemError::BudgetExceeded(_)), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// Error taxonomy: permanent errors fail fast
+// ---------------------------------------------------------------------------
+
+#[test]
+fn permanent_errors_fail_fast_with_exactly_one_attempt() {
+    let injector = Arc::new(FailureInjector::none());
+    injector.fail_atom_with(0, usize::MAX, InjectedKind::Permanent);
+    let recorder = Arc::new(FaultRecorder::default());
+    let ctx = RheemContext::new()
+        .with_platform(Arc::new(JavaPlatform::new()))
+        .with_max_retries(5)
+        .with_fault_policy(FaultPolicy::instant())
+        .with_failure_injector(injector)
+        .with_progress_listener(recorder.clone());
+    let err = ctx.execute(tiny_plan()).unwrap_err();
+
+    assert!(matches!(err, RheemError::InvalidPlan(_)), "{err}");
+    assert!(!err.is_retryable());
+    assert_eq!(recorder.starts.lock().len(), 1, "exactly one attempt");
+    assert!(
+        recorder.retries.lock().is_empty(),
+        "permanent errors must not burn retry budget"
+    );
+    let failed = recorder.failed.lock();
+    assert_eq!(failed.len(), 1);
+    assert_eq!(failed[0].2, 5, "the whole unused budget is suppressed");
+    assert!(
+        recorder.failovers.lock().is_empty(),
+        "permanent errors are not failover-eligible"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+#[test]
+fn breaker_opens_after_consecutive_failures_and_fails_fast_across_jobs() {
+    let injector = Arc::new(FailureInjector::platform_down("java"));
+    let recorder = Arc::new(FaultRecorder::default());
+    let policy = FaultPolicy {
+        breaker: BreakerPolicy {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(3600),
+        },
+        failover: false,
+        ..FaultPolicy::instant()
+    };
+    let ctx = RheemContext::new()
+        .with_platform(Arc::new(JavaPlatform::new()))
+        .with_max_retries(10)
+        .with_fault_policy(policy)
+        .with_failure_injector(injector)
+        .with_progress_listener(recorder.clone());
+
+    let err = ctx.execute(tiny_plan()).unwrap_err();
+    assert!(matches!(err, RheemError::Execution { .. }), "{err}");
+    // The third consecutive failure opened the breaker and cut the retry
+    // loop short: 2 transient retries spent, the remaining 8 suppressed.
+    assert_eq!(recorder.retries.lock().len(), 2);
+    assert_eq!(recorder.failed.lock().last().unwrap().2, 8);
+    assert!(ctx.platform_health().unwrap().is_open("java"));
+
+    // The next job is rejected at the gate without any attempt.
+    let starts_before = recorder.starts.lock().len();
+    let err = ctx.execute(tiny_plan()).unwrap_err();
+    assert!(
+        matches!(err, RheemError::PlatformUnavailable { .. }),
+        "{err}"
+    );
+    assert_eq!(err.platform(), Some("java"));
+    assert_eq!(recorder.starts.lock().len(), starts_before);
+}
+
+#[test]
+fn half_open_probe_recovers_a_restored_platform() {
+    let injector = Arc::new(FailureInjector::platform_down("java"));
+    let policy = FaultPolicy {
+        breaker: BreakerPolicy {
+            failure_threshold: 1,
+            cooldown: Duration::ZERO,
+        },
+        failover: false,
+        ..FaultPolicy::instant()
+    };
+    let ctx = RheemContext::new()
+        .with_platform(Arc::new(JavaPlatform::new()))
+        .with_max_retries(3)
+        .with_fault_policy(policy)
+        .with_failure_injector(injector.clone());
+
+    let err = ctx.execute(tiny_plan()).unwrap_err();
+    assert!(matches!(err, RheemError::Execution { .. }), "{err}");
+    assert!(ctx.platform_health().unwrap().is_open("java"));
+
+    // The platform comes back; zero cooldown admits the half-open probe
+    // immediately, and its success closes the breaker.
+    injector.restore("java");
+    let result = ctx.execute(tiny_plan()).unwrap();
+    assert!(!ctx.platform_health().unwrap().is_open("java"));
+    assert_eq!(result.stats.atoms[0].attempts, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Backoff
+// ---------------------------------------------------------------------------
+
+#[test]
+fn retry_backoff_is_seeded_exponential_on_the_virtual_clock() {
+    let injector = Arc::new(FailureInjector::none());
+    injector.fail_atom(0, 3);
+    let sleeper = Arc::new(VirtualSleeper::new());
+    let backoff = BackoffPolicy::default().with_seed(99);
+    let policy = FaultPolicy {
+        backoff,
+        breaker: BreakerPolicy {
+            failure_threshold: 100,
+            cooldown: Duration::ZERO,
+        },
+        failover: false,
+        ..FaultPolicy::instant()
+    };
+    let ctx = RheemContext::new()
+        .with_platform(Arc::new(JavaPlatform::new()))
+        .with_max_retries(5)
+        .with_fault_policy(policy)
+        .with_sleeper(sleeper.clone())
+        .with_failure_injector(injector);
+    let result = ctx.execute(tiny_plan()).unwrap();
+
+    assert_eq!(result.stats.retries, 3);
+    // The executor slept exactly the policy's deterministic delays — on
+    // the virtual clock, so the test itself never blocks.
+    let expected: Vec<Duration> = (1..=3).map(|k| backoff.delay(0, k)).collect();
+    assert_eq!(sleeper.naps(), expected);
+    assert!(expected.iter().all(|d| *d > Duration::ZERO));
+}
+
+// ---------------------------------------------------------------------------
+// Schedule independence
+// ---------------------------------------------------------------------------
+
+#[test]
+fn probabilistic_injection_yields_identical_runs_in_both_modes() {
+    let exec = fanout_exec_plan();
+    let run = |mode: ScheduleMode| {
+        let injector = Arc::new(FailureInjector::none());
+        injector.probabilistic("sparklike", 0.7, 11);
+        injector.probabilistic("mapreduce", 0.7, 12);
+        // No breaker interference, no failover: pure retry behavior,
+        // which must be a function of (platform, atom id, attempt) only.
+        let policy = FaultPolicy {
+            breaker: BreakerPolicy {
+                failure_threshold: 1000,
+                cooldown: Duration::ZERO,
+            },
+            failover: false,
+            ..FaultPolicy::instant()
+        };
+        test_context()
+            .with_schedule_mode(mode)
+            .with_max_parallel_atoms(4)
+            .with_max_retries(20)
+            .with_fault_policy(policy)
+            .with_failure_injector(injector)
+            .execute_plan(&exec)
+            .unwrap()
+    };
+    let seq = run(ScheduleMode::Sequential);
+    let par = run(ScheduleMode::Parallel);
+
+    assert_eq!(seq.stats.retries, par.stats.retries);
+    assert!(
+        seq.stats.retries > 0,
+        "chaos at p=0.7 must hit at least once"
+    );
+    let attempts = |r: &JobResult| {
+        let mut v: Vec<(usize, usize)> = r
+            .stats
+            .atoms
+            .iter()
+            .map(|a| (a.atom_id, a.attempts))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(attempts(&seq), attempts(&par));
+    assert_eq!(sorted_outputs(&seq), sorted_outputs(&par));
+}
+
+// ---------------------------------------------------------------------------
+// Property: random plans + random outages never change outputs
+// ---------------------------------------------------------------------------
+
+fn prop_plan(shape: u8, n: i64, modulus: i64) -> rheem_core::PhysicalPlan {
+    match shape % 3 {
+        0 => {
+            // Shared source fanning out into an aggregate and a filter.
+            let mut b = PlanBuilder::new();
+            let src = b.collection("s", (0..n).map(|i| rec![i % modulus, i]).collect());
+            let agg = b.reduce_by_key(
+                src,
+                KeyUdf::field(0).with_distinct_keys(modulus as f64),
+                ReduceUdf::new("sum", |a, x| {
+                    rec![a.int(0).unwrap(), a.int(1).unwrap() + x.int(1).unwrap()]
+                }),
+            );
+            b.collect(agg);
+            let odd = b.filter(src, FilterUdf::new("odd", |r| r.int(1).unwrap() % 2 == 1));
+            b.collect(odd);
+            b.build().unwrap()
+        }
+        1 => {
+            // Two sources joined on a shared key space.
+            let mut b = PlanBuilder::new();
+            let l = b.collection("l", (0..n).map(|i| rec![i % modulus, i]).collect());
+            let r = b.collection("r", (0..n / 2 + 1).map(|i| rec![i % modulus, -i]).collect());
+            let j = b.hash_join(l, r, KeyUdf::field(0), KeyUdf::field(0));
+            b.collect(j);
+            b.build().unwrap()
+        }
+        _ => {
+            // A map → aggregate chain.
+            let mut b = PlanBuilder::new();
+            let src = b.collection("s", (0..n).map(|i| rec![i % modulus, i]).collect());
+            let mapped = b.map(
+                src,
+                MapUdf::new("x2", |r| rec![r.int(0).unwrap(), r.int(1).unwrap() * 2]),
+            );
+            let agg = b.reduce_by_key(
+                mapped,
+                KeyUdf::field(0).with_distinct_keys(modulus as f64),
+                ReduceUdf::new("max", |a, x| {
+                    rec![a.int(0).unwrap(), a.int(1).unwrap().max(x.int(1).unwrap())]
+                }),
+            );
+            b.collect(agg);
+            b.build().unwrap()
+        }
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig {
+        cases: 6,
+        ..proptest::prelude::ProptestConfig::default()
+    })]
+
+    /// Whenever at least one platform mapping per operator survives the
+    /// injected outage (the java platform is never downed and supports
+    /// every operator), a faulty run's outputs are identical to the
+    /// fault-free run — in both schedule modes.
+    #[test]
+    fn injected_outages_never_change_outputs(
+        shape in 0u8..3,
+        n in 1i64..150,
+        modulus in 1i64..10,
+        downed_idx in 0usize..3,
+        with_chaos in proptest::strategy::Just(true),
+        seed in 0u64..1_000,
+    ) {
+        let plan = prop_plan(shape, n, modulus);
+        let mut opt_ctx = test_context();
+        opt_ctx.optimizer_mut().movement = rheem_core::cost::MovementCostModel::free();
+        let exec = opt_ctx.optimize(plan).unwrap();
+        let baseline = test_context().execute_plan(&exec).unwrap();
+
+        // One non-java platform goes fully down; another (also non-java)
+        // misbehaves probabilistically. Java always survives.
+        let downed = ["sparklike", "mapreduce", "relational"][downed_idx];
+        let chaotic = ["mapreduce", "relational", "sparklike"][downed_idx];
+
+        for mode in [ScheduleMode::Sequential, ScheduleMode::Parallel] {
+            let injector = Arc::new(FailureInjector::platform_down(downed));
+            if with_chaos {
+                injector.probabilistic(chaotic, 0.3, seed);
+            }
+            let ctx = test_context()
+                .with_schedule_mode(mode)
+                .with_max_parallel_atoms(4)
+                .with_max_retries(2)
+                .with_fault_policy(FaultPolicy {
+                    max_failovers: 4,
+                    ..FaultPolicy::instant()
+                })
+                .with_failure_injector(injector);
+            let result = ctx.execute_plan(&exec);
+            proptest::prop_assert!(
+                result.is_ok(),
+                "{:?} with {} down must fail over, got {:?}",
+                mode,
+                downed,
+                result.err()
+            );
+            proptest::prop_assert_eq!(
+                sorted_outputs(&result.unwrap()),
+                sorted_outputs(&baseline)
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden snapshot of a failover re-plan
+// ---------------------------------------------------------------------------
+
+/// Compare `actual` against `tests/golden/<name>`; rewrite the file
+/// instead when the `BLESS` environment variable is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with BLESS=1 cargo test --test fault_tolerance",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "{} drifted; if the change is intentional, regenerate with \
+         BLESS=1 cargo test --test fault_tolerance",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_failover_explain() {
+    // Sequential mode keeps the commit order fully deterministic, so the
+    // failover event and the effective plan can be pinned byte-for-byte.
+    let exec = fanout_exec_plan();
+    let injector = Arc::new(FailureInjector::platform_down("sparklike"));
+    let recorder = Arc::new(FaultRecorder::default());
+    let ctx = test_context()
+        .with_schedule_mode(ScheduleMode::Sequential)
+        .with_max_retries(1)
+        .with_fault_policy(FaultPolicy::instant())
+        .with_failure_injector(injector)
+        .with_progress_listener(recorder.clone());
+    let result = ctx.execute_plan(&exec).unwrap();
+    assert_eq!(result.stats.failovers, 1);
+
+    let mut snapshot = String::new();
+    for ev in recorder.failovers.lock().iter() {
+        snapshot.push_str(&format!(
+            "failover {}: atom {} on {} excluded [{}] replaced {} pending atoms with {}\n",
+            ev.index,
+            ev.atom_id,
+            ev.failed_platform,
+            ev.excluded.join(", "),
+            ev.replaced_atoms,
+            ev.new_atoms,
+        ));
+    }
+    snapshot.push('\n');
+    let effective = result
+        .effective_plan
+        .expect("failover yields an effective plan");
+    snapshot.push_str(&effective.explain());
+    assert_golden("explain_failover.txt", &snapshot);
+}

@@ -104,6 +104,7 @@ fn golden_explain_observed() {
         total_movement_ms: 0.0,
         retries: 0,
         replans: 0,
+        failovers: 0,
     };
     assert_golden("explain_observed.txt", &exec.explain_observed(&stats));
 }

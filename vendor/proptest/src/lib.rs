@@ -5,6 +5,9 @@
 //! * cases are generated from a deterministic per-test seed (derived from
 //!   the test name and case index), so runs are reproducible without
 //!   `.proptest-regressions` persistence files (which are ignored);
+//! * the `PROPTEST_CASES` environment variable overrides every test's
+//!   configured case count — CI's stress passes elevate it while keeping
+//!   the same deterministic seeds;
 //! * there is **no shrinking** — a failing case reports its case index and
 //!   panics with the failed assertion;
 //! * only the combinators this workspace calls are provided: range and
@@ -295,6 +298,17 @@ pub mod __runtime {
     pub fn case_rng(name: &str, case: u32) -> StdRng {
         StdRng::seed_from_u64(name_seed(name) ^ ((case as u64) << 32 | 0x5EED))
     }
+
+    /// Effective case count: the `PROPTEST_CASES` environment variable
+    /// overrides the per-test config when set (CI uses it for seeded
+    /// high-iteration stress passes; seeds stay per-test-name, so the
+    /// extra cases are reproducible).
+    pub fn effective_cases(configured: u32) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(configured)
+    }
 }
 
 /// Define property tests: an optional `#![proptest_config(..)]` followed by
@@ -317,7 +331,8 @@ macro_rules! __proptest_items {
             $(#[$attr])*
             fn $name() {
                 let cfg: $crate::test_runner::ProptestConfig = $cfg;
-                for case in 0..cfg.cases {
+                let cases = $crate::__runtime::effective_cases(cfg.cases);
+                for case in 0..cases {
                     let mut rng = $crate::__runtime::case_rng(stringify!($name), case);
                     $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
                     let outcome: $crate::test_runner::TestCaseResult =
@@ -325,7 +340,7 @@ macro_rules! __proptest_items {
                     if let ::std::result::Result::Err(e) = outcome {
                         panic!(
                             "proptest {} failed at case {}/{}: {}",
-                            stringify!($name), case, cfg.cases, e.0
+                            stringify!($name), case, cases, e.0
                         );
                     }
                 }
