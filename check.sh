@@ -33,4 +33,11 @@ cargo test --workspace -q --release
 echo "==> fault-injection stress pass (PROPTEST_CASES=64)"
 PROPTEST_CASES=64 cargo test -q --release --test fault_tolerance
 
+# Kernel-parallelism determinism smoke: the same suite must pass with the
+# morsel layer pinned off (threads=1) and at the ambient default — parallel
+# kernels are byte-identical to their sequential twins either way.
+echo "==> kernel determinism smoke (RHEEM_KERNEL_THREADS=1 vs default)"
+RHEEM_KERNEL_THREADS=1 cargo test -q --release --test kernel_parallelism
+cargo test -q --release --test kernel_parallelism
+
 echo "OK: all tier-1 checks passed"

@@ -1,0 +1,192 @@
+//! Ablation (self-timed): sequential vs. morsel-parallel kernels on
+//! groupby and join workloads at 10^5–10^6 rows across 1/2/4/8 kernel
+//! threads, emitting machine-readable `BENCH_kernels.json` at the repo
+//! root with host metadata.
+//!
+//! Determinism is asserted inline: every morsel run must be byte-equal to
+//! the sequential run it is compared against, so the numbers can never
+//! come from a kernel that cheated on the merge contract.
+
+use std::time::Instant;
+
+use rheem_core::kernels::{self, parallel};
+use rheem_core::rec;
+use rheem_core::udf::{KeyUdf, ReduceUdf};
+use rheem_core::KernelParallelism;
+
+const ITERS: u32 = 3;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Time `f` over `ITERS` runs; return (best_ms, mean_ms).
+fn time<F: FnMut()>(mut f: F) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..ITERS {
+        let t = Instant::now();
+        f();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        best = best.min(ms);
+        total += ms;
+    }
+    (best, total / ITERS as f64)
+}
+
+struct Entry {
+    workload: &'static str,
+    kernel: &'static str,
+    rows: usize,
+    threads: usize,
+    best_ms: f64,
+    mean_ms: f64,
+    speedup: f64,
+}
+
+impl Entry {
+    fn json(&self) -> String {
+        format!(
+            "{{\"workload\":\"{}\",\"kernel\":\"{}\",\"rows\":{},\"threads\":{},\
+             \"best_ms\":{:.3},\"mean_ms\":{:.3},\"speedup_vs_sequential\":{:.3}}}",
+            self.workload,
+            self.kernel,
+            self.rows,
+            self.threads,
+            self.best_ms,
+            self.mean_ms,
+            self.speedup
+        )
+    }
+}
+
+/// Benchmark one kernel: a sequential baseline entry (threads = 0 marks
+/// the non-morsel code path) plus one morsel entry per thread count.
+fn sweep(
+    entries: &mut Vec<Entry>,
+    workload: &'static str,
+    kernel: &'static str,
+    rows: usize,
+    sequential: &mut dyn FnMut(),
+    morsel: &mut dyn FnMut(&KernelParallelism),
+) {
+    let (best, mean) = time(&mut *sequential);
+    entries.push(Entry {
+        workload,
+        kernel,
+        rows,
+        threads: 0,
+        best_ms: best,
+        mean_ms: mean,
+        speedup: 1.0,
+    });
+    let baseline = best;
+    for t in THREADS {
+        let p = KernelParallelism::sequential().with_threads(t);
+        let (best, mean) = time(|| morsel(&p));
+        entries.push(Entry {
+            workload,
+            kernel,
+            rows,
+            threads: t,
+            best_ms: best,
+            mean_ms: mean,
+            speedup: baseline / best.max(1e-9),
+        });
+        eprintln!("{workload}/{kernel} rows={rows} threads={t}: best {best:.1} ms");
+    }
+}
+
+fn main() {
+    let mut entries: Vec<Entry> = Vec::new();
+    for rows in [100_000usize, 1_000_000] {
+        let keys = 64i64;
+        let data: Vec<_> = (0..rows as i64).map(|i| rec![i % keys, i]).collect();
+        let key = KeyUdf::field(0);
+        let reduce = ReduceUdf::new("sum", |a, x| {
+            rec![a.int(0).unwrap(), a.int(1).unwrap() + x.int(1).unwrap()]
+        });
+
+        let expect = kernels::hash_group(&data, &key);
+        sweep(
+            &mut entries,
+            "groupby",
+            "hash_group",
+            rows,
+            &mut || {
+                kernels::hash_group(&data, &key);
+            },
+            &mut |p| assert_eq!(parallel::hash_group(&data, &key, p), expect),
+        );
+        let expect = kernels::reduce_by_key(&data, &key, &reduce);
+        sweep(
+            &mut entries,
+            "groupby",
+            "reduce_by_key",
+            rows,
+            &mut || {
+                kernels::reduce_by_key(&data, &key, &reduce);
+            },
+            &mut |p| assert_eq!(parallel::reduce_by_key(&data, &key, &reduce, p), expect),
+        );
+
+        // Dimension-style equi-join: unique right keys covering every left
+        // key exactly once, so the output stays linear in `rows` (a shared
+        // key domain as small as the group-by's would make the match
+        // rectangles — and the output — quadratic).
+        let dim_keys = (rows / 10) as i64;
+        let fact: Vec<_> = (0..rows as i64).map(|i| rec![i % dim_keys, i]).collect();
+        let dims: Vec<_> = (0..dim_keys).map(|i| rec![i, i * 7]).collect();
+        let expect = kernels::hash_join(&fact, &dims, &key, &key);
+        sweep(
+            &mut entries,
+            "join",
+            "hash_join",
+            rows,
+            &mut || {
+                kernels::hash_join(&fact, &dims, &key, &key);
+            },
+            &mut |p| assert_eq!(parallel::hash_join(&fact, &dims, &key, &key, p), expect),
+        );
+        // Unique-key sides keep the sort-merge output linear in `rows`.
+        let left_u: Vec<_> = (0..rows as i64).map(|i| rec![i, i]).collect();
+        let right_u: Vec<_> = (0..rows as i64 / 2).map(|i| rec![i * 2, i]).collect();
+        let expect = kernels::sort_merge_join(&left_u, &right_u, &key, &key);
+        sweep(
+            &mut entries,
+            "join",
+            "sort_merge_join",
+            rows,
+            &mut || {
+                kernels::sort_merge_join(&left_u, &right_u, &key, &key);
+            },
+            &mut |p| {
+                assert_eq!(
+                    parallel::sort_merge_join(&left_u, &right_u, &key, &key, p),
+                    expect
+                )
+            },
+        );
+    }
+
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let body: Vec<String> = entries
+        .iter()
+        .map(|e| format!("    {}", e.json()))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"ablation_kernels\",\n  \"unix_time\": {stamp},\n  \"iters\": {ITERS},\
+         \n  \"host\": {{\"cpus\": {cpus}, \"os\": \"{}\", \"arch\": \"{}\"}},\n  \"note\": \
+         \"threads=0 rows are the sequential (non-morsel) baseline; speedups are physically \
+         bounded by host cpus\",\n  \"entries\": [\n{}\n  ]\n}}\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        body.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, &json).expect("write BENCH_kernels.json");
+    eprintln!("wrote {path} ({} entries, {cpus} cpu(s))", entries.len());
+}

@@ -18,6 +18,7 @@ use std::time::Duration;
 use crate::error::Result;
 use crate::executor::{Executor, ExecutorConfig, JobResult, ProgressListener, ScheduleMode};
 use crate::fault::{FaultPolicy, PlatformHealth, Sleeper};
+use crate::kernels::parallel::KernelParallelism;
 use crate::logical::LogicalPlan;
 use crate::observe::Observability;
 use crate::optimizer::{MultiPlatformOptimizer, ReplanPolicy};
@@ -40,6 +41,7 @@ pub struct RheemContext {
     fault_policy: Option<FaultPolicy>,
     platform_health: Option<Arc<PlatformHealth>>,
     sleeper: Option<Arc<dyn Sleeper>>,
+    kernel_parallelism: Option<KernelParallelism>,
 }
 
 impl RheemContext {
@@ -94,6 +96,19 @@ impl RheemContext {
     /// Choose wave-parallel (default) or sequential atom scheduling.
     pub fn with_schedule_mode(mut self, mode: ScheduleMode) -> Self {
         self.executor_config.mode = mode;
+        self
+    }
+
+    /// Set the intra-atom kernel parallelism knob (morsel-driven parallel
+    /// kernels; see `DESIGN.md` §10). Complements
+    /// [`with_max_parallel_atoms`](Self::with_max_parallel_atoms): that
+    /// caps how many atoms run concurrently, this caps how many threads
+    /// each atom's kernels may use — the executor divides the kernel
+    /// budget by the concurrent-atom count so the two never multiply.
+    /// Defaults to `RHEEM_KERNEL_THREADS` or the host's available
+    /// parallelism. Outputs are byte-identical at any setting.
+    pub fn with_kernel_parallelism(mut self, parallelism: KernelParallelism) -> Self {
+        self.kernel_parallelism = Some(parallelism);
         self
     }
 
@@ -186,6 +201,7 @@ impl RheemContext {
         ExecutionContext {
             storage: self.storage.clone(),
             failure_injector: self.failure_injector.clone(),
+            kernel_parallelism: self.kernel_parallelism.unwrap_or_default(),
         }
     }
 

@@ -774,6 +774,15 @@ impl Executor {
             ScheduleMode::Sequential => 1,
             ScheduleMode::Parallel => self.config.max_parallel_atoms.max(1).min(n),
         };
+        // Share the intra-atom kernel thread budget with wave scheduling:
+        // concurrent atoms each get `threads / workers` (min 1) kernel
+        // threads, so atoms × kernel-threads never oversubscribes the
+        // host. The divisor is the *configured* wave width — not the
+        // mode-dependent worker count — so morsel counts and the
+        // `kernel.parallel.*` counters replay identically under
+        // `Sequential` and `Parallel` scheduling.
+        let budget_share = self.config.max_parallel_atoms.max(1).min(n.max(1));
+        let ctx = &ctx.share_kernel_threads(budget_share);
         let mut slots: Vec<Option<Result<AtomRun>>> = (0..n).map(|_| None).collect();
 
         if workers <= 1 {

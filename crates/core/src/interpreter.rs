@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use crate::data::Dataset;
 use crate::error::{Result, RheemError};
 use crate::kernels;
+use crate::kernels::parallel::{self, KernelParallelism};
 use crate::physical::PhysicalOp;
 use crate::plan::{NodeId, PhysicalPlan};
 use crate::platform::{AtomInputs, ExecutionContext};
@@ -68,6 +69,7 @@ pub fn run_fragment(
                 op: node.op.name(),
                 records_out: out.len() as u64,
                 elapsed_ms: kernel_started.elapsed().as_secs_f64() * 1e3,
+                morsels: op_morsels(&node.op, &inputs, &ctx.kernel_parallelism),
             });
         }
         run.records_processed += out.len() as u64;
@@ -76,7 +78,32 @@ pub fn run_fragment(
     Ok(run)
 }
 
+/// Parallel work units the interpreter's kernel dispatch uses for `op`
+/// under knob `p`: morsel count for embarrassingly-parallel kernels,
+/// chunk count for two-phase kernels, 1 for everything sequential.
+pub fn op_morsels(op: &PhysicalOp, inputs: &[Dataset], p: &KernelParallelism) -> u64 {
+    let len0 = inputs.first().map(|d| d.len()).unwrap_or(0);
+    match op {
+        PhysicalOp::Map(_) | PhysicalOp::FlatMap(_) | PhysicalOp::Filter(_) => p.morsels(len0),
+        PhysicalOp::Project { .. } => p.morsels(len0),
+        PhysicalOp::SortGroupBy { .. }
+        | PhysicalOp::HashGroupBy { .. }
+        | PhysicalOp::ReduceByKey { .. }
+        | PhysicalOp::Sort { .. } => p.chunks(len0),
+        PhysicalOp::HashJoin { .. } | PhysicalOp::SortMergeJoin { .. } => {
+            let len1 = inputs.get(1).map(|d| d.len()).unwrap_or(0);
+            p.chunks(len0.max(len1))
+        }
+        _ => 1,
+    }
+}
+
 /// Execute a single physical operator on gathered inputs.
+///
+/// Kernels with a morsel-parallel twin dispatch through
+/// [`crate::kernels::parallel`] under the context's
+/// [`KernelParallelism`] knob; outputs are byte-identical to the
+/// sequential kernels at any thread count.
 pub fn execute_op(
     op: &PhysicalOp,
     inputs: &[Dataset],
@@ -84,30 +111,31 @@ pub fn execute_op(
     loop_state: Option<&Dataset>,
 ) -> Result<Dataset> {
     let in0 = || inputs[0].records();
+    let par = &ctx.kernel_parallelism;
     let out = match op {
         PhysicalOp::CollectionSource { data, .. } => data.clone(),
         PhysicalOp::StorageSource { dataset_id } => ctx.storage()?.read(dataset_id)?,
         PhysicalOp::LoopInput => loop_state
             .cloned()
             .ok_or_else(|| RheemError::InvalidPlan("LoopInput outside a loop body".into()))?,
-        PhysicalOp::Map(u) => Dataset::new(kernels::map(in0(), u)),
-        PhysicalOp::FlatMap(u) => Dataset::new(kernels::flat_map(in0(), u)),
-        PhysicalOp::Filter(u) => Dataset::new(kernels::filter(in0(), u)),
-        PhysicalOp::Project { indices } => Dataset::new(kernels::project(in0(), indices)?),
+        PhysicalOp::Map(u) => Dataset::new(parallel::map(in0(), u, par)),
+        PhysicalOp::FlatMap(u) => Dataset::new(parallel::flat_map(in0(), u, par)),
+        PhysicalOp::Filter(u) => Dataset::new(parallel::filter(in0(), u, par)),
+        PhysicalOp::Project { indices } => Dataset::new(parallel::project(in0(), indices, par)?),
         PhysicalOp::SortGroupBy { key, group } => {
-            let groups = kernels::sort_group(in0(), key);
+            let groups = parallel::sort_group(in0(), key, par);
             Dataset::new(kernels::apply_group_map(&groups, group))
         }
         PhysicalOp::HashGroupBy { key, group } => {
-            let groups = kernels::hash_group(in0(), key);
+            let groups = parallel::hash_group(in0(), key, par);
             Dataset::new(kernels::apply_group_map(&groups, group))
         }
         PhysicalOp::ReduceByKey { key, reduce } => {
-            Dataset::new(kernels::reduce_by_key(in0(), key, reduce))
+            Dataset::new(parallel::reduce_by_key(in0(), key, reduce, par))
         }
         PhysicalOp::GlobalReduce { reduce } => Dataset::new(kernels::global_reduce(in0(), reduce)),
         PhysicalOp::Sort { key, descending } => {
-            Dataset::new(kernels::sort(in0(), key, *descending))
+            Dataset::new(parallel::sort(in0(), key, *descending, par))
         }
         PhysicalOp::Distinct => Dataset::new(kernels::distinct(in0())),
         PhysicalOp::Sample { fraction, seed } => {
@@ -118,20 +146,22 @@ pub fn execute_op(
         PhysicalOp::HashJoin {
             left_key,
             right_key,
-        } => Dataset::new(kernels::hash_join(
+        } => Dataset::new(parallel::hash_join(
             inputs[0].records(),
             inputs[1].records(),
             left_key,
             right_key,
+            par,
         )),
         PhysicalOp::SortMergeJoin {
             left_key,
             right_key,
-        } => Dataset::new(kernels::sort_merge_join(
+        } => Dataset::new(parallel::sort_merge_join(
             inputs[0].records(),
             inputs[1].records(),
             left_key,
             right_key,
+            par,
         )),
         PhysicalOp::NestedLoopJoin { predicate, .. } => Dataset::new(kernels::nested_loop_join(
             inputs[0].records(),

@@ -7,6 +7,8 @@
 //! own orchestration — partitioning, threading, disk materialization,
 //! simulated overheads — which is where their cost profiles diverge.
 
+pub mod parallel;
+
 use std::collections::HashMap;
 
 use crate::data::{Record, Value};
@@ -30,6 +32,15 @@ pub fn flat_map(records: &[Record], udf: &FlatMapUdf) -> Vec<Record> {
 /// Keep records satisfying the predicate.
 pub fn filter(records: &[Record], udf: &FilterUdf) -> Vec<Record> {
     records.iter().filter(|r| (udf.f)(r)).cloned().collect()
+}
+
+/// Like [`filter`], but consumes the input batch: surviving records are
+/// retained in place instead of cloned. Platforms that own their partition
+/// buffers (task closures get the partition by value) use this to keep the
+/// kernel hot path allocation-free.
+pub fn filter_owned(mut records: Vec<Record>, udf: &FilterUdf) -> Vec<Record> {
+    records.retain(|r| (udf.f)(r));
+    records
 }
 
 /// Project every record onto the given field indices.
@@ -77,15 +88,11 @@ pub fn apply_group_map(groups: &[(Value, Vec<Record>)], udf: &GroupMapUdf) -> Ve
 pub fn reduce_by_key(records: &[Record], key: &KeyUdf, reduce: &ReduceUdf) -> Vec<Record> {
     let mut acc: HashMap<Value, Record> = HashMap::new();
     for r in records {
-        let k = (key.f)(r);
-        match acc.remove(&k) {
-            Some(a) => {
-                acc.insert(k, (reduce.f)(a, r));
-            }
-            None => {
-                acc.insert(k, r.clone());
-            }
-        }
+        // One hash lookup per record: accumulate in place via the entry
+        // API (the old remove-then-insert hashed every key twice).
+        acc.entry((key.f)(r))
+            .and_modify(|a| *a = (reduce.f)(std::mem::take(a), r))
+            .or_insert_with(|| r.clone());
     }
     let mut keyed: Vec<(Value, Record)> = acc.into_iter().collect();
     keyed.sort_by(|a, b| a.0.cmp(&b.0));
@@ -300,6 +307,13 @@ mod tests {
             &FlatMapUdf::new("dup", |r| vec![r.clone(), r.clone()]),
         );
         assert_eq!(dup.len(), 6);
+    }
+
+    #[test]
+    fn filter_owned_matches_filter() {
+        let data = nums(&[1, 2, 3, 4]);
+        let udf = FilterUdf::new("odd", |r| r.int(0).unwrap() % 2 == 1);
+        assert_eq!(filter_owned(data.clone(), &udf), filter(&data, &udf));
     }
 
     #[test]

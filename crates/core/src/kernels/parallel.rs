@@ -1,0 +1,693 @@
+//! Morsel-driven intra-atom parallel kernels with deterministic merge.
+//!
+//! PR 1 parallelized *across* task atoms (wave scheduling); this module
+//! parallelizes *inside* one atom: the input batch is split into fixed-size
+//! **morsels** that run on scoped worker threads, and the per-morsel results
+//! are merged back in a canonical order. Every kernel here is a drop-in
+//! twin of a sequential kernel in [`super`] (the parent `kernels` module)
+//! and produces **byte-identical output at any thread count**:
+//!
+//! - `map` / `flat_map` / `filter` / `project` are embarrassingly parallel:
+//!   morsels are processed independently and concatenated in morsel order,
+//!   which is input order.
+//! - `group` (the shared implementation behind `HashGroupBy` and
+//!   `SortGroupBy`) and `reduce_by_key` run a local phase per contiguous
+//!   chunk and then merge the key-sorted chunk results left-to-right, so
+//!   group members (and reduce application order) follow input order —
+//!   exactly the sequential kernels' contract. `reduce_by_key` merges
+//!   chunk accumulators with the reduce UDF itself, relying on the
+//!   associativity contract [`crate::udf::ReduceUdf`] already demands for
+//!   partitioned platforms.
+//! - `hash_join` uses a partitioned build (per-chunk hash tables merged in
+//!   chunk order, preserving right-input match order) and a morsel-parallel
+//!   probe concatenated in left order.
+//! - `sort_merge_join` and `sort` sort contiguous chunks in parallel and
+//!   merge them stably (ties resolve to the lower chunk, i.e. earlier
+//!   input), reproducing the sequential stable sort byte for byte.
+//!
+//! No `unsafe`: workers are `std::thread::scope` threads pulling morsel
+//! indices off an atomic cursor and parking results in per-slot mutexed
+//! cells — the same pattern the wave executor uses.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::data::{Record, Value};
+use crate::error::Result;
+use crate::udf::{FilterUdf, FlatMapUdf, KeyUdf, MapUdf, ReduceUdf};
+
+/// Environment variable overriding the default kernel thread count.
+pub const KERNEL_THREADS_ENV: &str = "RHEEM_KERNEL_THREADS";
+
+/// Per-context degree-of-parallelism knob for intra-atom kernels.
+///
+/// Lives on [`crate::platform::ExecutionContext`] next to the storage
+/// service, and is documented alongside
+/// [`crate::RheemContext::with_max_parallel_atoms`]: the wave scheduler
+/// divides the kernel thread budget by the number of concurrently running
+/// atoms (see [`KernelParallelism::share`]), so `atoms × kernel-threads`
+/// never oversubscribes the host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelParallelism {
+    /// Maximum worker threads one kernel invocation may use.
+    pub threads: usize,
+    /// Records per morsel for embarrassingly-parallel kernels.
+    pub morsel_size: usize,
+    /// Inputs smaller than this stay on the sequential kernels.
+    pub min_rows: usize,
+}
+
+impl Default for KernelParallelism {
+    fn default() -> Self {
+        KernelParallelism::from_env()
+    }
+}
+
+impl KernelParallelism {
+    /// Default morsel size (records per parallel work unit).
+    pub const DEFAULT_MORSEL_SIZE: usize = 4096;
+    /// Default sequential-fallback threshold.
+    pub const DEFAULT_MIN_ROWS: usize = 4096;
+
+    /// A knob that always uses the sequential kernels.
+    pub fn sequential() -> Self {
+        KernelParallelism {
+            threads: 1,
+            morsel_size: Self::DEFAULT_MORSEL_SIZE,
+            min_rows: Self::DEFAULT_MIN_ROWS,
+        }
+    }
+
+    /// The ambient default: thread count from [`KERNEL_THREADS_ENV`] when
+    /// set (and parseable), otherwise the host's available parallelism.
+    pub fn from_env() -> Self {
+        let threads = std::env::var(KERNEL_THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        KernelParallelism {
+            threads: threads.max(1),
+            morsel_size: Self::DEFAULT_MORSEL_SIZE,
+            min_rows: Self::DEFAULT_MIN_ROWS,
+        }
+    }
+
+    /// Set the thread budget.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Set the morsel size (min 1).
+    pub fn with_morsel_size(mut self, morsel_size: usize) -> Self {
+        self.morsel_size = morsel_size.max(1);
+        self
+    }
+
+    /// Set the sequential-fallback threshold.
+    pub fn with_min_rows(mut self, min_rows: usize) -> Self {
+        self.min_rows = min_rows;
+        self
+    }
+
+    /// Divide the thread budget among `workers` concurrently running
+    /// atoms, so wave-parallel scheduling and intra-atom parallelism
+    /// share one budget instead of multiplying.
+    pub fn share(&self, workers: usize) -> Self {
+        KernelParallelism {
+            threads: (self.threads / workers.max(1)).max(1),
+            ..*self
+        }
+    }
+
+    /// Worker threads a kernel invocation over `len` records may use:
+    /// 1 (sequential) below `min_rows`, otherwise capped by the number of
+    /// morsels so tiny inputs never spawn idle threads.
+    pub fn effective_threads(&self, len: usize) -> usize {
+        if self.threads <= 1 || len < self.min_rows.max(1) {
+            return 1;
+        }
+        self.threads.min(len.div_ceil(self.morsel_size.max(1)))
+    }
+
+    /// Morsel count for an embarrassingly-parallel kernel over `len`
+    /// records (1 when the sequential path runs).
+    pub fn morsels(&self, len: usize) -> u64 {
+        if self.effective_threads(len) <= 1 {
+            1
+        } else {
+            len.div_ceil(self.morsel_size.max(1)) as u64
+        }
+    }
+
+    /// Parallel work units for a two-phase (chunked) kernel over `len`
+    /// records (1 when the sequential path runs).
+    pub fn chunks(&self, len: usize) -> u64 {
+        self.effective_threads(len) as u64
+    }
+
+    /// Fixed-size morsel ranges covering `0..len`.
+    fn morsel_ranges(&self, len: usize) -> Vec<Range<usize>> {
+        let size = self.morsel_size.max(1);
+        (0..len.div_ceil(size))
+            .map(|i| i * size..((i + 1) * size).min(len))
+            .collect()
+    }
+
+    /// `parts` balanced contiguous ranges covering `0..len` (first
+    /// `len % parts` ranges get one extra record, like partition chunking).
+    fn chunk_ranges(&self, len: usize, parts: usize) -> Vec<Range<usize>> {
+        let parts = parts.max(1).min(len.max(1));
+        let base = len / parts;
+        let extra = len % parts;
+        let mut ranges = Vec::with_capacity(parts);
+        let mut start = 0;
+        for i in 0..parts {
+            let size = base + usize::from(i < extra);
+            ranges.push(start..start + size);
+            start += size;
+        }
+        ranges
+    }
+}
+
+/// Run `f` over each range on up to `threads` scoped worker threads,
+/// returning results in range order. Ranges are handed out through an
+/// atomic cursor; each result lands in its own mutexed slot, so output
+/// order is independent of completion order.
+fn run_ranges<T, F>(ranges: &[Range<usize>], threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let n = ranges.len();
+    if threads <= 1 || n <= 1 {
+        return ranges.iter().cloned().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let cells: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                let out = f(ranges[i].clone());
+                *cells[i].lock() = Some(out);
+            });
+        }
+    });
+    cells
+        .into_iter()
+        .map(|c| c.into_inner().expect("every morsel slot is filled"))
+        .collect()
+}
+
+/// Concatenate per-morsel outputs in morsel order.
+fn concat(parts: Vec<Vec<Record>>) -> Vec<Record> {
+    let total = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Morsel-parallel [`super::map`].
+pub fn map(records: &[Record], udf: &MapUdf, p: &KernelParallelism) -> Vec<Record> {
+    let t = p.effective_threads(records.len());
+    if t <= 1 {
+        return super::map(records, udf);
+    }
+    concat(run_ranges(&p.morsel_ranges(records.len()), t, |r| {
+        super::map(&records[r], udf)
+    }))
+}
+
+/// Morsel-parallel [`super::flat_map`].
+pub fn flat_map(records: &[Record], udf: &FlatMapUdf, p: &KernelParallelism) -> Vec<Record> {
+    let t = p.effective_threads(records.len());
+    if t <= 1 {
+        return super::flat_map(records, udf);
+    }
+    concat(run_ranges(&p.morsel_ranges(records.len()), t, |r| {
+        super::flat_map(&records[r], udf)
+    }))
+}
+
+/// Morsel-parallel [`super::filter`].
+pub fn filter(records: &[Record], udf: &FilterUdf, p: &KernelParallelism) -> Vec<Record> {
+    let t = p.effective_threads(records.len());
+    if t <= 1 {
+        return super::filter(records, udf);
+    }
+    concat(run_ranges(&p.morsel_ranges(records.len()), t, |r| {
+        super::filter(&records[r], udf)
+    }))
+}
+
+/// Morsel-parallel [`super::project`]. Morsel results are inspected in
+/// morsel order, so the reported error (if any) is the sequential one.
+pub fn project(
+    records: &[Record],
+    indices: &[usize],
+    p: &KernelParallelism,
+) -> Result<Vec<Record>> {
+    let t = p.effective_threads(records.len());
+    if t <= 1 {
+        return super::project(records, indices);
+    }
+    let parts = run_ranges(&p.morsel_ranges(records.len()), t, |r| {
+        super::project(&records[r], indices)
+    });
+    let mut out = Vec::with_capacity(records.len());
+    for part in parts {
+        out.extend(part?);
+    }
+    Ok(out)
+}
+
+/// Merge two key-sorted group lists; equal keys concatenate members with
+/// `a`'s first (chunk order = input order).
+fn merge_groups(
+    a: Vec<(Value, Vec<Record>)>,
+    b: Vec<(Value, Vec<Record>)>,
+) -> Vec<(Value, Vec<Record>)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut bi = b.into_iter().peekable();
+    for (ka, mut va) in a {
+        while bi.peek().is_some_and(|(kb, _)| *kb < ka) {
+            out.push(bi.next().expect("peeked"));
+        }
+        if bi.peek().is_some_and(|(kb, _)| *kb == ka) {
+            va.extend(bi.next().expect("peeked").1);
+        }
+        out.push((ka, va));
+    }
+    out.extend(bi);
+    out
+}
+
+/// Two-phase parallel grouping: run `local` (a sequential grouping kernel
+/// with the canonical key-sorted output contract) per contiguous chunk,
+/// then merge the chunk results in order.
+fn group_two_phase(
+    records: &[Record],
+    key: &KeyUdf,
+    p: &KernelParallelism,
+    t: usize,
+    local: impl Fn(&[Record], &KeyUdf) -> Vec<(Value, Vec<Record>)> + Sync,
+) -> Vec<(Value, Vec<Record>)> {
+    let locals = run_ranges(&p.chunk_ranges(records.len(), t), t, |r| {
+        local(&records[r], key)
+    });
+    locals.into_iter().reduce(merge_groups).unwrap_or_default()
+}
+
+/// Morsel-parallel [`super::hash_group`]: per-chunk hash grouping + merge.
+/// Byte-identical to the sequential kernel (and to [`sort_group`]: both
+/// share one output contract — keys ascending, members in input order).
+pub fn hash_group(
+    records: &[Record],
+    key: &KeyUdf,
+    p: &KernelParallelism,
+) -> Vec<(Value, Vec<Record>)> {
+    let t = p.effective_threads(records.len());
+    if t <= 1 {
+        return super::hash_group(records, key);
+    }
+    group_two_phase(records, key, p, t, super::hash_group)
+}
+
+/// Morsel-parallel [`super::sort_group`]: per-chunk sort grouping + merge.
+pub fn sort_group(
+    records: &[Record],
+    key: &KeyUdf,
+    p: &KernelParallelism,
+) -> Vec<(Value, Vec<Record>)> {
+    let t = p.effective_threads(records.len());
+    if t <= 1 {
+        return super::sort_group(records, key);
+    }
+    group_two_phase(records, key, p, t, super::sort_group)
+}
+
+/// Local reduce phase: key-sorted `(key, accumulator)` pairs for a chunk.
+fn local_reduce(records: &[Record], key: &KeyUdf, reduce: &ReduceUdf) -> Vec<(Value, Record)> {
+    let mut acc: HashMap<Value, Record> = HashMap::new();
+    for r in records {
+        acc.entry((key.f)(r))
+            .and_modify(|a| *a = (reduce.f)(std::mem::take(a), r))
+            .or_insert_with(|| r.clone());
+    }
+    let mut keyed: Vec<(Value, Record)> = acc.into_iter().collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    keyed
+}
+
+/// Merge two key-sorted accumulator lists, combining equal keys with the
+/// reduce UDF (`a` is the earlier chunk, so it is the left operand).
+fn merge_reduced(
+    a: Vec<(Value, Record)>,
+    b: Vec<(Value, Record)>,
+    reduce: &ReduceUdf,
+) -> Vec<(Value, Record)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut bi = b.into_iter().peekable();
+    for (ka, mut va) in a {
+        while bi.peek().is_some_and(|(kb, _)| *kb < ka) {
+            out.push(bi.next().expect("peeked"));
+        }
+        if bi.peek().is_some_and(|(kb, _)| *kb == ka) {
+            va = (reduce.f)(va, &bi.next().expect("peeked").1);
+        }
+        out.push((ka, va));
+    }
+    out.extend(bi);
+    out
+}
+
+/// Two-phase parallel [`super::reduce_by_key`]: local entry-based
+/// accumulation per chunk, then a chunk-ordered merge combining chunk
+/// accumulators with the (associative, per the [`crate::udf::ReduceUdf`]
+/// contract) reduce UDF.
+pub fn reduce_by_key(
+    records: &[Record],
+    key: &KeyUdf,
+    reduce: &ReduceUdf,
+    p: &KernelParallelism,
+) -> Vec<Record> {
+    let t = p.effective_threads(records.len());
+    if t <= 1 {
+        return super::reduce_by_key(records, key, reduce);
+    }
+    let locals = run_ranges(&p.chunk_ranges(records.len(), t), t, |r| {
+        local_reduce(&records[r], key, reduce)
+    });
+    locals
+        .into_iter()
+        .reduce(|a, b| merge_reduced(a, b, reduce))
+        .unwrap_or_default()
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect()
+}
+
+/// Partitioned-build + parallel-probe [`super::hash_join`].
+///
+/// Build: each chunk of the right input builds a local hash table; the
+/// locals are folded into one table in chunk order, so each key's match
+/// list is in right-input order (the sequential build order). Probe: the
+/// left input is probed per morsel and concatenated in left order.
+pub fn hash_join(
+    left: &[Record],
+    right: &[Record],
+    left_key: &KeyUdf,
+    right_key: &KeyUdf,
+    p: &KernelParallelism,
+) -> Vec<Record> {
+    let t = p.effective_threads(left.len().max(right.len()));
+    if t <= 1 {
+        return super::hash_join(left, right, left_key, right_key);
+    }
+    let bt = p.effective_threads(right.len());
+    let mut table: HashMap<Value, Vec<&Record>> = HashMap::new();
+    if bt <= 1 {
+        for r in right {
+            table.entry((right_key.f)(r)).or_default().push(r);
+        }
+    } else {
+        let locals = run_ranges(&p.chunk_ranges(right.len(), bt), bt, |rng| {
+            let mut local: HashMap<Value, Vec<&Record>> = HashMap::new();
+            for r in &right[rng] {
+                local.entry((right_key.f)(r)).or_default().push(r);
+            }
+            local
+        });
+        for local in locals {
+            for (k, v) in local {
+                table.entry(k).or_default().extend(v);
+            }
+        }
+    }
+    let pt = p.effective_threads(left.len()).max(1);
+    concat(run_ranges(&p.morsel_ranges(left.len()), pt, |rng| {
+        let mut out = Vec::new();
+        for l in &left[rng] {
+            if let Some(matches) = table.get(&(left_key.f)(l)) {
+                for r in matches {
+                    out.push(l.concat(r));
+                }
+            }
+        }
+        out
+    }))
+}
+
+/// Stable merge of two key-sorted keyed slices under `cmp`; ties take from
+/// `a` first (the earlier chunk), preserving input order like the
+/// sequential stable sort.
+fn merge_keyed<'a>(
+    a: Vec<(Value, &'a Record)>,
+    b: Vec<(Value, &'a Record)>,
+    cmp: &(dyn Fn(&Value, &Value) -> std::cmp::Ordering + Sync),
+) -> Vec<(Value, &'a Record)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ai = a.into_iter().peekable();
+    let mut bi = b.into_iter().peekable();
+    loop {
+        match (ai.peek(), bi.peek()) {
+            (Some((ka, _)), Some((kb, _))) => {
+                if cmp(ka, kb) == std::cmp::Ordering::Greater {
+                    out.push(bi.next().expect("peeked"));
+                } else {
+                    out.push(ai.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => out.push(ai.next().expect("peeked")),
+            (None, Some(_)) => out.push(bi.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+/// Parallel partition sort + k-way merge: extract keys, sort contiguous
+/// chunks on worker threads, and fold-merge in chunk order (stable).
+fn sorted_keyed<'a>(
+    records: &'a [Record],
+    key: &KeyUdf,
+    p: &KernelParallelism,
+    cmp: &(dyn Fn(&Value, &Value) -> std::cmp::Ordering + Sync),
+) -> Vec<(Value, &'a Record)> {
+    let t = p.effective_threads(records.len());
+    let chunks = run_ranges(&p.chunk_ranges(records.len(), t), t, |rng| {
+        let mut keyed: Vec<(Value, &Record)> =
+            records[rng].iter().map(|r| ((key.f)(r), r)).collect();
+        keyed.sort_by(|a, b| cmp(&a.0, &b.0));
+        keyed
+    });
+    chunks
+        .into_iter()
+        .reduce(|a, b| merge_keyed(a, b, cmp))
+        .unwrap_or_default()
+}
+
+/// Parallel [`super::sort_merge_join`]: both sides get a parallel partition
+/// sort + stable merge, the match rectangles are located with a sequential
+/// scan (comparisons only), and the clone-heavy rectangle emission runs on
+/// morsels balanced by output size.
+pub fn sort_merge_join(
+    left: &[Record],
+    right: &[Record],
+    left_key: &KeyUdf,
+    right_key: &KeyUdf,
+    p: &KernelParallelism,
+) -> Vec<Record> {
+    let t = p.effective_threads(left.len().max(right.len()));
+    if t <= 1 {
+        return super::sort_merge_join(left, right, left_key, right_key);
+    }
+    let asc: &(dyn Fn(&Value, &Value) -> std::cmp::Ordering + Sync) = &|a, b| a.cmp(b);
+    let l = sorted_keyed(left, left_key, p, asc);
+    let r = sorted_keyed(right, right_key, p, asc);
+
+    // Locate match rectangles (key-equal runs on both sides).
+    let mut rects: Vec<(Range<usize>, Range<usize>)> = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < l.len() && j < r.len() {
+        match l[i].0.cmp(&r[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let key = &l[i].0;
+                let i_end = l[i..].iter().take_while(|(k, _)| k == key).count() + i;
+                let j_end = r[j..].iter().take_while(|(k, _)| k == key).count() + j;
+                rects.push((i..i_end, j..j_end));
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+
+    // Emit rectangles in parallel, grouped into contiguous runs of
+    // roughly equal output size so one hot key does not serialize the
+    // wave. Rectangle order is preserved, so output order is sequential.
+    let total: usize = rects.iter().map(|(a, b)| a.len() * b.len()).sum();
+    let target = total.div_ceil(t).max(1);
+    let mut groups: Vec<Range<usize>> = Vec::new();
+    let mut start = 0;
+    let mut size = 0;
+    for (idx, (a, b)) in rects.iter().enumerate() {
+        size += a.len() * b.len();
+        if size >= target {
+            groups.push(start..idx + 1);
+            start = idx + 1;
+            size = 0;
+        }
+    }
+    if start < rects.len() {
+        groups.push(start..rects.len());
+    }
+    concat(run_ranges(&groups, t, |g| {
+        let mut out = Vec::new();
+        for (li, ri) in &rects[g] {
+            for (_, lrec) in &l[li.clone()] {
+                for (_, rrec) in &r[ri.clone()] {
+                    out.push(lrec.concat(rrec));
+                }
+            }
+        }
+        out
+    }))
+}
+
+/// Parallel [`super::sort`]: partition sort + stable k-way merge, then a
+/// single materialization pass.
+pub fn sort(
+    records: &[Record],
+    key: &KeyUdf,
+    descending: bool,
+    p: &KernelParallelism,
+) -> Vec<Record> {
+    let t = p.effective_threads(records.len());
+    if t <= 1 {
+        return super::sort(records, key, descending);
+    }
+    let cmp: &(dyn Fn(&Value, &Value) -> std::cmp::Ordering + Sync) = if descending {
+        &|a, b| b.cmp(a)
+    } else {
+        &|a, b| a.cmp(b)
+    };
+    sorted_keyed(records, key, p, cmp)
+        .into_iter()
+        .map(|(_, r)| r.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rec;
+
+    fn par(threads: usize, morsel: usize) -> KernelParallelism {
+        KernelParallelism {
+            threads,
+            morsel_size: morsel,
+            min_rows: 0,
+        }
+    }
+
+    fn data(n: i64) -> Vec<Record> {
+        (0..n).map(|i| rec![i % 7, i]).collect()
+    }
+
+    #[test]
+    fn small_inputs_stay_sequential() {
+        let p = KernelParallelism {
+            threads: 8,
+            morsel_size: 4,
+            min_rows: 100,
+        };
+        assert_eq!(p.effective_threads(99), 1);
+        assert_eq!(p.morsels(99), 1);
+        assert!(p.effective_threads(100) > 1);
+    }
+
+    #[test]
+    fn share_divides_the_thread_budget() {
+        let p = par(8, 64);
+        assert_eq!(p.share(4).threads, 2);
+        assert_eq!(p.share(16).threads, 1);
+        assert_eq!(p.share(0).threads, 8);
+    }
+
+    #[test]
+    fn morsel_kernels_match_sequential() {
+        let d = data(1000);
+        let p = par(4, 37);
+        let m = MapUdf::new("sq", |r| rec![r.int(1).unwrap() * r.int(1).unwrap()]);
+        assert_eq!(map(&d, &m, &p), super::super::map(&d, &m));
+        let f = FilterUdf::new("odd", |r| r.int(1).unwrap() % 2 == 1);
+        assert_eq!(filter(&d, &f, &p), super::super::filter(&d, &f));
+        let fm = FlatMapUdf::new("dup", |r| vec![r.clone(), r.clone()]);
+        assert_eq!(flat_map(&d, &fm, &p), super::super::flat_map(&d, &fm));
+        assert_eq!(
+            project(&d, &[1], &p).unwrap(),
+            super::super::project(&d, &[1]).unwrap()
+        );
+        assert!(project(&d, &[9], &p).is_err());
+    }
+
+    #[test]
+    fn group_and_reduce_match_sequential() {
+        let d = data(1003);
+        let p = par(7, 11);
+        let k = KeyUdf::field(0);
+        assert_eq!(sort_group(&d, &k, &p), super::super::sort_group(&d, &k));
+        assert_eq!(hash_group(&d, &k, &p), super::super::hash_group(&d, &k));
+        let sum = ReduceUdf::new("sum", |a, b| {
+            rec![a.int(0).unwrap(), a.int(1).unwrap() + b.int(1).unwrap()]
+        });
+        assert_eq!(
+            reduce_by_key(&d, &k, &sum, &p),
+            super::super::reduce_by_key(&d, &k, &sum)
+        );
+    }
+
+    #[test]
+    fn joins_and_sort_match_sequential() {
+        let l = data(500);
+        let r = data(311);
+        let p = par(3, 17);
+        let k = KeyUdf::field(0);
+        assert_eq!(
+            hash_join(&l, &r, &k, &k, &p),
+            super::super::hash_join(&l, &r, &k, &k)
+        );
+        assert_eq!(
+            sort_merge_join(&l, &r, &k, &k, &p),
+            super::super::sort_merge_join(&l, &r, &k, &k)
+        );
+        assert_eq!(sort(&l, &k, false, &p), super::super::sort(&l, &k, false));
+        assert_eq!(sort(&l, &k, true, &p), super::super::sort(&l, &k, true));
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let p = par(8, 1);
+        let k = KeyUdf::field(0);
+        assert!(hash_group(&[], &k, &p).is_empty());
+        assert!(sort_group(&[], &k, &p).is_empty());
+        assert!(hash_join(&[], &[], &k, &k, &p).is_empty());
+        assert!(sort_merge_join(&data(10), &[], &k, &k, &p).is_empty());
+    }
+}

@@ -54,6 +54,7 @@ pub use fault::{
     BackoffPolicy, BreakerPolicy, FaultPolicy, PlatformHealth, Sleeper, ThreadSleeper,
     VirtualSleeper,
 };
+pub use kernels::parallel::KernelParallelism;
 pub use logical::{LogicalOperator, LogicalPayload, LogicalPlan, LogicalPlanBuilder};
 #[cfg(feature = "observe-json")]
 pub use observe::JsonLinesSink;

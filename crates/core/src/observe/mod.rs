@@ -54,6 +54,11 @@ pub struct NodeObservation {
     pub records_out: u64,
     /// Observed kernel runtime in (possibly simulated) milliseconds.
     pub elapsed_ms: f64,
+    /// Parallel work units (morsels or chunks) the kernel ran on; 1 for
+    /// a sequential kernel. Deterministic for a fixed
+    /// [`crate::KernelParallelism`] setting, and excluded from
+    /// [`canonical_tree`], so traces stay schedule-independent.
+    pub morsels: u64,
 }
 
 /// Upper bounds (microseconds) for the per-atom runtime histogram.
@@ -82,6 +87,9 @@ struct ExecutorMetrics {
     jobs_completed: Arc<Counter>,
     replans: Arc<Counter>,
     atom_simulated_us: Arc<Histogram>,
+    kernel_parallel_invocations: Arc<Counter>,
+    kernel_parallel_morsels: Arc<Counter>,
+    kernel_sequential: Arc<Counter>,
 }
 
 impl ExecutorMetrics {
@@ -99,6 +107,9 @@ impl ExecutorMetrics {
             jobs_completed: registry.counter("executor.jobs_completed"),
             replans: registry.counter("optimizer.replans"),
             atom_simulated_us: registry.histogram("executor.atom_simulated_us", &ATOM_US_BOUNDS),
+            kernel_parallel_invocations: registry.counter("kernel.parallel.invocations"),
+            kernel_parallel_morsels: registry.counter("kernel.parallel.morsels"),
+            kernel_sequential: registry.counter("kernel.parallel.sequential"),
         }
     }
 }
@@ -213,6 +224,17 @@ impl ProgressListener for Observability {
         self.exec
             .atom_simulated_us
             .record((stats.simulated_elapsed_ms * 1_000.0).max(0.0) as u64);
+        // Morsel counts are pure functions of input sizes and the
+        // KernelParallelism setting, so these counters replay identically
+        // across schedule modes (like the movement counter above).
+        for obs in &stats.node_observations {
+            if obs.morsels > 1 {
+                self.exec.kernel_parallel_invocations.inc();
+                self.exec.kernel_parallel_morsels.add(obs.morsels);
+            } else {
+                self.exec.kernel_sequential.inc();
+            }
+        }
 
         if self.sinks.is_empty() {
             return;
@@ -238,6 +260,7 @@ impl ProgressListener for Observability {
             platform: stats.platform.clone(),
             elapsed_ms: stats.simulated_elapsed_ms,
             records_out: stats.records_out,
+            morsels: stats.node_observations.iter().map(|o| o.morsels).sum(),
         });
         for obs in &stats.node_observations {
             self.emit(SpanRecord {
@@ -248,6 +271,7 @@ impl ProgressListener for Observability {
                 platform: stats.platform.clone(),
                 elapsed_ms: obs.elapsed_ms,
                 records_out: obs.records_out,
+                morsels: obs.morsels,
             });
         }
     }
@@ -275,6 +299,7 @@ impl ProgressListener for Observability {
             platform: String::new(),
             elapsed_ms: 0.0,
             records_out: event.observed_card,
+            morsels: 0,
         });
     }
 
@@ -303,6 +328,7 @@ impl ProgressListener for Observability {
             platform: event.failed_platform.clone(),
             elapsed_ms: 0.0,
             records_out: 0,
+            morsels: 0,
         });
     }
 
@@ -328,6 +354,7 @@ impl ProgressListener for Observability {
                 platform: String::new(),
                 elapsed_ms: 0.0,
                 records_out: 0,
+                morsels: 0,
             });
         }
         self.emit(SpanRecord {
@@ -338,6 +365,7 @@ impl ProgressListener for Observability {
             platform: String::new(),
             elapsed_ms: stats.total_wall.as_secs_f64() * 1e3,
             records_out: stats.atoms.iter().map(|a| a.records_out).sum(),
+            morsels: 0,
         });
     }
 }
@@ -364,6 +392,7 @@ mod tests {
                 op: "Map(f)".into(),
                 records_out: 20,
                 elapsed_ms: 2.0,
+                morsels: 4,
             }],
         }
     }

@@ -60,6 +60,12 @@ pub struct SpanRecord {
     pub elapsed_ms: f64,
     /// Records produced by the span's work.
     pub records_out: u64,
+    /// Parallel kernel work units (morsels) under this span: the kernel's
+    /// own count for kernel spans, the sum over kernels for atom spans,
+    /// 0 where not applicable. Excluded from [`canonical_tree`] — like
+    /// timing, it may legitimately differ between runs whose *work* is
+    /// identical.
+    pub morsels: u64,
 }
 
 /// Destination for completed spans. Implementations must tolerate
@@ -164,7 +170,7 @@ impl JsonLinesSink {
             None => "null".to_string(),
         };
         format!(
-            "{{\"id\":{},\"parent\":{},\"kind\":\"{}\",\"label\":\"{}\",\"platform\":\"{}\",\"elapsed_ms\":{:.6},\"records_out\":{}}}",
+            "{{\"id\":{},\"parent\":{},\"kind\":\"{}\",\"label\":\"{}\",\"platform\":\"{}\",\"elapsed_ms\":{:.6},\"records_out\":{},\"morsels\":{}}}",
             span.id,
             parent,
             span.kind.as_str(),
@@ -172,6 +178,7 @@ impl JsonLinesSink {
             json_escape(&span.platform),
             span.elapsed_ms,
             span.records_out,
+            span.morsels,
         )
     }
 }
@@ -296,6 +303,7 @@ mod tests {
             platform: "java".into(),
             elapsed_ms: 1.5,
             records_out: id * 10,
+            morsels: 0,
         }
     }
 
@@ -351,11 +359,13 @@ mod tests {
             platform: "java".into(),
             elapsed_ms: 0.25,
             records_out: 9,
+            morsels: 3,
         };
         let json = JsonLinesSink::to_json(&s);
         assert!(json.contains("\\\"quo\\\\ted\\\"\\n"));
         assert!(json.contains("\"parent\":3"));
         assert!(json.contains("\"kind\":\"kernel\""));
+        assert!(json.contains("\"morsels\":3"));
 
         let sink = JsonLinesSink::new(Box::new(Vec::new()));
         sink.record(&s);

@@ -16,6 +16,7 @@ use parking_lot::Mutex;
 use crate::cost::PlatformCostModel;
 use crate::data::Dataset;
 use crate::error::{Result, RheemError};
+use crate::kernels::parallel::KernelParallelism;
 use crate::physical::PhysicalOp;
 use crate::plan::{NodeId, PhysicalPlan, TaskAtom};
 
@@ -84,6 +85,15 @@ pub trait Platform: Send + Sync {
         inputs: &AtomInputs,
         ctx: &ExecutionContext,
     ) -> Result<AtomResult>;
+
+    /// Intra-atom worker threads this platform's kernels exploit (its
+    /// declared morsel parallelism). The optimizer's cost models may use
+    /// this to price the platform; `1` means kernels run sequentially
+    /// unless the ambient [`ExecutionContext::kernel_parallelism`] says
+    /// otherwise.
+    fn kernel_parallelism(&self) -> usize {
+        1
+    }
 }
 
 /// Registry of available platforms, in registration order.
@@ -362,6 +372,12 @@ pub struct ExecutionContext {
     pub storage: Option<Arc<dyn StorageService>>,
     /// Failure injection used by the executor (None in production).
     pub failure_injector: Option<Arc<FailureInjector>>,
+    /// Intra-atom kernel parallelism knob (see
+    /// [`KernelParallelism`]). Defaults from `RHEEM_KERNEL_THREADS` /
+    /// the host's available parallelism; the wave scheduler divides it
+    /// by the number of concurrently running atoms before handing the
+    /// context to platforms.
+    pub kernel_parallelism: KernelParallelism,
 }
 
 impl ExecutionContext {
@@ -374,6 +390,22 @@ impl ExecutionContext {
     pub fn with_storage(mut self, storage: Arc<dyn StorageService>) -> Self {
         self.storage = Some(storage);
         self
+    }
+
+    /// Set the intra-atom kernel parallelism knob.
+    pub fn with_kernel_parallelism(mut self, parallelism: KernelParallelism) -> Self {
+        self.kernel_parallelism = parallelism;
+        self
+    }
+
+    /// A copy of this context whose kernel thread budget is divided by
+    /// `workers` concurrently running atoms, so wave scheduling and
+    /// intra-atom parallelism share one budget.
+    pub fn share_kernel_threads(&self, workers: usize) -> ExecutionContext {
+        ExecutionContext {
+            kernel_parallelism: self.kernel_parallelism.share(workers),
+            ..self.clone()
+        }
     }
 
     /// Resolve the storage service or error.

@@ -129,7 +129,7 @@ impl Platform for MapReduceLikePlatform {
             records_processed: 0,
             observations: Vec::new(),
         };
-        let mut results = run.run_nodes(plan, &atom.nodes, Some(inputs), None)?;
+        let mut results = run.run_nodes(plan, &atom.nodes, Some(inputs), None, &atom.outputs)?;
         let mut outputs = HashMap::new();
         for n in &atom.outputs {
             let records = results.remove(n).ok_or_else(|| RheemError::Execution {
@@ -175,20 +175,39 @@ impl MrRun<'_> {
         Ok(out)
     }
 
+    /// Execute `nodes` of `plan`; `keep` lists nodes whose records the
+    /// caller reads from the returned map (atom outputs, the loop
+    /// terminal) — everything else is *moved* into its last consumer
+    /// instead of deep-cloned.
     fn run_nodes(
         &mut self,
         plan: &PhysicalPlan,
         nodes: &[NodeId],
         boundary: Option<&AtomInputs>,
         loop_state: Option<&Vec<Record>>,
+        keep: &[NodeId],
     ) -> Result<HashMap<NodeId, Vec<Record>>> {
+        // Count in-fragment consumers so each intermediate can be moved
+        // (not cloned) into the consumer that uses it last.
+        let mut remaining: HashMap<NodeId, usize> = HashMap::new();
+        for &id in nodes {
+            for producer in &plan.node(id).inputs {
+                *remaining.entry(*producer).or_insert(0) += 1;
+            }
+        }
         let mut results: HashMap<NodeId, Vec<Record>> = HashMap::new();
         for &id in nodes {
             let node = plan.node(id);
             let mut inputs: Vec<Vec<Record>> = Vec::with_capacity(node.inputs.len());
             for (slot, producer) in node.inputs.iter().enumerate() {
-                let recs = if let Some(r) = results.get(producer) {
-                    r.clone()
+                let recs = if results.contains_key(producer) {
+                    let uses = remaining.get_mut(producer).expect("consumers counted");
+                    *uses -= 1;
+                    if *uses == 0 && !keep.contains(producer) {
+                        results.remove(producer).expect("present")
+                    } else {
+                        results[producer].clone()
+                    }
                 } else if let Some(d) = boundary.and_then(|b| b.get(&(id, slot))) {
                     d.records().to_vec()
                 } else {
@@ -210,6 +229,10 @@ impl MrRun<'_> {
                         op: node.op.name(),
                         records_out: out.len() as u64,
                         elapsed_ms: self.elapsed_ms - before_ms,
+                        // Mapper/reducer partitions are this platform's
+                        // parallel unit; per-partition kernels stay
+                        // sequential.
+                        morsels: 1,
                     });
             }
             results.insert(id, out);
@@ -266,7 +289,10 @@ impl MrRun<'_> {
             }
             PhysicalOp::Filter(u) => {
                 let u = u.clone();
-                self.mappers(take0(&mut inputs), move |p| Ok(kernels::filter(&p, &u)))?
+                // Mappers own their split: retain in place, no clone.
+                self.mappers(take0(&mut inputs), move |p| {
+                    Ok(kernels::filter_owned(p, &u))
+                })?
             }
             PhysicalOp::Project { indices } => {
                 let indices = indices.clone();
@@ -379,8 +405,9 @@ impl MrRun<'_> {
                 let mut iteration = 0u64;
                 while iteration < *max_iterations && (condition.f)(iteration, &state) {
                     state = self.phase(state)?;
-                    let outs = self.run_nodes(body, &body_nodes, None, Some(&state))?;
-                    state = outs.get(&terminal).cloned().ok_or_else(|| {
+                    let mut outs =
+                        self.run_nodes(body, &body_nodes, None, Some(&state), &[terminal])?;
+                    state = outs.remove(&terminal).ok_or_else(|| {
                         RheemError::InvalidPlan("loop body terminal missing".into())
                     })?;
                     iteration += 1;

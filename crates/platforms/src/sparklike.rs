@@ -140,7 +140,8 @@ impl Platform for SparkLikePlatform {
             records_processed: 0,
             observations: Vec::new(),
         };
-        let mut outputs_parts = run.run_nodes(plan, &atom.nodes, Some(inputs), None)?;
+        let mut outputs_parts =
+            run.run_nodes(plan, &atom.nodes, Some(inputs), None, &atom.outputs)?;
         let mut outputs = HashMap::new();
         for n in &atom.outputs {
             let parts = outputs_parts
@@ -222,20 +223,39 @@ impl SparkRun<'_> {
     }
 
     /// Execute `nodes` of `plan` over partitioned intermediates.
+    ///
+    /// `keep` lists nodes whose partitions the caller reads from the
+    /// returned map (atom outputs, the loop terminal); everything else is
+    /// *moved* into its last consumer instead of deep-cloned.
     fn run_nodes(
         &mut self,
         plan: &PhysicalPlan,
         nodes: &[NodeId],
         boundary: Option<&AtomInputs>,
         loop_state: Option<&Partitions>,
+        keep: &[NodeId],
     ) -> Result<HashMap<NodeId, Partitions>> {
+        // Count in-fragment consumers so each intermediate's partitions
+        // can be moved (not cloned) into the consumer that uses them last.
+        let mut remaining: HashMap<NodeId, usize> = HashMap::new();
+        for &id in nodes {
+            for producer in &plan.node(id).inputs {
+                *remaining.entry(*producer).or_insert(0) += 1;
+            }
+        }
         let mut results: HashMap<NodeId, Partitions> = HashMap::new();
         for &id in nodes {
             let node = plan.node(id);
             let mut inputs: Vec<Partitions> = Vec::with_capacity(node.inputs.len());
             for (slot, producer) in node.inputs.iter().enumerate() {
-                let parts = if let Some(p) = results.get(producer) {
-                    p.clone()
+                let parts = if results.contains_key(producer) {
+                    let uses = remaining.get_mut(producer).expect("consumers counted");
+                    *uses -= 1;
+                    if *uses == 0 && !keep.contains(producer) {
+                        results.remove(producer).expect("present")
+                    } else {
+                        results[producer].clone()
+                    }
                 } else if let Some(d) = boundary.and_then(|b| b.get(&(id, slot))) {
                     let parts = self.partitions_for(d.len());
                     self.plumbing(|| chunk(d.records(), parts))
@@ -259,6 +279,9 @@ impl SparkRun<'_> {
                         op: node.op.name(),
                         records_out: out_records,
                         elapsed_ms: self.elapsed_ms - before_ms,
+                        // Partitions are this platform's parallel unit;
+                        // per-partition kernels stay sequential.
+                        morsels: 1,
                     });
             }
             results.insert(id, out);
@@ -303,8 +326,10 @@ impl SparkRun<'_> {
             }
             PhysicalOp::Filter(u) => {
                 let u = u.clone();
+                // Tasks own their partition, so surviving records are
+                // retained in place instead of cloned.
                 self.tasks(std::mem::take(&mut inputs[0]), move |_, p| {
-                    Ok(kernels::filter(&p, &u))
+                    Ok(kernels::filter_owned(p, &u))
                 })?
             }
             PhysicalOp::Project { indices } => {
@@ -486,8 +511,9 @@ impl SparkRun<'_> {
                     }
                     // Each iteration is a re-dispatched job stage.
                     self.stage();
-                    let outs = self.run_nodes(body, &body_nodes, None, Some(&state))?;
-                    state = outs.get(&terminal).cloned().ok_or_else(|| {
+                    let mut outs =
+                        self.run_nodes(body, &body_nodes, None, Some(&state), &[terminal])?;
+                    state = outs.remove(&terminal).ok_or_else(|| {
                         RheemError::InvalidPlan("loop body terminal missing".into())
                     })?;
                     iteration += 1;
