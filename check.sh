@@ -40,4 +40,11 @@ echo "==> kernel determinism smoke (RHEEM_KERNEL_THREADS=1 vs default)"
 RHEEM_KERNEL_THREADS=1 cargo test -q --release --test kernel_parallelism
 cargo test -q --release --test kernel_parallelism
 
+# Columnar determinism smoke: the chunk kernels and the fused-pipeline
+# executor path must stay byte-identical to the record-at-a-time kernels,
+# again with the morsel layer pinned off and at the ambient default.
+echo "==> chunk-vs-record determinism smoke (RHEEM_KERNEL_THREADS=1 vs default)"
+RHEEM_KERNEL_THREADS=1 cargo test -q --release --test columnar_kernels
+cargo test -q --release --test columnar_kernels
+
 echo "OK: all tier-1 checks passed"

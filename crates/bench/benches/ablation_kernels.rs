@@ -1,17 +1,29 @@
-//! Ablation (self-timed): sequential vs. morsel-parallel kernels on
-//! groupby and join workloads at 10^5–10^6 rows across 1/2/4/8 kernel
-//! threads, emitting machine-readable `BENCH_kernels.json` at the repo
-//! root with host metadata.
+//! Ablation (self-timed), two experiments emitting one machine-readable
+//! `BENCH_kernels.json` at the repo root with host metadata:
 //!
-//! Determinism is asserted inline: every morsel run must be byte-equal to
-//! the sequential run it is compared against, so the numbers can never
-//! come from a kernel that cheated on the merge contract.
+//! 1. **morsel** — sequential vs. morsel-parallel kernels on groupby and
+//!    join workloads at 10^5–10^6 rows across 1/2/4/8 kernel threads;
+//! 2. **columnar** — row (pre) vs. chunk (post) kernels on the same row
+//!    counts: each entry carries both timings side by side. Per-kernel
+//!    entries compare representation-native runs (records in/out vs.
+//!    chunk in/out); the `pipeline` entry is the full production path —
+//!    records in, one `Chunk::from_records`, the fused stage chain, and
+//!    `to_records` back out — against the equivalent row operator chain,
+//!    so conversion costs are charged where the executor pays them.
+//!
+//! Determinism is asserted inline: every morsel or chunk run must be
+//! byte-equal to the row run it is compared against, so the numbers can
+//! never come from a kernel that cheated on its equivalence contract.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use rheem_core::kernels::{self, parallel};
+use rheem_core::data::Chunk;
+use rheem_core::expr::Expr;
+use rheem_core::kernels::{self, chunked, parallel};
+use rheem_core::physical::{PipelineStage, StageKind};
 use rheem_core::rec;
-use rheem_core::udf::{KeyUdf, ReduceUdf};
+use rheem_core::udf::{FieldReduce, FilterUdf, KeyUdf, MapUdf, ReduceUdf};
 use rheem_core::KernelParallelism;
 
 const ITERS: u32 = 3;
@@ -94,8 +106,201 @@ fn sweep(
     }
 }
 
+/// One row-vs-chunk comparison: `row_ms` is the pre-columnar (row kernel)
+/// timing, `chunk_ms` the post-columnar one.
+struct ColEntry {
+    kernel: &'static str,
+    rows: usize,
+    row_ms: f64,
+    chunk_ms: f64,
+}
+
+impl ColEntry {
+    fn json(&self) -> String {
+        format!(
+            "{{\"workload\":\"columnar\",\"kernel\":\"{}\",\"rows\":{},\
+             \"row_ms\":{:.3},\"chunk_ms\":{:.3},\"speedup_chunk_vs_row\":{:.3}}}",
+            self.kernel,
+            self.rows,
+            self.row_ms,
+            self.chunk_ms,
+            self.row_ms / self.chunk_ms.max(1e-9)
+        )
+    }
+}
+
+/// Row (pre) vs. chunk (post) on one kernel; both sides best-of-`ITERS`.
+fn col_sweep(
+    entries: &mut Vec<ColEntry>,
+    kernel: &'static str,
+    rows: usize,
+    row: &mut dyn FnMut(),
+    chunk: &mut dyn FnMut(),
+) {
+    let (row_best, _) = time(&mut *row);
+    let (chunk_best, _) = time(&mut *chunk);
+    entries.push(ColEntry {
+        kernel,
+        rows,
+        row_ms: row_best,
+        chunk_ms: chunk_best,
+    });
+    eprintln!(
+        "columnar/{kernel} rows={rows}: row {row_best:.1} ms, chunk {chunk_best:.1} ms ({:.2}x)",
+        row_best / chunk_best.max(1e-9)
+    );
+}
+
+/// The columnar experiment: row kernels vs. chunk kernels on a 2-column
+/// Int dataset (64 skewed keys), plus the fused-pipeline production path.
+fn columnar_experiment(entries: &mut Vec<ColEntry>, rows: usize) {
+    let keys = 64i64;
+    let data: Vec<_> = (0..rows as i64).map(|i| rec![i % keys, i]).collect();
+    let chunk = Chunk::from_records(&data).expect("rectangular");
+    let key = KeyUdf::field(0);
+
+    // Filter: expression predicate on both sides (same derived closure).
+    let pred = Expr::field(1).rem(Expr::lit(3i64)).eq(Expr::lit(1i64));
+    let filter_udf = FilterUdf::from_expr("mod3", pred.clone());
+    let expect = kernels::filter(&data, &filter_udf);
+    assert_eq!(chunked::filter(&chunk, &pred).to_records(), expect);
+    col_sweep(
+        entries,
+        "filter",
+        rows,
+        &mut || {
+            kernels::filter(&data, &filter_udf);
+        },
+        &mut || {
+            chunked::filter(&chunk, &pred);
+        },
+    );
+
+    // Map: arithmetic over both fields.
+    let exprs = vec![Expr::field(0).add(Expr::field(1)), Expr::field(1)];
+    let map_udf = MapUdf::from_exprs("sum", exprs.clone());
+    assert_eq!(
+        chunked::map(&chunk, &exprs).to_records(),
+        kernels::map(&data, &map_udf)
+    );
+    col_sweep(
+        entries,
+        "map",
+        rows,
+        &mut || {
+            kernels::map(&data, &map_udf);
+        },
+        &mut || {
+            chunked::map(&chunk, &exprs);
+        },
+    );
+
+    // Project: per-record field clones vs. an O(1) column view.
+    assert_eq!(
+        chunked::project(&chunk, &[1]).unwrap().to_records(),
+        kernels::project(&data, &[1]).unwrap()
+    );
+    col_sweep(
+        entries,
+        "project",
+        rows,
+        &mut || {
+            kernels::project(&data, &[1]).unwrap();
+        },
+        &mut || {
+            chunked::project(&chunk, &[1]).unwrap();
+        },
+    );
+
+    // Reduce-by-key with a declarative spec: Value-hashed record folds vs.
+    // flat i64 accumulators.
+    let reduce = ReduceUdf::from_spec("sum", vec![FieldReduce::First, FieldReduce::SumInt]);
+    let expect = kernels::reduce_by_key(&data, &key, &reduce);
+    assert_eq!(chunked::reduce_by_key(&chunk, &key, &reduce), expect);
+    col_sweep(
+        entries,
+        "reduce_by_key",
+        rows,
+        &mut || {
+            kernels::reduce_by_key(&data, &key, &reduce);
+        },
+        &mut || {
+            chunked::reduce_by_key(&chunk, &key, &reduce);
+        },
+    );
+
+    // Group-by: typed key lane vs. per-record key closure.
+    assert_eq!(
+        chunked::hash_group(&chunk, &key),
+        kernels::hash_group(&data, &key)
+    );
+    col_sweep(
+        entries,
+        "hash_group",
+        rows,
+        &mut || {
+            kernels::hash_group(&data, &key);
+        },
+        &mut || {
+            chunked::hash_group(&chunk, &key);
+        },
+    );
+
+    // The production path: records → chunk → fused filter+map+project →
+    // records, vs. three row operator passes. Conversion is inside the
+    // timed region on the chunk side.
+    let stages = vec![
+        PipelineStage {
+            name: "mod3".into(),
+            kind: StageKind::Filter {
+                expr: Arc::new(pred.clone()),
+                selectivity: 1.0 / 3.0,
+            },
+        },
+        PipelineStage {
+            name: "sum".into(),
+            kind: StageKind::Map {
+                exprs: exprs.clone().into(),
+            },
+        },
+        PipelineStage {
+            name: "π[0]".into(),
+            kind: StageKind::Project {
+                indices: vec![0usize].into(),
+            },
+        },
+    ];
+    let seq = KernelParallelism::sequential();
+    let expect = {
+        let f = kernels::filter(&data, &filter_udf);
+        let m = kernels::map(&f, &map_udf);
+        kernels::project(&m, &[0]).unwrap()
+    };
+    assert_eq!(
+        parallel::run_pipeline(&data, &stages, &seq).unwrap(),
+        expect
+    );
+    col_sweep(
+        entries,
+        "pipeline",
+        rows,
+        &mut || {
+            let f = kernels::filter(&data, &filter_udf);
+            let m = kernels::map(&f, &map_udf);
+            kernels::project(&m, &[0]).unwrap();
+        },
+        &mut || {
+            parallel::run_pipeline(&data, &stages, &seq).unwrap();
+        },
+    );
+}
+
 fn main() {
     let mut entries: Vec<Entry> = Vec::new();
+    let mut col_entries: Vec<ColEntry> = Vec::new();
+    for rows in [100_000usize, 1_000_000] {
+        columnar_experiment(&mut col_entries, rows);
+    }
     for rows in [100_000usize, 1_000_000] {
         let keys = 64i64;
         let data: Vec<_> = (0..rows as i64).map(|i| rec![i % keys, i]).collect();
@@ -173,20 +378,26 @@ fn main() {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
-    let body: Vec<String> = entries
+    let body: Vec<String> = col_entries
         .iter()
         .map(|e| format!("    {}", e.json()))
+        .chain(entries.iter().map(|e| format!("    {}", e.json())))
         .collect();
     let json = format!(
         "{{\n  \"bench\": \"ablation_kernels\",\n  \"unix_time\": {stamp},\n  \"iters\": {ITERS},\
          \n  \"host\": {{\"cpus\": {cpus}, \"os\": \"{}\", \"arch\": \"{}\"}},\n  \"note\": \
-         \"threads=0 rows are the sequential (non-morsel) baseline; speedups are physically \
-         bounded by host cpus\",\n  \"entries\": [\n{}\n  ]\n}}\n",
+         \"columnar entries carry pre (row_ms) and post (chunk_ms) columns; per-kernel entries \
+         are representation-native, the pipeline entry includes record<->chunk conversion. \
+         threads=0 rows are the sequential (non-morsel) baseline; morsel speedups are \
+         physically bounded by host cpus\",\n  \"entries\": [\n{}\n  ]\n}}\n",
         std::env::consts::OS,
         std::env::consts::ARCH,
         body.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     std::fs::write(path, &json).expect("write BENCH_kernels.json");
-    eprintln!("wrote {path} ({} entries, {cpus} cpu(s))", entries.len());
+    eprintln!(
+        "wrote {path} ({} entries, {cpus} cpu(s))",
+        entries.len() + col_entries.len()
+    );
 }

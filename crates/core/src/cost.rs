@@ -94,6 +94,15 @@ impl CardinalityEstimator {
                 .unwrap_or(self.default_source_card),
             PhysicalOp::LoopInput => loop_card,
             PhysicalOp::Map(_) | PhysicalOp::ZipWithId | PhysicalOp::Project { .. } => in0,
+            PhysicalOp::ChunkPipeline { stages } => {
+                // The fused pipeline's cardinality is the fold of its
+                // stages: filters scale by selectivity, maps/projects are
+                // one-to-one.
+                stages.iter().fold(in0, |card, s| match &s.kind {
+                    crate::physical::StageKind::Filter { selectivity, .. } => card * selectivity,
+                    _ => card,
+                })
+            }
             PhysicalOp::FlatMap(u) => in0 * u.fanout,
             PhysicalOp::Filter(u) => in0 * u.selectivity,
             PhysicalOp::Sample { fraction, .. } => in0 * fraction,
@@ -187,6 +196,10 @@ pub fn op_work_units(op: &PhysicalOp, ins: &[f64], out: f64) -> f64 {
         | PhysicalOp::Sample { .. }
         | PhysicalOp::Limit { .. }
         | PhysicalOp::ZipWithId => in0 + out,
+        // A fused pipeline is a single pass over the input regardless of
+        // how many operators were folded into it — that is the point of
+        // fusing (no intermediate materialization between stages).
+        PhysicalOp::ChunkPipeline { .. } => in0 + out,
         PhysicalOp::SortGroupBy { .. } => nlogn(in0) + out,
         PhysicalOp::HashGroupBy { .. } | PhysicalOp::ReduceByKey { .. } => in0 + out,
         PhysicalOp::GlobalReduce { .. } => in0,

@@ -1,0 +1,660 @@
+//! Columnar chunk representation of record batches.
+//!
+//! The paper's platform layer prescribes batch-oriented execution operators
+//! (§3.1): execution operators process *batches* of data quanta, not one
+//! quantum at a time. This module provides the batch layout: a [`Chunk`] is
+//! a set of typed column vectors ([`Column`]) with validity bitmaps
+//! ([`Bitmap`]) and cheap zero-copy slicing, so morsel-parallel kernels
+//! operate on *views* of shared column storage instead of cloned rows.
+//!
+//! The row-oriented [`Record`] API remains the conversion boundary:
+//! [`Chunk::from_records`] / [`Chunk::to_records`] round-trip exactly
+//! (including `NaN` payload bits, `-0.0`, and `Null` via validity bits), so
+//! platforms, storage, and streaming keep working unchanged while kernels
+//! migrate to the columnar path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use super::{Record, Value};
+
+/// A validity bitmap: one bit per row, `1` = valid, `0` = null.
+///
+/// Typed columns store a neutral payload (0, 0.0, `false`, dictionary code
+/// 0) in null lanes; the bitmap is the source of truth for null-ness.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Bitmap::default()
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the bitmap holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one bit.
+    pub fn push(&mut self, valid: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if valid {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Read bit `i`; out-of-range bits read as valid.
+    pub fn get(&self, i: usize) -> bool {
+        if i >= self.len {
+            return true;
+        }
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of valid (set) bits.
+    pub fn count_valid(&self) -> usize {
+        let mut n: usize = self.words.iter().map(|w| w.count_ones() as usize).sum();
+        // Bits past `len` are zero by construction, so no mask needed; but
+        // defensively clamp to the logical length.
+        if n > self.len {
+            n = self.len;
+        }
+        n
+    }
+
+    /// True iff every bit in `[offset, offset + len)` is valid.
+    pub fn all_valid_in(&self, offset: usize, len: usize) -> bool {
+        (offset..offset + len).all(|i| self.get(i))
+    }
+}
+
+/// Physical storage of one column: a typed vector or a mixed fallback.
+///
+/// Null lanes of typed variants hold a neutral payload; the owning
+/// [`Column`]'s validity bitmap distinguishes them. `Mixed` stores
+/// [`Value`]s verbatim (including `Null`) and never carries a bitmap.
+#[derive(Clone, Debug)]
+pub enum ColumnData {
+    /// All values are `Int` (or `Null`).
+    Int(Vec<i64>),
+    /// All values are `Float` (or `Null`); `NaN` payload bits preserved.
+    Float(Vec<f64>),
+    /// All values are `Bool` (or `Null`).
+    Bool(Vec<bool>),
+    /// All values are `Str` (or `Null`), dictionary-encoded.
+    Str {
+        /// Distinct strings, in first-appearance order.
+        dict: Vec<Arc<str>>,
+        /// Per-row index into `dict` (0 for null lanes).
+        codes: Vec<u32>,
+    },
+    /// Heterogeneous column: values stored verbatim.
+    Mixed(Vec<Value>),
+}
+
+impl ColumnData {
+    /// Number of rows stored.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Str { codes, .. } => codes.len(),
+            ColumnData::Mixed(v) => v.len(),
+        }
+    }
+
+    /// True iff no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A column *view*: shared storage plus an `(offset, len)` window.
+///
+/// Cloning and slicing are O(1) — they bump the [`Arc`]s and adjust the
+/// window — which is what makes morsels views instead of clones.
+#[derive(Clone, Debug)]
+pub struct Column {
+    data: Arc<ColumnData>,
+    validity: Option<Arc<Bitmap>>,
+    offset: usize,
+    len: usize,
+}
+
+impl Column {
+    /// Build a column from values, inferring the tightest typed layout.
+    ///
+    /// A column whose non-null values all share one scalar type becomes the
+    /// corresponding typed vector with a validity bitmap (bitmap omitted
+    /// when no value is null); anything else falls back to
+    /// [`ColumnData::Mixed`].
+    pub fn from_values(values: &[Value]) -> Column {
+        #[derive(PartialEq, Clone, Copy)]
+        enum Kind {
+            Unknown,
+            Int,
+            Float,
+            Bool,
+            Str,
+            Mixed,
+        }
+        let mut kind = Kind::Unknown;
+        let mut has_null = false;
+        for v in values {
+            let k = match v {
+                Value::Null => {
+                    has_null = true;
+                    continue;
+                }
+                Value::Int(_) => Kind::Int,
+                Value::Float(_) => Kind::Float,
+                Value::Bool(_) => Kind::Bool,
+                Value::Str(_) => Kind::Str,
+            };
+            if kind == Kind::Unknown {
+                kind = k;
+            } else if kind != k {
+                kind = Kind::Mixed;
+                break;
+            }
+        }
+        if kind == Kind::Mixed {
+            return Column {
+                len: values.len(),
+                data: Arc::new(ColumnData::Mixed(values.to_vec())),
+                validity: None,
+                offset: 0,
+            };
+        }
+        let validity = if has_null {
+            let mut bm = Bitmap::new();
+            for v in values {
+                bm.push(!v.is_null());
+            }
+            Some(Arc::new(bm))
+        } else {
+            None
+        };
+        let data = match kind {
+            Kind::Float => ColumnData::Float(
+                values
+                    .iter()
+                    .map(|v| if let Value::Float(x) = v { *x } else { 0.0 })
+                    .collect(),
+            ),
+            Kind::Bool => ColumnData::Bool(
+                values
+                    .iter()
+                    .map(|v| matches!(v, Value::Bool(true)))
+                    .collect(),
+            ),
+            Kind::Str => {
+                let mut dict: Vec<Arc<str>> = Vec::new();
+                let mut seen: HashMap<Arc<str>, u32> = HashMap::new();
+                let mut codes = Vec::with_capacity(values.len());
+                for v in values {
+                    match v {
+                        Value::Str(s) => {
+                            let code = *seen.entry(s.clone()).or_insert_with(|| {
+                                dict.push(s.clone());
+                                (dict.len() - 1) as u32
+                            });
+                            codes.push(code);
+                        }
+                        _ => codes.push(0),
+                    }
+                }
+                ColumnData::Str { dict, codes }
+            }
+            // `Unknown` means every value was null: store zeros under an
+            // all-null bitmap.
+            _ => ColumnData::Int(
+                values
+                    .iter()
+                    .map(|v| if let Value::Int(i) = v { *i } else { 0 })
+                    .collect(),
+            ),
+        };
+        Column {
+            len: values.len(),
+            data: Arc::new(data),
+            validity,
+            offset: 0,
+        }
+    }
+
+    /// Wrap a ready-made `i64` lane with no nulls.
+    pub fn from_typed_int(lane: Vec<i64>) -> Column {
+        Column {
+            len: lane.len(),
+            data: Arc::new(ColumnData::Int(lane)),
+            validity: None,
+            offset: 0,
+        }
+    }
+
+    /// Wrap a ready-made `f64` lane with no nulls.
+    pub fn from_typed_float(lane: Vec<f64>) -> Column {
+        Column {
+            len: lane.len(),
+            data: Arc::new(ColumnData::Float(lane)),
+            validity: None,
+            offset: 0,
+        }
+    }
+
+    /// Wrap a ready-made `bool` lane with no nulls.
+    pub fn from_typed_bool(lane: Vec<bool>) -> Column {
+        Column {
+            len: lane.len(),
+            data: Arc::new(ColumnData::Bool(lane)),
+            validity: None,
+            offset: 0,
+        }
+    }
+
+    /// Number of rows in this view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True iff row `i` of the view is non-null.
+    pub fn is_valid(&self, i: usize) -> bool {
+        match &self.validity {
+            Some(bm) => bm.get(self.offset + i),
+            None => !matches!(
+                self.data.as_ref(),
+                ColumnData::Mixed(v) if matches!(v.get(self.offset + i), Some(Value::Null))
+            ),
+        }
+    }
+
+    /// True iff no row in the view can be null (no bitmap, non-mixed).
+    pub fn no_nulls(&self) -> bool {
+        match &self.validity {
+            Some(bm) => bm.all_valid_in(self.offset, self.len),
+            None => !matches!(self.data.as_ref(), ColumnData::Mixed(_)),
+        }
+    }
+
+    /// Materialize row `i` of the view as a [`Value`].
+    pub fn value(&self, i: usize) -> Value {
+        debug_assert!(i < self.len);
+        let j = self.offset + i;
+        if let Some(bm) = &self.validity {
+            if !bm.get(j) {
+                return Value::Null;
+            }
+        }
+        match self.data.as_ref() {
+            ColumnData::Int(v) => Value::Int(v[j]),
+            ColumnData::Float(v) => Value::Float(v[j]),
+            ColumnData::Bool(v) => Value::Bool(v[j]),
+            ColumnData::Str { dict, codes } => Value::Str(dict[codes[j] as usize].clone()),
+            ColumnData::Mixed(v) => v[j].clone(),
+        }
+    }
+
+    /// The `i64` lane of the view when the column is `Int`, else `None`.
+    ///
+    /// The slice covers null lanes too (they read as 0); combine with
+    /// [`Column::no_nulls`] before using it as a typed fast path.
+    pub fn ints(&self) -> Option<&[i64]> {
+        match self.data.as_ref() {
+            ColumnData::Int(v) => Some(&v[self.offset..self.offset + self.len]),
+            _ => None,
+        }
+    }
+
+    /// The `f64` lane of the view when the column is `Float`, else `None`.
+    pub fn floats(&self) -> Option<&[f64]> {
+        match self.data.as_ref() {
+            ColumnData::Float(v) => Some(&v[self.offset..self.offset + self.len]),
+            _ => None,
+        }
+    }
+
+    /// The `bool` lane of the view when the column is `Bool`, else `None`.
+    pub fn bools(&self) -> Option<&[bool]> {
+        match self.data.as_ref() {
+            ColumnData::Bool(v) => Some(&v[self.offset..self.offset + self.len]),
+            _ => None,
+        }
+    }
+
+    /// Zero-copy sub-view `[offset, offset + len)` of this view.
+    pub fn slice(&self, offset: usize, len: usize) -> Column {
+        assert!(offset + len <= self.len, "column slice out of range");
+        Column {
+            data: self.data.clone(),
+            validity: self.validity.clone(),
+            offset: self.offset + offset,
+            len,
+        }
+    }
+
+    /// Materialize the rows at `indices` (in order) into a new column.
+    ///
+    /// The typed layout is preserved: gathering an `Int` column yields an
+    /// `Int` column, so downstream kernels keep their fast paths after a
+    /// filter.
+    pub fn gather(&self, indices: &[usize]) -> Column {
+        let validity = self.validity.as_ref().map(|bm| {
+            let mut out = Bitmap::new();
+            for &i in indices {
+                out.push(bm.get(self.offset + i));
+            }
+            Arc::new(out)
+        });
+        let data = match self.data.as_ref() {
+            ColumnData::Int(v) => {
+                ColumnData::Int(indices.iter().map(|&i| v[self.offset + i]).collect())
+            }
+            ColumnData::Float(v) => {
+                ColumnData::Float(indices.iter().map(|&i| v[self.offset + i]).collect())
+            }
+            ColumnData::Bool(v) => {
+                ColumnData::Bool(indices.iter().map(|&i| v[self.offset + i]).collect())
+            }
+            ColumnData::Str { dict, codes } => ColumnData::Str {
+                dict: dict.clone(),
+                codes: indices.iter().map(|&i| codes[self.offset + i]).collect(),
+            },
+            ColumnData::Mixed(v) => ColumnData::Mixed(
+                indices
+                    .iter()
+                    .map(|&i| v[self.offset + i].clone())
+                    .collect(),
+            ),
+        };
+        Column {
+            data: Arc::new(data),
+            validity,
+            offset: 0,
+            len: indices.len(),
+        }
+    }
+}
+
+/// A batch of rows in columnar layout.
+///
+/// All columns share the same row count. `Chunk` is the unit the vectorized
+/// kernels in [`crate::kernels::chunked`] operate on; [`Chunk::slice`]
+/// produces zero-copy morsel views for intra-atom parallelism.
+#[derive(Clone, Debug)]
+pub struct Chunk {
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Chunk {
+    /// Build a chunk from columns that all have `rows` rows.
+    pub fn new(columns: Vec<Column>, rows: usize) -> Chunk {
+        debug_assert!(columns.iter().all(|c| c.len() == rows));
+        Chunk { columns, rows }
+    }
+
+    /// Convert a record batch to columnar layout.
+    ///
+    /// Returns `None` when the batch is *ragged* (records of differing
+    /// widths) — callers fall back to the row path, since `Record` carries
+    /// no width guarantee.
+    pub fn from_records(records: &[Record]) -> Option<Chunk> {
+        let width = match records.first() {
+            Some(r) => r.width(),
+            None => return Some(Chunk::new(Vec::new(), 0)),
+        };
+        if records.iter().any(|r| r.width() != width) {
+            return None;
+        }
+        let mut columns = Vec::with_capacity(width);
+        let mut scratch: Vec<Value> = Vec::with_capacity(records.len());
+        for c in 0..width {
+            scratch.clear();
+            for r in records {
+                scratch.push(r.fields()[c].clone());
+            }
+            columns.push(Column::from_values(&scratch));
+        }
+        Some(Chunk::new(columns, records.len()))
+    }
+
+    /// Convert back to rows; exact inverse of [`Chunk::from_records`].
+    pub fn to_records(&self) -> Vec<Record> {
+        let mut out = Vec::with_capacity(self.rows);
+        for i in 0..self.rows {
+            let fields: Vec<Value> = self.columns.iter().map(|c| c.value(i)).collect();
+            out.push(Record::new(fields));
+        }
+        out
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The column views.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Borrow column `c`, if present.
+    pub fn column(&self, c: usize) -> Option<&Column> {
+        self.columns.get(c)
+    }
+
+    /// Zero-copy row window `[offset, offset + len)` — the morsel view.
+    pub fn slice(&self, offset: usize, len: usize) -> Chunk {
+        assert!(offset + len <= self.rows, "chunk slice out of range");
+        Chunk {
+            columns: self.columns.iter().map(|c| c.slice(offset, len)).collect(),
+            rows: len,
+        }
+    }
+
+    /// Keep the given columns, in order — O(width) `Arc` bumps, no copying.
+    ///
+    /// Returns `None` if any index is out of bounds (mirrors the row
+    /// kernel's field-out-of-bounds error).
+    pub fn project(&self, indices: &[usize]) -> Option<Chunk> {
+        let mut columns = Vec::with_capacity(indices.len());
+        for &i in indices {
+            columns.push(self.columns.get(i)?.clone());
+        }
+        Some(Chunk {
+            columns,
+            rows: self.rows,
+        })
+    }
+
+    /// Materialize the rows at `indices` (in order) into a new chunk.
+    pub fn gather(&self, indices: &[usize]) -> Chunk {
+        Chunk {
+            columns: self.columns.iter().map(|c| c.gather(indices)).collect(),
+            rows: indices.len(),
+        }
+    }
+
+    /// Concatenate row-compatible chunks (same width) by materializing.
+    ///
+    /// Used to merge per-morsel outputs; returns `None` on width mismatch.
+    pub fn concat(chunks: &[Chunk]) -> Option<Chunk> {
+        let non_empty: Vec<&Chunk> = chunks.iter().filter(|c| c.rows > 0).collect();
+        let first = match non_empty.first() {
+            Some(c) => c,
+            None => return Some(Chunk::new(Vec::new(), 0)),
+        };
+        let width = first.width();
+        if non_empty.iter().any(|c| c.width() != width) {
+            return None;
+        }
+        let rows = non_empty.iter().map(|c| c.rows).sum();
+        let mut columns = Vec::with_capacity(width);
+        let mut scratch: Vec<Value> = Vec::with_capacity(rows);
+        for c in 0..width {
+            scratch.clear();
+            for ch in &non_empty {
+                for i in 0..ch.rows {
+                    scratch.push(ch.columns[c].value(i));
+                }
+            }
+            columns.push(Column::from_values(&scratch));
+        }
+        Some(Chunk::new(columns, rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rec;
+
+    #[test]
+    fn round_trip_preserves_exotic_floats_and_nulls() {
+        let records = vec![
+            Record::new(vec![Value::Int(1), Value::Float(-0.0), Value::str("a")]),
+            Record::new(vec![Value::Null, Value::Float(f64::NAN), Value::str("b")]),
+            Record::new(vec![Value::Int(3), Value::Null, Value::str("a")]),
+        ];
+        let chunk = Chunk::from_records(&records).unwrap();
+        let back = chunk.to_records();
+        assert_eq!(back.len(), 3);
+        for (a, b) in records.iter().zip(&back) {
+            assert_eq!(a, b);
+        }
+        // -0.0 bits preserved (Value::eq uses total_cmp, so this is strict).
+        assert_eq!(back[0].fields()[1], Value::Float(-0.0));
+    }
+
+    #[test]
+    fn typed_layout_is_inferred() {
+        let records = vec![rec![1i64, 1.5, true, "x"], rec![2i64, 2.5, false, "x"]];
+        let chunk = Chunk::from_records(&records).unwrap();
+        assert!(chunk.column(0).unwrap().ints().is_some());
+        assert!(chunk.column(1).unwrap().floats().is_some());
+        assert!(chunk.column(2).unwrap().bools().is_some());
+        match chunk.column(3).unwrap().data.as_ref() {
+            ColumnData::Str { dict, codes } => {
+                assert_eq!(dict.len(), 1);
+                assert_eq!(codes, &[0, 0]);
+            }
+            other => panic!("expected dictionary column, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_column_falls_back() {
+        let records = vec![rec![1i64], rec!["s"]];
+        let chunk = Chunk::from_records(&records).unwrap();
+        assert!(chunk.column(0).unwrap().ints().is_none());
+        assert_eq!(chunk.to_records(), records);
+    }
+
+    #[test]
+    fn ragged_batches_are_rejected() {
+        let records = vec![rec![1i64], rec![1i64, 2i64]];
+        assert!(Chunk::from_records(&records).is_none());
+    }
+
+    #[test]
+    fn slice_is_a_view_and_round_trips() {
+        let records: Vec<Record> = (0..100i64).map(|i| rec![i, i as f64]).collect();
+        let chunk = Chunk::from_records(&records).unwrap();
+        let s = chunk.slice(10, 5);
+        assert_eq!(s.rows(), 5);
+        assert_eq!(s.to_records(), &records[10..15]);
+        // Slicing shares storage: the underlying Arc is the same allocation.
+        assert!(Arc::ptr_eq(&chunk.columns[0].data, &s.columns[0].data));
+    }
+
+    #[test]
+    fn gather_preserves_typed_layout() {
+        let records: Vec<Record> = (0..10i64).map(|i| rec![i]).collect();
+        let chunk = Chunk::from_records(&records).unwrap();
+        let g = chunk.gather(&[9, 0, 3]);
+        assert_eq!(g.column(0).unwrap().ints().unwrap(), &[9, 0, 3]);
+    }
+
+    #[test]
+    fn gather_keeps_validity() {
+        let records = vec![
+            Record::new(vec![Value::Int(1)]),
+            Record::new(vec![Value::Null]),
+            Record::new(vec![Value::Int(3)]),
+        ];
+        let chunk = Chunk::from_records(&records).unwrap();
+        let g = chunk.gather(&[1, 2]);
+        assert_eq!(g.column(0).unwrap().value(0), Value::Null);
+        assert_eq!(g.column(0).unwrap().value(1), Value::Int(3));
+    }
+
+    #[test]
+    fn project_is_zero_copy_and_checks_bounds() {
+        let records = vec![rec![1i64, "a"], rec![2i64, "b"]];
+        let chunk = Chunk::from_records(&records).unwrap();
+        let p = chunk.project(&[1, 0]).unwrap();
+        assert_eq!(p.to_records(), vec![rec!["a", 1i64], rec!["b", 2i64]]);
+        assert!(chunk.project(&[2]).is_none());
+        assert!(Arc::ptr_eq(&chunk.columns[0].data, &p.columns[1].data));
+    }
+
+    #[test]
+    fn concat_merges_morsel_outputs() {
+        let records: Vec<Record> = (0..10i64).map(|i| rec![i]).collect();
+        let chunk = Chunk::from_records(&records).unwrap();
+        let merged = Chunk::concat(&[chunk.slice(0, 4), chunk.slice(4, 6)]).unwrap();
+        assert_eq!(merged.to_records(), records);
+        assert!(Chunk::concat(&[]).unwrap().to_records().is_empty());
+    }
+
+    #[test]
+    fn bitmap_push_get_count() {
+        let mut bm = Bitmap::new();
+        for i in 0..130 {
+            bm.push(i % 3 != 0);
+        }
+        assert_eq!(bm.len(), 130);
+        assert!(!bm.get(0));
+        assert!(bm.get(1));
+        assert!(!bm.get(129));
+        assert_eq!(bm.count_valid(), 130 - 44);
+        assert!(!bm.all_valid_in(0, 130));
+        assert!(bm.all_valid_in(1, 2));
+    }
+
+    #[test]
+    fn all_null_column_round_trips() {
+        let records = vec![
+            Record::new(vec![Value::Null]),
+            Record::new(vec![Value::Null]),
+        ];
+        let chunk = Chunk::from_records(&records).unwrap();
+        assert_eq!(chunk.to_records(), records);
+        assert!(!chunk.column(0).unwrap().no_nulls());
+    }
+}

@@ -14,6 +14,10 @@ use std::sync::Arc;
 
 use crate::error::{Result, RheemError};
 
+pub mod chunk;
+
+pub use chunk::{Bitmap, Chunk, Column, ColumnData};
+
 /// A dynamically typed scalar value — one field of a data quantum.
 ///
 /// The ordering is total: values are ranked first by variant

@@ -1,0 +1,751 @@
+//! A small expression IR for transparent filter/map/project logic.
+//!
+//! The paper's processing abstraction is "fully based on user-defined
+//! functions" (§1), which makes operators opaque to the optimizer. The
+//! UDF-analysis line of work (Hueske et al., PAPERS.md) shows how much an
+//! engine gains when it can see *inside* an operator; this module is the
+//! declarative half of that bargain: operators may carry an [`Expr`] tree
+//! instead of (in addition to) an opaque closure, which lets the optimizer
+//! fuse adjacent operators into a single per-chunk evaluation loop
+//! (`ChunkPipeline`) and lets kernels evaluate vectorized over columns.
+//!
+//! Semantics are null-safe and match [`Value`]'s total order exactly:
+//!
+//! * field references past the record width read as `Null`;
+//! * arithmetic: `Int ⊕ Int → Int` (wrapping; `Div`/`Mod` by zero →
+//!   `Null`), mixed `Int`/`Float` widens to `Float` (IEEE, so float
+//!   division by zero yields ±∞/NaN, *not* `Null`), non-numeric operands →
+//!   `Null`;
+//! * comparisons use [`Value::cmp`]'s total order on *any* operand pair
+//!   (`Null < Bool < Int < Float < Str`, floats by `total_cmp`) and always
+//!   produce a `Bool` — never `Null`;
+//! * `And`/`Or` are Kleene three-valued, treating any non-`Bool` operand as
+//!   unknown (`Null`);
+//! * `Not`/`Neg` on an unsupported operand → `Null`.
+//!
+//! The row evaluator ([`Expr::eval`]) and the vectorized evaluator
+//! ([`Expr::eval_chunk`]) share the same scalar functions, so they agree by
+//! construction; the proptest suite additionally checks byte identity.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::data::{Chunk, Column, Record, Value};
+
+/// Binary operators of the expression IR.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition (wrapping for `Int`).
+    Add,
+    /// Subtraction (wrapping for `Int`).
+    Sub,
+    /// Multiplication (wrapping for `Int`).
+    Mul,
+    /// Division (`Int` by zero → `Null`; `Float` follows IEEE).
+    Div,
+    /// Remainder (`Int` by zero → `Null`; `Float` follows IEEE).
+    Mod,
+    /// Equality under [`Value`]'s total order.
+    Eq,
+    /// Inequality under [`Value`]'s total order.
+    Ne,
+    /// Strictly-less under [`Value`]'s total order.
+    Lt,
+    /// Less-or-equal under [`Value`]'s total order.
+    Le,
+    /// Strictly-greater under [`Value`]'s total order.
+    Gt,
+    /// Greater-or-equal under [`Value`]'s total order.
+    Ge,
+    /// Kleene logical and.
+    And,
+    /// Kleene logical or.
+    Or,
+}
+
+impl BinOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+
+    fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// A declarative scalar expression over one record / one chunk row.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// The value of field `i` (`Null` when out of bounds).
+    Field(usize),
+    /// A constant.
+    Lit(Value),
+    /// Logical negation (`Null` on non-`Bool`).
+    Not(Arc<Expr>),
+    /// Arithmetic negation (`Null` on non-numeric; wrapping for `Int`).
+    Neg(Arc<Expr>),
+    /// True iff the operand is `Null`.
+    IsNull(Arc<Expr>),
+    /// A binary operation.
+    Bin(BinOp, Arc<Expr>, Arc<Expr>),
+}
+
+// The builders deliberately shadow the `std::ops` trait names: `Expr` is a
+// by-value AST builder, not an arithmetic type, and `a.add(b)` reads as the
+// expression it constructs.
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    /// Reference to field `i`.
+    pub fn field(i: usize) -> Expr {
+        Expr::Field(i)
+    }
+
+    /// A literal constant.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// Build a binary expression `self ⊕ rhs`.
+    pub fn bin(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Bin(op, Arc::new(self), Arc::new(rhs))
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Add, rhs)
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Sub, rhs)
+    }
+
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Mul, rhs)
+    }
+
+    /// `self / rhs`.
+    pub fn div(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Div, rhs)
+    }
+
+    /// `self % rhs`.
+    pub fn rem(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Mod, rhs)
+    }
+
+    /// `self == rhs`.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Eq, rhs)
+    }
+
+    /// `self != rhs`.
+    pub fn ne(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Ne, rhs)
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Lt, rhs)
+    }
+
+    /// `self <= rhs`.
+    pub fn le(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Le, rhs)
+    }
+
+    /// `self > rhs`.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Gt, rhs)
+    }
+
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Ge, rhs)
+    }
+
+    /// `self && rhs` (Kleene).
+    pub fn and(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::And, rhs)
+    }
+
+    /// `self || rhs` (Kleene).
+    pub fn or(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Or, rhs)
+    }
+
+    /// `!self`.
+    pub fn not(self) -> Expr {
+        Expr::Not(Arc::new(self))
+    }
+
+    /// `-self`.
+    pub fn neg(self) -> Expr {
+        Expr::Neg(Arc::new(self))
+    }
+
+    /// `self IS NULL`.
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Arc::new(self))
+    }
+
+    /// Rewrite every `Field(i)` through `map` (used when fusing through a
+    /// projection); returns `None` when a referenced field is dropped.
+    pub fn remap_fields(&self, map: &dyn Fn(usize) -> Option<usize>) -> Option<Expr> {
+        Some(match self {
+            Expr::Field(i) => Expr::Field(map(*i)?),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Not(e) => Expr::Not(Arc::new(e.remap_fields(map)?)),
+            Expr::Neg(e) => Expr::Neg(Arc::new(e.remap_fields(map)?)),
+            Expr::IsNull(e) => Expr::IsNull(Arc::new(e.remap_fields(map)?)),
+            Expr::Bin(op, a, b) => Expr::Bin(
+                *op,
+                Arc::new(a.remap_fields(map)?),
+                Arc::new(b.remap_fields(map)?),
+            ),
+        })
+    }
+
+    /// Substitute each `Field(i)` with `exprs[i]` (used when fusing a map
+    /// into a downstream expression); out-of-range fields become `Null`.
+    pub fn substitute(&self, exprs: &[Expr]) -> Expr {
+        match self {
+            Expr::Field(i) => exprs.get(*i).cloned().unwrap_or(Expr::Lit(Value::Null)),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Not(e) => Expr::Not(Arc::new(e.substitute(exprs))),
+            Expr::Neg(e) => Expr::Neg(Arc::new(e.substitute(exprs))),
+            Expr::IsNull(e) => Expr::IsNull(Arc::new(e.substitute(exprs))),
+            Expr::Bin(op, a, b) => Expr::Bin(
+                *op,
+                Arc::new(a.substitute(exprs)),
+                Arc::new(b.substitute(exprs)),
+            ),
+        }
+    }
+
+    /// Evaluate over one record (the row path).
+    pub fn eval(&self, r: &Record) -> Value {
+        match self {
+            Expr::Field(i) => r.fields().get(*i).cloned().unwrap_or(Value::Null),
+            Expr::Lit(v) => v.clone(),
+            Expr::Not(e) => scalar_not(&e.eval(r)),
+            Expr::Neg(e) => scalar_neg(&e.eval(r)),
+            Expr::IsNull(e) => Value::Bool(e.eval(r).is_null()),
+            Expr::Bin(op, a, b) => scalar_bin(*op, &a.eval(r), &b.eval(r)),
+        }
+    }
+
+    /// Evaluate over a whole chunk, producing one output column.
+    ///
+    /// Typed columns without nulls take vectorized fast paths (no per-row
+    /// [`Value`] boxing); everything else falls back to a scalar loop over
+    /// the same functions [`Expr::eval`] uses.
+    pub fn eval_chunk(&self, chunk: &Chunk) -> Column {
+        match self.eval_vec(chunk) {
+            Ev::Col(c) => c,
+            Ev::Lit(v) => {
+                let values = vec![v; chunk.rows()];
+                Column::from_values(&values)
+            }
+        }
+    }
+
+    fn eval_vec(&self, chunk: &Chunk) -> Ev {
+        match self {
+            Expr::Field(i) => match chunk.column(*i) {
+                Some(c) => Ev::Col(c.clone()),
+                None => Ev::Lit(Value::Null),
+            },
+            Expr::Lit(v) => Ev::Lit(v.clone()),
+            Expr::Not(e) => unary_vec(&e.eval_vec(chunk), chunk.rows(), scalar_not),
+            Expr::Neg(e) => unary_vec(&e.eval_vec(chunk), chunk.rows(), scalar_neg),
+            Expr::IsNull(e) => unary_vec(&e.eval_vec(chunk), chunk.rows(), |v| {
+                Value::Bool(v.is_null())
+            }),
+            Expr::Bin(op, a, b) => bin_vec(*op, &a.eval_vec(chunk), &b.eval_vec(chunk), chunk),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Field(i) => write!(f, "#{i}"),
+            Expr::Lit(v) => match v {
+                Value::Str(s) => write!(f, "{s:?}"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Not(e) => write!(f, "!({e})"),
+            Expr::Neg(e) => write!(f, "-({e})"),
+            Expr::IsNull(e) => write!(f, "({e}) is null"),
+            Expr::Bin(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+        }
+    }
+}
+
+/// `!v` with `Null` on non-`Bool` operands.
+pub fn scalar_not(v: &Value) -> Value {
+    match v {
+        Value::Bool(b) => Value::Bool(!b),
+        _ => Value::Null,
+    }
+}
+
+/// `-v` with `Null` on non-numeric operands; wrapping for `Int`.
+pub fn scalar_neg(v: &Value) -> Value {
+    match v {
+        Value::Int(i) => Value::Int(i.wrapping_neg()),
+        Value::Float(x) => Value::Float(-x),
+        _ => Value::Null,
+    }
+}
+
+/// Apply a binary operator to two scalars — the single source of truth for
+/// both the row and the vectorized evaluation path.
+pub fn scalar_bin(op: BinOp, a: &Value, b: &Value) -> Value {
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => scalar_arith(op, a, b),
+        BinOp::Eq => Value::Bool(a == b),
+        BinOp::Ne => Value::Bool(a != b),
+        BinOp::Lt => Value::Bool(a < b),
+        BinOp::Le => Value::Bool(a <= b),
+        BinOp::Gt => Value::Bool(a > b),
+        BinOp::Ge => Value::Bool(a >= b),
+        BinOp::And => match (as_kleene(a), as_kleene(b)) {
+            (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+            (Some(true), Some(true)) => Value::Bool(true),
+            _ => Value::Null,
+        },
+        BinOp::Or => match (as_kleene(a), as_kleene(b)) {
+            (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+            (Some(false), Some(false)) => Value::Bool(false),
+            _ => Value::Null,
+        },
+    }
+}
+
+fn as_kleene(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn scalar_arith(op: BinOp, a: &Value, b: &Value) -> Value {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => match op {
+            BinOp::Add => Value::Int(x.wrapping_add(*y)),
+            BinOp::Sub => Value::Int(x.wrapping_sub(*y)),
+            BinOp::Mul => Value::Int(x.wrapping_mul(*y)),
+            BinOp::Div => {
+                if *y == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(x.wrapping_div(*y))
+                }
+            }
+            BinOp::Mod => {
+                if *y == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(x.wrapping_rem(*y))
+                }
+            }
+            _ => unreachable!("scalar_arith called with non-arithmetic op"),
+        },
+        (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_)) => {
+            let (x, y) = (to_f64(a), to_f64(b));
+            Value::Float(match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Mod => x % y,
+                _ => unreachable!("scalar_arith called with non-arithmetic op"),
+            })
+        }
+        _ => Value::Null,
+    }
+}
+
+fn to_f64(v: &Value) -> f64 {
+    match v {
+        Value::Int(i) => *i as f64,
+        Value::Float(x) => *x,
+        _ => 0.0,
+    }
+}
+
+/// Intermediate result of vectorized evaluation: a column or a scalar that
+/// stays scalar (literals are not splatted until forced).
+enum Ev {
+    Col(Column),
+    Lit(Value),
+}
+
+impl Ev {
+    fn value(&self, i: usize) -> Value {
+        match self {
+            Ev::Col(c) => c.value(i),
+            Ev::Lit(v) => v.clone(),
+        }
+    }
+}
+
+fn unary_vec(e: &Ev, rows: usize, f: impl Fn(&Value) -> Value) -> Ev {
+    match e {
+        Ev::Lit(v) => Ev::Lit(f(v)),
+        Ev::Col(c) => {
+            let values: Vec<Value> = (0..rows).map(|i| f(&c.value(i))).collect();
+            Ev::Col(Column::from_values(&values))
+        }
+    }
+}
+
+/// A typed `i64` operand source: a column lane or a splatted scalar.
+#[derive(Clone, Copy)]
+enum IntSrc<'a> {
+    Slice(&'a [i64]),
+    Scalar(i64),
+}
+
+impl IntSrc<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> i64 {
+        match self {
+            IntSrc::Slice(s) => s[i],
+            IntSrc::Scalar(x) => *x,
+        }
+    }
+}
+
+/// A typed `f64` operand source (integers widen).
+#[derive(Clone, Copy)]
+enum FloatSrc<'a> {
+    Floats(&'a [f64]),
+    Ints(&'a [i64]),
+    Scalar(f64),
+}
+
+impl FloatSrc<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            FloatSrc::Floats(s) => s[i],
+            FloatSrc::Ints(s) => s[i] as f64,
+            FloatSrc::Scalar(x) => *x,
+        }
+    }
+}
+
+fn int_src<'a>(e: &'a Ev) -> Option<IntSrc<'a>> {
+    match e {
+        Ev::Col(c) if c.no_nulls() => c.ints().map(IntSrc::Slice),
+        Ev::Lit(Value::Int(x)) => Some(IntSrc::Scalar(*x)),
+        _ => None,
+    }
+}
+
+fn float_src<'a>(e: &'a Ev) -> Option<FloatSrc<'a>> {
+    match e {
+        Ev::Col(c) if c.no_nulls() => c
+            .floats()
+            .map(FloatSrc::Floats)
+            .or_else(|| c.ints().map(FloatSrc::Ints)),
+        Ev::Lit(Value::Float(x)) => Some(FloatSrc::Scalar(*x)),
+        Ev::Lit(Value::Int(x)) => Some(FloatSrc::Scalar(*x as f64)),
+        _ => None,
+    }
+}
+
+/// True when either operand is `Float`-typed (forcing the widening path).
+fn involves_float(e: &Ev) -> bool {
+    match e {
+        Ev::Col(c) => c.floats().is_some(),
+        Ev::Lit(Value::Float(_)) => true,
+        _ => false,
+    }
+}
+
+/// A typed `bool` operand source.
+#[derive(Clone, Copy)]
+enum BoolSrc<'a> {
+    Slice(&'a [bool]),
+    Scalar(bool),
+}
+
+impl BoolSrc<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        match self {
+            BoolSrc::Slice(s) => s[i],
+            BoolSrc::Scalar(b) => *b,
+        }
+    }
+}
+
+fn bool_src<'a>(e: &'a Ev) -> Option<BoolSrc<'a>> {
+    match e {
+        Ev::Col(c) if c.no_nulls() => c.bools().map(BoolSrc::Slice),
+        Ev::Lit(Value::Bool(b)) => Some(BoolSrc::Scalar(*b)),
+        _ => None,
+    }
+}
+
+fn bin_vec(op: BinOp, a: &Ev, b: &Ev, chunk: &Chunk) -> Ev {
+    let rows = chunk.rows();
+    if let (Ev::Lit(x), Ev::Lit(y)) = (a, b) {
+        return Ev::Lit(scalar_bin(op, x, y));
+    }
+
+    // ---- typed fast paths (no validity bitmaps, no Value boxing) --------
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul => {
+            if !involves_float(a) && !involves_float(b) {
+                if let (Some(x), Some(y)) = (int_src(a), int_src(b)) {
+                    let mut lane = Vec::with_capacity(rows);
+                    for i in 0..rows {
+                        let (l, r) = (x.get(i), y.get(i));
+                        lane.push(match op {
+                            BinOp::Add => l.wrapping_add(r),
+                            BinOp::Sub => l.wrapping_sub(r),
+                            _ => l.wrapping_mul(r),
+                        });
+                    }
+                    return Ev::Col(int_column(lane));
+                }
+            }
+            if let (Some(x), Some(y)) = (float_src(a), float_src(b)) {
+                if involves_float(a) || involves_float(b) {
+                    let mut lane = Vec::with_capacity(rows);
+                    for i in 0..rows {
+                        let (l, r) = (x.get(i), y.get(i));
+                        lane.push(match op {
+                            BinOp::Add => l + r,
+                            BinOp::Sub => l - r,
+                            _ => l * r,
+                        });
+                    }
+                    return Ev::Col(float_column(lane));
+                }
+            }
+        }
+        // Int division-by-zero maps to Null, so only the float-typed
+        // combination (pure IEEE) is a safe typed fast path.
+        BinOp::Div | BinOp::Mod if involves_float(a) || involves_float(b) => {
+            if let (Some(x), Some(y)) = (float_src(a), float_src(b)) {
+                let mut lane = Vec::with_capacity(rows);
+                for i in 0..rows {
+                    let (l, r) = (x.get(i), y.get(i));
+                    lane.push(if op == BinOp::Div { l / r } else { l % r });
+                }
+                return Ev::Col(float_column(lane));
+            }
+        }
+        _ if op.is_comparison() => {
+            // Same-typed comparisons agree with Value::cmp; cross-variant
+            // comparisons rank by variant and go through the generic path.
+            if !involves_float(a) && !involves_float(b) {
+                if let (Some(x), Some(y)) = (int_src(a), int_src(b)) {
+                    let mut lane = Vec::with_capacity(rows);
+                    for i in 0..rows {
+                        lane.push(cmp_holds(op, x.get(i).cmp(&y.get(i))));
+                    }
+                    return Ev::Col(bool_column(lane));
+                }
+            }
+            if involves_float(a) && involves_float(b) {
+                if let (Some(x), Some(y)) = (float_src(a), float_src(b)) {
+                    let mut lane = Vec::with_capacity(rows);
+                    for i in 0..rows {
+                        lane.push(cmp_holds(op, x.get(i).total_cmp(&y.get(i))));
+                    }
+                    return Ev::Col(bool_column(lane));
+                }
+            }
+        }
+        BinOp::And | BinOp::Or => {
+            if let (Some(x), Some(y)) = (bool_src(a), bool_src(b)) {
+                let mut lane = Vec::with_capacity(rows);
+                for i in 0..rows {
+                    let (l, r) = (x.get(i), y.get(i));
+                    lane.push(if op == BinOp::And { l && r } else { l || r });
+                }
+                return Ev::Col(bool_column(lane));
+            }
+        }
+        _ => {}
+    }
+
+    // ---- generic scalar loop (shared semantics with Expr::eval) ---------
+    let values: Vec<Value> = (0..rows)
+        .map(|i| scalar_bin(op, &a.value(i), &b.value(i)))
+        .collect();
+    Ev::Col(Column::from_values(&values))
+}
+
+fn cmp_holds(op: BinOp, ord: std::cmp::Ordering) -> bool {
+    match op {
+        BinOp::Eq => ord.is_eq(),
+        BinOp::Ne => ord.is_ne(),
+        BinOp::Lt => ord.is_lt(),
+        BinOp::Le => ord.is_le(),
+        BinOp::Gt => ord.is_gt(),
+        BinOp::Ge => ord.is_ge(),
+        _ => unreachable!("cmp_holds called with non-comparison op"),
+    }
+}
+
+fn int_column(lane: Vec<i64>) -> Column {
+    Column::from_typed_int(lane)
+}
+
+fn float_column(lane: Vec<f64>) -> Column {
+    Column::from_typed_float(lane)
+}
+
+fn bool_column(lane: Vec<bool>) -> Column {
+    Column::from_typed_bool(lane)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rec;
+
+    fn both(e: &Expr, records: &[Record]) -> (Vec<Value>, Vec<Value>) {
+        let row: Vec<Value> = records.iter().map(|r| e.eval(r)).collect();
+        let chunk = Chunk::from_records(records).unwrap();
+        let col = e.eval_chunk(&chunk);
+        let vec: Vec<Value> = (0..records.len()).map(|i| col.value(i)).collect();
+        (row, vec)
+    }
+
+    #[test]
+    fn row_and_vectorized_paths_agree_on_typed_data() {
+        let records: Vec<Record> = (0..50i64).map(|i| rec![i, i as f64 * 0.5]).collect();
+        for e in [
+            Expr::field(0).add(Expr::lit(3i64)),
+            Expr::field(0).mul(Expr::field(0)),
+            Expr::field(0).lt(Expr::lit(25i64)),
+            Expr::field(1).div(Expr::lit(0.0)),
+            Expr::field(1).ge(Expr::lit(10.0)),
+            Expr::field(0).add(Expr::field(1)),
+            Expr::field(0)
+                .lt(Expr::lit(10i64))
+                .or(Expr::field(1).gt(Expr::lit(20.0))),
+        ] {
+            let (row, vec) = both(&e, &records);
+            assert_eq!(row, vec, "paths disagree for {e}");
+        }
+    }
+
+    #[test]
+    fn row_and_vectorized_paths_agree_on_dirty_data() {
+        let records = vec![
+            rec![1i64, "x"],
+            Record::new(vec![Value::Null, Value::str("y")]),
+            Record::new(vec![Value::Float(f64::NAN), Value::Null]),
+            rec![3i64, "x"],
+        ];
+        for e in [
+            Expr::field(0).add(Expr::lit(1i64)),
+            Expr::field(0).lt(Expr::lit(2i64)),
+            Expr::field(1).eq(Expr::lit("x")),
+            Expr::field(0).is_null(),
+            Expr::field(0).is_null().not(),
+            Expr::field(7).eq(Expr::lit(1i64)),
+        ] {
+            let (row, vec) = both(&e, &records);
+            assert_eq!(row, vec, "paths disagree for {e}");
+        }
+    }
+
+    #[test]
+    fn int_arithmetic_wraps_and_div_by_zero_is_null() {
+        let e = Expr::field(0).add(Expr::lit(1i64));
+        assert_eq!(e.eval(&rec![i64::MAX]), Value::Int(i64::MIN));
+        let d = Expr::field(0).div(Expr::lit(0i64));
+        assert_eq!(d.eval(&rec![5i64]), Value::Null);
+        let m = Expr::field(0).rem(Expr::lit(0i64));
+        assert_eq!(m.eval(&rec![5i64]), Value::Null);
+    }
+
+    #[test]
+    fn mixed_int_float_widens() {
+        let e = Expr::field(0).add(Expr::lit(0.5));
+        assert_eq!(e.eval(&rec![2i64]), Value::Float(2.5));
+        // Float division by zero is IEEE, not Null.
+        let d = Expr::lit(1.0).div(Expr::lit(0.0));
+        assert_eq!(d.eval(&Record::empty()), Value::Float(f64::INFINITY));
+    }
+
+    #[test]
+    fn comparisons_follow_value_total_order() {
+        // Cross-variant: Int < Float by rank, regardless of payload.
+        let e = Expr::lit(99i64).lt(Expr::lit(0.5));
+        assert_eq!(e.eval(&Record::empty()), Value::Bool(true));
+        // Null sorts first and comparisons never return Null.
+        let e = Expr::field(0).lt(Expr::lit(0i64));
+        assert_eq!(e.eval(&Record::new(vec![Value::Null])), Value::Bool(true));
+        // NaN is ordered by total_cmp.
+        let e = Expr::lit(f64::NAN).gt(Expr::lit(f64::INFINITY));
+        assert_eq!(e.eval(&Record::empty()), Value::Bool(true));
+    }
+
+    #[test]
+    fn kleene_logic() {
+        let null = Expr::lit(Value::Null);
+        let t = Expr::lit(true);
+        let f = Expr::lit(false);
+        let r = Record::empty();
+        assert_eq!(f.clone().and(null.clone()).eval(&r), Value::Bool(false));
+        assert_eq!(t.clone().and(null.clone()).eval(&r), Value::Null);
+        assert_eq!(t.clone().or(null.clone()).eval(&r), Value::Bool(true));
+        assert_eq!(f.clone().or(null.clone()).eval(&r), Value::Null);
+        assert_eq!(null.clone().not().eval(&r), Value::Null);
+        assert_eq!(t.not().eval(&r), Value::Bool(false));
+    }
+
+    #[test]
+    fn field_out_of_bounds_reads_null() {
+        let e = Expr::field(3);
+        assert_eq!(e.eval(&rec![1i64]), Value::Null);
+    }
+
+    #[test]
+    fn remap_and_substitute() {
+        let e = Expr::field(1).add(Expr::lit(1i64));
+        let remapped = e.remap_fields(&|i| (i == 1).then_some(0)).unwrap();
+        assert_eq!(remapped.eval(&rec![10i64]), Value::Int(11));
+        assert!(e.remap_fields(&|_| None).is_none());
+        let sub = e.substitute(&[Expr::lit(0i64), Expr::field(0).mul(Expr::lit(2i64))]);
+        assert_eq!(sub.eval(&rec![21i64]), Value::Int(43));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::field(0)
+            .lt(Expr::lit(10i64))
+            .and(Expr::field(1).eq(Expr::lit("x")));
+        assert_eq!(e.to_string(), "((#0 < 10) && (#1 == \"x\"))");
+    }
+}

@@ -85,7 +85,7 @@ pub fn op_morsels(op: &PhysicalOp, inputs: &[Dataset], p: &KernelParallelism) ->
     let len0 = inputs.first().map(|d| d.len()).unwrap_or(0);
     match op {
         PhysicalOp::Map(_) | PhysicalOp::FlatMap(_) | PhysicalOp::Filter(_) => p.morsels(len0),
-        PhysicalOp::Project { .. } => p.morsels(len0),
+        PhysicalOp::Project { .. } | PhysicalOp::ChunkPipeline { .. } => p.morsels(len0),
         PhysicalOp::SortGroupBy { .. }
         | PhysicalOp::HashGroupBy { .. }
         | PhysicalOp::ReduceByKey { .. }
@@ -122,6 +122,9 @@ pub fn execute_op(
         PhysicalOp::FlatMap(u) => Dataset::new(parallel::flat_map(in0(), u, par)),
         PhysicalOp::Filter(u) => Dataset::new(parallel::filter(in0(), u, par)),
         PhysicalOp::Project { indices } => Dataset::new(parallel::project(in0(), indices, par)?),
+        PhysicalOp::ChunkPipeline { stages } => {
+            Dataset::new(parallel::run_pipeline(in0(), stages, par)?)
+        }
         PhysicalOp::SortGroupBy { key, group } => {
             let groups = parallel::sort_group(in0(), key, par);
             Dataset::new(kernels::apply_group_map(&groups, group))
@@ -139,10 +142,10 @@ pub fn execute_op(
         }
         PhysicalOp::Distinct => Dataset::new(kernels::distinct(in0())),
         PhysicalOp::Sample { fraction, seed } => {
-            Dataset::new(kernels::sample(in0(), *fraction, *seed, 0))
+            Dataset::new(kernels::sample(in0(), *fraction, *seed, 0)?)
         }
         PhysicalOp::Limit { n } => Dataset::new(kernels::limit(in0(), *n)),
-        PhysicalOp::ZipWithId => Dataset::new(kernels::zip_with_id(in0(), 0)),
+        PhysicalOp::ZipWithId => Dataset::new(kernels::zip_with_id(in0(), 0)?),
         PhysicalOp::HashJoin {
             left_key,
             right_key,

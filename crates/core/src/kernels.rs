@@ -7,6 +7,7 @@
 //! own orchestration — partitioning, threading, disk materialization,
 //! simulated overheads — which is where their cost profiles diverge.
 
+pub mod chunked;
 pub mod parallel;
 
 use std::collections::HashMap;
@@ -232,12 +233,22 @@ pub fn distinct(records: &[Record]) -> Vec<Record> {
 /// the decision for each record independent of partitioning, so partitioned
 /// platforms produce exactly the same sample as single-process ones. Kept
 /// dependency-free so the core crate needs no RNG crate.
-pub fn sample(records: &[Record], fraction: f64, seed: u64, offset: u64) -> Vec<Record> {
+///
+/// A non-finite `fraction` (NaN, ±∞) is rejected as
+/// [`RheemError::InvalidPlan`](crate::error::RheemError::InvalidPlan): NaN in particular slips *both* range guards
+/// (`NaN >= 1.0` and `NaN <= 0.0` are false) and would silently sample with
+/// `u < NaN` — which keeps nothing while looking like a valid fraction.
+pub fn sample(records: &[Record], fraction: f64, seed: u64, offset: u64) -> Result<Vec<Record>> {
+    if !fraction.is_finite() {
+        return Err(crate::error::RheemError::InvalidPlan(format!(
+            "sample fraction must be finite, got {fraction}"
+        )));
+    }
     if fraction >= 1.0 {
-        return records.to_vec();
+        return Ok(records.to_vec());
     }
     if fraction <= 0.0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let mut out = Vec::new();
     for (i, r) in records.iter().enumerate() {
@@ -250,7 +261,7 @@ pub fn sample(records: &[Record], fraction: f64, seed: u64, offset: u64) -> Vec<
             out.push(r.clone());
         }
     }
-    out
+    Ok(out)
 }
 
 /// First `n` records.
@@ -261,15 +272,25 @@ pub fn limit(records: &[Record], n: usize) -> Vec<Record> {
 /// Append a unique `Int` id to each record, starting at `offset`.
 ///
 /// Partitioned platforms pass disjoint offsets per partition so ids stay
-/// globally unique.
-pub fn zip_with_id(records: &[Record], offset: i64) -> Vec<Record> {
+/// globally unique. Id arithmetic is checked: an `offset` close enough to
+/// `i64::MAX` that `offset + i` would wrap (silently producing negative,
+/// *colliding* ids) is reported as [`RheemError::InvalidPlan`](crate::error::RheemError::InvalidPlan) instead.
+pub fn zip_with_id(records: &[Record], offset: i64) -> Result<Vec<Record>> {
     records
         .iter()
         .enumerate()
         .map(|(i, r)| {
+            let id = i64::try_from(i)
+                .ok()
+                .and_then(|i| offset.checked_add(i))
+                .ok_or_else(|| {
+                    crate::error::RheemError::InvalidPlan(format!(
+                        "zip_with_id overflows i64 at offset {offset} + index {i}"
+                    ))
+                })?;
             let mut out = r.clone();
-            out.push(Value::Int(offset + i as i64));
-            out
+            out.push(Value::Int(id));
+            Ok(out)
         })
         .collect()
 }
@@ -393,22 +414,34 @@ mod tests {
     #[test]
     fn sample_is_deterministic_and_bounded() {
         let data = nums(&(0..1000).collect::<Vec<_>>());
-        let a = sample(&data, 0.3, 42, 0);
-        let b = sample(&data, 0.3, 42, 0);
+        let a = sample(&data, 0.3, 42, 0).unwrap();
+        let b = sample(&data, 0.3, 42, 0).unwrap();
         assert_eq!(a, b);
         // Loose statistical bound: expect ~300 ± 100.
         assert!(a.len() > 200 && a.len() < 400, "got {}", a.len());
-        assert!(sample(&data, 0.0, 1, 0).is_empty());
-        assert_eq!(sample(&data, 1.0, 1, 0).len(), 1000);
+        assert!(sample(&data, 0.0, 1, 0).unwrap().is_empty());
+        assert_eq!(sample(&data, 1.0, 1, 0).unwrap().len(), 1000);
     }
 
     #[test]
     fn sample_is_partition_invariant() {
         let data = nums(&(0..100).collect::<Vec<_>>());
-        let whole = sample(&data, 0.5, 7, 0);
-        let mut parts = sample(&data[..40], 0.5, 7, 0);
-        parts.extend(sample(&data[40..], 0.5, 7, 40));
+        let whole = sample(&data, 0.5, 7, 0).unwrap();
+        let mut parts = sample(&data[..40], 0.5, 7, 0).unwrap();
+        parts.extend(sample(&data[40..], 0.5, 7, 40).unwrap());
         assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn sample_rejects_non_finite_fractions() {
+        let data = nums(&[1, 2, 3]);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = sample(&data, bad, 1, 0).unwrap_err();
+            assert!(
+                matches!(err, crate::error::RheemError::InvalidPlan(_)),
+                "fraction {bad} gave {err:?}"
+            );
+        }
     }
 
     #[test]
@@ -416,9 +449,20 @@ mod tests {
         let data = nums(&[5, 6, 7]);
         assert_eq!(limit(&data, 2), nums(&[5, 6]));
         assert_eq!(limit(&data, 99), data);
-        let z = zip_with_id(&data, 100);
+        let z = zip_with_id(&data, 100).unwrap();
         assert_eq!(z[0], rec![5i64, 100i64]);
         assert_eq!(z[2], rec![7i64, 102i64]);
+    }
+
+    #[test]
+    fn zip_with_id_checks_overflow_at_the_boundary() {
+        let data = nums(&[5, 6, 7]);
+        // offset + 2 == i64::MAX exactly: last id fits, no error.
+        let z = zip_with_id(&data, i64::MAX - 2).unwrap();
+        assert_eq!(z[2], rec![7i64, i64::MAX]);
+        // offset + 2 wraps past i64::MAX: error, not a negative id.
+        let err = zip_with_id(&data, i64::MAX - 1).unwrap_err();
+        assert!(matches!(err, crate::error::RheemError::InvalidPlan(_)));
     }
 
     #[test]

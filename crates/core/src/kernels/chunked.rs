@@ -1,0 +1,629 @@
+//! Vectorized execution kernels over columnar [`Chunk`]s.
+//!
+//! Each kernel here is the columnar twin of a row kernel in
+//! [`crate::kernels`] and is **byte-identical** to it: for any input,
+//! `chunk_kernel(Chunk::from_records(rows))` converted back with
+//! [`Chunk::to_records`] equals `row_kernel(rows)` exactly — including
+//! `Null` placement, `NaN` payload bits, `-0.0`, group ordering, and join
+//! output order. The property-test suite (`tests/columnar_kernels.rs`)
+//! enforces this over random data.
+//!
+//! Where the operator carries a declarative form (an [`Expr`] predicate, a
+//! [`FieldReduce`] spec, a [`KeyUdf::field`] index), kernels run fully
+//! columnar: typed key lanes hash as raw `i64`s, predicates evaluate
+//! vectorized, and accumulators update in place without materializing a
+//! [`Record`] per row. Opaque closures fall back to materializing rows —
+//! correct, but without the columnar speedup.
+
+use std::collections::HashMap;
+
+use crate::data::{Chunk, Record, Value};
+use crate::error::{Result, RheemError};
+use crate::expr::Expr;
+use crate::physical::{PipelineStage, StageKind};
+use crate::udf::{FieldReduce, KeyUdf, ReduceUdf};
+
+/// Keep rows whose predicate evaluates to `Bool(true)`.
+pub fn filter(chunk: &Chunk, expr: &Expr) -> Chunk {
+    chunk.gather(&filter_indices(chunk, expr))
+}
+
+/// Row indices kept by a predicate (the mask form of [`filter`]).
+pub fn filter_indices(chunk: &Chunk, expr: &Expr) -> Vec<usize> {
+    let mask = expr.eval_chunk(chunk);
+    // Fast path: a clean Bool lane needs no per-row Value construction.
+    if let (Some(lane), true) = (mask.bools(), mask.no_nulls()) {
+        return (0..chunk.rows()).filter(|&i| lane[i]).collect();
+    }
+    (0..chunk.rows())
+        .filter(|&i| matches!(mask.value(i), Value::Bool(true)))
+        .collect()
+}
+
+/// Evaluate one output column per expression (the vectorized map).
+pub fn map(chunk: &Chunk, exprs: &[Expr]) -> Chunk {
+    let columns = exprs.iter().map(|e| e.eval_chunk(chunk)).collect();
+    Chunk::new(columns, chunk.rows())
+}
+
+/// Keep the given columns, in order — zero-copy.
+///
+/// Mirrors the row kernel's contract: out-of-bounds indices are an error
+/// (unless the chunk is empty, where the row kernel also succeeds).
+pub fn project(chunk: &Chunk, indices: &[usize]) -> Result<Chunk> {
+    if chunk.rows() == 0 {
+        return Ok(Chunk::new(Vec::new(), 0));
+    }
+    chunk
+        .project(indices)
+        .ok_or_else(|| RheemError::FieldOutOfBounds {
+            index: indices
+                .iter()
+                .copied()
+                .find(|&i| i >= chunk.width())
+                .unwrap_or(0),
+            width: chunk.width(),
+        })
+}
+
+/// Per-row keys extracted column-wise, avoiding record materialization when
+/// the key is a plain field read.
+enum Keys<'a> {
+    /// Typed fast path: the key column is a clean `i64` lane.
+    Ints(&'a [i64]),
+    /// Generic path: one [`Value`] key per row.
+    Values(Vec<Value>),
+}
+
+fn extract_keys<'a>(chunk: &'a Chunk, key: &KeyUdf) -> Keys<'a> {
+    if let Some(idx) = key.field_index {
+        match chunk.column(idx) {
+            Some(col) => {
+                if col.no_nulls() {
+                    if let Some(lane) = col.ints() {
+                        return Keys::Ints(lane);
+                    }
+                }
+                Keys::Values((0..chunk.rows()).map(|i| col.value(i)).collect())
+            }
+            // Out-of-bounds field reads as Null for every row.
+            None => Keys::Values(vec![Value::Null; chunk.rows()]),
+        }
+    } else {
+        let records = chunk.to_records();
+        Keys::Values(records.iter().map(|r| (key.f)(r)).collect())
+    }
+}
+
+/// Group row indices by key; groups ordered by key ascending, members in
+/// input order (the index-level core of `hash_group`/`reduce_by_key`).
+fn group_indices(chunk: &Chunk, key: &KeyUdf) -> Vec<(Value, Vec<usize>)> {
+    match extract_keys(chunk, key) {
+        Keys::Ints(lane) => {
+            let mut groups: HashMap<i64, Vec<usize>> = HashMap::new();
+            for (i, &k) in lane.iter().enumerate() {
+                groups.entry(k).or_default().push(i);
+            }
+            let mut out: Vec<(i64, Vec<usize>)> = groups.into_iter().collect();
+            // i64 order equals Value::Int order, so this matches the row
+            // kernel's key-sorted output contract.
+            out.sort_by_key(|(k, _)| *k);
+            out.into_iter().map(|(k, v)| (Value::Int(k), v)).collect()
+        }
+        Keys::Values(keys) => {
+            let mut groups: HashMap<Value, Vec<usize>> = HashMap::new();
+            for (i, k) in keys.into_iter().enumerate() {
+                groups.entry(k).or_default().push(i);
+            }
+            let mut out: Vec<(Value, Vec<usize>)> = groups.into_iter().collect();
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            out
+        }
+    }
+}
+
+/// Group rows by key. Same output contract as the row kernel: groups sorted
+/// by key, members in input order.
+pub fn hash_group(chunk: &Chunk, key: &KeyUdf) -> Vec<(Value, Vec<Record>)> {
+    group_indices(chunk, key)
+        .into_iter()
+        .map(|(k, idx)| (k, chunk.gather(&idx).to_records()))
+        .collect()
+}
+
+/// Fully typed reduce: all columns are clean `i64` lanes, the key is a
+/// field read, the chunk width equals the spec width, and every spec op is
+/// defined on integers. Accumulators live in one flat `i64` array — no
+/// `Value` is built until the final emission. Returns `None` when any
+/// precondition fails (the caller falls back to the generic fold).
+///
+/// Byte-identity argument: on all-`Int` inputs `FieldReduce::combine` is
+/// `wrapping_add` / `min` / `max` / keep-first on the payload, `i64`
+/// ordering equals `Value::Int` ordering, and seeding a group's
+/// accumulators with its first row's lane values is exactly the row
+/// kernel's seed-with-first-record (the widths match by precondition).
+fn reduce_ints(chunk: &Chunk, key: &KeyUdf, spec: &[FieldReduce]) -> Option<Vec<Record>> {
+    let key_lane = match extract_keys(chunk, key) {
+        Keys::Ints(lane) => lane,
+        Keys::Values(_) => return None,
+    };
+    let width = chunk.width();
+    if width != spec.len() {
+        return None;
+    }
+    if spec.iter().any(|fr| matches!(fr, FieldReduce::SumFloat)) {
+        return None;
+    }
+    let lanes: Vec<&[i64]> = chunk
+        .columns()
+        .iter()
+        .map(|c| if c.no_nulls() { c.ints() } else { None })
+        .collect::<Option<_>>()?;
+
+    let mut slots: HashMap<i64, usize> = HashMap::new();
+    let mut keys: Vec<i64> = Vec::new();
+    let mut accs: Vec<i64> = Vec::new();
+    for i in 0..chunk.rows() {
+        match slots.entry(key_lane[i]) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(keys.len());
+                keys.push(key_lane[i]);
+                accs.extend(lanes.iter().map(|lane| lane[i]));
+            }
+            std::collections::hash_map::Entry::Occupied(o) => {
+                let base = o.get() * width;
+                for (f, fr) in spec.iter().enumerate() {
+                    let x = lanes[f][i];
+                    let a = &mut accs[base + f];
+                    match fr {
+                        FieldReduce::First => {}
+                        FieldReduce::SumInt => *a = a.wrapping_add(x),
+                        FieldReduce::Min => *a = (*a).min(x),
+                        FieldReduce::Max => *a = (*a).max(x),
+                        FieldReduce::SumFloat => unreachable!("filtered above"),
+                    }
+                }
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..keys.len()).collect();
+    order.sort_by_key(|&s| keys[s]);
+    Some(
+        order
+            .into_iter()
+            .map(|s| {
+                Record::new(
+                    accs[s * width..(s + 1) * width]
+                        .iter()
+                        .map(|&v| Value::Int(v))
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Keyed incremental reduction; one output record per key, ordered by key.
+///
+/// Matches the row kernel's fold exactly: the first record of each key
+/// seeds the accumulator verbatim, subsequent records combine in input
+/// order. With a declarative [`crate::udf::FieldReduce`] spec the fold runs
+/// on column values directly; an opaque closure falls back to materialized
+/// records.
+pub fn reduce_by_key(chunk: &Chunk, key: &KeyUdf, reduce: &ReduceUdf) -> Vec<Record> {
+    if let Some(spec) = &reduce.spec {
+        if let Some(out) = reduce_ints(chunk, key, spec) {
+            return out;
+        }
+    }
+    let groups = group_indices(chunk, key);
+    match &reduce.spec {
+        Some(spec) => {
+            let cols: Vec<Option<&crate::data::Column>> =
+                (0..spec.len()).map(|f| chunk.column(f)).collect();
+            let mut out = Vec::with_capacity(groups.len());
+            for (_, idx) in groups {
+                let mut rows = idx.into_iter();
+                let first = rows.next().expect("groups are non-empty");
+                // Seed with the full first row, exactly like the row
+                // kernel's `or_insert_with(|| r.clone())`.
+                let mut acc: Vec<Value> = chunk.columns().iter().map(|c| c.value(first)).collect();
+                for i in rows {
+                    // The row closure emits exactly `spec.len()` fields per
+                    // fold, reading missing accumulator fields as Null.
+                    acc.resize(spec.len(), Value::Null);
+                    for (f, fr) in spec.iter().enumerate() {
+                        let b = match cols[f] {
+                            Some(col) => col.value(i),
+                            None => Value::Null,
+                        };
+                        acc[f] = fr.combine(&acc[f], &b);
+                    }
+                }
+                out.push(Record::new(acc));
+            }
+            out
+        }
+        None => {
+            let records = chunk.to_records();
+            let mut out = Vec::with_capacity(groups.len());
+            for (_, idx) in groups {
+                let mut rows = idx.into_iter();
+                let first = rows.next().expect("groups are non-empty");
+                let mut acc = records[first].clone();
+                for i in rows {
+                    acc = (reduce.f)(acc, &records[i]);
+                }
+                out.push(acc);
+            }
+            out
+        }
+    }
+}
+
+/// Stable sort by key (same direction semantics as the row kernel).
+pub fn sort(chunk: &Chunk, key: &KeyUdf, descending: bool) -> Chunk {
+    let mut indices: Vec<usize> = (0..chunk.rows()).collect();
+    match extract_keys(chunk, key) {
+        Keys::Ints(lane) => {
+            if descending {
+                indices.sort_by(|&a, &b| lane[b].cmp(&lane[a]));
+            } else {
+                indices.sort_by(|&a, &b| lane[a].cmp(&lane[b]));
+            }
+        }
+        Keys::Values(keys) => {
+            if descending {
+                indices.sort_by(|&a, &b| keys[b].cmp(&keys[a]));
+            } else {
+                indices.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+            }
+        }
+    }
+    chunk.gather(&indices)
+}
+
+/// Matching `(left_row, right_row)` index pairs of a hash equi-join, in the
+/// row kernel's output order (left-major, right input order within a key).
+fn equi_join_pairs(
+    left: &Chunk,
+    right: &Chunk,
+    left_key: &KeyUdf,
+    right_key: &KeyUdf,
+) -> Vec<(usize, usize)> {
+    let lkeys = extract_keys(left, left_key);
+    let rkeys = extract_keys(right, right_key);
+    let mut pairs = Vec::new();
+    match (&lkeys, &rkeys) {
+        (Keys::Ints(ll), Keys::Ints(rl)) => {
+            let mut table: HashMap<i64, Vec<usize>> = HashMap::new();
+            for (j, &k) in rl.iter().enumerate() {
+                table.entry(k).or_default().push(j);
+            }
+            for (i, k) in ll.iter().enumerate() {
+                if let Some(matches) = table.get(k) {
+                    for &j in matches {
+                        pairs.push((i, j));
+                    }
+                }
+            }
+        }
+        _ => {
+            // Mixed or generic keys: compare as Values (Value::eq is
+            // variant-exact, so Int(5) never matches Float(5.0), matching
+            // the row kernel).
+            let lv: Vec<Value> = match lkeys {
+                Keys::Ints(l) => l.iter().map(|&k| Value::Int(k)).collect(),
+                Keys::Values(v) => v,
+            };
+            let rv: Vec<Value> = match rkeys {
+                Keys::Ints(l) => l.iter().map(|&k| Value::Int(k)).collect(),
+                Keys::Values(v) => v,
+            };
+            let mut table: HashMap<&Value, Vec<usize>> = HashMap::new();
+            for (j, k) in rv.iter().enumerate() {
+                table.entry(k).or_default().push(j);
+            }
+            for (i, k) in lv.iter().enumerate() {
+                if let Some(matches) = table.get(k) {
+                    for &j in matches {
+                        pairs.push((i, j));
+                    }
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Build the `left ++ right` output chunk from matching index pairs.
+fn join_output(left: &Chunk, right: &Chunk, pairs: &[(usize, usize)]) -> Chunk {
+    let li: Vec<usize> = pairs.iter().map(|&(i, _)| i).collect();
+    let ri: Vec<usize> = pairs.iter().map(|&(_, j)| j).collect();
+    let l = left.gather(&li);
+    let r = right.gather(&ri);
+    let mut columns = l.columns().to_vec();
+    columns.extend_from_slice(r.columns());
+    Chunk::new(columns, pairs.len())
+}
+
+/// Hash equi-join; output rows are `left ++ right`, left-major.
+pub fn hash_join(left: &Chunk, right: &Chunk, left_key: &KeyUdf, right_key: &KeyUdf) -> Chunk {
+    let pairs = equi_join_pairs(left, right, left_key, right_key);
+    join_output(left, right, &pairs)
+}
+
+/// Sort-merge equi-join; byte-identical to the row kernel (stable key sort
+/// of both sides, full match rectangles per key).
+pub fn sort_merge_join(
+    left: &Chunk,
+    right: &Chunk,
+    left_key: &KeyUdf,
+    right_key: &KeyUdf,
+) -> Chunk {
+    fn sorted_keyed(chunk: &Chunk, key: &KeyUdf) -> (Vec<Value>, Vec<usize>) {
+        let keys: Vec<Value> = match extract_keys(chunk, key) {
+            Keys::Ints(l) => l.iter().map(|&k| Value::Int(k)).collect(),
+            Keys::Values(v) => v,
+        };
+        let mut idx: Vec<usize> = (0..chunk.rows()).collect();
+        idx.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+        let sorted: Vec<Value> = idx.iter().map(|&i| keys[i].clone()).collect();
+        (sorted, idx)
+    }
+    let (lk, li) = sorted_keyed(left, left_key);
+    let (rk, ri) = sorted_keyed(right, right_key);
+
+    let mut pairs = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lk.len() && j < rk.len() {
+        match lk[i].cmp(&rk[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let key = &lk[i];
+                let i_end = lk[i..].iter().take_while(|k| *k == key).count() + i;
+                let j_end = rk[j..].iter().take_while(|k| *k == key).count() + j;
+                for &l in &li[i..i_end] {
+                    for &r in &ri[j..j_end] {
+                        pairs.push((l, r));
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    join_output(left, right, &pairs)
+}
+
+/// Apply one fused pipeline stage to a chunk.
+pub fn apply_stage(chunk: Chunk, stage: &StageKind) -> Result<Chunk> {
+    match stage {
+        StageKind::Filter { expr, .. } => Ok(filter(&chunk, expr)),
+        StageKind::Map { exprs } => Ok(map(&chunk, exprs)),
+        StageKind::Project { indices } => project(&chunk, indices),
+    }
+}
+
+/// Run a full stage chain over one chunk (one morsel of a `ChunkPipeline`).
+pub fn run_stages(chunk: Chunk, stages: &[PipelineStage]) -> Result<Chunk> {
+    let mut chunk = chunk;
+    for stage in stages {
+        chunk = apply_stage(chunk, &stage.kind)?;
+    }
+    Ok(chunk)
+}
+
+/// Row-at-a-time reference semantics of a stage chain.
+///
+/// This is the fallback for ragged record batches (no columnar layout
+/// exists) and the oracle the determinism smoke test compares against.
+pub fn run_stages_rows(records: &[Record], stages: &[PipelineStage]) -> Result<Vec<Record>> {
+    let mut rows: Vec<Record> = records.to_vec();
+    for stage in stages {
+        rows = match &stage.kind {
+            StageKind::Filter { expr, .. } => rows
+                .into_iter()
+                .filter(|r| matches!(expr.eval(r), Value::Bool(true)))
+                .collect(),
+            StageKind::Map { exprs } => rows
+                .iter()
+                .map(|r| Record::new(exprs.iter().map(|e| e.eval(r)).collect()))
+                .collect(),
+            StageKind::Project { indices } => rows
+                .iter()
+                .map(|r| r.project(indices))
+                .collect::<Result<_>>()?,
+        };
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+    use crate::rec;
+    use crate::udf::{FieldReduce, FilterUdf, MapUdf};
+    use std::sync::Arc;
+
+    fn mixed_rows() -> Vec<Record> {
+        vec![
+            rec![3i64, 1.5, "a"],
+            Record::new(vec![Value::Null, Value::Float(f64::NAN), Value::str("b")]),
+            rec![1i64, -0.0, "a"],
+            rec![3i64, 2.5, "c"],
+            rec![2i64, 0.0, "b"],
+        ]
+    }
+
+    #[test]
+    fn filter_matches_row_twin() {
+        let rows = mixed_rows();
+        let expr = Expr::field(0).ge(Expr::lit(2i64));
+        let udf = FilterUdf::from_expr("ge2", expr.clone());
+        let chunk = Chunk::from_records(&rows).unwrap();
+        assert_eq!(
+            filter(&chunk, &expr).to_records(),
+            kernels::filter(&rows, &udf)
+        );
+    }
+
+    #[test]
+    fn map_matches_row_twin() {
+        let rows = mixed_rows();
+        let exprs = vec![Expr::field(2), Expr::field(0).add(Expr::field(1))];
+        let udf = MapUdf::from_exprs("m", exprs.clone());
+        let chunk = Chunk::from_records(&rows).unwrap();
+        assert_eq!(map(&chunk, &exprs).to_records(), kernels::map(&rows, &udf));
+    }
+
+    #[test]
+    fn project_matches_row_twin_including_errors() {
+        let rows = mixed_rows();
+        let chunk = Chunk::from_records(&rows).unwrap();
+        assert_eq!(
+            project(&chunk, &[2, 0]).unwrap().to_records(),
+            kernels::project(&rows, &[2, 0]).unwrap()
+        );
+        assert!(project(&chunk, &[7]).is_err());
+        assert!(kernels::project(&rows, &[7]).is_err());
+        let empty = Chunk::from_records(&[]).unwrap();
+        assert!(project(&empty, &[7]).unwrap().to_records().is_empty());
+    }
+
+    #[test]
+    fn hash_group_matches_row_twin() {
+        let rows = mixed_rows();
+        let chunk = Chunk::from_records(&rows).unwrap();
+        for key in [KeyUdf::field(0), KeyUdf::field(2), KeyUdf::field(9)] {
+            assert_eq!(
+                hash_group(&chunk, &key),
+                kernels::hash_group(&rows, &key),
+                "key {}",
+                key.name
+            );
+        }
+        // Opaque closure key.
+        let key = KeyUdf::new("mod2", |r| Value::Int(r.int(0).unwrap_or(0) % 2));
+        assert_eq!(hash_group(&chunk, &key), kernels::hash_group(&rows, &key));
+    }
+
+    #[test]
+    fn reduce_by_key_matches_row_twin_with_spec_and_closure() {
+        let rows: Vec<Record> = (0..100i64).map(|i| rec![i % 7, i, i as f64]).collect();
+        let chunk = Chunk::from_records(&rows).unwrap();
+        let key = KeyUdf::field(0);
+        let spec = ReduceUdf::from_spec(
+            "agg",
+            vec![FieldReduce::First, FieldReduce::SumInt, FieldReduce::Max],
+        );
+        assert_eq!(
+            reduce_by_key(&chunk, &key, &spec),
+            kernels::reduce_by_key(&rows, &key, &spec)
+        );
+        let opaque = ReduceUdf::new("sum", |a, x| {
+            rec![a.int(0).unwrap(), a.int(1).unwrap() + x.int(1).unwrap()]
+        });
+        assert_eq!(
+            reduce_by_key(&chunk, &key, &opaque),
+            kernels::reduce_by_key(&rows, &key, &opaque)
+        );
+    }
+
+    #[test]
+    fn singleton_groups_keep_original_width() {
+        // The row kernel emits the untouched first record for keys seen
+        // once, even when the spec would narrow the width.
+        let rows = vec![rec![1i64, 10i64, "extra"], rec![2i64, 5i64, "extra"]];
+        let chunk = Chunk::from_records(&rows).unwrap();
+        let spec = ReduceUdf::from_spec("agg", vec![FieldReduce::First, FieldReduce::SumInt]);
+        let key = KeyUdf::field(0);
+        let out = reduce_by_key(&chunk, &key, &spec);
+        assert_eq!(out, kernels::reduce_by_key(&rows, &key, &spec));
+        assert_eq!(out[0].width(), 3);
+    }
+
+    #[test]
+    fn sort_matches_row_twin_both_directions() {
+        let rows = mixed_rows();
+        let chunk = Chunk::from_records(&rows).unwrap();
+        for key in [KeyUdf::field(0), KeyUdf::field(1)] {
+            for desc in [false, true] {
+                assert_eq!(
+                    sort(&chunk, &key, desc).to_records(),
+                    kernels::sort(&rows, &key, desc)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn joins_match_row_twins() {
+        let left: Vec<Record> = (0..30i64).map(|i| rec![i % 5, i]).collect();
+        let right: Vec<Record> = (0..20i64).map(|i| rec![i % 7, i * 10]).collect();
+        let lc = Chunk::from_records(&left).unwrap();
+        let rc = Chunk::from_records(&right).unwrap();
+        let lk = KeyUdf::field(0);
+        let rk = KeyUdf::field(0);
+        assert_eq!(
+            hash_join(&lc, &rc, &lk, &rk).to_records(),
+            kernels::hash_join(&left, &right, &lk, &rk)
+        );
+        assert_eq!(
+            sort_merge_join(&lc, &rc, &lk, &rk).to_records(),
+            kernels::sort_merge_join(&left, &right, &lk, &rk)
+        );
+    }
+
+    #[test]
+    fn joins_with_mixed_key_types_match_row_twins() {
+        let left = vec![rec![1i64, "l"], rec![1.0, "lf"]];
+        let right = vec![rec![1i64, "r"], rec![1.0, "rf"]];
+        let lc = Chunk::from_records(&left).unwrap();
+        let rc = Chunk::from_records(&right).unwrap();
+        let lk = KeyUdf::field(0);
+        let rk = KeyUdf::field(0);
+        // Int(1) joins Int(1) only, Float(1.0) joins Float(1.0) only.
+        let out = hash_join(&lc, &rc, &lk, &rk).to_records();
+        assert_eq!(out, kernels::hash_join(&left, &right, &lk, &rk));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn stage_chain_matches_row_reference() {
+        let rows: Vec<Record> = (0..200i64).map(|i| rec![i, i * 3, "x"]).collect();
+        let stages = vec![
+            PipelineStage {
+                name: "f".into(),
+                kind: StageKind::Filter {
+                    expr: Arc::new(Expr::field(0).rem(Expr::lit(3i64)).eq(Expr::lit(0i64))),
+                    selectivity: 0.33,
+                },
+            },
+            PipelineStage {
+                name: "m".into(),
+                kind: StageKind::Map {
+                    exprs: vec![
+                        Expr::field(1).add(Expr::lit(1i64)),
+                        Expr::field(0),
+                        Expr::field(2),
+                    ]
+                    .into(),
+                },
+            },
+            PipelineStage {
+                name: "p".into(),
+                kind: StageKind::Project {
+                    indices: vec![0usize, 2].into(),
+                },
+            },
+        ];
+        let chunk = Chunk::from_records(&rows).unwrap();
+        let chunked = run_stages(chunk, &stages).unwrap().to_records();
+        let by_rows = run_stages_rows(&rows, &stages).unwrap();
+        assert_eq!(chunked, by_rows);
+        assert!(chunked.iter().all(|r| r.width() == 2));
+    }
+}

@@ -35,9 +35,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
-use crate::data::{Record, Value};
+use crate::data::{Chunk, Record, Value};
 use crate::error::Result;
+use crate::physical::PipelineStage;
 use crate::udf::{FilterUdf, FlatMapUdf, KeyUdf, MapUdf, ReduceUdf};
+
+use super::chunked;
 
 /// Environment variable overriding the default kernel thread count.
 pub const KERNEL_THREADS_ENV: &str = "RHEEM_KERNEL_THREADS";
@@ -570,6 +573,44 @@ pub fn sort_merge_join(
     }))
 }
 
+/// Morsel-parallel fused-pipeline runner for
+/// [`crate::physical::PhysicalOp::ChunkPipeline`].
+///
+/// The record batch is converted to a [`Chunk`] **once**; each morsel is a
+/// zero-copy [`Chunk::slice`] view that runs the whole stage chain
+/// ([`chunked::run_stages`]) before the per-morsel results are converted
+/// back and concatenated in morsel (= input) order. Every stage is
+/// order-preserving within a morsel, so the output is byte-identical to
+/// the sequential row-at-a-time reference
+/// ([`chunked::run_stages_rows`]) at any thread count.
+///
+/// Ragged batches (records of differing widths) cannot be put in columnar
+/// form and fall back to the row-at-a-time reference semantics.
+pub fn run_pipeline(
+    records: &[Record],
+    stages: &[PipelineStage],
+    p: &KernelParallelism,
+) -> Result<Vec<Record>> {
+    if records.is_empty() {
+        return Ok(Vec::new());
+    }
+    let Some(chunk) = Chunk::from_records(records) else {
+        return chunked::run_stages_rows(records, stages);
+    };
+    let t = p.effective_threads(records.len());
+    if t <= 1 {
+        return Ok(chunked::run_stages(chunk, stages)?.to_records());
+    }
+    let parts = run_ranges(&p.morsel_ranges(records.len()), t, |r| {
+        chunked::run_stages(chunk.slice(r.start, r.len()), stages)
+    });
+    let mut out = Vec::with_capacity(records.len());
+    for part in parts {
+        out.extend(part?.to_records());
+    }
+    Ok(out)
+}
+
 /// Parallel [`super::sort`]: partition sort + stable k-way merge, then a
 /// single materialization pass.
 pub fn sort(
@@ -679,6 +720,47 @@ mod tests {
         );
         assert_eq!(sort(&l, &k, false, &p), super::super::sort(&l, &k, false));
         assert_eq!(sort(&l, &k, true, &p), super::super::sort(&l, &k, true));
+    }
+
+    #[test]
+    fn pipeline_matches_row_reference_at_any_thread_count() {
+        use crate::expr::Expr;
+        use crate::physical::{PipelineStage, StageKind};
+        use std::sync::Arc;
+        let d = data(1000);
+        let stages = vec![
+            PipelineStage {
+                name: "f".into(),
+                kind: StageKind::Filter {
+                    expr: Arc::new(Expr::field(0).lt(Expr::lit(5i64))),
+                    selectivity: 5.0 / 7.0,
+                },
+            },
+            PipelineStage {
+                name: "m".into(),
+                kind: StageKind::Map {
+                    exprs: vec![Expr::field(1).add(Expr::field(0)), Expr::field(0)].into(),
+                },
+            },
+            PipelineStage {
+                name: "p".into(),
+                kind: StageKind::Project {
+                    indices: vec![0].into(),
+                },
+            },
+        ];
+        let reference = chunked::run_stages_rows(&d, &stages).unwrap();
+        assert!(!reference.is_empty());
+        for p in [par(1, 64), par(4, 37), par(8, 16)] {
+            assert_eq!(run_pipeline(&d, &stages, &p).unwrap(), reference);
+        }
+        assert!(run_pipeline(&[], &stages, &par(4, 16)).unwrap().is_empty());
+        // Ragged input takes the row fallback instead of erroring.
+        let ragged = vec![rec![1, 2], rec![3]];
+        assert_eq!(
+            run_pipeline(&ragged, &stages, &par(4, 1)).unwrap(),
+            chunked::run_stages_rows(&ragged, &stages).unwrap()
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod cost;
 pub mod data;
 pub mod error;
 pub mod executor;
+pub mod expr;
 pub mod fault;
 pub mod interpreter;
 pub mod kernels;
@@ -44,12 +45,15 @@ pub mod triples;
 pub mod udf;
 
 pub use context::RheemContext;
-pub use data::{DataType, Dataset, Field, Record, Schema, Value};
+pub use data::{
+    Bitmap, Chunk, Column, ColumnData, DataType, Dataset, Field, Record, Schema, Value,
+};
 pub use error::{ErrorKind, Result, RheemError};
 pub use executor::{
     AtomStats, ExecutionStats, Executor, ExecutorConfig, FailoverEvent, JobResult,
     ProgressListener, ReplanEvent, ScheduleMode,
 };
+pub use expr::{BinOp, Expr};
 pub use fault::{
     BackoffPolicy, BreakerPolicy, FaultPolicy, PlatformHealth, Sleeper, ThreadSleeper,
     VirtualSleeper,

@@ -1,0 +1,263 @@
+//! Plan-time compilation of transparent operator chains into
+//! [`PhysicalOp::ChunkPipeline`]s.
+//!
+//! UDFs built from the expression IR ([`crate::expr::Expr`]) carry their
+//! declarative form next to the opaque closure (see
+//! [`crate::udf::MapUdf::from_exprs`] / [`crate::udf::FilterUdf::from_expr`]).
+//! For those operators the optimizer can do what a row-at-a-time
+//! interpreter cannot: fuse an adjacent `Filter → Map → Project` chain into
+//! **one** physical operator that evaluates the whole chain per columnar
+//! chunk — no intermediate record materialization, no per-row dynamic
+//! dispatch, one pass over the data.
+//!
+//! Fusion is deliberately conservative:
+//!
+//! * only single-consumer producers are folded into their consumer (a
+//!   shared intermediate result must stay materialized);
+//! * a pipeline must contain at least one *expression-bearing* stage
+//!   (filter predicate or map expressions) — a bare `Project` chain gains
+//!   nothing from chunk evaluation and is left for the per-operator kernel;
+//! * opaque (closure-only) UDFs never fuse, so plans written before the
+//!   expression IR existed — and their golden explains — are untouched.
+//!
+//! Cost-wise the fused operator is priced by the same
+//! [`crate::cost::LinearCostModel`] as everything else: its cardinality is
+//! the product-fold of the stage selectivities and its work units are
+//! `input + output` (a single pass), which is exactly the saving the
+//! rewrite claims.
+
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::physical::{PhysicalOp, PipelineStage, StageKind};
+use crate::plan::PhysicalPlan;
+
+use super::rewrites::{consumer_counts, rebuild};
+
+/// Stages `op` contributes to a chunk pipeline, or `None` when `op` cannot
+/// be fused (opaque UDF or non-pipeline operator).
+fn stages_of(op: &PhysicalOp) -> Option<Vec<PipelineStage>> {
+    match op {
+        PhysicalOp::Filter(u) => u.expr.as_ref().map(|expr| {
+            vec![PipelineStage {
+                name: u.name.clone(),
+                kind: StageKind::Filter {
+                    expr: expr.clone(),
+                    selectivity: u.selectivity,
+                },
+            }]
+        }),
+        PhysicalOp::Map(u) => u.exprs.as_ref().map(|exprs| {
+            vec![PipelineStage {
+                name: u.name.clone(),
+                kind: StageKind::Map {
+                    exprs: exprs.clone(),
+                },
+            }]
+        }),
+        PhysicalOp::Project { indices } => Some(vec![PipelineStage {
+            name: format!(
+                "π[{}]",
+                indices
+                    .iter()
+                    .map(|i| i.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+            kind: StageKind::Project {
+                indices: indices.clone().into(),
+            },
+        }]),
+        PhysicalOp::ChunkPipeline { stages } => Some(stages.to_vec()),
+        _ => None,
+    }
+}
+
+/// Whether any stage actually evaluates expressions (the requirement for a
+/// pipeline to exist at all).
+fn has_expr_stage(stages: &[PipelineStage]) -> bool {
+    stages
+        .iter()
+        .any(|s| matches!(s.kind, StageKind::Filter { .. } | StageKind::Map { .. }))
+}
+
+/// Fuse one adjacent pair of pipeline-able operators into a
+/// [`PhysicalOp::ChunkPipeline`], producer first. One pair per pass — the
+/// rewrite fixpoint loop grows maximal chains (each firing strictly reduces
+/// the node count, so the loop's bound holds).
+pub fn fuse_pipelines(plan: PhysicalPlan) -> Result<PhysicalPlan> {
+    let counts = consumer_counts(&plan);
+    for n in plan.nodes() {
+        let Some(consumer_stages) = stages_of(&n.op) else {
+            continue;
+        };
+        let producer = plan.node(n.inputs[0]);
+        if counts[producer.id.0] != 1 {
+            continue;
+        }
+        let Some(mut stages) = stages_of(&producer.op) else {
+            continue;
+        };
+        stages.extend(consumer_stages);
+        if !has_expr_stage(&stages) {
+            continue; // e.g. Project over Project: nothing to compile
+        }
+        let fused = PhysicalOp::ChunkPipeline {
+            stages: Arc::from(stages),
+        };
+        let (dead, fused_at) = (producer.id, n.id);
+        let dead_input = producer.inputs[0];
+        return rebuild(
+            &plan,
+            |id| id != dead,
+            |id| (id == fused_at).then(|| fused.clone()),
+            |id| if id == dead { dead_input } else { id },
+        );
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::interpreter::run_plan;
+    use crate::optimizer::rewrites::apply_rewrites;
+    use crate::plan::PlanBuilder;
+    use crate::platform::ExecutionContext;
+    use crate::rec;
+    use crate::udf::{FilterUdf, MapUdf};
+
+    fn nums(n: i64) -> Vec<crate::data::Record> {
+        (0..n).map(|i| rec![i, i * 2]).collect()
+    }
+
+    #[test]
+    fn expression_chain_fuses_into_one_pipeline() {
+        let mut b = PlanBuilder::new();
+        let src = b.collection("s", nums(100));
+        let f = b.filter(
+            src,
+            FilterUdf::from_expr("keep", Expr::field(0).lt(Expr::lit(50i64))).with_selectivity(0.5),
+        );
+        let m = b.map(
+            f,
+            MapUdf::from_exprs(
+                "sum",
+                vec![Expr::field(0).add(Expr::field(1)), Expr::field(0)],
+            ),
+        );
+        let p = b.project(m, vec![0]);
+        b.collect(p);
+        let plan = b.build().unwrap();
+        let before = run_plan(&plan, &ExecutionContext::new()).unwrap();
+
+        let rewritten = apply_rewrites(plan).unwrap();
+        // src, fused pipeline, sink.
+        assert_eq!(rewritten.len(), 3, "{}", rewritten.explain());
+        let node = &rewritten.nodes()[1];
+        assert!(
+            node.op.name().starts_with("ChunkPipeline[keep→sum→π"),
+            "{}",
+            node.op.name()
+        );
+        if let PhysicalOp::ChunkPipeline { stages } = &node.op {
+            assert_eq!(stages.len(), 3);
+        } else {
+            panic!("expected a fused pipeline");
+        }
+        let after = run_plan(&rewritten, &ExecutionContext::new()).unwrap();
+        assert_eq!(
+            before.values().next().unwrap(),
+            after.values().next().unwrap()
+        );
+    }
+
+    #[test]
+    fn opaque_udfs_do_not_fuse() {
+        let mut b = PlanBuilder::new();
+        let src = b.collection("s", nums(10));
+        let f = b.filter(src, FilterUdf::new("keep", |r| r.int(0).unwrap() < 5));
+        let p = b.project(f, vec![0]);
+        b.collect(p);
+        let plan = b.build().unwrap();
+        let rewritten = apply_rewrites(plan).unwrap();
+        assert_eq!(rewritten.len(), 4, "{}", rewritten.explain());
+        assert!(!rewritten
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, PhysicalOp::ChunkPipeline { .. })));
+    }
+
+    #[test]
+    fn shared_intermediate_results_stay_materialized() {
+        let mut b = PlanBuilder::new();
+        let src = b.collection("s", nums(10));
+        let f = b.filter(
+            src,
+            FilterUdf::from_expr("keep", Expr::field(0).lt(Expr::lit(5i64))),
+        );
+        let p = b.project(f, vec![0]);
+        b.collect(p);
+        b.collect(f); // second consumer: f must not be folded into p
+        let plan = b.build().unwrap();
+        let rewritten = apply_rewrites(plan).unwrap();
+        assert!(
+            rewritten
+                .nodes()
+                .iter()
+                .any(|n| matches!(n.op, PhysicalOp::Filter(_))),
+            "{}",
+            rewritten.explain()
+        );
+    }
+
+    #[test]
+    fn bare_project_chains_are_left_alone() {
+        let mut b = PlanBuilder::new();
+        let src = b.collection("s", nums(10));
+        let p1 = b.project(src, vec![0, 1]);
+        let p2 = b.project(p1, vec![0]);
+        b.collect(p2);
+        let plan = b.build().unwrap();
+        let rewritten = apply_rewrites(plan).unwrap();
+        assert!(!rewritten
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, PhysicalOp::ChunkPipeline { .. })));
+    }
+
+    #[test]
+    fn fused_pipeline_matches_row_semantics_on_dirty_data() {
+        use crate::data::Value;
+        let mut b = PlanBuilder::new();
+        let data = vec![
+            rec![1i64, 2i64],
+            vec![Value::Null, Value::Float(f64::NAN)].into(),
+            rec![-0.0f64, 7i64],
+            vec![Value::Int(i64::MAX), Value::Int(1)].into(),
+        ];
+        let src = b.collection("s", data);
+        let f = b.filter(
+            src,
+            FilterUdf::from_expr("notnull", Expr::field(0).is_null().not()),
+        );
+        let m = b.map(
+            f,
+            MapUdf::from_exprs("calc", vec![Expr::field(0).add(Expr::field(1))]),
+        );
+        b.collect(m);
+        let plan = b.build().unwrap();
+        let before = run_plan(&plan, &ExecutionContext::new()).unwrap();
+        let rewritten = apply_rewrites(plan).unwrap();
+        assert!(rewritten
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, PhysicalOp::ChunkPipeline { .. })));
+        let after = run_plan(&rewritten, &ExecutionContext::new()).unwrap();
+        assert_eq!(
+            before.values().next().unwrap(),
+            after.values().next().unwrap()
+        );
+    }
+}

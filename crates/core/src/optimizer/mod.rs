@@ -15,6 +15,7 @@
 
 pub mod application;
 pub mod enumerate;
+pub mod fuse;
 pub mod replan;
 pub mod rewrites;
 

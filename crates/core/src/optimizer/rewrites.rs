@@ -36,6 +36,10 @@ pub fn apply_rewrites(plan: PhysicalPlan) -> Result<PhysicalPlan> {
         plan = fuse_filters(plan)?;
         plan = push_filter_through_union(plan)?;
         plan = cross_filter_to_theta(plan)?;
+        // Compile adjacent expression-bearing operators into chunk
+        // pipelines last, so the algebraic rules above see the plain
+        // operator shapes first.
+        plan = super::fuse::fuse_pipelines(plan)?;
         if plan.len() == before {
             break;
         }
@@ -91,7 +95,7 @@ fn shared_scans(plan: PhysicalPlan) -> Result<PhysicalPlan> {
 }
 
 /// Number of consumers per node.
-fn consumer_counts(plan: &PhysicalPlan) -> Vec<usize> {
+pub(super) fn consumer_counts(plan: &PhysicalPlan) -> Vec<usize> {
     let mut counts = vec![0usize; plan.len()];
     for n in plan.nodes() {
         for &i in &n.inputs {
@@ -105,7 +109,7 @@ fn consumer_counts(plan: &PhysicalPlan) -> Vec<usize> {
 /// dropping nodes for which `transform` returns `None` (their consumers must
 /// have been redirected first). `redirect` maps old producer ids to their
 /// replacement.
-fn rebuild(
+pub(super) fn rebuild(
     plan: &PhysicalPlan,
     mut keep: impl FnMut(NodeId) -> bool,
     mut replace_op: impl FnMut(NodeId) -> Option<PhysicalOp>,
@@ -146,12 +150,21 @@ fn fuse_maps(plan: PhysicalPlan) -> Result<PhysicalPlan> {
                 continue;
             }
             if let PhysicalOp::Map(f) = &producer.op {
-                let fused = {
-                    let f = f.clone();
-                    let g = g.clone();
-                    MapUdf {
-                        name: format!("{}∘{}", g.name, f.name),
-                        f: Arc::new(move |r: &Record| (g.f)(&(f.f)(r))),
+                let name = format!("{}∘{}", g.name, f.name);
+                // When both maps are transparent, compose declaratively so
+                // the fused map stays fusable into chunk pipelines.
+                let fused = match (&f.exprs, &g.exprs) {
+                    (Some(fe), Some(ge)) => {
+                        MapUdf::from_exprs(name, ge.iter().map(|e| e.substitute(fe)).collect())
+                    }
+                    _ => {
+                        let f = f.clone();
+                        let g = g.clone();
+                        MapUdf {
+                            name,
+                            f: Arc::new(move |r: &Record| (g.f)(&(f.f)(r))),
+                            exprs: None,
+                        }
                     }
                 };
                 let (dead, fused_at) = (producer.id, n.id);
@@ -178,13 +191,25 @@ fn fuse_filters(plan: PhysicalPlan) -> Result<PhysicalPlan> {
                 continue;
             }
             if let PhysicalOp::Filter(p) = &producer.op {
-                let fused = {
-                    let p = p.clone();
-                    let q = q.clone();
-                    FilterUdf {
-                        name: format!("{}&{}", p.name, q.name),
-                        selectivity: (p.selectivity * q.selectivity).clamp(0.0, 1.0),
-                        f: Arc::new(move |r: &Record| (p.f)(r) && (q.f)(r)),
+                let name = format!("{}&{}", p.name, q.name);
+                let selectivity = (p.selectivity * q.selectivity).clamp(0.0, 1.0);
+                // A record passes an expression filter iff it evaluates to
+                // Bool(true), so the Kleene conjunction of two transparent
+                // predicates keeps exactly the records both filters keep.
+                let fused = match (&p.expr, &q.expr) {
+                    (Some(pe), Some(qe)) => {
+                        FilterUdf::from_expr(name, pe.as_ref().clone().and(qe.as_ref().clone()))
+                            .with_selectivity(selectivity)
+                    }
+                    _ => {
+                        let p = p.clone();
+                        let q = q.clone();
+                        FilterUdf {
+                            name,
+                            selectivity,
+                            f: Arc::new(move |r: &Record| (p.f)(r) && (q.f)(r)),
+                            expr: None,
+                        }
                     }
                 };
                 let (dead, fused_at) = (producer.id, n.id);

@@ -19,10 +19,47 @@ use std::sync::Arc;
 
 use crate::data::Dataset;
 use crate::error::Result;
+use crate::expr::Expr;
 use crate::plan::PhysicalPlan;
 use crate::udf::{
     FilterUdf, FlatMapUdf, GroupMapUdf, KeyUdf, LoopCondUdf, MapUdf, PairPredicateFn, ReduceUdf,
 };
+
+/// The operation performed by one stage of a [`PhysicalOp::ChunkPipeline`].
+///
+/// Stages are purely declarative (expression-bearing), which is what allows
+/// the whole pipeline to run as a single per-chunk evaluation loop with no
+/// intermediate record materialization.
+#[derive(Clone, Debug)]
+pub enum StageKind {
+    /// Keep rows whose predicate evaluates to `Bool(true)`.
+    Filter {
+        /// The predicate expression.
+        expr: Arc<Expr>,
+        /// Expected fraction of rows kept (inherited from the filter UDF).
+        selectivity: f64,
+    },
+    /// Replace each row with one output field per expression.
+    Map {
+        /// Output-field expressions.
+        exprs: Arc<[Expr]>,
+    },
+    /// Keep the given columns, in order (zero-copy on chunks).
+    Project {
+        /// Column indices to keep.
+        indices: Arc<[usize]>,
+    },
+}
+
+/// One fused stage of a [`PhysicalOp::ChunkPipeline`], keeping the display
+/// name of the operator it was fused from.
+#[derive(Clone, Debug)]
+pub struct PipelineStage {
+    /// Display name of the original operator (shows up in explains).
+    pub name: String,
+    /// The stage's operation.
+    pub kind: StageKind,
+}
 
 /// An application-defined physical operator (extension point).
 ///
@@ -140,6 +177,13 @@ pub enum PhysicalOp {
     },
     /// Append a unique `Int` id field to each quantum.
     ZipWithId,
+    /// A fused chain of expression-bearing filter/map/project operators,
+    /// evaluated in one pass per columnar chunk (plan-time compilation of
+    /// adjacent transparent operators; see `optimizer::fuse`).
+    ChunkPipeline {
+        /// The fused stages, applied in order.
+        stages: Arc<[PipelineStage]>,
+    },
 
     // ------------------------------------------------------------ binary ops
     /// Equality join via hashing; output is `left ++ right`.
@@ -261,6 +305,10 @@ impl PhysicalOp {
             PhysicalOp::Sample { fraction, .. } => format!("Sample({fraction})"),
             PhysicalOp::Limit { n } => format!("Limit({n})"),
             PhysicalOp::ZipWithId => "ZipWithId".into(),
+            PhysicalOp::ChunkPipeline { stages } => {
+                let names: Vec<&str> = stages.iter().map(|s| s.name.as_str()).collect();
+                format!("ChunkPipeline[{}]", names.join("→"))
+            }
             PhysicalOp::HashJoin {
                 left_key,
                 right_key,
@@ -294,7 +342,10 @@ impl PhysicalOp {
             PhysicalOp::CollectionSource { .. }
             | PhysicalOp::StorageSource { .. }
             | PhysicalOp::LoopInput => OpKind::Source,
-            PhysicalOp::Map(_) | PhysicalOp::Project { .. } | PhysicalOp::ZipWithId => OpKind::Map,
+            PhysicalOp::Map(_)
+            | PhysicalOp::Project { .. }
+            | PhysicalOp::ZipWithId
+            | PhysicalOp::ChunkPipeline { .. } => OpKind::Map,
             PhysicalOp::FlatMap(_) => OpKind::FlatMap,
             PhysicalOp::Filter(_) | PhysicalOp::Sample { .. } | PhysicalOp::Limit { .. } => {
                 OpKind::Filter

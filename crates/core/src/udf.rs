@@ -14,6 +14,21 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::data::{Record, Value};
+use crate::expr::Expr;
+
+/// Sanitize a user-supplied cardinality hint: non-finite values fall back
+/// to `default`, negative values clamp to zero.
+///
+/// Hints flow straight into cardinality estimation, where a `NaN` or `-∞`
+/// would poison every downstream plan-cost comparison (`NaN < NaN` is
+/// false, so enumeration would pick arbitrary platforms).
+fn sanitize_hint(value: f64, default: f64) -> f64 {
+    if value.is_finite() {
+        value.max(0.0)
+    } else {
+        default
+    }
+}
 
 /// `Record -> Record` transformation.
 pub type MapFn = Arc<dyn Fn(&Record) -> Record + Send + Sync>;
@@ -40,6 +55,10 @@ pub struct MapUdf {
     pub name: String,
     /// The function itself.
     pub f: MapFn,
+    /// Declarative output expressions (one per output field), when the map
+    /// is transparent. `f` and `exprs` always agree: [`MapUdf::from_exprs`]
+    /// derives the closure from the expressions.
+    pub exprs: Option<Arc<[Expr]>>,
 }
 
 impl MapUdf {
@@ -51,6 +70,24 @@ impl MapUdf {
         MapUdf {
             name: name.into(),
             f: Arc::new(f),
+            exprs: None,
+        }
+    }
+
+    /// Build a transparent map from output-field expressions.
+    ///
+    /// The row closure is derived from the expressions, so the opaque and
+    /// declarative views of this UDF cannot drift apart; the optimizer may
+    /// fuse transparent maps into chunk pipelines.
+    pub fn from_exprs(name: impl Into<String>, exprs: Vec<Expr>) -> Self {
+        let exprs: Arc<[Expr]> = exprs.into();
+        let for_closure = exprs.clone();
+        MapUdf {
+            name: name.into(),
+            f: Arc::new(move |r: &Record| {
+                Record::new(for_closure.iter().map(|e| e.eval(r)).collect())
+            }),
+            exprs: Some(exprs),
         }
     }
 }
@@ -80,8 +117,11 @@ impl FlatMapUdf {
     }
 
     /// Attach a fan-out hint for the cardinality estimator.
+    ///
+    /// Non-finite hints are ignored (the default 1.0 is kept) and negative
+    /// hints clamp to zero, so estimation can never be `NaN`-poisoned.
     pub fn with_fanout(mut self, fanout: f64) -> Self {
-        self.fanout = fanout;
+        self.fanout = sanitize_hint(fanout, 1.0);
         self
     }
 }
@@ -95,6 +135,11 @@ pub struct FilterUdf {
     pub f: FilterFn,
     /// Expected fraction of quanta kept (default 0.5).
     pub selectivity: f64,
+    /// Declarative predicate, when the filter is transparent. A record is
+    /// kept iff the expression evaluates to `Bool(true)` (so `Null` drops
+    /// the record, SQL-style). `f` and `expr` always agree:
+    /// [`FilterUdf::from_expr`] derives the closure from the expression.
+    pub expr: Option<Arc<Expr>>,
 }
 
 impl FilterUdf {
@@ -107,12 +152,37 @@ impl FilterUdf {
             name: name.into(),
             f: Arc::new(f),
             selectivity: 0.5,
+            expr: None,
+        }
+    }
+
+    /// Build a transparent filter from a predicate expression.
+    ///
+    /// The row closure is derived from the expression, so the opaque and
+    /// declarative views cannot drift apart; the optimizer may fuse
+    /// transparent filters into chunk pipelines.
+    pub fn from_expr(name: impl Into<String>, expr: Expr) -> Self {
+        let expr = Arc::new(expr);
+        let for_closure = expr.clone();
+        FilterUdf {
+            name: name.into(),
+            f: Arc::new(move |r: &Record| matches!(for_closure.eval(r), Value::Bool(true))),
+            selectivity: 0.5,
+            expr: Some(expr),
         }
     }
 
     /// Attach a selectivity hint in `[0, 1]`.
+    ///
+    /// `NaN` hints are ignored (the default 0.5 is kept); infinities clamp
+    /// into range like any other out-of-range value.
     pub fn with_selectivity(mut self, selectivity: f64) -> Self {
-        self.selectivity = selectivity.clamp(0.0, 1.0);
+        // `f64::clamp` propagates NaN, so guard it explicitly.
+        self.selectivity = if selectivity.is_nan() {
+            0.5
+        } else {
+            selectivity.clamp(0.0, 1.0)
+        };
         self
     }
 }
@@ -126,6 +196,10 @@ pub struct KeyUdf {
     pub f: KeyFn,
     /// Expected number of distinct keys, if known (cardinality hint).
     pub distinct_keys: Option<f64>,
+    /// When the key is a plain field read ([`KeyUdf::field`]), its index.
+    /// Lets chunked kernels hash the key column directly instead of
+    /// materializing a [`Value`] per row.
+    pub field_index: Option<usize>,
 }
 
 impl KeyUdf {
@@ -138,6 +212,7 @@ impl KeyUdf {
             name: name.into(),
             f: Arc::new(f),
             distinct_keys: None,
+            field_index: None,
         }
     }
 
@@ -147,13 +222,65 @@ impl KeyUdf {
             name: format!("field#{index}"),
             f: Arc::new(move |r: &Record| r.get(index).cloned().unwrap_or(Value::Null)),
             distinct_keys: None,
+            field_index: Some(index),
         }
     }
 
     /// Attach a distinct-key-count hint.
+    ///
+    /// Non-finite hints are ignored (no hint is recorded) and negative
+    /// hints clamp to zero, so estimation can never be `NaN`-poisoned.
     pub fn with_distinct_keys(mut self, n: f64) -> Self {
-        self.distinct_keys = Some(n);
+        if n.is_finite() {
+            self.distinct_keys = Some(n.max(0.0));
+        }
         self
+    }
+}
+
+/// Per-field combiner of a declarative reduction ([`ReduceUdf::from_spec`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FieldReduce {
+    /// Keep the accumulator's value (typically the group key field).
+    First,
+    /// Wrapping integer sum; non-`Int` operands yield `Null`.
+    SumInt,
+    /// Float sum with `Int` widening; non-numeric operands yield `Null`.
+    SumFloat,
+    /// Minimum under [`Value`]'s total order.
+    Min,
+    /// Maximum under [`Value`]'s total order.
+    Max,
+}
+
+impl FieldReduce {
+    /// Combine an accumulator value with an incoming value.
+    pub fn combine(self, acc: &Value, incoming: &Value) -> Value {
+        match self {
+            FieldReduce::First => acc.clone(),
+            FieldReduce::SumInt => match (acc, incoming) {
+                (Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_add(*b)),
+                _ => Value::Null,
+            },
+            FieldReduce::SumFloat => match (acc.as_float(), incoming.as_float()) {
+                (Ok(a), Ok(b)) => Value::Float(a + b),
+                _ => Value::Null,
+            },
+            FieldReduce::Min => {
+                if incoming < acc {
+                    incoming.clone()
+                } else {
+                    acc.clone()
+                }
+            }
+            FieldReduce::Max => {
+                if incoming > acc {
+                    incoming.clone()
+                } else {
+                    acc.clone()
+                }
+            }
+        }
     }
 }
 
@@ -164,6 +291,10 @@ pub struct ReduceUdf {
     pub name: String,
     /// The combiner; must be associative for partitioned execution.
     pub f: ReduceFn,
+    /// Declarative per-field combiners, when the reduction is transparent.
+    /// `f` and `spec` always agree: [`ReduceUdf::from_spec`] derives the
+    /// closure from the spec.
+    pub spec: Option<Arc<[FieldReduce]>>,
 }
 
 impl ReduceUdf {
@@ -175,6 +306,35 @@ impl ReduceUdf {
         ReduceUdf {
             name: name.into(),
             f: Arc::new(f),
+            spec: None,
+        }
+    }
+
+    /// Build a transparent reduction from per-field combiners.
+    ///
+    /// The output record has one field per combiner; field `i` of the
+    /// accumulator combines with field `i` of each incoming record (missing
+    /// fields read as `Null`). The row closure is derived from the spec, so
+    /// the opaque and declarative views cannot drift apart; chunked kernels
+    /// use the spec to accumulate without a per-row closure dispatch.
+    pub fn from_spec(name: impl Into<String>, spec: Vec<FieldReduce>) -> Self {
+        let spec: Arc<[FieldReduce]> = spec.into();
+        let for_closure = spec.clone();
+        ReduceUdf {
+            name: name.into(),
+            f: Arc::new(move |acc: Record, incoming: &Record| {
+                let fields = for_closure
+                    .iter()
+                    .enumerate()
+                    .map(|(i, fr)| {
+                        let a = acc.fields().get(i).unwrap_or(&Value::Null);
+                        let b = incoming.fields().get(i).unwrap_or(&Value::Null);
+                        fr.combine(a, b)
+                    })
+                    .collect();
+                Record::new(fields)
+            }),
+            spec: Some(spec),
         }
     }
 }
@@ -209,8 +369,11 @@ impl GroupMapUdf {
     }
 
     /// Attach an output-size hint (records emitted per group).
+    ///
+    /// Non-finite hints are ignored (the default 1.0 is kept) and negative
+    /// hints clamp to zero, so estimation can never be `NaN`-poisoned.
     pub fn with_per_group_output(mut self, n: f64) -> Self {
-        self.per_group_output = n;
+        self.per_group_output = sanitize_hint(n, 1.0);
         self
     }
 }
@@ -302,5 +465,100 @@ mod tests {
         let g = GroupMapUdf::identity();
         let members = vec![rec![1i64], rec![2i64]];
         assert_eq!((g.f)(&Value::Int(0), &members), members);
+    }
+
+    #[test]
+    fn fanout_hint_rejects_nonfinite_and_negative() {
+        let base = FlatMapUdf::new("f", |r| vec![r.clone()]);
+        assert_eq!(base.clone().with_fanout(f64::NAN).fanout, 1.0);
+        assert_eq!(base.clone().with_fanout(f64::INFINITY).fanout, 1.0);
+        assert_eq!(base.clone().with_fanout(f64::NEG_INFINITY).fanout, 1.0);
+        assert_eq!(base.clone().with_fanout(-3.0).fanout, 0.0);
+        assert_eq!(base.with_fanout(2.5).fanout, 2.5);
+    }
+
+    #[test]
+    fn per_group_output_hint_rejects_nonfinite_and_negative() {
+        let base = GroupMapUdf::identity();
+        assert_eq!(
+            base.clone()
+                .with_per_group_output(f64::NAN)
+                .per_group_output,
+            1.0
+        );
+        assert_eq!(
+            base.clone()
+                .with_per_group_output(f64::INFINITY)
+                .per_group_output,
+            1.0
+        );
+        assert_eq!(
+            base.clone().with_per_group_output(-1.0).per_group_output,
+            0.0
+        );
+        assert_eq!(base.with_per_group_output(4.0).per_group_output, 4.0);
+    }
+
+    #[test]
+    fn distinct_keys_hint_rejects_nonfinite_and_negative() {
+        let base = KeyUdf::field(0);
+        assert_eq!(
+            base.clone().with_distinct_keys(f64::NAN).distinct_keys,
+            None
+        );
+        assert_eq!(
+            base.clone().with_distinct_keys(f64::INFINITY).distinct_keys,
+            None
+        );
+        assert_eq!(
+            base.clone().with_distinct_keys(-5.0).distinct_keys,
+            Some(0.0)
+        );
+        assert_eq!(base.with_distinct_keys(10.0).distinct_keys, Some(10.0));
+    }
+
+    #[test]
+    fn selectivity_hint_rejects_nan() {
+        let udf = FilterUdf::new("p", |_| true).with_selectivity(f64::NAN);
+        assert_eq!(udf.selectivity, 0.5);
+        let udf = FilterUdf::new("p", |_| true).with_selectivity(f64::INFINITY);
+        assert_eq!(udf.selectivity, 1.0);
+    }
+
+    #[test]
+    fn expr_filter_closure_matches_expression() {
+        use crate::expr::Expr;
+        let udf = FilterUdf::from_expr("lt10", Expr::field(0).lt(Expr::lit(10i64)));
+        assert!((udf.f)(&rec![5i64]));
+        assert!(!(udf.f)(&rec![15i64]));
+        // Null comparison follows Value::cmp: Null < Int(10) is true.
+        assert!((udf.f)(&Record::new(vec![Value::Null])));
+        assert!(udf.expr.is_some());
+    }
+
+    #[test]
+    fn expr_map_closure_matches_expressions() {
+        use crate::expr::Expr;
+        let udf = MapUdf::from_exprs(
+            "proj+1",
+            vec![Expr::field(1), Expr::field(0).add(Expr::lit(1i64))],
+        );
+        assert_eq!((udf.f)(&rec![41i64, "x"]), rec!["x", 42i64]);
+    }
+
+    #[test]
+    fn spec_reduce_closure_matches_spec() {
+        let udf = ReduceUdf::from_spec("sum", vec![FieldReduce::First, FieldReduce::SumInt]);
+        let out = (udf.f)(rec![1i64, 10i64], &rec![1i64, 7i64]);
+        assert_eq!(out, rec![1i64, 17i64]);
+        let minmax = ReduceUdf::from_spec("mm", vec![FieldReduce::Min, FieldReduce::Max]);
+        let out = (minmax.f)(rec![3i64, 3i64], &rec![5i64, 5i64]);
+        assert_eq!(out, rec![3i64, 5i64]);
+    }
+
+    #[test]
+    fn key_field_records_its_index() {
+        assert_eq!(KeyUdf::field(2).field_index, Some(2));
+        assert_eq!(KeyUdf::new("k", |_| Value::Null).field_index, None);
     }
 }

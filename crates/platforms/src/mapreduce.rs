@@ -298,13 +298,22 @@ impl MrRun<'_> {
                 let indices = indices.clone();
                 self.mappers(take0(&mut inputs), move |p| kernels::project(&p, &indices))?
             }
+            PhysicalOp::ChunkPipeline { stages } => {
+                // Narrow: each mapper split becomes one columnar chunk and
+                // runs the fused stage chain sequentially.
+                let stages = stages.clone();
+                let seq = kernels::parallel::KernelParallelism::sequential();
+                self.mappers(take0(&mut inputs), move |p| {
+                    kernels::parallel::run_pipeline(&p, &stages, &seq)
+                })?
+            }
             PhysicalOp::Sample { fraction, seed } => {
                 // Single-threaded: position-indexed sampling must see global
                 // offsets; Hadoop would do this in one mapper wave anyway.
-                kernels::sample(&inputs[0], *fraction, *seed, 0)
+                kernels::sample(&inputs[0], *fraction, *seed, 0)?
             }
             PhysicalOp::Limit { n } => kernels::limit(&inputs[0], *n),
-            PhysicalOp::ZipWithId => kernels::zip_with_id(&inputs[0], 0),
+            PhysicalOp::ZipWithId => kernels::zip_with_id(&inputs[0], 0)?,
 
             // Reduce phases: spill to disk, then shuffle + reduce in
             // parallel reducers.

@@ -338,20 +338,28 @@ impl SparkRun<'_> {
                     kernels::project(&p, &indices)
                 })?
             }
+            PhysicalOp::ChunkPipeline { stages } => {
+                // Narrow: each partition is converted to a columnar chunk
+                // once and runs the fused stage chain sequentially (the
+                // partition is this platform's parallel unit).
+                let stages = stages.clone();
+                let seq = kernels::parallel::KernelParallelism::sequential();
+                self.tasks(std::mem::take(&mut inputs[0]), move |_, p| {
+                    kernels::parallel::run_pipeline(&p, &stages, &seq)
+                })?
+            }
             PhysicalOp::Sample { fraction, seed } => {
                 let parts = std::mem::take(&mut inputs[0]);
                 let offs = offsets(&parts);
                 let (fraction, seed) = (*fraction, *seed);
                 self.tasks(parts, move |i, p| {
-                    Ok(kernels::sample(&p, fraction, seed, offs[i] as u64))
+                    kernels::sample(&p, fraction, seed, offs[i] as u64)
                 })?
             }
             PhysicalOp::ZipWithId => {
                 let parts = std::mem::take(&mut inputs[0]);
                 let offs = offsets(&parts);
-                self.tasks(parts, move |i, p| {
-                    Ok(kernels::zip_with_id(&p, offs[i] as i64))
-                })?
+                self.tasks(parts, move |i, p| kernels::zip_with_id(&p, offs[i] as i64))?
             }
             PhysicalOp::Limit { n } => {
                 let parts = std::mem::take(&mut inputs[0]);
