@@ -47,4 +47,23 @@ echo "==> chunk-vs-record determinism smoke (RHEEM_KERNEL_THREADS=1 vs default)"
 RHEEM_KERNEL_THREADS=1 cargo test -q --release --test columnar_kernels
 cargo test -q --release --test columnar_kernels
 
+# Enumeration-v2 oracle smoke: the lattice enumerator must match the
+# exhaustive optimum on every sampled plan (seeded vendored proptest —
+# reproducible), including under random calibration tables and config
+# variations.
+echo "==> enumeration v2 vs exhaustive oracle (PROPTEST_CASES=32)"
+PROPTEST_CASES=32 cargo test -q --release --test enumeration_v2
+
+# Enumeration ablation, quick mode: re-derives BENCH_enumeration.json and
+# asserts inline that v2 equals the oracle on the small sweep and that the
+# 120-op plan stays on the lattice path within the default budget; then
+# sanity-check the emitted schema.
+echo "==> ablation_enumeration (ENUM_BENCH_QUICK=1) + schema check"
+ENUM_BENCH_QUICK=1 cargo bench -q -p rheem-bench --bench ablation_enumeration
+for key in '"bench": "ablation_enumeration"' '"entries"' '"costs_match":true' \
+    '"shape":"large"' '"within_budget":true'; do
+  grep -qF "$key" BENCH_enumeration.json \
+    || { echo "BENCH_enumeration.json missing $key"; exit 1; }
+done
+
 echo "OK: all tier-1 checks passed"

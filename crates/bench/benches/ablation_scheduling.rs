@@ -51,6 +51,7 @@ fn fanout_plan(n: i64, branches: usize) -> ExecutionPlan {
         atoms,
         estimated_cost: 0.0,
         estimates: vec![],
+        enumeration: Default::default(),
     }
 }
 

@@ -218,7 +218,7 @@ impl RheemContext {
     /// Run an already-optimized execution plan.
     pub fn execute_plan(&self, plan: &ExecutionPlan) -> Result<JobResult> {
         let mut executor = Executor::new(self.platforms.clone())
-            .with_movement(self.optimizer.movement.clone())
+            .with_movement(self.optimizer.movement.channelized(&self.platforms))
             .with_config(self.executor_config.clone());
         for listener in &self.listeners {
             executor = executor.with_listener(listener.clone());

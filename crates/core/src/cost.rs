@@ -315,8 +315,251 @@ impl PlatformCostModel for LinearCostModel {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Data movement channels
+// ---------------------------------------------------------------------------
+
+/// The kind of data channel an atom boundary uses (RHEEMix-style explicit
+/// data-movement channels): every platform declares which kinds it can
+/// produce and consume, and crossing between platforms whose channel sets
+/// do not intersect requires *conversion operators* priced by the
+/// [`ChannelConversionGraph`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ChannelKind {
+    /// An in-process (or shared-memory) collection handle.
+    #[default]
+    Memory,
+    /// A file materialized on (distributed) storage.
+    File,
+    /// A record stream / pipe between running processes.
+    Stream,
+}
+
+impl ChannelKind {
+    /// Lower-case display name (used by explain renderers).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ChannelKind::Memory => "memory",
+            ChannelKind::File => "file",
+            ChannelKind::Stream => "stream",
+        }
+    }
+
+    /// All channel kinds, in a fixed order.
+    pub const ALL: [ChannelKind; 3] = [ChannelKind::Memory, ChannelKind::File, ChannelKind::Stream];
+}
+
+impl std::fmt::Display for ChannelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The channel kinds one platform can produce and consume at atom
+/// boundaries (declared via
+/// [`Platform::channels`](crate::platform::Platform::channels)).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChannelSpec {
+    /// Channel kinds this platform can write its boundary outputs to.
+    pub outputs: Vec<ChannelKind>,
+    /// Channel kinds this platform can read boundary inputs from.
+    pub inputs: Vec<ChannelKind>,
+}
+
+impl ChannelSpec {
+    /// A platform that only speaks in-memory collections (the default for
+    /// platforms that declare nothing richer).
+    pub fn memory_only() -> Self {
+        ChannelSpec {
+            outputs: vec![ChannelKind::Memory],
+            inputs: vec![ChannelKind::Memory],
+        }
+    }
+
+    /// A spec with explicit output and input channel kinds.
+    pub fn new(outputs: Vec<ChannelKind>, inputs: Vec<ChannelKind>) -> Self {
+        ChannelSpec { outputs, inputs }
+    }
+}
+
+impl Default for ChannelSpec {
+    fn default() -> Self {
+        ChannelSpec::memory_only()
+    }
+}
+
+/// One conversion operator in the channel conversion graph: re-encodes
+/// data from one channel kind into another at a fixed + per-record price.
+#[derive(Clone, Debug)]
+pub struct ConversionOp {
+    /// Display name (e.g. `serialize`), used by explain renderers.
+    pub name: String,
+    /// Fixed price of running the conversion at all.
+    pub fixed: f64,
+    /// Per-record price.
+    pub per_record: f64,
+}
+
+/// The channel conversion graph: which channel-kind conversions exist and
+/// what they cost. Shortest conversion *paths* are found over this graph,
+/// so a `File → Stream` hop may route through `Memory` even though no
+/// direct conversion is registered.
+#[derive(Clone, Debug)]
+pub struct ChannelConversionGraph {
+    edges: HashMap<(ChannelKind, ChannelKind), ConversionOp>,
+}
+
+impl Default for ChannelConversionGraph {
+    fn default() -> Self {
+        let mut g = ChannelConversionGraph {
+            edges: HashMap::new(),
+        };
+        // Defaults mirror the built-in platforms' relative overheads:
+        // touching disk costs more than draining a stream.
+        g.register(
+            ChannelKind::Memory,
+            ChannelKind::File,
+            "serialize",
+            0.5,
+            0.002,
+        );
+        g.register(
+            ChannelKind::File,
+            ChannelKind::Memory,
+            "deserialize",
+            0.5,
+            0.002,
+        );
+        g.register(
+            ChannelKind::Memory,
+            ChannelKind::Stream,
+            "publish",
+            0.2,
+            0.001,
+        );
+        g.register(
+            ChannelKind::Stream,
+            ChannelKind::Memory,
+            "drain",
+            0.2,
+            0.001,
+        );
+        g
+    }
+}
+
+impl ChannelConversionGraph {
+    /// A graph with no conversions at all (only like-for-like channel
+    /// hand-offs are possible).
+    pub fn empty() -> Self {
+        ChannelConversionGraph {
+            edges: HashMap::new(),
+        }
+    }
+
+    /// Register (or replace) the conversion `from -> to`.
+    pub fn register(
+        &mut self,
+        from: ChannelKind,
+        to: ChannelKind,
+        name: impl Into<String>,
+        fixed: f64,
+        per_record: f64,
+    ) {
+        self.edges.insert(
+            (from, to),
+            ConversionOp {
+                name: name.into(),
+                fixed,
+                per_record,
+            },
+        );
+    }
+
+    /// The registered direct conversion `from -> to`, if any.
+    pub fn conversion(&self, from: ChannelKind, to: ChannelKind) -> Option<&ConversionOp> {
+        self.edges.get(&(from, to))
+    }
+
+    /// Cheapest conversion path from any kind in `outs` to any kind in
+    /// `ins` for `records` data quanta. Returns the visited channel kinds
+    /// (length 1 when producer and consumer share a kind) and the summed
+    /// conversion price, or `None` when the sets cannot be connected.
+    pub fn cheapest_path(
+        &self,
+        outs: &[ChannelKind],
+        ins: &[ChannelKind],
+        records: f64,
+    ) -> Option<(Vec<ChannelKind>, f64)> {
+        let records = records.max(0.0);
+        let mut best: Option<(Vec<ChannelKind>, f64)> = None;
+        // The graph has three nodes; Bellman-Ford-style relaxation over
+        // all kinds is exact and allocation-light.
+        for &start in outs {
+            let mut dist: HashMap<ChannelKind, (f64, Vec<ChannelKind>)> = HashMap::new();
+            dist.insert(start, (0.0, vec![start]));
+            for _ in 0..ChannelKind::ALL.len() {
+                for &from in &ChannelKind::ALL {
+                    let Some((d, path)) = dist.get(&from).cloned() else {
+                        continue;
+                    };
+                    for &to in &ChannelKind::ALL {
+                        let Some(op) = self.edges.get(&(from, to)) else {
+                            continue;
+                        };
+                        let nd = d + op.fixed + op.per_record * records;
+                        let better = dist.get(&to).is_none_or(|(cur, _)| nd < *cur);
+                        if better {
+                            let mut p = path.clone();
+                            p.push(to);
+                            dist.insert(to, (nd, p));
+                        }
+                    }
+                }
+            }
+            for &end in ins {
+                if let Some((d, path)) = dist.get(&end) {
+                    if best.as_ref().is_none_or(|(_, b)| d < b) {
+                        best = Some((path.clone(), *d));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+/// A priced route for one cross-platform boundary edge: the channel kinds
+/// the data passes through plus the transport and conversion components.
+#[derive(Clone, Debug)]
+pub struct ChannelRoute {
+    /// Channel kinds visited, producer side first. A single entry means
+    /// the producer's output channel is directly consumable.
+    pub path: Vec<ChannelKind>,
+    /// The flat transport component (`fixed + per_record · records`).
+    pub transport_ms: f64,
+    /// The conversion component along `path`.
+    pub conversion_ms: f64,
+}
+
+impl ChannelRoute {
+    /// Total price of the route.
+    pub fn total_ms(&self) -> f64 {
+        self.transport_ms + self.conversion_ms
+    }
+}
+
 /// Inter-platform data movement prices (the paper's §4.2 third aspect and
 /// §8 challenge 2's "inter-platform cost model").
+///
+/// Two layers: a flat `fixed + per_record · records` transport price per
+/// platform pair (always charged on a switch), plus — once platform
+/// [`ChannelSpec`]s are declared via
+/// [`declare_channels`](MovementCostModel::declare_channels) — the cost of
+/// the cheapest conversion path through the [`ChannelConversionGraph`]
+/// connecting the producer's output channels to the consumer's input
+/// channels. A model with no declared channels prices exactly like the
+/// historical flat scalar.
 #[derive(Clone, Debug)]
 pub struct MovementCostModel {
     /// Fixed cost of any platform switch (channel setup).
@@ -324,6 +567,10 @@ pub struct MovementCostModel {
     /// Fallback per-record transfer price.
     pub default_per_record: f64,
     per_record: HashMap<(String, String), f64>,
+    /// Channel conversion prices (consulted only for platforms with
+    /// declared channels).
+    pub conversions: ChannelConversionGraph,
+    channels: HashMap<String, ChannelSpec>,
 }
 
 impl Default for MovementCostModel {
@@ -332,6 +579,8 @@ impl Default for MovementCostModel {
             fixed: 1.0,
             default_per_record: 0.001,
             per_record: HashMap::new(),
+            conversions: ChannelConversionGraph::default(),
+            channels: HashMap::new(),
         }
     }
 }
@@ -342,13 +591,15 @@ impl MovementCostModel {
         MovementCostModel {
             fixed,
             default_per_record,
-            per_record: HashMap::new(),
+            ..MovementCostModel::default()
         }
     }
 
     /// A model in which moving data is free (for tests and ablations).
     pub fn free() -> Self {
-        MovementCostModel::new(0.0, 0.0)
+        let mut m = MovementCostModel::new(0.0, 0.0);
+        m.conversions = ChannelConversionGraph::empty();
+        m
     }
 
     /// Set the per-record price of moving data `from -> to`.
@@ -357,18 +608,87 @@ impl MovementCostModel {
             .insert((from.to_string(), to.to_string()), price);
     }
 
-    /// Cost of moving `records` data quanta `from -> to`; zero if same
-    /// platform.
-    pub fn cost(&self, from: &str, to: &str, records: f64) -> f64 {
+    /// Declare the channel kinds `platform` produces and consumes. From
+    /// then on, switches touching it are priced through the conversion
+    /// graph on top of the flat transport price.
+    pub fn declare_channels(&mut self, platform: impl Into<String>, spec: ChannelSpec) {
+        self.channels.insert(platform.into(), spec);
+    }
+
+    /// The declared channel spec of a platform, if any.
+    pub fn channel_spec(&self, platform: &str) -> Option<&ChannelSpec> {
+        self.channels.get(platform)
+    }
+
+    /// A copy of this model with every platform in `registry` declaring
+    /// its [`ChannelSpec`] — the form the optimizer and executor use so
+    /// enumeration, re-planning, and monitoring all price movement through
+    /// the same channel conversion graph.
+    pub fn channelized(&self, registry: &crate::platform::PlatformRegistry) -> MovementCostModel {
+        let mut out = self.clone();
+        for p in registry.all() {
+            out.declare_channels(p.name(), p.channels());
+        }
+        out
+    }
+
+    /// The channel route for moving `records` data quanta `from -> to`.
+    /// Same platform: a free single-hop route. Undeclared platforms fall
+    /// back to [`ChannelSpec::memory_only`]; unconnectable channel sets
+    /// fall back to the flat transport price with an empty path (priced as
+    /// if a bespoke copy operator existed), so enumeration never wedges on
+    /// an exotic platform pair.
+    pub fn route(&self, from: &str, to: &str, records: f64) -> ChannelRoute {
         if from == to {
-            return 0.0;
+            return ChannelRoute {
+                path: Vec::new(),
+                transport_ms: 0.0,
+                conversion_ms: 0.0,
+            };
         }
         let per = self
             .per_record
             .get(&(from.to_string(), to.to_string()))
             .copied()
             .unwrap_or(self.default_per_record);
-        self.fixed + per * records
+        let transport_ms = self.fixed + per * records;
+        if self.channels.is_empty() {
+            // Legacy flat pricing: no platform declared channels.
+            return ChannelRoute {
+                path: Vec::new(),
+                transport_ms,
+                conversion_ms: 0.0,
+            };
+        }
+        let memory_only = ChannelSpec::memory_only();
+        let outs = self.channels.get(from).unwrap_or(&memory_only);
+        let ins = self.channels.get(to).unwrap_or(&memory_only);
+        match self
+            .conversions
+            .cheapest_path(&outs.outputs, &ins.inputs, records)
+        {
+            Some((path, conversion_ms)) => ChannelRoute {
+                path,
+                transport_ms,
+                conversion_ms,
+            },
+            None => ChannelRoute {
+                path: Vec::new(),
+                transport_ms,
+                conversion_ms: 0.0,
+            },
+        }
+    }
+
+    /// Cost of moving `records` data quanta `from -> to`; zero if same
+    /// platform. With declared channels this is the full
+    /// [`route`](MovementCostModel::route) price (transport + conversion);
+    /// without, the historical flat scalar.
+    pub fn cost(&self, from: &str, to: &str, records: f64) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        self.route(from, to, records).total_ms()
     }
 }
 
@@ -609,6 +929,71 @@ mod tests {
         assert_eq!(m.cost("java", "spark", 100.0), 5.0 + 10.0);
         assert_eq!(m.cost("spark", "java", 100.0), 5.0 + 1.0); // default price
         assert_eq!(MovementCostModel::free().cost("a", "b", 1e9), 0.0);
+    }
+
+    #[test]
+    fn conversion_graph_finds_multi_hop_paths() {
+        let g = ChannelConversionGraph::default();
+        // Direct hand-off: no conversion needed.
+        let (path, cost) = g
+            .cheapest_path(&[ChannelKind::Memory], &[ChannelKind::Memory], 1000.0)
+            .unwrap();
+        assert_eq!(path, vec![ChannelKind::Memory]);
+        assert_eq!(cost, 0.0);
+        // One hop: memory -> file is the serialize op.
+        let (path, cost) = g
+            .cheapest_path(&[ChannelKind::Memory], &[ChannelKind::File], 1000.0)
+            .unwrap();
+        assert_eq!(path, vec![ChannelKind::Memory, ChannelKind::File]);
+        assert!((cost - (0.5 + 0.002 * 1000.0)).abs() < 1e-9);
+        // No direct file -> stream conversion exists: the path routes
+        // through memory (deserialize + publish).
+        let (path, cost) = g
+            .cheapest_path(&[ChannelKind::File], &[ChannelKind::Stream], 100.0)
+            .unwrap();
+        assert_eq!(
+            path,
+            vec![ChannelKind::File, ChannelKind::Memory, ChannelKind::Stream]
+        );
+        assert!((cost - (0.5 + 0.2 + 0.003 * 100.0)).abs() < 1e-9);
+        // Sets that cannot be connected yield None.
+        assert!(ChannelConversionGraph::empty()
+            .cheapest_path(&[ChannelKind::File], &[ChannelKind::Stream], 1.0)
+            .is_none());
+        // Multiple producer channels: the cheapest origin wins.
+        let (path, _) = g
+            .cheapest_path(
+                &[ChannelKind::File, ChannelKind::Stream],
+                &[ChannelKind::Memory],
+                1000.0,
+            )
+            .unwrap();
+        assert_eq!(path[0], ChannelKind::Stream, "drain beats deserialize");
+    }
+
+    #[test]
+    fn declared_channels_add_conversion_prices_on_top_of_transport() {
+        let mut m = MovementCostModel::new(1.0, 0.001);
+        let flat = m.cost("java", "mapreduce", 1000.0);
+        assert!((flat - 2.0).abs() < 1e-9);
+        // Declare channels: java speaks memory, mapreduce only files.
+        m.declare_channels("java", ChannelSpec::memory_only());
+        m.declare_channels(
+            "mapreduce",
+            ChannelSpec::new(vec![ChannelKind::File], vec![ChannelKind::File]),
+        );
+        let route = m.route("java", "mapreduce", 1000.0);
+        assert_eq!(route.path, vec![ChannelKind::Memory, ChannelKind::File]);
+        assert!((route.transport_ms - flat).abs() < 1e-9);
+        assert!((route.conversion_ms - 2.5).abs() < 1e-9);
+        assert!((m.cost("java", "mapreduce", 1000.0) - 4.5).abs() < 1e-9);
+        // Same platform stays free; memory-to-memory pairs pay no
+        // conversion, so their price is unchanged by the declarations.
+        assert_eq!(m.cost("mapreduce", "mapreduce", 1e6), 0.0);
+        m.declare_channels("spark", ChannelSpec::memory_only());
+        assert!((m.cost("java", "spark", 1000.0) - 2.0).abs() < 1e-9);
+        // An undeclared platform defaults to memory-only.
+        assert!((m.cost("java", "unknown", 1000.0) - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -181,6 +181,10 @@ pub struct ExecutionStats {
     /// times the unexecuted suffix was re-routed around a failed
     /// platform. `0` unless failover triggered.
     pub failovers: usize,
+    /// Which enumeration algorithm produced the executed plan (copied from
+    /// [`crate::plan::ExecutionPlan::enumeration`]). `Greedy` for plans
+    /// built by the classic DP.
+    pub enumeration_path: crate::plan::EnumerationPath,
 }
 
 impl ExecutionStats {
@@ -236,6 +240,9 @@ impl ExecutionStats {
             self.replans,
             self.failovers,
         ));
+        if self.enumeration_path != crate::plan::EnumerationPath::Greedy {
+            s.push_str(&format!("enumeration: {}\n", self.enumeration_path));
+        }
         s
     }
 }
@@ -501,7 +508,10 @@ impl Executor {
         plan.atom_dependencies()?;
         let sinks: HashSet<NodeId> = plan.physical.sinks().into_iter().collect();
         let node_outputs: Mutex<HashMap<NodeId, Dataset>> = Mutex::new(HashMap::new());
-        let mut stats = ExecutionStats::default();
+        let mut stats = ExecutionStats {
+            enumeration_path: plan.enumeration.path,
+            ..ExecutionStats::default()
+        };
 
         // The plan currently being executed; a re-plan replaces it with
         // one carrying only the (re-partitioned) pending atoms.
@@ -599,6 +609,7 @@ impl Executor {
             atoms: committed,
             estimated_cost: plan.estimated_cost,
             estimates: current.estimates.clone(),
+            enumeration: plan.enumeration.clone(),
         });
         let store = node_outputs.lock();
         let outputs = plan

@@ -45,6 +45,7 @@ pub mod triples;
 pub mod udf;
 
 pub use context::RheemContext;
+pub use cost::{ChannelConversionGraph, ChannelKind, ChannelRoute, ChannelSpec, MovementCostModel};
 pub use data::{
     Bitmap, Chunk, Column, ColumnData, DataType, Dataset, Field, Record, Schema, Value,
 };
@@ -66,9 +67,15 @@ pub use observe::{
     canonical_tree, CostCalibration, MetricsRegistry, NodeObservation, Observability,
     RingBufferSink, SpanKind, SpanRecord, TraceSink,
 };
-pub use optimizer::{MultiPlatformOptimizer, ReplanPolicy, Replanner};
+pub use optimizer::{
+    assignment_cost, enumerate_exhaustive, EnumerationConfig, EnumerationStrategy,
+    MultiPlatformOptimizer, ReplanPolicy, Replanner,
+};
 pub use physical::{CustomPhysicalOp, OpKind, PhysicalOp};
-pub use plan::{ExecutionPlan, NodeEstimate, NodeId, PhysicalPlan, PlanBuilder, TaskAtom};
+pub use plan::{
+    ChannelConversion, EnumerationInfo, EnumerationPath, ExecutionPlan, NodeEstimate, NodeId,
+    PhysicalPlan, PlanBuilder, TaskAtom,
+};
 pub use platform::{
     AtomInputs, AtomResult, ExecutionContext, FailureInjector, InjectedKind, Platform,
     PlatformRegistry, ProcessingProfile, StorageService,

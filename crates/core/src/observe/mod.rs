@@ -357,6 +357,21 @@ impl ProgressListener for Observability {
                 morsels: 0,
             });
         }
+        // Record non-default enumeration paths (lattice v2 / its greedy
+        // fallback) as a span, so traces show *how* the executed plan was
+        // found. Skipped by `canonical_tree`, like replan/failover spans.
+        if stats.enumeration_path != crate::plan::EnumerationPath::Greedy {
+            self.emit(SpanRecord {
+                id: self.alloc_span(),
+                parent: Some(job_id),
+                kind: SpanKind::Enumeration,
+                label: stats.enumeration_path.as_str().to_string(),
+                platform: String::new(),
+                elapsed_ms: 0.0,
+                records_out: 0,
+                morsels: 0,
+            });
+        }
         self.emit(SpanRecord {
             id: job_id,
             parent: None,

@@ -21,6 +21,9 @@ pub enum SpanKind {
     Wave,
     /// One mid-job re-optimization of the unexecuted suffix.
     Replan,
+    /// How the executed plan was enumerated when not by the default
+    /// greedy DP (lattice v2 or its budget-exhausted greedy fallback).
+    Enumeration,
     /// One failover re-plan around a failed platform.
     Failover,
     /// One task atom (a platform-homogeneous plan fragment).
@@ -36,6 +39,7 @@ impl SpanKind {
             SpanKind::Job => "job",
             SpanKind::Wave => "wave",
             SpanKind::Replan => "replan",
+            SpanKind::Enumeration => "enumeration",
             SpanKind::Failover => "failover",
             SpanKind::Atom => "atom",
             SpanKind::Kernel => "kernel",
@@ -213,8 +217,12 @@ impl TraceSink for JsonLinesSink {
 /// re-planning on/off whenever the re-plan preserved the executed atoms —
 /// used by the deterministic-replay tests.
 pub fn canonical_tree(spans: &[SpanRecord]) -> String {
-    let skipped =
-        |kind: SpanKind| matches!(kind, SpanKind::Wave | SpanKind::Replan | SpanKind::Failover);
+    let skipped = |kind: SpanKind| {
+        matches!(
+            kind,
+            SpanKind::Wave | SpanKind::Replan | SpanKind::Failover | SpanKind::Enumeration
+        )
+    };
     // Resolve each span's nearest kept (non-skipped) ancestor.
     let by_id: BTreeMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
     let effective_parent = |span: &SpanRecord| -> Option<u64> {

@@ -28,6 +28,19 @@ use crate::plan::{AtomInput, ExecutionPlan, NodeEstimate, NodeId, PhysicalPlan, 
 use crate::platform::PlatformRegistry;
 use std::sync::Arc;
 
+/// Which enumeration algorithm the optimizer runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EnumerationStrategy {
+    /// The original greedy DP (`enumerate`): exact on trees, documented
+    /// double-count approximation on shared sub-DAGs.
+    #[default]
+    Greedy,
+    /// The subplan-lattice enumerator (`enumerate_v2`): chain contraction,
+    /// channel-aware movement, lossless frontier pruning; falls back to
+    /// Greedy when the expansion/time budget is exhausted.
+    LatticeV2,
+}
+
 /// Tuning knobs for the enumerator (several exist purely so the paper's
 /// ablation benchmarks can switch behaviours off).
 #[derive(Clone, Debug)]
@@ -42,6 +55,16 @@ pub struct EnumerationConfig {
     /// excludes failed platforms this way; an exclusion that leaves some
     /// operator unmappable surfaces as [`RheemError::NoPlatformFor`].
     pub excluded_platforms: Vec<String>,
+    /// Algorithm selection; defaults to the greedy DP so existing plans
+    /// (and golden explains) are byte-identical unless v2 is opted into.
+    pub strategy: EnumerationStrategy,
+    /// Lattice-state expansion budget for `LatticeV2`. Exhausting it
+    /// degrades deterministically to the greedy DP, recorded as
+    /// [`crate::plan::EnumerationPath::GreedyFallback`].
+    pub max_expansions: usize,
+    /// Optional wall-clock budget (milliseconds) for `LatticeV2`; `None`
+    /// leaves only the deterministic expansion budget in force.
+    pub max_enumeration_ms: Option<u64>,
 }
 
 impl Default for EnumerationConfig {
@@ -50,6 +73,9 @@ impl Default for EnumerationConfig {
             forced_platform: None,
             consider_movement_costs: true,
             excluded_platforms: Vec::new(),
+            strategy: EnumerationStrategy::Greedy,
+            max_expansions: 200_000,
+            max_enumeration_ms: None,
         }
     }
 }
@@ -218,13 +244,14 @@ pub fn enumerate(
         atoms,
         estimated_cost: total_cost,
         estimates,
+        enumeration: crate::plan::EnumerationInfo::default(),
     })
 }
 
 /// Cost of one operator on one platform; loops recurse into the body.
 /// Static model costs are scaled by the calibration factor learned for
 /// the `(operator, platform)` pair.
-fn node_cost(
+pub(crate) fn node_cost(
     op: &PhysicalOp,
     ins: &[f64],
     out: f64,
@@ -275,7 +302,7 @@ fn node_cost(
 }
 
 /// `supports` extended through loop bodies.
-fn supports_deep(platform: &dyn crate::platform::Platform, op: &PhysicalOp) -> bool {
+pub(crate) fn supports_deep(platform: &dyn crate::platform::Platform, op: &PhysicalOp) -> bool {
     match op {
         PhysicalOp::Loop { body, .. } => {
             platform.supports(op) && body.nodes().iter().all(|n| supports_deep(platform, &n.op))
@@ -403,6 +430,7 @@ pub fn split_into_atoms(plan: &PhysicalPlan, assignments: &[String]) -> Vec<Task
                         consumer: n,
                         slot,
                         producer: *producer,
+                        channel: Default::default(),
                     });
                 }
             }

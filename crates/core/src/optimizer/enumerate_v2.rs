@@ -1,0 +1,937 @@
+//! Subplan-lattice enumeration with lossless pruning (v2).
+//!
+//! The classic DP in [`super::enumerate`] is exact on trees but counts a
+//! shared producer once per consumer on DAGs. This module implements the
+//! RHEEMix-style enumerator that is exact on arbitrary DAGs while staying
+//! polynomial on the plans we care about:
+//!
+//! 1. **Chain contraction** — maximal linear operator chains (single
+//!    consumer feeding a single-input node) are contracted into
+//!    super-nodes before the search ([`super::fuse::contract_chains`]).
+//!    Each chain gets an exact `T[q][p]` cost table (cheapest way to run
+//!    the whole chain with the upstream producer on `q` and the chain's
+//!    exit on `p`, platform switches inside the chain allowed) computed by
+//!    an `O(len · P²)` inner DP.
+//! 2. **Frontier lattice** — super-nodes are processed in topological
+//!    order; a search state maps the currently *open* super-nodes (those
+//!    with unpriced consumer edges) to their exit platforms. Two states
+//!    with the same open-node→platform map are interchangeable for every
+//!    possible completion, so keeping only the cheaper one is **lossless**
+//!    pruning: the reachable frontier is the set of non-dominated
+//!    assignments per boundary-platform combination.
+//! 3. **Channel-aware movement** — every cross-platform edge is priced by
+//!    [`MovementCostModel::cost`], which routes through the channel
+//!    conversion graph when platform channel specs are declared (see
+//!    [`MovementCostModel::channelized`]); the chosen conversion routes
+//!    are recorded on the resulting plan's
+//!    [`EnumerationInfo::conversions`].
+//! 4. **Budget** — every `(state, platform)` evaluation counts as one
+//!    expansion; exhausting [`EnumerationConfig::max_expansions`] (or the
+//!    optional wall-clock budget) abandons the lattice deterministically
+//!    and re-runs the greedy DP, recording
+//!    [`EnumerationPath::GreedyFallback`].
+//!
+//! The objective both this enumerator and the exhaustive oracle minimize
+//! is [`assignment_cost`]:
+//!
+//! ```text
+//! Σ_nodes [ opCost(n, pₙ) + (n is source ? startup(pₙ) : 0) ]
+//! + Σ_edges(u→v) [ move(pᵤ → pᵥ, |u|) + (pᵤ ≠ pᵥ ? startup(pᵥ) : 0) ]
+//! ```
+//!
+//! which prices each node once and each edge once — the greedy DP reports
+//! the same figure on trees and over-reports it on shared sub-DAGs (see
+//! `tests/optimizer_invariants.rs`).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::cost::{CardinalityEstimator, MovementCostModel};
+use crate::error::{Result, RheemError};
+use crate::observe::CostCalibration;
+use crate::plan::{
+    ChannelConversion, EnumerationInfo, EnumerationPath, ExecutionPlan, NodeEstimate, NodeId,
+    PhysicalPlan,
+};
+use crate::platform::{Platform, PlatformRegistry};
+
+use super::enumerate::{
+    enumerate, node_cost, split_into_atoms, supports_deep, EnumerationConfig, EnumerationStrategy,
+};
+use super::fuse::contract_chains;
+
+const INF: f64 = f64::INFINITY;
+
+/// Route an enumeration request to the strategy the config selects.
+///
+/// This is the single entry point the optimizer and the re-planner call:
+/// `Greedy` runs the classic DP unchanged (existing plans and golden
+/// explains stay byte-identical), `LatticeV2` runs [`enumerate_v2`] with
+/// its built-in greedy fallback on budget exhaustion.
+pub fn enumerate_with_config(
+    plan: Arc<PhysicalPlan>,
+    registry: &PlatformRegistry,
+    estimator: &CardinalityEstimator,
+    movement: &MovementCostModel,
+    config: &EnumerationConfig,
+    calibration: &CostCalibration,
+) -> Result<ExecutionPlan> {
+    match config.strategy {
+        EnumerationStrategy::Greedy => {
+            enumerate(plan, registry, estimator, movement, config, calibration)
+        }
+        EnumerationStrategy::LatticeV2 => {
+            enumerate_v2(plan, registry, estimator, movement, config, calibration)
+        }
+    }
+}
+
+/// The subplan-lattice enumerator. See the module docs for the algorithm;
+/// on budget exhaustion this degrades to the greedy DP deterministically
+/// (same output as [`enumerate`]) and marks the plan
+/// [`EnumerationPath::GreedyFallback`].
+pub fn enumerate_v2(
+    plan: Arc<PhysicalPlan>,
+    registry: &PlatformRegistry,
+    estimator: &CardinalityEstimator,
+    movement: &MovementCostModel,
+    config: &EnumerationConfig,
+    calibration: &CostCalibration,
+) -> Result<ExecutionPlan> {
+    let platforms = considered_platforms(registry, config)?;
+    let free_movement = MovementCostModel::free();
+    let priced_movement = if config.consider_movement_costs {
+        movement
+    } else {
+        &free_movement
+    };
+    let cards = estimator.estimate(&plan)?;
+
+    // Surface stranded operators as NoPlatformFor before searching: an
+    // exclusion set that leaves some operator unmappable must be a clean
+    // error, not a panic deep in the lattice.
+    for node in plan.nodes() {
+        if !platforms
+            .iter()
+            .any(|p| supports_deep(p.as_ref(), &node.op))
+        {
+            return Err(RheemError::NoPlatformFor {
+                op: node.op.name(),
+                node: node.id,
+            });
+        }
+    }
+
+    let mut expansions = 0usize;
+    match lattice_search(
+        &plan,
+        &platforms,
+        &cards,
+        estimator,
+        priced_movement,
+        config,
+        calibration,
+        &mut expansions,
+    )? {
+        Some(outcome) => finish_v2(
+            plan,
+            &platforms,
+            &cards,
+            outcome,
+            priced_movement,
+            estimator,
+            calibration,
+            expansions,
+        ),
+        None => {
+            // Budget exhausted: degrade to the greedy DP. `enumerate`
+            // re-applies the forced/excluded/movement knobs itself, so pass
+            // the original model through.
+            let mut exec = enumerate(plan, registry, estimator, movement, config, calibration)?;
+            exec.enumeration.path = EnumerationPath::GreedyFallback;
+            exec.enumeration.expansions = expansions;
+            Ok(exec)
+        }
+    }
+}
+
+/// The platform list the enumerator searches over, after the
+/// forced/excluded knobs — shared with the greedy DP's semantics (and
+/// error messages) so both strategies agree on configuration handling.
+fn considered_platforms(
+    registry: &PlatformRegistry,
+    config: &EnumerationConfig,
+) -> Result<Vec<Arc<dyn Platform>>> {
+    if registry.is_empty() {
+        return Err(RheemError::Optimizer("no platforms registered".into()));
+    }
+    let mut platforms: Vec<_> = match &config.forced_platform {
+        Some(name) => vec![registry.get(name)?],
+        None => registry.all().to_vec(),
+    };
+    platforms.retain(|p| !config.excluded_platforms.iter().any(|x| x == p.name()));
+    if platforms.is_empty() {
+        return Err(RheemError::Optimizer(
+            "every registered platform is excluded from enumeration".into(),
+        ));
+    }
+    Ok(platforms)
+}
+
+/// One contracted super-node of the search graph.
+struct SuperNode {
+    /// Member nodes in dataflow order (a single element unless contracted).
+    nodes: Vec<NodeId>,
+    /// Inputs of the head node (original node ids).
+    head_inputs: Vec<NodeId>,
+    /// Super-node index feeding each head input slot.
+    producers: Vec<usize>,
+    /// Chains (≤ 1 head input) carry the exact `T[q][p]` table;
+    /// multi-input heads are priced per slot in the frontier loop.
+    table: Option<ChainTable>,
+    /// `opCost[p]` of the head for multi-input supers (INF when
+    /// unsupported).
+    op_cost: Vec<f64>,
+    /// For multi-input heads dragging a linear tail (`nodes.len() > 1`):
+    /// the exact table over `nodes[1..]`, rows keyed by the *head*
+    /// platform. The head platform is minimized out inside each frontier
+    /// step (it only touches the producer edges and the tail entry, both
+    /// priced there), so the boundary key still needs only the exit
+    /// platform — pruning stays lossless.
+    tail: Option<ChainTable>,
+}
+
+/// `cost[q][p]`: cheapest full-chain cost with the upstream producer on
+/// platform `q` (index `P` = "no producer", source chains) and the tail on
+/// `p`. `back[q][j][p]` is the platform of node `j-1` on that cheapest
+/// path when node `j` runs on `p`.
+struct ChainTable {
+    cost: Vec<Vec<f64>>,
+    back: Vec<Vec<Vec<usize>>>,
+}
+
+/// What the lattice search hands to plan construction.
+struct LatticeOutcome {
+    supers: Vec<SuperNode>,
+    /// Platform index per original node.
+    assignment: Vec<usize>,
+    total_cost: f64,
+}
+
+/// Run the frontier DP. Returns `Ok(None)` when the expansion or
+/// wall-clock budget was exhausted (callers fall back to the greedy DP);
+/// errors are real failures that would also affect the fallback.
+#[allow(clippy::too_many_arguments)]
+fn lattice_search(
+    plan: &PhysicalPlan,
+    platforms: &[Arc<dyn Platform>],
+    cards: &[f64],
+    estimator: &CardinalityEstimator,
+    movement: &MovementCostModel,
+    config: &EnumerationConfig,
+    calibration: &CostCalibration,
+    expansions: &mut usize,
+) -> Result<Option<LatticeOutcome>> {
+    let started = Instant::now();
+    let n_plats = platforms.len();
+    let startup: Vec<f64> = platforms
+        .iter()
+        .map(|p| p.cost_model().atom_startup_cost())
+        .collect();
+    let names: Vec<&str> = platforms.iter().map(|p| p.name()).collect();
+
+    // Contract chains and build the super-node graph.
+    let chains = contract_chains(plan);
+    let mut super_of = vec![usize::MAX; plan.len()];
+    for (si, chain) in chains.iter().enumerate() {
+        for n in chain {
+            super_of[n.0] = si;
+        }
+    }
+    let mut supers: Vec<SuperNode> = Vec::with_capacity(chains.len());
+    for chain in &chains {
+        let head = plan.node(chain[0]);
+        let head_inputs = head.inputs.clone();
+        let producers: Vec<usize> = head_inputs.iter().map(|i| super_of[i.0]).collect();
+        let is_chain = head_inputs.len() <= 1;
+        let table = if is_chain {
+            Some(chain_table(
+                plan,
+                chain,
+                platforms,
+                cards,
+                estimator,
+                calibration,
+                &startup,
+                movement,
+            )?)
+        } else {
+            None
+        };
+        let (op_cost, tail) = if is_chain {
+            (Vec::new(), None)
+        } else {
+            let node = plan.node(chain[0]);
+            let ins: Vec<f64> = node.inputs.iter().map(|i| cards[i.0]).collect();
+            let out = cards[node.id.0];
+            let mut costs = vec![INF; n_plats];
+            for (pi, p) in platforms.iter().enumerate() {
+                if supports_deep(p.as_ref(), &node.op) {
+                    costs[pi] = node_cost(&node.op, &ins, out, p.as_ref(), estimator, calibration)?;
+                }
+            }
+            let tail = if chain.len() > 1 {
+                Some(chain_table(
+                    plan,
+                    &chain[1..],
+                    platforms,
+                    cards,
+                    estimator,
+                    calibration,
+                    &startup,
+                    movement,
+                )?)
+            } else {
+                None
+            };
+            (costs, tail)
+        };
+        supers.push(SuperNode {
+            nodes: chain.clone(),
+            head_inputs,
+            producers,
+            table,
+            op_cost,
+            tail,
+        });
+    }
+
+    // Unpriced consumer-edge count per super-node: a super-node closes
+    // (leaves the frontier key) once every outgoing edge has been priced.
+    let m = supers.len();
+    let mut remaining = vec![0usize; m];
+    for node in plan.nodes() {
+        for input in &node.inputs {
+            if super_of[input.0] != super_of[node.id.0] {
+                remaining[super_of[input.0]] += 1;
+            }
+        }
+    }
+
+    // Visit order. Any topological order of the contracted DAG is valid —
+    // producer edges are priced at the consumer's step, so producers just
+    // have to come first — but the order decides the frontier width: the
+    // key holds one platform per *open* super-node, so states multiply by
+    // `n_plats` per open node. Index order is pathological for bushy plans
+    // (every branch's chain opens before the first combiner closes any),
+    // so schedule greedily: among ready super-nodes take the one closing
+    // the most producers, tie-break fewest newly-opened, then smallest
+    // index — deterministic, and keeps wide union/join trees near-linear.
+    let order = schedule_supers(&supers, &remaining);
+
+    // Frontier: platforms of the open super-nodes (in `open` order) → the
+    // cheapest cost reaching that boundary, plus a backpointer into the
+    // arena for plan extraction. The open set evolves identically across
+    // states, so the key is just the platform vector. A BTreeMap keeps
+    // iteration — and therefore equal-cost tie-breaking — deterministic.
+    let mut open: Vec<usize> = Vec::new();
+    let mut frontier: BTreeMap<Vec<u8>, (f64, u32)> = BTreeMap::new();
+    frontier.insert(Vec::new(), (0.0, u32::MAX));
+    let mut arena: Vec<(u32, u8)> = Vec::new();
+
+    for &si in &order {
+        let s = &supers[si];
+        let producer_pos: Vec<usize> = s
+            .producers
+            .iter()
+            .map(|prod| {
+                open.iter()
+                    .position(|&o| o == *prod)
+                    .expect("producer super-node is open until its edges are priced")
+            })
+            .collect();
+
+        // The open set after this step: drop producers whose last consumer
+        // edge we just priced, append `si` when it has outgoing edges.
+        for prod in &s.producers {
+            remaining[*prod] -= 1;
+        }
+        let mut next_open = Vec::with_capacity(open.len() + 1);
+        let mut keep_pos = Vec::with_capacity(open.len());
+        for (pos, &o) in open.iter().enumerate() {
+            if remaining[o] > 0 {
+                keep_pos.push(pos);
+                next_open.push(o);
+            }
+        }
+        let self_open = remaining[si] > 0;
+        if self_open {
+            next_open.push(si);
+        }
+
+        let mut next: BTreeMap<Vec<u8>, (f64, u32)> = BTreeMap::new();
+        for (key, &(cost, bp)) in &frontier {
+            for p in 0..n_plats {
+                *expansions += 1;
+                if *expansions > config.max_expansions {
+                    return Ok(None);
+                }
+                if let Some(limit) = config.max_enumeration_ms {
+                    if (*expansions).is_multiple_of(256)
+                        && started.elapsed().as_millis() as u64 > limit
+                    {
+                        return Ok(None);
+                    }
+                }
+                let added = match &s.table {
+                    Some(t) => {
+                        let q = match producer_pos.first() {
+                            Some(&pos) => key[pos] as usize,
+                            None => n_plats, // source chain
+                        };
+                        t.cost[q][p]
+                    }
+                    None => {
+                        let plats: Vec<usize> =
+                            producer_pos.iter().map(|&pos| key[pos] as usize).collect();
+                        multi_head_cost(s, &plats, p, &names, cards, &startup, movement).0
+                    }
+                };
+                if !added.is_finite() {
+                    continue;
+                }
+                let total = cost + added;
+                let mut new_key = Vec::with_capacity(next_open.len());
+                for &pos in &keep_pos {
+                    new_key.push(key[pos]);
+                }
+                if self_open {
+                    new_key.push(p as u8);
+                }
+                // Lossless pruning: identical boundary keys are
+                // interchangeable for every completion, keep only the
+                // cheapest (first wins on exact ties — deterministic
+                // because states are visited in key order).
+                let improves = match next.get(&new_key) {
+                    Some(&(existing, _)) => total < existing,
+                    None => true,
+                };
+                if improves {
+                    arena.push((bp, p as u8));
+                    next.insert(new_key, (total, (arena.len() - 1) as u32));
+                }
+            }
+        }
+        if next.is_empty() {
+            return Err(RheemError::Optimizer(
+                "lattice enumeration found no feasible assignment".into(),
+            ));
+        }
+        frontier = next;
+        open = next_open;
+    }
+
+    debug_assert!(open.is_empty(), "all super-nodes close at the end");
+    let (total_cost, mut bp) = *frontier
+        .values()
+        .next()
+        .expect("frontier is non-empty after every step");
+
+    // Walk the backpointer arena: one entry per processed super-node,
+    // newest last — i.e. in reverse *visit* order.
+    let mut super_platform = vec![0usize; m];
+    for &si in order.iter().rev() {
+        let (prev, p) = arena[bp as usize];
+        super_platform[si] = p as usize;
+        bp = prev;
+    }
+
+    // Expand chains to per-node platforms through the chain back tables.
+    let mut assignment = vec![0usize; plan.len()];
+    for (si, s) in supers.iter().enumerate() {
+        let exit = super_platform[si];
+        match &s.table {
+            Some(t) => {
+                let q = match s.producers.first() {
+                    Some(&prod) => super_platform[prod],
+                    None => n_plats,
+                };
+                let k = s.nodes.len();
+                let mut cur = exit;
+                assignment[s.nodes[k - 1].0] = cur;
+                for j in (1..k).rev() {
+                    cur = t.back[q][j][cur];
+                    assignment[s.nodes[j - 1].0] = cur;
+                }
+            }
+            None => {
+                // Recompute the head-platform argmin with the producers'
+                // chosen platforms — same iteration order and strict `<`
+                // as the search, so the reconstruction is exact.
+                let plats: Vec<usize> = s.producers.iter().map(|&pr| super_platform[pr]).collect();
+                let (_, h) = multi_head_cost(s, &plats, exit, &names, cards, &startup, movement);
+                assignment[s.nodes[0].0] = h;
+                if let Some(t) = &s.tail {
+                    let kt = s.nodes.len() - 1;
+                    let mut cur = exit;
+                    assignment[s.nodes[kt].0] = cur;
+                    for j in (1..kt).rev() {
+                        cur = t.back[h][j][cur];
+                        assignment[s.nodes[j].0] = cur;
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(Some(LatticeOutcome {
+        supers,
+        assignment,
+        total_cost,
+    }))
+}
+
+/// Pick a topological visit order over the contracted DAG that keeps the
+/// set of simultaneously-open super-nodes small (see the call site for
+/// why width matters). Greedy: among ready nodes, maximize producers
+/// closed by this step, then minimize whether the node itself opens,
+/// then smallest index. `remaining` is the initial unpriced consumer-edge
+/// count per super-node (not mutated — a local copy is simulated).
+fn schedule_supers(supers: &[SuperNode], remaining: &[usize]) -> Vec<usize> {
+    let m = supers.len();
+    let mut remaining = remaining.to_vec();
+    // Unprocessed-producer count per super (slots, duplicates included).
+    let mut deps: Vec<usize> = supers.iter().map(|s| s.producers.len()).collect();
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for (si, s) in supers.iter().enumerate() {
+        for &prod in &s.producers {
+            consumers[prod].push(si);
+        }
+    }
+    let mut done = vec![false; m];
+    let mut order = Vec::with_capacity(m);
+    for _ in 0..m {
+        let mut best: Option<(i64, usize)> = None;
+        for si in 0..m {
+            if done[si] || deps[si] > 0 {
+                continue;
+            }
+            let closes = {
+                // A producer closes here iff all its still-unpriced edges
+                // point at this very step.
+                let s = &supers[si];
+                let mut c = 0i64;
+                for (slot, &prod) in s.producers.iter().enumerate() {
+                    let dups = s.producers.iter().filter(|&&x| x == prod).count();
+                    let first = s.producers.iter().position(|&x| x == prod) == Some(slot);
+                    if first && remaining[prod] == dups {
+                        c += 1;
+                    }
+                }
+                c
+            };
+            let opens = (remaining[si] > 0) as i64;
+            let score = closes - opens;
+            if best.is_none_or(|(bs, _)| score > bs) {
+                best = Some((score, si));
+            }
+        }
+        let (_, si) = best.expect("contracted DAG is acyclic, a ready node exists");
+        done[si] = true;
+        order.push(si);
+        for &prod in &supers[si].producers {
+            remaining[prod] -= 1;
+        }
+        for &c in &consumers[si] {
+            deps[c] -= 1;
+        }
+    }
+    order
+}
+
+/// Price a multi-input super-node exiting on platform `p`, given its
+/// producers' platforms: minimize over the head platform `h` the head's
+/// operator cost, the producer edges into `h`, and (when the super-node
+/// drags a linear tail) the tail table entry `tail[h][p]`. Without a tail
+/// the head *is* the exit, so `h` must equal `p`. Returns `(cost, h)`;
+/// cost is `INF` when no feasible head platform exists. First-wins on
+/// exact ties keeps search and reconstruction in lockstep.
+fn multi_head_cost(
+    s: &SuperNode,
+    producer_plats: &[usize],
+    p: usize,
+    names: &[&str],
+    cards: &[f64],
+    startup: &[f64],
+    movement: &MovementCostModel,
+) -> (f64, usize) {
+    let mut best = INF;
+    let mut best_h = p;
+    for (h, &head_cost) in s.op_cost.iter().enumerate() {
+        if !head_cost.is_finite() {
+            continue;
+        }
+        let mut c = head_cost;
+        for (slot, &q) in producer_plats.iter().enumerate() {
+            c += movement.cost(names[q], names[h], cards[s.head_inputs[slot].0]);
+            if q != h {
+                c += startup[h];
+            }
+        }
+        match &s.tail {
+            Some(t) => c += t.cost[h][p],
+            None if h != p => continue,
+            None => {}
+        }
+        if c < best {
+            best = c;
+            best_h = h;
+        }
+    }
+    (best, best_h)
+}
+
+/// Exact DP over one contracted chain: `cost[q][p]` = cheapest way to run
+/// the whole chain when the upstream producer sits on `q` (row `P` means
+/// "no producer" — source chains pay startup instead of an entry edge) and
+/// the chain exits on `p`. Platform switches inside the chain pay movement
+/// plus the consumer-side startup, exactly like boundary edges.
+#[allow(clippy::too_many_arguments)]
+fn chain_table(
+    plan: &PhysicalPlan,
+    chain: &[NodeId],
+    platforms: &[Arc<dyn Platform>],
+    cards: &[f64],
+    estimator: &CardinalityEstimator,
+    calibration: &CostCalibration,
+    startup: &[f64],
+    movement: &MovementCostModel,
+) -> Result<ChainTable> {
+    let n_plats = platforms.len();
+    let names: Vec<&str> = platforms.iter().map(|p| p.name()).collect();
+    let k = chain.len();
+
+    // Per-node operator costs (INF when the platform lacks support).
+    let mut op_costs = vec![vec![INF; n_plats]; k];
+    for (j, nid) in chain.iter().enumerate() {
+        let node = plan.node(*nid);
+        let ins: Vec<f64> = node.inputs.iter().map(|i| cards[i.0]).collect();
+        let out = cards[node.id.0];
+        for (pi, p) in platforms.iter().enumerate() {
+            if supports_deep(p.as_ref(), &node.op) {
+                op_costs[j][pi] =
+                    node_cost(&node.op, &ins, out, p.as_ref(), estimator, calibration)?;
+            }
+        }
+    }
+
+    let head = plan.node(chain[0]);
+    let entry_card = head.inputs.first().map(|i| cards[i.0]);
+    let mut cost = vec![vec![INF; n_plats]; n_plats + 1];
+    let mut back = vec![vec![vec![0usize; n_plats]; k]; n_plats + 1];
+    for q in 0..=n_plats {
+        // Row P without a source head (or a producer row for a source
+        // head) is never queried; skip the waste.
+        match entry_card {
+            Some(_) if q == n_plats => continue,
+            None if q < n_plats => continue,
+            _ => {}
+        }
+        let mut dp = vec![INF; n_plats];
+        for (r, slot) in dp.iter_mut().enumerate() {
+            if !op_costs[0][r].is_finite() {
+                continue;
+            }
+            let mut c = op_costs[0][r];
+            match entry_card {
+                Some(card_in) => {
+                    c += movement.cost(names[q], names[r], card_in);
+                    if q != r {
+                        c += startup[r];
+                    }
+                }
+                None => c += startup[r], // a source opens an atom
+            }
+            *slot = c;
+        }
+        for j in 1..k {
+            let card_prev = cards[chain[j - 1].0];
+            let mut nxt = vec![INF; n_plats];
+            for (r, slot) in nxt.iter_mut().enumerate() {
+                if !op_costs[j][r].is_finite() {
+                    continue;
+                }
+                let mut best = INF;
+                let mut best_t = 0;
+                for (t, &prev) in dp.iter().enumerate() {
+                    if !prev.is_finite() {
+                        continue;
+                    }
+                    let mut edge = movement.cost(names[t], names[r], card_prev);
+                    if t != r {
+                        edge += startup[r];
+                    }
+                    if prev + edge < best {
+                        best = prev + edge;
+                        best_t = t;
+                    }
+                }
+                if best.is_finite() {
+                    *slot = op_costs[j][r] + best;
+                    back[q][j][r] = best_t;
+                }
+            }
+            dp = nxt;
+        }
+        cost[q] = dp;
+    }
+    Ok(ChainTable { cost, back })
+}
+
+/// Turn a lattice outcome into an [`ExecutionPlan`]: string assignments,
+/// per-node estimates, task atoms with channel-annotated boundaries, and
+/// the [`EnumerationInfo`] record (contraction groups + conversion routes).
+#[allow(clippy::too_many_arguments)]
+fn finish_v2(
+    plan: Arc<PhysicalPlan>,
+    platforms: &[Arc<dyn Platform>],
+    cards: &[f64],
+    outcome: LatticeOutcome,
+    movement: &MovementCostModel,
+    estimator: &CardinalityEstimator,
+    calibration: &CostCalibration,
+    expansions: usize,
+) -> Result<ExecutionPlan> {
+    let assignments: Vec<String> = outcome
+        .assignment
+        .iter()
+        .map(|&pi| platforms[pi].name().to_string())
+        .collect();
+
+    let mut estimates = Vec::with_capacity(plan.len());
+    for node in plan.nodes() {
+        let p = &platforms[outcome.assignment[node.id.0]];
+        let ins: Vec<f64> = node.inputs.iter().map(|i| cards[i.0]).collect();
+        let cost_ms = node_cost(
+            &node.op,
+            &ins,
+            cards[node.id.0],
+            p.as_ref(),
+            estimator,
+            calibration,
+        )?;
+        estimates.push(NodeEstimate {
+            cost_ms,
+            card: cards[node.id.0],
+        });
+    }
+
+    // Record every cross-platform edge's conversion route.
+    let mut conversions = Vec::new();
+    for node in plan.nodes() {
+        for (slot, input) in node.inputs.iter().enumerate() {
+            let from = &assignments[input.0];
+            let to = &assignments[node.id.0];
+            if from != to {
+                let route = movement.route(from, to, cards[input.0]);
+                conversions.push(ChannelConversion {
+                    producer: *input,
+                    consumer: node.id,
+                    slot,
+                    from: from.clone(),
+                    to: to.clone(),
+                    path: route.path.clone(),
+                    cost_ms: route.total_ms(),
+                });
+            }
+        }
+    }
+
+    let mut atoms = split_into_atoms(&plan, &assignments);
+    for atom in &mut atoms {
+        for input in &mut atom.inputs {
+            if let Some(conv) = conversions.iter().find(|c| {
+                c.producer == input.producer && c.consumer == input.consumer && c.slot == input.slot
+            }) {
+                input.channel = conv.path.last().copied().unwrap_or_default();
+            }
+        }
+    }
+
+    let groups: Vec<Vec<NodeId>> = outcome
+        .supers
+        .iter()
+        .filter(|s| s.nodes.len() > 1)
+        .map(|s| s.nodes.clone())
+        .collect();
+
+    Ok(ExecutionPlan {
+        physical: plan,
+        assignments,
+        atoms,
+        estimated_cost: outcome.total_cost,
+        estimates,
+        enumeration: EnumerationInfo {
+            path: EnumerationPath::LatticeV2,
+            expansions,
+            groups,
+            conversions,
+        },
+    })
+}
+
+/// The canonical objective every exact enumerator minimizes: each node
+/// priced once on its assigned platform (sources pay startup), each edge
+/// priced once (movement plus the consumer-side startup on a platform
+/// switch). The greedy DP's reported total equals this on trees and
+/// exceeds it on shared sub-DAGs.
+pub fn assignment_cost(
+    plan: &PhysicalPlan,
+    assignments: &[String],
+    registry: &PlatformRegistry,
+    estimator: &CardinalityEstimator,
+    movement: &MovementCostModel,
+    calibration: &CostCalibration,
+) -> Result<f64> {
+    if assignments.len() != plan.len() {
+        return Err(RheemError::Optimizer(format!(
+            "assignment vector has {} entries for a {}-node plan",
+            assignments.len(),
+            plan.len()
+        )));
+    }
+    let cards = estimator.estimate(plan)?;
+    let mut total = 0.0;
+    for node in plan.nodes() {
+        let p = registry.get(&assignments[node.id.0])?;
+        let ins: Vec<f64> = node.inputs.iter().map(|i| cards[i.0]).collect();
+        total += node_cost(
+            &node.op,
+            &ins,
+            cards[node.id.0],
+            p.as_ref(),
+            estimator,
+            calibration,
+        )?;
+        if node.inputs.is_empty() {
+            total += p.cost_model().atom_startup_cost();
+        }
+        for input in &node.inputs {
+            let q = &assignments[input.0];
+            total += movement.cost(q, p.name(), cards[input.0]);
+            if q != p.name() {
+                total += p.cost_model().atom_startup_cost();
+            }
+        }
+    }
+    Ok(total)
+}
+
+/// Exhaustive reference enumerator: tries **every** feasible platform
+/// assignment and returns the cheapest one under [`assignment_cost`]
+/// (lexicographically-first on ties — deterministic). Exponential by
+/// construction, so plans are capped at 12 nodes; this is the oracle the
+/// v2 proptests and the `ablation_enumeration` sweep compare against.
+pub fn enumerate_exhaustive(
+    plan: &PhysicalPlan,
+    registry: &PlatformRegistry,
+    estimator: &CardinalityEstimator,
+    movement: &MovementCostModel,
+    config: &EnumerationConfig,
+    calibration: &CostCalibration,
+) -> Result<(Vec<String>, f64)> {
+    let n = plan.len();
+    if n > 12 {
+        return Err(RheemError::Optimizer(format!(
+            "exhaustive oracle is capped at 12 nodes (got {n})"
+        )));
+    }
+    let platforms = considered_platforms(registry, config)?;
+    let free_movement = MovementCostModel::free();
+    let movement = if config.consider_movement_costs {
+        movement
+    } else {
+        &free_movement
+    };
+    let n_plats = platforms.len();
+    let cards = estimator.estimate(plan)?;
+    let startup: Vec<f64> = platforms
+        .iter()
+        .map(|p| p.cost_model().atom_startup_cost())
+        .collect();
+    let names: Vec<&str> = platforms.iter().map(|p| p.name()).collect();
+
+    // Per-node supported platform lists (and their operator costs).
+    let mut supported: Vec<Vec<usize>> = Vec::with_capacity(n);
+    let mut op_costs = vec![vec![INF; n_plats]; n];
+    for node in plan.nodes() {
+        let ins: Vec<f64> = node.inputs.iter().map(|i| cards[i.0]).collect();
+        let mut s = Vec::new();
+        for (pi, p) in platforms.iter().enumerate() {
+            if supports_deep(p.as_ref(), &node.op) {
+                op_costs[node.id.0][pi] = node_cost(
+                    &node.op,
+                    &ins,
+                    cards[node.id.0],
+                    p.as_ref(),
+                    estimator,
+                    calibration,
+                )?;
+                s.push(pi);
+            }
+        }
+        if s.is_empty() {
+            return Err(RheemError::NoPlatformFor {
+                op: node.op.name(),
+                node: node.id,
+            });
+        }
+        supported.push(s);
+    }
+
+    // Odometer over per-node supported lists, node 0 most significant, so
+    // the first assignment visited (and kept on ties) is lexicographically
+    // smallest in platform-index order.
+    let mut idx = vec![0usize; n];
+    let mut best_cost = INF;
+    let mut best: Vec<usize> = Vec::new();
+    loop {
+        let mut total = 0.0;
+        for node in plan.nodes() {
+            let pi = supported[node.id.0][idx[node.id.0]];
+            total += op_costs[node.id.0][pi];
+            if node.inputs.is_empty() {
+                total += startup[pi];
+            }
+            for input in &node.inputs {
+                let qi = supported[input.0][idx[input.0]];
+                total += movement.cost(names[qi], names[pi], cards[input.0]);
+                if qi != pi {
+                    total += startup[pi];
+                }
+            }
+        }
+        if total < best_cost {
+            best_cost = total;
+            best = (0..n).map(|i| supported[i][idx[i]]).collect();
+        }
+        // Advance the odometer (least significant digit = last node).
+        let mut d = n;
+        loop {
+            if d == 0 {
+                let assignments = best
+                    .iter()
+                    .map(|&pi| names[pi].to_string())
+                    .collect::<Vec<_>>();
+                return Ok((assignments, best_cost));
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < supported[d].len() {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+}

@@ -30,9 +30,45 @@ use std::sync::Arc;
 
 use crate::error::Result;
 use crate::physical::{PhysicalOp, PipelineStage, StageKind};
-use crate::plan::PhysicalPlan;
+use crate::plan::{NodeId, PhysicalPlan};
 
 use super::rewrites::{consumer_counts, rebuild};
+
+/// Partition the plan into maximal linear chains, the graph contraction
+/// the lattice enumerator (`optimizer::enumerate_v2`) searches over.
+///
+/// Every node lands in exactly one chain (a singleton when it cannot
+/// extend); a node joins its producer's chain iff it has exactly one input
+/// and that producer has exactly one consumer — the same "transparent
+/// straight line" shape pipeline fusion exploits, but independent of
+/// whether the UDFs are expression-bearing: chain contraction only groups
+/// nodes for *enumeration*, it never changes the plan.
+///
+/// Chains are returned with nodes in dataflow order, sorted by head node
+/// id — a valid topological order of the contracted DAG (a chain's head
+/// always has a larger id than every node of any chain it depends on).
+pub fn contract_chains(plan: &PhysicalPlan) -> Vec<Vec<NodeId>> {
+    let counts = consumer_counts(plan);
+    let mut chain_of: Vec<usize> = vec![usize::MAX; plan.len()];
+    let mut chains: Vec<Vec<NodeId>> = Vec::new();
+    for node in plan.nodes() {
+        let extend = match node.inputs.as_slice() {
+            [only] if counts[only.0] == 1 => Some(chain_of[only.0]),
+            _ => None,
+        };
+        let c = match extend {
+            Some(c) => c,
+            None => {
+                chains.push(Vec::new());
+                chains.len() - 1
+            }
+        };
+        chains[c].push(node.id);
+        chain_of[node.id.0] = c;
+    }
+    chains.sort_by_key(|c| c[0]);
+    chains
+}
 
 /// Stages `op` contributes to a chunk pipeline, or `None` when `op` cannot
 /// be fused (opaque UDF or non-pipeline operator).

@@ -15,6 +15,7 @@
 
 pub mod application;
 pub mod enumerate;
+pub mod enumerate_v2;
 pub mod fuse;
 pub mod replan;
 pub mod rewrites;
@@ -29,7 +30,10 @@ use crate::observe::{CostCalibration, MetricsRegistry};
 use crate::plan::{ExecutionPlan, PhysicalPlan};
 use crate::platform::PlatformRegistry;
 
-pub use enumerate::EnumerationConfig;
+pub use enumerate::{EnumerationConfig, EnumerationStrategy};
+pub use enumerate_v2::{
+    assignment_cost, enumerate_exhaustive, enumerate_v2, enumerate_with_config,
+};
 pub use replan::{ReplanPolicy, Replanner};
 
 /// The multi-platform task optimizer (core layer, §4.2).
@@ -94,6 +98,14 @@ impl MultiPlatformOptimizer {
         self
     }
 
+    /// Opt into the subplan-lattice enumerator (`enumerate_v2`): chain
+    /// contraction, channel-aware movement pricing, lossless frontier
+    /// pruning, and a budget that degrades to the greedy DP.
+    pub fn with_enumeration_v2(mut self) -> Self {
+        self.config.enumeration.strategy = enumerate::EnumerationStrategy::LatticeV2;
+        self
+    }
+
     /// Optimize a physical plan into an execution plan.
     pub fn optimize(
         &self,
@@ -106,11 +118,15 @@ impl MultiPlatformOptimizer {
         } else {
             plan
         };
-        let result = enumerate::enumerate(
+        // Declare every registered platform's channel specs on the movement
+        // model so cross-platform edges are priced through the conversion
+        // graph (a model with no declared channels keeps legacy flat pricing).
+        let movement = self.movement.channelized(platforms);
+        let result = enumerate_v2::enumerate_with_config(
             Arc::new(plan),
             platforms,
             &self.estimator,
-            &self.movement,
+            &movement,
             &self.config.enumeration,
             &self.calibration,
         );

@@ -39,7 +39,8 @@ use crate::physical::PhysicalOp;
 use crate::plan::{AtomInput, ExecutionPlan, NodeId, PhysicalNode, PhysicalPlan, TaskAtom};
 use crate::platform::PlatformRegistry;
 
-use super::enumerate::{enumerate, EnumerationConfig};
+use super::enumerate::EnumerationConfig;
+use super::enumerate_v2::enumerate_with_config;
 
 /// When and how often the executor may re-optimize a running job.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -223,11 +224,15 @@ impl Replanner {
         }
         let temp = PhysicalPlan::from_nodes(temp_nodes);
         temp.validate()?;
-        let suffix = enumerate(
+        // Same strategy dispatch (and channel-aware movement pricing) as
+        // the original optimization pass, so a re-plan explores the suffix
+        // exactly the way the first enumeration explored the whole plan.
+        let movement = self.movement.channelized(registry);
+        let suffix = enumerate_with_config(
             Arc::new(temp),
             registry,
             &self.estimator,
-            &self.movement,
+            &movement,
             &self.enumeration,
             &self.calibration,
         )?;
@@ -270,6 +275,7 @@ impl Replanner {
                     consumer: back[&i.consumer],
                     slot: i.slot,
                     producer: back[&i.producer],
+                    channel: i.channel,
                 })
                 .collect();
             // Pseudo-sources merged *into* this atom vanish in the
@@ -285,6 +291,7 @@ impl Replanner {
                             consumer: back[&t],
                             slot,
                             producer: back[tin],
+                            channel: Default::default(),
                         });
                     }
                 }
@@ -322,6 +329,7 @@ impl Replanner {
             atoms,
             estimated_cost: suffix.estimated_cost,
             estimates,
+            enumeration: suffix.enumeration.clone(),
         })
     }
 }

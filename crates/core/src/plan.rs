@@ -11,6 +11,7 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
+use crate::cost::ChannelKind;
 use crate::data::Dataset;
 use crate::error::{Result, RheemError};
 use crate::physical::{CustomPhysicalOp, PhysicalOp};
@@ -459,6 +460,10 @@ pub struct AtomInput {
     pub slot: usize,
     /// The producing node (inside another atom).
     pub producer: NodeId,
+    /// The channel kind the consumer reads this input from (the last hop
+    /// of the chosen conversion route). [`ChannelKind::Memory`] for plans
+    /// enumerated without channel information.
+    pub channel: ChannelKind,
 }
 
 /// A maximal same-platform fragment of the plan — the paper's *task atom*.
@@ -488,6 +493,75 @@ pub struct NodeEstimate {
     pub card: f64,
 }
 
+/// Which enumeration algorithm produced an [`ExecutionPlan`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EnumerationPath {
+    /// The greedy DP enumerator (the historical default, and what
+    /// hand-built plans report).
+    #[default]
+    Greedy,
+    /// The v2 subplan-lattice enumerator with lossless pruning.
+    LatticeV2,
+    /// The v2 enumerator exhausted its budget and degraded gracefully to
+    /// the greedy DP.
+    GreedyFallback,
+}
+
+impl EnumerationPath {
+    /// Stable display name (used in stats, traces, and explains).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EnumerationPath::Greedy => "greedy-dp",
+            EnumerationPath::LatticeV2 => "lattice-v2",
+            EnumerationPath::GreedyFallback => "greedy-fallback",
+        }
+    }
+}
+
+impl fmt::Display for EnumerationPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A chosen channel conversion route for one cross-platform boundary edge
+/// (recorded by the v2 enumerator for explain rendering and runner-side
+/// channel accounting).
+#[derive(Clone, Debug)]
+pub struct ChannelConversion {
+    /// The producing node.
+    pub producer: NodeId,
+    /// The consuming node.
+    pub consumer: NodeId,
+    /// The consumer's input slot.
+    pub slot: usize,
+    /// Producer-side platform.
+    pub from: String,
+    /// Consumer-side platform.
+    pub to: String,
+    /// Channel kinds the data passes through, producer side first; empty
+    /// when the movement model had no channel declarations.
+    pub path: Vec<ChannelKind>,
+    /// Priced movement for this edge (transport + conversions).
+    pub cost_ms: f64,
+}
+
+/// How an [`ExecutionPlan`] was enumerated: which algorithm ran, how much
+/// search it did, and what structure it exploited. Defaults describe the
+/// greedy DP (no contraction, no recorded conversions).
+#[derive(Clone, Debug, Default)]
+pub struct EnumerationInfo {
+    /// The algorithm that produced the plan.
+    pub path: EnumerationPath,
+    /// Lattice state expansions performed (0 for the greedy DP).
+    pub expansions: usize,
+    /// Maximal linear chains contracted into super-nodes before the
+    /// search (only chains of ≥ 2 nodes are recorded).
+    pub groups: Vec<Vec<NodeId>>,
+    /// Channel conversion routes chosen for cross-platform edges.
+    pub conversions: Vec<ChannelConversion>,
+}
+
 /// The optimizer's final product: a platform-annotated, atom-partitioned plan.
 #[derive(Clone, Debug)]
 pub struct ExecutionPlan {
@@ -504,6 +578,9 @@ pub struct ExecutionPlan {
     /// always fill this; hand-built plans may leave it empty, in which
     /// case observed-vs-estimated reporting and calibration are skipped.
     pub estimates: Vec<NodeEstimate>,
+    /// How the plan was enumerated (algorithm, search effort, contracted
+    /// chains, chosen channel conversions).
+    pub enumeration: EnumerationInfo,
 }
 
 impl ExecutionPlan {
@@ -671,6 +748,47 @@ impl ExecutionPlan {
             self.platform_switches(),
             self.estimated_cost
         ));
+        s
+    }
+
+    /// The enumerator's companion of [`ExecutionPlan::explain`]: the same
+    /// node/platform/atom listing followed by how the plan was found —
+    /// which enumeration path ran, how many lattice states it expanded,
+    /// the linear chains it contracted into super-nodes, and the channel
+    /// conversion route chosen for every cross-platform edge.
+    pub fn explain_enumeration(&self) -> String {
+        let mut s = self.explain();
+        let info = &self.enumeration;
+        s.push_str(&format!(
+            "enumeration: {} (expansions: {}, contracted groups: {})\n",
+            info.path,
+            info.expansions,
+            info.groups.len()
+        ));
+        for (i, group) in info.groups.iter().enumerate() {
+            let nodes: Vec<String> = group.iter().map(|n| n.to_string()).collect();
+            s.push_str(&format!(
+                "group {} ({} nodes): {}\n",
+                i,
+                group.len(),
+                nodes.join(" ")
+            ));
+        }
+        for c in &info.conversions {
+            let path = if c.path.is_empty() {
+                "flat".to_string()
+            } else {
+                c.path
+                    .iter()
+                    .map(|k| k.as_str())
+                    .collect::<Vec<_>>()
+                    .join("->")
+            };
+            s.push_str(&format!(
+                "channel {} -> {}: {} -> {} via [{}] ({:.3} ms)\n",
+                c.producer, c.consumer, c.from, c.to, path, c.cost_ms
+            ));
+        }
         s
     }
 
@@ -893,12 +1011,14 @@ mod tests {
                         consumer: NodeId(2),
                         slot: 0,
                         producer: NodeId(1),
+                        channel: ChannelKind::Memory,
                     }],
                     outputs: vec![NodeId(2)],
                 },
             ],
             estimated_cost: 0.0,
             estimates: vec![],
+            enumeration: EnumerationInfo::default(),
         }
     }
 

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::cost::PlatformCostModel;
+use crate::cost::{ChannelKind, ChannelSpec, PlatformCostModel};
 use crate::data::Dataset;
 use crate::error::{Result, RheemError};
 use crate::kernels::parallel::KernelParallelism;
@@ -31,6 +31,31 @@ pub enum ProcessingProfile {
     DiskBatch,
     /// Declarative relational execution over managed tables (DBMS-like).
     Relational,
+}
+
+impl ProcessingProfile {
+    /// The data channels a platform of this profile typically speaks —
+    /// the default for [`Platform::channels`]. Single-process engines
+    /// hand over in-memory collections; Spark-like engines can also
+    /// stream between running stages; Hadoop-like engines materialize
+    /// every boundary on disk; relational stores can bulk-load files or
+    /// exchange result sets in memory.
+    pub fn default_channels(&self) -> ChannelSpec {
+        match self {
+            ProcessingProfile::SingleProcess => ChannelSpec::memory_only(),
+            ProcessingProfile::ParallelBatch => ChannelSpec::new(
+                vec![ChannelKind::Memory, ChannelKind::Stream],
+                vec![ChannelKind::Memory, ChannelKind::Stream],
+            ),
+            ProcessingProfile::DiskBatch => {
+                ChannelSpec::new(vec![ChannelKind::File], vec![ChannelKind::File])
+            }
+            ProcessingProfile::Relational => ChannelSpec::new(
+                vec![ChannelKind::Memory, ChannelKind::File],
+                vec![ChannelKind::Memory, ChannelKind::File],
+            ),
+        }
+    }
 }
 
 /// Boundary inputs of an atom: dataset per `(consumer node, input slot)`.
@@ -93,6 +118,16 @@ pub trait Platform: Send + Sync {
     /// otherwise.
     fn kernel_parallelism(&self) -> usize {
         1
+    }
+
+    /// The data channels this platform produces and consumes at atom
+    /// boundaries. Defaults follow the platform's
+    /// [`ProcessingProfile`]; platforms with richer connectivity may
+    /// override. The optimizer's [`crate::cost::MovementCostModel`]
+    /// prices cross-platform edges through the channel conversion graph
+    /// these specs span.
+    fn channels(&self) -> ChannelSpec {
+        self.profile().default_channels()
     }
 }
 

@@ -11,6 +11,8 @@
 
 use std::time::Duration;
 
+use rheem_core::cost::ChannelKind;
+
 /// Fixed-cost knobs of a simulated platform.
 #[derive(Clone, Copy, Debug)]
 pub struct OverheadConfig {
@@ -60,6 +62,23 @@ impl OverheadConfig {
     /// Pay one stage overhead; returns the charged milliseconds.
     pub fn pay_stage(&self) -> f64 {
         self.pay(self.stage_overhead)
+    }
+
+    /// Simulated cost of ingesting a boundary dataset that arrives on a
+    /// given channel (the last hop of the conversion route the optimizer
+    /// chose, see [`rheem_core::plan::AtomInput::channel`]). Memory is
+    /// free — which keeps plans enumerated without channel information
+    /// (the greedy DP defaults every boundary to `Memory`) priced exactly
+    /// as before. File pays a deserialize, Stream a drain; the constants
+    /// mirror the default [`rheem_core::cost::ChannelConversionGraph`]
+    /// prices so the executor's accounting matches what the optimizer
+    /// assumed. Never slept — ingest is accounting, not wall time.
+    pub fn channel_ingest_ms(&self, channel: ChannelKind, records: usize) -> f64 {
+        match channel {
+            ChannelKind::Memory => 0.0,
+            ChannelKind::File => 0.5 + 0.002 * records as f64,
+            ChannelKind::Stream => 0.2 + 0.001 * records as f64,
+        }
     }
 
     fn pay(&self, d: Duration) -> f64 {

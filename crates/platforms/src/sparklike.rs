@@ -140,6 +140,16 @@ impl Platform for SparkLikePlatform {
             records_processed: 0,
             observations: Vec::new(),
         };
+        // Channel-aware boundary ingest: datasets arriving on a non-memory
+        // channel (the optimizer's chosen conversion route) pay a simulated
+        // materialization cost before any task reads them.
+        for bi in &atom.inputs {
+            if let Some(d) = inputs.get(&(bi.consumer, bi.slot)) {
+                let ms = self.overheads.channel_ingest_ms(bi.channel, d.len());
+                run.overhead_ms += ms;
+                run.elapsed_ms += ms;
+            }
+        }
         let mut outputs_parts =
             run.run_nodes(plan, &atom.nodes, Some(inputs), None, &atom.outputs)?;
         let mut outputs = HashMap::new();

@@ -105,6 +105,7 @@ fn golden_explain_observed() {
         retries: 0,
         replans: 0,
         failovers: 0,
+        enumeration_path: Default::default(),
     };
     assert_golden("explain_observed.txt", &exec.explain_observed(&stats));
 }
@@ -123,9 +124,87 @@ fn explain_observed_without_estimates_says_so() {
         atoms,
         estimated_cost: 0.0,
         estimates: vec![],
+        enumeration: Default::default(),
     };
     let ctx = test_context();
     let result = ctx.execute_plan(&exec).unwrap();
     let view = exec.explain_observed(&result.stats);
     assert!(view.contains("no optimizer estimates"), "{view}");
+}
+
+/// A ~100-operator plan for the enumeration view: four 24-node linear
+/// branches (source → 22 maps → group-by) merged by a union tree into one
+/// sink. Large enough that only a contracted enumeration can handle it,
+/// regular enough that the rendering stays reviewable.
+fn wide_golden_plan() -> PhysicalPlan {
+    let mut b = PlanBuilder::new();
+    let mut branches = Vec::new();
+    for br in 0..4 {
+        let mut cur = b.collection(
+            format!("s{br}"),
+            (0..2000i64).map(|i| rec![i % 13, 1i64]).collect(),
+        );
+        for _ in 0..22 {
+            cur = b.map(
+                cur,
+                MapUdf::new("inc", |r| {
+                    rec![r.int(0).unwrap() + 1, r.int(1).unwrap_or(1)]
+                }),
+            );
+        }
+        cur = b.group_by(
+            cur,
+            KeyUdf::field(0),
+            GroupMapUdf::new("tally", |k, members| {
+                vec![Record::new(vec![k.clone(), (members.len() as i64).into()])]
+            }),
+        );
+        branches.push(cur);
+    }
+    let u1 = b.union(branches[0], branches[1]);
+    let u2 = b.union(branches[2], branches[3]);
+    let u3 = b.union(u1, u2);
+    b.collect(u3);
+    b.build().unwrap()
+}
+
+#[test]
+fn golden_explain_enumeration() {
+    use rheem_core::plan::EnumerationPath;
+
+    let mut ctx = test_context();
+    let optimizer = std::mem::take(ctx.optimizer_mut());
+    *ctx.optimizer_mut() = optimizer.without_rewrites().with_enumeration_v2();
+    // Deterministic calibration pressure: make the group-by ruinous on
+    // every platform except mapreduce (relational, whose group-by is too
+    // cheap for the clamped factor to deter, is excluded outright), so the
+    // chosen plan crosses into mapreduce's File channels and the view
+    // shows real conversion routes — serialize on the way in, deserialize
+    // on the way out — not just free memory-to-memory hops.
+    let group_op = "HashGroupBy(key=field#0, group=tally)";
+    for platform in ["java", "sparklike"] {
+        ctx.optimizer()
+            .calibration
+            .observe(group_op, platform, 1.0, 1.0e6, 1.0, 1.0);
+    }
+    // …and keep the map chains OFF mapreduce, so the crossing happens at
+    // the group boundary instead of the whole branch migrating.
+    ctx.optimizer()
+        .calibration
+        .observe("Map(inc)", "mapreduce", 1.0, 1.0e6, 1.0, 1.0);
+    ctx.optimizer_mut()
+        .config
+        .enumeration
+        .excluded_platforms
+        .push("relational".into());
+
+    let plan = wide_golden_plan();
+    assert!(plan.len() >= 100, "plan has {} nodes", plan.len());
+    let exec = ctx.optimize(plan).unwrap();
+    assert_eq!(exec.enumeration.path, EnumerationPath::LatticeV2);
+    assert!(
+        !exec.enumeration.conversions.is_empty(),
+        "expected cross-platform edges with conversion routes"
+    );
+    assert_golden("explain_enumeration.txt", &exec.explain_enumeration());
 }

@@ -60,6 +60,7 @@ fn fanout_exec_plan() -> ExecutionPlan {
         atoms,
         estimated_cost: 0.0,
         estimates: vec![],
+        enumeration: Default::default(),
     }
 }
 

@@ -61,6 +61,7 @@ fn misestimated_exec_plan(
         atoms,
         estimated_cost: 0.0,
         estimates,
+        enumeration: Default::default(),
     }
 }
 
