@@ -66,4 +66,23 @@ for key in '"bench": "ablation_enumeration"' '"entries"' '"costs_match":true' \
     || { echo "BENCH_enumeration.json missing $key"; exit 1; }
 done
 
+# Server smoke: start a real server, run two concurrent tenant sessions
+# over live sockets (registration, queries, stats, goodbye), and verify a
+# clean shutdown — the release-mode run of the dedicated integration test.
+echo "==> server smoke (2 concurrent sessions + clean shutdown)"
+cargo test -q --release -p rheem-server --test server_smoke
+
+# Server load generator, quick mode: closed-loop multi-tenant run that
+# asserts fair-share wave interleaving, a nonzero plan-cache hit rate, and
+# byte-identical cached outputs inline; then sanity-check the emitted
+# BENCH_server.json schema.
+echo "==> ablation_server (SERVER_BENCH_QUICK=1) + schema check"
+SERVER_BENCH_QUICK=1 cargo bench -q -p rheem-bench --bench ablation_server
+for key in '"bench": "ablation_server"' '"tenants": 2' '"throughput_rps"' \
+    '"p50"' '"p99"' '"per_tenant"' '"grant_switches"' '"hit_rate"' \
+    '"outputs_match": true'; do
+  grep -qF "$key" BENCH_server.json \
+    || { echo "BENCH_server.json missing $key"; exit 1; }
+done
+
 echo "OK: all tier-1 checks passed"

@@ -1,0 +1,239 @@
+//! Closed-loop multi-tenant load generator for the job server (self-timed),
+//! emitting `BENCH_server.json` at the repo root.
+//!
+//! Two tenants run concurrent sessions against one in-process
+//! `RheemServer`, each looping over a small statement mix against its own
+//! registered table. Three claims are measured and *asserted*, not just
+//! reported:
+//!
+//! 1. Fair-share wave scheduling: both tenants are granted waves and the
+//!    scheduler's grant log interleaves them (`grant_switches > 0`).
+//! 2. The plan cache hits on repeated statements (`hits > 0`), because
+//!    each session's statement cache preserves UDF closure identity.
+//! 3. Cached-plan executions return byte-identical rows to the cold
+//!    execution of the same statement (`outputs_match`, compared on the
+//!    canonical wire encoding).
+//!
+//! `SERVER_BENCH_QUICK=1` trims the request count for CI.
+
+use std::time::Instant;
+
+use rheem_core::{DataType, PlanCacheConfig, Record, Schema, Value};
+use rheem_server::protocol::encode_rows;
+use rheem_server::{Client, RheemServer, ServerConfig};
+
+fn table_schema() -> Schema {
+    Schema::new(vec![
+        ("region", DataType::Str),
+        ("amount", DataType::Int),
+        ("price", DataType::Float),
+    ])
+}
+
+fn table_rows(seed: i64, n: i64) -> Vec<Record> {
+    (0..n)
+        .map(|i| {
+            Record::new(vec![
+                Value::str(match (seed + i) % 3 {
+                    0 => "east",
+                    1 => "west",
+                    _ => "north",
+                }),
+                Value::Int(seed + i),
+                Value::Float(((seed + i) % 97) as f64 * 0.5),
+            ])
+        })
+        .collect()
+}
+
+/// The per-tenant statement mix; repeated requests cycle through these, so
+/// every statement past the first pass can hit the plan cache.
+const STATEMENTS: &[&str] = &[
+    "SELECT region, SUM(amount) AS total FROM orders GROUP BY region ORDER BY region",
+    "SELECT region, amount, price FROM orders WHERE amount > 100 ORDER BY amount LIMIT 25",
+    "SELECT COUNT(*) AS n, AVG(price) AS avg_price FROM orders",
+];
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+struct TenantReport {
+    tenant: &'static str,
+    requests: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    granted_waves: u64,
+}
+
+fn main() {
+    let quick = std::env::var_os("SERVER_BENCH_QUICK").is_some();
+    let requests_per_tenant = if quick { 24 } else { 150 };
+    let rows_per_table: i64 = if quick { 300 } else { 2000 };
+
+    // A high drift threshold keeps early calibration swings from
+    // invalidating entries: this bench measures steady-state caching;
+    // drift invalidation is covered by its own tests.
+    let config = ServerConfig {
+        cache: PlanCacheConfig {
+            drift_threshold: 1e12,
+            ..PlanCacheConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let mut handle = RheemServer::start(config).expect("server starts");
+    let addr = handle.addr();
+
+    let tenants: &[(&'static str, i64)] = &[("alpha", 0), ("beta", 5000)];
+    let wall = Instant::now();
+    let mut per_tenant_lat: Vec<(&'static str, Vec<f64>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = tenants
+            .iter()
+            .map(|&(tenant, seed)| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr, tenant).expect("connect");
+                    client
+                        .register("orders", table_schema(), table_rows(seed, rows_per_table))
+                        .expect("register");
+                    let mut latencies = Vec::with_capacity(requests_per_tenant);
+                    for i in 0..requests_per_tenant {
+                        let sql = STATEMENTS[i % STATEMENTS.len()];
+                        let t = Instant::now();
+                        let (_, rows) = client.query(sql).expect("query");
+                        latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                        assert!(!rows.is_empty(), "{tenant}: `{sql}` returned no rows");
+                    }
+                    client.goodbye().expect("goodbye");
+                    (tenant, latencies)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+
+    // Byte-identical outputs: a fresh session runs each statement cold
+    // (first execution in its cache scope is a miss) and then warm (hit),
+    // and the canonical wire encodings must match exactly.
+    let mut outputs_match = true;
+    {
+        let mut client = Client::connect(addr, "verifier").expect("connect");
+        client
+            .register("orders", table_schema(), table_rows(42, rows_per_table))
+            .expect("register");
+        for sql in STATEMENTS {
+            let (_, cold) = client.query(sql).expect("cold run");
+            let (_, warm) = client.query(sql).expect("warm run");
+            let identical = encode_rows(&cold) == encode_rows(&warm);
+            assert!(identical, "cached run of `{sql}` diverged from cold run");
+            outputs_match &= identical;
+        }
+        client.goodbye().expect("goodbye");
+    }
+
+    let granted = handle.scheduler().granted_waves();
+    let log = handle.scheduler().grant_log();
+    let grant_switches = log
+        .windows(2)
+        .filter(|pair| pair[0].tenant != pair[1].tenant)
+        .count();
+    let total_grants = handle.scheduler().total_grants();
+    let cache = handle.plan_cache().stats();
+    handle.shutdown();
+
+    // Assert the measured claims.
+    for (tenant, _) in tenants {
+        let waves = granted.get(*tenant).copied().unwrap_or(0);
+        assert!(waves > 0, "tenant {tenant} was granted no waves");
+    }
+    assert!(
+        grant_switches > 0,
+        "grant log never interleaved tenants: {log:?}"
+    );
+    assert!(
+        cache.hits > 0,
+        "repeated statements never hit the plan cache: {cache:?}"
+    );
+    assert!(outputs_match);
+
+    let mut all: Vec<f64> = Vec::new();
+    let mut reports: Vec<TenantReport> = Vec::new();
+    for (tenant, latencies) in per_tenant_lat.iter_mut() {
+        all.extend_from_slice(latencies);
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        reports.push(TenantReport {
+            tenant,
+            requests: latencies.len(),
+            p50_ms: percentile(latencies, 0.50),
+            p99_ms: percentile(latencies, 0.99),
+            granted_waves: granted.get(*tenant).copied().unwrap_or(0),
+        });
+    }
+    all.sort_by(|a, b| a.total_cmp(b));
+    let requests_total: usize = reports.iter().map(|r| r.requests).sum();
+    let p50 = percentile(&all, 0.50);
+    let p99 = percentile(&all, 0.99);
+    assert!(p99 >= p50);
+    let throughput_rps = requests_total as f64 / (wall_ms / 1e3);
+    let hit_rate = cache.hits as f64 / (cache.hits + cache.misses).max(1) as f64;
+
+    for r in &reports {
+        eprintln!(
+            "{}: {} requests, p50 {:.2} ms, p99 {:.2} ms, {} waves granted",
+            r.tenant, r.requests, r.p50_ms, r.p99_ms, r.granted_waves
+        );
+    }
+    eprintln!(
+        "total: {requests_total} requests in {wall_ms:.0} ms ({throughput_rps:.1} req/s), \
+         cache hit rate {:.2}, {grant_switches} grant interleavings",
+        hit_rate
+    );
+
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let tenant_json: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"tenant\":\"{}\",\"requests\":{},\"p50_ms\":{:.3},\
+                 \"p99_ms\":{:.3},\"granted_waves\":{}}}",
+                r.tenant, r.requests, r.p50_ms, r.p99_ms, r.granted_waves
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"ablation_server\",\n  \"unix_time\": {stamp},\n  \
+         \"host\": {{\"cpus\": {cpus}, \"os\": \"{}\", \"arch\": \"{}\"}},\n  \"note\": \
+         \"closed-loop load generator: two concurrent tenant sessions against one \
+         in-process server; fairness is read off the scheduler's wave-grant log, \
+         outputs_match asserts cached-plan rows are byte-identical to the cold run \
+         on the canonical wire encoding\",\n  \
+         \"tenants\": {},\n  \"requests_total\": {requests_total},\n  \
+         \"wall_ms\": {wall_ms:.1},\n  \"throughput_rps\": {throughput_rps:.2},\n  \
+         \"latency_ms\": {{\"p50\": {p50:.3}, \"p99\": {p99:.3}}},\n  \
+         \"per_tenant\": [\n{}\n  ],\n  \
+         \"fair_share\": {{\"grant_switches\": {grant_switches}, \"total_grants\": {}}},\n  \
+         \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"invalidations\": {}, \
+         \"hit_rate\": {hit_rate:.4}}},\n  \"outputs_match\": {outputs_match}\n}}\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        tenants.len(),
+        tenant_json.join(",\n"),
+        total_grants,
+        cache.hits,
+        cache.misses,
+        cache.invalidations,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    std::fs::write(path, &json).expect("write BENCH_server.json");
+    eprintln!("wrote {path}");
+}

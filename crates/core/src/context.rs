@@ -16,12 +16,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::error::Result;
-use crate::executor::{Executor, ExecutorConfig, JobResult, ProgressListener, ScheduleMode};
+use crate::executor::{
+    Executor, ExecutorConfig, JobResult, ProgressListener, ScheduleMode, WaveGate,
+};
 use crate::fault::{FaultPolicy, PlatformHealth, Sleeper};
 use crate::kernels::parallel::KernelParallelism;
 use crate::logical::LogicalPlan;
 use crate::observe::Observability;
-use crate::optimizer::{MultiPlatformOptimizer, ReplanPolicy};
+use crate::optimizer::{MultiPlatformOptimizer, PlanCache, ReplanPolicy};
 use crate::plan::{ExecutionPlan, PhysicalPlan};
 use crate::platform::{
     ExecutionContext, FailureInjector, Platform, PlatformRegistry, StorageService,
@@ -42,6 +44,7 @@ pub struct RheemContext {
     platform_health: Option<Arc<PlatformHealth>>,
     sleeper: Option<Arc<dyn Sleeper>>,
     kernel_parallelism: Option<KernelParallelism>,
+    wave_gate: Option<Arc<dyn WaveGate>>,
 }
 
 impl RheemContext {
@@ -180,6 +183,37 @@ impl RheemContext {
         self.observability.as_ref()
     }
 
+    /// Attach a plan cache: jobs whose plans share a canonical fingerprint
+    /// reuse each other's enumeration results (see
+    /// [`crate::optimizer::cache`]). Share the same `Arc` across context
+    /// clones to share the cache — the server does this for all sessions
+    /// of one service.
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.optimizer.plan_cache = Some(cache);
+        self
+    }
+
+    /// The attached plan cache, if any.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.optimizer.plan_cache.as_ref()
+    }
+
+    /// Confine this context's opaque (closure-identity) plan fingerprints
+    /// to `scope`. The server allocates one scope per session, which is
+    /// what keeps opaque cache entries from ever being shared across
+    /// sessions; `0` (the default) is the embedded single-tenant scope.
+    pub fn with_cache_scope(mut self, scope: u64) -> Self {
+        self.optimizer.cache_scope = scope;
+        self
+    }
+
+    /// Install a [`WaveGate`] bracketing every scheduling wave of every
+    /// job this context runs (external fair-share scheduling).
+    pub fn with_wave_gate(mut self, gate: Arc<dyn WaveGate>) -> Self {
+        self.wave_gate = Some(gate);
+        self
+    }
+
     /// The registered platforms.
     pub fn platforms(&self) -> &PlatformRegistry {
         &self.platforms
@@ -248,6 +282,9 @@ impl RheemContext {
         }
         if let Some(sleeper) = &self.sleeper {
             executor = executor.with_sleeper(sleeper.clone());
+        }
+        if let Some(gate) = &self.wave_gate {
+            executor = executor.with_wave_gate(gate.clone());
         }
         let result = executor.execute(plan, &self.execution_context())?;
         if self.observability.is_some() {

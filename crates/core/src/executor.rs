@@ -290,6 +290,30 @@ pub trait ProgressListener: Send + Sync {
     fn on_job_complete(&self, _stats: &ExecutionStats) {}
 }
 
+/// A hook bracketing every scheduling wave of a job.
+///
+/// The wave boundary is the executor's natural preemption point: no atom
+/// runs while the job is between waves, so an external scheduler can pause
+/// a job there simply by blocking in
+/// [`before_wave`](WaveGate::before_wave). The server's fair-share
+/// scheduler does exactly that — each job's gate acquires a wave slot
+/// before the wave runs and releases it right after, interleaving waves of
+/// concurrent jobs across tenants.
+///
+/// Calls come on the thread driving the job, strictly ordered per job:
+/// `before_wave(i)` → the wave's atoms run → `after_wave(i)` →
+/// `before_wave(i+1)` … An `after_wave` call is guaranteed for every
+/// `before_wave` that returned, even when the wave fails (gate releases
+/// must not leak on error paths). Implementations must be `Send + Sync`;
+/// blocking in `before_wave` blocks the job, nothing else.
+pub trait WaveGate: Send + Sync {
+    /// Called before the wave `wave_index` starts; may block to delay it.
+    /// `atoms` is the number of atoms scheduled in the wave.
+    fn before_wave(&self, wave_index: usize, atoms: usize);
+    /// Called after the wave's atoms finished (committed or failed).
+    fn after_wave(&self, wave_index: usize);
+}
+
 /// What one mid-job re-optimization did (see
 /// [`Executor::with_replanner`]).
 #[derive(Clone, Debug)]
@@ -409,6 +433,7 @@ pub struct Executor {
     sleeper: Arc<dyn Sleeper>,
     health: Option<Arc<PlatformHealth>>,
     failover: Option<FailoverConfig>,
+    wave_gate: Option<Arc<dyn WaveGate>>,
 }
 
 impl Executor {
@@ -426,6 +451,7 @@ impl Executor {
             sleeper: Arc::new(ThreadSleeper),
             health: None,
             failover: None,
+            wave_gate: None,
         }
     }
 
@@ -490,6 +516,13 @@ impl Executor {
         self
     }
 
+    /// Install a [`WaveGate`] bracketing every scheduling wave (external
+    /// fair-share scheduling across concurrent jobs).
+    pub fn with_wave_gate(mut self, gate: Arc<dyn WaveGate>) -> Self {
+        self.wave_gate = Some(gate);
+        self
+    }
+
     /// Run an execution plan to completion.
     ///
     /// Both schedule modes drive the same wave loop (sequential mode
@@ -542,6 +575,9 @@ impl Executor {
             }
             let mut executed: HashSet<usize> = HashSet::new();
             for wave in &waves {
+                if let Some(gate) = &self.wave_gate {
+                    gate.before_wave(wave_idx, wave.len());
+                }
                 let outcome = self.run_wave(
                     current.as_ref(),
                     wave,
@@ -550,6 +586,9 @@ impl Executor {
                     &node_outputs,
                     ctx,
                 );
+                if let Some(gate) = &self.wave_gate {
+                    gate.after_wave(wave_idx);
+                }
                 wave_idx += 1;
                 for (pos, run) in outcome.runs {
                     let atom = &current.atoms[pos];

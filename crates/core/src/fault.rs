@@ -288,6 +288,13 @@ impl PlatformHealth {
 
     /// Record a successful atom execution: closes the breaker and resets
     /// the consecutive-failure run.
+    ///
+    /// The mirrored gauge is updated *inside* the state critical section
+    /// (here and in every other transition): publishing it after dropping
+    /// the lock let two jobs finishing concurrently reorder their gauge
+    /// writes against the actual state transitions, leaving the gauge
+    /// stuck on a stale value. The metrics handle is a separate mutex, so
+    /// nesting it is deadlock-free.
     pub fn record_success(&self, platform: &str) {
         let mut states = self.states.lock();
         let was_open = matches!(
@@ -300,7 +307,6 @@ impl PlatformHealth {
                 consecutive_failures: 0,
             },
         );
-        drop(states);
         if was_open {
             self.set_gauge(platform, false);
         }
@@ -341,10 +347,11 @@ impl PlatformHealth {
             }
             BreakerState::Open { .. } => false,
         };
-        drop(states);
+        // Gauge write stays under the states lock — see `record_success`.
         if opened {
             self.set_gauge(platform, true);
         }
+        drop(states);
         opened
     }
 
@@ -352,13 +359,16 @@ impl PlatformHealth {
     /// abandoned as down, so subsequent jobs avoid it until the cooldown
     /// admits a probe).
     pub fn force_open(&self, platform: &str) {
-        self.states.lock().insert(
+        let mut states = self.states.lock();
+        states.insert(
             platform.to_string(),
             BreakerState::Open {
                 since: Instant::now(),
             },
         );
+        // Gauge write stays under the states lock — see `record_success`.
         self.set_gauge(platform, true);
+        drop(states);
     }
 
     /// Whether `platform`'s breaker is currently open or half-open.
@@ -431,6 +441,37 @@ impl FaultPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn breaker_gauge_stays_consistent_under_concurrent_transitions() {
+        // Regression: gauge writes used to happen after dropping the
+        // states lock, so two jobs finishing concurrently could publish
+        // their gauge updates in the opposite order of the actual state
+        // transitions, leaving the mirrored gauge stale forever.
+        let health = PlatformHealth::new(BreakerPolicy {
+            failure_threshold: 1,
+            cooldown: Duration::from_secs(3600),
+        });
+        let registry = Arc::new(MetricsRegistry::new());
+        health.mirror_to(registry.clone());
+        for _ in 0..200 {
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    health.record_failure("p");
+                });
+                s.spawn(|| {
+                    health.record_success("p");
+                });
+            });
+            assert_eq!(
+                registry.gauge_value("platform.p.breaker_open"),
+                health.is_open("p") as u64,
+                "gauge diverged from breaker state"
+            );
+            health.record_success("p");
+        }
+        assert_eq!(registry.gauge_value("platform.p.breaker_open"), 0);
+    }
 
     #[test]
     fn backoff_is_deterministic_and_bounded() {

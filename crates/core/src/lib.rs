@@ -52,7 +52,7 @@ pub use data::{
 pub use error::{ErrorKind, Result, RheemError};
 pub use executor::{
     AtomStats, ExecutionStats, Executor, ExecutorConfig, FailoverEvent, JobResult,
-    ProgressListener, ReplanEvent, ScheduleMode,
+    ProgressListener, ReplanEvent, ScheduleMode, WaveGate,
 };
 pub use expr::{BinOp, Expr};
 pub use fault::{
@@ -69,12 +69,12 @@ pub use observe::{
 };
 pub use optimizer::{
     assignment_cost, enumerate_exhaustive, EnumerationConfig, EnumerationStrategy,
-    MultiPlatformOptimizer, ReplanPolicy, Replanner,
+    MultiPlatformOptimizer, PlanCache, PlanCacheConfig, PlanCacheStats, ReplanPolicy, Replanner,
 };
 pub use physical::{CustomPhysicalOp, OpKind, PhysicalOp};
 pub use plan::{
     ChannelConversion, EnumerationInfo, EnumerationPath, ExecutionPlan, NodeEstimate, NodeId,
-    PhysicalPlan, PlanBuilder, TaskAtom,
+    PhysicalPlan, PlanBuilder, PlanFingerprint, TaskAtom,
 };
 pub use platform::{
     AtomInputs, AtomResult, ExecutionContext, FailureInjector, InjectedKind, Platform,

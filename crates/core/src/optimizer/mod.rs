@@ -14,6 +14,7 @@
 //! the middle of the paper's Figure 1.
 
 pub mod application;
+pub mod cache;
 pub mod enumerate;
 pub mod enumerate_v2;
 pub mod fuse;
@@ -30,6 +31,7 @@ use crate::observe::{CostCalibration, MetricsRegistry};
 use crate::plan::{ExecutionPlan, PhysicalPlan};
 use crate::platform::PlatformRegistry;
 
+pub use cache::{PlanCache, PlanCacheConfig, PlanCacheStats};
 pub use enumerate::{EnumerationConfig, EnumerationStrategy};
 pub use enumerate_v2::{
     assignment_cost, enumerate_exhaustive, enumerate_v2, enumerate_with_config,
@@ -54,6 +56,14 @@ pub struct MultiPlatformOptimizer {
     pub calibration: Arc<CostCalibration>,
     /// Optional metrics registry the optimizer reports into.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Optional plan cache: reuse enumeration results for plans with equal
+    /// canonical fingerprints (see [`cache`] for keying and invalidation).
+    pub plan_cache: Option<Arc<PlanCache>>,
+    /// Scope for cache entries whose fingerprint is opaque (closure
+    /// identity). The server assigns one scope per session so opaque
+    /// fingerprints are never shared across sessions; `0` (the default)
+    /// is the embedded single-tenant scope.
+    pub cache_scope: u64,
 }
 
 /// Configuration of the whole optimization pipeline.
@@ -106,18 +116,80 @@ impl MultiPlatformOptimizer {
         self
     }
 
+    /// Attach a plan cache; share the same `Arc` across optimizers (or
+    /// context clones) to share enumeration results.
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
+    }
+
+    /// Set the cache scope confining opaque (closure-identity) plan
+    /// fingerprints; see [`MultiPlatformOptimizer::cache_scope`].
+    pub fn with_cache_scope(mut self, scope: u64) -> Self {
+        self.cache_scope = scope;
+        self
+    }
+
     /// Optimize a physical plan into an execution plan.
+    ///
+    /// When a [`PlanCache`] is attached, the incoming plan is fingerprinted
+    /// *before* rewrites (rewrites mint fresh closure `Arc`s, so post-
+    /// rewrite fingerprints of equal plans would not be stable), probed
+    /// against the cache, and on a validated hit the cached assignments,
+    /// atoms, and estimates are re-targeted at the freshly rewritten plan —
+    /// skipping enumeration entirely. Misses enumerate as usual and
+    /// populate the cache.
     pub fn optimize(
         &self,
         plan: PhysicalPlan,
         platforms: &PlatformRegistry,
     ) -> Result<ExecutionPlan> {
         plan.validate()?;
+        let probe = self.plan_cache.as_ref().map(|cache| {
+            let fp = plan.fingerprint();
+            let key = crate::fault::splitmix64(
+                fp.hash ^ cache::config_fingerprint(&self.config, platforms),
+            );
+            let scope = if fp.opaque { self.cache_scope } else { 0 };
+            (cache, key, scope)
+        });
         let plan = if self.config.apply_rewrites {
             rewrites::apply_rewrites(plan)?
         } else {
             plan
         };
+        let mut rewritten_hash = 0u64;
+        if let Some((cache, key, scope)) = &probe {
+            rewritten_hash = plan.fingerprint().hash;
+            match cache.lookup(*key, *scope, &self.calibration) {
+                cache::CacheLookup::Hit(parts) => {
+                    // Structural guards: a hash collision (or a rewrite
+                    // divergence) is demoted to a plain miss rather than
+                    // executing a mis-targeted schedule.
+                    if parts.rewritten_hash == rewritten_hash
+                        && parts.assignments.len() == plan.len()
+                    {
+                        cache.record_hit();
+                        let exec = ExecutionPlan {
+                            physical: Arc::new(plan),
+                            assignments: parts.assignments,
+                            atoms: parts.atoms,
+                            estimated_cost: parts.estimated_cost,
+                            estimates: parts.estimates,
+                            enumeration: parts.enumeration,
+                        };
+                        self.report_metrics(&exec, true, false);
+                        return Ok(exec);
+                    }
+                    cache.record_miss();
+                    self.report_cache_counters(false, false);
+                }
+                cache::CacheLookup::Miss { invalidated } => {
+                    cache.record_miss();
+                    self.report_cache_counters(false, invalidated);
+                }
+            }
+        }
         // Declare every registered platform's channel specs on the movement
         // model so cross-platform edges are priced through the conversion
         // graph (a model with no declared channels keeps legacy flat pricing).
@@ -130,16 +202,49 @@ impl MultiPlatformOptimizer {
             &self.config.enumeration,
             &self.calibration,
         );
-        if let (Some(metrics), Ok(exec)) = (&self.metrics, &result) {
-            metrics.counter("optimizer.runs").inc();
-            metrics
-                .counter("optimizer.nodes_assigned")
-                .add(exec.assignments.len() as u64);
-            metrics
-                .gauge("optimizer.calibration_pairs")
-                .set(self.calibration.len() as u64);
+        if let Ok(exec) = &result {
+            if let Some((cache, key, scope)) = &probe {
+                cache.insert(*key, *scope, rewritten_hash, exec, &self.calibration);
+            }
+            self.report_metrics(exec, false, false);
         }
         result
+    }
+
+    /// Report per-optimization counters (and, on cache-enabled runs, the
+    /// hit counter — misses were already reported at probe time).
+    fn report_metrics(&self, exec: &ExecutionPlan, cache_hit: bool, invalidated: bool) {
+        let Some(metrics) = &self.metrics else {
+            return;
+        };
+        metrics.counter("optimizer.runs").inc();
+        metrics
+            .counter("optimizer.nodes_assigned")
+            .add(exec.assignments.len() as u64);
+        metrics
+            .gauge("optimizer.calibration_pairs")
+            .set(self.calibration.len() as u64);
+        if self.plan_cache.is_some() && cache_hit {
+            metrics.counter("optimizer.plan_cache.hits").inc();
+        }
+        if invalidated {
+            metrics.counter("optimizer.plan_cache.invalidations").inc();
+        }
+    }
+
+    /// Report a cache miss (and optional drift invalidation) into metrics.
+    fn report_cache_counters(&self, hit: bool, invalidated: bool) {
+        let Some(metrics) = &self.metrics else {
+            return;
+        };
+        if hit {
+            metrics.counter("optimizer.plan_cache.hits").inc();
+        } else {
+            metrics.counter("optimizer.plan_cache.misses").inc();
+        }
+        if invalidated {
+            metrics.counter("optimizer.plan_cache.invalidations").inc();
+        }
     }
 
     /// A [`Replanner`] sharing this optimizer's models, so mid-job

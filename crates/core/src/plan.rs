@@ -153,6 +153,347 @@ impl PhysicalPlan {
         }
         s
     }
+
+    /// Canonical fingerprint of this plan, for plan-cache keying.
+    ///
+    /// The fingerprint covers every node in topological order: the operator
+    /// tag, its declarative payload (expression trees via their canonical
+    /// `Display` form, `FieldReduce` specs, projection indices, cost hints
+    /// as exact `f64` bit patterns, source names and cardinalities), and the
+    /// input wiring. UDFs that carry no declarative payload — arbitrary
+    /// closures, [`CustomPhysicalOp`]s, loop conditions — are fingerprinted
+    /// by `Arc` identity and flip [`PlanFingerprint::opaque`] on: two plans
+    /// sharing such a fingerprint provably share the very same closure
+    /// objects, which is why the plan cache confines opaque fingerprints to
+    /// one session and never shares them across sessions.
+    pub fn fingerprint(&self) -> PlanFingerprint {
+        let mut fp = FpHasher::new();
+        fingerprint_plan(&mut fp, self);
+        fp.finish()
+    }
+}
+
+/// Canonical identity of a [`PhysicalPlan`] for plan-cache keying.
+///
+/// Produced by [`PhysicalPlan::fingerprint`]. Equal fingerprints with
+/// `opaque == false` mean the two plans are structurally identical down to
+/// every declarative payload; with `opaque == true` they additionally share
+/// the same closure objects by pointer identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PlanFingerprint {
+    /// 64-bit hash over the canonical plan encoding.
+    pub hash: u64,
+    /// True when any operator was fingerprinted by closure identity rather
+    /// than by a declarative payload. Opaque fingerprints are only
+    /// meaningful within the process (and, for the plan cache, within one
+    /// session): the pointer a closure hashes to is not stable across
+    /// plan reconstructions.
+    pub opaque: bool,
+}
+
+/// FNV-1a-based streaming hasher used by [`PhysicalPlan::fingerprint`],
+/// with a SplitMix64 finalizer for avalanche.
+struct FpHasher {
+    h: u64,
+    opaque: bool,
+}
+
+impl FpHasher {
+    fn new() -> Self {
+        FpHasher {
+            h: 0xCBF2_9CE4_8422_2325,
+            opaque: false,
+        }
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.h ^= b as u64;
+            self.h = self.h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.bytes(s.as_bytes());
+    }
+
+    fn tag(&mut self, t: u8) {
+        self.bytes(&[t]);
+    }
+
+    /// Hash a closure by pointer identity and mark the fingerprint opaque.
+    fn ptr<T: ?Sized>(&mut self, p: *const T) {
+        self.opaque = true;
+        self.u64(p as *const () as u64);
+    }
+
+    fn finish(self) -> PlanFingerprint {
+        PlanFingerprint {
+            hash: crate::fault::splitmix64(self.h),
+            opaque: self.opaque,
+        }
+    }
+}
+
+fn fingerprint_plan(fp: &mut FpHasher, plan: &PhysicalPlan) {
+    fp.usize(plan.len());
+    for n in plan.nodes() {
+        fp.usize(n.id.0);
+        fingerprint_op(fp, &n.op);
+        fp.usize(n.inputs.len());
+        for i in &n.inputs {
+            fp.usize(i.0);
+        }
+    }
+}
+
+fn fingerprint_map(fp: &mut FpHasher, u: &MapUdf) {
+    fp.str(&u.name);
+    match &u.exprs {
+        Some(exprs) => {
+            fp.tag(1);
+            fp.usize(exprs.len());
+            for e in exprs.iter() {
+                fp.str(&e.to_string());
+            }
+        }
+        None => {
+            fp.tag(0);
+            fp.ptr(Arc::as_ptr(&u.f));
+        }
+    }
+}
+
+fn fingerprint_filter(fp: &mut FpHasher, u: &FilterUdf) {
+    fp.str(&u.name);
+    fp.f64(u.selectivity);
+    match &u.expr {
+        Some(e) => {
+            fp.tag(1);
+            fp.str(&e.to_string());
+        }
+        None => {
+            fp.tag(0);
+            fp.ptr(Arc::as_ptr(&u.f));
+        }
+    }
+}
+
+fn fingerprint_key(fp: &mut FpHasher, u: &KeyUdf) {
+    fp.str(&u.name);
+    match u.distinct_keys {
+        Some(d) => {
+            fp.tag(1);
+            fp.f64(d);
+        }
+        None => fp.tag(0),
+    }
+    match u.field_index {
+        Some(i) => {
+            fp.tag(1);
+            fp.usize(i);
+        }
+        None => {
+            fp.tag(0);
+            fp.ptr(Arc::as_ptr(&u.f));
+        }
+    }
+}
+
+fn fingerprint_reduce(fp: &mut FpHasher, u: &ReduceUdf) {
+    fp.str(&u.name);
+    match &u.spec {
+        Some(spec) => {
+            fp.tag(1);
+            fp.usize(spec.len());
+            for r in spec.iter() {
+                fp.tag(match r {
+                    crate::udf::FieldReduce::First => 0,
+                    crate::udf::FieldReduce::SumInt => 1,
+                    crate::udf::FieldReduce::SumFloat => 2,
+                    crate::udf::FieldReduce::Min => 3,
+                    crate::udf::FieldReduce::Max => 4,
+                });
+            }
+        }
+        None => {
+            fp.tag(0);
+            fp.ptr(Arc::as_ptr(&u.f));
+        }
+    }
+}
+
+fn fingerprint_group(fp: &mut FpHasher, u: &GroupMapUdf) {
+    fp.str(&u.name);
+    fp.f64(u.per_group_output);
+    fp.ptr(Arc::as_ptr(&u.f));
+}
+
+fn fingerprint_op(fp: &mut FpHasher, op: &PhysicalOp) {
+    match op {
+        PhysicalOp::CollectionSource { data, name } => {
+            fp.tag(0);
+            fp.str(name);
+            // Cardinality, not content: the cached artifact (assignments,
+            // atoms, estimates) only depends on how *much* data flows, and
+            // a cache hit always re-executes against the new plan's data.
+            fp.usize(data.len());
+        }
+        PhysicalOp::StorageSource { dataset_id } => {
+            fp.tag(1);
+            fp.str(dataset_id);
+        }
+        PhysicalOp::LoopInput => fp.tag(2),
+        PhysicalOp::Map(u) => {
+            fp.tag(3);
+            fingerprint_map(fp, u);
+        }
+        PhysicalOp::FlatMap(u) => {
+            fp.tag(4);
+            fp.str(&u.name);
+            fp.f64(u.fanout);
+            fp.ptr(Arc::as_ptr(&u.f));
+        }
+        PhysicalOp::Filter(u) => {
+            fp.tag(5);
+            fingerprint_filter(fp, u);
+        }
+        PhysicalOp::Project { indices } => {
+            fp.tag(6);
+            fp.usize(indices.len());
+            for i in indices {
+                fp.usize(*i);
+            }
+        }
+        PhysicalOp::SortGroupBy { key, group } => {
+            fp.tag(7);
+            fingerprint_key(fp, key);
+            fingerprint_group(fp, group);
+        }
+        PhysicalOp::HashGroupBy { key, group } => {
+            fp.tag(8);
+            fingerprint_key(fp, key);
+            fingerprint_group(fp, group);
+        }
+        PhysicalOp::ReduceByKey { key, reduce } => {
+            fp.tag(9);
+            fingerprint_key(fp, key);
+            fingerprint_reduce(fp, reduce);
+        }
+        PhysicalOp::GlobalReduce { reduce } => {
+            fp.tag(10);
+            fingerprint_reduce(fp, reduce);
+        }
+        PhysicalOp::Sort { key, descending } => {
+            fp.tag(11);
+            fingerprint_key(fp, key);
+            fp.tag(*descending as u8);
+        }
+        PhysicalOp::Distinct => fp.tag(12),
+        PhysicalOp::Sample { fraction, seed } => {
+            fp.tag(13);
+            fp.f64(*fraction);
+            fp.u64(*seed);
+        }
+        PhysicalOp::Limit { n } => {
+            fp.tag(14);
+            fp.usize(*n);
+        }
+        PhysicalOp::ZipWithId => fp.tag(15),
+        PhysicalOp::ChunkPipeline { stages } => {
+            fp.tag(16);
+            fp.usize(stages.len());
+            for s in stages.iter() {
+                fp.str(&s.name);
+                match &s.kind {
+                    crate::physical::StageKind::Filter { expr, selectivity } => {
+                        fp.tag(0);
+                        fp.str(&expr.to_string());
+                        fp.f64(*selectivity);
+                    }
+                    crate::physical::StageKind::Map { exprs } => {
+                        fp.tag(1);
+                        fp.usize(exprs.len());
+                        for e in exprs.iter() {
+                            fp.str(&e.to_string());
+                        }
+                    }
+                    crate::physical::StageKind::Project { indices } => {
+                        fp.tag(2);
+                        fp.usize(indices.len());
+                        for i in indices.iter() {
+                            fp.usize(*i);
+                        }
+                    }
+                }
+            }
+        }
+        PhysicalOp::HashJoin {
+            left_key,
+            right_key,
+        } => {
+            fp.tag(17);
+            fingerprint_key(fp, left_key);
+            fingerprint_key(fp, right_key);
+        }
+        PhysicalOp::SortMergeJoin {
+            left_key,
+            right_key,
+        } => {
+            fp.tag(18);
+            fingerprint_key(fp, left_key);
+            fingerprint_key(fp, right_key);
+        }
+        PhysicalOp::NestedLoopJoin {
+            predicate,
+            name,
+            selectivity,
+        } => {
+            fp.tag(19);
+            fp.str(name);
+            fp.f64(*selectivity);
+            fp.ptr(Arc::as_ptr(predicate));
+        }
+        PhysicalOp::CrossProduct => fp.tag(20),
+        PhysicalOp::Union => fp.tag(21),
+        PhysicalOp::Loop {
+            body,
+            condition,
+            max_iterations,
+            expected_iterations,
+        } => {
+            fp.tag(22);
+            fp.str(&condition.name);
+            fp.ptr(Arc::as_ptr(&condition.f));
+            fp.u64(*max_iterations);
+            fp.f64(*expected_iterations);
+            fingerprint_plan(fp, body);
+        }
+        PhysicalOp::Custom(op) => {
+            fp.tag(23);
+            fp.str(op.name());
+            fp.ptr(Arc::as_ptr(op));
+        }
+        PhysicalOp::CollectSink => fp.tag(24),
+        PhysicalOp::CountSink => fp.tag(25),
+        PhysicalOp::StorageSink { dataset_id } => {
+            fp.tag(26);
+            fp.str(dataset_id);
+        }
+    }
 }
 
 fn validate_loop_body(body: &PhysicalPlan) -> Result<()> {
@@ -876,6 +1217,79 @@ mod tests {
         let m = b.map(src, MapUdf::new("inc", |r| rec![r.int(0).unwrap() + 1]));
         b.collect(m);
         b.build().unwrap()
+    }
+
+    /// A fully declarative (expression-based) plan: two independent builds
+    /// must fingerprint identically.
+    fn declarative_plan(records: usize, threshold: i64) -> PhysicalPlan {
+        use crate::expr::Expr;
+        let mut b = PlanBuilder::new();
+        let src = b.collection("s", (0..records as i64).map(|i| rec![i]).collect());
+        let f = b.filter(
+            src,
+            FilterUdf::from_expr("big", Expr::field(0).gt(Expr::lit(threshold))),
+        );
+        let m = b.map(
+            f,
+            MapUdf::from_exprs("double", vec![Expr::field(0).mul(Expr::lit(2i64))]),
+        );
+        b.collect(m);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn declarative_fingerprints_are_stable_and_transparent() {
+        let a = declarative_plan(10, 3).fingerprint();
+        let b = declarative_plan(10, 3).fingerprint();
+        assert_eq!(a, b, "independent builds of the same plan must agree");
+        assert!(!a.opaque, "expression payloads need no identity hashing");
+        // Any declarative detail changes the hash: literal, cardinality.
+        assert_ne!(a.hash, declarative_plan(10, 4).fingerprint().hash);
+        assert_ne!(a.hash, declarative_plan(11, 3).fingerprint().hash);
+    }
+
+    #[test]
+    fn closure_udfs_fingerprint_by_identity_and_mark_opaque() {
+        let udf = FilterUdf::new("pos", |r: &crate::data::Record| r.int(0).unwrap() > 0);
+        let build = |u: &FilterUdf| {
+            let mut b = PlanBuilder::new();
+            let src = b.collection("s", vec![rec![1i64]]);
+            let f = b.filter(src, u.clone());
+            b.collect(f);
+            b.build().unwrap()
+        };
+        let a = build(&udf).fingerprint();
+        let b = build(&udf).fingerprint();
+        assert!(a.opaque);
+        assert_eq!(a, b, "cloned UDFs share the closure Arc");
+        // A freshly constructed closure — even with identical source — is a
+        // different identity and must not collide.
+        let other = FilterUdf::new("pos", |r: &crate::data::Record| r.int(0).unwrap() > 0);
+        assert_ne!(a.hash, build(&other).fingerprint().hash);
+    }
+
+    #[test]
+    fn loop_bodies_contribute_to_the_fingerprint() {
+        let build = |iters: u64| {
+            let mut body = PlanBuilder::new();
+            let li = body.loop_input();
+            body.map(
+                li,
+                MapUdf::from_exprs(
+                    "inc",
+                    vec![crate::expr::Expr::field(0).add(crate::expr::Expr::lit(1i64))],
+                ),
+            );
+            let body = body.build_fragment().unwrap();
+            let mut b = PlanBuilder::new();
+            let src = b.collection("s", vec![rec![0i64]]);
+            let l = b.repeat(src, body, LoopCondUdf::fixed_iterations(iters), iters);
+            b.collect(l);
+            b.build().unwrap()
+        };
+        let a = build(2).fingerprint();
+        assert!(a.opaque, "loop conditions are closures");
+        assert_ne!(a.hash, build(3).fingerprint().hash);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! state.
 
 use crate::data::{Dataset, Record};
-use crate::error::Result;
+use crate::error::{Result, RheemError};
 use crate::executor::ExecutionStats;
 use crate::plan::{NodeId, PlanBuilder};
 use crate::RheemContext;
@@ -82,8 +82,16 @@ where
 
 /// Chop a record stream into fixed-size micro-batches (the last batch may
 /// be short; empty input yields no batches).
-pub fn micro_batches(records: Vec<Record>, batch_size: usize) -> Vec<Vec<Record>> {
-    let batch_size = batch_size.max(1);
+///
+/// A `batch_size` of zero is rejected with [`RheemError::InvalidPlan`]:
+/// silently clamping it (as earlier versions did) hides a configuration
+/// bug and turns every record into its own single-element batch.
+pub fn micro_batches(records: Vec<Record>, batch_size: usize) -> Result<Vec<Vec<Record>>> {
+    if batch_size == 0 {
+        return Err(RheemError::InvalidPlan(
+            "micro_batches requires batch_size >= 1".into(),
+        ));
+    }
     let mut out = Vec::new();
     let mut current = Vec::with_capacity(batch_size);
     for r in records {
@@ -98,7 +106,7 @@ pub fn micro_batches(records: Vec<Record>, batch_size: usize) -> Vec<Vec<Record>
     if !current.is_empty() {
         out.push(current);
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -155,14 +163,23 @@ mod tests {
     #[test]
     fn micro_batches_chop_evenly_and_keep_the_tail() {
         let records: Vec<Record> = (0..10i64).map(|i| rec![i]).collect();
-        let batches = micro_batches(records.clone(), 4);
+        let batches = micro_batches(records.clone(), 4).unwrap();
         assert_eq!(batches.len(), 3);
         assert_eq!(batches[0].len(), 4);
         assert_eq!(batches[2].len(), 2);
         let flat: Vec<Record> = batches.into_iter().flatten().collect();
         assert_eq!(flat, records);
-        assert!(micro_batches(vec![], 4).is_empty());
-        assert_eq!(micro_batches(records, 0).len(), 10); // clamped to 1
+        assert!(micro_batches(vec![], 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn zero_batch_size_is_a_clean_invalid_plan_error() {
+        // Regression: batch_size == 0 used to be silently clamped to 1,
+        // degenerating the stream into one batch per record.
+        let records: Vec<Record> = (0..10i64).map(|i| rec![i]).collect();
+        let err = micro_batches(records, 0).unwrap_err();
+        assert!(matches!(err, crate::error::RheemError::InvalidPlan(_)));
+        assert!(micro_batches(vec![], 0).is_err());
     }
 
     #[test]
@@ -182,7 +199,7 @@ mod tests {
         let totals = driver
             .run(
                 &ctx,
-                micro_batches(records, 16),
+                micro_batches(records, 16).unwrap(),
                 std::collections::HashMap::<i64, i64>::new(),
                 |state, outcome| {
                     for r in outcome.output.iter() {

@@ -1,0 +1,92 @@
+//! A small blocking client for the wire protocol.
+//!
+//! One [`Client`] is one session: connect, `hello`, then any number of
+//! `register`/`query`/`stats` calls, then `goodbye`. Used by the
+//! integration tests and by the closed-loop load generator in
+//! `crates/bench`.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use rheem_core::{Record, Schema};
+
+use crate::protocol::{read_frame, write_frame, Request, Response, WireError, WireResult};
+
+/// A blocking protocol client holding one session.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect and open a session as `tenant`.
+    pub fn connect(addr: impl ToSocketAddrs, tenant: &str) -> WireResult<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let mut client = Client { stream };
+        match client.call(&Request::Hello {
+            tenant: tenant.to_string(),
+        })? {
+            Response::Ok => Ok(client),
+            Response::Err { message } => Err(WireError::Malformed(message)),
+            other => Err(WireError::Malformed(format!(
+                "unexpected HELLO reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// Send one request and read one response.
+    pub fn call(&mut self, request: &Request) -> WireResult<Response> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let body = read_frame(&mut self.stream)?
+            .ok_or_else(|| WireError::Malformed("server closed the connection".into()))?;
+        Response::decode(&body)
+    }
+
+    /// Register (or replace) an in-memory table.
+    pub fn register(&mut self, name: &str, schema: Schema, rows: Vec<Record>) -> WireResult<()> {
+        match self.call(&Request::Register {
+            name: name.to_string(),
+            schema,
+            rows,
+        })? {
+            Response::Ok => Ok(()),
+            Response::Err { message } => Err(WireError::Malformed(message)),
+            other => Err(WireError::Malformed(format!(
+                "unexpected REGISTER reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// Execute a query; `Err(Malformed)` carries server-side errors
+    /// (planning failures, admission rejections, execution failures).
+    pub fn query(&mut self, sql: &str) -> WireResult<(Schema, Vec<Record>)> {
+        match self.call(&Request::Query {
+            sql: sql.to_string(),
+        })? {
+            Response::Rows { schema, rows } => Ok((schema, rows)),
+            Response::Err { message } => Err(WireError::Malformed(message)),
+            other => Err(WireError::Malformed(format!(
+                "unexpected QUERY reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the server's rendered counter snapshot.
+    pub fn stats(&mut self) -> WireResult<String> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { text } => Ok(text),
+            Response::Err { message } => Err(WireError::Malformed(message)),
+            other => Err(WireError::Malformed(format!(
+                "unexpected STATS reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// Close the session cleanly.
+    pub fn goodbye(mut self) -> WireResult<()> {
+        match self.call(&Request::Goodbye)? {
+            Response::Ok => Ok(()),
+            other => Err(WireError::Malformed(format!(
+                "unexpected GOODBYE reply: {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! The TCP server: sessions, statement caching, and lifecycle.
+//!
+//! One [`RheemServer`] owns a single shared execution substrate — one
+//! [`rheem_core::Observability`] hub (metrics + cost calibration), one
+//! [`rheem_core::PlanCache`], one [`FairShareScheduler`], one
+//! [`JobService`] worker pool — and any number of client sessions on top.
+//!
+//! Each session gets:
+//!
+//! * its own `QueryCatalog` (tables registered by one client are invisible
+//!   to every other client);
+//! * a *statement cache* mapping SQL text to its planned query. Re-planning
+//!   the same SQL would mint fresh UDF closures with fresh `Arc` identities
+//!   and thus fresh opaque plan fingerprints; reusing the planned query is
+//!   what makes a repeated statement *hit* the shared plan cache. The
+//!   statement cache is cleared whenever the session re-registers a table,
+//!   since the old plans capture the old data;
+//! * a unique cache scope, so opaque (closure-identity) plan-cache entries
+//!   are never shared across sessions — only fully declarative plans share
+//!   cache entries server-wide (scope 0);
+//! * a [`scheduler::JobGate`](crate::scheduler::JobGate) tying every wave
+//!   of its jobs into the server-wide fair-share scheduler.
+//!
+//! Sessions do not attach trace sinks: the core's `JobTrace` is per-job
+//! state on the shared hub, and the metrics path is atomics-only, which is
+//! what makes concurrent jobs on one hub safe (see DESIGN.md §13).
+
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rheem_core::query::{PlannedQuery, QueryCatalog};
+use rheem_core::{Observability, PlanCache, PlanCacheConfig, RheemContext};
+
+use crate::protocol::{read_frame, write_frame, Request, Response, WireResult};
+use crate::scheduler::FairShareScheduler;
+use crate::service::{JobService, ServiceConfig};
+
+/// Knobs for [`RheemServer::start`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Admission control and worker pool sizing.
+    pub service: ServiceConfig,
+    /// Concurrent wave slots shared by all jobs (fair-share granularity).
+    pub wave_slots: usize,
+    /// Plan cache sizing and drift threshold.
+    pub cache: PlanCacheConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            service: ServiceConfig::default(),
+            wave_slots: 2,
+            cache: PlanCacheConfig::default(),
+        }
+    }
+}
+
+struct ServerShared {
+    /// Template context: every session clones this and re-scopes it.
+    base: RheemContext,
+    observability: Arc<Observability>,
+    plan_cache: Arc<PlanCache>,
+    scheduler: Arc<FairShareScheduler>,
+    service: JobService,
+    /// Next session cache scope; 0 is reserved for transparent
+    /// (fully declarative) fingerprints shared server-wide.
+    next_scope: AtomicU64,
+    shutdown: AtomicBool,
+    /// Clones of live session streams, so shutdown can unblock their reads.
+    session_streams: Mutex<Vec<TcpStream>>,
+}
+
+/// The long-running multi-tenant job server.
+pub struct RheemServer;
+
+/// Handle to a started server: address, shared components, shutdown.
+pub struct ServerHandle {
+    shared: Arc<ServerShared>,
+    addr: std::net::SocketAddr,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    session_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl RheemServer {
+    /// Bind `config.addr`, start the accept loop, and return a handle.
+    pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let observability = Arc::new(Observability::new());
+        let plan_cache = Arc::new(PlanCache::new(config.cache));
+        let scheduler = FairShareScheduler::new(config.wave_slots);
+        let service = JobService::start(config.service.clone(), observability.metrics().clone());
+        let base = rheem_platforms::full_context().with_observability(observability.clone());
+        let shared = Arc::new(ServerShared {
+            base,
+            observability,
+            plan_cache,
+            scheduler,
+            service,
+            next_scope: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            session_streams: Mutex::new(Vec::new()),
+        });
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let session_threads = Arc::new(Mutex::new(Vec::new()));
+        let accept_shared = shared.clone();
+        let accept_sessions = session_threads.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("rheem-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shared.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let shared = accept_shared.clone();
+                    let handle = std::thread::Builder::new()
+                        .name("rheem-session".to_string())
+                        .spawn(move || {
+                            let _ = run_session(&shared, stream);
+                        })
+                        .expect("spawn session thread");
+                    accept_sessions.lock().push(handle);
+                }
+            })?;
+
+        Ok(ServerHandle {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+            session_threads,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address clients should connect to.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The shared observability hub (metrics + calibration).
+    pub fn observability(&self) -> &Arc<Observability> {
+        &self.shared.observability
+    }
+
+    /// The shared plan cache.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.shared.plan_cache
+    }
+
+    /// The shared fair-share wave scheduler (grant log lives here).
+    pub fn scheduler(&self) -> &Arc<FairShareScheduler> {
+        &self.shared.scheduler
+    }
+
+    /// Stop accepting connections, close live sessions, drain the worker
+    /// pool, and join every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the blocked accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Unblock session reads, then join the session threads.
+        for stream in self.shared.session_streams.lock().iter() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for t in self.session_threads.lock().drain(..) {
+            let _ = t.join();
+        }
+        self.shared.service.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One session: HELLO, then a request/response loop until GOODBYE or EOF.
+fn run_session(shared: &ServerShared, mut stream: TcpStream) -> WireResult<()> {
+    shared
+        .session_streams
+        .lock()
+        .push(stream.try_clone().map_err(crate::protocol::WireError::Io)?);
+
+    // First frame must be HELLO.
+    let Some(body) = read_frame(&mut stream)? else {
+        return Ok(());
+    };
+    let tenant = match Request::decode(&body)? {
+        Request::Hello { tenant } if !tenant.is_empty() => tenant,
+        _ => {
+            let resp = Response::Err {
+                message: "expected HELLO with a non-empty tenant".into(),
+            };
+            write_frame(&mut stream, &resp.encode())?;
+            return Ok(());
+        }
+    };
+    write_frame(&mut stream, &Response::Ok.encode())?;
+
+    let scope = shared.next_scope.fetch_add(1, Ordering::Relaxed);
+    let gate = shared.scheduler.gate(&tenant);
+    let ctx = shared
+        .base
+        .clone()
+        .with_plan_cache(shared.plan_cache.clone())
+        .with_cache_scope(scope)
+        .with_wave_gate(gate);
+    let mut catalog = QueryCatalog::new();
+    let mut statements: HashMap<String, Arc<PlannedQuery>> = HashMap::new();
+
+    while let Some(body) = read_frame(&mut stream)? {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let response = match Request::decode(&body)? {
+            Request::Hello { .. } => Response::Err {
+                message: "session already open".into(),
+            },
+            Request::Register { name, schema, rows } => {
+                catalog.register(name, schema, rows);
+                // Cached statements captured the replaced table's data.
+                statements.clear();
+                Response::Ok
+            }
+            Request::Query { sql } => {
+                handle_query(shared, &tenant, &ctx, &catalog, &mut statements, &sql)
+            }
+            Request::Stats => Response::Stats {
+                text: render_stats(shared),
+            },
+            Request::Goodbye => {
+                write_frame(&mut stream, &Response::Ok.encode())?;
+                break;
+            }
+        };
+        write_frame(&mut stream, &response.encode())?;
+    }
+    Ok(())
+}
+
+/// Plan (or reuse) and execute one query through admission control.
+fn handle_query(
+    shared: &ServerShared,
+    tenant: &str,
+    ctx: &RheemContext,
+    catalog: &QueryCatalog,
+    statements: &mut HashMap<String, Arc<PlannedQuery>>,
+    sql: &str,
+) -> Response {
+    let planned = match statements.get(sql) {
+        Some(p) => p.clone(),
+        None => match catalog.plan(sql) {
+            Ok(p) => {
+                let p = Arc::new(p);
+                statements.insert(sql.to_string(), p.clone());
+                p
+            }
+            Err(e) => {
+                return Response::Err {
+                    message: format!("planning failed: {e}"),
+                }
+            }
+        },
+    };
+    let job_ctx = ctx.clone();
+    let job_planned = planned.clone();
+    let submitted = shared.service.submit(tenant, move || {
+        let job = job_ctx.execute_logical(&job_planned.logical)?;
+        let rows = job
+            .outputs
+            .get(&job_planned.sink)
+            .map(|d| d.records().to_vec())
+            .unwrap_or_default();
+        Ok::<_, rheem_core::RheemError>(rows)
+    });
+    match submitted {
+        Err(admission) => Response::Err {
+            message: format!("rejected: {admission}"),
+        },
+        Ok(Err(exec)) => Response::Err {
+            message: format!("execution failed: {exec}"),
+        },
+        Ok(Ok(rows)) => Response::Rows {
+            schema: planned.schema.clone(),
+            rows,
+        },
+    }
+}
+
+/// Render the shared metrics registry plus cache and scheduler gauges.
+fn render_stats(shared: &ServerShared) -> String {
+    let mut text = shared.observability.metrics().snapshot().render();
+    let cache = shared.plan_cache.stats();
+    text.push_str(&format!(
+        "plan_cache hits={} misses={} invalidations={} entries={}\n",
+        cache.hits, cache.misses, cache.invalidations, cache.entries
+    ));
+    text.push_str(&format!(
+        "scheduler grants={} waiting={}\n",
+        shared.scheduler.total_grants(),
+        shared.scheduler.waiting_jobs()
+    ));
+    text
+}

@@ -1,0 +1,385 @@
+//! Admission control and the shared worker pool.
+//!
+//! [`JobService`] sits between the sessions and the execution layer. Every
+//! job goes through `submit` which enforces, *before* any work is queued:
+//!
+//! * a per-tenant in-flight quota (`max_inflight_per_tenant`): a tenant's
+//!   jobs queued-or-running may not exceed it;
+//! * a bounded global queue (`queue_capacity`): jobs waiting for a pool
+//!   worker may not exceed it.
+//!
+//! Violating either rejects the submission immediately with an
+//! [`AdmissionError`] — backpressure is explicit and prompt, never an
+//! unbounded queue. Admitted jobs run on a fixed pool of worker threads;
+//! the submitting session blocks until its job completes (the session is
+//! the client's connection thread, so per-session jobs are naturally
+//! serial while cross-session jobs are concurrent).
+//!
+//! Per-tenant counters (`server.tenant.<t>.submitted/completed/rejected`)
+//! are reported into the shared [`MetricsRegistry`].
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use rheem_core::MetricsRegistry;
+
+/// Why a submission was refused at the door.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The tenant already has `max_inflight_per_tenant` jobs in flight.
+    TenantOverQuota {
+        /// The offending tenant.
+        tenant: String,
+        /// The quota it hit.
+        quota: usize,
+    },
+    /// The global queue is full.
+    QueueFull {
+        /// The queue bound that was hit.
+        capacity: usize,
+    },
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::TenantOverQuota { tenant, quota } => {
+                write!(f, "tenant `{tenant}` is over its in-flight quota ({quota})")
+            }
+            AdmissionError::QueueFull { capacity } => {
+                write!(f, "job queue is full ({capacity})")
+            }
+            AdmissionError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Knobs for [`JobService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads executing admitted jobs.
+    pub workers: usize,
+    /// Bound on jobs queued for a worker (running jobs do not count).
+    pub queue_capacity: usize,
+    /// Bound on one tenant's queued-plus-running jobs.
+    pub max_inflight_per_tenant: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 16,
+            max_inflight_per_tenant: 4,
+        }
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct QueueState {
+    queue: VecDeque<Job>,
+    /// Queued-plus-running jobs per tenant.
+    inflight: HashMap<String, usize>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Workers sleep on this when the queue is empty.
+    work_cv: Condvar,
+    config: ServiceConfig,
+    metrics: Arc<MetricsRegistry>,
+}
+
+/// The admission-controlled worker pool.
+pub struct JobService {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl JobService {
+    /// Start `config.workers` pool threads reporting into `metrics`.
+    pub fn start(config: ServiceConfig, metrics: Arc<MetricsRegistry>) -> Self {
+        let config = ServiceConfig {
+            workers: config.workers.max(1),
+            queue_capacity: config.queue_capacity.max(1),
+            max_inflight_per_tenant: config.max_inflight_per_tenant.max(1),
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                inflight: HashMap::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            config,
+            metrics,
+        });
+        let workers = (0..shared.config.workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("rheem-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        JobService {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Admit `job` for `tenant` and block until it has run, returning its
+    /// result. Rejections (quota, queue, shutdown) return immediately.
+    pub fn submit<R, F>(&self, tenant: &str, job: F) -> Result<R, AdmissionError>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let metrics = &self.shared.metrics;
+        {
+            let mut st = self.shared.state.lock();
+            if st.shutdown {
+                return Err(AdmissionError::ShuttingDown);
+            }
+            let quota = self.shared.config.max_inflight_per_tenant;
+            let inflight = st.inflight.get(tenant).copied().unwrap_or(0);
+            if inflight >= quota {
+                drop(st);
+                metrics
+                    .counter(&format!("server.tenant.{tenant}.rejected"))
+                    .inc();
+                return Err(AdmissionError::TenantOverQuota {
+                    tenant: tenant.to_string(),
+                    quota,
+                });
+            }
+            let capacity = self.shared.config.queue_capacity;
+            if st.queue.len() >= capacity {
+                drop(st);
+                metrics
+                    .counter(&format!("server.tenant.{tenant}.rejected"))
+                    .inc();
+                return Err(AdmissionError::QueueFull { capacity });
+            }
+            *st.inflight.entry(tenant.to_string()).or_insert(0) += 1;
+
+            // Completion rendezvous between the pool worker and this caller.
+            let done: Arc<(Mutex<Option<R>>, Condvar)> =
+                Arc::new((Mutex::new(None), Condvar::new()));
+            let done_tx = done.clone();
+            let shared = self.shared.clone();
+            let job_tenant = tenant.to_string();
+            let task: Job = Box::new(move || {
+                let result = job();
+                // Release the quota slot *before* waking the submitter, so
+                // an observer unblocked by the result never sees a stale
+                // in-flight count.
+                {
+                    let mut st = shared.state.lock();
+                    if let Some(n) = st.inflight.get_mut(&job_tenant) {
+                        *n = n.saturating_sub(1);
+                        if *n == 0 {
+                            st.inflight.remove(&job_tenant);
+                        }
+                    }
+                }
+                let (slot, cv) = &*done_tx;
+                *slot.lock() = Some(result);
+                cv.notify_all();
+            });
+            st.queue.push_back(task);
+            drop(st);
+            metrics
+                .counter(&format!("server.tenant.{tenant}.submitted"))
+                .inc();
+            self.shared.work_cv.notify_one();
+
+            let (slot, cv) = &*done;
+            let mut guard = slot.lock();
+            while guard.is_none() {
+                cv.wait(&mut guard);
+            }
+            let result = guard.take().expect("worker stored a result");
+            drop(guard);
+            metrics
+                .counter(&format!("server.tenant.{tenant}.completed"))
+                .inc();
+            Ok(result)
+        }
+    }
+
+    /// Jobs currently queued (not yet picked up by a worker).
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().queue.len()
+    }
+
+    /// A tenant's queued-plus-running jobs.
+    pub fn inflight(&self, tenant: &str) -> usize {
+        self.shared
+            .state
+            .lock()
+            .inflight
+            .get(tenant)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Stop accepting jobs, drain the queue, and join the workers.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for JobService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            loop {
+                if let Some(next) = st.queue.pop_front() {
+                    break next;
+                }
+                if st.shutdown {
+                    return;
+                }
+                shared.work_cv.wait(&mut st);
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    fn service(workers: usize, queue: usize, quota: usize) -> JobService {
+        JobService::start(
+            ServiceConfig {
+                workers,
+                queue_capacity: queue,
+                max_inflight_per_tenant: quota,
+            },
+            Arc::new(MetricsRegistry::new()),
+        )
+    }
+
+    #[test]
+    fn jobs_run_and_return_their_results() {
+        let svc = service(2, 8, 8);
+        let out: Vec<i32> = (0..8)
+            .map(|i| svc.submit("t", move || i * 2).unwrap())
+            .collect();
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+        assert_eq!(svc.queued(), 0);
+        assert_eq!(svc.inflight("t"), 0);
+    }
+
+    /// A tenant at its quota is rejected immediately — the submit call does
+    /// not block behind the stuck jobs.
+    #[test]
+    fn over_quota_tenant_is_rejected_immediately() {
+        let svc = Arc::new(service(1, 16, 1));
+        let gate = Arc::new(Barrier::new(2));
+        let release = Arc::new(Barrier::new(2));
+        let first = {
+            let (svc, gate, release) = (svc.clone(), gate.clone(), release.clone());
+            std::thread::spawn(move || {
+                svc.submit("greedy", move || {
+                    gate.wait();
+                    release.wait();
+                })
+                .unwrap()
+            })
+        };
+        gate.wait(); // the greedy job is now running
+        let err = svc.submit("greedy", || ()).unwrap_err();
+        assert_eq!(
+            err,
+            AdmissionError::TenantOverQuota {
+                tenant: "greedy".into(),
+                quota: 1
+            }
+        );
+        // A different tenant is unaffected by greedy's quota, but has to
+        // wait for the single worker — so check only the admission side by
+        // submitting after release.
+        release.wait();
+        first.join().unwrap();
+        svc.submit("polite", || ()).unwrap();
+        assert_eq!(svc.inflight("greedy"), 0);
+    }
+
+    /// The global queue bound rejects once exceeded, whoever the tenant.
+    #[test]
+    fn full_queue_rejects_with_backpressure() {
+        let svc = Arc::new(service(1, 1, 16));
+        let gate = Arc::new(Barrier::new(2));
+        let release = Arc::new(Barrier::new(2));
+        let blocker = {
+            let (svc, gate, release) = (svc.clone(), gate.clone(), release.clone());
+            std::thread::spawn(move || {
+                svc.submit("a", move || {
+                    gate.wait();
+                    release.wait();
+                })
+                .unwrap()
+            })
+        };
+        gate.wait(); // worker is busy; queue is empty
+        let queued = {
+            let svc = svc.clone();
+            std::thread::spawn(move || svc.submit("b", || ()).unwrap())
+        };
+        // Wait for the queued job to occupy the single queue slot.
+        while svc.queued() < 1 {
+            std::thread::yield_now();
+        }
+        let err = svc.submit("c", || ()).unwrap_err();
+        assert_eq!(err, AdmissionError::QueueFull { capacity: 1 });
+        release.wait();
+        blocker.join().unwrap();
+        queued.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_and_joins_workers() {
+        let svc = service(2, 4, 4);
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let ran = ran.clone();
+            svc.submit("t", move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        svc.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 4);
+        assert_eq!(
+            svc.submit("t", || ()).unwrap_err(),
+            AdmissionError::ShuttingDown
+        );
+    }
+}

@@ -84,10 +84,15 @@ fn main() -> Result<(), RheemError> {
     // ---- speed layer ------------------------------------------------------
     let mut driver = MicroBatchDriver::new(aggregate);
     let mut speed_platforms: Vec<String> = Vec::new();
-    serving = driver.run(&ctx, micro_batches(live, 100), serving, |state, outcome| {
-        speed_platforms.extend(outcome.stats.platforms_used().iter().map(|s| s.to_string()));
-        absorb(state, &outcome.output)
-    })?;
+    serving = driver.run(
+        &ctx,
+        micro_batches(live, 100)?,
+        serving,
+        |state, outcome| {
+            speed_platforms.extend(outcome.stats.platforms_used().iter().map(|s| s.to_string()));
+            absorb(state, &outcome.output)
+        },
+    )?;
     speed_platforms.sort();
     speed_platforms.dedup();
     println!("speed layer: 20 micro-batches of 100 readings each, all on {speed_platforms:?}");
