@@ -72,15 +72,24 @@ done
 echo "==> server smoke (2 concurrent sessions + clean shutdown)"
 cargo test -q --release -p rheem-server --test server_smoke
 
+# Cancellation/panic chaos smoke: seeded random plans, cancel points, and
+# panicking UDFs against the shared job service (both schedule modes via
+# the proptest strategy; the vendored proptest stub seeds each case from
+# the test name, so the sweep is reproducible), plus the deterministic
+# mid-morsel cancel, deadline-shed, idle-eviction, and bounded-shutdown
+# integration tests.
+echo "==> cancellation/panic chaos smoke (PROPTEST_CASES=16)"
+PROPTEST_CASES=16 cargo test -q --release -p rheem-server --test cancellation
+
 # Server load generator, quick mode: closed-loop multi-tenant run that
-# asserts fair-share wave interleaving, a nonzero plan-cache hit rate, and
-# byte-identical cached outputs inline; then sanity-check the emitted
-# BENCH_server.json schema.
+# asserts fair-share wave interleaving, a nonzero plan-cache hit rate,
+# byte-identical cached outputs, and post-cancel-storm serviceability
+# inline; then sanity-check the emitted BENCH_server.json schema.
 echo "==> ablation_server (SERVER_BENCH_QUICK=1) + schema check"
 SERVER_BENCH_QUICK=1 cargo bench -q -p rheem-bench --bench ablation_server
 for key in '"bench": "ablation_server"' '"tenants": 2' '"throughput_rps"' \
     '"p50"' '"p99"' '"per_tenant"' '"grant_switches"' '"hit_rate"' \
-    '"outputs_match": true'; do
+    '"cancel_storm"' '"shed_deadline"' '"outputs_match": true'; do
   grep -qF "$key" BENCH_server.json \
     || { echo "BENCH_server.json missing $key"; exit 1; }
 done

@@ -13,6 +13,11 @@
 //! 3. Cached-plan executions return byte-identical rows to the cold
 //!    execution of the same statement (`outputs_match`, compared on the
 //!    canonical wire encoding).
+//! 4. A *cancel storm* (DESIGN.md §14): one tenant hurls zero-deadline
+//!    requests (shed in the admission queue) while a second connection
+//!    spams `CANCEL`; the storm's shed/cancelled/completed counts and the
+//!    survivors' p99 are recorded, and the server must stay fully
+//!    serviceable afterwards.
 //!
 //! `SERVER_BENCH_QUICK=1` trims the request count for CI.
 
@@ -68,6 +73,14 @@ struct TenantReport {
     p50_ms: f64,
     p99_ms: f64,
     granted_waves: u64,
+}
+
+struct StormReport {
+    requests: usize,
+    shed_deadline: u64,
+    cancelled: u64,
+    completed: usize,
+    p99_ms: f64,
 }
 
 fn main() {
@@ -135,6 +148,89 @@ fn main() {
         client.goodbye().expect("goodbye");
     }
 
+    // Cancel storm: a third tenant alternates zero-deadline requests
+    // (aged out in the admission queue before costing a worker) with
+    // normal ones, while a second connection under the same tenant spams
+    // CANCEL-all. Shed/cancelled counts come off the server's own
+    // counters; the p99 is over the requests that survived the storm.
+    let storm = {
+        let storm_requests = if quick { 12 } else { 60 };
+        let metrics = handle.observability().metrics();
+        let shed_before = metrics.counter_value("server.jobs.shed_deadline");
+        let cancelled_before = metrics.counter_value("server.jobs.cancelled");
+        let mut client = Client::connect(addr, "storm").expect("connect");
+        client
+            .register("orders", table_schema(), table_rows(7, rows_per_table))
+            .expect("register");
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let mut survivors: Vec<f64> = Vec::new();
+        let mut completed = 0usize;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut canceller = Client::connect(addr, "storm").expect("connect canceller");
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    canceller.cancel(0).expect("cancel-all");
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                canceller.goodbye().expect("goodbye");
+            });
+            for i in 0..storm_requests {
+                let sql = STATEMENTS[i % STATEMENTS.len()];
+                let t = Instant::now();
+                let outcome = if i % 3 == 0 {
+                    client.query_with_deadline(sql, std::time::Duration::ZERO)
+                } else {
+                    client.query(sql)
+                };
+                match outcome {
+                    Ok((_, rows)) => {
+                        survivors.push(t.elapsed().as_secs_f64() * 1e3);
+                        completed += 1;
+                        assert!(!rows.is_empty(), "storm: `{sql}` returned no rows");
+                    }
+                    Err(err) => {
+                        // The only acceptable failures are the storm's own
+                        // doing: a queue shed or a cancellation — never a
+                        // protocol error or a lost worker.
+                        let message = err.to_string();
+                        assert!(
+                            message.contains("deadline") || message.contains("cancelled"),
+                            "storm request failed for a non-storm reason: {message}"
+                        );
+                    }
+                }
+            }
+            stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        });
+
+        // The storm must not degrade the server: the storm tenant's own
+        // session and a fresh tenant both get full service afterwards.
+        for sql in STATEMENTS {
+            let (_, rows) = client.query(sql).expect("post-storm query");
+            assert!(!rows.is_empty(), "post-storm `{sql}` returned no rows");
+        }
+        client.goodbye().expect("goodbye");
+        let mut after = Client::connect(addr, "aftermath").expect("connect");
+        after
+            .register("orders", table_schema(), table_rows(11, rows_per_table))
+            .expect("register");
+        let (_, rows) = after.query(STATEMENTS[0]).expect("post-storm fresh tenant");
+        assert!(!rows.is_empty());
+        after.goodbye().expect("goodbye");
+
+        let shed_deadline = metrics.counter_value("server.jobs.shed_deadline") - shed_before;
+        let cancelled = metrics.counter_value("server.jobs.cancelled") - cancelled_before;
+        assert!(shed_deadline >= 1, "zero-deadline requests never shed");
+        survivors.sort_by(|a, b| a.total_cmp(b));
+        StormReport {
+            requests: storm_requests,
+            shed_deadline,
+            cancelled,
+            completed,
+            p99_ms: percentile(&survivors, 0.99),
+        }
+    };
+
     let granted = handle.scheduler().granted_waves();
     let log = handle.scheduler().grant_log();
     let grant_switches = log
@@ -192,6 +288,11 @@ fn main() {
          cache hit rate {:.2}, {grant_switches} grant interleavings",
         hit_rate
     );
+    eprintln!(
+        "storm: {} requests, {} shed on deadline, {} cancelled, {} completed, \
+         survivor p99 {:.2} ms",
+        storm.requests, storm.shed_deadline, storm.cancelled, storm.completed, storm.p99_ms
+    );
 
     let stamp = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -216,14 +317,18 @@ fn main() {
          \"closed-loop load generator: two concurrent tenant sessions against one \
          in-process server; fairness is read off the scheduler's wave-grant log, \
          outputs_match asserts cached-plan rows are byte-identical to the cold run \
-         on the canonical wire encoding\",\n  \
+         on the canonical wire encoding; cancel_storm drives a zero-deadline plus \
+         CANCEL-spam storm at a third tenant and records shed/cancelled counts and \
+         the survivors' p99\",\n  \
          \"tenants\": {},\n  \"requests_total\": {requests_total},\n  \
          \"wall_ms\": {wall_ms:.1},\n  \"throughput_rps\": {throughput_rps:.2},\n  \
          \"latency_ms\": {{\"p50\": {p50:.3}, \"p99\": {p99:.3}}},\n  \
          \"per_tenant\": [\n{}\n  ],\n  \
          \"fair_share\": {{\"grant_switches\": {grant_switches}, \"total_grants\": {}}},\n  \
          \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"invalidations\": {}, \
-         \"hit_rate\": {hit_rate:.4}}},\n  \"outputs_match\": {outputs_match}\n}}\n",
+         \"hit_rate\": {hit_rate:.4}}},\n  \
+         \"cancel_storm\": {{\"requests\": {}, \"shed_deadline\": {}, \"cancelled\": {}, \
+         \"completed\": {}, \"p99_ms\": {:.3}}},\n  \"outputs_match\": {outputs_match}\n}}\n",
         std::env::consts::OS,
         std::env::consts::ARCH,
         tenants.len(),
@@ -232,6 +337,11 @@ fn main() {
         cache.hits,
         cache.misses,
         cache.invalidations,
+        storm.requests,
+        storm.shed_deadline,
+        storm.cancelled,
+        storm.completed,
+        storm.p99_ms,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
     std::fs::write(path, &json).expect("write BENCH_server.json");

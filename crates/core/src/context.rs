@@ -19,7 +19,7 @@ use crate::error::Result;
 use crate::executor::{
     Executor, ExecutorConfig, JobResult, ProgressListener, ScheduleMode, WaveGate,
 };
-use crate::fault::{FaultPolicy, PlatformHealth, Sleeper};
+use crate::fault::{CancelToken, FaultPolicy, PlatformHealth, Sleeper};
 use crate::kernels::parallel::KernelParallelism;
 use crate::logical::LogicalPlan;
 use crate::observe::Observability;
@@ -45,6 +45,7 @@ pub struct RheemContext {
     sleeper: Option<Arc<dyn Sleeper>>,
     kernel_parallelism: Option<KernelParallelism>,
     wave_gate: Option<Arc<dyn WaveGate>>,
+    cancel: Option<CancelToken>,
 }
 
 impl RheemContext {
@@ -214,6 +215,21 @@ impl RheemContext {
         self
     }
 
+    /// Install a cooperative [`CancelToken`] observed by every job this
+    /// context runs: checked at wave boundaries, between retry attempts,
+    /// between interpreted operators, and at morsel granularity inside
+    /// parallel kernels (see `DESIGN.md` §14). Cancelling the token makes
+    /// in-flight jobs fail with [`crate::RheemError::Cancelled`].
+    pub fn with_cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// The installed cancel token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
     /// The registered platforms.
     pub fn platforms(&self) -> &PlatformRegistry {
         &self.platforms
@@ -236,6 +252,7 @@ impl RheemContext {
             storage: self.storage.clone(),
             failure_injector: self.failure_injector.clone(),
             kernel_parallelism: self.kernel_parallelism.unwrap_or_default(),
+            cancel: self.cancel.clone(),
         }
     }
 
@@ -285,6 +302,9 @@ impl RheemContext {
         }
         if let Some(gate) = &self.wave_gate {
             executor = executor.with_wave_gate(gate.clone());
+        }
+        if let Some(cancel) = &self.cancel {
+            executor = executor.with_cancel_token(cancel.clone());
         }
         let result = executor.execute(plan, &self.execution_context())?;
         if self.observability.is_some() {
@@ -435,6 +455,106 @@ mod tests {
             .with_failure_injector(Arc::new(FailureInjector::fail_next("m", 1)))
             .with_max_retries(0);
         assert!(ctx.execute(tiny_plan()).is_err());
+    }
+
+    #[test]
+    fn a_pre_cancelled_token_aborts_before_any_work() {
+        use crate::error::CancelReason;
+        use crate::fault::CancelToken;
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Explicit);
+        let obs = Arc::new(crate::observe::Observability::new());
+        let ctx = RheemContext::new()
+            .with_platform(Arc::new(MockPlatform("m")))
+            .with_observability(obs.clone())
+            .with_cancel_token(token);
+        let err = ctx.execute(tiny_plan()).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::RheemError::Cancelled {
+                reason: CancelReason::Explicit
+            }
+        ));
+        assert_eq!(err.classify(), crate::ErrorKind::Cancelled);
+        assert_eq!(obs.metrics().counter_value("executor.cancelled"), 1);
+    }
+
+    #[test]
+    fn an_expired_deadline_trips_the_cancel_token() {
+        use crate::error::CancelReason;
+        use crate::fault::CancelToken;
+        let token = CancelToken::new();
+        let ctx = RheemContext::new()
+            .with_platform(Arc::new(MockPlatform("m")))
+            .with_cancel_token(token.clone())
+            .with_timeout(Duration::ZERO);
+        let err = ctx.execute(tiny_plan()).unwrap_err();
+        assert!(matches!(err, crate::RheemError::BudgetExceeded(_)));
+        // The deadline gate also trips the token, so morsel loops of any
+        // in-flight sibling atoms would stop promptly.
+        assert_eq!(token.reason(), Some(CancelReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn a_panicking_udf_fails_cleanly_and_the_context_survives() {
+        use crate::udf::MapUdf;
+        let obs = Arc::new(crate::observe::Observability::new());
+        let ctx = RheemContext::new()
+            .with_platform(Arc::new(MockPlatform("m")))
+            .with_observability(obs.clone());
+        let mut b = PlanBuilder::new();
+        let src = b.collection("s", vec![rec![1i64], rec![2i64]]);
+        let m = b.map(
+            src,
+            MapUdf::new("boom", |r| {
+                if r.int(0).unwrap() == 2 {
+                    panic!("poisoned udf");
+                }
+                r.clone()
+            }),
+        );
+        b.collect(m);
+        let err = ctx.execute(b.build().unwrap()).unwrap_err();
+        match &err {
+            crate::RheemError::Panic { platform, message } => {
+                assert_eq!(platform, "m");
+                assert!(message.contains("poisoned udf"), "{message}");
+            }
+            other => panic!("expected Panic, got {other}"),
+        }
+        assert_eq!(err.classify(), crate::ErrorKind::Permanent { panic: true });
+        assert_eq!(obs.metrics().counter_value("executor.panics_caught"), 1);
+        // The caught panic never unwound through the scheduler: the same
+        // context immediately runs the next job.
+        let ok = ctx.execute(tiny_plan()).unwrap();
+        assert_eq!(ok.single().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn backoff_naps_clamp_to_the_remaining_deadline() {
+        use crate::fault::{BackoffPolicy, FaultPolicy, VirtualSleeper};
+        use crate::platform::FailureInjector;
+        let sleeper = Arc::new(VirtualSleeper::new());
+        let mut policy = FaultPolicy::instant();
+        // A fixed 10 s backoff against a 50 ms deadline: unclamped, the
+        // single retry nap alone would overshoot the budget 200-fold.
+        policy.backoff = BackoffPolicy {
+            base: Duration::from_secs(10),
+            multiplier: 1.0,
+            max: Duration::from_secs(10),
+            jitter: 0.0,
+            seed: 0,
+        };
+        let ctx = RheemContext::new()
+            .with_platform(Arc::new(MockPlatform("m")))
+            .with_failure_injector(Arc::new(FailureInjector::fail_next("m", 1)))
+            .with_fault_policy(policy)
+            .with_sleeper(sleeper.clone())
+            .with_timeout(Duration::from_millis(50));
+        ctx.execute(tiny_plan()).unwrap();
+        let naps = sleeper.naps();
+        assert_eq!(naps.len(), 1);
+        assert!(naps[0] <= Duration::from_millis(50), "{:?}", naps[0]);
     }
 
     #[test]

@@ -25,12 +25,49 @@ pub enum ErrorKind {
     Transient,
     /// Retrying cannot help: the plan, data, or configuration is wrong
     /// (type errors, invalid plans, unknown platforms). The executor fails
-    /// fast after exactly one attempt.
-    Permanent,
+    /// fast after exactly one attempt. `panic: true` marks the subclass
+    /// caught by the executor's unwind barrier — a UDF or kernel panicked
+    /// rather than returning an error (see `DESIGN.md` §14).
+    Permanent {
+        /// The failure was a caught panic, not a returned error.
+        panic: bool,
+    },
     /// A bounded resource is gone — the job deadline expired or a
     /// platform's circuit breaker is open. Retrying *here* is pointless;
     /// an open breaker instead makes the atom a failover candidate.
     ResourceExhausted,
+    /// The job was cooperatively cancelled ([`crate::fault::CancelToken`]):
+    /// the client disconnected, the deadline expired at a checkpoint, the
+    /// server is shutting down, or an explicit `CANCEL` arrived. Never
+    /// retried, never a failover candidate — the work is unwanted, not
+    /// broken.
+    Cancelled,
+}
+
+/// Why a [`crate::fault::CancelToken`] fired. Carried by
+/// [`RheemError::Cancelled`] so the edge can report *who* abandoned the
+/// job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CancelReason {
+    /// The session owning the job hung up mid-flight.
+    ClientDisconnect,
+    /// The request's deadline budget ran out.
+    DeadlineExceeded,
+    /// The service is shutting down and draining in-flight work.
+    Shutdown,
+    /// An explicit cancel request (wire `CANCEL` or a direct API call).
+    Explicit,
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CancelReason::ClientDisconnect => "client disconnect",
+            CancelReason::DeadlineExceeded => "deadline exceeded",
+            CancelReason::Shutdown => "shutdown",
+            CancelReason::Explicit => "explicit cancel",
+        })
+    }
 }
 
 /// The unified error type of the RHEEM core.
@@ -88,6 +125,22 @@ pub enum RheemError {
     BudgetExceeded(String),
     /// A declarative query failed to parse or plan.
     Query(String),
+    /// The job was cooperatively cancelled at a checkpoint (wave boundary,
+    /// retry loop, morsel pull). Carries the first cancellation reason
+    /// recorded on the job's [`crate::fault::CancelToken`].
+    Cancelled {
+        /// Who abandoned the job.
+        reason: CancelReason,
+    },
+    /// A panic caught at the executor's unwind barrier: a UDF or kernel
+    /// panicked instead of returning an error. The panic is confined to
+    /// the failing atom — worker threads and sibling jobs survive.
+    Panic {
+        /// Platform whose atom invocation panicked.
+        platform: String,
+        /// The panic payload, stringified when possible.
+        message: String,
+    },
     /// Wrapper for I/O failures (local files, simulated HDFS spill, ...).
     Io(std::io::Error),
 }
@@ -123,6 +176,10 @@ impl fmt::Display for RheemError {
             RheemError::DatasetNotFound(id) => write!(f, "dataset not found: {id}"),
             RheemError::BudgetExceeded(msg) => write!(f, "budget exceeded: {msg}"),
             RheemError::Query(msg) => write!(f, "query error: {msg}"),
+            RheemError::Cancelled { reason } => write!(f, "job cancelled: {reason}"),
+            RheemError::Panic { platform, message } => {
+                write!(f, "panic on platform {platform}: {message}")
+            }
             RheemError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
@@ -135,9 +192,12 @@ impl RheemError {
     ///   failures, and I/O errors — the engine may simply have hiccuped.
     /// - [`ErrorKind::ResourceExhausted`]: expired budgets and open
     ///   circuit breakers — retrying on the same resource cannot help.
+    /// - [`ErrorKind::Cancelled`]: the job was cooperatively abandoned —
+    ///   no retry, no failover; the result is unwanted.
     /// - [`ErrorKind::Permanent`]: everything else (bad plans, type
     ///   errors, missing mappings/platforms/datasets, query errors) — a
-    ///   retry would deterministically fail again.
+    ///   retry would deterministically fail again. Caught panics are
+    ///   `Permanent { panic: true }`.
     pub fn classify(&self) -> ErrorKind {
         match self {
             RheemError::Execution { .. } | RheemError::Storage(_) | RheemError::Io(_) => {
@@ -146,6 +206,8 @@ impl RheemError {
             RheemError::BudgetExceeded(_) | RheemError::PlatformUnavailable { .. } => {
                 ErrorKind::ResourceExhausted
             }
+            RheemError::Cancelled { .. } => ErrorKind::Cancelled,
+            RheemError::Panic { .. } => ErrorKind::Permanent { panic: true },
             RheemError::InvalidPlan(_)
             | RheemError::Type { .. }
             | RheemError::FieldOutOfBounds { .. }
@@ -153,7 +215,7 @@ impl RheemError {
             | RheemError::NoPlatformFor { .. }
             | RheemError::UnknownPlatform(_)
             | RheemError::DatasetNotFound(_)
-            | RheemError::Query(_) => ErrorKind::Permanent,
+            | RheemError::Query(_) => ErrorKind::Permanent { panic: false },
         }
     }
 
@@ -169,7 +231,8 @@ impl RheemError {
     pub fn platform(&self) -> Option<&str> {
         match self {
             RheemError::Execution { platform, .. }
-            | RheemError::PlatformUnavailable { platform, .. } => Some(platform),
+            | RheemError::PlatformUnavailable { platform, .. }
+            | RheemError::Panic { platform, .. } => Some(platform),
             RheemError::UnknownPlatform(platform) => Some(platform),
             _ => None,
         }
@@ -244,7 +307,7 @@ mod tests {
             RheemError::Query("parse".into()),
         ];
         for e in &permanent {
-            assert_eq!(e.classify(), ErrorKind::Permanent, "{e}");
+            assert_eq!(e.classify(), ErrorKind::Permanent { panic: false }, "{e}");
             assert!(!e.is_retryable(), "{e}");
         }
         let exhausted = [
@@ -258,6 +321,39 @@ mod tests {
             assert_eq!(e.classify(), ErrorKind::ResourceExhausted, "{e}");
             assert!(!e.is_retryable(), "{e}");
         }
+        // A caught panic is permanent with the panic flag raised, and a
+        // cancellation is its own non-retryable kind — neither ever
+        // consumes retry budget.
+        let panic = RheemError::Panic {
+            platform: "java".into(),
+            message: "index out of bounds".into(),
+        };
+        assert_eq!(panic.classify(), ErrorKind::Permanent { panic: true });
+        assert!(!panic.is_retryable());
+        for reason in [
+            CancelReason::ClientDisconnect,
+            CancelReason::DeadlineExceeded,
+            CancelReason::Shutdown,
+            CancelReason::Explicit,
+        ] {
+            let e = RheemError::Cancelled { reason };
+            assert_eq!(e.classify(), ErrorKind::Cancelled, "{e}");
+            assert!(!e.is_retryable(), "{e}");
+        }
+    }
+
+    #[test]
+    fn cancel_and_panic_messages_name_their_cause() {
+        let e = RheemError::Cancelled {
+            reason: CancelReason::ClientDisconnect,
+        };
+        assert_eq!(e.to_string(), "job cancelled: client disconnect");
+        let e = RheemError::Panic {
+            platform: "sparklike".into(),
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "panic on platform sparklike: boom");
+        assert_eq!(e.platform(), Some("sparklike"));
     }
 
     #[test]

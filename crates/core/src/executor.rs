@@ -77,8 +77,8 @@ use parking_lot::Mutex;
 
 use crate::cost::MovementCostModel;
 use crate::data::Dataset;
-use crate::error::{Result, RheemError};
-use crate::fault::{BackoffPolicy, PlatformHealth, Sleeper, ThreadSleeper};
+use crate::error::{CancelReason, Result, RheemError};
+use crate::fault::{BackoffPolicy, CancelToken, PlatformHealth, Sleeper, ThreadSleeper};
 use crate::optimizer::replan::{worst_drift, Replanner};
 use crate::plan::{ExecutionPlan, NodeId, TaskAtom};
 use crate::platform::{AtomInputs, ExecutionContext, FailureInjector, PlatformRegistry};
@@ -288,6 +288,12 @@ pub trait ProgressListener: Send + Sync {
     fn on_failover(&self, _event: &FailoverEvent) {}
     /// The whole job completed successfully.
     fn on_job_complete(&self, _stats: &ExecutionStats) {}
+    /// The job failed with [`RheemError::Cancelled`]. Called exactly once
+    /// per cancelled job, on the thread driving the job, after every
+    /// per-atom callback has returned. Partial-wave progress committed
+    /// before the cancellation point stays committed (it was already
+    /// reported through `on_atom_complete`).
+    fn on_job_cancelled(&self, _reason: crate::error::CancelReason) {}
 }
 
 /// A hook bracketing every scheduling wave of a job.
@@ -434,6 +440,7 @@ pub struct Executor {
     health: Option<Arc<PlatformHealth>>,
     failover: Option<FailoverConfig>,
     wave_gate: Option<Arc<dyn WaveGate>>,
+    cancel: Option<CancelToken>,
 }
 
 impl Executor {
@@ -452,6 +459,7 @@ impl Executor {
             health: None,
             failover: None,
             wave_gate: None,
+            cancel: None,
         }
     }
 
@@ -523,6 +531,18 @@ impl Executor {
         self
     }
 
+    /// Install a cooperative [`CancelToken`]. Checked at every wave
+    /// boundary and before every retry attempt; made ambient for the
+    /// duration of each atom so interpreted operators and morsel loops
+    /// observe it too (see `DESIGN.md` §14). Once cancelled, the job
+    /// fails with [`RheemError::Cancelled`] — classified
+    /// [`ErrorKind::Cancelled`](crate::ErrorKind), which is neither
+    /// retryable nor failover-eligible.
+    pub fn with_cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
     /// Run an execution plan to completion.
     ///
     /// Both schedule modes drive the same wave loop (sequential mode
@@ -534,8 +554,25 @@ impl Executor {
     /// re-enumerated and spliced in (committed atoms are never re-run;
     /// wave numbering continues across the splice).
     pub fn execute(&self, plan: &ExecutionPlan, ctx: &ExecutionContext) -> Result<JobResult> {
+        let result = self.execute_inner(plan, ctx);
+        if let Err(RheemError::Cancelled { reason }) = &result {
+            for l in &self.listeners {
+                l.on_job_cancelled(*reason);
+            }
+        }
+        result
+    }
+
+    fn execute_inner(&self, plan: &ExecutionPlan, ctx: &ExecutionContext) -> Result<JobResult> {
         let started = Instant::now();
         let deadline = self.config.timeout.and_then(|t| started.checked_add(t));
+        // An executor-level cancel token rides on the execution context so
+        // every layer below (platform runners, interpreter, morsel loops)
+        // observes the same token; a token already on the context wins.
+        let ctx = &match (&self.cancel, &ctx.cancel) {
+            (Some(token), None) => ctx.clone().with_cancel_token(token.clone()),
+            _ => ctx.clone(),
+        };
         // Validates all cross-atom wiring (producer bounds, assignment
         // bounds, ownership) up front: scheduling never indexes blindly.
         plan.atom_dependencies()?;
@@ -575,6 +612,9 @@ impl Executor {
             }
             let mut executed: HashSet<usize> = HashSet::new();
             for wave in &waves {
+                // Wave-boundary cancellation checkpoint: a cancelled job
+                // stops before acquiring a fair-share slot for the wave.
+                self.check_gates(ctx, deadline)?;
                 if let Some(gate) = &self.wave_gate {
                     gate.before_wave(wave_idx, wave.len());
                 }
@@ -917,7 +957,7 @@ impl Executor {
         node_outputs: &Mutex<HashMap<NodeId, Dataset>>,
         ctx: &ExecutionContext,
     ) -> Result<AtomRun> {
-        check_deadline(deadline)?;
+        self.check_gates(ctx, deadline)?;
         // An open circuit breaker rejects the atom before any work: no
         // inputs gathered, no retry budget burned — straight to the
         // failover decision.
@@ -969,7 +1009,7 @@ impl Executor {
         let atom_started = Instant::now();
         let mut attempts = 0usize;
         let result = loop {
-            check_deadline(deadline)?;
+            self.check_gates(ctx, deadline)?;
             attempts += 1;
             let injected = ctx
                 .failure_injector
@@ -977,7 +1017,7 @@ impl Executor {
                 .and_then(|inj| inj.inject(&atom.platform, atom.id, attempts));
             let outcome = match injected {
                 Some(kind) => Err(FailureInjector::error_for(kind, &atom.platform, atom.id)),
-                None => platform.execute_atom(&plan.physical, atom, &inputs, ctx),
+                None => run_guarded(platform.as_ref(), &plan.physical, atom, &inputs, ctx),
             };
             match outcome {
                 Ok(r) => {
@@ -1016,7 +1056,19 @@ impl Executor {
                     for l in &self.listeners {
                         l.on_atom_retry(atom.id, attempts, &e);
                     }
-                    self.sleeper.sleep(self.backoff.delay(atom.id, attempts));
+                    // Clamp each nap to the remaining deadline budget so
+                    // backoff can never sleep past the job deadline, and
+                    // nap interruptibly when a cancel token is installed
+                    // so cancellation cuts the backoff short.
+                    let delay = self.backoff.delay(atom.id, attempts);
+                    let nap = match deadline {
+                        Some(d) => delay.min(d.saturating_duration_since(Instant::now())),
+                        None => delay,
+                    };
+                    match &ctx.cancel {
+                        Some(token) => self.sleeper.sleep_cancellable(nap, token),
+                        None => self.sleeper.sleep(nap),
+                    }
                 }
             }
         };
@@ -1041,6 +1093,26 @@ impl Executor {
             stats,
             outputs: result.outputs,
         })
+    }
+
+    /// The cancellation + deadline gate shared by wave boundaries and
+    /// retry attempts. An expired deadline also trips the ambient cancel
+    /// token (reason [`CancelReason::DeadlineExceeded`]) so morsel loops
+    /// inside in-flight sibling atoms stop promptly instead of running
+    /// their fragments to completion.
+    fn check_gates(&self, ctx: &ExecutionContext, deadline: Option<Instant>) -> Result<()> {
+        ctx.check_cancelled()?;
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                if let Some(token) = &ctx.cancel {
+                    token.cancel(CancelReason::DeadlineExceeded);
+                }
+                return Err(RheemError::BudgetExceeded(
+                    "job exceeded its wall-clock budget".into(),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Fold one finished atom into the job state: record its stats,
@@ -1110,6 +1182,54 @@ fn compute_waves(deps: &[Vec<usize>]) -> Result<Vec<Vec<usize>>> {
         )));
     }
     Ok(waves)
+}
+
+/// Run one atom invocation with panic isolation and the ambient cancel
+/// scope installed for morsel-level checkpoints.
+///
+/// A panic anywhere below the platform boundary (typically a user UDF)
+/// is caught and converted into [`RheemError::Panic`] — classified
+/// [`ErrorKind::Permanent { panic: true }`](crate::ErrorKind) — so one
+/// poisoned closure fails its job with a clean error instead of
+/// unwinding through the wave scheduler and taking the worker thread
+/// down. Platforms and UDFs are wrapped in `AssertUnwindSafe` under the
+/// unwind-safety contract of `DESIGN.md` §14: a failed atom's inputs
+/// and outputs are discarded wholesale and never re-observed, so
+/// partially mutated state cannot leak.
+fn run_guarded(
+    platform: &dyn crate::platform::Platform,
+    physical: &crate::plan::PhysicalPlan,
+    atom: &TaskAtom,
+    inputs: &AtomInputs,
+    ctx: &ExecutionContext,
+) -> Result<crate::platform::AtomResult> {
+    let guarded = || {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            platform.execute_atom(physical, atom, inputs, ctx)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(RheemError::Panic {
+                platform: atom.platform.clone(),
+                message: panic_message(payload.as_ref()),
+            })
+        })
+    };
+    match &ctx.cancel {
+        Some(token) => crate::kernels::parallel::with_cancel_scope(token, guarded),
+        None => guarded(),
+    }
+}
+
+/// Best-effort rendering of a caught panic payload (`&str` and `String`
+/// payloads cover `panic!` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
 }
 
 fn check_deadline(deadline: Option<Instant>) -> Result<()> {

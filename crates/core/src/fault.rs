@@ -21,12 +21,13 @@
 //!   budget.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
-use crate::error::{Result, RheemError};
+use crate::error::{CancelReason, Result, RheemError};
 use crate::observe::MetricsRegistry;
 
 /// SplitMix64: a tiny, high-quality 64-bit mixer. Used wherever the fault
@@ -56,6 +57,116 @@ pub(crate) fn fnv1a(s: &str) -> u64 {
     h
 }
 
+/// A shared, cooperative cancellation flag threaded from the server edge
+/// down to the morsel loop (see `DESIGN.md` §14).
+///
+/// Cloning shares the flag: the server keeps one clone per in-flight job,
+/// the executor checks another at its checkpoints (wave boundaries, retry
+/// loop, morsel pulls). The first [`cancel`](CancelToken::cancel) wins —
+/// later calls keep the original reason, so the error the client sees
+/// names whoever abandoned the job first. Cancellation also wakes any
+/// [`wait_timeout`](CancelToken::wait_timeout) in progress, which is what
+/// makes backoff naps interruptible.
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Default)]
+struct CancelInner {
+    /// 0 = live; otherwise `CancelReason` discriminant + 1.
+    state: AtomicU8,
+    lock: Mutex<()>,
+    wake: Condvar,
+}
+
+fn reason_code(reason: CancelReason) -> u8 {
+    match reason {
+        CancelReason::ClientDisconnect => 1,
+        CancelReason::DeadlineExceeded => 2,
+        CancelReason::Shutdown => 3,
+        CancelReason::Explicit => 4,
+    }
+}
+
+fn code_reason(code: u8) -> Option<CancelReason> {
+    match code {
+        1 => Some(CancelReason::ClientDisconnect),
+        2 => Some(CancelReason::DeadlineExceeded),
+        3 => Some(CancelReason::Shutdown),
+        4 => Some(CancelReason::Explicit),
+        _ => None,
+    }
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Cancel with `reason`, waking every pending
+    /// [`CancelToken::wait_timeout`]. Returns `true` when this call was
+    /// the first — later calls are no-ops that keep the original reason.
+    pub fn cancel(&self, reason: CancelReason) -> bool {
+        let first = self
+            .inner
+            .state
+            .compare_exchange(0, reason_code(reason), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        if first {
+            let _guard = self.inner.lock.lock();
+            self.inner.wake.notify_all();
+        }
+        first
+    }
+
+    /// Whether the token has been cancelled. The fast path for morsel
+    /// loops: one relaxed-ish atomic load, no lock.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.state.load(Ordering::Acquire) != 0
+    }
+
+    /// The first cancellation reason, if cancelled.
+    pub fn reason(&self) -> Option<CancelReason> {
+        code_reason(self.inner.state.load(Ordering::Acquire))
+    }
+
+    /// The checkpoint primitive: `Ok(())` while live,
+    /// [`RheemError::Cancelled`] once cancelled.
+    pub fn check(&self) -> Result<()> {
+        match self.reason() {
+            None => Ok(()),
+            Some(reason) => Err(RheemError::Cancelled { reason }),
+        }
+    }
+
+    /// Block for up to `d` or until cancelled, whichever comes first.
+    /// Returns the cancellation reason if the wait ended early (or the
+    /// token was already cancelled).
+    pub fn wait_timeout(&self, d: Duration) -> Option<CancelReason> {
+        if let Some(reason) = self.reason() {
+            return Some(reason);
+        }
+        // A duration too large for the clock is an unbounded wait.
+        let deadline = Instant::now().checked_add(d);
+        let mut guard = self.inner.lock.lock();
+        loop {
+            if let Some(reason) = self.reason() {
+                return Some(reason);
+            }
+            match deadline {
+                Some(until) => {
+                    if self.inner.wake.wait_until(&mut guard, until).timed_out() {
+                        return self.reason();
+                    }
+                }
+                None => self.inner.wake.wait(&mut guard),
+            }
+        }
+    }
+}
+
 /// Something that can pause the current thread. The executor sleeps
 /// through retry backoff via this trait so tests can install a virtual
 /// clock ([`VirtualSleeper`]) and observe the *intended* delays without
@@ -63,6 +174,17 @@ pub(crate) fn fnv1a(s: &str) -> u64 {
 pub trait Sleeper: Send + Sync {
     /// Pause for (at least) `d`.
     fn sleep(&self, d: Duration);
+
+    /// Pause for up to `d`, returning early when `cancel` fires. The
+    /// default is a conservative fallback for sleepers that cannot wait
+    /// on the token: skip the nap entirely if already cancelled, else
+    /// sleep uninterruptibly. [`ThreadSleeper`] overrides this with a
+    /// condvar wait that cancellation wakes mid-nap.
+    fn sleep_cancellable(&self, d: Duration, cancel: &CancelToken) {
+        if !cancel.is_cancelled() {
+            self.sleep(d);
+        }
+    }
 }
 
 /// The production sleeper: `std::thread::sleep`.
@@ -73,6 +195,12 @@ impl Sleeper for ThreadSleeper {
     fn sleep(&self, d: Duration) {
         if !d.is_zero() {
             std::thread::sleep(d);
+        }
+    }
+
+    fn sleep_cancellable(&self, d: Duration, cancel: &CancelToken) {
+        if !d.is_zero() {
+            cancel.wait_timeout(d);
         }
     }
 }
@@ -585,6 +713,76 @@ mod tests {
         assert_eq!(registry.gauge_value("platform.mapreduce.breaker_open"), 1);
         h.record_success("mapreduce");
         assert_eq!(registry.gauge_value("platform.mapreduce.breaker_open"), 0);
+    }
+
+    #[test]
+    fn cancel_token_first_reason_wins_and_checkpoints_error() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.reason(), None);
+        assert!(t.check().is_ok());
+        assert_eq!(t.wait_timeout(Duration::ZERO), None);
+
+        assert!(t.cancel(CancelReason::DeadlineExceeded));
+        assert!(!t.cancel(CancelReason::Explicit), "second cancel loses");
+        assert_eq!(t.reason(), Some(CancelReason::DeadlineExceeded));
+        let err = t.check().unwrap_err();
+        assert!(matches!(
+            err,
+            RheemError::Cancelled {
+                reason: CancelReason::DeadlineExceeded
+            }
+        ));
+        assert_eq!(err.classify(), crate::ErrorKind::Cancelled);
+
+        // Clones share the flag.
+        let clone = t.clone();
+        assert!(clone.is_cancelled());
+        assert_eq!(
+            clone.wait_timeout(Duration::from_secs(3600)),
+            Some(CancelReason::DeadlineExceeded),
+            "waiting on a cancelled token returns immediately"
+        );
+    }
+
+    #[test]
+    fn cancellation_wakes_a_sleeping_thread_mid_nap() {
+        let t = CancelToken::new();
+        let started = Instant::now();
+        std::thread::scope(|s| {
+            let sleeper = s.spawn(|| t.wait_timeout(Duration::from_secs(3600)));
+            std::thread::sleep(Duration::from_millis(20));
+            t.cancel(CancelReason::Shutdown);
+            assert_eq!(sleeper.join().unwrap(), Some(CancelReason::Shutdown));
+        });
+        assert!(
+            started.elapsed() < Duration::from_secs(60),
+            "nap was interrupted, not slept out"
+        );
+
+        // The production sleeper goes through the same wakeable wait.
+        let t = CancelToken::new();
+        std::thread::scope(|s| {
+            let sleeper =
+                s.spawn(|| ThreadSleeper.sleep_cancellable(Duration::from_secs(3600), &t));
+            std::thread::sleep(Duration::from_millis(20));
+            t.cancel(CancelReason::Explicit);
+            sleeper.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn virtual_sleeper_skips_cancellable_naps_once_cancelled() {
+        let s = VirtualSleeper::new();
+        let t = CancelToken::new();
+        s.sleep_cancellable(Duration::from_secs(7), &t);
+        t.cancel(CancelReason::Explicit);
+        s.sleep_cancellable(Duration::from_secs(9), &t);
+        assert_eq!(
+            s.naps(),
+            vec![Duration::from_secs(7)],
+            "naps after cancellation are not even requested"
+        );
     }
 
     #[test]

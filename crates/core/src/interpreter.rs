@@ -46,6 +46,9 @@ pub fn run_fragment(
 ) -> Result<FragmentRun> {
     let mut run = FragmentRun::default();
     for &id in nodes {
+        // Cancellation checkpoint: between operators, so a cancelled job
+        // stops within one node + one morsel of the cancel point.
+        ctx.check_cancelled()?;
         let node = plan.node(id);
         let mut inputs: Vec<Dataset> = Vec::with_capacity(node.inputs.len());
         for (slot, producer) in node.inputs.iter().enumerate() {
@@ -211,6 +214,7 @@ pub fn run_loop(
     let mut state = initial;
     let mut iteration = 0u64;
     while iteration < max_iterations && (condition.f)(iteration, state.records()) {
+        ctx.check_cancelled()?;
         let run = run_fragment(body, &all_nodes, &HashMap::new(), ctx, Some(&state))?;
         state = run
             .outputs

@@ -29,6 +29,7 @@
 //! indices off an atomic cursor and parking results in per-slot mutexed
 //! cells — the same pattern the wave executor uses.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -37,10 +38,51 @@ use parking_lot::Mutex;
 
 use crate::data::{Chunk, Record, Value};
 use crate::error::Result;
+use crate::fault::CancelToken;
 use crate::physical::PipelineStage;
 use crate::udf::{FilterUdf, FlatMapUdf, KeyUdf, MapUdf, ReduceUdf};
 
 use super::chunked;
+
+thread_local! {
+    /// The ambient morsel-loop cancellation scope. Kernels have no
+    /// `ExecutionContext` parameter (and adding one would break every
+    /// direct caller), so the executor installs the job's token here
+    /// around each atom invocation; [`run_ranges`] picks it up at entry
+    /// and checks it before every morsel pull.
+    static CANCEL_SCOPE: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Install `token` as the ambient morsel-cancellation scope while `f`
+/// runs on this thread (see `DESIGN.md` §14). Nested scopes restore the
+/// previous token on exit, panic included. Once `token` fires, every
+/// parallel kernel invoked under the scope degenerates to empty-range
+/// morsels — its (truncated) output must be discarded by a caller-level
+/// [`CancelToken::check`], which the interpreter performs per operator.
+pub fn with_cancel_scope<R>(token: &CancelToken, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<CancelToken>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CANCEL_SCOPE.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let _restore = Restore(CANCEL_SCOPE.with(|c| c.borrow_mut().replace(token.clone())));
+    f()
+}
+
+/// The token installed by [`with_cancel_scope`] on this thread, if any.
+fn ambient_cancel() -> Option<CancelToken> {
+    CANCEL_SCOPE.with(|c| c.borrow().clone())
+}
+
+/// Checkpoint against the ambient scope: `Err(Cancelled)` once the
+/// installed token has fired.
+fn ambient_check() -> Result<()> {
+    match ambient_cancel() {
+        Some(token) => token.check(),
+        None => Ok(()),
+    }
+}
 
 /// Environment variable overriding the default kernel thread count.
 pub const KERNEL_THREADS_ENV: &str = "RHEEM_KERNEL_THREADS";
@@ -185,14 +227,29 @@ impl KernelParallelism {
 /// returning results in range order. Ranges are handed out through an
 /// atomic cursor; each result lands in its own mutexed slot, so output
 /// order is independent of completion order.
+///
+/// The ambient cancel scope is checked before every range is processed:
+/// once the token fires, remaining ranges collapse to their empty prefix
+/// (`start..start`), so every slot is still filled with a type-correct
+/// value at near-zero cost and the kernel returns within one morsel of
+/// the cancel point. The truncated result is garbage by construction —
+/// callers surface [`crate::RheemError::Cancelled`] before consuming it.
 fn run_ranges<T, F>(ranges: &[Range<usize>], threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
 {
     let n = ranges.len();
+    let cancel = ambient_cancel();
+    let pick = |r: &Range<usize>| {
+        if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            r.start..r.start
+        } else {
+            r.clone()
+        }
+    };
     if threads <= 1 || n <= 1 {
-        return ranges.iter().cloned().map(f).collect();
+        return ranges.iter().map(|r| f(pick(r))).collect();
     }
     let cursor = AtomicUsize::new(0);
     let cells: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -203,7 +260,7 @@ where
                 if i >= n {
                     return;
                 }
-                let out = f(ranges[i].clone());
+                let out = f(pick(&ranges[i]));
                 *cells[i].lock() = Some(out);
             });
         }
@@ -225,9 +282,16 @@ fn concat(parts: Vec<Vec<Record>>) -> Vec<Record> {
 }
 
 /// Morsel-parallel [`super::map`].
+///
+/// The sequential fast path is taken only when no cancel scope is
+/// installed: under a scope even a one-thread invocation (thread-budget
+/// sharing can drive `threads` to 1) runs morsel by morsel through
+/// `run_ranges`, so a fired token still truncates within one morsel.
+/// Morsel concatenation is byte-identical to the sequential kernel either
+/// way. The same applies to the other UDF-bearing kernels below.
 pub fn map(records: &[Record], udf: &MapUdf, p: &KernelParallelism) -> Vec<Record> {
     let t = p.effective_threads(records.len());
-    if t <= 1 {
+    if t <= 1 && ambient_cancel().is_none() {
         return super::map(records, udf);
     }
     concat(run_ranges(&p.morsel_ranges(records.len()), t, |r| {
@@ -238,7 +302,7 @@ pub fn map(records: &[Record], udf: &MapUdf, p: &KernelParallelism) -> Vec<Recor
 /// Morsel-parallel [`super::flat_map`].
 pub fn flat_map(records: &[Record], udf: &FlatMapUdf, p: &KernelParallelism) -> Vec<Record> {
     let t = p.effective_threads(records.len());
-    if t <= 1 {
+    if t <= 1 && ambient_cancel().is_none() {
         return super::flat_map(records, udf);
     }
     concat(run_ranges(&p.morsel_ranges(records.len()), t, |r| {
@@ -249,7 +313,7 @@ pub fn flat_map(records: &[Record], udf: &FlatMapUdf, p: &KernelParallelism) -> 
 /// Morsel-parallel [`super::filter`].
 pub fn filter(records: &[Record], udf: &FilterUdf, p: &KernelParallelism) -> Vec<Record> {
     let t = p.effective_threads(records.len());
-    if t <= 1 {
+    if t <= 1 && ambient_cancel().is_none() {
         return super::filter(records, udf);
     }
     concat(run_ranges(&p.morsel_ranges(records.len()), t, |r| {
@@ -265,12 +329,13 @@ pub fn project(
     p: &KernelParallelism,
 ) -> Result<Vec<Record>> {
     let t = p.effective_threads(records.len());
-    if t <= 1 {
+    if t <= 1 && ambient_cancel().is_none() {
         return super::project(records, indices);
     }
     let parts = run_ranges(&p.morsel_ranges(records.len()), t, |r| {
         super::project(&records[r], indices)
     });
+    ambient_check()?;
     let mut out = Vec::with_capacity(records.len());
     for part in parts {
         out.extend(part?);
@@ -594,16 +659,18 @@ pub fn run_pipeline(
     if records.is_empty() {
         return Ok(Vec::new());
     }
+    ambient_check()?;
     let Some(chunk) = Chunk::from_records(records) else {
         return chunked::run_stages_rows(records, stages);
     };
     let t = p.effective_threads(records.len());
-    if t <= 1 {
+    if t <= 1 && ambient_cancel().is_none() {
         return Ok(chunked::run_stages(chunk, stages)?.to_records());
     }
     let parts = run_ranges(&p.morsel_ranges(records.len()), t, |r| {
         chunked::run_stages(chunk.slice(r.start, r.len()), stages)
     });
+    ambient_check()?;
     let mut out = Vec::with_capacity(records.len());
     for part in parts {
         out.extend(part?.to_records());
@@ -761,6 +828,70 @@ mod tests {
             run_pipeline(&ragged, &stages, &par(4, 1)).unwrap(),
             chunked::run_stages_rows(&ragged, &stages).unwrap()
         );
+    }
+
+    #[test]
+    fn cancel_scope_stops_morsel_work_within_one_morsel() {
+        use crate::error::CancelReason;
+        use std::sync::atomic::AtomicUsize;
+
+        // A pre-cancelled token: every morsel collapses to its empty
+        // prefix, so the UDF never sees a record and run_pipeline errors.
+        let d = data(1000);
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Explicit);
+        let touched = std::sync::Arc::new(AtomicUsize::new(0));
+        let m = MapUdf::new("touch", {
+            let touched = touched.clone();
+            move |r| {
+                touched.fetch_add(1, Ordering::SeqCst);
+                r.clone()
+            }
+        });
+        let out = with_cancel_scope(&token, || map(&d, &m, &par(4, 16)));
+        assert!(out.is_empty(), "cancelled map produced {} rows", out.len());
+        assert_eq!(touched.load(Ordering::SeqCst), 0);
+
+        // Cancelling mid-run: a UDF that cancels at record 100 — every
+        // later morsel is skipped, so well under the full input is mapped.
+        let token = CancelToken::new();
+        let seen = std::sync::Arc::new(AtomicUsize::new(0));
+        let m = MapUdf::new("cancel-at-100", {
+            let (token, seen) = (token.clone(), seen.clone());
+            move |r| {
+                if seen.fetch_add(1, Ordering::SeqCst) == 100 {
+                    token.cancel(CancelReason::Explicit);
+                }
+                r.clone()
+            }
+        });
+        let out = with_cancel_scope(&token, || map(&d, &m, &par(2, 16)));
+        assert!(
+            out.len() < d.len(),
+            "cancellation did not truncate the morsel loop"
+        );
+        // Within one in-flight morsel per worker of the cancel point: the
+        // two morsels running when the token fired finish, everything
+        // after is empty (101 records seen + ≤ 2 × 16 completing).
+        assert!(
+            seen.load(Ordering::SeqCst) <= 160,
+            "{}",
+            seen.load(Ordering::SeqCst)
+        );
+
+        // Result-returning kernels surface the cancellation as an error.
+        let token = CancelToken::new();
+        token.cancel(CancelReason::DeadlineExceeded);
+        let err = with_cancel_scope(&token, || project(&d, &[0], &par(4, 16))).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::RheemError::Cancelled {
+                reason: CancelReason::DeadlineExceeded
+            }
+        ));
+
+        // The scope restores the previous token on exit.
+        assert!(ambient_cancel().is_none());
     }
 
     #[test]

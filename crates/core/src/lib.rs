@@ -49,14 +49,14 @@ pub use cost::{ChannelConversionGraph, ChannelKind, ChannelRoute, ChannelSpec, M
 pub use data::{
     Bitmap, Chunk, Column, ColumnData, DataType, Dataset, Field, Record, Schema, Value,
 };
-pub use error::{ErrorKind, Result, RheemError};
+pub use error::{CancelReason, ErrorKind, Result, RheemError};
 pub use executor::{
     AtomStats, ExecutionStats, Executor, ExecutorConfig, FailoverEvent, JobResult,
     ProgressListener, ReplanEvent, ScheduleMode, WaveGate,
 };
 pub use expr::{BinOp, Expr};
 pub use fault::{
-    BackoffPolicy, BreakerPolicy, FaultPolicy, PlatformHealth, Sleeper, ThreadSleeper,
+    BackoffPolicy, BreakerPolicy, CancelToken, FaultPolicy, PlatformHealth, Sleeper, ThreadSleeper,
     VirtualSleeper,
 };
 pub use kernels::parallel::KernelParallelism;

@@ -34,7 +34,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::error::RheemError;
+use crate::error::{CancelReason, ErrorKind, RheemError};
 use crate::executor::{AtomStats, ExecutionStats, FailoverEvent, ProgressListener, ReplanEvent};
 use crate::plan::NodeId;
 
@@ -90,6 +90,8 @@ struct ExecutorMetrics {
     kernel_parallel_invocations: Arc<Counter>,
     kernel_parallel_morsels: Arc<Counter>,
     kernel_sequential: Arc<Counter>,
+    cancelled: Arc<Counter>,
+    panics_caught: Arc<Counter>,
 }
 
 impl ExecutorMetrics {
@@ -110,6 +112,8 @@ impl ExecutorMetrics {
             kernel_parallel_invocations: registry.counter("kernel.parallel.invocations"),
             kernel_parallel_morsels: registry.counter("kernel.parallel.morsels"),
             kernel_sequential: registry.counter("kernel.parallel.sequential"),
+            cancelled: registry.counter("executor.cancelled"),
+            panics_caught: registry.counter("executor.panics_caught"),
         }
     }
 }
@@ -201,7 +205,7 @@ impl ProgressListener for Observability {
         self.exec.retries_transient.inc();
     }
 
-    fn on_atom_failed(&self, _atom_id: usize, _error: &RheemError, suppressed_retries: usize) {
+    fn on_atom_failed(&self, atom_id: usize, error: &RheemError, suppressed_retries: usize) {
         // The final, un-retried failed attempt (0 attempts happened when
         // an open breaker rejected the atom up front, but the rejection
         // itself is the failure).
@@ -210,6 +214,31 @@ impl ProgressListener for Observability {
         // executor would have burned these on errors that could not
         // succeed.
         self.exec.retries_suppressed.add(suppressed_retries as u64);
+        // A caught panic is a permanent failure with its own budget line:
+        // the worker thread survived, the job gets a clean error.
+        if error.classify() == (ErrorKind::Permanent { panic: true }) {
+            self.exec.panics_caught.inc();
+            if self.sinks.is_empty() {
+                return;
+            }
+            let (job_id, span_id) = {
+                let mut job = self.job.lock();
+                if job.job_span.is_none() {
+                    job.job_span = Some(self.alloc_span());
+                }
+                (job.job_span.expect("just set"), self.alloc_span())
+            };
+            self.emit(SpanRecord {
+                id: span_id,
+                parent: Some(job_id),
+                kind: SpanKind::Panic,
+                label: format!("panic atom-{atom_id} {error}"),
+                platform: error.platform().unwrap_or_default().to_string(),
+                elapsed_ms: 0.0,
+                records_out: 0,
+                morsels: 0,
+            });
+        }
     }
 
     fn on_atom_complete(&self, stats: &AtomStats) {
@@ -326,6 +355,45 @@ impl ProgressListener for Observability {
                 event.excluded.join(", ")
             ),
             platform: event.failed_platform.clone(),
+            elapsed_ms: 0.0,
+            records_out: 0,
+            morsels: 0,
+        });
+    }
+
+    fn on_job_cancelled(&self, reason: CancelReason) {
+        self.exec.cancelled.inc();
+        if self.sinks.is_empty() {
+            return;
+        }
+        // The job failed: close out its trace bookkeeping like
+        // `on_job_complete` does, emitting the cancel span and any wave
+        // spans under the job root so the next job starts fresh.
+        let (job_id, waves) = {
+            let mut job = self.job.lock();
+            let id = job.job_span.take().unwrap_or_else(|| self.alloc_span());
+            let waves = std::mem::take(&mut job.waves);
+            job.jobs_done += 1;
+            (id, waves)
+        };
+        for (wave_index, wave_id) in waves {
+            self.emit(SpanRecord {
+                id: wave_id,
+                parent: Some(job_id),
+                kind: SpanKind::Wave,
+                label: format!("wave-{wave_index}"),
+                platform: String::new(),
+                elapsed_ms: 0.0,
+                records_out: 0,
+                morsels: 0,
+            });
+        }
+        self.emit(SpanRecord {
+            id: self.alloc_span(),
+            parent: Some(job_id),
+            kind: SpanKind::Cancel,
+            label: format!("cancelled: {reason}"),
+            platform: String::new(),
             elapsed_ms: 0.0,
             records_out: 0,
             morsels: 0,

@@ -26,6 +26,12 @@ pub enum SpanKind {
     Enumeration,
     /// One failover re-plan around a failed platform.
     Failover,
+    /// A job abandoned through its cancel token (client disconnect,
+    /// deadline, shutdown, or an explicit `CANCEL`).
+    Cancel,
+    /// A panic caught at the atom boundary and converted into a clean
+    /// permanent error (see `DESIGN.md` §14).
+    Panic,
     /// One task atom (a platform-homogeneous plan fragment).
     Atom,
     /// One operator kernel inside an atom.
@@ -41,6 +47,8 @@ impl SpanKind {
             SpanKind::Replan => "replan",
             SpanKind::Enumeration => "enumeration",
             SpanKind::Failover => "failover",
+            SpanKind::Cancel => "cancel",
+            SpanKind::Panic => "panic",
             SpanKind::Atom => "atom",
             SpanKind::Kernel => "kernel",
         }
@@ -207,9 +215,10 @@ impl TraceSink for JsonLinesSink {
 /// that survived a platform outage emits [`SpanKind::Failover`] spans.
 /// This renderer therefore:
 ///
-/// - skips [`SpanKind::Wave`], [`SpanKind::Replan`], and
-///   [`SpanKind::Failover`] spans, re-parenting their children to the
-///   nearest kept ancestor (the job);
+/// - skips [`SpanKind::Wave`], [`SpanKind::Replan`],
+///   [`SpanKind::Failover`], [`SpanKind::Enumeration`],
+///   [`SpanKind::Cancel`], and [`SpanKind::Panic`] spans, re-parenting
+///   their children to the nearest kept ancestor (the job);
 /// - sorts siblings by their rendered text, erasing emission order;
 /// - excludes timing fields, which legitimately differ between runs.
 ///
@@ -220,7 +229,12 @@ pub fn canonical_tree(spans: &[SpanRecord]) -> String {
     let skipped = |kind: SpanKind| {
         matches!(
             kind,
-            SpanKind::Wave | SpanKind::Replan | SpanKind::Failover | SpanKind::Enumeration
+            SpanKind::Wave
+                | SpanKind::Replan
+                | SpanKind::Failover
+                | SpanKind::Enumeration
+                | SpanKind::Cancel
+                | SpanKind::Panic
         )
     };
     // Resolve each span's nearest kept (non-skipped) ancestor.

@@ -413,6 +413,13 @@ pub struct ExecutionContext {
     /// by the number of concurrently running atoms before handing the
     /// context to platforms.
     pub kernel_parallelism: KernelParallelism,
+    /// Cooperative cancellation flag for the job this atom belongs to
+    /// (None in embedded single-job use). Platforms and the interpreter
+    /// check it between operators / partitions via
+    /// [`check_cancelled`](ExecutionContext::check_cancelled); the
+    /// executor additionally installs it as the ambient morsel-loop
+    /// cancel scope around every atom invocation.
+    pub cancel: Option<crate::fault::CancelToken>,
 }
 
 impl ExecutionContext {
@@ -431,6 +438,21 @@ impl ExecutionContext {
     pub fn with_kernel_parallelism(mut self, parallelism: KernelParallelism) -> Self {
         self.kernel_parallelism = parallelism;
         self
+    }
+
+    /// Install a cooperative cancellation token.
+    pub fn with_cancel_token(mut self, cancel: crate::fault::CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Checkpoint: `Err(RheemError::Cancelled)` once the job's token has
+    /// fired, `Ok(())` otherwise (including when no token is installed).
+    pub fn check_cancelled(&self) -> Result<()> {
+        match &self.cancel {
+            Some(token) => token.check(),
+            None => Ok(()),
+        }
     }
 
     /// A copy of this context whose kernel thread budget is divided by

@@ -207,6 +207,9 @@ impl MrRun<'_> {
         }
         let mut results: HashMap<NodeId, Vec<Record>> = HashMap::new();
         for &id in nodes {
+            // Cancellation checkpoint between MR rounds: a cancelled job
+            // stops without scheduling the next round.
+            self.ctx.check_cancelled()?;
             let node = plan.node(id);
             let mut inputs: Vec<Vec<Record>> = Vec::with_capacity(node.inputs.len());
             for (slot, producer) in node.inputs.iter().enumerate() {

@@ -255,6 +255,9 @@ impl SparkRun<'_> {
         }
         let mut results: HashMap<NodeId, Partitions> = HashMap::new();
         for &id in nodes {
+            // Cancellation checkpoint between stages: a cancelled job
+            // stops without dispatching the next stage's tasks.
+            self.ctx.check_cancelled()?;
             let node = plan.node(id);
             let mut inputs: Vec<Partitions> = Vec::with_capacity(node.inputs.len());
             for (slot, producer) in node.inputs.iter().enumerate() {

@@ -58,13 +58,49 @@ impl Client {
     /// Execute a query; `Err(Malformed)` carries server-side errors
     /// (planning failures, admission rejections, execution failures).
     pub fn query(&mut self, sql: &str) -> WireResult<(Schema, Vec<Record>)> {
+        self.query_request(sql, None)
+    }
+
+    /// Execute a query with a wall-clock deadline. Queue wait counts
+    /// against it: a request that ages out before reaching a worker is
+    /// shed server-side and comes back as `Err(Malformed)` mentioning
+    /// the deadline, as does one cancelled mid-execution.
+    pub fn query_with_deadline(
+        &mut self,
+        sql: &str,
+        deadline: std::time::Duration,
+    ) -> WireResult<(Schema, Vec<Record>)> {
+        self.query_request(sql, Some(deadline.as_millis().min(u64::MAX as u128) as u64))
+    }
+
+    fn query_request(
+        &mut self,
+        sql: &str,
+        deadline_ms: Option<u64>,
+    ) -> WireResult<(Schema, Vec<Record>)> {
         match self.call(&Request::Query {
             sql: sql.to_string(),
+            deadline_ms,
         })? {
             Response::Rows { schema, rows } => Ok((schema, rows)),
             Response::Err { message } => Err(WireError::Malformed(message)),
             other => Err(WireError::Malformed(format!(
                 "unexpected QUERY reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// Cancel one of this tenant's in-flight jobs by id (`0` cancels all
+    /// of them). Idempotent; job ids show up in [`Client::stats`] under
+    /// `server.tenant.<t>.inflight_ids`. Note a session is blocked while
+    /// its own query runs, so cancels are sent from a *second* session
+    /// opened under the same tenant.
+    pub fn cancel(&mut self, job: u64) -> WireResult<()> {
+        match self.call(&Request::Cancel { job })? {
+            Response::Ok => Ok(()),
+            Response::Err { message } => Err(WireError::Malformed(message)),
+            other => Err(WireError::Malformed(format!(
+                "unexpected CANCEL reply: {other:?}"
             ))),
         }
     }

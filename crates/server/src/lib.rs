@@ -37,6 +37,6 @@ pub mod server;
 pub mod service;
 
 pub use client::Client;
-pub use scheduler::{FairShareScheduler, WaveGrant};
+pub use scheduler::{FairShareScheduler, JobGate, WaveGrant};
 pub use server::{RheemServer, ServerConfig, ServerHandle};
-pub use service::{AdmissionError, JobService, ServiceConfig};
+pub use service::{AdmissionError, JobHandle, JobRun, JobService, ServiceConfig};

@@ -5,8 +5,9 @@
 //! integers are big-endian, all strings are `u32`-length-prefixed UTF-8.
 //!
 //! Requests: [`Request::Hello`] (tenant name), [`Request::Register`]
-//! (table name + schema + rows), [`Request::Query`] (SQL text),
-//! [`Request::Stats`], [`Request::Goodbye`]. Responses: [`Response::Ok`],
+//! (table name + schema + rows), [`Request::Query`] (SQL text + optional
+//! deadline), [`Request::Stats`], [`Request::Cancel`] (in-flight job id),
+//! [`Request::Goodbye`]. Responses: [`Response::Ok`],
 //! [`Response::Err`] (message), [`Response::Rows`] (schema + rows),
 //! [`Response::Stats`] (key/value lines).
 //!
@@ -73,9 +74,23 @@ pub enum Request {
     Query {
         /// SQL text.
         sql: String,
+        /// Optional per-request deadline in milliseconds, counted from
+        /// the moment the server admits the request: queue-wait time is
+        /// charged against it, and a request that ages out in the
+        /// admission queue is shed before ever costing a worker.
+        deadline_ms: Option<u64>,
     },
     /// Ask for server-side counters; replies with [`Response::Stats`].
     Stats,
+    /// Cancel an in-flight job of this session's tenant. `job: 0`
+    /// cancels every in-flight job of the tenant. Replies with
+    /// [`Response::Ok`] whether or not the id was still running
+    /// (cancellation is idempotent).
+    Cancel {
+        /// Server-assigned job id (reported in `STATS` under
+        /// `server.tenant.<t>.inflight_ids`), or `0` for all.
+        job: u64,
+    },
     /// Close the session cleanly.
     Goodbye,
 }
@@ -109,6 +124,7 @@ const OP_REGISTER: u8 = 0x02;
 const OP_QUERY: u8 = 0x03;
 const OP_STATS: u8 = 0x04;
 const OP_GOODBYE: u8 = 0x05;
+const OP_CANCEL: u8 = 0x06;
 const OP_OK: u8 = 0x80;
 const OP_ERR: u8 = 0x81;
 const OP_ROWS: u8 = 0x82;
@@ -191,11 +207,24 @@ impl Request {
                 put_schema(&mut buf, schema);
                 buf.extend_from_slice(&encode_rows(rows));
             }
-            Request::Query { sql } => {
+            Request::Query { sql, deadline_ms } => {
                 buf.push(OP_QUERY);
                 put_str(&mut buf, sql);
+                // Presence byte keeps the strict trailing-bytes check:
+                // a deadline is either fully there or fully absent.
+                match deadline_ms {
+                    Some(ms) => {
+                        buf.push(1);
+                        buf.extend_from_slice(&ms.to_be_bytes());
+                    }
+                    None => buf.push(0),
+                }
             }
             Request::Stats => buf.push(OP_STATS),
+            Request::Cancel { job } => {
+                buf.push(OP_CANCEL);
+                buf.extend_from_slice(&job.to_be_bytes());
+            }
             Request::Goodbye => buf.push(OP_GOODBYE),
         }
         buf
@@ -333,8 +362,21 @@ impl Request {
                 schema: c.schema()?,
                 rows: c.rows()?,
             },
-            OP_QUERY => Request::Query { sql: c.str()? },
+            OP_QUERY => {
+                let sql = c.str()?;
+                let deadline_ms = match c.u8()? {
+                    0 => None,
+                    1 => Some(c.u64()?),
+                    tag => {
+                        return Err(WireError::Malformed(format!(
+                            "unknown deadline presence tag {tag}"
+                        )))
+                    }
+                };
+                Request::Query { sql, deadline_ms }
+            }
             OP_STATS => Request::Stats,
+            OP_CANCEL => Request::Cancel { job: c.u64()? },
             OP_GOODBYE => Request::Goodbye,
             op => {
                 return Err(WireError::Malformed(format!(
@@ -428,8 +470,15 @@ mod tests {
         });
         roundtrip_request(Request::Query {
             sql: "SELECT a FROM t WHERE a > 1".into(),
+            deadline_ms: None,
+        });
+        roundtrip_request(Request::Query {
+            sql: "SELECT a FROM t".into(),
+            deadline_ms: Some(1_500),
         });
         roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Cancel { job: 7 });
+        roundtrip_request(Request::Cancel { job: 0 });
         roundtrip_request(Request::Goodbye);
         roundtrip_request(Request::Register {
             name: "t".into(),
@@ -493,6 +542,7 @@ mod tests {
     fn truncated_frames_are_malformed_not_panics() {
         let mut body = Request::Query {
             sql: "SELECT".into(),
+            deadline_ms: Some(9),
         }
         .encode();
         body.truncate(body.len() - 2);

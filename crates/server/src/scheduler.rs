@@ -13,10 +13,16 @@
 //! the load generator can verify the interleaving instead of trusting it.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
-use rheem_core::WaveGate;
+use rheem_core::{CancelToken, WaveGate};
+
+/// How often a cancellable waiter re-checks its token while blocked on a
+/// wave slot. Bounds how long a cancelled job can sit in the wait queue.
+const CANCEL_POLL: Duration = Duration::from_millis(25);
 
 /// One wave-slot grant, in grant order.
 #[derive(Clone, Debug)]
@@ -96,6 +102,8 @@ impl FairShareScheduler {
             scheduler: self.clone(),
             tenant: tenant.into(),
             gate_id,
+            cancel: Mutex::new(None),
+            engaged: AtomicBool::new(false),
         })
     }
 
@@ -119,7 +127,20 @@ impl FairShareScheduler {
         self.state.lock().waiting.len()
     }
 
-    fn acquire(&self, tenant: &str, gate_id: u64, wave_index: usize, atoms: usize) {
+    /// Block until a wave slot is granted (returns `true`) or `cancel`
+    /// trips while waiting (returns `false`, and the waiter has left the
+    /// queue without consuming a slot).
+    fn acquire(
+        &self,
+        tenant: &str,
+        gate_id: u64,
+        wave_index: usize,
+        atoms: usize,
+        cancel: Option<&CancelToken>,
+    ) -> bool {
+        if cancel.is_some_and(|t| t.is_cancelled()) {
+            return false;
+        }
         let mut st = self.state.lock();
         let ticket = st.next_ticket;
         st.next_ticket += 1;
@@ -158,10 +179,26 @@ impl FairShareScheduler {
                     if st.running < self.slots && !st.waiting.is_empty() {
                         self.cv.notify_all();
                     }
-                    return;
+                    return true;
                 }
             }
-            self.cv.wait(&mut st);
+            match cancel {
+                Some(token) => {
+                    // Poll the token: a cancelled job must leave the wait
+                    // queue within one CANCEL_POLL, not whenever the next
+                    // grant happens to wake it.
+                    self.cv.wait_for(&mut st, CANCEL_POLL);
+                    if token.is_cancelled() {
+                        st.waiting.retain(|w| w.ticket != ticket);
+                        drop(st);
+                        // Our departure can change the least-service
+                        // minimum, so re-run the grant decision.
+                        self.cv.notify_all();
+                        return false;
+                    }
+                }
+                None => self.cv.wait(&mut st),
+            }
         }
     }
 
@@ -179,16 +216,44 @@ pub struct JobGate {
     scheduler: Arc<FairShareScheduler>,
     tenant: String,
     gate_id: u64,
+    /// Cancel token of the job currently running under this gate. A
+    /// session runs its jobs serially, so one slot suffices.
+    cancel: Mutex<Option<CancelToken>>,
+    /// Whether `before_wave` actually acquired a slot (false when the
+    /// job was cancelled while waiting) so `after_wave` releases exactly
+    /// what was taken.
+    engaged: AtomicBool,
+}
+
+impl JobGate {
+    /// Install (or clear, with `None`) the cancel token of the job about
+    /// to run under this gate, so a cancelled job stops waiting for wave
+    /// slots instead of queueing dead waves behind live tenants.
+    pub fn set_cancel(&self, token: Option<CancelToken>) {
+        *self.cancel.lock() = token;
+    }
 }
 
 impl WaveGate for JobGate {
     fn before_wave(&self, wave_index: usize, atoms: usize) {
-        self.scheduler
-            .acquire(&self.tenant, self.gate_id, wave_index, atoms);
+        let token = self.cancel.lock().clone();
+        let granted = self.scheduler.acquire(
+            &self.tenant,
+            self.gate_id,
+            wave_index,
+            atoms,
+            token.as_ref(),
+        );
+        // When the grant was refused (cancelled mid-wait) the wave still
+        // "runs", but every atom fails at its cancellation checkpoint
+        // immediately — the executor surfaces Cancelled within that wave.
+        self.engaged.store(granted, Ordering::SeqCst);
     }
 
     fn after_wave(&self, _wave_index: usize) {
-        self.scheduler.release();
+        if self.engaged.swap(false, Ordering::SeqCst) {
+            self.scheduler.release();
+        }
     }
 }
 
@@ -287,6 +352,38 @@ mod tests {
         // Last two grants: newcomer first (so it appears *before* the
         // veteran's final grant in the log tail, i.e. last entry is veteran).
         assert_eq!(tail, ["veteran", "newcomer"]);
+    }
+
+    /// A waiter whose job is cancelled leaves the wait queue promptly and
+    /// never consumes a slot, so its `after_wave` releases nothing.
+    #[test]
+    fn a_cancelled_waiter_leaves_the_queue_without_taking_a_slot() {
+        use rheem_core::{CancelReason, CancelToken};
+        let sched = FairShareScheduler::new(1);
+        let blocker = sched.gate("a");
+        blocker.before_wave(0, 1); // occupy the only slot
+        let victim = sched.gate("b");
+        let token = CancelToken::new();
+        victim.set_cancel(Some(token.clone()));
+        std::thread::scope(|s| {
+            let victim = &victim;
+            let handle = s.spawn(move || {
+                victim.before_wave(0, 1); // blocks: the slot is taken
+                victim.after_wave(0); // must be a no-op (nothing acquired)
+            });
+            while sched.waiting_jobs() == 0 {
+                std::thread::yield_now();
+            }
+            token.cancel(CancelReason::Explicit);
+            handle.join().unwrap();
+        });
+        assert_eq!(sched.waiting_jobs(), 0);
+        // The blocker still holds the single slot: release it and take it
+        // again to prove the count never went negative or leaked.
+        blocker.after_wave(0);
+        blocker.before_wave(1, 1);
+        blocker.after_wave(1);
+        assert_eq!(sched.granted_waves().get("b"), None);
     }
 
     /// Slots bound concurrency: with 2 slots, never more than 2 waves run.

@@ -29,14 +29,19 @@ use std::collections::HashMap;
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use rheem_core::query::{PlannedQuery, QueryCatalog};
-use rheem_core::{Observability, PlanCache, PlanCacheConfig, RheemContext};
+use rheem_core::{CancelReason, Observability, PlanCache, PlanCacheConfig, RheemContext};
 
-use crate::protocol::{read_frame, write_frame, Request, Response, WireResult};
-use crate::scheduler::FairShareScheduler;
+use crate::protocol::{read_frame, write_frame, Request, Response, WireError, WireResult};
+use crate::scheduler::{FairShareScheduler, JobGate};
 use crate::service::{JobService, ServiceConfig};
+
+/// How often a session blocked on a job result re-checks the client
+/// socket for a hang-up (and the job for completion).
+const DISCONNECT_POLL: Duration = Duration::from_millis(25);
 
 /// Knobs for [`RheemServer::start`].
 #[derive(Clone, Debug)]
@@ -49,6 +54,10 @@ pub struct ServerConfig {
     pub wave_slots: usize,
     /// Plan cache sizing and drift threshold.
     pub cache: PlanCacheConfig,
+    /// Evict a session after this long without a request (`None` keeps
+    /// idle sessions forever). Evictions are counted under
+    /// `server.sessions.idle_evicted`.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +67,7 @@ impl Default for ServerConfig {
             service: ServiceConfig::default(),
             wave_slots: 2,
             cache: PlanCacheConfig::default(),
+            idle_timeout: Some(Duration::from_secs(300)),
         }
     }
 }
@@ -72,6 +82,7 @@ struct ServerShared {
     /// Next session cache scope; 0 is reserved for transparent
     /// (fully declarative) fingerprints shared server-wide.
     next_scope: AtomicU64,
+    idle_timeout: Option<Duration>,
     shutdown: AtomicBool,
     /// Clones of live session streams, so shutdown can unblock their reads.
     session_streams: Mutex<Vec<TcpStream>>,
@@ -103,6 +114,7 @@ impl RheemServer {
             scheduler,
             service,
             next_scope: AtomicU64::new(1),
+            idle_timeout: config.idle_timeout,
             shutdown: AtomicBool::new(false),
             session_streams: Mutex::new(Vec::new()),
         });
@@ -172,6 +184,11 @@ impl ServerHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        // Cancel every in-flight job *first*: sessions blocked on a job
+        // result unblock at the job's next cancellation checkpoint, so
+        // joining them below is bounded instead of waiting out whatever
+        // the jobs were doing.
+        self.shared.service.cancel_all(CancelReason::Shutdown);
         // Unblock session reads, then join the session threads.
         for stream in self.shared.session_streams.lock().iter() {
             let _ = stream.shutdown(Shutdown::Both);
@@ -179,6 +196,7 @@ impl ServerHandle {
         for t in self.session_threads.lock().drain(..) {
             let _ = t.join();
         }
+        // Finally drain the pool, bounded by the service's drain grace.
         self.shared.service.shutdown();
     }
 }
@@ -189,12 +207,18 @@ impl Drop for ServerHandle {
     }
 }
 
-/// One session: HELLO, then a request/response loop until GOODBYE or EOF.
+/// One session: HELLO, then a request/response loop until GOODBYE, EOF,
+/// or the idle timeout evicts it.
 fn run_session(shared: &ServerShared, mut stream: TcpStream) -> WireResult<()> {
     shared
         .session_streams
         .lock()
-        .push(stream.try_clone().map_err(crate::protocol::WireError::Io)?);
+        .push(stream.try_clone().map_err(WireError::Io)?);
+    // The idle timeout rides on the socket read timeout: a session that
+    // sends nothing for that long gets evicted in the loop below.
+    stream
+        .set_read_timeout(shared.idle_timeout)
+        .map_err(WireError::Io)?;
 
     // First frame must be HELLO.
     let Some(body) = read_frame(&mut stream)? else {
@@ -219,11 +243,34 @@ fn run_session(shared: &ServerShared, mut stream: TcpStream) -> WireResult<()> {
         .clone()
         .with_plan_cache(shared.plan_cache.clone())
         .with_cache_scope(scope)
-        .with_wave_gate(gate);
+        .with_wave_gate(gate.clone());
     let mut catalog = QueryCatalog::new();
     let mut statements: HashMap<String, Arc<PlannedQuery>> = HashMap::new();
 
-    while let Some(body) = read_frame(&mut stream)? {
+    loop {
+        let body = match read_frame(&mut stream) {
+            Ok(Some(body)) => body,
+            Ok(None) => break,
+            Err(WireError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle session: no request within the idle timeout.
+                shared
+                    .observability
+                    .metrics()
+                    .counter("server.sessions.idle_evicted")
+                    .inc();
+                let resp = Response::Err {
+                    message: "session evicted: idle timeout".into(),
+                };
+                let _ = write_frame(&mut stream, &resp.encode());
+                break;
+            }
+            Err(e) => return Err(e),
+        };
         if shared.shutdown.load(Ordering::Acquire) {
             break;
         }
@@ -237,11 +284,34 @@ fn run_session(shared: &ServerShared, mut stream: TcpStream) -> WireResult<()> {
                 statements.clear();
                 Response::Ok
             }
-            Request::Query { sql } => {
-                handle_query(shared, &tenant, &ctx, &catalog, &mut statements, &sql)
+            Request::Query { sql, deadline_ms } => handle_query(
+                shared,
+                &tenant,
+                &ctx,
+                &gate,
+                &stream,
+                &catalog,
+                &mut statements,
+                &sql,
+                deadline_ms,
+            ),
+            Request::Cancel { job } => {
+                // Cancels land from a *second* session of the same tenant
+                // (a session is blocked while its own query runs). Job 0
+                // means "everything of mine"; idempotent either way.
+                if job == 0 {
+                    shared
+                        .service
+                        .cancel_tenant(&tenant, CancelReason::Explicit);
+                } else {
+                    shared
+                        .service
+                        .cancel_job(&tenant, job, CancelReason::Explicit);
+                }
+                Response::Ok
             }
             Request::Stats => Response::Stats {
-                text: render_stats(shared),
+                text: render_stats(shared, &tenant),
             },
             Request::Goodbye => {
                 write_frame(&mut stream, &Response::Ok.encode())?;
@@ -253,14 +323,40 @@ fn run_session(shared: &ServerShared, mut stream: TcpStream) -> WireResult<()> {
     Ok(())
 }
 
+/// `true` when the client side of `stream` has hung up (EOF on a
+/// non-blocking peek). `WouldBlock` means the client is alive but quiet.
+fn client_disconnected(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let gone = match stream.peek(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+        Err(_) => true,
+    };
+    let _ = stream.set_nonblocking(false);
+    gone
+}
+
 /// Plan (or reuse) and execute one query through admission control.
+///
+/// The session thread polls the job handle instead of blocking blindly:
+/// between polls it peeks the client socket, and on a hang-up cancels
+/// the job with [`CancelReason::ClientDisconnect`] — a dead client's
+/// query stops costing workers within one wave and one morsel.
+#[allow(clippy::too_many_arguments)]
 fn handle_query(
     shared: &ServerShared,
     tenant: &str,
     ctx: &RheemContext,
+    gate: &Arc<JobGate>,
+    stream: &TcpStream,
     catalog: &QueryCatalog,
     statements: &mut HashMap<String, Arc<PlannedQuery>>,
     sql: &str,
+    deadline_ms: Option<u64>,
 ) -> Response {
     let planned = match statements.get(sql) {
         Some(p) => p.clone(),
@@ -279,16 +375,54 @@ fn handle_query(
     };
     let job_ctx = ctx.clone();
     let job_planned = planned.clone();
-    let submitted = shared.service.submit(tenant, move || {
-        let job = job_ctx.execute_logical(&job_planned.logical)?;
-        let rows = job
-            .outputs
-            .get(&job_planned.sink)
-            .map(|d| d.records().to_vec())
-            .unwrap_or_default();
-        Ok::<_, rheem_core::RheemError>(rows)
+    let job_gate = gate.clone();
+    let deadline = deadline_ms.map(Duration::from_millis);
+    let submitted = shared.service.submit_handle(tenant, deadline, move |run| {
+        // Tie this job's token into the wave gate (so a cancelled job
+        // stops waiting for wave slots) and the context (so the executor,
+        // interpreter, and kernels all observe it). The remaining budget
+        // — queue wait already deducted — becomes the executor timeout.
+        job_gate.set_cancel(Some(run.cancel.clone()));
+        let mut job_ctx = job_ctx.with_cancel_token(run.cancel.clone());
+        if let Some(remaining) = run.remaining {
+            job_ctx = job_ctx.with_timeout(remaining);
+        }
+        let result = (|| {
+            let job = job_ctx.execute_logical(&job_planned.logical)?;
+            let rows = job
+                .outputs
+                .get(&job_planned.sink)
+                .map(|d| d.records().to_vec())
+                .unwrap_or_default();
+            Ok::<_, rheem_core::RheemError>(rows)
+        })();
+        job_gate.set_cancel(None);
+        result
     });
-    match submitted {
+    let handle = match submitted {
+        Ok(handle) => handle,
+        Err(admission) => {
+            return Response::Err {
+                message: format!("rejected: {admission}"),
+            }
+        }
+    };
+    let mut hung_up = false;
+    let result = loop {
+        if let Some(result) = handle.wait_timeout(DISCONNECT_POLL) {
+            break result;
+        }
+        if !hung_up && client_disconnected(stream) {
+            hung_up = true;
+            shared
+                .service
+                .cancel_job(tenant, handle.id(), CancelReason::ClientDisconnect);
+            // Keep waiting: the job unwinds through its next checkpoint
+            // and the rendezvous completes; only then is it safe to
+            // return (the response write will fail harmlessly).
+        }
+    };
+    match result {
         Err(admission) => Response::Err {
             message: format!("rejected: {admission}"),
         },
@@ -302,8 +436,9 @@ fn handle_query(
     }
 }
 
-/// Render the shared metrics registry plus cache and scheduler gauges.
-fn render_stats(shared: &ServerShared) -> String {
+/// Render the shared metrics registry plus cache and scheduler gauges,
+/// and the requesting tenant's live job ids (for `CANCEL` addressing).
+fn render_stats(shared: &ServerShared, tenant: &str) -> String {
     let mut text = shared.observability.metrics().snapshot().render();
     let cache = shared.plan_cache.stats();
     text.push_str(&format!(
@@ -314,6 +449,16 @@ fn render_stats(shared: &ServerShared) -> String {
         "scheduler grants={} waiting={}\n",
         shared.scheduler.total_grants(),
         shared.scheduler.waiting_jobs()
+    ));
+    let ids: Vec<String> = shared
+        .service
+        .inflight_ids(tenant)
+        .into_iter()
+        .map(|id| id.to_string())
+        .collect();
+    text.push_str(&format!(
+        "server.tenant.{tenant}.inflight_ids [{}]\n",
+        ids.join(",")
     ));
     text
 }

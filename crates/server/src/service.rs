@@ -1,7 +1,8 @@
 //! Admission control and the shared worker pool.
 //!
 //! [`JobService`] sits between the sessions and the execution layer. Every
-//! job goes through `submit` which enforces, *before* any work is queued:
+//! job goes through `submit_job` which enforces, *before* any work is
+//! queued:
 //!
 //! * a per-tenant in-flight quota (`max_inflight_per_tenant`): a tenant's
 //!   jobs queued-or-running may not exceed it;
@@ -15,16 +16,33 @@
 //! the client's connection thread, so per-session jobs are naturally
 //! serial while cross-session jobs are concurrent).
 //!
+//! # Deadlines, cancellation, and panic containment (`DESIGN.md` §14)
+//!
+//! Every admitted job gets a server-assigned id and a
+//! [`CancelToken`], both exposed to the job closure through [`JobRun`].
+//! Queue-wait time counts against a request's deadline: a job whose
+//! deadline expires while still queued is *shed* at dequeue — typed
+//! [`AdmissionError::DeadlineExceeded`], `server.jobs.shed_deadline`
+//! counter — without ever costing a worker. [`JobService::cancel_job`] /
+//! [`cancel_tenant`](JobService::cancel_tenant) trip a job's token
+//! (`server.jobs.cancelled`), and [`JobService::shutdown`] cancels
+//! everything with [`CancelReason::Shutdown`] so the drain is bounded by
+//! `drain_grace`. A panicking job is caught at the pool boundary
+//! ([`AdmissionError::JobPanicked`]): the worker thread survives and the
+//! submitter is always woken — a poisoned job can neither shrink the pool
+//! nor hang its session.
+//!
 //! Per-tenant counters (`server.tenant.<t>.submitted/completed/rejected`)
 //! are reported into the shared [`MetricsRegistry`].
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use rheem_core::MetricsRegistry;
+use rheem_core::{CancelReason, CancelToken, MetricsRegistry};
 
-/// Why a submission was refused at the door.
+/// Why a submission was refused at the door (or shed before running).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum AdmissionError {
     /// The tenant already has `max_inflight_per_tenant` jobs in flight.
@@ -39,6 +57,15 @@ pub enum AdmissionError {
         /// The queue bound that was hit.
         capacity: usize,
     },
+    /// The job's deadline expired while it waited in the admission
+    /// queue; it was shed without costing a worker.
+    DeadlineExceeded,
+    /// The job panicked; the panic was contained at the pool boundary
+    /// and the worker thread survived.
+    JobPanicked {
+        /// Rendering of the panic payload.
+        message: String,
+    },
     /// The service is shutting down.
     ShuttingDown,
 }
@@ -51,6 +78,12 @@ impl std::fmt::Display for AdmissionError {
             }
             AdmissionError::QueueFull { capacity } => {
                 write!(f, "job queue is full ({capacity})")
+            }
+            AdmissionError::DeadlineExceeded => {
+                write!(f, "deadline exceeded while queued")
+            }
+            AdmissionError::JobPanicked { message } => {
+                write!(f, "job panicked: {message}")
             }
             AdmissionError::ShuttingDown => write!(f, "service is shutting down"),
         }
@@ -68,6 +101,9 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Bound on one tenant's queued-plus-running jobs.
     pub max_inflight_per_tenant: usize,
+    /// How long [`JobService::shutdown`] waits for cancelled in-flight
+    /// jobs to drain before detaching any worker still stuck in one.
+    pub drain_grace: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -76,16 +112,100 @@ impl Default for ServiceConfig {
             workers: 2,
             queue_capacity: 16,
             max_inflight_per_tenant: 4,
+            drain_grace: Duration::from_secs(5),
         }
     }
 }
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// What the pool hands a running job: its server-assigned id, its cancel
+/// token (install into the execution context so every layer below
+/// observes it), and the deadline budget left after queue wait.
+pub struct JobRun {
+    /// Server-assigned job id; the `CANCEL` wire request addresses it.
+    pub id: u64,
+    /// The job's cooperative cancel token.
+    pub cancel: CancelToken,
+    /// Deadline budget remaining when the job left the queue, if the
+    /// request carried a deadline (queue wait already deducted).
+    pub remaining: Option<Duration>,
+}
+
+/// Completion rendezvous shared by the pool worker and the waiter. The
+/// worker always fills it — run, shed, or panic — so waiters cannot hang.
+type Slot<R> = Arc<(Mutex<Option<Result<R, AdmissionError>>>, Condvar)>;
+
+/// Handle to an admitted job, from [`JobService::submit_handle`]. Lets
+/// the submitter poll for completion (interleaving its own bookkeeping,
+/// like watching the client socket) instead of blocking blindly.
+pub struct JobHandle<R> {
+    id: u64,
+    done: Slot<R>,
+}
+
+impl<R> JobHandle<R> {
+    /// The server-assigned job id; [`JobService::cancel_job`] addresses it.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the job completes (ran, was shed, or panicked).
+    pub fn wait(self) -> Result<R, AdmissionError> {
+        let (slot, cv) = &*self.done;
+        let mut guard = slot.lock();
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            cv.wait(&mut guard);
+        }
+    }
+
+    /// Wait up to `timeout` for completion; `None` means still running.
+    /// The result is *taken*: once this returns `Some`, later waits
+    /// would block forever, so stop polling at the first `Some`.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<R, AdmissionError>> {
+        let (slot, cv) = &*self.done;
+        let mut guard = slot.lock();
+        if guard.is_none() {
+            cv.wait_for(&mut guard, timeout);
+        }
+        guard.take()
+    }
+}
+
+/// A queued job: the work itself plus the metadata the worker needs to
+/// decide between running and shedding it.
+struct QueuedJob {
+    /// Invoked exactly once, with `Fate::Run` to execute or `Fate::Shed`
+    /// to complete the rendezvous with a typed deadline rejection.
+    task: Box<dyn FnOnce(Fate) + Send + 'static>,
+    /// Absolute deadline, when the request carried one.
+    deadline: Option<Instant>,
+    /// The job's cancel token (so a worker can observe pre-cancellation).
+    cancel: CancelToken,
+}
+
+#[derive(Clone, Copy)]
+enum Fate {
+    Run,
+    Shed,
+}
+
+/// Registry entry for a queued-or-running job.
+struct LiveJob {
+    tenant: String,
+    cancel: CancelToken,
+}
 
 struct QueueState {
-    queue: VecDeque<Job>,
+    queue: VecDeque<QueuedJob>,
     /// Queued-plus-running jobs per tenant.
     inflight: HashMap<String, usize>,
+    /// Every queued-or-running job by id (for `CANCEL` addressing).
+    jobs: HashMap<u64, LiveJob>,
+    /// Id fountain; ids start at 1 because `CANCEL { job: 0 }` means
+    /// "all of the tenant's jobs" on the wire.
+    next_job: u64,
     shutdown: bool,
 }
 
@@ -110,11 +230,14 @@ impl JobService {
             workers: config.workers.max(1),
             queue_capacity: config.queue_capacity.max(1),
             max_inflight_per_tenant: config.max_inflight_per_tenant.max(1),
+            drain_grace: config.drain_grace,
         };
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
                 inflight: HashMap::new(),
+                jobs: HashMap::new(),
+                next_job: 1,
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -138,12 +261,54 @@ impl JobService {
 
     /// Admit `job` for `tenant` and block until it has run, returning its
     /// result. Rejections (quota, queue, shutdown) return immediately.
+    /// Convenience wrapper over [`submit_job`](Self::submit_job) for jobs
+    /// that need neither an id, a cancel token, nor a deadline.
     pub fn submit<R, F>(&self, tenant: &str, job: F) -> Result<R, AdmissionError>
     where
         R: Send + 'static,
         F: FnOnce() -> R + Send + 'static,
     {
+        self.submit_job(tenant, None, |_run| job())
+    }
+
+    /// Admit `job` for `tenant` and block until it completes, was shed,
+    /// or panicked. The closure receives a [`JobRun`] carrying the job's
+    /// id, cancel token, and — when `deadline` is set — the budget left
+    /// after queue wait. A job whose deadline expires while queued is
+    /// shed with [`AdmissionError::DeadlineExceeded`] without costing a
+    /// worker; a panicking job returns [`AdmissionError::JobPanicked`]
+    /// while the worker thread keeps running.
+    pub fn submit_job<R, F>(
+        &self,
+        tenant: &str,
+        deadline: Option<Duration>,
+        job: F,
+    ) -> Result<R, AdmissionError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&JobRun) -> R + Send + 'static,
+    {
+        self.submit_handle(tenant, deadline, job)?.wait()
+    }
+
+    /// Like [`submit_job`](Self::submit_job) but returns a [`JobHandle`]
+    /// instead of blocking, so the caller can poll for completion while
+    /// watching for out-of-band events (a client hanging up, say) and
+    /// cancel the job by its [`JobHandle::id`] in the meantime.
+    pub fn submit_handle<R, F>(
+        &self,
+        tenant: &str,
+        deadline: Option<Duration>,
+        job: F,
+    ) -> Result<JobHandle<R>, AdmissionError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&JobRun) -> R + Send + 'static,
+    {
         let metrics = &self.shared.metrics;
+        let deadline_at = deadline.and_then(|d| Instant::now().checked_add(d));
+        let done: Slot<R>;
+        let job_id;
         {
             let mut st = self.shared.state.lock();
             if st.shutdown {
@@ -170,20 +335,63 @@ impl JobService {
                 return Err(AdmissionError::QueueFull { capacity });
             }
             *st.inflight.entry(tenant.to_string()).or_insert(0) += 1;
+            let id = st.next_job;
+            st.next_job += 1;
+            job_id = id;
+            let cancel = CancelToken::new();
+            st.jobs.insert(
+                id,
+                LiveJob {
+                    tenant: tenant.to_string(),
+                    cancel: cancel.clone(),
+                },
+            );
 
-            // Completion rendezvous between the pool worker and this caller.
-            let done: Arc<(Mutex<Option<R>>, Condvar)> =
-                Arc::new((Mutex::new(None), Condvar::new()));
+            // Completion rendezvous between the pool worker and this
+            // caller. The worker *always* fills it — run, shed, or panic
+            // — so the submitting session can never hang on a lost job.
+            done = Arc::new((Mutex::new(None), Condvar::new()));
             let done_tx = done.clone();
             let shared = self.shared.clone();
             let job_tenant = tenant.to_string();
-            let task: Job = Box::new(move || {
-                let result = job();
-                // Release the quota slot *before* waking the submitter, so
-                // an observer unblocked by the result never sees a stale
-                // in-flight count.
+            let job_cancel = cancel.clone();
+            let task = Box::new(move |fate| {
+                let result = match fate {
+                    Fate::Shed => {
+                        shared.metrics.counter("server.jobs.shed_deadline").inc();
+                        Err(AdmissionError::DeadlineExceeded)
+                    }
+                    Fate::Run => {
+                        let run = JobRun {
+                            id,
+                            cancel: job_cancel,
+                            remaining: deadline_at
+                                .map(|d| d.saturating_duration_since(Instant::now())),
+                        };
+                        // Contain panics at the pool boundary: the job's
+                        // state is discarded wholesale on the error path,
+                        // so AssertUnwindSafe is sound here (the same
+                        // contract as the executor's atom guard).
+                        let result =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(&run)))
+                                .map_err(|payload| AdmissionError::JobPanicked {
+                                    message: panic_message(payload.as_ref()),
+                                });
+                        if result.is_ok() {
+                            shared
+                                .metrics
+                                .counter(&format!("server.tenant.{job_tenant}.completed"))
+                                .inc();
+                        }
+                        result
+                    }
+                };
+                // Release the quota slot and registry entry *before*
+                // waking the submitter, so an observer unblocked by the
+                // result never sees a stale in-flight count.
                 {
                     let mut st = shared.state.lock();
+                    st.jobs.remove(&id);
                     if let Some(n) = st.inflight.get_mut(&job_tenant) {
                         *n = n.saturating_sub(1);
                         if *n == 0 {
@@ -195,25 +403,84 @@ impl JobService {
                 *slot.lock() = Some(result);
                 cv.notify_all();
             });
-            st.queue.push_back(task);
-            drop(st);
-            metrics
-                .counter(&format!("server.tenant.{tenant}.submitted"))
-                .inc();
-            self.shared.work_cv.notify_one();
-
-            let (slot, cv) = &*done;
-            let mut guard = slot.lock();
-            while guard.is_none() {
-                cv.wait(&mut guard);
-            }
-            let result = guard.take().expect("worker stored a result");
-            drop(guard);
-            metrics
-                .counter(&format!("server.tenant.{tenant}.completed"))
-                .inc();
-            Ok(result)
+            st.queue.push_back(QueuedJob {
+                task,
+                deadline: deadline_at,
+                cancel,
+            });
         }
+        metrics
+            .counter(&format!("server.tenant.{tenant}.submitted"))
+            .inc();
+        self.shared.work_cv.notify_one();
+        Ok(JobHandle { id: job_id, done })
+    }
+
+    /// Cancel one of `tenant`'s queued-or-running jobs by id. Returns
+    /// `true` when the id named a live job of that tenant whose token
+    /// this call tripped (idempotent: a second cancel returns `false`).
+    pub fn cancel_job(&self, tenant: &str, id: u64, reason: CancelReason) -> bool {
+        let token = {
+            let st = self.shared.state.lock();
+            st.jobs
+                .get(&id)
+                .filter(|j| j.tenant == tenant)
+                .map(|j| j.cancel.clone())
+        };
+        match token {
+            Some(token) if token.cancel(reason) => {
+                self.shared.metrics.counter("server.jobs.cancelled").inc();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Cancel every queued-or-running job of `tenant` (client hung up,
+    /// or a wire `CANCEL { job: 0 }`). Returns how many tokens tripped.
+    pub fn cancel_tenant(&self, tenant: &str, reason: CancelReason) -> usize {
+        let tokens: Vec<CancelToken> = {
+            let st = self.shared.state.lock();
+            st.jobs
+                .values()
+                .filter(|j| j.tenant == tenant)
+                .map(|j| j.cancel.clone())
+                .collect()
+        };
+        let tripped = tokens.into_iter().filter(|t| t.cancel(reason)).count();
+        self.shared
+            .metrics
+            .counter("server.jobs.cancelled")
+            .add(tripped as u64);
+        tripped
+    }
+
+    /// Cancel every queued-or-running job of every tenant (shutdown).
+    /// Returns how many tokens tripped.
+    pub fn cancel_all(&self, reason: CancelReason) -> usize {
+        let tokens: Vec<CancelToken> = {
+            let st = self.shared.state.lock();
+            st.jobs.values().map(|j| j.cancel.clone()).collect()
+        };
+        let tripped = tokens.into_iter().filter(|t| t.cancel(reason)).count();
+        self.shared
+            .metrics
+            .counter("server.jobs.cancelled")
+            .add(tripped as u64);
+        tripped
+    }
+
+    /// Ids of `tenant`'s queued-or-running jobs, ascending.
+    pub fn inflight_ids(&self, tenant: &str) -> Vec<u64> {
+        let st = self.shared.state.lock();
+        let mut ids: Vec<u64> = st
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.tenant == tenant)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Jobs currently queued (not yet picked up by a worker).
@@ -232,15 +499,34 @@ impl JobService {
             .unwrap_or(0)
     }
 
-    /// Stop accepting jobs, drain the queue, and join the workers.
+    /// Stop accepting jobs, cancel everything in flight (reason
+    /// [`CancelReason::Shutdown`]), and wait up to
+    /// [`ServiceConfig::drain_grace`] for the workers to drain. A worker
+    /// still stuck in a job past the grace period — a job that ignored
+    /// its cancel token — is detached rather than joined, so shutdown is
+    /// bounded.
     pub fn shutdown(&self) {
         {
             let mut st = self.shared.state.lock();
             st.shutdown = true;
         }
+        // Queued jobs still run (their submitters are blocked waiting),
+        // but with tripped tokens they fail at their first checkpoint,
+        // so the drain is prompt.
+        self.cancel_all(CancelReason::Shutdown);
         self.shared.work_cv.notify_all();
-        for handle in self.workers.lock().drain(..) {
-            let _ = handle.join();
+        let handles: Vec<_> = self.workers.lock().drain(..).collect();
+        let grace_until = Instant::now() + self.shared.config.drain_grace;
+        while Instant::now() < grace_until && handles.iter().any(|h| !h.is_finished()) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for h in handles {
+            if h.is_finished() {
+                let _ = h.join();
+            }
+            // else: detached — the job ignored cancellation for the whole
+            // grace period; its thread dies with the process instead of
+            // blocking shutdown forever.
         }
     }
 }
@@ -265,7 +551,30 @@ fn worker_loop(shared: &Shared) {
                 shared.work_cv.wait(&mut st);
             }
         };
-        job();
+        // Queue-age shedding: a job whose deadline passed while it
+        // waited never costs this worker; its submitter gets a typed
+        // DeadlineExceeded. (A *cancelled* queued job still runs — its
+        // tripped token fails it at the first checkpoint, which keeps
+        // exactly one completion path per job.)
+        let expired = job
+            .deadline
+            .is_some_and(|d| Instant::now() >= d && !job.cancel.is_cancelled());
+        if expired {
+            (job.task)(Fate::Shed);
+        } else {
+            (job.task)(Fate::Run);
+        }
+    }
+}
+
+/// Best-effort rendering of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
     }
 }
 
@@ -281,6 +590,7 @@ mod tests {
                 workers,
                 queue_capacity: queue,
                 max_inflight_per_tenant: quota,
+                drain_grace: Duration::from_secs(5),
             },
             Arc::new(MetricsRegistry::new()),
         )
@@ -381,5 +691,102 @@ mod tests {
             svc.submit("t", || ()).unwrap_err(),
             AdmissionError::ShuttingDown
         );
+    }
+
+    /// A job that ages out in the admission queue is shed with a typed
+    /// rejection before costing the (busy) worker anything.
+    #[test]
+    fn queued_jobs_past_their_deadline_are_shed() {
+        let svc = Arc::new(service(1, 4, 16));
+        let gate = Arc::new(Barrier::new(2));
+        let release = Arc::new(Barrier::new(2));
+        let blocker = {
+            let (svc, gate, release) = (svc.clone(), gate.clone(), release.clone());
+            std::thread::spawn(move || {
+                svc.submit("a", move || {
+                    gate.wait();
+                    release.wait();
+                })
+                .unwrap()
+            })
+        };
+        gate.wait(); // worker is busy
+        let ran = Arc::new(AtomicUsize::new(0));
+        let doomed = {
+            let (svc, ran) = (svc.clone(), ran.clone());
+            std::thread::spawn(move || {
+                svc.submit_job("b", Some(Duration::from_millis(1)), move |_run| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+        };
+        while svc.queued() < 1 {
+            std::thread::yield_now();
+        }
+        // Let the 1 ms deadline age out while the job sits in the queue.
+        std::thread::sleep(Duration::from_millis(10));
+        release.wait();
+        blocker.join().unwrap();
+        assert_eq!(
+            doomed.join().unwrap(),
+            Err(AdmissionError::DeadlineExceeded)
+        );
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "shed job must never run");
+        assert_eq!(
+            svc.shared
+                .metrics
+                .counter_value("server.jobs.shed_deadline"),
+            1
+        );
+    }
+
+    /// A panicking job is contained: the submitter gets a typed error,
+    /// the worker thread survives, and the next job runs normally.
+    #[test]
+    fn a_panicking_job_does_not_kill_its_worker_or_hang_its_submitter() {
+        let svc = service(1, 4, 4);
+        let err = svc
+            .submit("t", || -> i32 { panic!("poisoned job") })
+            .unwrap_err();
+        assert!(
+            matches!(&err, AdmissionError::JobPanicked { message } if message.contains("poisoned")),
+            "{err:?}"
+        );
+        // Same (sole) worker thread still serves jobs.
+        assert_eq!(svc.submit("t", || 7).unwrap(), 7);
+        assert_eq!(svc.inflight("t"), 0);
+    }
+
+    /// cancel_job trips exactly the addressed tenant's job token, once.
+    #[test]
+    fn cancel_job_is_tenant_scoped_and_idempotent() {
+        let svc = Arc::new(service(1, 4, 4));
+        let gate = Arc::new(Barrier::new(2));
+        let release = Arc::new(Barrier::new(2));
+        let running = {
+            let (svc, gate, release) = (svc.clone(), gate.clone(), release.clone());
+            std::thread::spawn(move || {
+                svc.submit_job("a", None, move |run| {
+                    gate.wait();
+                    release.wait();
+                    run.cancel.is_cancelled()
+                })
+                .unwrap()
+            })
+        };
+        gate.wait();
+        let ids = svc.inflight_ids("a");
+        assert_eq!(ids.len(), 1);
+        let id = ids[0];
+        // Wrong tenant: no effect.
+        assert!(!svc.cancel_job("b", id, CancelReason::Explicit));
+        // Right tenant: trips once, idempotent after.
+        assert!(svc.cancel_job("a", id, CancelReason::Explicit));
+        assert!(!svc.cancel_job("a", id, CancelReason::Explicit));
+        assert_eq!(svc.shared.metrics.counter_value("server.jobs.cancelled"), 1);
+        release.wait();
+        assert!(running.join().unwrap(), "job observed its tripped token");
+        // The registry entry dies with the job.
+        assert!(svc.inflight_ids("a").is_empty());
     }
 }

@@ -122,10 +122,38 @@ impl Condvar {
 
     /// Block until notified. Unlike std, takes the guard by `&mut`.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        take_mut_guard(guard, |g| match self.inner.wait(g) {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
+        take_mut_guard(guard, |g| {
+            let g = match self.inner.wait(g) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            (g, ())
         });
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        take_mut_guard(guard, |g| match self.inner.wait_timeout(g, timeout) {
+            Ok((g, r)) => (g, WaitTimeoutResult(r.timed_out())),
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                (g, WaitTimeoutResult(r.timed_out()))
+            }
+        })
+    }
+
+    /// Block until notified or `deadline` is reached.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: std::time::Instant,
+    ) -> WaitTimeoutResult {
+        let timeout = deadline.saturating_duration_since(std::time::Instant::now());
+        self.wait_for(guard, timeout)
     }
 
     /// Wake one waiting thread.
@@ -139,20 +167,33 @@ impl Condvar {
     }
 }
 
+/// Whether a timed wait returned because the timeout elapsed (as opposed
+/// to a notification).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` when the wait timed out without a notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 /// Replace a guard in place through a consuming closure (needed because
-/// `std`'s `Condvar::wait` consumes and returns the guard while
-/// `parking_lot`'s takes `&mut`).
-fn take_mut_guard<'a, T, F>(slot: &mut MutexGuard<'a, T>, f: F)
+/// `std`'s `Condvar` waits consume and return the guard while
+/// `parking_lot`'s take `&mut`), forwarding the closure's extra result.
+fn take_mut_guard<'a, T, R, F>(slot: &mut MutexGuard<'a, T>, f: F) -> R
 where
-    F: FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+    F: FnOnce(MutexGuard<'a, T>) -> (MutexGuard<'a, T>, R),
 {
     // SAFETY: `slot` is forgotten before being overwritten, and `f` either
     // returns a valid guard or diverges by panicking, in which case the
     // duplicated guard has already been consumed by `f` itself.
     unsafe {
         let guard = std::ptr::read(slot);
-        let new = f(guard);
+        let (new, out) = f(guard);
         std::ptr::write(slot, new);
+        out
     }
 }
 
