@@ -677,6 +677,13 @@ impl Executor {
             break; // the whole phase ran without re-planning: done
         }
 
+        // Final cancellation gate: a cancel that fires during the last
+        // kernel of the final wave may have truncated that kernel's output
+        // (morsel loops collapse remaining morsels once the token fires)
+        // after every earlier checkpoint already passed. Never commit a
+        // cancelled job's sink datasets as a successful result.
+        ctx.check_cancelled()?;
+
         stats.waves = wave_idx;
         stats.total_wall = started.elapsed();
         for l in &self.listeners {

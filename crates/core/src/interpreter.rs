@@ -193,6 +193,12 @@ pub fn execute_op(
             inputs[0].clone()
         }
     };
+    // A cancel that fires *inside* a morsel-parallel kernel truncates the
+    // kernel's output (run_ranges collapses the remaining morsels to
+    // empty). The pre-node checkpoint in `run_fragment` only covers nodes
+    // that have a successor, so re-check here: a truncated result must
+    // never be returned as this operator's (and possibly the job's) output.
+    ctx.check_cancelled()?;
     Ok(out)
 }
 
@@ -385,6 +391,43 @@ mod tests {
         let plan = b.build().unwrap();
         let out = run_plan(&plan, &ExecutionContext::new()).unwrap();
         assert_eq!(read_count(&out[&sink]).unwrap(), 7);
+    }
+
+    /// A cancel fired *inside* the kernel of a fragment's last node must
+    /// surface as `Cancelled`, not as a silently truncated `Ok` — there is
+    /// no later node whose pre-check could catch the fired token, and the
+    /// morsel loop truncates the kernel output once the token fires.
+    #[test]
+    fn cancel_mid_kernel_of_the_last_node_surfaces_cancelled() {
+        use crate::error::CancelReason;
+        use crate::fault::CancelToken;
+
+        let token = CancelToken::new();
+        let trip = token.clone();
+        let mut b = PlanBuilder::new();
+        let src = b.collection("s", nums(64));
+        let m = b.map(
+            src,
+            MapUdf::new("cancel-mid", move |r| {
+                if r.int(0).unwrap() == 5 {
+                    trip.cancel(CancelReason::Explicit);
+                }
+                r.clone()
+            }),
+        );
+        b.collect(m);
+        let plan = b.build().unwrap();
+        let ctx = ExecutionContext::new().with_cancel_token(token.clone());
+        // Run only up to the map: the fragment *ends* on the truncating
+        // kernel, exactly the shape of an atom whose terminal node is a
+        // map/flat_map/filter.
+        let result = crate::kernels::parallel::with_cancel_scope(&token, || {
+            run_fragment(&plan, &[src, m], &HashMap::new(), &ctx, None)
+        });
+        assert!(
+            matches!(result, Err(RheemError::Cancelled { .. })),
+            "truncated fragment must not be returned as success: {result:?}"
+        );
     }
 
     #[test]

@@ -43,6 +43,12 @@ use crate::service::{JobService, ServiceConfig};
 /// socket for a hang-up (and the job for completion).
 const DISCONNECT_POLL: Duration = Duration::from_millis(25);
 
+/// Per-read socket timeout for sessions with an idle timeout configured.
+/// Reads tick at this granularity so idleness can be judged at frame
+/// boundaries (time waiting for a request to *start*) instead of riding
+/// on individual `read()` calls — a slow client mid-frame stays alive.
+const READ_TICK: Duration = Duration::from_millis(25);
+
 /// Knobs for [`RheemServer::start`].
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -54,8 +60,10 @@ pub struct ServerConfig {
     pub wave_slots: usize,
     /// Plan cache sizing and drift threshold.
     pub cache: PlanCacheConfig,
-    /// Evict a session after this long without a request (`None` keeps
-    /// idle sessions forever). Evictions are counted under
+    /// Evict a session after this long without a request *starting*
+    /// (`None` keeps idle sessions forever). Idleness is judged at frame
+    /// boundaries only: a slow client still trickling in the bytes of a
+    /// request frame is active, never idle. Evictions are counted under
     /// `server.sessions.idle_evicted`.
     pub idle_timeout: Option<Duration>,
 }
@@ -214,15 +222,24 @@ fn run_session(shared: &ServerShared, mut stream: TcpStream) -> WireResult<()> {
         .session_streams
         .lock()
         .push(stream.try_clone().map_err(WireError::Io)?);
-    // The idle timeout rides on the socket read timeout: a session that
-    // sends nothing for that long gets evicted in the loop below.
-    stream
-        .set_read_timeout(shared.idle_timeout)
-        .map_err(WireError::Io)?;
+    // Reads tick at `READ_TICK` so [`read_frame_idle`] can tell "no
+    // request started within the idle timeout" (idleness, judged at frame
+    // boundaries) from "slow peer mid-frame" (activity — never evicted).
+    // Without an idle timeout, reads block indefinitely.
+    if let Some(idle) = shared.idle_timeout {
+        stream
+            .set_read_timeout(Some(READ_TICK.min(idle)))
+            .map_err(WireError::Io)?;
+    }
 
     // First frame must be HELLO.
-    let Some(body) = read_frame(&mut stream)? else {
-        return Ok(());
+    let body = match read_frame_idle(&mut stream, shared.idle_timeout)? {
+        SessionRead::Frame(body) => body,
+        SessionRead::Eof => return Ok(()),
+        SessionRead::Idle => {
+            evict_idle(shared, &mut stream);
+            return Ok(());
+        }
     };
     let tenant = match Request::decode(&body)? {
         Request::Hello { tenant } if !tenant.is_empty() => tenant,
@@ -248,28 +265,14 @@ fn run_session(shared: &ServerShared, mut stream: TcpStream) -> WireResult<()> {
     let mut statements: HashMap<String, Arc<PlannedQuery>> = HashMap::new();
 
     loop {
-        let body = match read_frame(&mut stream) {
-            Ok(Some(body)) => body,
-            Ok(None) => break,
-            Err(WireError::Io(e))
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                // Idle session: no request within the idle timeout.
-                shared
-                    .observability
-                    .metrics()
-                    .counter("server.sessions.idle_evicted")
-                    .inc();
-                let resp = Response::Err {
-                    message: "session evicted: idle timeout".into(),
-                };
-                let _ = write_frame(&mut stream, &resp.encode());
+        let body = match read_frame_idle(&mut stream, shared.idle_timeout)? {
+            SessionRead::Frame(body) => body,
+            SessionRead::Eof => break,
+            SessionRead::Idle => {
+                // Idle session: no request *started* within the timeout.
+                evict_idle(shared, &mut stream);
                 break;
             }
-            Err(e) => return Err(e),
         };
         if shared.shutdown.load(Ordering::Acquire) {
             break;
@@ -321,6 +324,104 @@ fn run_session(shared: &ServerShared, mut stream: TcpStream) -> WireResult<()> {
         write_frame(&mut stream, &response.encode())?;
     }
     Ok(())
+}
+
+/// Outcome of one idle-aware frame read ([`read_frame_idle`]).
+enum SessionRead {
+    /// A complete frame body.
+    Frame(Vec<u8>),
+    /// Clean EOF at a frame boundary: the peer hung up between messages.
+    Eof,
+    /// No frame started within the session's idle timeout.
+    Idle,
+}
+
+/// `true` for the error kinds a timed-out socket read surfaces
+/// (`WouldBlock` on Unix, `TimedOut` on Windows).
+fn is_read_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Read one frame, attributing read timeouts correctly: a timeout while
+/// waiting for a frame's *first byte* counts toward `idle` (the session is
+/// between requests), while a timeout once any byte of the frame has
+/// arrived means a slow-but-active peer mid-request — the read just
+/// continues. The stream's per-read timeout must already be set to
+/// [`READ_TICK`] (see `run_session`); with `idle == None` reads block and
+/// this is plain [`read_frame`].
+fn read_frame_idle(stream: &mut TcpStream, idle: Option<Duration>) -> WireResult<SessionRead> {
+    use std::io::Read;
+
+    let Some(idle) = idle else {
+        return Ok(match read_frame(stream)? {
+            Some(body) => SessionRead::Frame(body),
+            None => SessionRead::Eof,
+        });
+    };
+    let boundary = std::time::Instant::now();
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match stream.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(SessionRead::Eof),
+            Ok(0) => return Err(WireError::Malformed("EOF inside length prefix".into())),
+            Ok(n) => filled += n,
+            Err(e) if is_read_timeout(&e) => {
+                if filled == 0 && boundary.elapsed() >= idle {
+                    return Ok(SessionRead::Idle);
+                }
+                // Mid-frame (or boundary wait not yet over): keep reading.
+            }
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > crate::protocol::MAX_FRAME {
+        return Err(WireError::Malformed(format!(
+            "declared frame of {len} bytes exceeds MAX_FRAME"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match stream.read(&mut body[got..]) {
+            Ok(0) => return Err(WireError::Malformed("EOF inside frame body".into())),
+            Ok(n) => got += n,
+            Err(e) if is_read_timeout(&e) => {} // mid-frame stall: slow, not idle
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(SessionRead::Frame(body))
+}
+
+/// Count an idle eviction and tell the client why (best-effort: the
+/// write is at a response boundary — the evicted session has no request
+/// in flight — but the peer may already be gone).
+fn evict_idle(shared: &ServerShared, stream: &mut TcpStream) {
+    shared
+        .observability
+        .metrics()
+        .counter("server.sessions.idle_evicted")
+        .inc();
+    let resp = Response::Err {
+        message: "session evicted: idle timeout".into(),
+    };
+    let _ = write_frame(stream, &resp.encode());
+}
+
+/// Drop guard that removes the cancel token installed on a session's
+/// [`JobGate`] for the duration of one job. Clearing must survive the job
+/// closure panicking (the worker pool catches the unwind at its boundary,
+/// skipping any code after the job body), so it rides on `Drop`.
+struct ClearGateCancel<'a>(&'a JobGate);
+
+impl Drop for ClearGateCancel<'_> {
+    fn drop(&mut self) {
+        self.0.set_cancel(None);
+    }
 }
 
 /// `true` when the client side of `stream` has hung up (EOF on a
@@ -383,21 +484,22 @@ fn handle_query(
         // interpreter, and kernels all observe it). The remaining budget
         // — queue wait already deducted — becomes the executor timeout.
         job_gate.set_cancel(Some(run.cancel.clone()));
+        // Clear the gate on *every* exit, including a panic unwinding to
+        // the pool's `catch_unwind`: a dead job's token left installed
+        // could be tripped later (e.g. a tenant-wide cancel) and stall
+        // the session's next query's wave-slot waits on a stale token.
+        let _clear_gate = ClearGateCancel(&job_gate);
         let mut job_ctx = job_ctx.with_cancel_token(run.cancel.clone());
         if let Some(remaining) = run.remaining {
             job_ctx = job_ctx.with_timeout(remaining);
         }
-        let result = (|| {
-            let job = job_ctx.execute_logical(&job_planned.logical)?;
-            let rows = job
-                .outputs
-                .get(&job_planned.sink)
-                .map(|d| d.records().to_vec())
-                .unwrap_or_default();
-            Ok::<_, rheem_core::RheemError>(rows)
-        })();
-        job_gate.set_cancel(None);
-        result
+        let job = job_ctx.execute_logical(&job_planned.logical)?;
+        let rows = job
+            .outputs
+            .get(&job_planned.sink)
+            .map(|d| d.records().to_vec())
+            .unwrap_or_default();
+        Ok::<_, rheem_core::RheemError>(rows)
     });
     let handle = match submitted {
         Ok(handle) => handle,

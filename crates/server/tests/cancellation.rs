@@ -337,6 +337,66 @@ fn an_idle_session_is_evicted_and_counted() {
     handle.shutdown();
 }
 
+/// Idleness is judged at frame boundaries only: a slow client whose
+/// request frame trickles in byte by byte — every gap longer than the
+/// idle timeout — is active, not idle, and still gets its response
+/// (REVIEW: the idle timeout must not ride on per-`read()` timeouts).
+#[test]
+fn a_slow_mid_frame_client_is_not_idle_evicted() {
+    use rheem_server::protocol::{read_frame, write_frame, Request, Response};
+    use std::io::Write;
+    use std::net::TcpStream;
+
+    let config = ServerConfig {
+        idle_timeout: Some(Duration::from_millis(60)),
+        ..ServerConfig::default()
+    };
+    let mut handle = RheemServer::start(config).expect("server starts");
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    let hello = Request::Hello {
+        tenant: "slow".into(),
+    };
+    write_frame(&mut stream, &hello.encode()).expect("hello");
+    let body = read_frame(&mut stream)
+        .expect("hello reply")
+        .expect("frame");
+    assert!(matches!(
+        Response::decode(&body).expect("decode"),
+        Response::Ok
+    ));
+
+    // Drip a STATS request one byte at a time, stalling longer than the
+    // idle timeout between bytes — both inside the length prefix and
+    // inside the body.
+    let body = Request::Stats.encode();
+    let mut frame = (body.len() as u32).to_be_bytes().to_vec();
+    frame.extend_from_slice(&body);
+    for (i, byte) in frame.iter().enumerate() {
+        if i > 0 {
+            // Stall between bytes only: once the frame completes the test
+            // must read its reply promptly, or the post-response boundary
+            // wait would itself (correctly) count as idleness.
+            std::thread::sleep(Duration::from_millis(90));
+        }
+        stream.write_all(&[*byte]).expect("write byte");
+        stream.flush().expect("flush");
+    }
+    let body = read_frame(&mut stream).expect("reply").expect("frame");
+    assert!(
+        matches!(
+            Response::decode(&body).expect("decode"),
+            Response::Stats { .. }
+        ),
+        "slow-but-active client must get its response, not an eviction"
+    );
+    let evicted = handle
+        .observability()
+        .metrics()
+        .counter_value("server.sessions.idle_evicted");
+    assert_eq!(evicted, 0, "mid-frame stalls must not count as idleness");
+    handle.shutdown();
+}
+
 /// Shutdown with jobs in flight: the cancel path bounds the drain — the
 /// server comes down in far less time than the stuck job would have run.
 #[test]

@@ -583,3 +583,32 @@ fn golden_failover_explain() {
     snapshot.push_str(&effective.explain());
     assert_golden("explain_failover.txt", &snapshot);
 }
+
+// ---------------------------------------------------------------------------
+// Cancellation at the final-wave boundary
+// ---------------------------------------------------------------------------
+
+/// A cancel that fires in the gap *after* the final wave — e.g. a
+/// tenant-wide cancel racing job completion, after every earlier
+/// checkpoint has already passed — must surface as `Cancelled`, not be
+/// committed as a successful result (REVIEW: the executor re-checks the
+/// token one last time before constructing the `JobResult`).
+#[test]
+fn cancel_after_the_final_wave_is_not_committed_as_success() {
+    use rheem_core::{CancelReason, CancelToken, WaveGate};
+
+    struct CancelAfterWave(CancelToken);
+    impl WaveGate for CancelAfterWave {
+        fn before_wave(&self, _wave_index: usize, _atoms: usize) {}
+        fn after_wave(&self, _wave_index: usize) {
+            self.0.cancel(CancelReason::Explicit);
+        }
+    }
+
+    let token = CancelToken::new();
+    let ctx = test_context()
+        .with_cancel_token(token.clone())
+        .with_wave_gate(Arc::new(CancelAfterWave(token)));
+    let err = ctx.execute(tiny_plan()).unwrap_err();
+    assert!(matches!(err, RheemError::Cancelled { .. }), "{err:?}");
+}
