@@ -47,6 +47,26 @@ echo "==> chunk-vs-record determinism smoke (RHEEM_KERNEL_THREADS=1 vs default)"
 RHEEM_KERNEL_THREADS=1 cargo test -q --release --test columnar_kernels
 cargo test -q --release --test columnar_kernels
 
+# Hash-engine collision smoke: seeded adversarial key sets (hundreds of
+# distinct keys crafted into one radix bucket) through grouping, typed
+# reduction, and both joins — byte-identical to the row kernels with the
+# morsel layer pinned off and at the ambient default, plus the
+# end-to-end plan under both schedule modes.
+echo "==> hash-engine collision smoke (RHEEM_KERNEL_THREADS=1 vs default)"
+RHEEM_KERNEL_THREADS=1 cargo test -q --release --test hash_semantics
+cargo test -q --release --test hash_semantics
+
+# The committed kernel-ablation numbers must carry the columnar join
+# entries and the timer-resolution honesty flag (sub-resolution timings
+# are flagged, never reported as inflated speedups).
+echo "==> BENCH_kernels.json schema check"
+for key in '"bench": "ablation_kernels"' '"timer_resolution_ms"' \
+    '"below_timer_resolution"' '"kernel":"hash_join"' \
+    '"kernel":"sort_merge_join"' '"kernel":"hash_group"'; do
+  grep -qF "$key" BENCH_kernels.json \
+    || { echo "BENCH_kernels.json missing $key"; exit 1; }
+done
+
 # Enumeration-v2 oracle smoke: the lattice enumerator must match the
 # exhaustive optimum on every sampled plan (seeded vendored proptest —
 # reproducible), including under random calibration tables and config

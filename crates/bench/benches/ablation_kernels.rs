@@ -29,6 +29,27 @@ use rheem_core::KernelParallelism;
 const ITERS: u32 = 3;
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
+/// Smallest nonzero interval the monotonic clock can report, in ms, with
+/// a 1 µs floor. Speedup denominators are clamped here: a timing below
+/// this is indistinguishable from zero, so dividing by it fabricates
+/// ratios (the old report showed a 681477× "speedup" from a 0.000 ms
+/// denominator). Entries whose denominator was clamped carry
+/// `below_timer_resolution: true` instead of pretending the ratio is real.
+fn timer_resolution_ms() -> f64 {
+    let mut res = f64::INFINITY;
+    for _ in 0..64 {
+        let t = Instant::now();
+        let ms = loop {
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            if ms > 0.0 {
+                break ms;
+            }
+        };
+        res = res.min(ms);
+    }
+    res.max(1e-3)
+}
+
 /// Time `f` over `ITERS` runs; return (best_ms, mean_ms).
 fn time<F: FnMut()>(mut f: F) -> (f64, f64) {
     let mut best = f64::INFINITY;
@@ -51,20 +72,23 @@ struct Entry {
     best_ms: f64,
     mean_ms: f64,
     speedup: f64,
+    below_timer_resolution: bool,
 }
 
 impl Entry {
     fn json(&self) -> String {
         format!(
             "{{\"workload\":\"{}\",\"kernel\":\"{}\",\"rows\":{},\"threads\":{},\
-             \"best_ms\":{:.3},\"mean_ms\":{:.3},\"speedup_vs_sequential\":{:.3}}}",
+             \"best_ms\":{:.3},\"mean_ms\":{:.3},\"speedup_vs_sequential\":{:.3},\
+             \"below_timer_resolution\":{}}}",
             self.workload,
             self.kernel,
             self.rows,
             self.threads,
             self.best_ms,
             self.mean_ms,
-            self.speedup
+            self.speedup,
+            self.below_timer_resolution
         )
     }
 }
@@ -73,6 +97,7 @@ impl Entry {
 /// the non-morsel code path) plus one morsel entry per thread count.
 fn sweep(
     entries: &mut Vec<Entry>,
+    resolution_ms: f64,
     workload: &'static str,
     kernel: &'static str,
     rows: usize,
@@ -88,6 +113,7 @@ fn sweep(
         best_ms: best,
         mean_ms: mean,
         speedup: 1.0,
+        below_timer_resolution: best < resolution_ms,
     });
     let baseline = best;
     for t in THREADS {
@@ -100,7 +126,8 @@ fn sweep(
             threads: t,
             best_ms: best,
             mean_ms: mean,
-            speedup: baseline / best.max(1e-9),
+            speedup: baseline / best.max(resolution_ms),
+            below_timer_resolution: best < resolution_ms,
         });
         eprintln!("{workload}/{kernel} rows={rows} threads={t}: best {best:.1} ms");
     }
@@ -113,18 +140,25 @@ struct ColEntry {
     rows: usize,
     row_ms: f64,
     chunk_ms: f64,
+    resolution_ms: f64,
 }
 
 impl ColEntry {
+    fn speedup(&self) -> f64 {
+        self.row_ms / self.chunk_ms.max(self.resolution_ms)
+    }
+
     fn json(&self) -> String {
         format!(
             "{{\"workload\":\"columnar\",\"kernel\":\"{}\",\"rows\":{},\
-             \"row_ms\":{:.3},\"chunk_ms\":{:.3},\"speedup_chunk_vs_row\":{:.3}}}",
+             \"row_ms\":{:.3},\"chunk_ms\":{:.3},\"speedup_chunk_vs_row\":{:.3},\
+             \"below_timer_resolution\":{}}}",
             self.kernel,
             self.rows,
             self.row_ms,
             self.chunk_ms,
-            self.row_ms / self.chunk_ms.max(1e-9)
+            self.speedup(),
+            self.chunk_ms < self.resolution_ms
         )
     }
 }
@@ -132,6 +166,7 @@ impl ColEntry {
 /// Row (pre) vs. chunk (post) on one kernel; both sides best-of-`ITERS`.
 fn col_sweep(
     entries: &mut Vec<ColEntry>,
+    resolution_ms: f64,
     kernel: &'static str,
     rows: usize,
     row: &mut dyn FnMut(),
@@ -139,21 +174,25 @@ fn col_sweep(
 ) {
     let (row_best, _) = time(&mut *row);
     let (chunk_best, _) = time(&mut *chunk);
-    entries.push(ColEntry {
+    let entry = ColEntry {
         kernel,
         rows,
         row_ms: row_best,
         chunk_ms: chunk_best,
-    });
+        resolution_ms,
+    };
     eprintln!(
         "columnar/{kernel} rows={rows}: row {row_best:.1} ms, chunk {chunk_best:.1} ms ({:.2}x)",
-        row_best / chunk_best.max(1e-9)
+        entry.speedup()
     );
+    entries.push(entry);
 }
 
 /// The columnar experiment: row kernels vs. chunk kernels on a 2-column
-/// Int dataset (64 skewed keys), plus the fused-pipeline production path.
-fn columnar_experiment(entries: &mut Vec<ColEntry>, rows: usize) {
+/// Int dataset (64 skewed keys) — except group-by, which runs on a
+/// string-keyed dataset to exercise the dictionary lane — plus the
+/// fused-pipeline production path.
+fn columnar_experiment(entries: &mut Vec<ColEntry>, resolution_ms: f64, rows: usize) {
     let keys = 64i64;
     let data: Vec<_> = (0..rows as i64).map(|i| rec![i % keys, i]).collect();
     let chunk = Chunk::from_records(&data).expect("rectangular");
@@ -166,6 +205,7 @@ fn columnar_experiment(entries: &mut Vec<ColEntry>, rows: usize) {
     assert_eq!(chunked::filter(&chunk, &pred).to_records(), expect);
     col_sweep(
         entries,
+        resolution_ms,
         "filter",
         rows,
         &mut || {
@@ -185,6 +225,7 @@ fn columnar_experiment(entries: &mut Vec<ColEntry>, rows: usize) {
     );
     col_sweep(
         entries,
+        resolution_ms,
         "map",
         rows,
         &mut || {
@@ -202,6 +243,7 @@ fn columnar_experiment(entries: &mut Vec<ColEntry>, rows: usize) {
     );
     col_sweep(
         entries,
+        resolution_ms,
         "project",
         rows,
         &mut || {
@@ -219,6 +261,7 @@ fn columnar_experiment(entries: &mut Vec<ColEntry>, rows: usize) {
     assert_eq!(chunked::reduce_by_key(&chunk, &key, &reduce), expect);
     col_sweep(
         entries,
+        resolution_ms,
         "reduce_by_key",
         rows,
         &mut || {
@@ -229,20 +272,83 @@ fn columnar_experiment(entries: &mut Vec<ColEntry>, rows: usize) {
         },
     );
 
-    // Group-by: typed key lane vs. per-record key closure.
+    // Group-by on a string key (URL-style, 8k distinct): the row kernel
+    // re-hashes and re-compares the full key bytes for every record, while
+    // the chunk side groups by dictionary code — no string bytes are
+    // touched per row. This is the dictionary lane's representative
+    // workload; both sides still materialize the same `Vec<(Value,
+    // Vec<Record>)>`, so the ratio is honest about output cost.
+    let group_keys = 8192i64;
+    let group_data: Vec<_> = (0..rows as i64)
+        .map(|i| {
+            let k = i % group_keys;
+            rec![
+                format!(
+                    "https://example.com/products/cat-{:04}/item-9f8a7b6c5d4e3f2a1b0c{:08}",
+                    k,
+                    k * 7
+                ),
+                i
+            ]
+        })
+        .collect();
+    let group_chunk = Chunk::from_records(&group_data).expect("rectangular");
     assert_eq!(
-        chunked::hash_group(&chunk, &key),
-        kernels::hash_group(&data, &key)
+        chunked::hash_group(&group_chunk, &key),
+        kernels::hash_group(&group_data, &key)
     );
     col_sweep(
         entries,
+        resolution_ms,
         "hash_group",
         rows,
         &mut || {
-            kernels::hash_group(&data, &key);
+            kernels::hash_group(&group_data, &key);
         },
         &mut || {
-            chunked::hash_group(&chunk, &key);
+            chunked::hash_group(&group_chunk, &key);
+        },
+    );
+
+    // Joins: engine build+probe with selection-vector output vs. the row
+    // kernels' HashMap build / record-concat probe. Dimension-style right
+    // side (unique keys covering every left key once) keeps the output
+    // linear in `rows`.
+    let dim_keys = (rows / 10) as i64;
+    let fact: Vec<_> = (0..rows as i64).map(|i| rec![i % dim_keys, i]).collect();
+    let dims: Vec<_> = (0..dim_keys).map(|i| rec![i, i * 7]).collect();
+    let fact_chunk = Chunk::from_records(&fact).expect("rectangular");
+    let dims_chunk = Chunk::from_records(&dims).expect("rectangular");
+    assert_eq!(
+        chunked::hash_join(&fact_chunk, &dims_chunk, &key, &key).to_records(),
+        kernels::hash_join(&fact, &dims, &key, &key)
+    );
+    col_sweep(
+        entries,
+        resolution_ms,
+        "hash_join",
+        rows,
+        &mut || {
+            kernels::hash_join(&fact, &dims, &key, &key);
+        },
+        &mut || {
+            chunked::hash_join(&fact_chunk, &dims_chunk, &key, &key);
+        },
+    );
+    assert_eq!(
+        chunked::sort_merge_join(&fact_chunk, &dims_chunk, &key, &key).to_records(),
+        kernels::sort_merge_join(&fact, &dims, &key, &key)
+    );
+    col_sweep(
+        entries,
+        resolution_ms,
+        "sort_merge_join",
+        rows,
+        &mut || {
+            kernels::sort_merge_join(&fact, &dims, &key, &key);
+        },
+        &mut || {
+            chunked::sort_merge_join(&fact_chunk, &dims_chunk, &key, &key);
         },
     );
 
@@ -282,6 +388,7 @@ fn columnar_experiment(entries: &mut Vec<ColEntry>, rows: usize) {
     );
     col_sweep(
         entries,
+        resolution_ms,
         "pipeline",
         rows,
         &mut || {
@@ -298,8 +405,10 @@ fn columnar_experiment(entries: &mut Vec<ColEntry>, rows: usize) {
 fn main() {
     let mut entries: Vec<Entry> = Vec::new();
     let mut col_entries: Vec<ColEntry> = Vec::new();
+    let resolution_ms = timer_resolution_ms();
+    eprintln!("timer resolution: {resolution_ms:.6} ms");
     for rows in [100_000usize, 1_000_000] {
-        columnar_experiment(&mut col_entries, rows);
+        columnar_experiment(&mut col_entries, resolution_ms, rows);
     }
     for rows in [100_000usize, 1_000_000] {
         let keys = 64i64;
@@ -312,6 +421,7 @@ fn main() {
         let expect = kernels::hash_group(&data, &key);
         sweep(
             &mut entries,
+            resolution_ms,
             "groupby",
             "hash_group",
             rows,
@@ -323,6 +433,7 @@ fn main() {
         let expect = kernels::reduce_by_key(&data, &key, &reduce);
         sweep(
             &mut entries,
+            resolution_ms,
             "groupby",
             "reduce_by_key",
             rows,
@@ -342,6 +453,7 @@ fn main() {
         let expect = kernels::hash_join(&fact, &dims, &key, &key);
         sweep(
             &mut entries,
+            resolution_ms,
             "join",
             "hash_join",
             rows,
@@ -356,6 +468,7 @@ fn main() {
         let expect = kernels::sort_merge_join(&left_u, &right_u, &key, &key);
         sweep(
             &mut entries,
+            resolution_ms,
             "join",
             "sort_merge_join",
             rows,
@@ -385,11 +498,14 @@ fn main() {
         .collect();
     let json = format!(
         "{{\n  \"bench\": \"ablation_kernels\",\n  \"unix_time\": {stamp},\n  \"iters\": {ITERS},\
-         \n  \"host\": {{\"cpus\": {cpus}, \"os\": \"{}\", \"arch\": \"{}\"}},\n  \"note\": \
+         \n  \"host\": {{\"cpus\": {cpus}, \"os\": \"{}\", \"arch\": \"{}\", \
+         \"timer_resolution_ms\": {resolution_ms:.6}}},\n  \"note\": \
          \"columnar entries carry pre (row_ms) and post (chunk_ms) columns; per-kernel entries \
          are representation-native, the pipeline entry includes record<->chunk conversion. \
          threads=0 rows are the sequential (non-morsel) baseline; morsel speedups are \
-         physically bounded by host cpus\",\n  \"entries\": [\n{}\n  ]\n}}\n",
+         physically bounded by host cpus. speedup denominators clamp to timer_resolution_ms; \
+         entries with below_timer_resolution=true have untrustworthy ratios\",\
+         \n  \"entries\": [\n{}\n  ]\n}}\n",
         std::env::consts::OS,
         std::env::consts::ARCH,
         body.join(",\n")

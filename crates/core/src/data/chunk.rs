@@ -341,6 +341,23 @@ impl Column {
         }
     }
 
+    /// The dictionary and per-row code lane of the view when the column is
+    /// `Str`, else `None`.
+    ///
+    /// The dictionary holds *distinct* strings ([`Column::from_values`]
+    /// dedups at construction and gather/slice share the dictionary), so
+    /// code equality is string equality within one column — the invariant
+    /// the kernels' dict-code fast lane relies on. Codes cover null lanes
+    /// too (they read as 0); combine with [`Column::no_nulls`].
+    pub fn dict_codes(&self) -> Option<(&[Arc<str>], &[u32])> {
+        match self.data.as_ref() {
+            ColumnData::Str { dict, codes } => {
+                Some((&dict[..], &codes[self.offset..self.offset + self.len]))
+            }
+            _ => None,
+        }
+    }
+
     /// Zero-copy sub-view `[offset, offset + len)` of this view.
     pub fn slice(&self, offset: usize, len: usize) -> Column {
         assert!(offset + len <= self.len, "column slice out of range");

@@ -8,6 +8,7 @@
 //! simulated overheads — which is where their cost profiles diverge.
 
 pub mod chunked;
+pub mod hash;
 pub mod parallel;
 
 use std::collections::HashMap;

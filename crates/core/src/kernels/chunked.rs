@@ -10,18 +10,27 @@
 //!
 //! Where the operator carries a declarative form (an [`Expr`] predicate, a
 //! [`FieldReduce`] spec, a [`KeyUdf::field`] index), kernels run fully
-//! columnar: typed key lanes hash as raw `i64`s, predicates evaluate
-//! vectorized, and accumulators update in place without materializing a
-//! [`Record`] per row. Opaque closures fall back to materializing rows —
-//! correct, but without the columnar speedup.
+//! columnar: predicates evaluate vectorized and the keyed kernels run on
+//! the vectorized hash engine ([`super::hash`]) — the key column hashes
+//! once into a hash lane (`i64` fast lane, dict-code lane hashing each
+//! distinct string a single time, generic [`Value`] fallback), an
+//! open-addressing slot table assigns dense group slots, and aggregation
+//! folds into typed accumulator lanes (or per-slot accumulators) without
+//! gathering a `Vec<Record>` per group first. Joins drive the same engine:
+//! a pre-sized partitioned build over the right side, a hash-memoized
+//! probe, and selection-vector output gathered in one pass. Opaque
+//! closures fall back to materializing rows — correct, but without the
+//! columnar speedup.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
-use crate::data::{Chunk, Record, Value};
+use crate::data::{Chunk, Column, Record, Value};
 use crate::error::{Result, RheemError};
 use crate::expr::Expr;
 use crate::physical::{PipelineStage, StageKind};
 use crate::udf::{FieldReduce, KeyUdf, ReduceUdf};
+
+use super::hash;
 
 /// Keep rows whose predicate evaluates to `Bool(true)`.
 pub fn filter(chunk: &Chunk, expr: &Expr) -> Chunk {
@@ -71,6 +80,15 @@ pub fn project(chunk: &Chunk, indices: &[usize]) -> Result<Chunk> {
 enum Keys<'a> {
     /// Typed fast path: the key column is a clean `i64` lane.
     Ints(&'a [i64]),
+    /// Typed fast path: a clean dictionary-encoded string lane. Dictionary
+    /// entries are distinct ([`Column::dict_codes`]), so code equality is
+    /// string equality and each distinct string hashes once.
+    Dict {
+        /// Distinct dictionary strings.
+        dict: &'a [Arc<str>],
+        /// Per-row dictionary codes.
+        codes: &'a [u32],
+    },
     /// Generic path: one [`Value`] key per row.
     Values(Vec<Value>),
 }
@@ -82,6 +100,9 @@ fn extract_keys<'a>(chunk: &'a Chunk, key: &KeyUdf) -> Keys<'a> {
                 if col.no_nulls() {
                     if let Some(lane) = col.ints() {
                         return Keys::Ints(lane);
+                    }
+                    if let Some((dict, codes)) = col.dict_codes() {
+                        return Keys::Dict { dict, codes };
                     }
                 }
                 Keys::Values((0..chunk.rows()).map(|i| col.value(i)).collect())
@@ -95,107 +116,259 @@ fn extract_keys<'a>(chunk: &'a Chunk, key: &KeyUdf) -> Keys<'a> {
     }
 }
 
-/// Group row indices by key; groups ordered by key ascending, members in
-/// input order (the index-level core of `hash_group`/`reduce_by_key`).
-fn group_indices(chunk: &Chunk, key: &KeyUdf) -> Vec<(Value, Vec<usize>)> {
-    match extract_keys(chunk, key) {
-        Keys::Ints(lane) => {
-            let mut groups: HashMap<i64, Vec<usize>> = HashMap::new();
-            for (i, &k) in lane.iter().enumerate() {
-                groups.entry(k).or_default().push(i);
-            }
-            let mut out: Vec<(i64, Vec<usize>)> = groups.into_iter().collect();
-            // i64 order equals Value::Int order, so this matches the row
-            // kernel's key-sorted output contract.
-            out.sort_by_key(|(k, _)| *k);
-            out.into_iter().map(|(k, v)| (Value::Int(k), v)).collect()
+/// Materialize a key lane as one [`Value`] per row (the generic join/sort
+/// fallback when the two sides' lanes disagree).
+fn into_values(keys: Keys<'_>) -> Vec<Value> {
+    match keys {
+        Keys::Ints(lane) => lane.iter().map(|&k| Value::Int(k)).collect(),
+        Keys::Dict { dict, codes } => codes
+            .iter()
+            .map(|&c| Value::Str(dict[c as usize].clone()))
+            .collect(),
+        Keys::Values(v) => v,
+    }
+}
+
+/// Per-chunk key-hash column: one engine hash per row, computed once. The
+/// dict lane hashes each distinct dictionary string a single time and maps
+/// codes through.
+fn key_hashes(keys: &Keys<'_>) -> Vec<u64> {
+    match keys {
+        Keys::Ints(lane) => lane.iter().map(|&k| hash::hash_i64(k)).collect(),
+        Keys::Dict { dict, codes } => {
+            let dict_hashes: Vec<u64> = dict.iter().map(|s| hash::hash_str(s)).collect();
+            codes.iter().map(|&c| dict_hashes[c as usize]).collect()
         }
-        Keys::Values(keys) => {
-            let mut groups: HashMap<Value, Vec<usize>> = HashMap::new();
-            for (i, k) in keys.into_iter().enumerate() {
-                groups.entry(k).or_default().push(i);
-            }
-            let mut out: Vec<(Value, Vec<usize>)> = groups.into_iter().collect();
-            out.sort_by(|a, b| a.0.cmp(&b.0));
-            out
+        Keys::Values(vals) => vals.iter().map(hash::hash_value).collect(),
+    }
+}
+
+/// Dense group slots for a chunk's key column plus each slot's
+/// materialized key (the engine-level core of `hash_group` /
+/// `reduce_by_key`).
+struct GroupedKeys {
+    groups: hash::DenseGroups,
+    /// Slot-indexed group keys.
+    keys: Vec<Value>,
+}
+
+fn group_slots(chunk: &Chunk, key: &KeyUdf) -> GroupedKeys {
+    let keys = extract_keys(chunk, key);
+    match keys {
+        // Small-range `i64` lanes skip hashing entirely: the key is its
+        // own perfect hash (direct-address slots). Wide ranges fall back
+        // to the engine's hash tables. Both number slots in
+        // first-encounter order, so the choice is invisible downstream.
+        Keys::Ints(lane) => {
+            let groups = hash::dense_groups_i64(lane).unwrap_or_else(|| {
+                let hashes: Vec<u64> = lane.iter().map(|&k| hash::hash_i64(k)).collect();
+                hash::build_index(&hashes, |a, b| lane[a as usize] == lane[b as usize])
+                    .into_groups()
+            });
+            let keys = groups
+                .first_row
+                .iter()
+                .map(|&r| Value::Int(lane[r as usize]))
+                .collect();
+            GroupedKeys { groups, keys }
+        }
+        // Dictionary codes are already dense (distinct code ⇔ distinct
+        // string): the dictionary is the perfect hash.
+        Keys::Dict { dict, codes } => {
+            let groups = hash::dense_groups_codes(codes, dict.len());
+            let keys = groups
+                .first_row
+                .iter()
+                .map(|&r| Value::Str(dict[codes[r as usize] as usize].clone()))
+                .collect();
+            GroupedKeys { groups, keys }
+        }
+        Keys::Values(vals) => {
+            let hashes: Vec<u64> = vals.iter().map(hash::hash_value).collect();
+            let groups = hash::build_index(&hashes, |a, b| vals[a as usize] == vals[b as usize])
+                .into_groups();
+            let keys = groups
+                .first_row
+                .iter()
+                .map(|&r| vals[r as usize].clone())
+                .collect();
+            GroupedKeys { groups, keys }
         }
     }
 }
 
 /// Group rows by key. Same output contract as the row kernel: groups sorted
 /// by key, members in input order.
+///
+/// Engine slots feed a CSR member list, and each group's records are then
+/// materialized group-major into an exactly-sized `Vec` — sequential
+/// writes into one destination at a time, no per-push reload of a
+/// scattered `Vec` header. Member rows sit in the CSR in input order, so
+/// the contract holds; the final sort is over *groups* (by key), so hash
+/// and radix choices never reach the output.
 pub fn hash_group(chunk: &Chunk, key: &KeyUdf) -> Vec<(Value, Vec<Record>)> {
-    group_indices(chunk, key)
+    let GroupedKeys { groups, keys } = group_slots(chunk, key);
+    let (offsets, rows) = hash::member_lists(&groups.slot_of_row, groups.n_groups());
+    let columns = chunk.columns();
+    let mut out: Vec<(Value, Vec<Record>)> = keys
         .into_iter()
-        .map(|(k, idx)| (k, chunk.gather(&idx).to_records()))
-        .collect()
+        .enumerate()
+        .map(|(s, k)| {
+            let members = &rows[offsets[s]..offsets[s + 1]];
+            let recs: Vec<Record> = members
+                .iter()
+                .map(|&r| {
+                    let r = r as usize;
+                    Record::new(columns.iter().map(|c| c.value(r)).collect())
+                })
+                .collect();
+            (k, recs)
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
 }
 
-/// Fully typed reduce: all columns are clean `i64` lanes, the key is a
-/// field read, the chunk width equals the spec width, and every spec op is
-/// defined on integers. Accumulators live in one flat `i64` array — no
-/// `Value` is built until the final emission. Returns `None` when any
-/// precondition fails (the caller falls back to the generic fold).
+/// One typed accumulator lane of the vectorized reduce: the input lane and
+/// a flat slot-indexed accumulator array.
+enum AccLane<'a> {
+    /// `Int` lane folding to `i64` (`First`/`SumInt`/`Min`/`Max`).
+    Int { lane: &'a [i64], acc: Vec<i64> },
+    /// `Int` lane under `SumFloat`: the fold widens to `f64` on the first
+    /// combine (`Value::as_float`), so the accumulator is typed `f64` and
+    /// singleton groups emit the untouched `Int` seed.
+    IntToFloat { lane: &'a [i64], acc: Vec<f64> },
+    /// `Float` lane folding to `f64` (`First`/`SumFloat`/`Min`/`Max` under
+    /// `total_cmp`).
+    Float { lane: &'a [f64], acc: Vec<f64> },
+}
+
+/// Fully typed reduce: every column is a clean `i64` or `f64` lane, the
+/// chunk width equals the spec width, and every spec op is defined on its
+/// lane's type. Accumulators live in flat typed arrays indexed by the
+/// engine's group slots — no `Value` is built until the final emission.
+/// Returns `None` when any precondition fails (the caller falls back to
+/// the generic per-slot fold).
 ///
-/// Byte-identity argument: on all-`Int` inputs `FieldReduce::combine` is
-/// `wrapping_add` / `min` / `max` / keep-first on the payload, `i64`
-/// ordering equals `Value::Int` ordering, and seeding a group's
-/// accumulators with its first row's lane values is exactly the row
-/// kernel's seed-with-first-record (the widths match by precondition).
-fn reduce_ints(chunk: &Chunk, key: &KeyUdf, spec: &[FieldReduce]) -> Option<Vec<Record>> {
-    let key_lane = match extract_keys(chunk, key) {
-        Keys::Ints(lane) => lane,
-        Keys::Values(_) => return None,
-    };
+/// Byte-identity argument: rows fold in input order (the row kernel's
+/// order); per op, `FieldReduce::combine` on clean typed operands is
+/// exactly `wrapping_add` / `min` / `max` / keep-first on `i64`, and
+/// `a + b` / `total_cmp`-min/max / keep-first on `f64` (bits preserved by
+/// copy), with `SumFloat` over ints widening via `as_float` — which the
+/// `IntToFloat` lane replicates including the singleton case, where the
+/// row kernel emits the seed record verbatim (widths match by
+/// precondition).
+fn reduce_typed(chunk: &Chunk, grouped: &GroupedKeys, spec: &[FieldReduce]) -> Option<Vec<Record>> {
     let width = chunk.width();
     if width != spec.len() {
         return None;
     }
-    if spec.iter().any(|fr| matches!(fr, FieldReduce::SumFloat)) {
-        return None;
-    }
-    let lanes: Vec<&[i64]> = chunk
-        .columns()
-        .iter()
-        .map(|c| if c.no_nulls() { c.ints() } else { None })
-        .collect::<Option<_>>()?;
-
-    let mut slots: HashMap<i64, usize> = HashMap::new();
-    let mut keys: Vec<i64> = Vec::new();
-    let mut accs: Vec<i64> = Vec::new();
-    for i in 0..chunk.rows() {
-        match slots.entry(key_lane[i]) {
-            std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(keys.len());
-                keys.push(key_lane[i]);
-                accs.extend(lanes.iter().map(|lane| lane[i]));
+    let n = grouped.groups.n_groups();
+    let mut lanes: Vec<AccLane> = Vec::with_capacity(width);
+    for (col, fr) in chunk.columns().iter().zip(spec.iter()) {
+        if !col.no_nulls() {
+            return None;
+        }
+        if let Some(lane) = col.ints() {
+            lanes.push(match fr {
+                FieldReduce::SumFloat => AccLane::IntToFloat {
+                    lane,
+                    acc: vec![0.0; n],
+                },
+                _ => AccLane::Int {
+                    lane,
+                    acc: vec![0; n],
+                },
+            });
+        } else if let Some(lane) = col.floats() {
+            // `SumInt` over floats folds to Null for every multi-member
+            // group; leave that rarity to the generic path.
+            if matches!(fr, FieldReduce::SumInt) {
+                return None;
             }
-            std::collections::hash_map::Entry::Occupied(o) => {
-                let base = o.get() * width;
-                for (f, fr) in spec.iter().enumerate() {
-                    let x = lanes[f][i];
-                    let a = &mut accs[base + f];
-                    match fr {
-                        FieldReduce::First => {}
-                        FieldReduce::SumInt => *a = a.wrapping_add(x),
-                        FieldReduce::Min => *a = (*a).min(x),
-                        FieldReduce::Max => *a = (*a).max(x),
-                        FieldReduce::SumFloat => unreachable!("filtered above"),
+            lanes.push(AccLane::Float {
+                lane,
+                acc: vec![0.0; n],
+            });
+        } else {
+            return None;
+        }
+    }
+    let groups = &grouped.groups;
+    let mut counts = vec![0u32; n];
+    for (row, &s) in groups.slot_of_row.iter().enumerate() {
+        let s = s as usize;
+        counts[s] += 1;
+        let seed = groups.first_row[s] as usize == row;
+        for (l, fr) in lanes.iter_mut().zip(spec.iter()) {
+            match l {
+                AccLane::Int { lane, acc } => {
+                    let x = lane[row];
+                    if seed {
+                        acc[s] = x;
+                    } else {
+                        match fr {
+                            FieldReduce::First => {}
+                            FieldReduce::SumInt => acc[s] = acc[s].wrapping_add(x),
+                            FieldReduce::Min => acc[s] = acc[s].min(x),
+                            FieldReduce::Max => acc[s] = acc[s].max(x),
+                            FieldReduce::SumFloat => unreachable!("IntToFloat lane"),
+                        }
+                    }
+                }
+                AccLane::IntToFloat { lane, acc } => {
+                    let x = lane[row] as f64;
+                    if seed {
+                        acc[s] = x;
+                    } else {
+                        acc[s] += x;
+                    }
+                }
+                AccLane::Float { lane, acc } => {
+                    let x = lane[row];
+                    if seed {
+                        acc[s] = x;
+                    } else {
+                        match fr {
+                            FieldReduce::First => {}
+                            FieldReduce::SumFloat => acc[s] += x,
+                            FieldReduce::Min => {
+                                if x.total_cmp(&acc[s]).is_lt() {
+                                    acc[s] = x;
+                                }
+                            }
+                            FieldReduce::Max => {
+                                if x.total_cmp(&acc[s]).is_gt() {
+                                    acc[s] = x;
+                                }
+                            }
+                            FieldReduce::SumInt => unreachable!("rejected above"),
+                        }
                     }
                 }
             }
         }
     }
-    let mut order: Vec<usize> = (0..keys.len()).collect();
-    order.sort_by_key(|&s| keys[s]);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| grouped.keys[a].cmp(&grouped.keys[b]));
     Some(
         order
             .into_iter()
             .map(|s| {
                 Record::new(
-                    accs[s * width..(s + 1) * width]
+                    lanes
                         .iter()
-                        .map(|&v| Value::Int(v))
+                        .map(|l| match l {
+                            AccLane::Int { acc, .. } => Value::Int(acc[s]),
+                            AccLane::IntToFloat { lane, acc } => {
+                                if counts[s] == 1 {
+                                    Value::Int(lane[groups.first_row[s] as usize])
+                                } else {
+                                    Value::Float(acc[s])
+                                }
+                            }
+                            AccLane::Float { acc, .. } => Value::Float(acc[s]),
+                        })
                         .collect(),
                 )
             })
@@ -207,56 +380,65 @@ fn reduce_ints(chunk: &Chunk, key: &KeyUdf, spec: &[FieldReduce]) -> Option<Vec<
 ///
 /// Matches the row kernel's fold exactly: the first record of each key
 /// seeds the accumulator verbatim, subsequent records combine in input
-/// order. With a declarative [`crate::udf::FieldReduce`] spec the fold runs
-/// on column values directly; an opaque closure falls back to materialized
-/// records.
+/// order. With a declarative [`crate::udf::FieldReduce`] spec over clean
+/// typed lanes the fold runs in flat typed accumulators (`reduce_typed`);
+/// a spec over other layouts folds per-slot `Value` accumulators; an
+/// opaque closure falls back to materialized records. All three share the
+/// engine's slot assignment, so grouping is hashed once either way.
 pub fn reduce_by_key(chunk: &Chunk, key: &KeyUdf, reduce: &ReduceUdf) -> Vec<Record> {
-    if let Some(spec) = &reduce.spec {
-        if let Some(out) = reduce_ints(chunk, key, spec) {
-            return out;
-        }
-    }
-    let groups = group_indices(chunk, key);
+    let grouped = group_slots(chunk, key);
+    let groups = &grouped.groups;
+    let n = groups.n_groups();
+    let mut order: Vec<usize> = (0..n).collect();
     match &reduce.spec {
         Some(spec) => {
-            let cols: Vec<Option<&crate::data::Column>> =
-                (0..spec.len()).map(|f| chunk.column(f)).collect();
-            let mut out = Vec::with_capacity(groups.len());
-            for (_, idx) in groups {
-                let mut rows = idx.into_iter();
-                let first = rows.next().expect("groups are non-empty");
-                // Seed with the full first row, exactly like the row
-                // kernel's `or_insert_with(|| r.clone())`.
-                let mut acc: Vec<Value> = chunk.columns().iter().map(|c| c.value(first)).collect();
-                for i in rows {
-                    // The row closure emits exactly `spec.len()` fields per
-                    // fold, reading missing accumulator fields as Null.
-                    acc.resize(spec.len(), Value::Null);
-                    for (f, fr) in spec.iter().enumerate() {
-                        let b = match cols[f] {
-                            Some(col) => col.value(i),
-                            None => Value::Null,
-                        };
-                        acc[f] = fr.combine(&acc[f], &b);
+            if let Some(out) = reduce_typed(chunk, &grouped, spec) {
+                return out;
+            }
+            let cols: Vec<Option<&Column>> = (0..spec.len()).map(|f| chunk.column(f)).collect();
+            let mut accs: Vec<Option<Vec<Value>>> = vec![None; n];
+            for (row, &s) in groups.slot_of_row.iter().enumerate() {
+                match &mut accs[s as usize] {
+                    // Seed with the full first row, exactly like the row
+                    // kernel's `or_insert_with(|| r.clone())`.
+                    slot @ None => {
+                        *slot = Some(chunk.columns().iter().map(|c| c.value(row)).collect());
+                    }
+                    Some(acc) => {
+                        // The row closure emits exactly `spec.len()` fields
+                        // per fold, reading missing accumulator fields as
+                        // Null.
+                        acc.resize(spec.len(), Value::Null);
+                        for (f, fr) in spec.iter().enumerate() {
+                            let b = match cols[f] {
+                                Some(col) => col.value(row),
+                                None => Value::Null,
+                            };
+                            acc[f] = fr.combine(&acc[f], &b);
+                        }
                     }
                 }
-                out.push(Record::new(acc));
             }
-            out
+            order.sort_by(|&a, &b| grouped.keys[a].cmp(&grouped.keys[b]));
+            order
+                .into_iter()
+                .map(|s| Record::new(accs[s].take().expect("every slot has rows")))
+                .collect()
         }
         None => {
             let records = chunk.to_records();
-            let mut out = Vec::with_capacity(groups.len());
-            for (_, idx) in groups {
-                let mut rows = idx.into_iter();
-                let first = rows.next().expect("groups are non-empty");
-                let mut acc = records[first].clone();
-                for i in rows {
-                    acc = (reduce.f)(acc, &records[i]);
+            let mut accs: Vec<Option<Record>> = vec![None; n];
+            for (row, &s) in groups.slot_of_row.iter().enumerate() {
+                match &mut accs[s as usize] {
+                    slot @ None => *slot = Some(records[row].clone()),
+                    Some(acc) => *acc = (reduce.f)(std::mem::take(acc), &records[row]),
                 }
-                out.push(acc);
             }
-            out
+            order.sort_by(|&a, &b| grouped.keys[a].cmp(&grouped.keys[b]));
+            order
+                .into_iter()
+                .map(|s| accs[s].take().expect("every slot has rows"))
+                .collect()
         }
     }
 }
@@ -272,6 +454,16 @@ pub fn sort(chunk: &Chunk, key: &KeyUdf, descending: bool) -> Chunk {
                 indices.sort_by(|&a, &b| lane[a].cmp(&lane[b]));
             }
         }
+        // Arc<str> ordering is byte ordering, identical to Value::Str cmp,
+        // so the lane can sort without materializing Values.
+        Keys::Dict { dict, codes } => {
+            let k = |i: usize| &dict[codes[i] as usize];
+            if descending {
+                indices.sort_by(|&a, &b| k(b).cmp(k(a)));
+            } else {
+                indices.sort_by(|&a, &b| k(a).cmp(k(b)));
+            }
+        }
         Keys::Values(keys) => {
             if descending {
                 indices.sort_by(|&a, &b| keys[b].cmp(&keys[a]));
@@ -283,28 +475,75 @@ pub fn sort(chunk: &Chunk, key: &KeyUdf, descending: bool) -> Chunk {
     chunk.gather(&indices)
 }
 
-/// Matching `(left_row, right_row)` index pairs of a hash equi-join, in the
-/// row kernel's output order (left-major, right input order within a key).
-fn equi_join_pairs(
+/// Selection vectors of a hash equi-join: matching `(left_rows, right_rows)`
+/// row indices, in the row kernel's output order (left-major, right matches
+/// in right input order within a key).
+///
+/// The right side builds a [`hash::GroupIndex`] (pre-sized, radix-
+/// partitioned when large) plus CSR member lists; the left side probes it
+/// hashing each key once. When both key lanes are dictionary-encoded the
+/// probe is memoized per distinct *left* dictionary entry, so string
+/// comparison happens at most once per distinct string rather than per row.
+fn equi_join_select(
     left: &Chunk,
     right: &Chunk,
     left_key: &KeyUdf,
     right_key: &KeyUdf,
-) -> Vec<(usize, usize)> {
+) -> (Vec<usize>, Vec<usize>) {
     let lkeys = extract_keys(left, left_key);
     let rkeys = extract_keys(right, right_key);
-    let mut pairs = Vec::new();
+    let mut li: Vec<usize> = Vec::new();
+    let mut ri: Vec<usize> = Vec::new();
+    // Emit the full match rectangle row-by-row for one probe hit.
+    let mut emit = |i: usize, members: &[u32]| {
+        li.extend(std::iter::repeat_n(i, members.len()));
+        ri.extend(members.iter().map(|&r| r as usize));
+    };
     match (&lkeys, &rkeys) {
         (Keys::Ints(ll), Keys::Ints(rl)) => {
-            let mut table: HashMap<i64, Vec<usize>> = HashMap::new();
-            for (j, &k) in rl.iter().enumerate() {
-                table.entry(k).or_default().push(j);
+            let rhashes = key_hashes(&rkeys);
+            let index = hash::build_index(&rhashes, |a, b| rl[a as usize] == rl[b as usize]);
+            let (offsets, rows) = hash::member_lists(&index.slot_of_row, index.n_groups());
+            for (i, &k) in ll.iter().enumerate() {
+                let hit = index.lookup(hash::hash_i64(k), |s| {
+                    rl[index.first_row[s as usize] as usize] == k
+                });
+                if let Some(s) = hit {
+                    let s = s as usize;
+                    emit(i, &rows[offsets[s]..offsets[s + 1]]);
+                }
             }
-            for (i, k) in ll.iter().enumerate() {
-                if let Some(matches) = table.get(k) {
-                    for &j in matches {
-                        pairs.push((i, j));
-                    }
+        }
+        (
+            Keys::Dict {
+                dict: ld,
+                codes: lc,
+            },
+            Keys::Dict {
+                dict: rd,
+                codes: rc,
+            },
+        ) => {
+            let rhashes = key_hashes(&rkeys);
+            let index = hash::build_index(&rhashes, |a, b| rc[a as usize] == rc[b as usize]);
+            let (offsets, rows) = hash::member_lists(&index.slot_of_row, index.n_groups());
+            let lhashes: Vec<u64> = ld.iter().map(|s| hash::hash_str(s)).collect();
+            // Per-left-dictionary-entry probe memo: dictionary entries are
+            // distinct, so one string-compared lookup per entry covers
+            // every row carrying its code.
+            let mut memo: Vec<Option<Option<u32>>> = vec![None; ld.len()];
+            for (i, &c) in lc.iter().enumerate() {
+                let c = c as usize;
+                let slot = *memo[c].get_or_insert_with(|| {
+                    let key: &str = &ld[c];
+                    index.lookup(lhashes[c], |s| {
+                        let r = index.first_row[s as usize] as usize;
+                        *rd[rc[r] as usize] == *key
+                    })
+                });
+                if let Some(s) = slot {
+                    let s = s as usize;
+                    emit(i, &rows[offsets[s]..offsets[s + 1]]);
                 }
             }
         }
@@ -312,45 +551,40 @@ fn equi_join_pairs(
             // Mixed or generic keys: compare as Values (Value::eq is
             // variant-exact, so Int(5) never matches Float(5.0), matching
             // the row kernel).
-            let lv: Vec<Value> = match lkeys {
-                Keys::Ints(l) => l.iter().map(|&k| Value::Int(k)).collect(),
-                Keys::Values(v) => v,
-            };
-            let rv: Vec<Value> = match rkeys {
-                Keys::Ints(l) => l.iter().map(|&k| Value::Int(k)).collect(),
-                Keys::Values(v) => v,
-            };
-            let mut table: HashMap<&Value, Vec<usize>> = HashMap::new();
-            for (j, k) in rv.iter().enumerate() {
-                table.entry(k).or_default().push(j);
-            }
+            let rv = into_values(rkeys);
+            let rhashes: Vec<u64> = rv.iter().map(hash::hash_value).collect();
+            let index = hash::build_index(&rhashes, |a, b| rv[a as usize] == rv[b as usize]);
+            let (offsets, rows) = hash::member_lists(&index.slot_of_row, index.n_groups());
+            let lv = into_values(lkeys);
             for (i, k) in lv.iter().enumerate() {
-                if let Some(matches) = table.get(k) {
-                    for &j in matches {
-                        pairs.push((i, j));
-                    }
+                let hit = index.lookup(hash::hash_value(k), |s| {
+                    rv[index.first_row[s as usize] as usize] == *k
+                });
+                if let Some(s) = hit {
+                    let s = s as usize;
+                    emit(i, &rows[offsets[s]..offsets[s + 1]]);
                 }
             }
         }
     }
-    pairs
+    (li, ri)
 }
 
-/// Build the `left ++ right` output chunk from matching index pairs.
-fn join_output(left: &Chunk, right: &Chunk, pairs: &[(usize, usize)]) -> Chunk {
-    let li: Vec<usize> = pairs.iter().map(|&(i, _)| i).collect();
-    let ri: Vec<usize> = pairs.iter().map(|&(_, j)| j).collect();
-    let l = left.gather(&li);
-    let r = right.gather(&ri);
+/// Build the `left ++ right` output chunk from selection vectors: one
+/// gather per side, columns concatenated — no per-row record assembly.
+fn join_output(left: &Chunk, right: &Chunk, li: &[usize], ri: &[usize]) -> Chunk {
+    debug_assert_eq!(li.len(), ri.len());
+    let l = left.gather(li);
+    let r = right.gather(ri);
     let mut columns = l.columns().to_vec();
     columns.extend_from_slice(r.columns());
-    Chunk::new(columns, pairs.len())
+    Chunk::new(columns, li.len())
 }
 
 /// Hash equi-join; output rows are `left ++ right`, left-major.
 pub fn hash_join(left: &Chunk, right: &Chunk, left_key: &KeyUdf, right_key: &KeyUdf) -> Chunk {
-    let pairs = equi_join_pairs(left, right, left_key, right_key);
-    join_output(left, right, &pairs)
+    let (li, ri) = equi_join_select(left, right, left_key, right_key);
+    join_output(left, right, &li, &ri)
 }
 
 /// Sort-merge equi-join; byte-identical to the row kernel (stable key sort
@@ -361,11 +595,39 @@ pub fn sort_merge_join(
     left_key: &KeyUdf,
     right_key: &KeyUdf,
 ) -> Chunk {
+    // Typed i64 lane path: stable index sort on the lanes and an i64 merge
+    // scan — same comparisons as Value::Int's order, no Value built.
+    if let (Keys::Ints(ll), Keys::Ints(rl)) =
+        (extract_keys(left, left_key), extract_keys(right, right_key))
+    {
+        let mut li: Vec<usize> = (0..left.rows()).collect();
+        li.sort_by_key(|&i| ll[i]);
+        let mut ri: Vec<usize> = (0..right.rows()).collect();
+        ri.sort_by_key(|&j| rl[j]);
+        let mut lsel = Vec::new();
+        let mut rsel = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < li.len() && j < ri.len() {
+            let (lk, rk) = (ll[li[i]], rl[ri[j]]);
+            match lk.cmp(&rk) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let i_end = li[i..].iter().take_while(|&&x| ll[x] == lk).count() + i;
+                    let j_end = ri[j..].iter().take_while(|&&x| rl[x] == rk).count() + j;
+                    for &l in &li[i..i_end] {
+                        lsel.extend(std::iter::repeat_n(l, j_end - j));
+                        rsel.extend_from_slice(&ri[j..j_end]);
+                    }
+                    i = i_end;
+                    j = j_end;
+                }
+            }
+        }
+        return join_output(left, right, &lsel, &rsel);
+    }
     fn sorted_keyed(chunk: &Chunk, key: &KeyUdf) -> (Vec<Value>, Vec<usize>) {
-        let keys: Vec<Value> = match extract_keys(chunk, key) {
-            Keys::Ints(l) => l.iter().map(|&k| Value::Int(k)).collect(),
-            Keys::Values(v) => v,
-        };
+        let keys = into_values(extract_keys(chunk, key));
         let mut idx: Vec<usize> = (0..chunk.rows()).collect();
         idx.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
         let sorted: Vec<Value> = idx.iter().map(|&i| keys[i].clone()).collect();
@@ -374,7 +636,8 @@ pub fn sort_merge_join(
     let (lk, li) = sorted_keyed(left, left_key);
     let (rk, ri) = sorted_keyed(right, right_key);
 
-    let mut pairs = Vec::new();
+    let mut lsel = Vec::new();
+    let mut rsel = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
     while i < lk.len() && j < rk.len() {
         match lk[i].cmp(&rk[j]) {
@@ -385,16 +648,15 @@ pub fn sort_merge_join(
                 let i_end = lk[i..].iter().take_while(|k| *k == key).count() + i;
                 let j_end = rk[j..].iter().take_while(|k| *k == key).count() + j;
                 for &l in &li[i..i_end] {
-                    for &r in &ri[j..j_end] {
-                        pairs.push((l, r));
-                    }
+                    lsel.extend(std::iter::repeat_n(l, j_end - j));
+                    rsel.extend_from_slice(&ri[j..j_end]);
                 }
                 i = i_end;
                 j = j_end;
             }
         }
     }
-    join_output(left, right, &pairs)
+    join_output(left, right, &lsel, &rsel)
 }
 
 /// Apply one fused pipeline stage to a chunk.

@@ -10,17 +10,26 @@
 //! - `map` / `flat_map` / `filter` / `project` are embarrassingly parallel:
 //!   morsels are processed independently and concatenated in morsel order,
 //!   which is input order.
-//! - `group` (the shared implementation behind `HashGroupBy` and
-//!   `SortGroupBy`) and `reduce_by_key` run a local phase per contiguous
-//!   chunk and then merge the key-sorted chunk results left-to-right, so
-//!   group members (and reduce application order) follow input order —
-//!   exactly the sequential kernels' contract. `reduce_by_key` merges
-//!   chunk accumulators with the reduce UDF itself, relying on the
-//!   associativity contract [`crate::udf::ReduceUdf`] already demands for
-//!   partitioned platforms.
-//! - `hash_join` uses a partitioned build (per-chunk hash tables merged in
-//!   chunk order, preserving right-input match order) and a morsel-parallel
-//!   probe concatenated in left order.
+//! - `hash_group` and `reduce_by_key` run on the vectorized hash engine
+//!   ([`super::hash`]): the local phase per contiguous chunk hashes keys
+//!   once, assigns dense slots through an open-addressing table, and emits
+//!   its groups *scattered by radix bucket* (key-sorted within each
+//!   bucket). The merge phase then folds **per radix bucket** across
+//!   chunks — a key lives wholly in one bucket, so the 64 bucket folds are
+//!   independent and run on worker threads, while each fold still walks
+//!   chunks left-to-right so group members (and reduce application order)
+//!   follow input order — exactly the sequential kernels' contract. A
+//!   final key sort over the folded groups erases bucket order from the
+//!   output. `reduce_by_key` merges chunk accumulators with the reduce UDF
+//!   itself, relying on the associativity contract
+//!   [`crate::udf::ReduceUdf`] already demands for partitioned platforms.
+//! - `hash_join` uses the same engine for a radix-partitioned build
+//!   (per-chunk group indexes scattered by bucket, folded per bucket in
+//!   chunk order so each key's match list is in right-input order) and a
+//!   morsel-parallel probe — each probe key hashed once, routed to its
+//!   bucket's table — concatenated in left order.
+//! - `sort_group` keeps the ordered two-phase merge (its local phase is a
+//!   comparison sort, not a hash build).
 //! - `sort_merge_join` and `sort` sort contiguous chunks in parallel and
 //!   merge them stably (ties resolve to the lower chunk, i.e. earlier
 //!   input), reproducing the sequential stable sort byte for byte.
@@ -30,7 +39,6 @@
 //! cells — the same pattern the wave executor uses.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -42,7 +50,7 @@ use crate::fault::CancelToken;
 use crate::physical::PipelineStage;
 use crate::udf::{FilterUdf, FlatMapUdf, KeyUdf, MapUdf, ReduceUdf};
 
-use super::chunked;
+use super::{chunked, hash};
 
 thread_local! {
     /// The ambient morsel-loop cancellation scope. Kernels have no
@@ -380,9 +388,100 @@ fn group_two_phase(
     locals.into_iter().reduce(merge_groups).unwrap_or_default()
 }
 
-/// Morsel-parallel [`super::hash_group`]: per-chunk hash grouping + merge.
-/// Byte-identical to the sequential kernel (and to [`sort_group`]: both
-/// share one output contract — keys ascending, members in input order).
+/// One chunk's keys hashed through the engine into dense slots: the
+/// materialized key column, its hash column (computed once), and the slot
+/// assignment.
+fn keyed_slots(records: &[Record], key: &KeyUdf) -> (Vec<Value>, Vec<u64>, hash::GroupIndex) {
+    let keys: Vec<Value> = records.iter().map(|r| (key.f)(r)).collect();
+    let hashes: Vec<u64> = keys.iter().map(hash::hash_value).collect();
+    let index = hash::build_index(&hashes, |a, b| keys[a as usize] == keys[b as usize]);
+    (keys, hashes, index)
+}
+
+/// Fold each radix bucket's chunk-ordered parts on up to `threads` worker
+/// threads. A key lives wholly in one bucket (its bucket is a function of
+/// its hash), so the [`hash::RADIX_BUCKETS`] folds are independent and
+/// parallelize freely; each fold receives its bucket's parts in chunk
+/// order, preserving the left-to-right merge contract. A fired cancel
+/// token collapses a bucket to `U::default()` — type-correct garbage the
+/// caller-level cancellation check discards.
+fn fold_buckets<T, U>(
+    by_bucket: Vec<Vec<T>>,
+    threads: usize,
+    fold: impl Fn(Vec<T>) -> U + Sync,
+) -> Vec<U>
+where
+    T: Send,
+    U: Send + Default,
+{
+    let cells: Vec<Mutex<Option<Vec<T>>>> = by_bucket
+        .into_iter()
+        .map(|parts| Mutex::new(Some(parts)))
+        .collect();
+    let ranges: Vec<Range<usize>> = (0..cells.len()).map(|b| b..b + 1).collect();
+    run_ranges(&ranges, threads, |r| {
+        if r.is_empty() {
+            return U::default();
+        }
+        let parts = cells[r.start]
+            .lock()
+            .take()
+            .expect("each bucket folds once");
+        fold(parts)
+    })
+}
+
+/// Transpose per-chunk bucket scatters into per-bucket chunk-ordered part
+/// lists (empty parts dropped — they are no-op merges).
+fn by_bucket<T>(locals: Vec<Vec<Vec<T>>>) -> Vec<Vec<Vec<T>>> {
+    let mut out: Vec<Vec<Vec<T>>> = std::iter::repeat_with(Vec::new)
+        .take(hash::RADIX_BUCKETS)
+        .collect();
+    for chunk in locals {
+        for (b, part) in chunk.into_iter().enumerate() {
+            if !part.is_empty() {
+                out[b].push(part);
+            }
+        }
+    }
+    out
+}
+
+/// Local grouping phase: engine slots over one chunk, groups emitted
+/// scattered by radix bucket and key-sorted within each bucket. Group
+/// member `Vec`s are exactly pre-sized and filled in input order.
+fn local_group_buckets(records: &[Record], key: &KeyUdf) -> Vec<Vec<(Value, Vec<Record>)>> {
+    let (keys, hashes, index) = keyed_slots(records, key);
+    let n = index.n_groups();
+    let mut counts = vec![0usize; n];
+    for &s in &index.slot_of_row {
+        counts[s as usize] += 1;
+    }
+    let mut groups: Vec<(Value, Vec<Record>)> = index
+        .first_row
+        .iter()
+        .zip(&counts)
+        .map(|(&r, &c)| (keys[r as usize].clone(), Vec::with_capacity(c)))
+        .collect();
+    for (row, &s) in index.slot_of_row.iter().enumerate() {
+        groups[s as usize].1.push(records[row].clone());
+    }
+    let mut buckets: Vec<Vec<(Value, Vec<Record>)>> = std::iter::repeat_with(Vec::new)
+        .take(hash::RADIX_BUCKETS)
+        .collect();
+    for (s, g) in groups.into_iter().enumerate() {
+        buckets[hash::radix_bucket(hashes[index.first_row[s] as usize])].push(g);
+    }
+    for b in &mut buckets {
+        b.sort_by(|x, y| x.0.cmp(&y.0));
+    }
+    buckets
+}
+
+/// Morsel-parallel [`super::hash_group`]: engine-hashed local grouping per
+/// chunk, per-radix-bucket merge folds, and a final key sort. Byte-
+/// identical to the sequential kernel (and to [`sort_group`]: both share
+/// one output contract — keys ascending, members in input order).
 pub fn hash_group(
     records: &[Record],
     key: &KeyUdf,
@@ -392,7 +491,17 @@ pub fn hash_group(
     if t <= 1 {
         return super::hash_group(records, key);
     }
-    group_two_phase(records, key, p, t, super::hash_group)
+    let locals = run_ranges(&p.chunk_ranges(records.len(), t), t, |r| {
+        local_group_buckets(&records[r], key)
+    });
+    let folded = fold_buckets(by_bucket(locals), t, |parts| {
+        parts.into_iter().reduce(merge_groups).unwrap_or_default()
+    });
+    let mut out: Vec<(Value, Vec<Record>)> = folded.into_iter().flatten().collect();
+    // Keys are distinct across buckets, so this sort fully determines the
+    // output order regardless of bucket or thread scheduling.
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
 }
 
 /// Morsel-parallel [`super::sort_group`]: per-chunk sort grouping + merge.
@@ -408,17 +517,34 @@ pub fn sort_group(
     group_two_phase(records, key, p, t, super::sort_group)
 }
 
-/// Local reduce phase: key-sorted `(key, accumulator)` pairs for a chunk.
-fn local_reduce(records: &[Record], key: &KeyUdf, reduce: &ReduceUdf) -> Vec<(Value, Record)> {
-    let mut acc: HashMap<Value, Record> = HashMap::new();
-    for r in records {
-        acc.entry((key.f)(r))
-            .and_modify(|a| *a = (reduce.f)(std::mem::take(a), r))
-            .or_insert_with(|| r.clone());
+/// Local reduce phase: engine slots over one chunk, accumulators folded in
+/// input order, emitted scattered by radix bucket and key-sorted within
+/// each bucket.
+fn local_reduce_buckets(
+    records: &[Record],
+    key: &KeyUdf,
+    reduce: &ReduceUdf,
+) -> Vec<Vec<(Value, Record)>> {
+    let (keys, hashes, index) = keyed_slots(records, key);
+    let mut accs: Vec<Option<Record>> = vec![None; index.n_groups()];
+    for (row, &s) in index.slot_of_row.iter().enumerate() {
+        match &mut accs[s as usize] {
+            slot @ None => *slot = Some(records[row].clone()),
+            Some(a) => *a = (reduce.f)(std::mem::take(a), &records[row]),
+        }
     }
-    let mut keyed: Vec<(Value, Record)> = acc.into_iter().collect();
-    keyed.sort_by(|a, b| a.0.cmp(&b.0));
-    keyed
+    let mut buckets: Vec<Vec<(Value, Record)>> = std::iter::repeat_with(Vec::new)
+        .take(hash::RADIX_BUCKETS)
+        .collect();
+    for (s, acc) in accs.into_iter().enumerate() {
+        let first = index.first_row[s] as usize;
+        buckets[hash::radix_bucket(hashes[first])]
+            .push((keys[first].clone(), acc.expect("every slot has rows")));
+    }
+    for b in &mut buckets {
+        b.sort_by(|x, y| x.0.cmp(&y.0));
+    }
+    buckets
 }
 
 /// Merge two key-sorted accumulator lists, combining equal keys with the
@@ -443,10 +569,10 @@ fn merge_reduced(
     out
 }
 
-/// Two-phase parallel [`super::reduce_by_key`]: local entry-based
-/// accumulation per chunk, then a chunk-ordered merge combining chunk
-/// accumulators with the (associative, per the [`crate::udf::ReduceUdf`]
-/// contract) reduce UDF.
+/// Two-phase parallel [`super::reduce_by_key`]: engine-slotted local
+/// accumulation per chunk, then per-radix-bucket merge folds combining
+/// chunk accumulators with the (associative, per the
+/// [`crate::udf::ReduceUdf`] contract) reduce UDF, and a final key sort.
 pub fn reduce_by_key(
     records: &[Record],
     key: &KeyUdf,
@@ -458,23 +584,66 @@ pub fn reduce_by_key(
         return super::reduce_by_key(records, key, reduce);
     }
     let locals = run_ranges(&p.chunk_ranges(records.len(), t), t, |r| {
-        local_reduce(&records[r], key, reduce)
+        local_reduce_buckets(&records[r], key, reduce)
     });
-    locals
-        .into_iter()
-        .reduce(|a, b| merge_reduced(a, b, reduce))
-        .unwrap_or_default()
-        .into_iter()
-        .map(|(_, r)| r)
-        .collect()
+    let folded = fold_buckets(by_bucket(locals), t, |parts| {
+        parts
+            .into_iter()
+            .reduce(|a, b| merge_reduced(a, b, reduce))
+            .unwrap_or_default()
+    });
+    let mut keyed: Vec<(Value, Record)> = folded.into_iter().flatten().collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    keyed.into_iter().map(|(_, r)| r).collect()
 }
 
-/// Partitioned-build + parallel-probe [`super::hash_join`].
+/// One radix bucket of a join build: an engine slot table over the
+/// bucket's distinct keys plus, per key, its match list in right-input
+/// order.
+#[derive(Default)]
+struct BuildBucket<'a> {
+    table: hash::SlotTable,
+    keys: Vec<Value>,
+    matches: Vec<Vec<&'a Record>>,
+}
+
+/// Local join-build phase: engine slots over one right-side chunk, one
+/// `(hash, key, members)` entry per distinct key, scattered by radix
+/// bucket. Member lists are in input order (CSR scatter).
+fn local_build_buckets<'a>(
+    records: &'a [Record],
+    key: &KeyUdf,
+) -> Vec<Vec<(u64, Value, Vec<&'a Record>)>> {
+    let (keys, hashes, index) = keyed_slots(records, key);
+    let (offsets, rows) = hash::member_lists(&index.slot_of_row, index.n_groups());
+    let mut buckets: Vec<Vec<(u64, Value, Vec<&Record>)>> = std::iter::repeat_with(Vec::new)
+        .take(hash::RADIX_BUCKETS)
+        .collect();
+    for s in 0..index.n_groups() {
+        let first = index.first_row[s] as usize;
+        let members: Vec<&Record> = rows[offsets[s]..offsets[s + 1]]
+            .iter()
+            .map(|&r| &records[r as usize])
+            .collect();
+        buckets[hash::radix_bucket(hashes[first])].push((
+            hashes[first],
+            keys[first].clone(),
+            members,
+        ));
+    }
+    buckets
+}
+
+/// Radix-partitioned build + parallel hash-memoized probe
+/// [`super::hash_join`].
 ///
-/// Build: each chunk of the right input builds a local hash table; the
-/// locals are folded into one table in chunk order, so each key's match
-/// list is in right-input order (the sequential build order). Probe: the
-/// left input is probed per morsel and concatenated in left order.
+/// Build: each chunk of the right input assigns engine slots and scatters
+/// its per-key match lists by radix bucket; each bucket folds its chunks
+/// in order into one pre-sized `BuildBucket`, so every key's match list
+/// is in right-input order (the sequential build order) and the 64 folds
+/// run on worker threads. Probe: the left input is probed per morsel —
+/// each probe key hashed once, routed to its bucket's table — and
+/// concatenated in left order.
 pub fn hash_join(
     left: &[Record],
     right: &[Record],
@@ -487,31 +656,41 @@ pub fn hash_join(
         return super::hash_join(left, right, left_key, right_key);
     }
     let bt = p.effective_threads(right.len());
-    let mut table: HashMap<Value, Vec<&Record>> = HashMap::new();
-    if bt <= 1 {
-        for r in right {
-            table.entry((right_key.f)(r)).or_default().push(r);
-        }
-    } else {
-        let locals = run_ranges(&p.chunk_ranges(right.len(), bt), bt, |rng| {
-            let mut local: HashMap<Value, Vec<&Record>> = HashMap::new();
-            for r in &right[rng] {
-                local.entry((right_key.f)(r)).or_default().push(r);
+    let locals = run_ranges(&p.chunk_ranges(right.len(), bt), bt, |rng| {
+        local_build_buckets(&right[rng], right_key)
+    });
+    let buckets: Vec<BuildBucket> = fold_buckets(by_bucket(locals), t, |parts| {
+        let total: usize = parts.iter().map(Vec::len).sum();
+        let mut table = hash::SlotTable::with_capacity(total);
+        let mut keys: Vec<Value> = Vec::with_capacity(total);
+        let mut matches: Vec<Vec<&Record>> = Vec::with_capacity(total);
+        for part in parts {
+            for (h, k, members) in part {
+                let (slot, inserted) =
+                    table.find_or_insert(h, |s| keys[s as usize] == k, keys.len() as u32);
+                if inserted {
+                    keys.push(k);
+                    matches.push(members);
+                } else {
+                    matches[slot as usize].extend(members);
+                }
             }
-            local
-        });
-        for local in locals {
-            for (k, v) in local {
-                table.entry(k).or_default().extend(v);
-            }
         }
-    }
+        BuildBucket {
+            table,
+            keys,
+            matches,
+        }
+    });
     let pt = p.effective_threads(left.len()).max(1);
     concat(run_ranges(&p.morsel_ranges(left.len()), pt, |rng| {
         let mut out = Vec::new();
         for l in &left[rng] {
-            if let Some(matches) = table.get(&(left_key.f)(l)) {
-                for r in matches {
+            let k = (left_key.f)(l);
+            let h = hash::hash_value(&k);
+            let b = &buckets[hash::radix_bucket(h)];
+            if let Some(s) = b.table.find(h, |s| b.keys[s as usize] == k) {
+                for r in &b.matches[s as usize] {
                     out.push(l.concat(r));
                 }
             }

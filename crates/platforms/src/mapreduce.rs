@@ -57,6 +57,7 @@ impl MapReduceLikePlatform {
                 speedup: (workers as f64 / 2.0).max(1.0),
                 startup: 1500.0,
                 shuffle_surcharge: 2e-3, // disk write + read per record
+                hash_engine_speedup: 1.0,
             }),
         }
     }

@@ -75,6 +75,7 @@ impl SparkLikePlatform {
                 speedup: workers as f64,
                 startup: 100.0,
                 shuffle_surcharge: 2e-4,
+                hash_engine_speedup: 1.0,
             }),
             min_records_per_task: 1,
         }
